@@ -1,0 +1,281 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "graph/vf2.h"
+#include "util/stopwatch.h"
+
+namespace prague::bench {
+
+double Scale() {
+  static double scale = [] {
+    const char* env = std::getenv("PRAGUE_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double s = std::strtod(env, nullptr);
+    return s > 0 ? s : 1.0;
+  }();
+  return scale;
+}
+
+size_t AidsGraphCount() {
+  return static_cast<size_t>(4000 * Scale());
+}
+
+std::vector<size_t> SyntheticSizes() {
+  std::vector<size_t> out;
+  for (size_t base : {1000, 2000, 4000, 6000, 8000}) {
+    out.push_back(static_cast<size_t>(static_cast<double>(base) * Scale()));
+  }
+  return out;
+}
+
+namespace {
+
+Workbench BuildWorkbench(GraphDatabase db, double alpha, size_t beta,
+                         size_t max_fragment_edges) {
+  Workbench bench;
+  bench.db = std::move(db);
+  MiningConfig mining;
+  mining.min_support_ratio = alpha;
+  mining.max_fragment_edges = max_fragment_edges;
+  Stopwatch timer;
+  Result<MiningResult> mined = MineFragments(bench.db, mining);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    std::abort();
+  }
+  bench.mined = std::move(*mined);
+  bench.mining_seconds = timer.ElapsedSeconds();
+  A2fConfig a2f;
+  a2f.beta = beta;
+  bench.indexes = BuildActionAwareIndexes(bench.mined, a2f);
+  return bench;
+}
+
+}  // namespace
+
+Workbench BuildAidsWorkbench(size_t graph_count, double alpha, size_t beta) {
+  AidsGeneratorConfig gen;
+  gen.graph_count = graph_count;
+  gen.seed = 2012;
+  // Visual queries go up to 10 edges (Section VIII), so the action-aware
+  // indexes cover fragments up to that size.
+  return BuildWorkbench(GenerateAidsLikeDatabase(gen), alpha, beta,
+                        /*max_fragment_edges=*/10);
+}
+
+Workbench BuildSyntheticWorkbench(size_t graph_count, double alpha,
+                                  size_t beta) {
+  SyntheticGeneratorConfig gen;
+  gen.graph_count = graph_count;
+  gen.seed = 2012;
+  return BuildWorkbench(GenerateSyntheticDatabase(gen), alpha, beta,
+                        /*max_fragment_edges=*/8);
+}
+
+namespace {
+
+std::vector<VisualQuerySpec> SimilarityQuerySet(
+    const Workbench& bench, const std::vector<int>& mutations,
+    const std::vector<size_t>& sizes, const char* prefix, uint64_t seed) {
+  WorkloadGenerator workload(&bench.db, seed);
+  std::vector<VisualQuerySpec> out;
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    std::string name = std::string(prefix) + std::to_string(i + 1);
+    Result<VisualQuerySpec> spec =
+        workload.SimilarityQuery(sizes[i], mutations[i], name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "query %s failed: %s\n", name.c_str(),
+                   spec.status().ToString().c_str());
+      std::abort();
+    }
+    out.push_back(std::move(*spec));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VisualQuerySpec> BestCaseSimilarityQuery(const Workbench& bench,
+                                                size_t edges,
+                                                const std::string& name) {
+  // Label pairs that occur on any data edge.
+  std::set<std::pair<Label, Label>> present;
+  for (const Graph& g : bench.db.graphs()) {
+    for (const Edge& e : g.edges()) {
+      Label a = g.NodeLabel(e.u);
+      Label b = g.NodeLabel(e.v);
+      present.emplace(std::min(a, b), std::max(a, b));
+    }
+  }
+  // Frequent fragments of exactly edges-1 edges, weakest support first:
+  // a barely-frequent fragment plus one rare edge is the likeliest to have
+  // zero exact matches while keeping its (|q|-1)-level subgraph frequent —
+  // which is what routes the fragment's whole FSG set into Rfree.
+  std::vector<const MinedFragment*> hosts;
+  for (const MinedFragment& f : bench.mined.frequent) {
+    if (f.size() == edges - 1) hosts.push_back(&f);
+  }
+  if (hosts.empty()) {
+    return Status::NotFound("no frequent fragment of size " +
+                            std::to_string(edges - 1));
+  }
+  std::sort(hosts.begin(), hosts.end(),
+            [](const MinedFragment* a, const MinedFragment* b) {
+              return a->support() < b->support();
+            });
+
+  size_t label_count = bench.db.labels().size();
+  int scans_left = 200;  // cap on full-database VF2 scans
+  auto try_build = [&](const MinedFragment& host, NodeId anchor,
+                       Label lb) -> std::optional<VisualQuerySpec> {
+    Label la = host.graph.NodeLabel(anchor);
+    bool absent = !present.contains({std::min(la, lb), std::max(la, lb)});
+    GraphBuilder b(host.graph);
+    NodeId fresh = b.AddNode(lb);
+    if (!b.AddEdge(anchor, fresh).ok()) return std::nullopt;
+    VisualQuerySpec spec;
+    spec.name = name;
+    spec.graph = std::move(b).Build();
+    if (!absent) {
+      if (scans_left-- <= 0) return std::nullopt;
+      for (const Graph& g : bench.db.graphs()) {
+        if (IsSubgraphIsomorphic(spec.graph, g)) return std::nullopt;
+      }
+    }
+    spec.sequence = DefaultFormulationSequence(spec.graph);
+    return spec;
+  };
+  for (const MinedFragment* host : hosts) {
+    for (NodeId anchor = 0; anchor < host->graph.NodeCount(); ++anchor) {
+      // Rarest labels have the highest ids under both generators' skew.
+      for (Label lb = static_cast<Label>(label_count); lb-- > 0;) {
+        std::optional<VisualQuerySpec> spec = try_build(*host, anchor, lb);
+        if (spec) return std::move(*spec);
+        if (scans_left <= 0) break;
+      }
+      if (scans_left <= 0) break;
+    }
+    if (scans_left <= 0) break;
+  }
+  return Status::NotFound("could not attach a no-match edge");
+}
+
+std::vector<VisualQuerySpec> AidsQueries(const Workbench& bench) {
+  // Q1: best case — frequent fragment + absent edge (Rver = ∅);
+  // Q2-Q4: label mutations → NIF-heavy, worst-case flavour.
+  std::vector<VisualQuerySpec> out =
+      SimilarityQuerySet(bench, {2, 2, 3}, {7, 8, 8}, "Q", 71);
+  Result<VisualQuerySpec> best = BestCaseSimilarityQuery(bench, 7, "Q1");
+  if (best.ok()) {
+    out.insert(out.begin(), std::move(*best));
+  } else {
+    // Fall back to a mutation query so the set always has four entries.
+    out.insert(out.begin(),
+               SimilarityQuerySet(bench, {1}, {7}, "Q", 81).front());
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].name = "Q" + std::to_string(i + 1);
+  }
+  return out;
+}
+
+std::vector<VisualQuerySpec> SyntheticQueries(const Workbench& bench) {
+  std::vector<VisualQuerySpec> out =
+      SimilarityQuerySet(bench, {2, 2, 3}, {7, 7, 8}, "Q", 72);
+  Result<VisualQuerySpec> best = BestCaseSimilarityQuery(bench, 6, "Q5");
+  if (best.ok()) {
+    out.insert(out.begin(), std::move(*best));
+  } else {
+    out.insert(out.begin(),
+               SimilarityQuerySet(bench, {1}, {6}, "Q", 82).front());
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].name = "Q" + std::to_string(i + 5);
+  }
+  return out;
+}
+
+std::vector<VisualQuerySpec> ContainmentQueries(const Workbench& bench) {
+  WorkloadGenerator workload(&bench.db, 73);
+  std::vector<VisualQuerySpec> out;
+  for (int i = 0; i < 6; ++i) {
+    Result<VisualQuerySpec> spec = workload.ContainmentQuery(
+        4 + static_cast<size_t>(i), "Q" + std::to_string(i + 1));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "containment query failed: %s\n",
+                   spec.status().ToString().c_str());
+      std::abort();
+    }
+    out.push_back(std::move(*spec));
+  }
+  return out;
+}
+
+FormulatedQuery Formulate(const VisualQuerySpec& spec,
+                          const ActionAwareIndexes& indexes) {
+  FormulatedQuery out;
+  const Graph& q = spec.graph;
+  std::vector<NodeId> node_map(q.NodeCount(), kInvalidNode);
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = q.GetEdge(e);
+    for (NodeId n : {edge.u, edge.v}) {
+      if (node_map[n] == kInvalidNode) {
+        node_map[n] = out.query.AddNode(q.NodeLabel(n));
+      }
+    }
+    Result<FormulationId> ell =
+        out.query.AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
+    if (!ell.ok()) std::abort();
+    if (!out.spigs.AddForNewEdge(out.query, *ell, indexes).ok()) std::abort();
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]),
+                  c < row.size() ? row[c].c_str() : "");
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FmtMs(double seconds) { return Fmt(seconds * 1000, 3); }
+
+void Banner(const std::string& name, const std::string& detail) {
+  std::printf("== %s ==\n", name.c_str());
+  std::printf("scale=%.1fx (PRAGUE_BENCH_SCALE; 10 = paper scale)  %s\n\n",
+              Scale(), detail.c_str());
+}
+
+}  // namespace prague::bench

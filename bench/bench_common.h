@@ -1,0 +1,113 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Scaling: the paper ran on a 2012 desktop against AIDS (40K graphs) and
+// synthetic sets of 10K-80K. Defaults here are 1/10 of that so the whole
+// suite finishes in minutes; set PRAGUE_BENCH_SCALE=10 to run at full
+// paper scale. Every benchmark prints the scale it ran at. Reproduction
+// targets are the *shapes* — who wins, growth trends, crossovers — not
+// the absolute 2012 numbers.
+
+#ifndef PRAGUE_BENCH_BENCH_COMMON_H_
+#define PRAGUE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/distvp.h"
+#include "baselines/grafil.h"
+#include "baselines/sigma.h"
+#include "datasets/aids_generator.h"
+#include "datasets/query_workload.h"
+#include "datasets/synthetic_generator.h"
+#include "gui/session_simulator.h"
+#include "index/action_aware_index.h"
+#include "mining/gspan.h"
+
+namespace prague::bench {
+
+/// \brief PRAGUE_BENCH_SCALE env var (default 1.0). 10 = paper scale.
+double Scale();
+
+/// \brief One prepared dataset: graphs + mining result + indexes.
+struct Workbench {
+  GraphDatabase db;
+  MiningResult mined;
+  ActionAwareIndexes indexes;
+  double mining_seconds = 0;
+
+  /// Baseline engines share the mined fragments.
+  FeatureIndex BuildFeatureIndex(size_t max_feature_edges = 4) const {
+    FeatureIndexConfig config;
+    config.max_feature_edges = max_feature_edges;
+    return FeatureIndex::Build(mined.frequent, config);
+  }
+};
+
+/// \brief AIDS-like workbench. Paper settings: α = 0.1, β = 8; at our
+/// default 4K-graph scale β = 4 keeps fragment sizes sensible.
+Workbench BuildAidsWorkbench(size_t graph_count, double alpha = 0.1,
+                             size_t beta = 4);
+
+/// \brief Synthetic workbench (paper: α = 0.05, β = 4).
+Workbench BuildSyntheticWorkbench(size_t graph_count, double alpha = 0.05,
+                                  size_t beta = 4);
+
+/// \brief Default AIDS-like size (4000 × scale; paper: 40000).
+size_t AidsGraphCount();
+
+/// \brief The paper's synthetic sizes 10K-80K, scaled.
+std::vector<size_t> SyntheticSizes();
+
+/// \brief A "best case" similarity query (the paper's Q1/Q5 profile): a
+/// mined frequent fragment plus one edge whose label pair is absent from
+/// the database. Every high-level subgraph not touching the absent edge is
+/// frequent, so all candidates are verification-free (Rver = ∅).
+Result<VisualQuerySpec> BestCaseSimilarityQuery(const Workbench& bench,
+                                                size_t edges,
+                                                const std::string& name);
+
+/// \brief The Q1-Q4 analogues over an AIDS-like workbench: Q1 is the
+/// verification-free best case; Q2-Q4 are progressively more NIF-heavy
+/// (all candidates need verification — the paper's worst case).
+std::vector<VisualQuerySpec> AidsQueries(const Workbench& bench);
+
+/// \brief The Q5-Q8 analogues over a synthetic workbench.
+std::vector<VisualQuerySpec> SyntheticQueries(const Workbench& bench);
+
+/// \brief Six containment queries (the Q1-Q6 of [6], used by Fig 9(a)).
+std::vector<VisualQuerySpec> ContainmentQueries(const Workbench& bench);
+
+/// \brief A query formulated into PRAGUE state (for direct core-API
+/// benchmarks that sweep σ without re-formulating).
+struct FormulatedQuery {
+  VisualQuery query;
+  SpigSet spigs;
+};
+
+/// \brief Replays a spec through VisualQuery + SpigSet construction.
+FormulatedQuery Formulate(const VisualQuerySpec& spec,
+                          const ActionAwareIndexes& indexes);
+
+/// \brief Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief "%.2f"-style formatting helpers.
+std::string Fmt(double value, int decimals = 2);
+std::string FmtMs(double seconds);
+
+/// \brief Prints the standard benchmark banner (name, scale, sizes).
+void Banner(const std::string& name, const std::string& detail);
+
+}  // namespace prague::bench
+
+#endif  // PRAGUE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,34 @@
+// Figure 10(a) reproduction: index size (MB) vs synthetic dataset size.
+//
+// Paper shape: PRG's index grows slowly with |D| and stays below SG/GR on
+// every synthetic dataset (α = 0.05, β = 4).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/bytes.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+int main() {
+  Banner("Figure 10(a): index size (MB) vs synthetic dataset size",
+         "alpha=0.05, beta=4");
+  TablePrinter table({"|D|", "PRG (MB)", "SG/GR (MB)", "frequent", "DIFs"});
+  for (size_t n : SyntheticSizes()) {
+    Workbench bench = BuildSyntheticWorkbench(n);
+    FeatureIndex features = bench.BuildFeatureIndex(4);
+    table.AddRow({std::to_string(n),
+                  Fmt(ToMegabytes(bench.indexes.StorageBytes())),
+                  Fmt(ToMegabytes(features.StorageBytes())),
+                  std::to_string(bench.mined.frequent.size()),
+                  std::to_string(bench.mined.difs.size())});
+    std::fprintf(stderr, "|D|=%zu done (mining %.1fs)\n", n,
+                 bench.mining_seconds);
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape check: PRG index grows slowly and undercuts SG/GR "
+      "across sizes.\n");
+  return 0;
+}

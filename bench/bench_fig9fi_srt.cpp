@@ -1,0 +1,61 @@
+// Figures 9(f)-(i) reproduction: similarity-query SRT (s) vs σ for Q1-Q4.
+//
+// PRG's SRT = residual work after Run (its candidates were maintained
+// under GUI latency); GR/SG/DVP pay filter + verify entirely after Run.
+// Paper shape: PRG below GR/SG at larger σ and growing gracefully; GR/SG
+// may edge out PRG on worst-case queries at σ ∈ {1,2}; DVP shown for Q1
+// only (the paper's DVP binary returned empty results elsewhere).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+int main() {
+  Banner("Figures 9(f)-(i): similarity SRT (s) vs sigma (Q1-Q4)",
+         "AIDS-like dataset; 2s GUI latency per edge for PRG");
+  Workbench bench = BuildAidsWorkbench(AidsGraphCount());
+  std::vector<VisualQuerySpec> queries = AidsQueries(bench);
+  FeatureIndex features = bench.BuildFeatureIndex(4);
+  GrafilLikeEngine gr(&features, &bench.db);
+  SigmaLikeEngine sg(&features, &bench.db);
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const VisualQuerySpec& spec = queries[qi];
+    std::printf("--- %s (|q|=%zu) ---\n", spec.name.c_str(),
+                spec.graph.EdgeCount());
+    TablePrinter table({"sigma", "PRG (s)", "SG (s)", "GR (s)", "DVP (s)"});
+    for (int sigma = 1; sigma <= 4; ++sigma) {
+      SimulationConfig config;
+      config.prague.sigma = sigma;
+      SessionSimulator simulator(&bench.db, &bench.indexes, config);
+      Result<SimulationResult> prg = simulator.RunPrague(spec);
+      if (!prg.ok()) {
+        std::fprintf(stderr, "PRG failed: %s\n",
+                     prg.status().ToString().c_str());
+        return 1;
+      }
+      SimilaritySearchOutcome sg_out =
+          sg.Evaluate(spec.graph, sigma, bench.db);
+      SimilaritySearchOutcome gr_out =
+          gr.Evaluate(spec.graph, sigma, bench.db);
+      std::string dvp_cell = "-";
+      if (qi == 0) {  // paper reports DVP on Q1 only
+        DistVpLikeEngine dvp(bench.mined.frequent, &bench.db, sigma);
+        dvp_cell = Fmt(dvp.Evaluate(spec.graph, sigma, bench.db).srt_seconds,
+                       3);
+      }
+      table.AddRow({std::to_string(sigma), Fmt(prg->srt_seconds, 3),
+                    Fmt(sg_out.srt_seconds, 3), Fmt(gr_out.srt_seconds, 3),
+                    dvp_cell});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape check: PRG grows gracefully with sigma and undercuts "
+      "GR/SG at sigma>=3; traditional engines pay everything after Run.\n");
+  return 0;
+}

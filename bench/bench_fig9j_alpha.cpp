@@ -1,0 +1,49 @@
+// Figure 9(j) reproduction: effect of the minimum support threshold α on
+// PRAGUE's similarity SRT (Q1-Q4, σ=3).
+//
+// Paper shape: SRTs fluctuate in a small range across α ∈ [0.05, 0.2] —
+// α shifts fragments between A2F and A2I (and candidates between Rfree
+// and Rver) but PRAGUE's overall cost is robust to it.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+int main() {
+  Banner("Figure 9(j): effect of alpha on PRG similarity SRT (s)",
+         "AIDS-like dataset, sigma=3, queries Q1-Q4");
+  const double alphas[] = {0.05, 0.10, 0.15, 0.20};
+
+  // Queries are generated against the dataset only (not the indexes), so
+  // build them once from the first workbench's database.
+  std::vector<VisualQuerySpec> queries;
+  TablePrinter table({"alpha", "Q1 (s)", "Q2 (s)", "Q3 (s)", "Q4 (s)"});
+  for (double alpha : alphas) {
+    Workbench bench = BuildAidsWorkbench(AidsGraphCount(), alpha);
+    if (queries.empty()) queries = AidsQueries(bench);
+    std::vector<std::string> row = {Fmt(alpha, 2)};
+    SimulationConfig config;
+    config.prague.sigma = 3;
+    SessionSimulator simulator(&bench.db, &bench.indexes, config);
+    for (const VisualQuerySpec& spec : queries) {
+      Result<SimulationResult> result = simulator.RunPrague(spec);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(Fmt(result->srt_seconds, 3));
+    }
+    table.AddRow(std::move(row));
+    std::fprintf(stderr, "alpha=%.2f done (mining %.1fs)\n", alpha,
+                 bench.mining_seconds);
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape check: SRT fluctuates within a small band across "
+      "alpha.\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: VF2,
+// canonical codes, connected-subset enumeration, MCCS, SPIG construction,
+// candidate generation, and IdSet algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/candidates.h"
+#include "graph/cam_code.h"
+#include "graph/canonical.h"
+#include "graph/mccs.h"
+#include "graph/verifier.h"
+#include "graph/vf2.h"
+#include "index/df_store.h"
+#include "index/index_maintenance.h"
+#include "util/thread_pool.h"
+#include "util/rng.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+namespace {
+
+// One shared small workbench for the session-level micro-benchmarks.
+const Workbench& SmallBench() {
+  static Workbench* bench =
+      new Workbench(BuildAidsWorkbench(500, 0.1, 4));
+  return *bench;
+}
+
+const std::vector<VisualQuerySpec>& MicroQueries() {
+  static auto* queries = [] {
+    WorkloadGenerator workload(&SmallBench().db, 5);
+    auto* out = new std::vector<VisualQuerySpec>();
+    Result<VisualQuerySpec> a = workload.ContainmentQuery(7, "micro-c");
+    Result<VisualQuerySpec> b = workload.SimilarityQuery(7, 2, "micro-s");
+    if (!a.ok() || !b.ok()) std::abort();
+    out->push_back(std::move(*a));
+    out->push_back(std::move(*b));
+    return out;
+  }();
+  return *queries;
+}
+
+void BM_Vf2Exists(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const Graph& pattern = MicroQueries()[0].graph;
+  size_t gid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsSubgraphIsomorphic(pattern, bench.db.graph(gid)));
+    gid = (gid + 1) % bench.db.size();
+  }
+}
+BENCHMARK(BM_Vf2Exists);
+
+void BM_MinimumDfsCode(benchmark::State& state) {
+  const Graph& q = MicroQueries()[0].graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimumDfsCode(q));
+  }
+}
+BENCHMARK(BM_MinimumDfsCode);
+
+void BM_CamCode(benchmark::State& state) {
+  const Graph& q = MicroQueries()[0].graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CamCode(q));
+  }
+}
+BENCHMARK(BM_CamCode);
+
+void BM_ConnectedSubsets(benchmark::State& state) {
+  const Graph& q = MicroQueries()[0].graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConnectedEdgeSubsetsBySize(q));
+  }
+}
+BENCHMARK(BM_ConnectedSubsets);
+
+void BM_Mccs(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const Graph& q = MicroQueries()[1].graph;
+  size_t gid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMccs(q, bench.db.graph(gid)));
+    gid = (gid + 1) % bench.db.size();
+  }
+}
+BENCHMARK(BM_Mccs);
+
+void BM_SpigSetConstruction(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const VisualQuerySpec& spec = MicroQueries()[0];
+  for (auto _ : state) {
+    FormulatedQuery built = Formulate(spec, bench.indexes);
+    benchmark::DoNotOptimize(built.spigs.TotalVertexCount());
+  }
+}
+BENCHMARK(BM_SpigSetConstruction);
+
+void BM_ExactCandidates(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  FormulatedQuery built = Formulate(MicroQueries()[0], bench.indexes);
+  const SpigVertex* target = built.spigs.FindVertex(built.query.FullMask());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSubCandidates(*target, bench.indexes));
+  }
+}
+BENCHMARK(BM_ExactCandidates);
+
+void BM_SimilarCandidates(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  FormulatedQuery built = Formulate(MicroQueries()[1], bench.indexes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarSubCandidates(
+        built.spigs, built.query.EdgeCount(), 3, bench.indexes));
+  }
+}
+BENCHMARK(BM_SimilarCandidates);
+
+void BM_IdSetIntersect(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<GraphId> a_ids, b_ids;
+  for (int i = 0; i < 10000; ++i) {
+    a_ids.push_back(static_cast<GraphId>(rng.Below(40000)));
+    b_ids.push_back(static_cast<GraphId>(rng.Below(40000)));
+  }
+  IdSet a(std::move(a_ids)), b(std::move(b_ids));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+}
+BENCHMARK(BM_IdSetIntersect);
+
+void BM_PlainVerifier(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const Graph& pattern = MicroQueries()[1].graph;
+  PlainVerifier verifier;
+  size_t gid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Matches(pattern, bench.db.graph(gid)));
+    gid = (gid + 1) % bench.db.size();
+  }
+}
+BENCHMARK(BM_PlainVerifier);
+
+void BM_FilteringVerifier(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const Graph& pattern = MicroQueries()[1].graph;
+  FilteringVerifier verifier;
+  size_t gid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Matches(pattern, bench.db.graph(gid)));
+    gid = (gid + 1) % bench.db.size();
+  }
+}
+BENCHMARK(BM_FilteringVerifier);
+
+void BM_IncrementalAppend(benchmark::State& state) {
+  const Workbench& base = SmallBench();
+  AidsGeneratorConfig gen;
+  gen.graph_count = 1;
+  gen.seed = 999;
+  Graph extra = GenerateAidsLikeDatabase(gen).graph(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db = base.db;           // fresh copies each round
+    ActionAwareIndexes indexes = base.indexes;
+    state.ResumeTiming();
+    Result<MaintenanceReport> report =
+        AppendGraphs(&db, {extra}, &indexes, 0.1);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_IncrementalAppend);
+
+void BM_DfStoreColdLookup(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  static const std::string path = "/tmp/prague_bench_micro.dfs";
+  Result<DfStore> store = DfStore::Create(bench.indexes.a2f, path);
+  if (!store.ok()) {
+    state.SkipWithError("store create failed");
+    return;
+  }
+  std::vector<A2fId> df_ids;
+  for (A2fId id = 0; id < bench.indexes.a2f.VertexCount(); ++id) {
+    if (!bench.indexes.a2f.vertex(id).in_mf) df_ids.push_back(id);
+  }
+  if (df_ids.empty()) {
+    state.SkipWithError("no DF vertices at this scale");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    store->DropCache();  // force a disk read
+    benchmark::DoNotOptimize(store->FsgIds(df_ids[i]));
+    i = (i + 1) % df_ids.size();
+  }
+}
+BENCHMARK(BM_DfStoreColdLookup);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(4);
+  std::vector<double> data(100000, 1.0);
+  for (auto _ : state) {
+    pool.ParallelFor(data.size(), 1024, [&](size_t begin, size_t end) {
+      double acc = 0;
+      for (size_t i = begin; i < end; ++i) acc += data[i];
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+}
+BENCHMARK(BM_ThreadPoolParallelFor);
+
+void BM_MineTinyDatabase(benchmark::State& state) {
+  AidsGeneratorConfig gen;
+  gen.graph_count = 100;
+  GraphDatabase db = GenerateAidsLikeDatabase(gen);
+  MiningConfig mining;
+  mining.min_support_ratio = 0.1;
+  mining.max_fragment_edges = 6;
+  for (auto _ : state) {
+    Result<MiningResult> mined = MineFragments(db, mining);
+    benchmark::DoNotOptimize(mined.ok());
+  }
+}
+BENCHMARK(BM_MineTinyDatabase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

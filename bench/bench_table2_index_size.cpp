@@ -1,0 +1,40 @@
+// Table II reproduction: index size comparison (MB).
+//
+// Paper (AIDS 40K, α=0.1): DVP grows steeply with σ (179.5 → 918.7 MB for
+// σ=1..4); PRG sits at 36.1 MB; SG/GR share the smallest index (11.1 MB).
+// Expected shape at any scale: size(SG/GR) < size(PRG) < size(DVP@σ=1),
+// and DVP grows monotonically with σ.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/bytes.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+int main() {
+  Banner("Table II: index size comparison (MB)",
+         "AIDS-like dataset, alpha=0.1");
+  Workbench bench = BuildAidsWorkbench(AidsGraphCount());
+  std::printf("dataset: %zu graphs; mining took %.1fs (%zu frequent, %zu "
+              "DIFs)\n\n",
+              bench.db.size(), bench.mining_seconds,
+              bench.mined.frequent.size(), bench.mined.difs.size());
+
+  FeatureIndex features = bench.BuildFeatureIndex(4);
+
+  TablePrinter table({"sigma", "DVP", "PRG", "SG/GR"});
+  for (int sigma = 1; sigma <= 4; ++sigma) {
+    DistVpLikeEngine dvp(bench.mined.frequent, &bench.db, sigma);
+    table.AddRow({std::to_string(sigma),
+                  Fmt(ToMegabytes(dvp.IndexBytes())),
+                  Fmt(ToMegabytes(bench.indexes.StorageBytes())),
+                  Fmt(ToMegabytes(features.StorageBytes()))});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape check: SG/GR smallest, PRG moderate and "
+      "sigma-independent, DVP largest and growing with sigma.\n");
+  return 0;
+}

@@ -1,0 +1,286 @@
+// Interactive session: a line-oriented stand-in for the paper's visual
+// interface (Figure 2). Each command is one GUI action; the engine works
+// after every action, exactly as PRAGUE does during GUI latency.
+//
+// Commands (one per line, '#' comments ignored):
+//   load <path>          load a database in gSpan text format
+//   gen aids|synth <n>   generate a database instead
+//   index [alpha] [beta] mine + build action-aware indexes
+//   node <label>         drop a node (prints its id)
+//   edge <u> <v>         draw an edge between node ids
+//   pattern <expr>       draw a whole textual pattern, e.g.
+//                        pattern (a:C)-(b:C), (b)-(c:S)
+//   delete <ell>         delete edge e<ell>
+//   suggest              ask for a modification suggestion
+//   sim                  opt into similarity search (SimQuery)
+//   sigma <k>            set the subgraph distance threshold
+//   status               print the engine state
+//   run                  execute the query (prints SRT + results)
+//   reset                start a new query over the same database
+//   quit
+//
+// Try:  printf 'gen aids 500\nindex\nnode C\nnode C\nnode C\nedge 0 1\n
+//        edge 1 2\nedge 0 2\nstatus\nrun\nquit\n' | ./interactive_session
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/prague_session.h"
+#include "datasets/aids_generator.h"
+#include "datasets/synthetic_generator.h"
+#include "graph/graph_io.h"
+#include "index/action_aware_index.h"
+#include "query/pattern_parser.h"
+#include "util/bytes.h"
+
+using namespace prague;
+
+namespace {
+
+const char* StatusName(FragmentStatus status) {
+  switch (status) {
+    case FragmentStatus::kFrequent:
+      return "frequent";
+    case FragmentStatus::kInfrequent:
+      return "infrequent";
+    case FragmentStatus::kNoExactMatch:
+      return "similar";
+  }
+  return "?";
+}
+
+struct Repl {
+  GraphDatabase db;
+  std::unique_ptr<ActionAwareIndexes> indexes;
+  std::unique_ptr<PragueSession> session;
+  PragueConfig config;
+
+  bool EnsureSession() {
+    if (!indexes) {
+      std::cout << "! run 'index' first\n";
+      return false;
+    }
+    if (!session) {
+      session = std::make_unique<PragueSession>(&db, indexes.get(), config);
+    }
+    return true;
+  }
+
+  void PrintReport(const StepReport& r) {
+    std::cout << "  status=" << StatusName(r.status)
+              << " |Rq|=" << r.exact_candidates;
+    if (r.similarity_mode) {
+      std::cout << " Rfree=" << r.free_candidates
+                << " Rver=" << r.ver_candidates;
+    }
+    std::cout << " (engine " << (r.spig_seconds + r.candidate_seconds) * 1000
+              << " ms)\n";
+  }
+
+  bool Handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+
+    if (cmd == "load") {
+      std::string path;
+      in >> path;
+      Result<GraphDatabase> loaded = ReadDatabaseFromFile(path);
+      if (!loaded.ok()) {
+        std::cout << "! " << loaded.status().ToString() << "\n";
+        return true;
+      }
+      db = std::move(*loaded);
+      indexes.reset();
+      session.reset();
+      std::cout << "loaded " << db.size() << " graphs\n";
+    } else if (cmd == "gen") {
+      std::string kind;
+      size_t n = 1000;
+      in >> kind >> n;
+      if (kind == "synth") {
+        SyntheticGeneratorConfig gen;
+        gen.graph_count = n;
+        db = GenerateSyntheticDatabase(gen);
+      } else {
+        AidsGeneratorConfig gen;
+        gen.graph_count = n;
+        db = GenerateAidsLikeDatabase(gen);
+      }
+      indexes.reset();
+      session.reset();
+      std::cout << "generated " << db.size() << " graphs; labels:";
+      for (const std::string& name : db.labels().SortedNames()) {
+        std::cout << " " << name;
+      }
+      std::cout << "\n";
+    } else if (cmd == "index") {
+      if (db.empty()) {
+        std::cout << "! no database loaded\n";
+        return true;
+      }
+      MiningConfig mining;
+      A2fConfig a2f;
+      double alpha = 0.1;
+      size_t beta = 4;
+      in >> alpha >> beta;
+      mining.min_support_ratio = alpha;
+      mining.max_fragment_edges = 8;
+      a2f.beta = beta;
+      Result<ActionAwareIndexes> built =
+          BuildActionAwareIndexes(db, mining, a2f);
+      if (!built.ok()) {
+        std::cout << "! " << built.status().ToString() << "\n";
+        return true;
+      }
+      indexes = std::make_unique<ActionAwareIndexes>(std::move(*built));
+      session.reset();
+      std::cout << "A2F: " << indexes->a2f.VertexCount()
+                << " fragments, A2I: " << indexes->a2i.EntryCount()
+                << " DIFs, size " << HumanBytes(indexes->StorageBytes())
+                << "\n";
+    } else if (cmd == "node") {
+      if (!EnsureSession()) return true;
+      std::string label;
+      in >> label;
+      Result<NodeId> id = session->AddNodeByName(label);
+      if (!id.ok()) {
+        std::cout << "! " << id.status().ToString() << "\n";
+      } else {
+        std::cout << "node " << *id << " (" << label << ")\n";
+      }
+    } else if (cmd == "edge") {
+      if (!EnsureSession()) return true;
+      NodeId u, v;
+      if (!(in >> u >> v)) {
+        std::cout << "! usage: edge <u> <v>\n";
+        return true;
+      }
+      Result<StepReport> report = session->AddEdge(u, v);
+      if (!report.ok()) {
+        std::cout << "! " << report.status().ToString() << "\n";
+      } else {
+        std::cout << "e" << report->edge << " drawn\n";
+        PrintReport(*report);
+      }
+    } else if (cmd == "pattern") {
+      if (!EnsureSession()) return true;
+      std::string rest;
+      std::getline(in, rest);
+      Result<ParsedPattern> p = ParsePatternStrict(rest, db.labels());
+      if (!p.ok()) {
+        std::cout << "! " << p.status().ToString() << "\n";
+        return true;
+      }
+      std::vector<NodeId> ids;
+      for (NodeId n = 0; n < p->graph.NodeCount(); ++n) {
+        ids.push_back(session->AddNode(p->graph.NodeLabel(n)));
+      }
+      for (EdgeId e : p->sequence) {
+        const Edge& edge = p->graph.GetEdge(e);
+        Result<StepReport> report =
+            session->AddEdge(ids[edge.u], ids[edge.v], edge.label);
+        if (!report.ok()) {
+          std::cout << "! " << report.status().ToString() << "\n";
+          return true;
+        }
+        std::cout << "e" << report->edge << " drawn\n";
+        PrintReport(*report);
+      }
+    } else if (cmd == "delete") {
+      if (!EnsureSession()) return true;
+      int ell;
+      if (!(in >> ell)) {
+        std::cout << "! usage: delete <ell>\n";
+        return true;
+      }
+      Result<StepReport> report = session->DeleteEdge(ell);
+      if (!report.ok()) {
+        std::cout << "! " << report.status().ToString() << "\n";
+      } else {
+        std::cout << "e" << ell << " deleted\n";
+        PrintReport(*report);
+      }
+    } else if (cmd == "suggest") {
+      if (!EnsureSession()) return true;
+      auto suggestion = session->SuggestDeletion();
+      if (!suggestion) {
+        std::cout << "no helpful deletion found\n";
+      } else {
+        std::cout << "suggest deleting e" << suggestion->edge << " -> "
+                  << suggestion->candidates.size() << " candidates\n";
+      }
+    } else if (cmd == "sim") {
+      if (!EnsureSession()) return true;
+      Result<StepReport> report = session->EnableSimilarity();
+      if (!report.ok()) {
+        std::cout << "! " << report.status().ToString() << "\n";
+      } else {
+        PrintReport(*report);
+      }
+    } else if (cmd == "sigma") {
+      int k;
+      if (in >> k) config.sigma = k;
+      if (session) std::cout << "(applies to the next 'reset')\n";
+    } else if (cmd == "status") {
+      if (!EnsureSession()) return true;
+      std::cout << "|q|=" << session->query().EdgeCount()
+                << " simFlag=" << (session->similarity_mode() ? "on" : "off")
+                << " |Rq|=" << session->exact_candidates().size()
+                << " SPIG vertices=" << session->spigs().TotalVertexCount()
+                << "\n";
+    } else if (cmd == "run") {
+      if (!EnsureSession()) return true;
+      RunStats stats;
+      Result<QueryResults> results = session->Run(&stats);
+      if (!results.ok()) {
+        std::cout << "! " << results.status().ToString() << "\n";
+        return true;
+      }
+      std::cout << "SRT " << stats.srt_seconds * 1000 << " ms\n";
+      if (!results->similarity) {
+        std::cout << results->exact.size() << " exact matches:";
+        size_t shown = 0;
+        for (GraphId gid : results->exact) {
+          if (++shown > 20) {
+            std::cout << " ...";
+            break;
+          }
+          std::cout << " g" << gid;
+        }
+        std::cout << "\n";
+      } else {
+        std::cout << results->similar.size() << " approximate matches:\n";
+        size_t shown = 0;
+        for (const SimilarMatch& m : results->similar) {
+          if (++shown > 20) {
+            std::cout << "  ...\n";
+            break;
+          }
+          std::cout << "  g" << m.gid << " distance=" << m.distance << "\n";
+        }
+      }
+    } else if (cmd == "reset") {
+      session.reset();
+      std::cout << "new query canvas\n";
+    } else {
+      std::cout << "! unknown command: " << cmd << "\n";
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Repl repl;
+  std::string line;
+  std::cout << "PRAGUE interactive session. Type commands ('quit' to exit).\n";
+  while (std::getline(std::cin, line)) {
+    if (!repl.Handle(line)) break;
+  }
+  return 0;
+}

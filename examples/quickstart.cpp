@@ -1,0 +1,167 @@
+// Quickstart: the full PRAGUE lifecycle on a small inline database.
+//
+//  1. Build a graph database (six little molecules).
+//  2. Mine frequent fragments + DIFs and build the action-aware indexes
+//     (the offline step).
+//  3. Formulate a visual query edge-at-a-time through PragueSession,
+//     watching the Status column evolve exactly like Figure 3 of the
+//     paper.
+//  4. Press Run and print the results.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/explain.h"
+#include "core/prague_session.h"
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+
+using namespace prague;
+
+namespace {
+
+// C-labelled helpers for a readable main().
+GraphDatabase BuildDatabase() {
+  GraphDatabase db;
+  Label C = db.mutable_labels()->Intern("C");
+  Label S = db.mutable_labels()->Intern("S");
+  Label O = db.mutable_labels()->Intern("O");
+  Label N = db.mutable_labels()->Intern("N");
+  auto add = [&db](const std::vector<Label>& labels,
+                   const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    GraphBuilder b;
+    for (Label l : labels) b.AddNode(l);
+    for (auto [u, v] : edges) {
+      if (!b.AddEdge(u, v).ok()) std::abort();
+    }
+    db.Add(std::move(b).Build());
+  };
+  add({C, C, C, S}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});  // g0 triangle+S
+  add({C, S, C, C}, {{0, 1}, {1, 2}, {2, 3}});          // g1 path
+  add({C, S, O, C}, {{0, 1}, {0, 2}, {0, 3}});          // g2 star
+  add({C, C, S, C}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});  // g3 square
+  add({C, C, N}, {{0, 1}, {1, 2}});                     // g4 path with N
+  add({C, S, C, O}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});  // g5 triangle+O
+  return db;
+}
+
+const char* StatusName(FragmentStatus status) {
+  switch (status) {
+    case FragmentStatus::kFrequent:
+      return "frequent";
+    case FragmentStatus::kInfrequent:
+      return "infrequent";
+    case FragmentStatus::kNoExactMatch:
+      return "similar (no exact match)";
+  }
+  return "?";
+}
+
+void PrintStep(const char* action, const StepReport& report) {
+  std::printf("  %-18s status=%-26s |Rq|=%zu", action,
+              StatusName(report.status), report.exact_candidates);
+  if (report.similarity_mode) {
+    std::printf("  Rfree=%zu Rver=%zu", report.free_candidates,
+                report.ver_candidates);
+  }
+  std::printf("  (spig %.2fms, candidates %.2fms)\n",
+              report.spig_seconds * 1000, report.candidate_seconds * 1000);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== PRAGUE quickstart ==\n\n");
+
+  // --- Offline: mine and index. -------------------------------------
+  GraphDatabase db = BuildDatabase();
+  std::printf("database: %zu graphs, labels:", db.size());
+  for (const std::string& name : db.labels().SortedNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  MiningConfig mining;
+  mining.min_support_ratio = 0.34;  // frequent = appears in >= 3 graphs
+  A2fConfig a2f;
+  a2f.beta = 2;
+  Result<ActionAwareIndexes> indexes = BuildActionAwareIndexes(db, mining, a2f);
+  if (!indexes.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 indexes.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "indexes: %zu frequent fragments (A2F), %zu DIFs (A2I), %zu bytes\n\n",
+      indexes->a2f.VertexCount(), indexes->a2i.EntryCount(),
+      indexes->StorageBytes());
+
+  // --- Online: formulate a query edge-at-a-time. ---------------------
+  // The user draws a C-C-C triangle with an S pendant: exactly g0.
+  PragueSession session(&db, &indexes.value());
+  NodeId c1 = *session.AddNodeByName("C");
+  NodeId c2 = *session.AddNodeByName("C");
+  NodeId c3 = *session.AddNodeByName("C");
+  NodeId s = *session.AddNodeByName("S");
+
+  std::printf("formulating query (each step runs during GUI latency):\n");
+  PrintStep("e1: C-C", *session.AddEdge(c1, c2));
+  PrintStep("e2: C-C", *session.AddEdge(c2, c3));
+  PrintStep("e3: C-C (close)", *session.AddEdge(c1, c3));
+  PrintStep("e4: C-S", *session.AddEdge(c1, s));
+
+  RunStats stats;
+  Result<QueryResults> results = session.Run(&stats);
+  if (!results.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nRun pressed: SRT = %.3f ms (only the residual work!)\n",
+              stats.srt_seconds * 1000);
+  std::printf("exact matches:");
+  for (GraphId gid : results->exact) std::printf(" g%u", gid);
+  std::printf("\n\n");
+
+  // --- Now a query with NO exact match: PRAGUE switches to similarity.
+  PragueSession session2(&db, &indexes.value());
+  NodeId a = *session2.AddNodeByName("C");
+  NodeId b = *session2.AddNodeByName("C");
+  NodeId c = *session2.AddNodeByName("C");
+  NodeId n = *session2.AddNodeByName("N");
+  std::printf("second query: triangle with an N pendant (no exact match):\n");
+  PrintStep("e1: C-C", *session2.AddEdge(a, b));
+  PrintStep("e2: C-C", *session2.AddEdge(b, c));
+  PrintStep("e3: C-C (close)", *session2.AddEdge(a, c));
+  PrintStep("e4: C-N", *session2.AddEdge(a, n));
+
+  if (auto suggestion = session2.SuggestDeletion()) {
+    std::printf("  suggestion: delete e%d to regain %zu exact candidates\n",
+                suggestion->edge, suggestion->candidates.size());
+  }
+
+  RunStats stats2;
+  Result<QueryResults> results2 = session2.Run(&stats2);
+  if (!results2.ok()) return 1;
+  std::printf("\nsimilarity results (sigma=%d), ranked by missing edges:\n",
+              session2.sigma());
+  for (const SimilarMatch& m : results2->similar) {
+    std::printf("  g%u  distance=%d  %s\n", m.gid, m.distance,
+                m.verified ? "(verified)" : "(verification-free)");
+  }
+  std::printf("SRT = %.3f ms\n", stats2.srt_seconds * 1000);
+
+  // Explain the best match the way the GUI would highlight it: which
+  // query edges are covered by the MCCS, and which are missing.
+  if (!results2->similar.empty()) {
+    const Graph& q2 = session2.query().CurrentGraph();
+    GraphId best = results2->similar.front().gid;
+    Result<MatchExplanation> why = ExplainMatch(q2, db.graph(best));
+    if (why.ok()) {
+      std::printf("\nwhy g%u matches:\n%s", best,
+                  ExplanationToString(*why, q2, db.labels()).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "baselines/distvp.h"
+
+#include <algorithm>
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+DistVpLikeEngine::DistVpLikeEngine(const std::vector<MinedFragment>& frequent,
+                                   const GraphDatabase* db, int sigma,
+                                   size_t base_feature_edges)
+    : db_(db), sigma_(sigma) {
+  FeatureIndexConfig config;
+  config.max_feature_edges = base_feature_edges + static_cast<size_t>(sigma);
+  index_ = FeatureIndex::Build(frequent, config);
+
+  // σ'-relaxed posting lists: for each indexed feature f and σ' = 1..σ,
+  // the union of FSG ids over every connected (|f|−σ')-edge subgraph of f
+  // (all frequent by anti-monotonicity, hence indexed). Stored
+  // uncompressed — the per-σ weight that dominates the real DistVP index.
+  relaxed_.resize(index_.FeatureCount());
+  for (const MinedFragment& frag : frequent) {
+    if (frag.size() > config.max_feature_edges) continue;
+    std::optional<uint32_t> fid = index_.Lookup(frag.code);
+    if (!fid) continue;
+    std::vector<IdSet>& lists = relaxed_[*fid];
+    std::vector<std::vector<EdgeMask>> by_size =
+        ConnectedEdgeSubsetsBySize(frag.graph);
+    for (int s = 1; s <= sigma; ++s) {
+      if (frag.size() <= static_cast<size_t>(s)) break;
+      size_t level = frag.size() - static_cast<size_t>(s);
+      IdSet relaxed;
+      for (EdgeMask mask : by_size[level]) {
+        Graph sub = ExtractEdgeSubgraph(frag.graph, mask).graph;
+        std::optional<uint32_t> sub_id = index_.Lookup(GetCanonicalCode(sub));
+        if (sub_id) relaxed.UnionWith(index_.FsgIds(*sub_id));
+      }
+      lists.push_back(std::move(relaxed));
+    }
+  }
+}
+
+size_t DistVpLikeEngine::RelaxedBytes() const {
+  size_t bytes = 0;
+  for (const std::vector<IdSet>& lists : relaxed_) {
+    for (const IdSet& ids : lists) bytes += ids.size() * sizeof(GraphId);
+  }
+  return bytes;
+}
+
+size_t DistVpLikeEngine::IndexBytes() const {
+  return index_.StorageBytes() + RelaxedBytes();
+}
+
+IdSet DistVpLikeEngine::Filter(const Graph& q, int sigma) const {
+  if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
+  size_t level = q.EdgeCount() - static_cast<size_t>(sigma);
+  QuerySubgraphCatalog catalog = QuerySubgraphCatalog::Build(q, q.EdgeCount());
+
+  IdSet out;
+  for (const QuerySubgraphCatalog::Entry& s : catalog.entries()) {
+    if (static_cast<size_t>(s.size) != level) continue;
+    // Intersect the FSG ids of every indexed feature inside s.
+    bool first = true;
+    IdSet x;
+    for (const QuerySubgraphCatalog::Entry& f : catalog.entries()) {
+      if ((f.mask & ~s.mask) != 0) continue;  // not a subset of s
+      std::optional<uint32_t> fid = index_.Lookup(f.code);
+      if (!fid) continue;
+      if (first) {
+        x = index_.FsgIds(*fid);
+        first = false;
+      } else {
+        x.IntersectWith(index_.FsgIds(*fid));
+      }
+      if (x.empty()) break;
+    }
+    if (first) x = db_->AllIds();  // s has no indexed feature at all
+    out.UnionWith(x);
+  }
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,61 @@
+#include "baselines/feature_index.h"
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+FeatureIndex FeatureIndex::Build(const std::vector<MinedFragment>& frequent,
+                                 const FeatureIndexConfig& config) {
+  FeatureIndex index;
+  index.max_feature_edges_ = config.max_feature_edges;
+  for (const MinedFragment& frag : frequent) {
+    if (frag.size() > config.max_feature_edges) continue;
+    uint32_t id = static_cast<uint32_t>(index.fsg_ids_.size());
+    index.by_code_.emplace(frag.code, id);
+    index.fsg_ids_.push_back(frag.fsg_ids);
+    // Fragments mined without counts (e.g. hand-built in tests) default
+    // to count 1 per containing graph.
+    if (frag.embedding_counts.size() == frag.fsg_ids.size()) {
+      index.counts_.push_back(frag.embedding_counts);
+    } else {
+      index.counts_.emplace_back(frag.fsg_ids.size(), 1);
+    }
+    index.code_bytes_ += frag.code.size();
+  }
+  return index;
+}
+
+std::optional<uint32_t> FeatureIndex::Lookup(const CanonicalCode& code) const {
+  auto it = by_code_.find(code);
+  if (it == by_code_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t FeatureIndex::StorageBytes() const {
+  size_t bytes = code_bytes_;
+  for (const IdSet& ids : fsg_ids_) bytes += ids.size() * sizeof(GraphId);
+  for (const auto& counts : counts_) {
+    bytes += counts.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+QuerySubgraphCatalog QuerySubgraphCatalog::Build(const Graph& q,
+                                                 size_t max_size) {
+  QuerySubgraphCatalog catalog;
+  std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
+  size_t cap = std::min(max_size, q.EdgeCount());
+  for (size_t k = 1; k <= cap; ++k) {
+    for (EdgeMask mask : by_size[k]) {
+      Entry entry;
+      entry.mask = mask;
+      entry.size = static_cast<int>(k);
+      entry.code =
+          GetCanonicalCode(ExtractEdgeSubgraph(q, mask).graph);
+      catalog.entries_.push_back(std::move(entry));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace prague

@@ -1,0 +1,86 @@
+// Feature index shared by the traditional-paradigm baselines.
+//
+// Grafil [12] and SIGMA [8] both filter with frequent-fragment features of
+// bounded size ("GR and SG use the same indexing scheme" — Section VIII);
+// DistVP [11] builds a σ-dependent variant. A feature is a frequent
+// fragment with ≤ max_feature_edges edges; each entry maps its canonical
+// code to the exact set of data graphs containing it.
+
+#ifndef PRAGUE_BASELINES_FEATURE_INDEX_H_
+#define PRAGUE_BASELINES_FEATURE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "graph/subgraph_ops.h"
+#include "mining/gspan.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// \brief Feature-index build parameters.
+struct FeatureIndexConfig {
+  /// Maximum feature size in edges.
+  size_t max_feature_edges = 4;
+};
+
+/// \brief Canonical-code → FSG-ids feature map.
+class FeatureIndex {
+ public:
+  FeatureIndex() = default;
+
+  /// \brief Selects the ≤ max_feature_edges frequent fragments as features.
+  static FeatureIndex Build(const std::vector<MinedFragment>& frequent,
+                            const FeatureIndexConfig& config);
+
+  /// \brief Feature id for a canonical code, if indexed.
+  std::optional<uint32_t> Lookup(const CanonicalCode& code) const;
+  /// \brief FSG ids of a feature.
+  const IdSet& FsgIds(uint32_t id) const { return fsg_ids_[id]; }
+  /// \brief Per-graph embedding counts, parallel to FsgIds(id).ids().
+  /// Grafil/SIGMA's count-based bounds consume these.
+  const std::vector<uint32_t>& Counts(uint32_t id) const {
+    return counts_[id];
+  }
+  /// \brief Number of features.
+  size_t FeatureCount() const { return fsg_ids_.size(); }
+  /// \brief Storage footprint in bytes (codes + id lists + count lists).
+  size_t StorageBytes() const;
+  /// \brief Build-time size cap.
+  size_t max_feature_edges() const { return max_feature_edges_; }
+
+ private:
+  std::unordered_map<CanonicalCode, uint32_t> by_code_;
+  std::vector<IdSet> fsg_ids_;
+  std::vector<std::vector<uint32_t>> counts_;
+  size_t code_bytes_ = 0;
+  size_t max_feature_edges_ = 0;
+};
+
+/// \brief All connected edge subsets of a query graph up to a size cap,
+/// with canonical codes — computed once per query and shared by every
+/// baseline's filter.
+class QuerySubgraphCatalog {
+ public:
+  struct Entry {
+    EdgeMask mask = 0;
+    int size = 0;
+    CanonicalCode code;
+  };
+
+  /// \brief Enumerates connected subsets of \p q with ≤ \p max_size edges.
+  static QuerySubgraphCatalog Build(const Graph& q, size_t max_size);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_BASELINES_FEATURE_INDEX_H_

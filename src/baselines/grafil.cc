@@ -1,0 +1,92 @@
+#include "baselines/grafil.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+namespace {
+
+// One distinct query feature: index id, multiplicity (number of edge
+// subsets realizing it), and the union of edges its occurrences touch.
+struct QueryFeature {
+  uint32_t feature_id = 0;
+  int multiplicity = 0;
+  std::vector<EdgeMask> occurrence_masks;
+};
+
+// Enumerates C(n, k) subsets of the query's edges as masks.
+void ForEachSigmaSubset(size_t edge_count, int sigma,
+                        const std::function<void(EdgeMask)>& fn) {
+  std::vector<int> pick(sigma);
+  std::function<void(int, int, EdgeMask)> rec = [&](int start, int depth,
+                                                    EdgeMask mask) {
+    if (depth == sigma) {
+      fn(mask);
+      return;
+    }
+    for (int e = start; e < static_cast<int>(edge_count); ++e) {
+      rec(e + 1, depth + 1, mask | EdgeBit(static_cast<EdgeId>(e)));
+    }
+  };
+  rec(0, 0, 0);
+}
+
+}  // namespace
+
+IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma) const {
+  if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
+  QuerySubgraphCatalog catalog =
+      QuerySubgraphCatalog::Build(q, index_->max_feature_edges());
+
+  // Group occurrences by feature id.
+  std::map<uint32_t, QueryFeature> features;
+  for (const QuerySubgraphCatalog::Entry& entry : catalog.entries()) {
+    std::optional<uint32_t> fid = index_->Lookup(entry.code);
+    if (!fid) continue;
+    QueryFeature& f = features[*fid];
+    f.feature_id = *fid;
+    ++f.multiplicity;
+    f.occurrence_masks.push_back(entry.mask);
+  }
+  if (features.empty()) return db_->AllIds();  // no filtering power
+
+  int total_occurrences = 0;
+  for (const auto& [fid, f] : features) total_occurrences += f.multiplicity;
+
+  // d_max: the most occurrences any σ-edge deletion can destroy.
+  int d_max = 0;
+  ForEachSigmaSubset(q.EdgeCount(), sigma, [&](EdgeMask deleted) {
+    int destroyed = 0;
+    for (const auto& [fid, f] : features) {
+      for (EdgeMask occ : f.occurrence_masks) {
+        if (occ & deleted) ++destroyed;
+      }
+    }
+    d_max = std::max(d_max, destroyed);
+  });
+
+  // Count-based hit accounting (Grafil's rule): graph g keeps
+  // min(cnt_q(f), cnt_g(f)) occurrences of feature f, where cnt_g is the
+  // indexed per-graph embedding count.
+  std::vector<int> hits(db_->size(), 0);
+  for (const auto& [fid, f] : features) {
+    const std::vector<GraphId>& gids = index_->FsgIds(fid).ids();
+    const std::vector<uint32_t>& counts = index_->Counts(fid);
+    for (size_t i = 0; i < gids.size(); ++i) {
+      hits[gids[i]] += std::min<int>(f.multiplicity,
+                                     static_cast<int>(counts[i]));
+    }
+  }
+  std::vector<GraphId> out;
+  for (GraphId gid = 0; gid < db_->size(); ++gid) {
+    if (total_occurrences - hits[gid] <= d_max) out.push_back(gid);
+  }
+  return IdSet(std::move(out));
+}
+
+}  // namespace prague

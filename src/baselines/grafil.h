@@ -1,0 +1,43 @@
+// Grafil-like engine (Yan et al., "Substructure Similarity Search in Graph
+// Databases" [12]).
+//
+// Principle reproduced: feature-count filtering with an edge-relaxation
+// lower bound. The query's feature occurrences (connected subgraphs that
+// are indexed features, counted with multiplicity) can only be destroyed
+// by deleting edges they touch; with σ deletions at most d_max
+// occurrences die, where d_max maximizes over σ-edge subsets. A data graph
+// missing more than d_max occurrences cannot be within distance σ.
+//
+// Simplification vs. the real system (documented in DESIGN.md): feature
+// containment is binary per data graph (our index stores FSG id sets, not
+// per-graph embedding counts), so multiplicity lives on the query side
+// only. The bound stays sound.
+
+#ifndef PRAGUE_BASELINES_GRAFIL_H_
+#define PRAGUE_BASELINES_GRAFIL_H_
+
+#include "baselines/feature_index.h"
+#include "baselines/traditional.h"
+#include "graph/graph_database.h"
+
+namespace prague {
+
+/// \brief Grafil-like feature-count filter.
+class GrafilLikeEngine : public TraditionalSimilarityEngine {
+ public:
+  /// \p index and \p db must outlive the engine.
+  GrafilLikeEngine(const FeatureIndex* index, const GraphDatabase* db)
+      : index_(index), db_(db) {}
+
+  std::string name() const override { return "GR"; }
+  size_t IndexBytes() const override { return index_->StorageBytes(); }
+  IdSet Filter(const Graph& q, int sigma) const override;
+
+ private:
+  const FeatureIndex* index_;
+  const GraphDatabase* db_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_BASELINES_GRAFIL_H_

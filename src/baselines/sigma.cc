@@ -1,0 +1,147 @@
+#include "baselines/sigma.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+namespace {
+
+// Can some subset of ≤ sigma edges (bits) hit every mask in `missing`?
+// Greedy accept first, exact enumeration before rejecting.
+bool CoverableWithin(const std::vector<EdgeMask>& missing, int sigma,
+                     size_t edge_count) {
+  if (missing.empty()) return true;
+  if (sigma <= 0) return false;
+  // Greedy: repeatedly pick the edge hitting the most remaining masks.
+  std::vector<EdgeMask> remaining = missing;
+  for (int round = 0; round < sigma && !remaining.empty(); ++round) {
+    int best_edge = -1;
+    size_t best_hits = 0;
+    for (EdgeId e = 0; e < edge_count; ++e) {
+      size_t hits = 0;
+      for (EdgeMask m : remaining) {
+        if (m & EdgeBit(e)) ++hits;
+      }
+      if (hits > best_hits) {
+        best_hits = hits;
+        best_edge = static_cast<int>(e);
+      }
+    }
+    if (best_edge < 0) return false;  // some mask touches no edge (bug-proof)
+    EdgeMask bit = EdgeBit(static_cast<EdgeId>(best_edge));
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [bit](EdgeMask m) { return m & bit; }),
+                    remaining.end());
+  }
+  if (remaining.empty()) return true;  // greedy cover of size ≤ σ exists
+
+  // Greedy failed: exact check over σ-subsets of the involved edges.
+  EdgeMask involved = 0;
+  for (EdgeMask m : missing) involved |= m;
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; e < edge_count; ++e) {
+    if (involved & EdgeBit(e)) edges.push_back(e);
+  }
+  std::function<bool(size_t, EdgeMask)> rec = [&](size_t start,
+                                                  EdgeMask del) -> bool {
+    bool covered = true;
+    for (EdgeMask m : missing) {
+      if (!(m & del)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
+    if (MaskSize(del) >= sigma) return false;
+    for (size_t i = start; i < edges.size(); ++i) {
+      if (rec(i + 1, del | EdgeBit(edges[i]))) return true;
+    }
+    return false;
+  };
+  return rec(0, 0);
+}
+
+}  // namespace
+
+IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma) const {
+  if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
+  QuerySubgraphCatalog catalog =
+      QuerySubgraphCatalog::Build(q, index_->max_feature_edges());
+
+  // Distinct features with their occurrence masks.
+  std::map<uint32_t, std::vector<EdgeMask>> occurrences;
+  for (const QuerySubgraphCatalog::Entry& entry : catalog.entries()) {
+    std::optional<uint32_t> fid = index_->Lookup(entry.code);
+    if (fid) occurrences[*fid].push_back(entry.mask);
+  }
+  if (occurrences.empty()) return db_->AllIds();
+
+  // Per-graph feature containment bitmap plus count-based hit totals
+  // (SIGMA subsumes the Grafil count bound, then sharpens it with the
+  // exact set-cover test on fully-missing features).
+  std::vector<std::vector<bool>> has(db_->size());
+  std::vector<uint32_t> fids;
+  int total_occurrences = 0;
+  for (const auto& [fid, masks] : occurrences) {
+    fids.push_back(fid);
+    total_occurrences += static_cast<int>(masks.size());
+  }
+  for (GraphId gid = 0; gid < db_->size(); ++gid) {
+    has[gid].assign(fids.size(), false);
+  }
+  std::vector<int> hits(db_->size(), 0);
+  for (size_t i = 0; i < fids.size(); ++i) {
+    const std::vector<GraphId>& gids = index_->FsgIds(fids[i]).ids();
+    const std::vector<uint32_t>& counts = index_->Counts(fids[i]);
+    int cq = static_cast<int>(occurrences[fids[i]].size());
+    for (size_t j = 0; j < gids.size(); ++j) {
+      has[gids[j]][i] = true;
+      hits[gids[j]] += std::min<int>(cq, static_cast<int>(counts[j]));
+    }
+  }
+
+  // d_max as in Grafil: the most occurrences any σ-edge deletion destroys.
+  int d_max = 0;
+  {
+    std::vector<EdgeMask> all_masks;
+    for (const auto& [fid, masks] : occurrences) {
+      all_masks.insert(all_masks.end(), masks.begin(), masks.end());
+    }
+    std::function<void(int, int, EdgeMask)> rec = [&](int start, int depth,
+                                                      EdgeMask mask) {
+      if (depth == sigma) {
+        int destroyed = 0;
+        for (EdgeMask m : all_masks) {
+          if (m & mask) ++destroyed;
+        }
+        d_max = std::max(d_max, destroyed);
+        return;
+      }
+      for (int e = start; e < static_cast<int>(q.EdgeCount()); ++e) {
+        rec(e + 1, depth + 1, mask | EdgeBit(static_cast<EdgeId>(e)));
+      }
+    };
+    rec(0, 0, 0);
+  }
+
+  std::vector<GraphId> out;
+  std::vector<EdgeMask> missing;
+  for (GraphId gid = 0; gid < db_->size(); ++gid) {
+    if (total_occurrences - hits[gid] > d_max) continue;  // count bound
+    missing.clear();
+    for (size_t i = 0; i < fids.size(); ++i) {
+      if (has[gid][i]) continue;
+      const std::vector<EdgeMask>& masks = occurrences[fids[i]];
+      missing.insert(missing.end(), masks.begin(), masks.end());
+    }
+    if (CoverableWithin(missing, sigma, q.EdgeCount())) out.push_back(gid);
+  }
+  return IdSet(std::move(out));
+}
+
+}  // namespace prague

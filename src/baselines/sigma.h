@@ -1,0 +1,40 @@
+// SIGMA-like engine (Mongiovì et al., "SIGMA: a set-cover-based inexact
+// graph matching algorithm" [8]).
+//
+// Principle reproduced: set-cover filtering. For a data graph g, every
+// query-feature occurrence whose feature g lacks must be destroyed by one
+// of the σ deleted edges — so the deleted-edge set must *cover* all
+// missing occurrences. If no σ-edge subset covers them, g is pruned. We
+// first try the cheap greedy cover (an upper bound on the optimum: success
+// accepts g as a candidate quickly) and fall back to exact enumeration of
+// σ-subsets of the edges that occur in missing occurrences before pruning,
+// so the filter is exact-cover sound.
+
+#ifndef PRAGUE_BASELINES_SIGMA_H_
+#define PRAGUE_BASELINES_SIGMA_H_
+
+#include "baselines/feature_index.h"
+#include "baselines/traditional.h"
+#include "graph/graph_database.h"
+
+namespace prague {
+
+/// \brief SIGMA-like set-cover filter (shares GR's feature index).
+class SigmaLikeEngine : public TraditionalSimilarityEngine {
+ public:
+  /// \p index and \p db must outlive the engine.
+  SigmaLikeEngine(const FeatureIndex* index, const GraphDatabase* db)
+      : index_(index), db_(db) {}
+
+  std::string name() const override { return "SG"; }
+  size_t IndexBytes() const override { return index_->StorageBytes(); }
+  IdSet Filter(const Graph& q, int sigma) const override;
+
+ private:
+  const FeatureIndex* index_;
+  const GraphDatabase* db_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_BASELINES_SIGMA_H_

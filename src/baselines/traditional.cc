@@ -1,0 +1,61 @@
+#include "baselines/traditional.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/canonical.h"
+#include "graph/subgraph_ops.h"
+#include "graph/vf2.h"
+#include "util/stopwatch.h"
+
+namespace prague {
+
+SimilaritySearchOutcome TraditionalSimilarityEngine::Evaluate(
+    const Graph& q, int sigma, const GraphDatabase& db) const {
+  SimilaritySearchOutcome out;
+  Stopwatch filter_timer;
+  out.candidates = Filter(q, sigma);
+  out.filter_seconds = filter_timer.ElapsedSeconds();
+
+  // Distinct level fragments of q for levels |q| .. |q|-sigma.
+  Stopwatch verify_timer;
+  int qsize = static_cast<int>(q.EdgeCount());
+  int lowest = std::max(1, qsize - sigma);
+  std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
+  std::vector<std::vector<Graph>> level_fragments(qsize + 1);
+  for (int level = qsize; level >= lowest; --level) {
+    std::unordered_set<CanonicalCode> seen;
+    for (EdgeMask mask : by_size[level]) {
+      Graph sub = ExtractEdgeSubgraph(q, mask).graph;
+      if (seen.insert(GetCanonicalCode(sub)).second) {
+        level_fragments[level].push_back(std::move(sub));
+      }
+    }
+  }
+  // Rank each candidate by the highest level it contains (its MCCS level).
+  for (GraphId gid : out.candidates) {
+    const Graph& g = db.graph(gid);
+    for (int level = qsize; level >= lowest; --level) {
+      bool hit = false;
+      for (const Graph& fragment : level_fragments[level]) {
+        if (IsSubgraphIsomorphic(fragment, g)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        out.results.push_back(SimilarMatch{gid, qsize - level, true});
+        break;
+      }
+    }
+  }
+  std::stable_sort(out.results.begin(), out.results.end(),
+                   [](const SimilarMatch& a, const SimilarMatch& b) {
+                     return a.distance < b.distance;
+                   });
+  out.verify_seconds = verify_timer.ElapsedSeconds();
+  out.srt_seconds = out.filter_seconds + out.verify_seconds;
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,53 @@
+// Traditional-paradigm substructure-similarity engines.
+//
+// These comparators follow the classic filter-then-verify flow where *all*
+// work happens after the user presses Run — their SRT is the whole query
+// evaluation (filter + verification), exactly how Section VIII times GR,
+// SG, and DVP. Verification is shared: candidates are ranked by the
+// highest query level they contain, using the same MCCS machinery PRAGUE
+// uses, so measured differences come from candidate quality, not from
+// verifier asymmetry.
+
+#ifndef PRAGUE_BASELINES_TRADITIONAL_H_
+#define PRAGUE_BASELINES_TRADITIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/results.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// \brief Outcome of one traditional similarity evaluation.
+struct SimilaritySearchOutcome {
+  IdSet candidates;
+  std::vector<SimilarMatch> results;  ///< ordered by distance
+  double filter_seconds = 0;
+  double verify_seconds = 0;
+  /// Traditional SRT = filter + verify (nothing is hidden under latency).
+  double srt_seconds = 0;
+};
+
+/// \brief Base class for the traditional engines.
+class TraditionalSimilarityEngine {
+ public:
+  virtual ~TraditionalSimilarityEngine() = default;
+
+  /// \brief Short display name ("GR", "SG", "DVP").
+  virtual std::string name() const = 0;
+  /// \brief Index footprint in bytes (Table II).
+  virtual size_t IndexBytes() const = 0;
+  /// \brief Filtering step: the candidate ids for (q, σ).
+  virtual IdSet Filter(const Graph& q, int sigma) const = 0;
+
+  /// \brief Filter + MCCS verification + ranking, timed.
+  SimilaritySearchOutcome Evaluate(const Graph& q, int sigma,
+                                   const GraphDatabase& db) const;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_BASELINES_TRADITIONAL_H_

@@ -1,0 +1,75 @@
+#include "core/candidates.h"
+
+namespace prague {
+
+IdSet ExactSubCandidates(const SpigVertex& v,
+                         const ActionAwareIndexes& indexes) {
+  if (v.frag.freq_id) return indexes.a2f.FsgIds(*v.frag.freq_id);
+  if (v.frag.dif_id) return indexes.a2i.FsgIds(*v.frag.dif_id);
+  // NIF: intersect the FSG ids of every recorded frequent (|g|−1)-subgraph
+  // and every recorded DIF subgraph.
+  if (v.frag.phi.empty() && v.frag.upsilon.empty()) {
+    return IdSet();  // zero-support subgraph (see header)
+  }
+  bool first = true;
+  IdSet out;
+  for (A2fId fid : v.frag.phi) {
+    if (first) {
+      out = indexes.a2f.FsgIds(fid);
+      first = false;
+    } else {
+      out.IntersectWith(indexes.a2f.FsgIds(fid));
+    }
+  }
+  for (A2iId did : v.frag.upsilon) {
+    if (first) {
+      out = indexes.a2i.FsgIds(did);
+      first = false;
+    } else {
+      out.IntersectWith(indexes.a2i.FsgIds(did));
+    }
+  }
+  return out;
+}
+
+size_t SimilarCandidates::TotalCandidates() const {
+  return AllFree().Union(AllVer()).size();
+}
+
+IdSet SimilarCandidates::AllFree() const {
+  IdSet out;
+  for (const auto& [level, ids] : free) out.UnionWith(ids);
+  return out;
+}
+
+IdSet SimilarCandidates::AllVer() const {
+  IdSet out;
+  for (const auto& [level, ids] : ver) out.UnionWith(ids);
+  return out;
+}
+
+SimilarCandidates SimilarSubCandidates(const SpigSet& spigs,
+                                       size_t query_size, int sigma,
+                                       const ActionAwareIndexes& indexes) {
+  SimilarCandidates out;
+  int q = static_cast<int>(query_size);
+  int lowest = std::max(1, q - sigma);
+  for (int level = q - 1; level >= lowest; --level) {
+    IdSet free_ids;
+    IdSet ver_ids;
+    spigs.ForEachVertexAtLevel(
+        level, [&](const Spig&, const SpigVertex& v) {
+          if (v.frag.IsFrequent() || v.frag.IsDif()) {
+            free_ids.UnionWith(ExactSubCandidates(v, indexes));
+          } else {
+            ver_ids.UnionWith(ExactSubCandidates(v, indexes));
+          }
+        });
+    ver_ids.SubtractWith(free_ids);  // Algorithm 4 line 7
+    out.free.emplace(level, std::move(free_ids));
+    out.ver.emplace(level, std::move(ver_ids));
+  }
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,58 @@
+// Candidate generation — Algorithms 3 and 4.
+//
+// ExactSubCandidates resolves one SPIG vertex to the id set of data graphs
+// that (may) contain its subgraph: exact FSG ids straight from the index
+// for frequent fragments and DIFs, or the intersection of the Φ/Υ FSG id
+// sets for NIFs (a sound superset).
+//
+// SimilarSubCandidates walks the SPIG levels |q|−1 … |q|−σ and splits the
+// per-level candidates into Rfree — graphs proven to contain a full
+// level-i subgraph of q (distance ≤ |q|−i without any verification) — and
+// Rver, the NIF-derived candidates that still need an MCCS check.
+
+#ifndef PRAGUE_CORE_CANDIDATES_H_
+#define PRAGUE_CORE_CANDIDATES_H_
+
+#include <map>
+
+#include "core/spig.h"
+#include "index/action_aware_index.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// \brief Algorithm 3: candidate data-graph ids for one SPIG vertex.
+///
+/// For a NIF with empty Φ and Υ the subgraph provably has zero support
+/// (every infrequent fragment with support ≥ 1 contains an indexed DIF),
+/// so the result is empty.
+IdSet ExactSubCandidates(const SpigVertex& v,
+                         const ActionAwareIndexes& indexes);
+
+/// \brief Per-level split of similarity candidates.
+struct SimilarCandidates {
+  /// level → verification-free candidate ids (Rfree(i)).
+  std::map<int, IdSet> free;
+  /// level → candidates needing MCCS verification (Rver(i)), already
+  /// de-overlapped against the same level's Rfree (Algorithm 4 line 7).
+  std::map<int, IdSet> ver;
+
+  /// \brief |∪ Rfree ∪ Rver| — the candidate-size metric of Figures
+  /// 9(b)-(e) and 10.
+  size_t TotalCandidates() const;
+  /// \brief Union of all verification-free ids across levels.
+  IdSet AllFree() const;
+  /// \brief Union of all needs-verification ids across levels.
+  IdSet AllVer() const;
+};
+
+/// \brief Algorithm 4: similarity candidates for the current query.
+///
+/// \p query_size is |q| in edges; levels below 1 are clamped away.
+SimilarCandidates SimilarSubCandidates(const SpigSet& spigs,
+                                       size_t query_size, int sigma,
+                                       const ActionAwareIndexes& indexes);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_CANDIDATES_H_

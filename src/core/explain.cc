@@ -1,0 +1,78 @@
+#include "core/explain.h"
+
+#include <sstream>
+
+#include "graph/mccs.h"
+#include "graph/vf2.h"
+
+namespace prague {
+
+Result<MatchExplanation> ExplainMatch(const Graph& q, const Graph& g) {
+  MccsResult mccs = ComputeMccs(q, g);
+  if (mccs.mccs_edges == 0) {
+    return Status::NotFound("no common connected subgraph");
+  }
+  MatchExplanation out;
+  out.distance = mccs.distance;
+  out.covered_query_edges = mccs.witness;
+  for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+    if (!(mccs.witness & EdgeBit(e))) out.missing_query_edges.push_back(e);
+  }
+
+  // One concrete embedding of the witness into g.
+  ExtractedSubgraph witness = ExtractEdgeSubgraph(q, mccs.witness);
+  NodeMapping sub_mapping;
+  Vf2Matcher matcher(witness.graph, g);
+  matcher.ForEach([&sub_mapping](const NodeMapping& m) {
+    sub_mapping = m;
+    return false;  // first embedding suffices
+  });
+  if (sub_mapping.empty()) {
+    return Status::Corruption("MCCS witness did not re-embed");
+  }
+  out.node_image.assign(q.NodeCount(), kInvalidNode);
+  for (NodeId sub_node = 0; sub_node < witness.graph.NodeCount();
+       ++sub_node) {
+    out.node_image[witness.node_map[sub_node]] = sub_mapping[sub_node];
+  }
+  for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+    if (!(mccs.witness & EdgeBit(e))) continue;
+    const Edge& edge = q.GetEdge(e);
+    EdgeId data_edge =
+        g.FindEdge(out.node_image[edge.u], out.node_image[edge.v]);
+    if (data_edge == kInvalidEdge) {
+      return Status::Corruption("embedding lost an edge");
+    }
+    out.data_edges.push_back(data_edge);
+  }
+  return out;
+}
+
+std::string ExplanationToString(const MatchExplanation& explanation,
+                                const Graph& q,
+                                const LabelDictionary& labels) {
+  std::ostringstream out;
+  out << "distance " << explanation.distance << "\n";
+  out << "covered:";
+  for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+    if (!(explanation.covered_query_edges & EdgeBit(e))) continue;
+    const Edge& edge = q.GetEdge(e);
+    out << " " << labels.Name(q.NodeLabel(edge.u)) << edge.u << "-"
+        << labels.Name(q.NodeLabel(edge.v)) << edge.v << "->g("
+        << explanation.node_image[edge.u] << ","
+        << explanation.node_image[edge.v] << ")";
+  }
+  out << "\n";
+  if (!explanation.missing_query_edges.empty()) {
+    out << "missing:";
+    for (EdgeId e : explanation.missing_query_edges) {
+      const Edge& edge = q.GetEdge(e);
+      out << " " << labels.Name(q.NodeLabel(edge.u)) << edge.u << "-"
+          << labels.Name(q.NodeLabel(edge.v)) << edge.v;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prague

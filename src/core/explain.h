@@ -1,0 +1,52 @@
+// Match explanations for result display.
+//
+// Section IV-A motivates MCCS over edit distance because "missing edges
+// ... can be easily depicted in the results by highlighting the MCCS in
+// the matched data graphs". This module computes exactly what a GUI needs
+// for that highlight: which query edges the match covers (and which are
+// missing), and where the covered part embeds in the data graph.
+
+#ifndef PRAGUE_CORE_EXPLAIN_H_
+#define PRAGUE_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "graph/subgraph_ops.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief Why a data graph matched (exactly or approximately).
+struct MatchExplanation {
+  /// dist(q, g) — 0 for exact matches.
+  int distance = 0;
+  /// Query edges covered by the MCCS (bitmask over query edge ids).
+  EdgeMask covered_query_edges = 0;
+  /// Query edges the data graph misses (the GUI draws these dashed).
+  std::vector<EdgeId> missing_query_edges;
+  /// For each *covered* query node (node incident to a covered edge), its
+  /// image in the data graph; kInvalidNode for uncovered nodes.
+  std::vector<NodeId> node_image;
+  /// Data-graph edges realizing the covered query edges, parallel to the
+  /// covered edges in ascending query-edge order.
+  std::vector<EdgeId> data_edges;
+};
+
+/// \brief Explains how data graph \p g matches query \p q.
+///
+/// Computes the MCCS witness and one concrete embedding. Fails with
+/// NotFound when not even a single query edge matches (distance = |q|).
+Result<MatchExplanation> ExplainMatch(const Graph& q, const Graph& g);
+
+/// \brief Renders an explanation as human-readable lines, e.g.
+/// "covered: (C)a-(C)b -> g nodes 3-7; missing: edge 5 (C-S)".
+std::string ExplanationToString(const MatchExplanation& explanation,
+                                const Graph& q,
+                                const LabelDictionary& labels);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_EXPLAIN_H_

@@ -1,0 +1,127 @@
+#include "core/gblender.h"
+
+#include <algorithm>
+
+#include "graph/canonical.h"
+#include "graph/subgraph_ops.h"
+#include "util/stopwatch.h"
+
+namespace prague {
+
+GBlenderSession::GBlenderSession(const GraphDatabase* db,
+                                 const ActionAwareIndexes* indexes)
+    : db_(db), indexes_(indexes) {}
+
+NodeId GBlenderSession::AddNode(Label label) { return query_.AddNode(label); }
+
+void GBlenderSession::StepUpdate(const Graph& fragment, IdSet* rq) const {
+  CanonicalCode code = GetCanonicalCode(fragment);
+  if (std::optional<A2fId> fid = indexes_->a2f.Lookup(code)) {
+    *rq = indexes_->a2f.FsgIds(*fid);
+    return;
+  }
+  if (std::optional<A2iId> did = indexes_->a2i.Lookup(code)) {
+    *rq = indexes_->a2i.FsgIds(*did);
+    return;
+  }
+  // Unindexed fragment: intersect the previous Rq with the FSG ids of
+  // every indexed maximal subgraph (decomposition probing — GBLENDER has
+  // no SPIGs to remember these from earlier steps).
+  if (fragment.EdgeCount() < 2) {
+    rq->Clear();  // unindexed single edge has zero support
+    return;
+  }
+  std::vector<std::vector<EdgeMask>> by_size =
+      ConnectedEdgeSubsetsBySize(fragment);
+  for (EdgeMask mask : by_size[fragment.EdgeCount() - 1]) {
+    ExtractedSubgraph sub = ExtractEdgeSubgraph(fragment, mask);
+    CanonicalCode sub_code = GetCanonicalCode(sub.graph);
+    if (std::optional<A2fId> fid = indexes_->a2f.Lookup(sub_code)) {
+      rq->IntersectWith(indexes_->a2f.FsgIds(*fid));
+    } else if (std::optional<A2iId> did = indexes_->a2i.Lookup(sub_code)) {
+      rq->IntersectWith(indexes_->a2i.FsgIds(*did));
+    }
+  }
+}
+
+Result<GbrStepReport> GBlenderSession::AddEdge(NodeId u, NodeId v,
+                                               Label edge_label) {
+  Result<FormulationId> ell = query_.AddEdge(u, v, edge_label);
+  if (!ell.ok()) return ell.status();
+  GbrStepReport report;
+  report.edge = *ell;
+  Stopwatch timer;
+  if (!started_) {
+    rq_ = db_->AllIds();
+    started_ = true;
+  }
+  StepUpdate(query_.CurrentGraph(), &rq_);
+  report.step_seconds = timer.ElapsedSeconds();
+  report.candidates = rq_.size();
+  return report;
+}
+
+size_t GBlenderSession::Replay() {
+  rq_ = db_->AllIds();
+  std::vector<FormulationId> remaining = query_.AliveEdgeIds();
+  if (remaining.empty()) {
+    rq_.Clear();
+    started_ = false;
+    return 0;
+  }
+  const Graph& q = query_.CurrentGraph();
+  // Re-run the formulation against connectivity: start from the earliest
+  // edge, repeatedly append the lowest-id edge adjacent to the prefix.
+  FormulationMask prefix = FormulationBit(remaining.front());
+  std::vector<FormulationId> pending(remaining.begin() + 1, remaining.end());
+  size_t steps = 0;
+  for (;;) {
+    EdgeMask gmask = query_.ToGraphMask(prefix);
+    ExtractedSubgraph sub = ExtractEdgeSubgraph(q, gmask);
+    StepUpdate(sub.graph, &rq_);
+    ++steps;
+    if (pending.empty()) break;
+    // Pick the lowest-id pending edge keeping the prefix connected.
+    bool advanced = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      FormulationMask cand = prefix | FormulationBit(pending[i]);
+      if (IsEdgeSubsetConnected(q, query_.ToGraphMask(cand))) {
+        prefix = cand;
+        pending.erase(pending.begin() + i);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // cannot happen for a connected query
+  }
+  return steps;
+}
+
+Result<GbrStepReport> GBlenderSession::DeleteEdge(FormulationId ell) {
+  PRAGUE_RETURN_NOT_OK(query_.DeleteEdge(ell));
+  GbrStepReport report;
+  report.edge = ell;
+  Stopwatch timer;
+  report.replayed_steps = Replay();
+  report.replay_seconds = timer.ElapsedSeconds();
+  report.step_seconds = report.replay_seconds;
+  report.candidates = rq_.size();
+  return report;
+}
+
+Result<QueryResults> GBlenderSession::Run(RunStats* stats) {
+  if (query_.Empty()) {
+    return Status::FailedPrecondition("no query fragment to run");
+  }
+  Stopwatch timer;
+  QueryResults results;
+  results.exact = ExactVerification(query_.CurrentGraph(), rq_, *db_);
+  if (stats != nullptr) {
+    stats->verified = results.exact.size();
+    stats->rejected = rq_.size() - results.exact.size();
+    stats->srt_seconds = timer.ElapsedSeconds();
+  }
+  return results;
+}
+
+}  // namespace prague

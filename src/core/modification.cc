@@ -1,0 +1,25 @@
+#include "core/modification.h"
+
+namespace prague {
+
+std::optional<ModificationSuggestion> SuggestEdgeDeletion(
+    const VisualQuery& query, const SpigSet& spigs,
+    const ActionAwareIndexes& indexes) {
+  if (query.EdgeCount() <= 1) return std::nullopt;
+  FormulationMask full = query.FullMask();
+  std::optional<ModificationSuggestion> best;
+  for (FormulationId ell : query.AliveEdgeIds()) {
+    if (!query.CanDelete(ell)) continue;
+    FormulationMask reduced = full & ~FormulationBit(ell);
+    const SpigVertex* v = spigs.FindVertex(reduced);
+    if (v == nullptr) continue;  // should not happen for connected subsets
+    IdSet rq = ExactSubCandidates(*v, indexes);
+    if (!best || rq.size() > best->candidates.size()) {
+      best = ModificationSuggestion{ell, std::move(rq)};
+    }
+  }
+  if (best && best->candidates.empty()) return std::nullopt;
+  return best;
+}
+
+}  // namespace prague

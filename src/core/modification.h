@@ -1,0 +1,42 @@
+// Query modification support — Algorithm 6.
+//
+// When the containment candidate set Rq goes empty, PRAGUE suggests the
+// edge whose deletion leaves the largest candidate set; the SPIG set
+// already holds a vertex for every q−e (they are connected (|q|−1)-edge
+// subsets), so no recomputation is needed — this is what makes the paper's
+// Table IV/V modification costs "virtually zero".
+
+#ifndef PRAGUE_CORE_MODIFICATION_H_
+#define PRAGUE_CORE_MODIFICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/spig.h"
+#include "core/visual_query.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// \brief A suggested edge deletion.
+struct ModificationSuggestion {
+  /// The edge ed to delete (Algorithm 6 lines 3-8).
+  FormulationId edge = 0;
+  /// The candidate set of q − ed.
+  IdSet candidates;
+};
+
+/// \brief Scans every deletable edge and returns the one maximizing
+/// |Rq′|, with that candidate set. Returns nullopt when no single edge
+/// deletion is possible (|q| ≤ 1) or none yields candidates.
+///
+/// Only connectivity-preserving deletions are considered (the paper
+/// requires the modified query to stay connected).
+std::optional<ModificationSuggestion> SuggestEdgeDeletion(
+    const VisualQuery& query, const SpigSet& spigs,
+    const ActionAwareIndexes& indexes);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_MODIFICATION_H_

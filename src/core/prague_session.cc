@@ -1,0 +1,326 @@
+#include "core/prague_session.h"
+
+#include "util/stopwatch.h"
+
+namespace prague {
+
+PragueSession::PragueSession(const GraphDatabase* db,
+                             const ActionAwareIndexes* indexes,
+                             const PragueConfig& config)
+    : db_(db), indexes_(indexes), config_(config) {}
+
+NodeId PragueSession::AddNode(Label label) {
+  NodeId id = query_.AddNode(label);
+  SessionAction a;
+  a.kind = SessionAction::Kind::kAddNode;
+  a.label = label;
+  log_.push_back(a);
+  return id;
+}
+
+Result<NodeId> PragueSession::AddNodeByName(const std::string& label_name) {
+  Result<Label> label = db_->labels().Lookup(label_name);
+  if (!label.ok()) return label.status();
+  return AddNode(*label);
+}
+
+const SpigVertex* PragueSession::TargetVertex() const {
+  if (query_.Empty()) return nullptr;
+  return spigs_.FindVertex(query_.FullMask());
+}
+
+void PragueSession::RefreshCandidates(StepReport* report) {
+  Stopwatch timer;
+  const SpigVertex* target = TargetVertex();
+  rq_ = target != nullptr ? ExactSubCandidates(*target, *indexes_) : IdSet();
+  if (rq_.empty() && !sim_flag_ && config_.auto_similarity &&
+      !query_.Empty()) {
+    sim_flag_ = true;  // user answers the option dialogue with "continue"
+  }
+  if (sim_flag_) {
+    similar_ = SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
+                                    *indexes_);
+    report->free_candidates = similar_.AllFree().size();
+    report->ver_candidates = similar_.AllVer().size();
+  } else {
+    similar_ = SimilarCandidates();
+  }
+  report->candidate_seconds = timer.ElapsedSeconds();
+  report->exact_candidates = rq_.size();
+  report->similarity_mode = sim_flag_;
+  if (target != nullptr && target->frag.IsFrequent()) {
+    report->status = FragmentStatus::kFrequent;
+  } else if (!rq_.empty()) {
+    report->status = FragmentStatus::kInfrequent;
+  } else {
+    report->status = FragmentStatus::kNoExactMatch;
+  }
+}
+
+Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
+                                          Label edge_label) {
+  Result<FormulationId> ell = query_.AddEdge(u, v, edge_label);
+  if (!ell.ok()) return ell.status();
+  StepReport report;
+  report.edge = *ell;
+  Stopwatch spig_timer;
+  Result<const Spig*> spig = spigs_.AddForNewEdge(query_, *ell, *indexes_);
+  if (!spig.ok()) return spig.status();
+  report.spig_seconds = spig_timer.ElapsedSeconds();
+  RefreshCandidates(&report);
+  SessionAction a;
+  a.kind = SessionAction::Kind::kAddEdge;
+  a.u = u;
+  a.v = v;
+  a.edge_label = edge_label;
+  log_.push_back(a);
+  return report;
+}
+
+void PragueSession::MaybeExitSimilarity() {
+  const SpigVertex* target = TargetVertex();
+  if (sim_flag_ && target != nullptr &&
+      !ExactSubCandidates(*target, *indexes_).empty()) {
+    sim_flag_ = false;
+  }
+}
+
+Result<StepReport> PragueSession::DeleteEdge(FormulationId ell) {
+  PRAGUE_RETURN_NOT_OK(query_.DeleteEdge(ell));
+  StepReport report;
+  report.edge = ell;
+  Stopwatch spig_timer;
+  spigs_.RemoveForDeletedEdge(ell);
+  report.spig_seconds = spig_timer.ElapsedSeconds();
+  // Algorithm 6 lines 15-18: fall back to exact mode when the reduced
+  // query has exact matches again.
+  MaybeExitSimilarity();
+  RefreshCandidates(&report);
+  SessionAction a;
+  a.kind = SessionAction::Kind::kDeleteEdge;
+  a.ell = ell;
+  log_.push_back(a);
+  return report;
+}
+
+Result<StepReport> PragueSession::DeleteEdges(
+    const std::vector<FormulationId>& edges) {
+  if (edges.empty()) {
+    return Status::InvalidArgument("no edges to delete");
+  }
+  if (edges.size() == 1) return DeleteEdge(edges.front());
+  // Dry-run on a copy: find an order that keeps the fragment connected at
+  // every intermediate step (greedy: always delete a currently deletable
+  // edge from the remaining set).
+  VisualQuery scratch = query_;
+  std::vector<FormulationId> order;
+  std::vector<FormulationId> pending = edges;
+  while (!pending.empty()) {
+    bool advanced = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!scratch.CanDelete(pending[i])) continue;
+      PRAGUE_RETURN_NOT_OK(scratch.DeleteEdge(pending[i]));
+      order.push_back(pending[i]);
+      pending.erase(pending.begin() + i);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      return Status::FailedPrecondition(
+          "no deletion order keeps the query fragment connected");
+    }
+  }
+  // Apply for real. Individual steps cannot fail now.
+  StepReport report;
+  Stopwatch spig_timer;
+  for (FormulationId ell : order) {
+    PRAGUE_RETURN_NOT_OK(query_.DeleteEdge(ell));
+    spigs_.RemoveForDeletedEdge(ell);
+    report.edge = ell;
+    SessionAction a;
+    a.kind = SessionAction::Kind::kDeleteEdge;
+    a.ell = ell;
+    log_.push_back(a);
+  }
+  report.spig_seconds = spig_timer.ElapsedSeconds();
+  MaybeExitSimilarity();
+  RefreshCandidates(&report);
+  return report;
+}
+
+Result<StepReport> PragueSession::RelabelNode(NodeId node, Label new_label) {
+  if (node >= query_.UserNodeCount()) {
+    return Status::NotFound("node does not exist");
+  }
+  StepReport report;
+  Stopwatch spig_timer;
+  FormulationMask affected = query_.IncidentEdgeMask(node);
+  PRAGUE_RETURN_NOT_OK(query_.RelabelNode(node, new_label));
+  if (affected != 0) {
+    PRAGUE_RETURN_NOT_OK(
+        spigs_.RefreshForRelabel(query_, affected, *indexes_));
+  }
+  report.spig_seconds = spig_timer.ElapsedSeconds();
+  MaybeExitSimilarity();
+  RefreshCandidates(&report);
+  SessionAction a;
+  a.kind = SessionAction::Kind::kRelabelNode;
+  a.node = node;
+  a.label = new_label;
+  log_.push_back(a);
+  return report;
+}
+
+Result<std::vector<StepReport>> PragueSession::AddPattern(
+    const Graph& pattern,
+    const std::vector<std::pair<NodeId, NodeId>>& attach) {
+  if (pattern.EdgeCount() == 0 || !pattern.IsConnected()) {
+    return Status::InvalidArgument("pattern must be a connected graph");
+  }
+  if (!query_.Empty() && attach.empty()) {
+    return Status::InvalidArgument(
+        "pattern must attach to the existing fragment");
+  }
+  // Resolve/validate the pattern-node → session-node map.
+  std::vector<NodeId> node_map(pattern.NodeCount(), kInvalidNode);
+  for (const auto& [pattern_node, session_node] : attach) {
+    if (pattern_node >= pattern.NodeCount() ||
+        session_node >= query_.UserNodeCount()) {
+      return Status::InvalidArgument("bad attach pair");
+    }
+    if (pattern.NodeLabel(pattern_node) !=
+        query_.NodeLabel(session_node)) {
+      return Status::InvalidArgument(
+          "attach pair labels differ; relabel first");
+    }
+    node_map[pattern_node] = session_node;
+  }
+  // Edge order: attached nodes count as already connected to the canvas.
+  std::vector<bool> touched(pattern.NodeCount(), false);
+  for (const auto& [pattern_node, unused] : attach) {
+    touched[pattern_node] = true;
+  }
+  bool canvas_empty = query_.Empty();
+  std::vector<EdgeId> order;
+  std::vector<bool> used(pattern.EdgeCount(), false);
+  for (size_t step = 0; step < pattern.EdgeCount(); ++step) {
+    EdgeId next = kInvalidEdge;
+    for (EdgeId e = 0; e < pattern.EdgeCount(); ++e) {
+      if (used[e]) continue;
+      const Edge& edge = pattern.GetEdge(e);
+      if (touched[edge.u] || touched[edge.v] ||
+          (canvas_empty && order.empty())) {
+        next = e;
+        break;
+      }
+    }
+    if (next == kInvalidEdge) {
+      return Status::InvalidArgument(
+          "pattern cannot be drawn connected from the attach points");
+    }
+    used[next] = true;
+    touched[pattern.GetEdge(next).u] = true;
+    touched[pattern.GetEdge(next).v] = true;
+    order.push_back(next);
+  }
+  // Apply edge-at-a-time, exactly as hand drawing would.
+  std::vector<StepReport> reports;
+  for (EdgeId e : order) {
+    const Edge& edge = pattern.GetEdge(e);
+    for (NodeId endpoint : {edge.u, edge.v}) {
+      if (node_map[endpoint] == kInvalidNode) {
+        node_map[endpoint] = AddNode(pattern.NodeLabel(endpoint));
+      }
+    }
+    Result<StepReport> report =
+        AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
+    if (!report.ok()) return report.status();
+    reports.push_back(*report);
+  }
+  return reports;
+}
+
+Result<StepReport> PragueSession::EnableSimilarity() {
+  if (query_.Empty()) {
+    return Status::FailedPrecondition("no query fragment yet");
+  }
+  sim_flag_ = true;
+  StepReport report;
+  report.edge = query_.LastFormulationId();
+  RefreshCandidates(&report);
+  SessionAction a;
+  a.kind = SessionAction::Kind::kSimQuery;
+  log_.push_back(a);
+  return report;
+}
+
+ThreadPool* PragueSession::VerificationPool() {
+  if (config_.verification_threads <= 1) return nullptr;
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(config_.verification_threads);
+  }
+  return pool_.get();
+}
+
+Result<QueryResults> PragueSession::Run(RunStats* stats) {
+  if (query_.Empty()) {
+    return Status::FailedPrecondition("no query fragment to run");
+  }
+  Stopwatch timer;
+  const Graph& q = query_.CurrentGraph();
+  QueryResults results;
+  SimilarGenStats sim_stats;
+  ThreadPool* pool = VerificationPool();
+  if (!sim_flag_) {
+    // Verification-free answers (the FG-Index [2] guarantee the indexes
+    // inherit): when the whole query is an indexed frequent fragment or
+    // DIF, Rq is its exact FSG id set — no subgraph-isomorphism test
+    // needed.
+    const SpigVertex* target = TargetVertex();
+    if (target != nullptr &&
+        (target->frag.IsFrequent() || target->frag.IsDif())) {
+      results.exact.assign(rq_.begin(), rq_.end());
+      if (stats != nullptr) {
+        stats->verified = results.exact.size();
+        stats->rejected = 0;
+      }
+    } else {
+      results.exact = ExactVerification(q, rq_, *db_, pool);
+      if (stats != nullptr) {
+        stats->verified = results.exact.size();
+        stats->rejected = rq_.size() - results.exact.size();
+      }
+    }
+    if (results.exact.empty()) {
+      // Algorithm 1 lines 19-21: exact verification came up empty — fall
+      // back to similarity search.
+      results.similarity = true;
+      SimilarCandidates cands = SimilarSubCandidates(
+          spigs_, query_.EdgeCount(), config_.sigma, *indexes_);
+      results.similar =
+          SimilarResultsGen(q, spigs_, cands, config_.sigma, *db_, nullptr,
+                            &sim_stats, config_.top_k, pool,
+                            config_.filtering_verifier);
+    }
+  } else {
+    results.similarity = true;
+    // Distance-0 matches are possible when a deletion restored exact
+    // matches while simFlag stayed set.
+    const IdSet* exact_rq = rq_.empty() ? nullptr : &rq_;
+    results.similar =
+        SimilarResultsGen(q, spigs_, similar_, config_.sigma, *db_,
+                          exact_rq, &sim_stats, config_.top_k, pool,
+                          config_.filtering_verifier);
+  }
+  if (stats != nullptr) {
+    stats->similar = sim_stats;
+    stats->srt_seconds = timer.ElapsedSeconds();
+  }
+  return results;
+}
+
+std::optional<ModificationSuggestion> PragueSession::SuggestDeletion() const {
+  return SuggestEdgeDeletion(query_, spigs_, *indexes_);
+}
+
+}  // namespace prague

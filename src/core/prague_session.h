@@ -1,0 +1,166 @@
+// PragueSession — Algorithm 1, the PRAGUE engine driven by GUI actions.
+//
+// One session per query-formulation episode. The caller feeds the visual
+// actions the paper monitors — New (AddEdge), Modify (DeleteEdge),
+// SimQuery (EnableSimilarity), Run — and the engine does its work inside
+// those calls, which in the deployed system execute during GUI latency.
+// Run() therefore only performs the residual work (verification + result
+// generation): its wall time is the paper's SRT.
+
+#ifndef PRAGUE_CORE_PRAGUE_SESSION_H_
+#define PRAGUE_CORE_PRAGUE_SESSION_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/candidates.h"
+#include "core/session_log.h"
+#include "core/modification.h"
+#include "core/results.h"
+#include "core/spig.h"
+#include "core/visual_query.h"
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief Engine parameters.
+struct PragueConfig {
+  /// σ — subgraph distance threshold for similarity search.
+  int sigma = 3;
+  /// When Rq empties on a New action, automatically set simFlag and start
+  /// maintaining similarity candidates (models the user answering the
+  /// option dialogue with "continue"). When false the session stays in
+  /// no-exact-match limbo until the caller calls EnableSimilarity() or
+  /// DeleteEdge().
+  bool auto_similarity = true;
+  /// When > 0, Run() stops generating similarity results after this many
+  /// matches. Because Algorithm 5 emits results in non-decreasing distance
+  /// order, the truncation is exactly the top-k most similar graphs.
+  size_t top_k = 0;
+  /// Worker threads for Run()-time verification (1 = sequential).
+  /// Verification is read-only over the database, so parallel results are
+  /// identical to sequential ones.
+  size_t verification_threads = 1;
+  /// Run MCCS checks behind FilteringVerifier's label/degree prefilters
+  /// (graph/verifier.h). Same answers, fewer VF2 calls; off by default to
+  /// match the paper's plain SimVerify.
+  bool filtering_verifier = false;
+};
+
+/// \brief The Status column of Figure 3.
+enum class FragmentStatus {
+  kFrequent,      ///< the full fragment is a frequent fragment
+  kInfrequent,    ///< infrequent but Rq is non-empty
+  kNoExactMatch,  ///< Rq = ∅ — "Similar" in the paper's figure
+};
+
+/// \brief What one visual step did and cost.
+struct StepReport {
+  FormulationId edge = 0;        ///< ℓ of the edge added/deleted
+  FragmentStatus status = FragmentStatus::kFrequent;
+  bool similarity_mode = false;  ///< simFlag after this step
+  size_t exact_candidates = 0;   ///< |Rq| (containment path)
+  size_t free_candidates = 0;    ///< |∪ Rfree| (similarity path)
+  size_t ver_candidates = 0;     ///< |∪ Rver| (similarity path)
+  double spig_seconds = 0;       ///< SPIG build/update time this step
+  double candidate_seconds = 0;  ///< candidate (re)computation time
+};
+
+/// \brief The PRAGUE engine (Algorithm 1).
+class PragueSession {
+ public:
+  /// \p db and \p indexes must outlive the session.
+  PragueSession(const GraphDatabase* db, const ActionAwareIndexes* indexes,
+                const PragueConfig& config = PragueConfig());
+
+  /// \brief GUI: user drops a node on the canvas.
+  NodeId AddNode(Label label);
+  /// \brief GUI: user drops a node by label name (must be in the
+  /// database's dictionary — Panel 2 only offers those).
+  Result<NodeId> AddNodeByName(const std::string& label_name);
+
+  /// \brief Action New: draw an edge, build its SPIG, refresh candidates.
+  Result<StepReport> AddEdge(NodeId u, NodeId v, Label edge_label = 0);
+
+  /// \brief Action Modify: delete edge eℓ, prune SPIGs, refresh
+  /// candidates. Follows Algorithm 6 lines 15-18: exact candidates if the
+  /// reduced query has matches, similarity candidates otherwise.
+  Result<StepReport> DeleteEdge(FormulationId ell);
+
+  /// \brief Multi-edge deletion (Section VII notes the single-edge
+  /// algorithm extends trivially). Edges are removed in an order that
+  /// keeps the fragment connected throughout; fails without side effects
+  /// if no such order exists.
+  Result<StepReport> DeleteEdges(const std::vector<FormulationId>& edges);
+
+  /// \brief Node relabeling (footnote 5). Applied in place: affected SPIG
+  /// vertices are re-keyed and their Fragment Lists recomputed, then
+  /// candidates refresh exactly as for a Modify action.
+  Result<StepReport> RelabelNode(NodeId node, Label new_label);
+
+  /// \brief Drops a canned pattern (footnote 1 — e.g. a benzene ring)
+  /// onto the canvas: adds its nodes, then its edges one at a time in a
+  /// prefix-connected order, building a SPIG per edge. \p attach maps
+  /// pattern nodes to existing session nodes (may be empty iff the canvas
+  /// is empty). Returns one StepReport per added edge.
+  Result<std::vector<StepReport>> AddPattern(
+      const Graph& pattern,
+      const std::vector<std::pair<NodeId, NodeId>>& attach = {});
+
+  /// \brief Action SimQuery: user opts into similarity search.
+  Result<StepReport> EnableSimilarity();
+
+  /// \brief Action Run: produce final results. Residual work only — its
+  /// cost is the SRT. \p stats may be null.
+  Result<QueryResults> Run(RunStats* stats = nullptr);
+
+  /// \brief Algorithm 6 lines 3-8: which edge should be deleted to make
+  /// Rq non-empty (largest resulting candidate set)?
+  std::optional<ModificationSuggestion> SuggestDeletion() const;
+
+  /// \brief Current query fragment.
+  const VisualQuery& query() const { return query_; }
+  /// \brief Current SPIG set.
+  const SpigSet& spigs() const { return spigs_; }
+  /// \brief Current containment candidates Rq.
+  const IdSet& exact_candidates() const { return rq_; }
+  /// \brief Current similarity candidates (valid in similarity mode).
+  const SimilarCandidates& similar_candidates() const { return similar_; }
+  /// \brief simFlag.
+  bool similarity_mode() const { return sim_flag_; }
+  /// \brief σ in effect.
+  int sigma() const { return config_.sigma; }
+  /// \brief Every visual action applied so far (crash recovery / replay;
+  /// see core/session_log.h). Only successful actions are recorded.
+  const SessionLog& action_log() const { return log_; }
+
+ private:
+  // Recomputes Rq (and similarity candidates if simFlag) from the SPIG
+  // set; fills the candidate fields of `report`.
+  void RefreshCandidates(StepReport* report);
+  // Algorithm 6 lines 15-18 after a modification: leave similarity mode
+  // when the modified query has exact candidates again.
+  void MaybeExitSimilarity();
+  const SpigVertex* TargetVertex() const;
+
+  // Lazily created when config_.verification_threads > 1.
+  ThreadPool* VerificationPool();
+
+  const GraphDatabase* db_;
+  const ActionAwareIndexes* indexes_;
+  PragueConfig config_;
+
+  VisualQuery query_;
+  SpigSet spigs_;
+  IdSet rq_;
+  SimilarCandidates similar_;
+  bool sim_flag_ = false;
+  std::unique_ptr<ThreadPool> pool_;
+  SessionLog log_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_PRAGUE_SESSION_H_

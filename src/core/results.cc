@@ -1,0 +1,159 @@
+#include "core/results.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_set>
+
+#include "graph/verifier.h"
+#include "graph/vf2.h"
+
+namespace prague {
+
+std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
+                                       const GraphDatabase& db,
+                                       ThreadPool* pool) {
+  const std::vector<GraphId>& ids = rq.ids();
+  if (pool == nullptr || pool->size() <= 1) {
+    std::vector<GraphId> out;
+    for (GraphId gid : ids) {
+      if (IsSubgraphIsomorphic(q, db.graph(gid))) out.push_back(gid);
+    }
+    return out;
+  }
+  std::vector<char> hit(ids.size(), 0);
+  pool->ParallelFor(ids.size(), /*min_chunk=*/16,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        hit[i] = IsSubgraphIsomorphic(q, db.graph(ids[i]));
+                      }
+                    });
+  std::vector<GraphId> out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (hit[i]) out.push_back(ids[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Distinct (by canonical code) level-i query subgraphs, pulled from the
+// SPIG set — the union of level-i vertices across SPIGs is exactly the set
+// of connected i-edge subgraphs of q.
+std::vector<const Graph*> DistinctLevelFragments(const SpigSet& spigs,
+                                                 int level) {
+  std::vector<const Graph*> out;
+  std::unordered_set<CanonicalCode> seen;
+  spigs.ForEachVertexAtLevel(level, [&](const Spig&, const SpigVertex& v) {
+    if (seen.insert(v.code).second) out.push_back(&v.fragment);
+  });
+  return out;
+}
+
+// SimVerify for one data graph at one level: mccs(g, q) ≥ level?
+bool SimVerify(const std::vector<const Graph*>& level_fragments,
+               const Graph& g, SimilarGenStats* stats,
+               Verifier* verifier) {
+  for (const Graph* fragment : level_fragments) {
+    size_t before = verifier->stats().vf2_calls;
+    bool hit = verifier->Matches(*fragment, g);
+    if (stats != nullptr) {
+      stats->vf2_calls += verifier->stats().vf2_calls - before;
+    }
+    if (hit) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SimilarMatch> SimilarResultsGen(
+    const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
+    int sigma, const GraphDatabase& db, const IdSet* exact_rq,
+    SimilarGenStats* stats, size_t top_k, ThreadPool* pool,
+    bool filtering_verifier) {
+  std::unique_ptr<Verifier> verifier =
+      MakeVerifier(filtering_verifier ? "filtering" : "plain");
+  std::vector<SimilarMatch> results;
+  IdSet seen;
+  int qsize = static_cast<int>(q.EdgeCount());
+  auto full = [&]() { return top_k != 0 && results.size() >= top_k; };
+
+  if (exact_rq != nullptr && !exact_rq->empty()) {
+    for (GraphId gid : ExactVerification(q, *exact_rq, db, pool)) {
+      if (full()) return results;
+      results.push_back(SimilarMatch{gid, 0, true});
+      seen.Insert(gid);
+      if (stats != nullptr) ++stats->verified;
+    }
+  }
+
+  int lowest = std::max(1, qsize - sigma);
+  for (int level = qsize - 1; level >= lowest && !full(); --level) {
+    int distance = qsize - level;
+    auto free_it = cands.free.find(level);
+    if (free_it != cands.free.end()) {
+      for (GraphId gid : free_it->second.Subtract(seen)) {
+        if (full()) return results;
+        results.push_back(SimilarMatch{gid, distance, false});
+        seen.Insert(gid);
+        if (stats != nullptr) ++stats->verification_free;
+      }
+    }
+    auto ver_it = cands.ver.find(level);
+    if (ver_it != cands.ver.end()) {
+      IdSet pending = ver_it->second.Subtract(seen);
+      if (!pending.empty()) {
+        std::vector<const Graph*> fragments =
+            DistinctLevelFragments(spigs, level);
+        const std::vector<GraphId>& ids = pending.ids();
+        if (pool != nullptr && pool->size() > 1 && ids.size() > 16) {
+          // Parallel MCCS checks; appended in id order afterwards so the
+          // output matches the sequential path exactly.
+          std::vector<char> verdict(ids.size(), 0);
+          std::atomic<size_t> vf2_calls{0};
+          pool->ParallelFor(
+              ids.size(), /*min_chunk=*/8, [&](size_t begin, size_t end) {
+                // Verifier caches are not shared across threads; each
+                // chunk gets its own (fragment summaries are recomputed
+                // once per chunk, which is cheap).
+                std::unique_ptr<Verifier> local_verifier = MakeVerifier(
+                    filtering_verifier ? "filtering" : "plain");
+                SimilarGenStats local;
+                for (size_t i = begin; i < end; ++i) {
+                  verdict[i] = SimVerify(fragments, db.graph(ids[i]),
+                                         &local, local_verifier.get());
+                }
+                vf2_calls += local.vf2_calls;
+              });
+          if (stats != nullptr) stats->vf2_calls += vf2_calls.load();
+          for (size_t i = 0; i < ids.size(); ++i) {
+            if (full()) return results;
+            if (verdict[i]) {
+              results.push_back(SimilarMatch{ids[i], distance, true});
+              seen.Insert(ids[i]);
+              if (stats != nullptr) ++stats->verified;
+            } else if (stats != nullptr) {
+              ++stats->rejected;
+            }
+          }
+        } else {
+          for (GraphId gid : ids) {
+            if (full()) return results;
+            if (SimVerify(fragments, db.graph(gid), stats,
+                          verifier.get())) {
+              results.push_back(SimilarMatch{gid, distance, true});
+              seen.Insert(gid);
+              if (stats != nullptr) ++stats->verified;
+            } else if (stats != nullptr) {
+              ++stats->rejected;
+            }
+          }
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace prague

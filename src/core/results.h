@@ -1,0 +1,90 @@
+// Result generation — Algorithm 5 plus exact verification.
+//
+// Exact (containment) results verify Rq with VF2. Similarity results walk
+// the SPIG levels from most- to least-similar (the paper's text mandates
+// ordering by increasing subgraph distance), adding verification-free
+// candidates outright and running the MCCS-style SimVerify on the rest:
+// "does the data graph contain *some* connected level-i subgraph of q?",
+// answered with the distinct level-i fragments the SPIG set already holds.
+
+#ifndef PRAGUE_CORE_RESULTS_H_
+#define PRAGUE_CORE_RESULTS_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/spig.h"
+#include "graph/graph_database.h"
+#include "util/id_set.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+
+/// \brief One similarity match.
+struct SimilarMatch {
+  GraphId gid = 0;
+  /// dist(q, g) — number of query edges missed.
+  int distance = 0;
+  /// True when the match came out of Rver (an MCCS check ran); false for
+  /// verification-free matches from Rfree.
+  bool verified = false;
+
+  bool operator==(const SimilarMatch&) const = default;
+};
+
+/// \brief What Run returns.
+struct QueryResults {
+  /// True when these are similarity results (simFlag was set, or the
+  /// containment results were empty and PRAGUE fell back — Algorithm 1
+  /// lines 19-21).
+  bool similarity = false;
+  /// Exact containment matches (empty in similarity mode).
+  std::vector<GraphId> exact;
+  /// Similarity matches ordered by non-decreasing distance.
+  std::vector<SimilarMatch> similar;
+};
+
+/// \brief Counters describing one SimilarResultsGen run.
+struct SimilarGenStats {
+  size_t verification_free = 0;  ///< matches accepted from Rfree
+  size_t verified = 0;           ///< Rver candidates that passed SimVerify
+  size_t rejected = 0;           ///< Rver candidates that failed
+  size_t vf2_calls = 0;          ///< VF2 invocations spent verifying
+};
+
+/// \brief Timing/counters for one Run (PRAGUE or a baseline session).
+struct RunStats {
+  double srt_seconds = 0;  ///< total time inside Run()
+  size_t verified = 0;     ///< candidates that passed verification
+  size_t rejected = 0;     ///< candidates that failed
+  SimilarGenStats similar; ///< similarity-path details
+};
+
+/// \brief Subgraph-isomorphism verification of the containment candidate
+/// set Rq; returns the ids of true matches, ascending. A non-null \p pool
+/// verifies candidates in parallel (identical results, same order).
+std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
+                                       const GraphDatabase& db,
+                                       ThreadPool* pool = nullptr);
+
+/// \brief Algorithm 5: ordered similarity results.
+///
+/// \p exact_rq, when non-null, contributes distance-0 matches (possible
+/// when an edge deletion restores exact matches while simFlag is already
+/// set — the paper's pseudo-code starts at |q|−1 and would miss them).
+/// \p stats may be null. A non-zero \p top_k truncates the result list to
+/// the k most-similar matches (sound because results are generated in
+/// non-decreasing distance order). A non-null \p pool runs each level's
+/// MCCS verification in parallel; results are identical and in the same
+/// order as the sequential path. When \p filtering_verifier is set the
+/// MCCS checks run behind FilteringVerifier's label/degree prefilters
+/// (same answers, fewer VF2 calls — see graph/verifier.h).
+std::vector<SimilarMatch> SimilarResultsGen(
+    const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
+    int sigma, const GraphDatabase& db, const IdSet* exact_rq,
+    SimilarGenStats* stats, size_t top_k = 0, ThreadPool* pool = nullptr,
+    bool filtering_verifier = false);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_RESULTS_H_

@@ -1,0 +1,139 @@
+#include "core/session_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/prague_session.h"
+
+namespace prague {
+
+namespace {
+
+const char* KindName(SessionAction::Kind kind) {
+  switch (kind) {
+    case SessionAction::Kind::kAddNode:
+      return "node";
+    case SessionAction::Kind::kAddEdge:
+      return "edge";
+    case SessionAction::Kind::kDeleteEdge:
+      return "delete";
+    case SessionAction::Kind::kRelabelNode:
+      return "relabel";
+    case SessionAction::Kind::kSimQuery:
+      return "simquery";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status SaveSessionLog(const SessionLog& log, std::ostream* outp) {
+  std::ostream& out = *outp;
+  out << "PRAGUE_SESSION 1\n";
+  for (const SessionAction& a : log) {
+    out << KindName(a.kind);
+    switch (a.kind) {
+      case SessionAction::Kind::kAddNode:
+        out << ' ' << a.label;
+        break;
+      case SessionAction::Kind::kAddEdge:
+        out << ' ' << a.u << ' ' << a.v << ' ' << a.edge_label;
+        break;
+      case SessionAction::Kind::kDeleteEdge:
+        out << ' ' << a.ell;
+        break;
+      case SessionAction::Kind::kRelabelNode:
+        out << ' ' << a.node << ' ' << a.label;
+        break;
+      case SessionAction::Kind::kSimQuery:
+        break;
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::OK() : Status::IOError("log write failed");
+}
+
+Status SaveSessionLogToFile(const SessionLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveSessionLog(log, &out);
+}
+
+Result<SessionLog> LoadSessionLog(std::istream* inp) {
+  std::istream& in = *inp;
+  std::string tag;
+  int version;
+  if (!(in >> tag >> version) || tag != "PRAGUE_SESSION" || version != 1) {
+    return Status::Corruption("bad session log header");
+  }
+  SessionLog log;
+  std::string kind;
+  while (in >> kind) {
+    SessionAction a;
+    if (kind == "node") {
+      a.kind = SessionAction::Kind::kAddNode;
+      if (!(in >> a.label)) return Status::Corruption("bad node line");
+    } else if (kind == "edge") {
+      a.kind = SessionAction::Kind::kAddEdge;
+      if (!(in >> a.u >> a.v >> a.edge_label)) {
+        return Status::Corruption("bad edge line");
+      }
+    } else if (kind == "delete") {
+      a.kind = SessionAction::Kind::kDeleteEdge;
+      if (!(in >> a.ell)) return Status::Corruption("bad delete line");
+    } else if (kind == "relabel") {
+      a.kind = SessionAction::Kind::kRelabelNode;
+      if (!(in >> a.node >> a.label)) {
+        return Status::Corruption("bad relabel line");
+      }
+    } else if (kind == "simquery") {
+      a.kind = SessionAction::Kind::kSimQuery;
+    } else {
+      return Status::Corruption("unknown action: " + kind);
+    }
+    log.push_back(a);
+  }
+  return log;
+}
+
+Result<SessionLog> LoadSessionLogFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadSessionLog(&in);
+}
+
+Result<std::unique_ptr<PragueSession>> ReplaySession(
+    const SessionLog& log, const GraphDatabase* db,
+    const ActionAwareIndexes* indexes, const PragueConfig& config) {
+  auto session = std::make_unique<PragueSession>(db, indexes, config);
+  for (const SessionAction& a : log) {
+    switch (a.kind) {
+      case SessionAction::Kind::kAddNode:
+        session->AddNode(a.label);
+        break;
+      case SessionAction::Kind::kAddEdge: {
+        Result<StepReport> r = session->AddEdge(a.u, a.v, a.edge_label);
+        if (!r.ok()) return r.status();
+        break;
+      }
+      case SessionAction::Kind::kDeleteEdge: {
+        Result<StepReport> r = session->DeleteEdge(a.ell);
+        if (!r.ok()) return r.status();
+        break;
+      }
+      case SessionAction::Kind::kRelabelNode: {
+        Result<StepReport> r = session->RelabelNode(a.node, a.label);
+        if (!r.ok()) return r.status();
+        break;
+      }
+      case SessionAction::Kind::kSimQuery: {
+        Result<StepReport> r = session->EnableSimilarity();
+        if (!r.ok()) return r.status();
+        break;
+      }
+    }
+  }
+  return session;
+}
+
+}  // namespace prague

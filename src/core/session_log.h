@@ -1,0 +1,71 @@
+// Session action log: a durable record of every visual action a user
+// performed, sufficient to reconstruct the full engine state (query
+// fragment, SPIG set, candidates, simFlag) by replay. This is what a GUI
+// needs for crash recovery and for the paper's user-study protocol of
+// re-running recorded formulation sessions.
+//
+// PragueSession records its own log automatically; SaveSessionLog /
+// LoadSessionLog serialize it as one action per line, and ReplaySession
+// rebuilds a session from it.
+
+#ifndef PRAGUE_CORE_SESSION_LOG_H_
+#define PRAGUE_CORE_SESSION_LOG_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/visual_query.h"
+#include "util/result.h"
+
+namespace prague {
+
+class PragueSession;
+struct PragueConfig;
+class GraphDatabase;
+struct ActionAwareIndexes;
+
+/// \brief One recorded visual action.
+struct SessionAction {
+  enum class Kind {
+    kAddNode,      ///< label
+    kAddEdge,      ///< u, v, edge_label
+    kDeleteEdge,   ///< ell
+    kRelabelNode,  ///< node, label
+    kSimQuery,     ///< (no operands)
+  };
+
+  Kind kind = Kind::kAddNode;
+  Label label = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  Label edge_label = 0;
+  FormulationId ell = 0;
+  NodeId node = 0;
+
+  bool operator==(const SessionAction&) const = default;
+};
+
+/// \brief The ordered action history of one session.
+using SessionLog = std::vector<SessionAction>;
+
+/// \brief Writes the log, one action per line.
+Status SaveSessionLog(const SessionLog& log, std::ostream* out);
+/// \brief Writes the log to a file.
+Status SaveSessionLogToFile(const SessionLog& log, const std::string& path);
+/// \brief Parses a log.
+Result<SessionLog> LoadSessionLog(std::istream* in);
+/// \brief Parses a log from a file.
+Result<SessionLog> LoadSessionLogFromFile(const std::string& path);
+
+/// \brief Rebuilds a session by replaying \p log against \p db/\p indexes.
+/// The replayed session's state (candidates, SPIGs, simFlag) equals the
+/// original's at the moment the log was captured.
+Result<std::unique_ptr<PragueSession>> ReplaySession(
+    const SessionLog& log, const GraphDatabase* db,
+    const ActionAwareIndexes* indexes, const PragueConfig& config);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_SESSION_LOG_H_

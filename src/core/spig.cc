@@ -1,0 +1,260 @@
+#include "core/spig.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/subgraph_ops.h"
+#include "util/bytes.h"
+
+namespace prague {
+
+namespace {
+
+// Highest formulation id present in a mask (masks are never 0 here).
+FormulationId MaxFormulationId(FormulationMask mask) {
+  assert(mask != 0);
+  return 64 - __builtin_clzll(mask);
+}
+
+void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// Folds one already-resolved subgraph vertex (an in-SPIG parent or the
+// g−eℓ vertex from an earlier SPIG) into a NIF's Φ/Υ, per Algorithm 2
+// lines 6-11: frequent (size−1)-subgraphs feed Φ; DIF ids and inherited
+// Υ sets feed Υ.
+void InheritInto(const SpigVertex& sub, FragmentList* frag) {
+  if (sub.frag.freq_id) frag->phi.push_back(*sub.frag.freq_id);
+  if (sub.frag.dif_id) frag->upsilon.push_back(*sub.frag.dif_id);
+  frag->upsilon.insert(frag->upsilon.end(), sub.frag.upsilon.begin(),
+                       sub.frag.upsilon.end());
+}
+
+}  // namespace
+
+const std::vector<SpigVertex>& Spig::Level(int level) const {
+  static const std::vector<SpigVertex> kEmpty;
+  if (level < 1 || level >= static_cast<int>(levels_.size())) return kEmpty;
+  return levels_[level];
+}
+
+size_t Spig::VertexCount() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+const SpigVertex* Spig::FindByEdgeList(FormulationMask mask) const {
+  auto it = by_mask_.find(mask);
+  if (it == by_mask_.end()) return nullptr;
+  return &levels_[it->second.first][it->second.second];
+}
+
+void Spig::RemoveVerticesWithEdge(FormulationId ell_d) {
+  FormulationMask bit = FormulationBit(ell_d);
+  by_mask_.clear();
+  for (int level = 1; level < static_cast<int>(levels_.size()); ++level) {
+    auto& vec = levels_[level];
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [bit](const SpigVertex& v) {
+                               return (v.edge_list & bit) != 0;
+                             }),
+              vec.end());
+    for (int i = 0; i < static_cast<int>(vec.size()); ++i) {
+      by_mask_.emplace(vec[i].edge_list, std::make_pair(level, i));
+    }
+  }
+  while (levels_.size() > 1 && levels_.back().empty()) levels_.pop_back();
+}
+
+size_t Spig::ByteSize() const {
+  size_t bytes = VectorBytes(levels_);
+  for (const auto& level : levels_) {
+    bytes += VectorBytes(level);
+    for (const SpigVertex& v : level) {
+      bytes += v.fragment.ByteSize() + v.code.capacity() +
+               VectorBytes(v.frag.phi) + VectorBytes(v.frag.upsilon);
+    }
+  }
+  bytes += by_mask_.size() *
+           (sizeof(FormulationMask) + sizeof(std::pair<int, int>) + 16);
+  return bytes;
+}
+
+Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
+                                           FormulationId ell,
+                                           const ActionAwareIndexes& indexes) {
+  if (spigs_.contains(ell)) {
+    return Status::InvalidArgument("SPIG already built for e" +
+                                   std::to_string(ell));
+  }
+  std::optional<EdgeId> graph_edge = query.GraphEdgeOfFormulationId(ell);
+  if (!graph_edge) {
+    return Status::NotFound("edge e" + std::to_string(ell) + " is not alive");
+  }
+  const Graph& q = query.CurrentGraph();
+  FormulationMask ell_bit = FormulationBit(ell);
+
+  Spig spig;
+  spig.ell_ = ell;
+  std::vector<std::vector<EdgeMask>> masks =
+      ConnectedEdgeSupersetsOf(q, *graph_edge);
+  spig.levels_.resize(masks.size());
+
+  for (int level = 1; level < static_cast<int>(masks.size()); ++level) {
+    for (EdgeMask gmask : masks[level]) {
+      SpigVertex v;
+      v.edge_list = query.ToFormulationMask(gmask);
+      ExtractedSubgraph sub = ExtractEdgeSubgraph(q, gmask);
+      v.fragment = std::move(sub.graph);
+      v.code = GetCanonicalCode(v.fragment);
+
+      if (std::optional<A2fId> fid = indexes.a2f.Lookup(v.code)) {
+        v.frag.freq_id = *fid;
+      } else if (std::optional<A2iId> did = indexes.a2i.Lookup(v.code)) {
+        v.frag.dif_id = *did;
+      } else {
+        // NIF: inherit Φ/Υ from the (level−1)-subgraphs. Those containing
+        // eℓ are this SPIG's parents (drop one non-eℓ edge, if still
+        // connected); the single one without eℓ lives in the SPIG of its
+        // own largest formulation id (Algorithm 2 lines 8-11).
+        for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+          if (e == *graph_edge || !(gmask & EdgeBit(e))) continue;
+          EdgeMask parent_mask = gmask & ~EdgeBit(e);
+          if (!IsEdgeSubsetConnected(q, parent_mask)) continue;
+          const SpigVertex* parent =
+              spig.FindByEdgeList(query.ToFormulationMask(parent_mask));
+          assert(parent != nullptr && "parent level must be complete");
+          if (parent != nullptr) InheritInto(*parent, &v.frag);
+        }
+        EdgeMask without_ell = gmask & ~EdgeBit(*graph_edge);
+        if (without_ell != 0 && IsEdgeSubsetConnected(q, without_ell)) {
+          FormulationMask fmask = query.ToFormulationMask(without_ell);
+          const SpigVertex* prior = FindVertexInternal(fmask);
+          assert(prior != nullptr && "earlier SPIGs must cover this subset");
+          if (prior != nullptr) InheritInto(*prior, &v.frag);
+        }
+        SortUnique(&v.frag.phi);
+        SortUnique(&v.frag.upsilon);
+      }
+      (void)ell_bit;
+      spig.by_mask_.emplace(
+          v.edge_list,
+          std::make_pair(level, static_cast<int>(spig.levels_[level].size())));
+      spig.levels_[level].push_back(std::move(v));
+    }
+  }
+
+  auto [it, inserted] = spigs_.emplace(ell, std::move(spig));
+  assert(inserted);
+  (void)inserted;
+  return &it->second;
+}
+
+namespace {
+
+// Recomputes a Fragment List from scratch: index lookups for the fragment
+// itself, else Φ = frequent (size−1)-subgraphs and Υ = all DIF subgraphs
+// by full enumeration (Definition 4, computed the slow way).
+FragmentList DirectFragmentList(const Graph& fragment,
+                                const CanonicalCode& code,
+                                const ActionAwareIndexes& indexes) {
+  FragmentList out;
+  if (std::optional<A2fId> fid = indexes.a2f.Lookup(code)) {
+    out.freq_id = *fid;
+    return out;
+  }
+  if (std::optional<A2iId> did = indexes.a2i.Lookup(code)) {
+    out.dif_id = *did;
+    return out;
+  }
+  std::vector<std::vector<EdgeMask>> by_size =
+      ConnectedEdgeSubsetsBySize(fragment);
+  for (size_t k = 1; k < fragment.EdgeCount(); ++k) {
+    for (EdgeMask mask : by_size[k]) {
+      Graph sub = ExtractEdgeSubgraph(fragment, mask).graph;
+      CanonicalCode sub_code = GetCanonicalCode(sub);
+      if (k + 1 == fragment.EdgeCount()) {
+        if (std::optional<A2fId> fid = indexes.a2f.Lookup(sub_code)) {
+          out.phi.push_back(*fid);
+        }
+      }
+      if (std::optional<A2iId> did = indexes.a2i.Lookup(sub_code)) {
+        out.upsilon.push_back(*did);
+      }
+    }
+  }
+  SortUnique(&out.phi);
+  SortUnique(&out.upsilon);
+  return out;
+}
+
+}  // namespace
+
+Status SpigSet::RefreshForRelabel(const VisualQuery& query,
+                                  FormulationMask affected_edges,
+                                  const ActionAwareIndexes& indexes) {
+  const Graph& q = query.CurrentGraph();
+  for (auto& [ell, spig] : spigs_) {
+    for (auto& level : spig.levels_) {
+      for (SpigVertex& v : level) {
+        if (!(v.edge_list & affected_edges)) continue;
+        EdgeMask gmask = query.ToGraphMask(v.edge_list);
+        if (MaskSize(gmask) != v.Level()) {
+          return Status::FailedPrecondition(
+              "SPIG vertex no longer maps onto the query");
+        }
+        ExtractedSubgraph sub = ExtractEdgeSubgraph(q, gmask);
+        v.fragment = std::move(sub.graph);
+        v.code = GetCanonicalCode(v.fragment);
+        v.frag = DirectFragmentList(v.fragment, v.code, indexes);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SpigSet::RemoveForDeletedEdge(FormulationId ell_d) {
+  spigs_.erase(ell_d);
+  for (auto& [ell, spig] : spigs_) {
+    if (ell > ell_d) spig.RemoveVerticesWithEdge(ell_d);
+  }
+}
+
+const Spig* SpigSet::Find(FormulationId ell) const {
+  auto it = spigs_.find(ell);
+  return it == spigs_.end() ? nullptr : &it->second;
+}
+
+const SpigVertex* SpigSet::FindVertex(FormulationMask mask) const {
+  return FindVertexInternal(mask);
+}
+
+const SpigVertex* SpigSet::FindVertexInternal(FormulationMask mask) const {
+  if (mask == 0) return nullptr;
+  const Spig* spig = Find(MaxFormulationId(mask));
+  if (spig == nullptr) return nullptr;
+  return spig->FindByEdgeList(mask);
+}
+
+size_t SpigSet::VertexCountAtLevel(int level) const {
+  size_t total = 0;
+  for (const auto& [ell, spig] : spigs_) total += spig.Level(level).size();
+  return total;
+}
+
+size_t SpigSet::TotalVertexCount() const {
+  size_t total = 0;
+  for (const auto& [ell, spig] : spigs_) total += spig.VertexCount();
+  return total;
+}
+
+size_t SpigSet::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [ell, spig] : spigs_) bytes += spig.ByteSize();
+  return bytes;
+}
+
+}  // namespace prague

@@ -1,0 +1,170 @@
+// Spindle-shaped graphs (SPIGs) — Section V, Definition 4.
+//
+// For every edge eℓ the user draws, a SPIG Sℓ records *every* connected
+// subgraph of the query fragment that contains eℓ, one vertex per edge
+// subset, organized into levels by subgraph size. Each vertex carries the
+// subgraph's CAM code, its Edge List (the formulation ids of its edges)
+// and a Fragment List tying it to the action-aware indexes:
+//
+//   * freqId  — its a2fId, if the subgraph is a frequent fragment;
+//   * difId   — its a2iId, if it is a discriminative infrequent fragment;
+//   * Φ       — otherwise (NIF), the a2fIds of its frequent
+//               (size-1)-edge subgraphs;
+//   * Υ       — and the a2iIds of *all* its DIF subgraphs.
+//
+// Fragment Lists are inherited (Algorithm 2): a vertex pulls Φ/Υ material
+// from its in-SPIG parents (the size-1 subgraphs containing eℓ) and from
+// the g−eℓ vertex, which lives in the earlier SPIG of that subgraph's
+// largest formulation id — no index decomposition probing is ever needed.
+
+#ifndef PRAGUE_CORE_SPIG_H_
+#define PRAGUE_CORE_SPIG_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/visual_query.h"
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "index/action_aware_index.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief The Fragment List Lfrag(g) of a SPIG vertex (Definition 4).
+struct FragmentList {
+  std::optional<A2fId> freq_id;   ///< set iff g ∈ A2F
+  std::optional<A2iId> dif_id;    ///< set iff g ∈ A2I
+  std::vector<A2fId> phi;         ///< Φ(g): frequent (|g|−1)-subgraph ids
+  std::vector<A2iId> upsilon;     ///< Υ(g): all DIF subgraph ids
+
+  /// \brief Frequent fragment?
+  bool IsFrequent() const { return freq_id.has_value(); }
+  /// \brief Discriminative infrequent fragment?
+  bool IsDif() const { return dif_id.has_value(); }
+  /// \brief Non-discriminative infrequent fragment (neither indexed)?
+  bool IsNif() const { return !IsFrequent() && !IsDif(); }
+};
+
+/// \brief One SPIG vertex: a connected subgraph of the query containing eℓ.
+struct SpigVertex {
+  /// Edge List LE(g): formulation ids of the subgraph's edges.
+  FormulationMask edge_list = 0;
+  /// The materialized subgraph g (node ids local to this fragment).
+  Graph fragment;
+  /// cam(g): the canonical code.
+  CanonicalCode code;
+  /// Lfrag(g).
+  FragmentList frag;
+
+  /// \brief Level = |g| in edges.
+  int Level() const { return __builtin_popcountll(edge_list); }
+};
+
+/// \brief The SPIG Sℓ for one drawn edge.
+class Spig {
+ public:
+  /// \brief Formulation id ℓ of the edge this SPIG belongs to.
+  FormulationId ell() const { return ell_; }
+
+  /// \brief Vertices at \p level (1-based; empty above the top).
+  const std::vector<SpigVertex>& Level(int level) const;
+  /// \brief Number of populated levels (= size of the query fragment when
+  /// this SPIG was built, until deletions shrink it).
+  int MaxLevel() const { return static_cast<int>(levels_.size()) - 1; }
+  /// \brief Total vertex count.
+  size_t VertexCount() const;
+
+  /// \brief Vertex with the exact Edge List \p mask, or nullptr.
+  const SpigVertex* FindByEdgeList(FormulationMask mask) const;
+
+  /// \brief Source vertex (level 1, the edge eℓ itself).
+  const SpigVertex& Source() const { return levels_[1][0]; }
+
+  /// \brief Removes every vertex whose Edge List contains eℓd
+  /// (Algorithm 6, lines 13-14).
+  void RemoveVerticesWithEdge(FormulationId ell_d);
+
+  /// \brief Approximate heap footprint.
+  size_t ByteSize() const;
+
+ private:
+  friend class SpigSet;
+
+  FormulationId ell_ = 0;
+  std::vector<std::vector<SpigVertex>> levels_;  // [0] unused
+  std::unordered_map<FormulationMask, std::pair<int, int>> by_mask_;
+};
+
+/// \brief The SPIG set S: one SPIG per alive drawn edge, plus the global
+/// operations PRAGUE's algorithms run on it.
+class SpigSet {
+ public:
+  SpigSet() = default;
+
+  /// \brief Algorithm 2 (SpigConstruct): builds Sℓ for the new edge eℓ of
+  /// \p query and inserts it. Fragment Lists are resolved against
+  /// \p indexes with inheritance from in-SPIG parents and earlier SPIGs.
+  ///
+  /// Must be called exactly once per drawn edge, in formulation order.
+  Result<const Spig*> AddForNewEdge(const VisualQuery& query,
+                                    FormulationId ell,
+                                    const ActionAwareIndexes& indexes);
+
+  /// \brief Algorithm 6 (lines 12-14): drops S_d and every vertex of later
+  /// SPIGs whose Edge List contains e_d.
+  void RemoveForDeletedEdge(FormulationId ell_d);
+
+  /// \brief Node-relabel support (the paper's footnote 5 treats relabeling
+  /// as delete+insert; doing it in place is strictly cheaper): re-extracts
+  /// the fragment, canonical code, and Fragment List of every vertex whose
+  /// Edge List touches one of \p affected_edges. Fragment Lists are
+  /// recomputed by direct enumeration + index probing (inheritance order
+  /// is no longer available after the fact).
+  Status RefreshForRelabel(const VisualQuery& query,
+                           FormulationMask affected_edges,
+                           const ActionAwareIndexes& indexes);
+
+  /// \brief Drops all SPIGs.
+  void Clear() { spigs_.clear(); }
+
+  /// \brief The SPIG for eℓ, or nullptr.
+  const Spig* Find(FormulationId ell) const;
+
+  /// \brief The vertex whose Edge List is exactly \p mask, or nullptr.
+  /// Routed to the SPIG of the mask's highest formulation id — every
+  /// connected subset lives in exactly one SPIG.
+  const SpigVertex* FindVertex(FormulationMask mask) const;
+
+  /// \brief Invokes \p fn on every vertex at \p level across all SPIGs.
+  template <typename Fn>
+  void ForEachVertexAtLevel(int level, Fn&& fn) const {
+    for (const auto& [ell, spig] : spigs_) {
+      if (level > spig.MaxLevel()) continue;
+      for (const SpigVertex& v : spig.Level(level)) fn(spig, v);
+    }
+  }
+
+  /// \brief Total number of vertices at \p level across all SPIGs — the
+  /// N(k) of Lemma 1.
+  size_t VertexCountAtLevel(int level) const;
+
+  /// \brief Total vertex count across all SPIGs.
+  size_t TotalVertexCount() const;
+  /// \brief Number of SPIGs.
+  size_t SpigCount() const { return spigs_.size(); }
+  /// \brief Approximate heap footprint.
+  size_t ByteSize() const;
+
+ private:
+  // Locates the Fragment List of the (already built) vertex for `mask`.
+  const SpigVertex* FindVertexInternal(FormulationMask mask) const;
+
+  std::unordered_map<FormulationId, Spig> spigs_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_SPIG_H_

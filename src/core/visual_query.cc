@@ -1,0 +1,210 @@
+#include "core/visual_query.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prague {
+
+NodeId VisualQuery::AddNode(Label label) {
+  node_labels_.push_back(label);
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+Result<FormulationId> VisualQuery::AddEdge(NodeId u, NodeId v, Label label) {
+  if (u >= node_labels_.size() || v >= node_labels_.size()) {
+    return Status::InvalidArgument("edge endpoint node does not exist");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not supported");
+  if (alive_count_ >= kMaxVisualQueryEdges) {
+    return Status::FailedPrecondition("visual query edge cap reached");
+  }
+  if (next_ell_ > kMaxFormulationId) {
+    return Status::FailedPrecondition("formulation id space exhausted");
+  }
+  bool u_covered = false;
+  bool v_covered = false;
+  for (const VisualEdge& e : edges_) {
+    if (!e.alive) continue;
+    if (e.u == u && e.v == v) {
+      return Status::InvalidArgument("duplicate edge");
+    }
+    if (e.u == v && e.v == u) {
+      return Status::InvalidArgument("duplicate edge");
+    }
+    u_covered = u_covered || e.u == u || e.v == u;
+    v_covered = v_covered || e.u == v || e.v == v;
+  }
+  if (alive_count_ > 0 && !u_covered && !v_covered) {
+    return Status::InvalidArgument(
+        "edge would disconnect the query fragment");
+  }
+  VisualEdge edge;
+  edge.u = u;
+  edge.v = v;
+  edge.label = label;
+  edge.ell = next_ell_++;
+  edges_.push_back(edge);
+  ++alive_count_;
+  dirty_ = true;
+  return edge.ell;
+}
+
+bool VisualQuery::CanDelete(FormulationId ell) const {
+  if (ell < 1 || static_cast<size_t>(ell) > edges_.size()) return false;
+  const VisualEdge& target = edges_[ell - 1];
+  if (!target.alive) return false;
+  if (alive_count_ == 1) return false;  // fragment must stay non-empty
+  // Union-find over remaining alive edges.
+  std::vector<NodeId> root(node_labels_.size());
+  for (NodeId i = 0; i < root.size(); ++i) root[i] = i;
+  auto find = [&](NodeId n) {
+    while (root[n] != n) n = root[n] = root[root[n]];
+    return n;
+  };
+  size_t remaining = 0;
+  std::vector<bool> touched(node_labels_.size(), false);
+  for (const VisualEdge& e : edges_) {
+    if (!e.alive || e.ell == ell) continue;
+    ++remaining;
+    touched[e.u] = touched[e.v] = true;
+    root[find(e.u)] = find(e.v);
+  }
+  if (remaining == 0) return false;
+  NodeId rep = kInvalidNode;
+  for (NodeId n = 0; n < node_labels_.size(); ++n) {
+    if (!touched[n]) continue;
+    if (rep == kInvalidNode) rep = find(n);
+    if (find(n) != find(rep)) return false;
+  }
+  return true;
+}
+
+Status VisualQuery::DeleteEdge(FormulationId ell) {
+  if (ell < 1 || static_cast<size_t>(ell) > edges_.size() ||
+      !edges_[ell - 1].alive) {
+    return Status::NotFound("edge not alive: e" + std::to_string(ell));
+  }
+  if (!CanDelete(ell)) {
+    return Status::FailedPrecondition(
+        "deleting e" + std::to_string(ell) +
+        " would disconnect or empty the query fragment");
+  }
+  edges_[ell - 1].alive = false;
+  --alive_count_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status VisualQuery::RelabelNode(NodeId user_node, Label new_label) {
+  if (user_node >= node_labels_.size()) {
+    return Status::NotFound("node does not exist");
+  }
+  if (node_labels_[user_node] == new_label) return Status::OK();
+  node_labels_[user_node] = new_label;
+  dirty_ = true;
+  return Status::OK();
+}
+
+FormulationMask VisualQuery::IncidentEdgeMask(NodeId user_node) const {
+  FormulationMask out = 0;
+  for (const VisualEdge& e : edges_) {
+    if (e.alive && (e.u == user_node || e.v == user_node)) {
+      out |= FormulationBit(e.ell);
+    }
+  }
+  return out;
+}
+
+std::vector<FormulationId> VisualQuery::AliveEdgeIds() const {
+  std::vector<FormulationId> out;
+  out.reserve(alive_count_);
+  for (const VisualEdge& e : edges_) {
+    if (e.alive) out.push_back(e.ell);
+  }
+  return out;
+}
+
+std::optional<VisualEdge> VisualQuery::GetEdge(FormulationId ell) const {
+  if (ell < 1 || static_cast<size_t>(ell) > edges_.size()) return std::nullopt;
+  const VisualEdge& e = edges_[ell - 1];
+  if (!e.alive) return std::nullopt;
+  return e;
+}
+
+FormulationMask VisualQuery::FullMask() const {
+  FormulationMask mask = 0;
+  for (const VisualEdge& e : edges_) {
+    if (e.alive) mask |= FormulationBit(e.ell);
+  }
+  return mask;
+}
+
+void VisualQuery::Recompile() const {
+  if (alive_count_ == 0) {
+    compiled_ = Graph();
+    edge_to_ell_.clear();
+    ell_to_edge_.assign(edges_.size(), kInvalidEdge);
+    user_to_graph_.assign(node_labels_.size(), kInvalidNode);
+    dirty_ = false;
+    return;
+  }
+  GraphBuilder builder;
+  user_to_graph_.assign(node_labels_.size(), kInvalidNode);
+  edge_to_ell_.clear();
+  ell_to_edge_.assign(edges_.size(), kInvalidEdge);
+  for (const VisualEdge& e : edges_) {
+    if (!e.alive) continue;
+    for (NodeId endpoint : {e.u, e.v}) {
+      if (user_to_graph_[endpoint] == kInvalidNode) {
+        user_to_graph_[endpoint] = builder.AddNode(node_labels_[endpoint]);
+      }
+    }
+    Result<EdgeId> r = builder.AddEdge(user_to_graph_[e.u],
+                                       user_to_graph_[e.v], e.label);
+    assert(r.ok());
+    ell_to_edge_[e.ell - 1] = *r;
+    edge_to_ell_.push_back(e.ell);
+  }
+  compiled_ = std::move(builder).Build();
+  dirty_ = false;
+}
+
+const Graph& VisualQuery::CurrentGraph() const {
+  if (dirty_) Recompile();
+  return compiled_;
+}
+
+FormulationId VisualQuery::FormulationIdOfGraphEdge(EdgeId e) const {
+  if (dirty_) Recompile();
+  return edge_to_ell_[e];
+}
+
+std::optional<EdgeId> VisualQuery::GraphEdgeOfFormulationId(
+    FormulationId ell) const {
+  if (dirty_) Recompile();
+  if (ell < 1 || static_cast<size_t>(ell) > ell_to_edge_.size() ||
+      ell_to_edge_[ell - 1] == kInvalidEdge) {
+    return std::nullopt;
+  }
+  return ell_to_edge_[ell - 1];
+}
+
+FormulationMask VisualQuery::ToFormulationMask(EdgeMask graph_mask) const {
+  if (dirty_) Recompile();
+  FormulationMask out = 0;
+  for (EdgeId e = 0; e < edge_to_ell_.size(); ++e) {
+    if (graph_mask & EdgeBit(e)) out |= FormulationBit(edge_to_ell_[e]);
+  }
+  return out;
+}
+
+EdgeMask VisualQuery::ToGraphMask(FormulationMask formulation_mask) const {
+  if (dirty_) Recompile();
+  EdgeMask out = 0;
+  for (EdgeId e = 0; e < edge_to_ell_.size(); ++e) {
+    if (formulation_mask & FormulationBit(edge_to_ell_[e])) out |= EdgeBit(e);
+  }
+  return out;
+}
+
+}  // namespace prague

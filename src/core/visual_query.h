@@ -1,0 +1,136 @@
+// VisualQuery: the evolving query fragment a user draws edge-at-a-time in
+// the GUI (Figure 2). Every edge carries its *formulation id* ℓ — the
+// step number at which it was drawn — which is the identity SPIGs, Edge
+// Lists, and the modification machinery key on. Formulation ids are never
+// reused, so a SPIG built at step ℓ stays valid after later deletions.
+
+#ifndef PRAGUE_CORE_VISUAL_QUERY_H_
+#define PRAGUE_CORE_VISUAL_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph_ops.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// Formulation id ℓ of a drawn edge (1-based step number).
+using FormulationId = int;
+
+/// Bitmask over formulation ids; bit (ℓ-1) set means edge eℓ is included.
+/// This is the storage form of a SPIG vertex's Edge List.
+using FormulationMask = uint64_t;
+
+/// \brief Bit for formulation id \p ell.
+inline FormulationMask FormulationBit(FormulationId ell) {
+  return FormulationMask{1} << (ell - 1);
+}
+
+/// Hard cap on concurrently drawn (alive) edges; the subset machinery is
+/// exponential in this. The paper's user studies stop at 10.
+inline constexpr size_t kMaxVisualQueryEdges = 16;
+/// Hard cap on formulation ids handed out per session (mask bits).
+inline constexpr FormulationId kMaxFormulationId = 64;
+
+/// \brief One user-drawn edge.
+struct VisualEdge {
+  NodeId u = kInvalidNode;  ///< user node id
+  NodeId v = kInvalidNode;  ///< user node id
+  Label label = 0;
+  FormulationId ell = 0;
+  bool alive = true;
+};
+
+/// \brief The visual query fragment under construction.
+///
+/// User node ids are stable (they are never renumbered); the compiled
+/// Graph exposed by CurrentGraph() contains only nodes incident to alive
+/// edges, with dense ids and a recorded mapping in both directions.
+class VisualQuery {
+ public:
+  VisualQuery() = default;
+
+  /// \brief User drops a node with the given label onto the canvas.
+  NodeId AddNode(Label label);
+
+  /// \brief User draws an edge; returns its formulation id ℓ.
+  ///
+  /// The fragment must stay connected: the first edge is free, every later
+  /// edge must touch a node already covered by an alive edge. Fails with
+  /// InvalidArgument on bad endpoints, duplicates, or disconnection, and
+  /// FailedPrecondition when a size cap is hit.
+  Result<FormulationId> AddEdge(NodeId u, NodeId v, Label label = 0);
+
+  /// \brief User deletes edge eℓ. The remaining fragment must be non-empty
+  /// and connected (isolated endpoints drop out of the compiled graph).
+  Status DeleteEdge(FormulationId ell);
+
+  /// \brief Can eℓ be deleted while keeping the fragment connected?
+  bool CanDelete(FormulationId ell) const;
+
+  /// \brief User changes the label of a node (footnote 5 of the paper).
+  /// The drawn edges are untouched; callers must refresh any SPIG state
+  /// built over the old label (SpigSet::RefreshForRelabel).
+  Status RelabelNode(NodeId user_node, Label new_label);
+
+  /// \brief Formulation-id mask of the alive edges incident to a node.
+  FormulationMask IncidentEdgeMask(NodeId user_node) const;
+
+  /// \brief Number of alive edges — |q|.
+  size_t EdgeCount() const { return alive_count_; }
+  /// \brief True iff no alive edges.
+  bool Empty() const { return alive_count_ == 0; }
+  /// \brief Label of a user node.
+  Label NodeLabel(NodeId user_node) const { return node_labels_[user_node]; }
+  /// \brief Number of user nodes ever added.
+  size_t UserNodeCount() const { return node_labels_.size(); }
+
+  /// \brief Formulation ids of all alive edges, ascending.
+  std::vector<FormulationId> AliveEdgeIds() const;
+  /// \brief The alive edge eℓ, if alive.
+  std::optional<VisualEdge> GetEdge(FormulationId ell) const;
+  /// \brief Highest formulation id handed out so far.
+  FormulationId LastFormulationId() const { return next_ell_ - 1; }
+
+  /// \brief OR of FormulationBit over alive edges.
+  FormulationMask FullMask() const;
+
+  /// \brief The compiled connected graph of alive edges. Edge ids in the
+  /// compiled graph are positional; use FormulationIdOfGraphEdge /
+  /// GraphEdgeOfFormulationId to translate. Requires !Empty().
+  const Graph& CurrentGraph() const;
+
+  /// \brief Formulation id of compiled-graph edge \p e.
+  FormulationId FormulationIdOfGraphEdge(EdgeId e) const;
+  /// \brief Compiled-graph edge id of eℓ, if alive.
+  std::optional<EdgeId> GraphEdgeOfFormulationId(FormulationId ell) const;
+
+  /// \brief Converts a compiled-graph edge mask to a formulation mask.
+  FormulationMask ToFormulationMask(EdgeMask graph_mask) const;
+  /// \brief Converts a formulation mask (of alive edges) to a compiled-
+  /// graph edge mask.
+  EdgeMask ToGraphMask(FormulationMask formulation_mask) const;
+
+ private:
+  void Recompile() const;
+
+  std::vector<Label> node_labels_;   // user node id -> label
+  std::vector<VisualEdge> edges_;    // by formulation order (ell-1)
+  size_t alive_count_ = 0;
+  FormulationId next_ell_ = 1;
+
+  // Compiled-graph cache.
+  mutable bool dirty_ = true;
+  mutable Graph compiled_;
+  mutable std::vector<FormulationId> edge_to_ell_;   // graph EdgeId -> ell
+  mutable std::vector<EdgeId> ell_to_edge_;          // ell-1 -> graph EdgeId
+  mutable std::vector<NodeId> user_to_graph_;        // user node -> graph node
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_VISUAL_QUERY_H_

@@ -1,0 +1,161 @@
+#include "datasets/aids_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prague {
+
+namespace {
+
+// Atom alphabet with skewed draw weights, mirroring organic chemistry:
+// carbon dominates, hetero-atoms are minorities, heavy metals are rare.
+struct Atom {
+  const char* symbol;
+  double weight;
+};
+
+constexpr Atom kAtoms[] = {
+    {"C", 0.720}, {"N", 0.090}, {"O", 0.090},  {"S", 0.040},
+    {"Cl", 0.020}, {"P", 0.012}, {"F", 0.010}, {"Br", 0.008},
+    {"I", 0.004}, {"Hg", 0.003}, {"As", 0.002}, {"Cu", 0.001},
+};
+
+Label DrawAtom(Rng* rng, const std::vector<Label>& atom_labels) {
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    for (const Atom& a : kAtoms) w.push_back(a.weight);
+    return w;
+  }();
+  return atom_labels[rng->Weighted(weights)];
+}
+
+// Molecule size: shifted sum of exponentials (gamma-ish) — mean ≈
+// avg_nodes, with a heavy right tail reaching the cap.
+size_t DrawSize(Rng* rng, double avg_nodes, size_t max_nodes) {
+  double base = 6.0;
+  double mean_extra = avg_nodes - base;
+  double x = 0;
+  for (int i = 0; i < 3; ++i) {
+    // Exponential with mean mean_extra/3 via inverse CDF.
+    double u = rng->NextDouble();
+    x += -(mean_extra / 3.0) * std::log(1.0 - u);
+  }
+  size_t n = static_cast<size_t>(base + x);
+  return std::clamp<size_t>(n, 3, max_nodes);
+}
+
+// Grows one molecule: a seed ring or chain, then attach rings/chains at
+// random atoms until the size target is met, with occasional extra ring
+// closures (molecules average ~2 independent cycles).
+Graph GenerateMolecule(Rng* rng, const std::vector<Label>& atom_labels,
+                       size_t target_nodes, bool bond_labels) {
+  GraphBuilder b;
+  std::vector<NodeId> nodes;
+  auto add_atom = [&]() {
+    NodeId n = b.AddNode(DrawAtom(rng, atom_labels));
+    nodes.push_back(n);
+    return n;
+  };
+  auto connect = [&](NodeId u, NodeId v) {
+    Label bond = bond_labels && rng->Chance(0.15) ? 1 : 0;
+    (void)b.AddEdge(u, v, bond);
+  };
+
+  // Seed: ring of 5/6 (70%) or chain of 3-5 (30%).
+  if (rng->Chance(0.7) && target_nodes >= 5) {
+    size_t ring = rng->Chance(0.6) ? 6 : 5;
+    ring = std::min(ring, target_nodes);
+    NodeId first = add_atom();
+    NodeId prev = first;
+    for (size_t i = 1; i < ring; ++i) {
+      NodeId n = add_atom();
+      connect(prev, n);
+      prev = n;
+    }
+    connect(prev, first);
+  } else {
+    size_t chain = std::min<size_t>(3 + rng->Below(3), target_nodes);
+    NodeId prev = add_atom();
+    for (size_t i = 1; i < chain; ++i) {
+      NodeId n = add_atom();
+      connect(prev, n);
+      prev = n;
+    }
+  }
+
+  // Growth: attach chains (70%) or rings (30%) to random existing atoms.
+  while (nodes.size() < target_nodes) {
+    NodeId anchor = nodes[rng->Below(nodes.size())];
+    if (rng->Chance(0.3) && target_nodes - nodes.size() >= 4) {
+      size_t ring = std::min<size_t>(rng->Chance(0.6) ? 5 : 4,
+                                     target_nodes - nodes.size());
+      NodeId prev = anchor;
+      NodeId first = kInvalidNode;
+      for (size_t i = 0; i < ring; ++i) {
+        NodeId n = add_atom();
+        if (first == kInvalidNode) first = n;
+        connect(prev, n);
+        prev = n;
+      }
+      connect(prev, anchor);  // close the ring through the anchor
+    } else {
+      size_t chain =
+          std::min<size_t>(1 + rng->Below(4), target_nodes - nodes.size());
+      NodeId prev = anchor;
+      for (size_t i = 0; i < chain; ++i) {
+        NodeId n = add_atom();
+        connect(prev, n);
+        prev = n;
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+// Real molecules never bond heavy metals to each other; enforcing that
+// here keeps some label pairs absent from the whole database (which the
+// paper's "best case" queries — a frequent fragment plus one impossible
+// edge — rely on). One pass suffices: relabeling only turns metals into
+// carbon and can never create a new metal-metal bond.
+Graph ForbidMetalMetalBonds(const Graph& g, Label carbon,
+                            Label hg, Label as, Label cu) {
+  auto is_metal = [&](Label l) { return l == hg || l == as || l == cu; };
+  std::vector<Label> labels = g.node_labels();
+  for (const Edge& e : g.edges()) {
+    if (is_metal(labels[e.u]) && is_metal(labels[e.v])) {
+      labels[e.v] = carbon;
+    }
+  }
+  GraphBuilder b;
+  for (Label l : labels) b.AddNode(l);
+  for (const Edge& e : g.edges()) (void)b.AddEdge(e.u, e.v, e.label);
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+GraphDatabase GenerateAidsLikeDatabase(const AidsGeneratorConfig& config) {
+  GraphDatabase db;
+  std::vector<Label> atom_labels;
+  for (const Atom& a : kAtoms) {
+    atom_labels.push_back(db.mutable_labels()->Intern(a.symbol));
+  }
+  Label carbon = *db.labels().Lookup("C");
+  Label hg = *db.labels().Lookup("Hg");
+  Label as = *db.labels().Lookup("As");
+  Label cu = *db.labels().Lookup("Cu");
+  for (size_t i = 0; i < config.graph_count; ++i) {
+    Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + i);
+    size_t target = DrawSize(&rng, config.avg_nodes, config.max_nodes);
+    db.Add(ForbidMetalMetalBonds(
+        GenerateMolecule(&rng, atom_labels, target, config.bond_labels),
+        carbon, hg, as, cu));
+  }
+  return db;
+}
+
+}  // namespace prague

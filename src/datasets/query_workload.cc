@@ -1,0 +1,149 @@
+#include "datasets/query_workload.h"
+
+#include <algorithm>
+
+#include "graph/subgraph_ops.h"
+#include "graph/vf2.h"
+
+namespace prague {
+
+namespace {
+
+// Generic prefix-connected ordering: repeatedly append an edge adjacent to
+// the prefix, choosing by `pick` among the eligible edges.
+template <typename Pick>
+std::vector<EdgeId> OrderEdges(const Graph& q, EdgeId first, Pick&& pick) {
+  std::vector<EdgeId> order = {first};
+  std::vector<bool> used(q.EdgeCount(), false);
+  std::vector<bool> touched(q.NodeCount(), false);
+  used[first] = true;
+  touched[q.GetEdge(first).u] = true;
+  touched[q.GetEdge(first).v] = true;
+  while (order.size() < q.EdgeCount()) {
+    std::vector<EdgeId> eligible;
+    for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+      if (used[e]) continue;
+      const Edge& edge = q.GetEdge(e);
+      if (touched[edge.u] || touched[edge.v]) eligible.push_back(e);
+    }
+    EdgeId next = pick(eligible);
+    used[next] = true;
+    touched[q.GetEdge(next).u] = true;
+    touched[q.GetEdge(next).v] = true;
+    order.push_back(next);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<EdgeId> DefaultFormulationSequence(const Graph& q) {
+  return OrderEdges(q, 0, [](const std::vector<EdgeId>& eligible) {
+    return eligible.front();
+  });
+}
+
+std::vector<EdgeId> RandomFormulationSequence(const Graph& q, Rng* rng) {
+  EdgeId first = static_cast<EdgeId>(rng->Below(q.EdgeCount()));
+  return OrderEdges(q, first, [rng](const std::vector<EdgeId>& eligible) {
+    return eligible[rng->Below(eligible.size())];
+  });
+}
+
+WorkloadGenerator::WorkloadGenerator(const GraphDatabase* db, uint64_t seed)
+    : db_(db), rng_(seed) {}
+
+bool WorkloadGenerator::HasExactMatch(const Graph& q) const {
+  for (const Graph& g : db_->graphs()) {
+    if (IsSubgraphIsomorphic(q, g)) return true;
+  }
+  return false;
+}
+
+Result<Graph> WorkloadGenerator::SampleConnectedSubgraph(size_t edges) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const Graph& host = db_->graph(
+        static_cast<GraphId>(rng_.Below(db_->size())));
+    if (host.EdgeCount() < edges || host.EdgeCount() > kMaxSubsetEdges) {
+      continue;
+    }
+    // Random connected expansion from a random edge.
+    EdgeMask mask = EdgeBit(static_cast<EdgeId>(rng_.Below(host.EdgeCount())));
+    std::vector<bool> touched(host.NodeCount(), false);
+    auto touch = [&](EdgeId e) {
+      touched[host.GetEdge(e).u] = true;
+      touched[host.GetEdge(e).v] = true;
+    };
+    for (EdgeId e = 0; e < host.EdgeCount(); ++e) {
+      if (mask & EdgeBit(e)) touch(e);
+    }
+    while (static_cast<size_t>(MaskSize(mask)) < edges) {
+      std::vector<EdgeId> eligible;
+      for (EdgeId e = 0; e < host.EdgeCount(); ++e) {
+        if (mask & EdgeBit(e)) continue;
+        const Edge& edge = host.GetEdge(e);
+        if (touched[edge.u] || touched[edge.v]) eligible.push_back(e);
+      }
+      if (eligible.empty()) break;
+      EdgeId next = eligible[rng_.Below(eligible.size())];
+      mask |= EdgeBit(next);
+      touch(next);
+    }
+    if (static_cast<size_t>(MaskSize(mask)) != edges) continue;
+    return ExtractEdgeSubgraph(host, mask).graph;
+  }
+  return Status::NotFound("no data graph large enough to sample from");
+}
+
+Result<VisualQuerySpec> WorkloadGenerator::ContainmentQuery(
+    size_t edges, const std::string& name) {
+  Result<Graph> g = SampleConnectedSubgraph(edges);
+  if (!g.ok()) return g.status();
+  VisualQuerySpec spec;
+  spec.name = name;
+  spec.graph = std::move(*g);
+  spec.sequence = DefaultFormulationSequence(spec.graph);
+  return spec;
+}
+
+Result<VisualQuerySpec> WorkloadGenerator::SimilarityQuery(
+    size_t edges, int mutations, const std::string& name) {
+  size_t label_count = db_->labels().size();
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Result<Graph> sampled = SampleConnectedSubgraph(edges);
+    if (!sampled.ok()) return sampled.status();
+    // Mutate `mutations` node labels toward rare ids (high label ids are
+    // rare under both generators' skewed distributions). Victims are drawn
+    // from low-degree nodes so each mutation invalidates at most two query
+    // edges — keeping the query within small subgraph distance of the data
+    // (the paper's queries are one or two edges away from real matches).
+    GraphBuilder b;
+    Graph& g = *sampled;
+    std::vector<Label> labels(g.NodeCount());
+    for (NodeId n = 0; n < g.NodeCount(); ++n) labels[n] = g.NodeLabel(n);
+    std::vector<NodeId> low_degree;
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      if (g.Degree(n) <= 2) low_degree.push_back(n);
+    }
+    if (low_degree.empty()) continue;
+    for (int m = 0; m < mutations; ++m) {
+      NodeId victim = low_degree[rng_.Below(low_degree.size())];
+      Label rare = static_cast<Label>(
+          label_count - 1 - rng_.Below(std::max<size_t>(1, label_count / 3)));
+      labels[victim] = rare;
+    }
+    for (Label l : labels) b.AddNode(l);
+    for (const Edge& e : g.edges()) (void)b.AddEdge(e.u, e.v, e.label);
+    Graph mutated = std::move(b).Build();
+    if (HasExactMatch(mutated)) continue;
+    VisualQuerySpec spec;
+    spec.name = name;
+    spec.graph = std::move(mutated);
+    spec.sequence = DefaultFormulationSequence(spec.graph);
+    return spec;
+  }
+  return Status::NotFound("could not build a no-exact-match query after 256 "
+                          "attempts");
+}
+
+}  // namespace prague

@@ -1,0 +1,70 @@
+// Visual query workloads.
+//
+// The paper's queries Q1–Q8 (Figure 8) were drawn by human participants
+// over the AIDS and synthetic datasets; each comes with a default
+// formulation sequence (the edge numbering in the figure). This module
+// generates analogous queries programmatically:
+//  * containment queries — sampled connected subgraphs of data graphs, so
+//    exact matches are guaranteed (Figure 9(a) analogues);
+//  * similarity queries — sampled subgraphs with 1..k label mutations so
+//    no exact match survives but near matches do (Q1–Q8 analogues; one
+//    mutation approximates the paper's "best case" where most candidates
+//    are verification-free, several mutations the "worst case").
+
+#ifndef PRAGUE_DATASETS_QUERY_WORKLOAD_H_
+#define PRAGUE_DATASETS_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace prague {
+
+/// \brief A query plus the order in which a user draws its edges.
+struct VisualQuerySpec {
+  std::string name;
+  Graph graph;
+  /// Formulation order of graph edge ids; every prefix is connected.
+  std::vector<EdgeId> sequence;
+};
+
+/// \brief Deterministic prefix-connected edge order (DFS from node 0).
+std::vector<EdgeId> DefaultFormulationSequence(const Graph& q);
+
+/// \brief A random prefix-connected edge order (Table III studies these).
+std::vector<EdgeId> RandomFormulationSequence(const Graph& q, Rng* rng);
+
+/// \brief Generates workload queries over one database.
+class WorkloadGenerator {
+ public:
+  /// \p db must outlive the generator.
+  WorkloadGenerator(const GraphDatabase* db, uint64_t seed);
+
+  /// \brief A query with ≥ 1 guaranteed exact match.
+  Result<VisualQuerySpec> ContainmentQuery(size_t edges,
+                                           const std::string& name);
+
+  /// \brief A query with no exact match in D (verified by scan) whose
+  /// (|q|−mutations)-edge core still matches. More \p mutations push the
+  /// query toward the paper's "worst case".
+  Result<VisualQuerySpec> SimilarityQuery(size_t edges, int mutations,
+                                          const std::string& name);
+
+  /// \brief True iff some data graph contains \p q (VF2 scan, early exit).
+  bool HasExactMatch(const Graph& q) const;
+
+ private:
+  Result<Graph> SampleConnectedSubgraph(size_t edges);
+
+  const GraphDatabase* db_;
+  Rng rng_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_DATASETS_QUERY_WORKLOAD_H_

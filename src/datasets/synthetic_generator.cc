@@ -1,0 +1,81 @@
+#include "datasets/synthetic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prague {
+
+namespace {
+
+Graph GenerateOne(Rng* rng, const SyntheticGeneratorConfig& config,
+                  const std::vector<Label>& labels,
+                  const std::vector<double>& label_weights) {
+  // |E| uniform in [0.7, 1.3] * avg; |V| from the density identity.
+  size_t edges = std::max<size_t>(
+      2, static_cast<size_t>(config.avg_edges *
+                             (0.7 + 0.6 * rng->NextDouble())));
+  // density = 2E / (V(V-1))  =>  V ≈ (1 + sqrt(1 + 8E/density)) / 2.
+  double v_real =
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(edges) /
+                                 config.density)) /
+      2.0;
+  size_t nodes = std::max<size_t>(3, static_cast<size_t>(std::lround(v_real)));
+  // A simple connected graph needs edges ≥ nodes-1 and ≤ V(V-1)/2.
+  nodes = std::min<size_t>(nodes, edges + 1);
+
+  GraphBuilder b;
+  for (size_t i = 0; i < nodes; ++i) {
+    b.AddNode(labels[rng->Weighted(label_weights)]);
+  }
+  // Random spanning tree: attach node i to a uniformly chosen earlier node.
+  size_t added = 0;
+  for (NodeId i = 1; i < nodes; ++i) {
+    NodeId j = static_cast<NodeId>(rng->Below(i));
+    (void)b.AddEdge(i, j, 0);
+    ++added;
+  }
+  // Extra random edges up to the target (duplicates are rejected; bail out
+  // after enough misses — the graph is sparse so misses are rare).
+  size_t misses = 0;
+  while (added < edges && misses < 50) {
+    NodeId u = static_cast<NodeId>(rng->Below(nodes));
+    NodeId v = static_cast<NodeId>(rng->Below(nodes));
+    if (u == v) {
+      ++misses;
+      continue;
+    }
+    Result<EdgeId> r = b.AddEdge(u, v, 0);
+    if (r.ok()) {
+      ++added;
+      misses = 0;
+    } else {
+      ++misses;
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+GraphDatabase GenerateSyntheticDatabase(
+    const SyntheticGeneratorConfig& config) {
+  GraphDatabase db;
+  std::vector<Label> labels;
+  std::vector<double> weights;
+  for (size_t i = 0; i < config.label_count; ++i) {
+    labels.push_back(db.mutable_labels()->Intern("L" + std::to_string(i)));
+    weights.push_back(1.0 /
+                      std::pow(static_cast<double>(i + 1), config.label_skew));
+  }
+  for (size_t i = 0; i < config.graph_count; ++i) {
+    Rng rng(config.seed * 0xD1B54A32D192ED03ULL + i);
+    db.Add(GenerateOne(&rng, config, labels, weights));
+  }
+  return db;
+}
+
+}  // namespace prague

@@ -1,0 +1,41 @@
+// GraphGen-like synthetic dataset generator.
+//
+// The paper generates its synthetic datasets with FG-Index's Graphgen [2]:
+// "average number of graph edges in each dataset is set to 30 and the
+// average graph density is 0.1". Density D = 2|E| / (|V|·(|V|−1)), so the
+// average graph has ≈ 25 vertices. Node labels follow a Zipf-like skew
+// (uniform labels produce almost no frequent fragments at realistic α).
+
+#ifndef PRAGUE_DATASETS_SYNTHETIC_GENERATOR_H_
+#define PRAGUE_DATASETS_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph_database.h"
+
+namespace prague {
+
+/// \brief Parameters for the synthetic generator.
+struct SyntheticGeneratorConfig {
+  size_t graph_count = 10000;
+  uint64_t seed = 7;
+  /// Average edge count per graph (paper: 30).
+  double avg_edges = 30.0;
+  /// Average graph density (paper: 0.1).
+  double density = 0.1;
+  /// Distinct node labels.
+  size_t label_count = 20;
+  /// Zipf skew exponent for the label distribution.
+  double label_skew = 0.9;
+};
+
+/// \brief Generates a synthetic database of connected labeled graphs.
+///
+/// Each graph: |E| drawn around avg_edges, |V| solved from the density,
+/// built as a random spanning tree plus random extra edges. Deterministic
+/// per (seed, index).
+GraphDatabase GenerateSyntheticDatabase(const SyntheticGeneratorConfig& config);
+
+}  // namespace prague
+
+#endif  // PRAGUE_DATASETS_SYNTHETIC_GENERATOR_H_

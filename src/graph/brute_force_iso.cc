@@ -1,0 +1,71 @@
+#include "graph/brute_force_iso.h"
+
+#include <vector>
+
+namespace prague {
+
+namespace {
+
+// Tries to extend a partial injective map pattern-node-by-pattern-node in
+// plain id order (no connectivity anchoring, no pruning beyond validity).
+bool Extend(const Graph& pattern, const Graph& target, size_t depth,
+            std::vector<NodeId>* map, std::vector<bool>* used,
+            size_t* count, bool count_all) {
+  if (depth == pattern.NodeCount()) {
+    ++(*count);
+    return !count_all;  // stop at first match unless counting
+  }
+  for (NodeId t = 0; t < target.NodeCount(); ++t) {
+    if ((*used)[t]) continue;
+    if (pattern.NodeLabel(depth) != target.NodeLabel(t)) continue;
+    bool ok = true;
+    for (const Adjacency& a : pattern.Neighbors(depth)) {
+      if (a.neighbor >= depth) continue;  // not mapped yet
+      EdgeId te = target.FindEdge(t, (*map)[a.neighbor]);
+      if (te == kInvalidEdge ||
+          target.GetEdge(te).label != pattern.GetEdge(a.edge).label) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*map)[depth] = t;
+    (*used)[t] = true;
+    bool done = Extend(pattern, target, depth + 1, map, used, count,
+                       count_all);
+    (*used)[t] = false;
+    if (done) return true;
+  }
+  return false;
+}
+
+size_t Run(const Graph& pattern, const Graph& target, bool count_all) {
+  if (pattern.NodeCount() > target.NodeCount() ||
+      pattern.EdgeCount() > target.EdgeCount()) {
+    return 0;
+  }
+  std::vector<NodeId> map(pattern.NodeCount(), kInvalidNode);
+  std::vector<bool> used(target.NodeCount(), false);
+  size_t count = 0;
+  Extend(pattern, target, 0, &map, &used, &count, count_all);
+  return count;
+}
+
+}  // namespace
+
+bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target) {
+  return Run(pattern, target, /*count_all=*/false) > 0;
+}
+
+bool BruteForceIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NodeCount() != b.NodeCount() || a.EdgeCount() != b.EdgeCount()) {
+    return false;
+  }
+  return BruteForceSubgraphIsomorphic(a, b);
+}
+
+size_t BruteForceCountMappings(const Graph& pattern, const Graph& target) {
+  return Run(pattern, target, /*count_all=*/true);
+}
+
+}  // namespace prague

@@ -1,0 +1,23 @@
+// Exhaustive isomorphism oracles. Exponential — test-only reference
+// implementations used to validate VF2 and the canonical codes on small
+// graphs; never called from production paths.
+
+#ifndef PRAGUE_GRAPH_BRUTE_FORCE_ISO_H_
+#define PRAGUE_GRAPH_BRUTE_FORCE_ISO_H_
+
+#include "graph/graph.h"
+
+namespace prague {
+
+/// \brief Subgraph-isomorphism test by exhaustive injective enumeration.
+bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+/// \brief Isomorphism test by exhaustive bijection enumeration.
+bool BruteForceIsomorphic(const Graph& a, const Graph& b);
+
+/// \brief Counts distinct subgraph-isomorphism mappings exhaustively.
+size_t BruteForceCountMappings(const Graph& pattern, const Graph& target);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_BRUTE_FORCE_ISO_H_

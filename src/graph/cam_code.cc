@@ -1,0 +1,81 @@
+#include "graph/cam_code.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace prague {
+
+namespace {
+
+// Entry codes: diagonal stores node label + 1, off-diagonal stores
+// edge label + 1 when present, 0 when absent. Stored as uint32 to avoid
+// label overflow into char.
+using Row = std::vector<uint32_t>;
+
+// Builds the lower-triangular row for placing `node` at position `pos`
+// under the partial ordering `perm[0..pos-1]`.
+Row BuildRow(const Graph& g, const std::vector<NodeId>& perm, size_t pos,
+             NodeId node) {
+  Row row(pos + 1, 0);
+  for (size_t j = 0; j < pos; ++j) {
+    EdgeId e = g.FindEdge(node, perm[j]);
+    row[j] = e == kInvalidEdge ? 0 : g.GetEdge(e).label + 1;
+  }
+  row[pos] = g.NodeLabel(node) + 1;
+  return row;
+}
+
+// Depth-first search over vertex orderings, keeping only orderings whose
+// row prefix is maximal so far. `best` accumulates rows of the best
+// complete ordering.
+void Search(const Graph& g, std::vector<NodeId>* perm,
+            std::vector<bool>* used, std::vector<Row>* current,
+            std::vector<Row>* best, bool* have_best) {
+  size_t pos = perm->size();
+  if (pos == g.NodeCount()) {
+    if (!*have_best || *current > *best) {
+      *best = *current;
+      *have_best = true;
+    }
+    return;
+  }
+  // Compare against best prefix: if current prefix is already worse,
+  // prune; if strictly better, continue (we overwrite at the leaf).
+  if (*have_best && pos > 0) {
+    for (size_t i = 0; i < pos; ++i) {
+      if ((*current)[i] < (*best)[i]) return;  // worse prefix
+      if ((*current)[i] > (*best)[i]) break;   // strictly better; no prune
+    }
+  }
+  for (NodeId n = 0; n < g.NodeCount(); ++n) {
+    if ((*used)[n]) continue;
+    perm->push_back(n);
+    (*used)[n] = true;
+    current->push_back(BuildRow(g, *perm, pos, n));
+    Search(g, perm, used, current, best, have_best);
+    current->pop_back();
+    (*used)[n] = false;
+    perm->pop_back();
+  }
+}
+
+}  // namespace
+
+std::string CamCode(const Graph& g) {
+  std::vector<NodeId> perm;
+  std::vector<bool> used(g.NodeCount(), false);
+  std::vector<Row> current, best;
+  bool have_best = false;
+  Search(g, &perm, &used, &current, &best, &have_best);
+  std::string out;
+  for (const Row& row : best) {
+    for (uint32_t v : row) {
+      out += std::to_string(v);
+      out += ',';
+    }
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,26 @@
+// Canonical Adjacency Matrix (CAM) code, after Huan & Wang [5] — the
+// canonical form the paper names. Production code paths use the minimum
+// DFS code (graph/canonical.h) because it shares machinery with the miner;
+// this genuine CAM implementation exists so tests can assert the two
+// canonical forms induce identical isomorphism classes.
+
+#ifndef PRAGUE_GRAPH_CAM_CODE_H_
+#define PRAGUE_GRAPH_CAM_CODE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace prague {
+
+/// \brief The maximal adjacency-matrix code over all vertex orderings.
+///
+/// The code is the row-major concatenation of the lower-triangular
+/// adjacency matrix including the diagonal: node labels on the diagonal,
+/// edge-label+1 off-diagonal (0 = no edge). Exponential in NodeCount();
+/// intended for small fragments and tests.
+std::string CamCode(const Graph& g);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_CAM_CODE_H_

@@ -1,0 +1,30 @@
+// The canonical-code handle used across indexes and SPIGs.
+//
+// The paper attaches "the CAM code of g" to every index vertex and SPIG
+// vertex as the isomorphism-invariant key. Our production canonical form
+// is the serialized minimum DFS code (same invariant, shares machinery
+// with the gSpan miner); graph/cam_code.h holds a true CAM implementation
+// that tests check against.
+
+#ifndef PRAGUE_GRAPH_CANONICAL_H_
+#define PRAGUE_GRAPH_CANONICAL_H_
+
+#include <string>
+
+#include "graph/dfs_code.h"
+#include "graph/graph.h"
+
+namespace prague {
+
+/// Canonical-code string: equal ⇔ isomorphic (for connected labeled
+/// graphs with ≥ 1 edge).
+using CanonicalCode = std::string;
+
+/// \brief Canonical code of a connected graph with ≥ 1 edge.
+inline CanonicalCode GetCanonicalCode(const Graph& g) {
+  return DfsCodeToString(MinimumDfsCode(g));
+}
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_CANONICAL_H_

@@ -1,0 +1,280 @@
+#include "graph/dfs_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+int CompareDfsEdges(const DfsEdge& a, const DfsEdge& b) {
+  bool af = a.IsForward();
+  bool bf = b.IsForward();
+  if (af != bf) return af ? 1 : -1;  // backward < forward
+  if (!af) {
+    // Both backward: they start at the rightmost vertex; smaller target
+    // index first. (`from` comparison only matters when the comparator is
+    // used as a container key over edges from different prefixes.)
+    if (a.to != b.to) return a.to < b.to ? -1 : 1;
+    if (a.from != b.from) return a.from < b.from ? -1 : 1;
+  } else {
+    // Both forward: deeper source (larger index) first.
+    if (a.from != b.from) return a.from > b.from ? -1 : 1;
+    if (a.to != b.to) return a.to < b.to ? -1 : 1;
+  }
+  if (a.from_label != b.from_label) {
+    return a.from_label < b.from_label ? -1 : 1;
+  }
+  if (a.edge_label != b.edge_label) {
+    return a.edge_label < b.edge_label ? -1 : 1;
+  }
+  if (a.to_label != b.to_label) return a.to_label < b.to_label ? -1 : 1;
+  return 0;
+}
+
+int CompareDfsCodes(const DfsCode& a, const DfsCode& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = CompareDfsEdges(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+std::vector<int> RightmostPath(const DfsCode& code) {
+  if (code.empty()) return {};
+  int max_index = 1;
+  std::vector<int> parent(2, -1);
+  parent[1] = 0;
+  for (const DfsEdge& e : code) {
+    if (e.IsForward()) {
+      if (e.to > max_index) {
+        max_index = e.to;
+        parent.resize(max_index + 1, -1);
+      }
+      parent[e.to] = e.from;
+    }
+  }
+  std::vector<int> path;
+  for (int v = max_index; v != -1; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Graph GraphFromDfsCode(const DfsCode& code) {
+  assert(!code.empty());
+  int max_index = 0;
+  for (const DfsEdge& e : code) max_index = std::max({max_index, e.from, e.to});
+  std::vector<Label> labels(max_index + 1, 0);
+  labels[code[0].from] = code[0].from_label;
+  for (const DfsEdge& e : code) {
+    labels[e.from] = e.from_label;
+    labels[e.to] = e.to_label;
+  }
+  GraphBuilder builder;
+  for (Label l : labels) builder.AddNode(l);
+  for (const DfsEdge& e : code) {
+    Result<EdgeId> r = builder.AddEdge(static_cast<NodeId>(e.from),
+                                       static_cast<NodeId>(e.to),
+                                       e.edge_label);
+    assert(r.ok());
+    (void)r;
+  }
+  return std::move(builder).Build();
+}
+
+std::string DfsCodeToString(const DfsCode& code) {
+  std::string out;
+  out.reserve(code.size() * 12);
+  for (const DfsEdge& e : code) {
+    out += std::to_string(e.from);
+    out += ',';
+    out += std::to_string(e.to);
+    out += ',';
+    out += std::to_string(e.from_label);
+    out += ',';
+    out += std::to_string(e.edge_label);
+    out += ',';
+    out += std::to_string(e.to_label);
+    out += ';';
+  }
+  return out;
+}
+
+Result<DfsCode> DfsCodeFromString(const std::string& text) {
+  DfsCode code;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) {
+      return Status::Corruption("DFS code string missing ';' terminator");
+    }
+    long fields[5];
+    size_t field_pos = pos;
+    for (int f = 0; f < 5; ++f) {
+      size_t comma = f < 4 ? text.find(',', field_pos) : end;
+      if (comma == std::string::npos || comma > end) {
+        return Status::Corruption("DFS code string missing field");
+      }
+      try {
+        fields[f] = std::stol(text.substr(field_pos, comma - field_pos));
+      } catch (...) {
+        return Status::Corruption("DFS code string has non-numeric field");
+      }
+      field_pos = comma + 1;
+    }
+    code.push_back(DfsEdge{static_cast<int>(fields[0]),
+                           static_cast<int>(fields[1]),
+                           static_cast<Label>(fields[2]),
+                           static_cast<Label>(fields[3]),
+                           static_cast<Label>(fields[4])});
+    pos = end + 1;
+  }
+  if (code.empty()) return Status::Corruption("empty DFS code string");
+  return code;
+}
+
+namespace {
+
+// One isomorphic image of the current code prefix inside the graph being
+// canonicalized.
+struct Embedding {
+  std::vector<NodeId> map;  // DFS index -> graph node
+  EdgeMask used = 0;        // graph edges consumed by the prefix
+
+  bool operator==(const Embedding&) const = default;
+};
+
+struct EmbeddingHash {
+  size_t operator()(const Embedding& e) const {
+    size_t h = std::hash<EdgeMask>()(e.used);
+    for (NodeId n : e.map) h = h * 1315423911ULL + n;
+    return h;
+  }
+};
+
+// A candidate extension: the code edge plus the embedding it produces.
+struct Extension {
+  DfsEdge edge;
+  Embedding emb;
+};
+
+// Appends all gSpan-legal extensions of `emb` (given the shared `code`) to
+// `out`: backward edges from the rightmost vertex to rightmost-path
+// vertices, then forward edges from rightmost-path vertices to unmapped
+// nodes.
+void CollectExtensions(const Graph& g, const DfsCode& code,
+                       const std::vector<int>& rm_path, const Embedding& emb,
+                       std::vector<Extension>* out) {
+  int rightmost = rm_path.back();
+  NodeId rm_node = emb.map[rightmost];
+  std::vector<bool> mapped(g.NodeCount(), false);
+  std::vector<int> index_of(g.NodeCount(), -1);
+  for (size_t i = 0; i < emb.map.size(); ++i) {
+    mapped[emb.map[i]] = true;
+    index_of[emb.map[i]] = static_cast<int>(i);
+  }
+  // Backward: unused edges from the rightmost vertex back to a rightmost-
+  // path vertex (its DFS ancestors — exactly where DFS back-edges may go).
+  for (const Adjacency& a : g.Neighbors(rm_node)) {
+    if (emb.used & EdgeBit(a.edge)) continue;
+    if (!mapped[a.neighbor]) continue;
+    int j = index_of[a.neighbor];
+    bool on_path = std::find(rm_path.begin(), rm_path.end(), j) !=
+                   rm_path.end();
+    if (!on_path || j == rightmost) continue;
+    Extension ext;
+    ext.edge = DfsEdge{rightmost, j, g.NodeLabel(rm_node),
+                       g.GetEdge(a.edge).label, g.NodeLabel(a.neighbor)};
+    ext.emb = emb;
+    ext.emb.used |= EdgeBit(a.edge);
+    out->push_back(std::move(ext));
+  }
+  // Forward: from any rightmost-path vertex to a fresh node.
+  int next_index = static_cast<int>(emb.map.size());
+  for (int i : rm_path) {
+    NodeId from_node = emb.map[i];
+    for (const Adjacency& a : g.Neighbors(from_node)) {
+      if (emb.used & EdgeBit(a.edge)) continue;
+      if (mapped[a.neighbor]) continue;
+      Extension ext;
+      ext.edge = DfsEdge{i, next_index, g.NodeLabel(from_node),
+                         g.GetEdge(a.edge).label, g.NodeLabel(a.neighbor)};
+      ext.emb = emb;
+      ext.emb.used |= EdgeBit(a.edge);
+      ext.emb.map.push_back(a.neighbor);
+      out->push_back(std::move(ext));
+    }
+  }
+  (void)code;
+}
+
+}  // namespace
+
+DfsCode MinimumDfsCode(const Graph& g) {
+  assert(g.EdgeCount() >= 1);
+  assert(g.EdgeCount() <= kMaxSubsetEdges);
+  assert(g.IsConnected());
+
+  // Seed: the minimal (from_label, edge_label, to_label) over both
+  // orientations of every edge, plus all embeddings realizing it.
+  DfsEdge seed{0, 1, 0, 0, 0};
+  bool have_seed = false;
+  std::vector<Embedding> embeddings;
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    const Edge& edge = g.GetEdge(e);
+    for (int dir = 0; dir < 2; ++dir) {
+      NodeId u = dir == 0 ? edge.u : edge.v;
+      NodeId v = dir == 0 ? edge.v : edge.u;
+      DfsEdge cand{0, 1, g.NodeLabel(u), edge.label, g.NodeLabel(v)};
+      int cmp = have_seed ? CompareDfsEdges(cand, seed) : -1;
+      if (cmp < 0) {
+        seed = cand;
+        have_seed = true;
+        embeddings.clear();
+      }
+      if (cmp <= 0) {
+        embeddings.push_back(Embedding{{u, v}, EdgeBit(e)});
+      }
+    }
+  }
+
+  DfsCode code = {seed};
+  while (code.size() < g.EdgeCount()) {
+    std::vector<int> rm_path = RightmostPath(code);
+    bool have_best = false;
+    DfsEdge best{};
+    std::vector<Embedding> next;
+    std::vector<Extension> exts;
+    for (const Embedding& emb : embeddings) {
+      exts.clear();
+      CollectExtensions(g, code, rm_path, emb, &exts);
+      for (Extension& ext : exts) {
+        int cmp = have_best ? CompareDfsEdges(ext.edge, best) : -1;
+        if (cmp < 0) {
+          best = ext.edge;
+          have_best = true;
+          next.clear();
+        }
+        if (cmp <= 0) next.push_back(std::move(ext.emb));
+      }
+    }
+    assert(have_best && "connected graph must always extend");
+    // De-duplicate embeddings (automorphic images collapse).
+    std::unordered_set<Embedding, EmbeddingHash> uniq(next.begin(),
+                                                      next.end());
+    embeddings.assign(uniq.begin(), uniq.end());
+    code.push_back(best);
+  }
+  return code;
+}
+
+bool IsMinimumDfsCode(const DfsCode& code) {
+  if (code.empty()) return false;
+  Graph g = GraphFromDfsCode(code);
+  return CompareDfsCodes(code, MinimumDfsCode(g)) == 0;
+}
+
+}  // namespace prague

@@ -1,0 +1,77 @@
+// DFS codes (gSpan [13]).
+//
+// A DFS code is a sequence of edge 5-tuples (from, to, from_label,
+// edge_label, to_label) where from/to are DFS discovery indices. The
+// *minimum* DFS code under gSpan's neighborhood-restricted lexicographic
+// order is a canonical form: two graphs are isomorphic iff their minimum
+// DFS codes are equal. The miner grows patterns in this order; the rest of
+// the library uses the serialized minimum code as the "CAM code" handle the
+// paper attaches to index vertices and SPIG vertices.
+
+#ifndef PRAGUE_GRAPH_DFS_CODE_H_
+#define PRAGUE_GRAPH_DFS_CODE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief One DFS-code entry.
+struct DfsEdge {
+  int from = 0;  ///< DFS discovery index of the source endpoint.
+  int to = 0;    ///< DFS discovery index of the destination endpoint.
+  Label from_label = 0;
+  Label edge_label = 0;
+  Label to_label = 0;
+
+  /// \brief Forward edges discover a new vertex (to == max index + 1).
+  bool IsForward() const { return to > from; }
+
+  bool operator==(const DfsEdge&) const = default;
+};
+
+/// \brief A (partial) DFS code.
+using DfsCode = std::vector<DfsEdge>;
+
+/// \brief gSpan's order on two candidate extensions of the same code
+/// prefix. Returns <0, 0, >0 like strcmp.
+///
+/// Backward extensions precede forward ones; among backward, smaller `to`
+/// wins; among forward, deeper `from` (larger index) wins; ties break on
+/// the label triple.
+int CompareDfsEdges(const DfsEdge& a, const DfsEdge& b);
+
+/// \brief Lexicographic comparison of two whole codes using
+/// CompareDfsEdges per position; a proper prefix precedes its extensions.
+int CompareDfsCodes(const DfsCode& a, const DfsCode& b);
+
+/// \brief The canonical minimum DFS code of a connected graph.
+///
+/// Requires g connected, 1 ≤ EdgeCount() ≤ kMaxSubsetEdges.
+DfsCode MinimumDfsCode(const Graph& g);
+
+/// \brief True iff \p code is the minimum DFS code of the graph it spells
+/// (gSpan's isMin test, used by the miner to prune duplicate growth paths).
+bool IsMinimumDfsCode(const DfsCode& code);
+
+/// \brief Reconstructs the graph a DFS code spells. Node ids equal DFS
+/// discovery indices.
+Graph GraphFromDfsCode(const DfsCode& code);
+
+/// \brief Compact, order-preserving string serialization (usable as a hash
+/// key; equality ⇔ code equality).
+std::string DfsCodeToString(const DfsCode& code);
+
+/// \brief Inverse of DfsCodeToString. Fails on malformed input.
+Result<DfsCode> DfsCodeFromString(const std::string& text);
+
+/// \brief The DFS indices on the rightmost path of \p code, root first.
+/// The last element is the rightmost vertex.
+std::vector<int> RightmostPath(const DfsCode& code);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_DFS_CODE_H_

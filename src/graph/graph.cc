@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace prague {
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= NodeCount() || v >= NodeCount()) return kInvalidEdge;
+  // Scan the smaller adjacency list.
+  NodeId base = adj_[u].size() <= adj_[v].size() ? u : v;
+  NodeId other = base == u ? v : u;
+  for (const Adjacency& a : adj_[base]) {
+    if (a.neighbor == other) return a.edge;
+  }
+  return kInvalidEdge;
+}
+
+bool Graph::IsConnected() const {
+  if (Empty()) return false;
+  std::vector<bool> seen(NodeCount(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    for (const Adjacency& a : adj_[n]) {
+      if (!seen[a.neighbor]) {
+        seen[a.neighbor] = true;
+        ++count;
+        stack.push_back(a.neighbor);
+      }
+    }
+  }
+  return count == NodeCount();
+}
+
+size_t Graph::ByteSize() const {
+  size_t bytes = VectorBytes(node_labels_) + VectorBytes(edges_) +
+                 VectorBytes(adj_);
+  for (const auto& list : adj_) bytes += VectorBytes(list);
+  return bytes;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream out;
+  out << "Graph(" << NodeCount() << " nodes, " << EdgeCount() << " edges)\n";
+  for (NodeId n = 0; n < NodeCount(); ++n) {
+    out << "  v" << n << " label=" << node_labels_[n] << "\n";
+  }
+  for (EdgeId e = 0; e < EdgeCount(); ++e) {
+    out << "  e" << e << " (" << edges_[e].u << "," << edges_[e].v
+        << ") label=" << edges_[e].label << "\n";
+  }
+  return out.str();
+}
+
+GraphBuilder::GraphBuilder(const Graph& g) { graph_ = g; }
+
+NodeId GraphBuilder::AddNode(Label label) {
+  graph_.node_labels_.push_back(label);
+  graph_.adj_.emplace_back();
+  return static_cast<NodeId>(graph_.node_labels_.size() - 1);
+}
+
+Result<EdgeId> GraphBuilder::AddEdge(NodeId u, NodeId v, Label label) {
+  if (u >= graph_.NodeCount() || v >= graph_.NodeCount()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not supported");
+  }
+  if (graph_.HasEdge(u, v)) {
+    return Status::InvalidArgument("duplicate edge");
+  }
+  EdgeId id = static_cast<EdgeId>(graph_.edges_.size());
+  graph_.edges_.push_back(Edge{u, v, label});
+  graph_.adj_[u].push_back(Adjacency{v, id});
+  graph_.adj_[v].push_back(Adjacency{u, id});
+  return id;
+}
+
+}  // namespace prague

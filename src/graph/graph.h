@@ -1,0 +1,145 @@
+// Core labeled-graph type.
+//
+// Graphs in PRAGUE (both data graphs and query fragments) are connected,
+// undirected, node-labeled graphs; edges may additionally carry labels
+// (default 0 when the application is node-labeled only, as in the paper's
+// chemical datasets). Section III of the paper fixes this model.
+
+#ifndef PRAGUE_GRAPH_GRAPH_H_
+#define PRAGUE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// Index of a node within one graph.
+using NodeId = uint32_t;
+/// Index of an edge within one graph.
+using EdgeId = uint32_t;
+/// Dense label id; the GraphDatabase's LabelDictionary maps to strings.
+using Label = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// \brief An undirected edge between two nodes, with a label.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Label label = 0;
+
+  /// \brief The endpoint opposite to \p n. Requires n ∈ {u, v}.
+  NodeId Other(NodeId n) const { return n == u ? v : u; }
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// \brief One (node, incident-edge) adjacency entry.
+struct Adjacency {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+
+  bool operator==(const Adjacency&) const = default;
+};
+
+/// \brief Immutable undirected labeled graph.
+///
+/// Built through GraphBuilder. Node ids are dense in [0, NodeCount());
+/// edge ids are dense in [0, EdgeCount()). |G| in the paper is EdgeCount().
+class Graph {
+ public:
+  Graph() = default;
+
+  /// \brief Number of nodes.
+  size_t NodeCount() const { return node_labels_.size(); }
+  /// \brief Number of edges — the paper's |G|.
+  size_t EdgeCount() const { return edges_.size(); }
+  /// \brief True iff the graph has no nodes.
+  bool Empty() const { return node_labels_.empty(); }
+
+  /// \brief Label of node \p n.
+  Label NodeLabel(NodeId n) const { return node_labels_[n]; }
+  /// \brief Edge by id.
+  const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
+  /// \brief All edges.
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// \brief All node labels, indexed by NodeId.
+  const std::vector<Label>& node_labels() const { return node_labels_; }
+
+  /// \brief Neighbors of node \p n with the connecting edge ids.
+  const std::vector<Adjacency>& Neighbors(NodeId n) const { return adj_[n]; }
+  /// \brief Degree of node \p n.
+  size_t Degree(NodeId n) const { return adj_[n].size(); }
+
+  /// \brief Id of an edge between \p u and \p v, or kInvalidEdge.
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+  /// \brief True iff an edge between \p u and \p v exists.
+  bool HasEdge(NodeId u, NodeId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  /// \brief True iff all nodes are reachable from node 0 (and not Empty()).
+  bool IsConnected() const;
+
+  /// \brief Approximate heap footprint in bytes.
+  size_t ByteSize() const;
+
+  /// \brief Multi-line human-readable rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Graph&) const = default;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Label> node_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+/// \brief Incremental constructor for Graph.
+///
+/// Usage:
+///   GraphBuilder b;
+///   NodeId a = b.AddNode(label_c);
+///   NodeId c = b.AddNode(label_o);
+///   b.AddEdge(a, c);
+///   Graph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// \brief Starts from an existing graph (for edge-at-a-time formulation).
+  explicit GraphBuilder(const Graph& g);
+
+  /// \brief Adds a node with the given label; returns its id.
+  NodeId AddNode(Label label);
+  /// \brief Adds an undirected edge; returns its id.
+  ///
+  /// Requires distinct, existing endpoints and no duplicate edge (the
+  /// paper's model is a simple graph); violations return InvalidArgument.
+  Result<EdgeId> AddEdge(NodeId u, NodeId v, Label label = 0);
+
+  /// \brief Number of nodes added so far.
+  size_t NodeCount() const { return graph_.node_labels_.size(); }
+  /// \brief Number of edges added so far.
+  size_t EdgeCount() const { return graph_.edges_.size(); }
+
+  /// \brief Finalizes the graph.
+  Graph Build() && { return std::move(graph_); }
+  /// \brief Copies out the current graph without consuming the builder.
+  Graph Snapshot() const { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "graph/graph_database.h"
+
+#include <algorithm>
+
+namespace prague {
+
+Label LabelDictionary::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  Label id = static_cast<Label>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<Label> LabelDictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("label not in dictionary: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> LabelDictionary::SortedNames() const {
+  std::vector<std::string> out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GraphId GraphDatabase::Add(Graph g) {
+  graphs_.push_back(std::move(g));
+  return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+double GraphDatabase::AverageEdgeCount() const {
+  if (graphs_.empty()) return 0;
+  size_t total = 0;
+  for (const Graph& g : graphs_) total += g.EdgeCount();
+  return static_cast<double>(total) / static_cast<double>(graphs_.size());
+}
+
+double GraphDatabase::AverageNodeCount() const {
+  if (graphs_.empty()) return 0;
+  size_t total = 0;
+  for (const Graph& g : graphs_) total += g.NodeCount();
+  return static_cast<double>(total) / static_cast<double>(graphs_.size());
+}
+
+size_t GraphDatabase::ByteSize() const {
+  size_t bytes = 0;
+  for (const Graph& g : graphs_) bytes += g.ByteSize();
+  return bytes;
+}
+
+}  // namespace prague

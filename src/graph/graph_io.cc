@@ -1,0 +1,130 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace prague {
+
+namespace {
+
+void WriteOneGraph(const Graph& g, const LabelDictionary& labels,
+                   std::ostream& out) {
+  for (NodeId n = 0; n < g.NodeCount(); ++n) {
+    out << "v " << n << " " << labels.Name(g.NodeLabel(n)) << "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << "e " << e.u << " " << e.v << " " << e.label << "\n";
+  }
+}
+
+// Parses graph bodies from \p in, appending to \p db. Returns the status.
+Status ParseInto(std::istream& in, GraphDatabase* db) {
+  GraphBuilder builder;
+  bool have_graph = false;
+  std::string line;
+  int lineno = 0;
+  auto flush = [&]() -> Status {
+    if (!have_graph) return Status::OK();
+    Graph g = std::move(builder).Build();
+    builder = GraphBuilder();
+    db->Add(std::move(g));
+    return Status::OK();
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    if (tag == "t") {
+      PRAGUE_RETURN_NOT_OK(flush());
+      have_graph = true;
+    } else if (tag == "v") {
+      NodeId id;
+      std::string label;
+      if (!(ls >> id >> label)) {
+        return Status::Corruption("bad v line at " + std::to_string(lineno));
+      }
+      if (id != builder.NodeCount()) {
+        return Status::Corruption("non-dense node id at line " +
+                                  std::to_string(lineno));
+      }
+      builder.AddNode(db->mutable_labels()->Intern(label));
+    } else if (tag == "e") {
+      NodeId u, v;
+      Label elabel = 0;
+      if (!(ls >> u >> v)) {
+        return Status::Corruption("bad e line at " + std::to_string(lineno));
+      }
+      ls >> elabel;  // optional edge label
+      Result<EdgeId> r = builder.AddEdge(u, v, elabel);
+      if (!r.ok()) {
+        return Status::Corruption("bad edge at line " +
+                                  std::to_string(lineno) + ": " +
+                                  r.status().message());
+      }
+    } else {
+      return Status::Corruption("unknown tag '" + tag + "' at line " +
+                                std::to_string(lineno));
+    }
+  }
+  return flush();
+}
+
+}  // namespace
+
+Status WriteDatabase(const GraphDatabase& db, std::ostream* out) {
+  for (GraphId id = 0; id < db.size(); ++id) {
+    (*out) << "t # " << id << "\n";
+    WriteOneGraph(db.graph(id), db.labels(), *out);
+  }
+  return out->good() ? Status::OK() : Status::IOError("write failed");
+}
+
+Status WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteDatabase(db, &out);
+}
+
+Result<GraphDatabase> ReadDatabase(std::istream* in) {
+  GraphDatabase db;
+  Status st = ParseInto(*in, &db);
+  if (!st.ok()) return st;
+  return db;
+}
+
+Result<GraphDatabase> ReadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadDatabase(&in);
+}
+
+void WriteGraph(const Graph& g, const LabelDictionary& labels,
+                std::ostream* out) {
+  (*out) << "t # 0\n";
+  WriteOneGraph(g, labels, *out);
+}
+
+Result<Graph> ParseGraph(const std::string& text, LabelDictionary* labels) {
+  GraphDatabase scratch;
+  std::istringstream in("t # 0\n" + text);
+  Status st = ParseInto(in, &scratch);
+  if (!st.ok()) return st;
+  if (scratch.size() != 1) {
+    return Status::Corruption("expected exactly one graph");
+  }
+  // Re-intern labels into the caller's dictionary.
+  const Graph& parsed = scratch.graph(0);
+  GraphBuilder builder;
+  for (NodeId n = 0; n < parsed.NodeCount(); ++n) {
+    builder.AddNode(
+        labels->Intern(scratch.labels().Name(parsed.NodeLabel(n))));
+  }
+  for (const Edge& e : parsed.edges()) {
+    Result<EdgeId> r = builder.AddEdge(e.u, e.v, e.label);
+    if (!r.ok()) return r.status();
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace prague

@@ -1,0 +1,45 @@
+// Text serialization in the gSpan transaction format:
+//
+//   t # <graph-id>
+//   v <node-id> <label-string>
+//   e <node-id> <node-id> <label-string>
+//
+// This is the de-facto interchange format of the frequent-subgraph-mining
+// literature (gSpan, FG-index, Grafil all consume it), so datasets written
+// by our generators can be compared against external tools.
+
+#ifndef PRAGUE_GRAPH_GRAPH_IO_H_
+#define PRAGUE_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph_database.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// \brief Writes the whole database in gSpan transaction format.
+Status WriteDatabase(const GraphDatabase& db, std::ostream* out);
+
+/// \brief Writes the database to a file.
+Status WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
+
+/// \brief Parses a database from gSpan transaction format.
+Result<GraphDatabase> ReadDatabase(std::istream* in);
+
+/// \brief Parses a database from a file.
+Result<GraphDatabase> ReadDatabaseFromFile(const std::string& path);
+
+/// \brief Writes one graph (with a LabelDictionary for names).
+void WriteGraph(const Graph& g, const LabelDictionary& labels,
+                std::ostream* out);
+
+/// \brief Parses a single graph given an existing dictionary; labels not in
+/// the dictionary are interned.
+Result<Graph> ParseGraph(const std::string& text, LabelDictionary* labels);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,66 @@
+#include "graph/mccs.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/canonical.h"
+#include "graph/vf2.h"
+
+namespace prague {
+
+namespace {
+
+// Tests the level-k connected subsets of q against g, de-duplicating
+// isomorphic subsets. Returns a witnessing mask, or 0 if none matches.
+EdgeMask AnySubsetMatches(const Graph& q,
+                          const std::vector<EdgeMask>& subsets,
+                          const Graph& g) {
+  std::unordered_set<CanonicalCode> tried;
+  for (EdgeMask mask : subsets) {
+    ExtractedSubgraph sub = ExtractEdgeSubgraph(q, mask);
+    CanonicalCode code = GetCanonicalCode(sub.graph);
+    if (!tried.insert(code).second) continue;
+    if (IsSubgraphIsomorphic(sub.graph, g)) return mask;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MccsResult ComputeMccs(const Graph& q, const Graph& g) {
+  assert(q.EdgeCount() >= 1 && q.EdgeCount() <= kMaxSubsetEdges);
+  MccsResult out;
+  out.distance = static_cast<int>(q.EdgeCount());
+  std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
+  for (size_t k = q.EdgeCount(); k >= 1; --k) {
+    EdgeMask witness = AnySubsetMatches(q, by_size[k], g);
+    if (witness != 0) {
+      out.mccs_edges = k;
+      out.similarity = static_cast<double>(k) /
+                       static_cast<double>(q.EdgeCount());
+      out.distance = static_cast<int>(q.EdgeCount() - k);
+      out.witness = witness;
+      return out;
+    }
+  }
+  return out;  // no common edge at all
+}
+
+bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma) {
+  assert(q.EdgeCount() >= 1 && q.EdgeCount() <= kMaxSubsetEdges);
+  if (sigma >= static_cast<int>(q.EdgeCount())) return true;
+  std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
+  size_t needed = q.EdgeCount() - static_cast<size_t>(sigma);
+  // One level suffices: if some (needed+j)-subset matches, each of its
+  // connected (needed)-sub-subsets also matches, so checking the minimum
+  // required level is both sound and complete.
+  return AnySubsetMatches(q, by_size[needed], g) != 0;
+}
+
+bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level) {
+  assert(level >= 1 && level <= q.EdgeCount());
+  std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
+  return AnySubsetMatches(q, by_size[level], g) != 0;
+}
+
+}  // namespace prague

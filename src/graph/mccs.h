@@ -1,0 +1,53 @@
+// Maximum connected common subgraph (MCCS) and subgraph distance —
+// Definitions 1–3 of the paper.
+//
+// mccs(G, Q) is the largest *connected* subgraph of Q that is
+// subgraph-isomorphic to G. The subgraph similarity degree is
+// δ = |mccs(G,Q)| / |Q| and the subgraph distance is ⌊(1 − δ)·|Q|⌋ =
+// |Q| − |mccs(G,Q)| — the number of query edges that must be dropped.
+//
+// This is the paper's "simple verification technique" (VF2 extended to
+// MCCS checks): enumerate connected edge subsets of Q from largest to
+// smallest, de-duplicate isomorphic subsets by canonical code, and VF2
+// each against G until one matches.
+
+#ifndef PRAGUE_GRAPH_MCCS_H_
+#define PRAGUE_GRAPH_MCCS_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+/// \brief Outcome of an MCCS computation.
+struct MccsResult {
+  /// |mccs(G, Q)| in edges; 0 when not even one query edge matches.
+  size_t mccs_edges = 0;
+  /// δ = mccs_edges / |Q|.
+  double similarity = 0.0;
+  /// dist(Q, G) = |Q| − mccs_edges.
+  int distance = 0;
+  /// One maximal witnessing edge subset of Q (0 when mccs_edges == 0).
+  EdgeMask witness = 0;
+};
+
+/// \brief Full MCCS between query \p q and data graph \p g.
+///
+/// Requires q connected with 1 ≤ |q| ≤ kMaxSubsetEdges.
+MccsResult ComputeMccs(const Graph& q, const Graph& g);
+
+/// \brief Early-exit check: is dist(q, g) ≤ sigma?
+///
+/// Equivalent to mccs(g, q) ≥ |q| − sigma but stops at the first witness.
+bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma);
+
+/// \brief Does \p g contain any connected subgraph of \p q with exactly
+/// \p level edges? This is the per-level check SimVerify (Algorithm 5)
+/// performs on Rver(level).
+bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_MCCS_H_

@@ -1,0 +1,80 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace prague {
+
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db) {
+  DatabaseStatistics s;
+  s.graph_count = db.size();
+  std::map<Label, size_t> labels;
+  std::set<Label> edge_labels;
+  std::set<std::pair<Label, Label>> pairs;
+  size_t degree_sum = 0;
+  double cyclomatic_sum = 0;
+  for (const Graph& g : db.graphs()) {
+    s.total_nodes += g.NodeCount();
+    s.total_edges += g.EdgeCount();
+    s.max_nodes = std::max(s.max_nodes, g.NodeCount());
+    s.max_edges = std::max(s.max_edges, g.EdgeCount());
+    if (g.EdgeCount() + 1 >= g.NodeCount()) {
+      cyclomatic_sum += static_cast<double>(g.EdgeCount() + 1 -
+                                            g.NodeCount());
+    }
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      ++labels[g.NodeLabel(n)];
+      degree_sum += g.Degree(n);
+      s.max_degree = std::max(s.max_degree, g.Degree(n));
+    }
+    for (const Edge& e : g.edges()) {
+      edge_labels.insert(e.label);
+      Label a = g.NodeLabel(e.u);
+      Label b = g.NodeLabel(e.v);
+      pairs.emplace(std::min(a, b), std::max(a, b));
+    }
+  }
+  if (s.graph_count > 0) {
+    s.avg_nodes = static_cast<double>(s.total_nodes) /
+                  static_cast<double>(s.graph_count);
+    s.avg_edges = static_cast<double>(s.total_edges) /
+                  static_cast<double>(s.graph_count);
+    s.avg_cyclomatic = cyclomatic_sum / static_cast<double>(s.graph_count);
+  }
+  if (s.total_nodes > 0) {
+    s.avg_degree = static_cast<double>(degree_sum) /
+                   static_cast<double>(s.total_nodes);
+  }
+  s.label_counts.assign(labels.begin(), labels.end());
+  std::sort(s.label_counts.begin(), s.label_counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  s.edge_label_count = edge_labels.size();
+  s.present_label_pairs = pairs.size();
+  return s;
+}
+
+std::string DatabaseStatistics::ToString(const LabelDictionary& labels) const {
+  std::ostringstream out;
+  out << "graphs: " << graph_count << "\n";
+  out << "nodes:  total " << total_nodes << ", avg " << avg_nodes
+      << ", max " << max_nodes << "\n";
+  out << "edges:  total " << total_edges << ", avg " << avg_edges
+      << ", max " << max_edges << "\n";
+  out << "degree: avg " << avg_degree << ", max " << max_degree << "\n";
+  out << "cycles: avg " << avg_cyclomatic << " independent cycles/graph\n";
+  out << "edge labels: " << edge_label_count
+      << "; node-label pairs on edges: " << present_label_pairs << "\n";
+  out << "node labels (descending):\n";
+  for (const auto& [label, count] : label_counts) {
+    double share = total_nodes > 0
+                       ? 100.0 * static_cast<double>(count) /
+                             static_cast<double>(total_nodes)
+                       : 0.0;
+    out << "  " << labels.Name(label) << ": " << count << " (" << share
+        << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace prague

@@ -1,0 +1,47 @@
+// Database statistics: the profile numbers the paper quotes about its
+// datasets (average/max sizes, label distribution) plus degree and cycle
+// structure — used by `praguedb stats`, the examples, and to validate
+// that generated datasets match the real datasets' published shape.
+
+#ifndef PRAGUE_GRAPH_STATISTICS_H_
+#define PRAGUE_GRAPH_STATISTICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+
+namespace prague {
+
+/// \brief Aggregate profile of a graph database.
+struct DatabaseStatistics {
+  size_t graph_count = 0;
+  size_t total_nodes = 0;
+  size_t total_edges = 0;
+  double avg_nodes = 0;
+  double avg_edges = 0;
+  size_t max_nodes = 0;
+  size_t max_edges = 0;
+  double avg_degree = 0;
+  size_t max_degree = 0;
+  /// Independent cycles per graph, averaged: |E| − |V| + 1 (connected).
+  double avg_cyclomatic = 0;
+  /// Node label → occurrence count, descending by count.
+  std::vector<std::pair<Label, size_t>> label_counts;
+  /// Distinct edge label count (1 when unlabeled).
+  size_t edge_label_count = 0;
+  /// Distinct (min,max) node-label pairs seen on edges.
+  size_t present_label_pairs = 0;
+
+  /// \brief Multi-line human-readable report using \p labels for names.
+  std::string ToString(const LabelDictionary& labels) const;
+};
+
+/// \brief Computes the profile of \p db.
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_STATISTICS_H_

@@ -1,0 +1,124 @@
+#include "graph/subgraph_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace prague {
+
+ExtractedSubgraph ExtractEdgeSubgraph(const Graph& parent, EdgeMask mask) {
+  assert(parent.EdgeCount() <= kMaxSubsetEdges);
+  assert(mask != 0);
+  ExtractedSubgraph out;
+  std::vector<NodeId> to_sub(parent.NodeCount(), kInvalidNode);
+  GraphBuilder builder;
+  for (EdgeId e = 0; e < parent.EdgeCount(); ++e) {
+    if (!(mask & EdgeBit(e))) continue;
+    const Edge& edge = parent.GetEdge(e);
+    for (NodeId endpoint : {edge.u, edge.v}) {
+      if (to_sub[endpoint] == kInvalidNode) {
+        to_sub[endpoint] = builder.AddNode(parent.NodeLabel(endpoint));
+        out.node_map.push_back(endpoint);
+      }
+    }
+    Result<EdgeId> r =
+        builder.AddEdge(to_sub[edge.u], to_sub[edge.v], edge.label);
+    assert(r.ok());
+    (void)r;
+    out.edge_map.push_back(e);
+  }
+  out.graph = std::move(builder).Build();
+  return out;
+}
+
+bool IsEdgeSubsetConnected(const Graph& parent, EdgeMask mask) {
+  if (mask == 0) return false;
+  // Union-find over the endpoints of selected edges.
+  std::vector<NodeId> root(parent.NodeCount(), kInvalidNode);
+  auto find = [&](NodeId n) {
+    NodeId r = n;
+    while (root[r] != r) r = root[r];
+    while (root[n] != r) {
+      NodeId next = root[n];
+      root[n] = r;
+      n = next;
+    }
+    return r;
+  };
+  int components = 0;
+  for (EdgeId e = 0; e < parent.EdgeCount(); ++e) {
+    if (!(mask & EdgeBit(e))) continue;
+    const Edge& edge = parent.GetEdge(e);
+    for (NodeId endpoint : {edge.u, edge.v}) {
+      if (root[endpoint] == kInvalidNode) {
+        root[endpoint] = endpoint;
+        ++components;
+      }
+    }
+    NodeId ru = find(edge.u);
+    NodeId rv = find(edge.v);
+    if (ru != rv) {
+      root[ru] = rv;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+namespace {
+
+// Expands each connected subset in `level` by one adjacent edge, returning
+// the next level's subsets (deduplicated, sorted). `allowed` restricts the
+// candidate edges (used to force inclusion handled by the seed).
+std::vector<EdgeMask> ExpandLevel(const Graph& g,
+                                  const std::vector<EdgeMask>& level) {
+  std::unordered_set<EdgeMask> next;
+  for (EdgeMask mask : level) {
+    // Collect nodes touched by the subset.
+    std::vector<bool> in_subset_node(g.NodeCount(), false);
+    for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+      if (mask & EdgeBit(e)) {
+        in_subset_node[g.GetEdge(e).u] = true;
+        in_subset_node[g.GetEdge(e).v] = true;
+      }
+    }
+    for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+      if (mask & EdgeBit(e)) continue;
+      const Edge& edge = g.GetEdge(e);
+      if (in_subset_node[edge.u] || in_subset_node[edge.v]) {
+        next.insert(mask | EdgeBit(e));
+      }
+    }
+  }
+  std::vector<EdgeMask> out(next.begin(), next.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<EdgeMask>> ConnectedEdgeSubsetsBySize(const Graph& g) {
+  assert(g.EdgeCount() <= kMaxSubsetEdges);
+  std::vector<std::vector<EdgeMask>> by_size(g.EdgeCount() + 1);
+  if (g.EdgeCount() == 0) return by_size;
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) by_size[1].push_back(EdgeBit(e));
+  for (size_t k = 2; k <= g.EdgeCount(); ++k) {
+    by_size[k] = ExpandLevel(g, by_size[k - 1]);
+  }
+  return by_size;
+}
+
+std::vector<std::vector<EdgeMask>> ConnectedEdgeSupersetsOf(const Graph& g,
+                                                            EdgeId required) {
+  assert(g.EdgeCount() <= kMaxSubsetEdges);
+  std::vector<std::vector<EdgeMask>> by_size(g.EdgeCount() + 1);
+  if (required >= g.EdgeCount()) return by_size;
+  by_size[1].push_back(EdgeBit(required));
+  for (size_t k = 2; k <= g.EdgeCount(); ++k) {
+    by_size[k] = ExpandLevel(g, by_size[k - 1]);
+    if (by_size[k].empty()) break;
+  }
+  return by_size;
+}
+
+}  // namespace prague

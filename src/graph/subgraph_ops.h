@@ -1,0 +1,67 @@
+// Edge-subset subgraph machinery.
+//
+// SPIG vertices (Definition 4) are connected subgraphs of the query
+// fragment identified by the subset of (user-drawn) edges they contain.
+// Query fragments have at most kMaxSubsetEdges edges (the paper's user
+// studies never exceed 10), so subsets fit in a 64-bit mask.
+
+#ifndef PRAGUE_GRAPH_SUBGRAPH_OPS_H_
+#define PRAGUE_GRAPH_SUBGRAPH_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace prague {
+
+/// Bitmask over a graph's edge ids; bit e set means edge e is included.
+using EdgeMask = uint64_t;
+
+/// Maximum number of edges a graph may have for EdgeMask-based operations.
+inline constexpr size_t kMaxSubsetEdges = 64;
+
+/// \brief Mask with the single bit for \p e set.
+inline EdgeMask EdgeBit(EdgeId e) { return EdgeMask{1} << e; }
+
+/// \brief Number of edges in \p mask.
+inline int MaskSize(EdgeMask mask) { return __builtin_popcountll(mask); }
+
+/// \brief A subgraph extracted from an edge subset, with the mapping back
+/// to the parent graph's nodes and edges.
+struct ExtractedSubgraph {
+  Graph graph;
+  /// parent node id of each subgraph node (index = subgraph NodeId).
+  std::vector<NodeId> node_map;
+  /// parent edge id of each subgraph edge (index = subgraph EdgeId).
+  std::vector<EdgeId> edge_map;
+};
+
+/// \brief Builds the subgraph of \p parent induced by the edges in \p mask.
+///
+/// Nodes are the endpoints of the selected edges; isolated parent nodes are
+/// dropped. Requires parent.EdgeCount() <= kMaxSubsetEdges and a non-empty
+/// mask.
+ExtractedSubgraph ExtractEdgeSubgraph(const Graph& parent, EdgeMask mask);
+
+/// \brief True iff the edges in \p mask form a connected subgraph of
+/// \p parent (single edges are connected; the empty mask is not).
+bool IsEdgeSubsetConnected(const Graph& parent, EdgeMask mask);
+
+/// \brief Enumerates every connected edge subset of \p g, grouped by size.
+///
+/// Returns a vector indexed by subset size (index 0 unused): result[k] is
+/// the sorted list of all connected k-edge subsets. Exponential in
+/// g.EdgeCount(); callers cap query size (kMaxVisualQueryEdges in core/).
+std::vector<std::vector<EdgeMask>> ConnectedEdgeSubsetsBySize(const Graph& g);
+
+/// \brief Enumerates connected edge subsets of \p g that contain the edge
+/// \p required, grouped by size (result[k] = k-edge subsets).
+///
+/// This is exactly the vertex population of the SPIG for edge \p required.
+std::vector<std::vector<EdgeMask>> ConnectedEdgeSupersetsOf(const Graph& g,
+                                                            EdgeId required);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_SUBGRAPH_OPS_H_

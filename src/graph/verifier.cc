@@ -1,0 +1,59 @@
+#include "graph/verifier.h"
+
+#include <string>
+
+#include "graph/vf2.h"
+
+namespace prague {
+
+bool PlainVerifier::Matches(const Graph& pattern, const Graph& target) {
+  ++stats_.checks;
+  ++stats_.vf2_calls;
+  return IsSubgraphIsomorphic(pattern, target);
+}
+
+FilteringVerifier::Summary FilteringVerifier::Summarize(const Graph& g) {
+  Summary s;
+  s.nodes = g.NodeCount();
+  s.edges = g.EdgeCount();
+  for (NodeId n = 0; n < g.NodeCount(); ++n) {
+    auto& entry = s.by_label[g.NodeLabel(n)];
+    ++entry.first;
+    entry.second = std::max(entry.second,
+                            static_cast<uint32_t>(g.Degree(n)));
+  }
+  return s;
+}
+
+bool FilteringVerifier::CouldMatch(const Summary& pattern,
+                                   const Summary& target) {
+  if (pattern.nodes > target.nodes || pattern.edges > target.edges) {
+    return false;
+  }
+  for (const auto& [label, need] : pattern.by_label) {
+    auto it = target.by_label.find(label);
+    if (it == target.by_label.end()) return false;
+    if (it->second.first < need.first) return false;    // node count
+    if (it->second.second < need.second) return false;  // max degree
+  }
+  return true;
+}
+
+bool FilteringVerifier::Matches(const Graph& pattern, const Graph& target) {
+  ++stats_.checks;
+  Summary ps = Summarize(pattern);
+  Summary ts = Summarize(target);
+  if (!CouldMatch(ps, ts)) {
+    ++stats_.prefilter_hits;
+    return false;
+  }
+  ++stats_.vf2_calls;
+  return IsSubgraphIsomorphic(pattern, target);
+}
+
+std::unique_ptr<Verifier> MakeVerifier(const std::string& name) {
+  if (name == "filtering") return std::make_unique<FilteringVerifier>();
+  return std::make_unique<PlainVerifier>();
+}
+
+}  // namespace prague

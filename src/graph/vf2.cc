@@ -1,0 +1,144 @@
+#include "graph/vf2.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prague {
+
+Vf2Matcher::Vf2Matcher(const Graph& pattern, const Graph& target)
+    : pattern_(pattern), target_(target) {
+  // BFS order over the (connected) pattern so every non-root search node is
+  // anchored to an already-mapped neighbor — this keeps the candidate set
+  // for each step at "neighbors of one mapped image" instead of "all
+  // target nodes".
+  size_t n = pattern_.NodeCount();
+  order_.reserve(n);
+  anchor_.assign(n, kInvalidNode);
+  if (n == 0) return;
+  std::vector<bool> queued(n, false);
+  // Start from the highest-degree node: it is the most constrained.
+  NodeId root = 0;
+  for (NodeId i = 1; i < n; ++i) {
+    if (pattern_.Degree(i) > pattern_.Degree(root)) root = i;
+  }
+  order_.push_back(root);
+  queued[root] = true;
+  for (size_t head = 0; head < order_.size(); ++head) {
+    NodeId u = order_[head];
+    for (const Adjacency& a : pattern_.Neighbors(u)) {
+      if (!queued[a.neighbor]) {
+        queued[a.neighbor] = true;
+        anchor_[a.neighbor] = u;
+        order_.push_back(a.neighbor);
+      }
+    }
+  }
+  assert(order_.size() == n && "pattern must be connected");
+  map_.assign(n, kInvalidNode);
+  target_used_.assign(target_.NodeCount(), false);
+}
+
+bool Vf2Matcher::Feasible(NodeId pattern_node, NodeId target_node) const {
+  if (pattern_.NodeLabel(pattern_node) != target_.NodeLabel(target_node)) {
+    return false;
+  }
+  if (target_.Degree(target_node) < pattern_.Degree(pattern_node)) {
+    return false;
+  }
+  // Every already-mapped pattern neighbor must be adjacent in the target
+  // with a matching edge label.
+  for (const Adjacency& a : pattern_.Neighbors(pattern_node)) {
+    NodeId image = map_[a.neighbor];
+    if (image == kInvalidNode) continue;
+    EdgeId te = target_.FindEdge(target_node, image);
+    if (te == kInvalidEdge) return false;
+    if (target_.GetEdge(te).label != pattern_.GetEdge(a.edge).label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Vf2Matcher::Recurse(size_t depth,
+                         const std::function<bool(const NodeMapping&)>& fn,
+                         bool* stopped) {
+  if (depth == order_.size()) {
+    if (!fn(map_)) *stopped = true;
+    return true;
+  }
+  NodeId p = order_[depth];
+  if (anchor_[p] == kInvalidNode) {
+    // Root: try every target node.
+    for (NodeId t = 0; t < target_.NodeCount(); ++t) {
+      if (target_used_[t] || !Feasible(p, t)) continue;
+      map_[p] = t;
+      target_used_[t] = true;
+      Recurse(depth + 1, fn, stopped);
+      target_used_[t] = false;
+      map_[p] = kInvalidNode;
+      if (*stopped) return true;
+    }
+  } else {
+    // Candidates: neighbors of the anchor's image.
+    NodeId anchor_image = map_[anchor_[p]];
+    for (const Adjacency& a : target_.Neighbors(anchor_image)) {
+      NodeId t = a.neighbor;
+      if (target_used_[t] || !Feasible(p, t)) continue;
+      map_[p] = t;
+      target_used_[t] = true;
+      Recurse(depth + 1, fn, stopped);
+      target_used_[t] = false;
+      map_[p] = kInvalidNode;
+      if (*stopped) return true;
+    }
+  }
+  return true;
+}
+
+bool Vf2Matcher::Exists() {
+  if (pattern_.NodeCount() > target_.NodeCount() ||
+      pattern_.EdgeCount() > target_.EdgeCount()) {
+    return false;
+  }
+  bool found = false;
+  ForEach([&found](const NodeMapping&) {
+    found = true;
+    return false;  // stop at the first match
+  });
+  return found;
+}
+
+size_t Vf2Matcher::Count(size_t limit) {
+  size_t count = 0;
+  ForEach([&count, limit](const NodeMapping&) {
+    ++count;
+    return count < limit;
+  });
+  return count;
+}
+
+void Vf2Matcher::ForEach(const std::function<bool(const NodeMapping&)>& fn) {
+  if (pattern_.NodeCount() == 0 ||
+      pattern_.NodeCount() > target_.NodeCount() ||
+      pattern_.EdgeCount() > target_.EdgeCount()) {
+    return;
+  }
+  std::fill(map_.begin(), map_.end(), kInvalidNode);
+  std::fill(target_used_.begin(), target_used_.end(), false);
+  bool stopped = false;
+  Recurse(0, fn, &stopped);
+}
+
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target) {
+  return Vf2Matcher(pattern, target).Exists();
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NodeCount() != b.NodeCount() || a.EdgeCount() != b.EdgeCount()) {
+    return false;
+  }
+  // Equal sizes + injective monomorphism ⇒ isomorphism.
+  return IsSubgraphIsomorphic(a, b);
+}
+
+}  // namespace prague

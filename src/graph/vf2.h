@@ -1,0 +1,69 @@
+// VF2-style subgraph isomorphism (Cordella, Foggia et al. [3] — the
+// verification algorithm the paper adopts and extends for MCCS checks).
+//
+// "Subgraph isomorphism" here follows the graph-database literature: an
+// injective mapping from pattern nodes to target nodes that preserves node
+// labels, and maps every pattern edge onto a target edge with the same
+// edge label (non-induced / monomorphism semantics). This is what
+// "q ⊆ g" means throughout the paper.
+
+#ifndef PRAGUE_GRAPH_VF2_H_
+#define PRAGUE_GRAPH_VF2_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace prague {
+
+/// \brief One complete pattern→target node mapping.
+using NodeMapping = std::vector<NodeId>;  // index = pattern node
+
+/// \brief Backtracking subgraph-isomorphism matcher.
+///
+/// The matcher is constructed per (pattern, target) pair; Exists() /
+/// Count() / ForEach() drive the search. The pattern must be connected.
+class Vf2Matcher {
+ public:
+  /// \p pattern and \p target must outlive the matcher.
+  Vf2Matcher(const Graph& pattern, const Graph& target);
+
+  /// \brief True iff at least one subgraph isomorphism exists.
+  bool Exists();
+
+  /// \brief Number of distinct mappings, stopping early at \p limit.
+  size_t Count(size_t limit = SIZE_MAX);
+
+  /// \brief Invokes \p fn for each mapping; stop early by returning false.
+  void ForEach(const std::function<bool(const NodeMapping&)>& fn);
+
+ private:
+  bool Feasible(NodeId pattern_node, NodeId target_node) const;
+  bool Recurse(size_t depth, const std::function<bool(const NodeMapping&)>& fn,
+               bool* stopped);
+
+  const Graph& pattern_;
+  const Graph& target_;
+  // Pattern nodes in a connectivity-preserving search order: order_[i]
+  // (i > 0) has at least one neighbor among order_[0..i-1].
+  std::vector<NodeId> order_;
+  // anchor_[i]: index < i in order_ of a mapped neighbor of order_[i]
+  // whose image's adjacency seeds the candidate list (kInvalidNode for the
+  // root).
+  std::vector<NodeId> anchor_;
+  std::vector<NodeId> map_;          // pattern node -> target node
+  std::vector<bool> target_used_;    // target node already mapped
+};
+
+/// \brief Convenience: does \p pattern match somewhere inside \p target?
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+/// \brief Convenience: are the two graphs isomorphic (same sizes + mutual
+/// containment check via size equality and one VF2 run)?
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_VF2_H_

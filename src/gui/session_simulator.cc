@@ -1,0 +1,183 @@
+#include "gui/session_simulator.h"
+
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace prague {
+
+namespace {
+
+// Returns the scripted deletions that fire after `step` (1-based).
+std::vector<FormulationId> DeletionsAfter(
+    const std::vector<ScriptedModification>& mods, size_t step) {
+  std::vector<FormulationId> out;
+  for (const ScriptedModification& m : mods) {
+    if (m.after_step == step) out.push_back(m.delete_edge);
+  }
+  return out;
+}
+
+double Overflow(double engine_seconds, double latency) {
+  return engine_seconds > latency ? engine_seconds - latency : 0.0;
+}
+
+// Per-step latency with human jitter applied.
+double JitteredLatency(double base, double jitter, Rng* rng) {
+  if (jitter <= 0) return base;
+  double factor = 1.0 + jitter * (2.0 * rng->NextDouble() - 1.0);
+  return base * factor;
+}
+
+}  // namespace
+
+SessionSimulator::SessionSimulator(const GraphDatabase* db,
+                                   const ActionAwareIndexes* indexes,
+                                   const SimulationConfig& config)
+    : db_(db), indexes_(indexes), config_(config) {}
+
+Result<SimulationResult> SessionSimulator::RunPrague(
+    const VisualQuerySpec& spec,
+    const std::vector<ScriptedModification>& mods) const {
+  PragueSession session(db_, indexes_, config_.prague);
+  SimulationResult out;
+  out.query_name = spec.name;
+  const Graph& q = spec.graph;
+  // The user drags nodes from Panel 2 as they become edge endpoints.
+  std::unordered_map<NodeId, NodeId> node_map;  // query node -> session node
+  auto session_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId s = session.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, s);
+    return s;
+  };
+  double overflow_total = 0;
+  Rng jitter_rng(config_.latency.jitter_seed);
+  for (size_t step = 0; step < spec.sequence.size(); ++step) {
+    const Edge& edge = q.GetEdge(spec.sequence[step]);
+    NodeId u = session_node(edge.u);
+    NodeId v = session_node(edge.v);
+    Stopwatch timer;
+    Result<StepReport> report = session.AddEdge(u, v, edge.label);
+    if (!report.ok()) return report.status();
+    double engine = timer.ElapsedSeconds();
+
+    StepTrace trace;
+    trace.edge = report->edge;
+    trace.status = report->status;
+    trace.engine_seconds = engine;
+    trace.overflow_seconds = Overflow(
+        engine, JitteredLatency(config_.latency.edge_seconds,
+                                config_.latency.jitter, &jitter_rng));
+    trace.spig_seconds = report->spig_seconds;
+    trace.exact_candidates = report->exact_candidates;
+    trace.free_candidates = report->free_candidates;
+    trace.ver_candidates = report->ver_candidates;
+    out.steps.push_back(trace);
+    out.formulation_engine_seconds += engine;
+    overflow_total += trace.overflow_seconds;
+
+    for (FormulationId del : DeletionsAfter(mods, step + 1)) {
+      Stopwatch del_timer;
+      Result<StepReport> del_report = session.DeleteEdge(del);
+      if (!del_report.ok()) return del_report.status();
+      double del_engine = del_timer.ElapsedSeconds();
+      StepTrace del_trace;
+      del_trace.edge = del;
+      del_trace.deletion = true;
+      del_trace.status = del_report->status;
+      del_trace.engine_seconds = del_engine;
+      del_trace.overflow_seconds = Overflow(
+          del_engine, JitteredLatency(config_.latency.modify_seconds,
+                                      config_.latency.jitter, &jitter_rng));
+      del_trace.spig_seconds = del_report->spig_seconds;
+      del_trace.exact_candidates = del_report->exact_candidates;
+      del_trace.free_candidates = del_report->free_candidates;
+      del_trace.ver_candidates = del_report->ver_candidates;
+      out.steps.push_back(del_trace);
+      out.formulation_engine_seconds += del_engine;
+      overflow_total += del_trace.overflow_seconds;
+    }
+  }
+
+  out.final_candidates = session.similarity_mode()
+                             ? session.similar_candidates().TotalCandidates()
+                             : session.exact_candidates().size();
+  out.final_free = session.similar_candidates().AllFree().size();
+  out.final_ver = session.similar_candidates().AllVer().size();
+
+  Result<QueryResults> results = session.Run(&out.run_stats);
+  if (!results.ok()) return results.status();
+  out.results = std::move(*results);
+  out.similarity = out.results.similarity;
+  out.srt_seconds = out.run_stats.srt_seconds + overflow_total;
+  return out;
+}
+
+Result<SimulationResult> SessionSimulator::RunGBlender(
+    const VisualQuerySpec& spec,
+    const std::vector<ScriptedModification>& mods) const {
+  GBlenderSession session(db_, indexes_);
+  SimulationResult out;
+  out.query_name = spec.name;
+  const Graph& q = spec.graph;
+  std::unordered_map<NodeId, NodeId> node_map;
+  auto session_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId s = session.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, s);
+    return s;
+  };
+  double overflow_total = 0;
+  Rng jitter_rng(config_.latency.jitter_seed);
+  for (size_t step = 0; step < spec.sequence.size(); ++step) {
+    const Edge& edge = q.GetEdge(spec.sequence[step]);
+    NodeId u = session_node(edge.u);
+    NodeId v = session_node(edge.v);
+    Stopwatch timer;
+    Result<GbrStepReport> report = session.AddEdge(u, v, edge.label);
+    if (!report.ok()) return report.status();
+    double engine = timer.ElapsedSeconds();
+    StepTrace trace;
+    trace.edge = report->edge;
+    trace.engine_seconds = engine;
+    trace.overflow_seconds = Overflow(
+        engine, JitteredLatency(config_.latency.edge_seconds,
+                                config_.latency.jitter, &jitter_rng));
+    trace.exact_candidates = report->candidates;
+    out.steps.push_back(trace);
+    out.formulation_engine_seconds += engine;
+    overflow_total += trace.overflow_seconds;
+
+    for (FormulationId del : DeletionsAfter(mods, step + 1)) {
+      Stopwatch del_timer;
+      Result<GbrStepReport> del_report = session.DeleteEdge(del);
+      if (!del_report.ok()) return del_report.status();
+      double del_engine = del_timer.ElapsedSeconds();
+      StepTrace del_trace;
+      del_trace.edge = del;
+      del_trace.deletion = true;
+      del_trace.engine_seconds = del_engine;
+      del_trace.overflow_seconds = Overflow(
+          del_engine, JitteredLatency(config_.latency.modify_seconds,
+                                      config_.latency.jitter, &jitter_rng));
+      del_trace.exact_candidates = del_report->candidates;
+      out.steps.push_back(del_trace);
+      out.formulation_engine_seconds += del_engine;
+      overflow_total += del_trace.overflow_seconds;
+    }
+  }
+
+  out.final_candidates = session.candidates().size();
+  Result<QueryResults> results = session.Run(&out.run_stats);
+  if (!results.ok()) return results.status();
+  out.results = std::move(*results);
+  out.similarity = false;
+  out.srt_seconds = out.run_stats.srt_seconds + overflow_total;
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,115 @@
+// GUI session simulator.
+//
+// The paper's engine never sees pixels — only the visual actions New /
+// Modify / SimQuery / Run and the latency between them (a participant
+// takes ≥ 2 s to draw an edge; average query formulation time ≈ 30 s).
+// This module replays a VisualQuerySpec as such an action stream against a
+// PragueSession or GBlenderSession, measures the real engine time spent
+// inside each step, and accounts SRT the way the paper does:
+//
+//   SRT = time inside Run()  +  Σ max(0, step_time − GUI latency)
+//
+// i.e. per-step work hidden under the latency budget is free; overflow is
+// charged to the response time the user eventually feels.
+
+#ifndef PRAGUE_GUI_SESSION_SIMULATOR_H_
+#define PRAGUE_GUI_SESSION_SIMULATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gblender.h"
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief Latency the GUI affords the engine, per user action.
+struct LatencyModel {
+  /// Seconds a user needs to draw one edge (paper: "at least 2 seconds",
+  /// ignoring think time).
+  double edge_seconds = 2.0;
+  /// Seconds a user needs to perform an edge deletion.
+  double modify_seconds = 2.0;
+  /// Human variability: each step's latency is scaled by a uniform factor
+  /// in [1−jitter, 1+jitter] (0 = deterministic). Models the differing
+  /// drawing speeds of the paper's participants.
+  double jitter = 0.0;
+  /// Seed for the jitter draw (deterministic per run).
+  uint64_t jitter_seed = 1;
+};
+
+/// \brief Simulator parameters.
+struct SimulationConfig {
+  LatencyModel latency;
+  PragueConfig prague;
+};
+
+/// \brief One step of a simulated session.
+struct StepTrace {
+  FormulationId edge = 0;
+  bool deletion = false;
+  FragmentStatus status = FragmentStatus::kFrequent;
+  double engine_seconds = 0;    ///< real engine time inside this step
+  double overflow_seconds = 0;  ///< engine time exceeding the GUI latency
+  double spig_seconds = 0;      ///< SPIG build/update share
+  size_t exact_candidates = 0;
+  size_t free_candidates = 0;
+  size_t ver_candidates = 0;
+};
+
+/// \brief A scripted deviation from plain formulation: after the edge at
+/// sequence position `after_step` (1-based) is drawn, delete edge eℓ.
+struct ScriptedModification {
+  size_t after_step = 0;
+  FormulationId delete_edge = 0;
+};
+
+/// \brief Outcome of one simulated session.
+struct SimulationResult {
+  std::string query_name;
+  std::vector<StepTrace> steps;
+  QueryResults results;
+  RunStats run_stats;
+  /// SRT per the accounting above.
+  double srt_seconds = 0;
+  /// Engine time summed over all steps (excluding Run).
+  double formulation_engine_seconds = 0;
+  /// |Rq| or |Rfree ∪ Rver| at Run time.
+  size_t final_candidates = 0;
+  size_t final_free = 0;
+  size_t final_ver = 0;
+  bool similarity = false;
+};
+
+/// \brief Drives engines through scripted visual sessions.
+class SessionSimulator {
+ public:
+  /// \p db and \p indexes must outlive the simulator.
+  SessionSimulator(const GraphDatabase* db, const ActionAwareIndexes* indexes,
+                   const SimulationConfig& config = SimulationConfig());
+
+  /// \brief Formulate the whole query, then Run — PRAGUE engine.
+  /// Optional scripted modifications fire after their step.
+  Result<SimulationResult> RunPrague(
+      const VisualQuerySpec& spec,
+      const std::vector<ScriptedModification>& mods = {}) const;
+
+  /// \brief Same protocol against the GBLENDER baseline.
+  Result<SimulationResult> RunGBlender(
+      const VisualQuerySpec& spec,
+      const std::vector<ScriptedModification>& mods = {}) const;
+
+ private:
+  const GraphDatabase* db_;
+  const ActionAwareIndexes* indexes_;
+  SimulationConfig config_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_GUI_SESSION_SIMULATOR_H_

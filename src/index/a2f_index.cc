@@ -1,0 +1,184 @@
+#include "index/a2f_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "graph/subgraph_ops.h"
+#include "util/bytes.h"
+
+namespace prague {
+
+A2FIndex A2FIndex::Build(const std::vector<MinedFragment>& frequent,
+                         const A2fConfig& config) {
+  A2FIndex index;
+  index.beta_ = config.beta;
+  index.vertices_.reserve(frequent.size());
+  for (const MinedFragment& frag : frequent) {
+    A2fVertex v;
+    v.fragment = frag.graph;
+    v.code = frag.code;
+    v.fsg_ids = frag.fsg_ids;
+    v.in_mf = frag.graph.EdgeCount() <= config.beta;
+    A2fId id = static_cast<A2fId>(index.vertices_.size());
+    index.by_code_.emplace(v.code, id);
+    index.vertices_.push_back(std::move(v));
+  }
+
+  // DAG edges: for each fragment, find its one-edge-smaller connected
+  // subgraphs among the indexed fragments.
+  for (A2fId id = 0; id < index.vertices_.size(); ++id) {
+    A2fVertex& v = index.vertices_[id];
+    if (v.size() < 2) continue;
+    std::vector<std::vector<EdgeMask>> by_size =
+        ConnectedEdgeSubsetsBySize(v.fragment);
+    std::vector<A2fId> parents;
+    for (EdgeMask mask : by_size[v.size() - 1]) {
+      ExtractedSubgraph sub = ExtractEdgeSubgraph(v.fragment, mask);
+      auto it = index.by_code_.find(GetCanonicalCode(sub.graph));
+      if (it == index.by_code_.end()) continue;  // subgraph not frequent?
+      parents.push_back(it->second);
+    }
+    std::sort(parents.begin(), parents.end());
+    parents.erase(std::unique(parents.begin(), parents.end()), parents.end());
+    v.parents = parents;
+    for (A2fId p : parents) index.vertices_[p].children.push_back(id);
+  }
+  for (A2fVertex& v : index.vertices_) {
+    std::sort(v.children.begin(), v.children.end());
+    v.children.erase(std::unique(v.children.begin(), v.children.end()),
+                     v.children.end());
+  }
+
+  // delId(f) = fsgIds(f) \ ∪_children fsgIds(child).
+  for (A2fVertex& v : index.vertices_) {
+    IdSet covered;
+    for (A2fId c : v.children) {
+      covered.UnionWith(index.vertices_[c].fsg_ids);
+    }
+    v.del_ids = v.fsg_ids.Subtract(covered);
+  }
+
+  index.mf_count_ = 0;
+  for (const A2fVertex& v : index.vertices_) {
+    if (v.in_mf) ++index.mf_count_;
+  }
+
+  // DF clusters: every size-(β+1) fragment roots a cluster; each larger
+  // fragment joins the cluster of its smallest-id root ancestor.
+  std::unordered_map<A2fId, uint32_t> cluster_of_root;
+  for (A2fId id = 0; id < index.vertices_.size(); ++id) {
+    if (index.vertices_[id].size() == config.beta + 1) {
+      uint32_t cid = static_cast<uint32_t>(index.clusters_.size());
+      cluster_of_root.emplace(id, cid);
+      index.clusters_.push_back(FragmentCluster{id, {id}});
+    }
+  }
+  // Assign deeper DF fragments by walking parents down to a root.
+  std::function<std::optional<uint32_t>(A2fId)> find_cluster =
+      [&](A2fId id) -> std::optional<uint32_t> {
+    const A2fVertex& v = index.vertices_[id];
+    if (v.size() == config.beta + 1) {
+      auto it = cluster_of_root.find(id);
+      return it == cluster_of_root.end() ? std::nullopt
+                                         : std::optional<uint32_t>(it->second);
+    }
+    for (A2fId p : v.parents) {
+      if (index.vertices_[p].size() > config.beta) {
+        std::optional<uint32_t> c = find_cluster(p);
+        if (c) return c;
+      }
+    }
+    return std::nullopt;
+  };
+  for (A2fId id = 0; id < index.vertices_.size(); ++id) {
+    const A2fVertex& v = index.vertices_[id];
+    if (v.in_mf || v.size() == config.beta + 1) continue;
+    std::optional<uint32_t> c = find_cluster(id);
+    if (c) index.clusters_[*c].members.push_back(id);
+  }
+
+  // MF leaf (size == β) cluster lists: clusters whose root is a child.
+  for (A2fId id = 0; id < index.vertices_.size(); ++id) {
+    const A2fVertex& v = index.vertices_[id];
+    if (v.size() != config.beta) continue;
+    std::vector<uint32_t> list;
+    for (A2fId child : v.children) {
+      auto it = cluster_of_root.find(child);
+      if (it != cluster_of_root.end()) list.push_back(it->second);
+    }
+    if (!list.empty()) index.leaf_clusters_.emplace(id, std::move(list));
+  }
+  return index;
+}
+
+std::optional<A2fId> A2FIndex::Lookup(const CanonicalCode& code) const {
+  auto it = by_code_.find(code);
+  if (it == by_code_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<uint32_t>& A2FIndex::ClusterList(A2fId leaf) const {
+  static const std::vector<uint32_t> kEmpty;
+  auto it = leaf_clusters_.find(leaf);
+  return it == leaf_clusters_.end() ? kEmpty : it->second;
+}
+
+size_t A2FIndex::StorageBytes() const {
+  // Stored form per Section III: CAM code + delId list + DAG links. The
+  // materialized Graph on each vertex is a decoded cache, not index
+  // storage (it is fully reconstructible from the code).
+  size_t bytes = 0;
+  for (const A2fVertex& v : vertices_) {
+    bytes += v.code.size();
+    bytes += v.del_ids.size() * sizeof(GraphId);
+    bytes += (v.parents.size() + v.children.size()) * sizeof(A2fId);
+  }
+  for (const FragmentCluster& c : clusters_) {
+    bytes += c.members.size() * sizeof(A2fId);
+  }
+  return bytes;
+}
+
+size_t A2FIndex::UncompressedBytes() const {
+  size_t bytes = 0;
+  for (const A2fVertex& v : vertices_) {
+    bytes += v.code.size();
+    bytes += v.fsg_ids.size() * sizeof(GraphId);
+    bytes += (v.parents.size() + v.children.size()) * sizeof(A2fId);
+  }
+  for (const FragmentCluster& c : clusters_) {
+    bytes += c.members.size() * sizeof(A2fId);
+  }
+  return bytes;
+}
+
+void A2FIndex::RecomputeDelIds() {
+  for (A2fVertex& v : vertices_) {
+    IdSet covered;
+    for (A2fId c : v.children) covered.UnionWith(vertices_[c].fsg_ids);
+    v.del_ids = v.fsg_ids.Subtract(covered);
+  }
+}
+
+bool A2FIndex::ReconstructFromDelIds() {
+  // fsgIds(f) = delId(f) ∪ ∪_children fsgIds(child). Process vertices in
+  // decreasing fragment size so children are always ready.
+  std::vector<A2fId> order(vertices_.size());
+  for (A2fId i = 0; i < vertices_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](A2fId a, A2fId b) {
+    return vertices_[a].size() > vertices_[b].size();
+  });
+  for (A2fId id : order) {
+    A2fVertex& v = vertices_[id];
+    IdSet full = v.del_ids;
+    for (A2fId c : v.children) {
+      if (vertices_[c].size() != v.size() + 1) return false;
+      full.UnionWith(vertices_[c].fsg_ids);
+    }
+    v.fsg_ids = std::move(full);
+  }
+  return true;
+}
+
+}  // namespace prague

@@ -1,0 +1,126 @@
+// Action-aware frequent index (A2F), Section III.
+//
+// The A2F indexes every frequent fragment as a vertex of a DAG whose edges
+// connect each fragment to its one-edge-larger frequent supergraphs.
+// Fragments of size ≤ β live in the memory-based MF-index; larger ones are
+// grouped into fragment clusters forming the disk-based DF-index, reachable
+// from MF leaf vertices (size == β) through their cluster lists.
+//
+// Storage compression: because f' ⊂ f implies fsgIds(f) ⊆ fsgIds(f'), each
+// vertex stores only delId(f) = fsgIds(f) \ ∪_children fsgIds(child); the
+// full set is the union of delIds over the vertex's supergraph closure.
+// At runtime this implementation keeps the reconstructed full sets hot
+// (queries during GUI latency need them constantly) and reports the
+// compressed footprint via StorageBytes() — that is the number the paper's
+// Table II / Figure 10(a) measure.
+
+#ifndef PRAGUE_INDEX_A2F_INDEX_H_
+#define PRAGUE_INDEX_A2F_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "mining/gspan.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// Identifier of a vertex in the A2F index (the paper's a2fId).
+using A2fId = uint32_t;
+
+/// \brief Index build parameters.
+struct A2fConfig {
+  /// β — fragment size threshold splitting MF-index from DF-index.
+  size_t beta = 8;
+};
+
+/// \brief One A2F vertex: a frequent fragment plus its DAG links.
+struct A2fVertex {
+  Graph fragment;
+  CanonicalCode code;
+  IdSet fsg_ids;           ///< full FSG id set (runtime, reconstructed)
+  IdSet del_ids;           ///< delId(f) — the stored, compressed set
+  std::vector<A2fId> parents;   ///< frequent subgraphs one edge smaller
+  std::vector<A2fId> children;  ///< frequent supergraphs one edge larger
+  bool in_mf = false;           ///< MF-index (size ≤ β) vs DF-index
+
+  size_t size() const { return fragment.EdgeCount(); }
+};
+
+/// \brief One DF-index fragment cluster: a root (size β+1) and the larger
+/// fragments assigned to it.
+struct FragmentCluster {
+  A2fId root;
+  std::vector<A2fId> members;  ///< includes the root
+};
+
+/// \brief The action-aware frequent index.
+class A2FIndex {
+ public:
+  A2FIndex() = default;
+
+  /// \brief Builds from mined frequent fragments.
+  static A2FIndex Build(const std::vector<MinedFragment>& frequent,
+                        const A2fConfig& config);
+
+  /// \brief a2fId of the fragment with this canonical code, if indexed.
+  std::optional<A2fId> Lookup(const CanonicalCode& code) const;
+
+  /// \brief Full FSG id set of an indexed fragment.
+  const IdSet& FsgIds(A2fId id) const { return vertices_[id].fsg_ids; }
+  /// \brief Vertex by id.
+  const A2fVertex& vertex(A2fId id) const { return vertices_[id]; }
+  /// \brief Number of indexed fragments.
+  size_t VertexCount() const { return vertices_.size(); }
+  /// \brief All vertices.
+  const std::vector<A2fVertex>& vertices() const { return vertices_; }
+
+  /// \brief MF-index population (size ≤ β).
+  size_t MfVertexCount() const { return mf_count_; }
+  /// \brief DF-index population (size > β).
+  size_t DfVertexCount() const { return vertices_.size() - mf_count_; }
+  /// \brief DF-index clusters.
+  const std::vector<FragmentCluster>& clusters() const { return clusters_; }
+  /// \brief Cluster ids reachable from an MF leaf (size == β) vertex.
+  const std::vector<uint32_t>& ClusterList(A2fId leaf) const;
+
+  /// \brief β used at build time.
+  size_t beta() const { return beta_; }
+
+  /// \brief Compressed (delId-based) storage footprint in bytes — the
+  /// Table II metric.
+  size_t StorageBytes() const;
+  /// \brief Uncompressed footprint (full fsgIds per vertex), for the
+  /// compression-ablation benchmark.
+  size_t UncompressedBytes() const;
+
+  /// \brief Recomputes every fsgIds from delIds alone (exercised by tests
+  /// and the load path). Returns false if the DAG is inconsistent.
+  bool ReconstructFromDelIds();
+
+  /// \brief Maintenance hook (index_maintenance.h): records that data
+  /// graph \p gid contains fragment \p id. Call RecomputeDelIds() after a
+  /// batch of these.
+  void AddFsgId(A2fId id, GraphId gid) { vertices_[id].fsg_ids.Insert(gid); }
+  /// \brief Maintenance hook: rebuilds every delId from current fsgIds.
+  void RecomputeDelIds();
+
+ private:
+  std::vector<A2fVertex> vertices_;
+  std::unordered_map<CanonicalCode, A2fId> by_code_;
+  std::vector<FragmentCluster> clusters_;
+  std::unordered_map<A2fId, std::vector<uint32_t>> leaf_clusters_;
+  size_t mf_count_ = 0;
+  size_t beta_ = 8;
+
+  friend class IndexSerializer;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_A2F_INDEX_H_

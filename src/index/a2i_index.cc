@@ -1,0 +1,46 @@
+#include "index/a2i_index.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace prague {
+
+A2IIndex A2IIndex::Build(const std::vector<MinedFragment>& difs) {
+  A2IIndex index;
+  std::vector<MinedFragment> sorted = difs;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const MinedFragment& a, const MinedFragment& b) {
+                     return a.size() < b.size();
+                   });
+  index.entries_.reserve(sorted.size());
+  for (MinedFragment& frag : sorted) {
+    A2iEntry entry;
+    entry.fragment = std::move(frag.graph);
+    entry.code = std::move(frag.code);
+    entry.fsg_ids = std::move(frag.fsg_ids);
+    A2iId id = static_cast<A2iId>(index.entries_.size());
+    index.by_code_.emplace(entry.code, id);
+    index.entries_.push_back(std::move(entry));
+  }
+  return index;
+}
+
+std::optional<A2iId> A2IIndex::Lookup(const CanonicalCode& code) const {
+  auto it = by_code_.find(code);
+  if (it == by_code_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t A2IIndex::StorageBytes() const {
+  // Stored form per Section III: "Each entry stores the CAM code of a DIF
+  // g and a list of FSG identifiers of g." The Graph is a decoded cache.
+  size_t bytes = 0;
+  for (const A2iEntry& e : entries_) {
+    bytes += e.code.size();
+    bytes += e.fsg_ids.size() * sizeof(GraphId);
+  }
+  return bytes;
+}
+
+}  // namespace prague

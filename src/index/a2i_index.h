@@ -1,0 +1,72 @@
+// Action-aware infrequent index (A2I), Section III: an array of
+// discriminative infrequent fragments (DIFs) in ascending size order, each
+// entry holding the fragment's CAM code and its FSG id list. DIFs are the
+// strongest pruners for infrequent query fragments — any query fragment
+// containing a DIF is itself infrequent and its candidates are a subset of
+// the DIF's FSG ids.
+
+#ifndef PRAGUE_INDEX_A2I_INDEX_H_
+#define PRAGUE_INDEX_A2I_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "mining/gspan.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// Identifier of an entry in the A2I index (the paper's a2iId).
+using A2iId = uint32_t;
+
+/// \brief One A2I entry.
+struct A2iEntry {
+  Graph fragment;
+  CanonicalCode code;
+  IdSet fsg_ids;
+
+  size_t size() const { return fragment.EdgeCount(); }
+};
+
+/// \brief The action-aware infrequent index.
+class A2IIndex {
+ public:
+  A2IIndex() = default;
+
+  /// \brief Builds from mined DIFs (already size-ascending from the miner;
+  /// re-sorted defensively).
+  static A2IIndex Build(const std::vector<MinedFragment>& difs);
+
+  /// \brief a2iId of the DIF with this canonical code, if indexed.
+  std::optional<A2iId> Lookup(const CanonicalCode& code) const;
+
+  /// \brief FSG id set of an indexed DIF.
+  const IdSet& FsgIds(A2iId id) const { return entries_[id].fsg_ids; }
+  /// \brief Entry by id.
+  const A2iEntry& entry(A2iId id) const { return entries_[id]; }
+  /// \brief Number of DIF entries.
+  size_t EntryCount() const { return entries_.size(); }
+  /// \brief All entries, ascending by fragment size.
+  const std::vector<A2iEntry>& entries() const { return entries_; }
+
+  /// \brief Storage footprint in bytes.
+  size_t StorageBytes() const;
+
+  /// \brief Maintenance hook (index_maintenance.h): records that data
+  /// graph \p gid contains DIF \p id.
+  void AddFsgId(A2iId id, GraphId gid) { entries_[id].fsg_ids.Insert(gid); }
+
+ private:
+  std::vector<A2iEntry> entries_;
+  std::unordered_map<CanonicalCode, A2iId> by_code_;
+
+  friend class IndexSerializer;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_A2I_INDEX_H_

@@ -1,0 +1,23 @@
+#include "index/action_aware_index.h"
+
+namespace prague {
+
+Result<ActionAwareIndexes> BuildActionAwareIndexes(const GraphDatabase& db,
+                                                   const MiningConfig& mining,
+                                                   const A2fConfig& a2f) {
+  Result<MiningResult> mined = MineFragments(db, mining);
+  if (!mined.ok()) return mined.status();
+  return BuildActionAwareIndexes(*mined, a2f);
+}
+
+ActionAwareIndexes BuildActionAwareIndexes(const MiningResult& mined,
+                                           const A2fConfig& a2f) {
+  ActionAwareIndexes out;
+  out.a2f = A2FIndex::Build(mined.frequent, a2f);
+  out.a2i = A2IIndex::Build(mined.difs);
+  out.mining_stats = mined.stats;
+  out.min_support = mined.min_support;
+  return out;
+}
+
+}  // namespace prague

@@ -1,0 +1,39 @@
+// Convenience bundle: mine a database and build both action-aware indexes
+// in one call — the offline preprocessing step of GBLENDER/PRAGUE.
+
+#ifndef PRAGUE_INDEX_ACTION_AWARE_INDEX_H_
+#define PRAGUE_INDEX_ACTION_AWARE_INDEX_H_
+
+#include "graph/graph_database.h"
+#include "index/a2f_index.h"
+#include "index/a2i_index.h"
+#include "mining/gspan.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief The A2F + A2I pair over one database.
+struct ActionAwareIndexes {
+  A2FIndex a2f;
+  A2IIndex a2i;
+  MiningStats mining_stats;
+  size_t min_support = 0;
+
+  /// \brief Total compressed storage footprint (Table II metric).
+  size_t StorageBytes() const {
+    return a2f.StorageBytes() + a2i.StorageBytes();
+  }
+};
+
+/// \brief Mines \p db and builds both indexes.
+Result<ActionAwareIndexes> BuildActionAwareIndexes(const GraphDatabase& db,
+                                                   const MiningConfig& mining,
+                                                   const A2fConfig& a2f);
+
+/// \brief Builds both indexes from an existing mining result.
+ActionAwareIndexes BuildActionAwareIndexes(const MiningResult& mined,
+                                           const A2fConfig& a2f);
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_ACTION_AWARE_INDEX_H_

@@ -1,0 +1,199 @@
+#include "index/df_store.h"
+
+#include <fstream>
+#include <cstdio>
+#include <sstream>
+
+namespace prague {
+
+namespace {
+
+// One fixed-width directory line: 19-digit relative offset, space,
+// 10-digit vertex count, newline = 31 bytes.
+std::string DirectoryLine(uint64_t rel_offset, uint32_t count) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%019llu %010u\n",
+                static_cast<unsigned long long>(rel_offset), count);
+  return buf;
+}
+
+}  // namespace
+
+Result<DfStore> DfStore::Create(const A2FIndex& a2f, const std::string& path,
+                                size_t cache_clusters) {
+  // Group DF vertices by cluster; any DF vertex the build left unassigned
+  // goes to a catch-all cluster at the end.
+  std::vector<std::vector<A2fId>> groups;
+  std::vector<bool> covered(a2f.VertexCount(), false);
+  for (const FragmentCluster& c : a2f.clusters()) {
+    groups.emplace_back();
+    for (A2fId id : c.members) {
+      if (!covered[id]) {
+        covered[id] = true;
+        groups.back().push_back(id);
+      }
+    }
+  }
+  std::vector<A2fId> leftovers;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    if (!a2f.vertex(id).in_mf && !covered[id]) leftovers.push_back(id);
+  }
+  if (!leftovers.empty()) groups.push_back(std::move(leftovers));
+
+  // Serialize payload per cluster, recording relative offsets.
+  std::string payload;
+  std::vector<ClusterLocation> directory;
+  std::string vertex_map;
+  size_t vertex_total = 0;
+  for (uint32_t cid = 0; cid < groups.size(); ++cid) {
+    ClusterLocation loc;
+    loc.offset = payload.size();
+    loc.vertex_count = static_cast<uint32_t>(groups[cid].size());
+    directory.push_back(loc);
+    for (A2fId id : groups[cid]) {
+      // Stored form: the delId-compressed lists would need the DAG to
+      // resolve, so the store keeps the *full* id lists — this is the
+      // disk-resident tier, where the paper also pays for completeness.
+      const IdSet& ids = a2f.FsgIds(id);
+      payload += std::to_string(id);
+      payload += ' ';
+      payload += std::to_string(ids.size());
+      for (GraphId gid : ids) {
+        payload += ' ';
+        payload += std::to_string(gid);
+      }
+      payload += '\n';
+      vertex_map += std::to_string(id);
+      vertex_map += ' ';
+      vertex_map += std::to_string(cid);
+      vertex_map += '\n';
+      ++vertex_total;
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "DF_STORE 1 " << groups.size() << ' ' << vertex_total << '\n';
+  for (const ClusterLocation& loc : directory) {
+    out << DirectoryLine(loc.offset, loc.vertex_count);
+  }
+  out << vertex_map;
+  out << payload;
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  out.close();
+  return Open(path, cache_clusters);
+}
+
+Result<DfStore> DfStore::Open(const std::string& path,
+                              size_t cache_clusters) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::Corruption("empty store");
+  std::istringstream header(line);
+  std::string magic;
+  int version;
+  size_t cluster_count, vertex_count;
+  if (!(header >> magic >> version >> cluster_count >> vertex_count) ||
+      magic != "DF_STORE" || version != 1) {
+    return Status::Corruption("bad DF store header");
+  }
+  DfStore store;
+  store.path_ = path;
+  store.cache_clusters_ = std::max<size_t>(1, cache_clusters);
+  store.directory_.resize(cluster_count);
+  for (ClusterLocation& loc : store.directory_) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("truncated directory");
+    }
+    std::istringstream ls(line);
+    if (!(ls >> loc.offset >> loc.vertex_count)) {
+      return Status::Corruption("bad directory line");
+    }
+  }
+  for (size_t i = 0; i < vertex_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("truncated vertex map");
+    }
+    std::istringstream ls(line);
+    A2fId id;
+    uint32_t cid;
+    if (!(ls >> id >> cid) || cid >= cluster_count) {
+      return Status::Corruption("bad vertex map line");
+    }
+    store.cluster_of_.emplace(id, cid);
+  }
+  // Payload base: current position. Rebase directory offsets to absolute.
+  std::streampos base = in.tellg();
+  if (base < 0) return Status::Corruption("cannot locate payload");
+  for (ClusterLocation& loc : store.directory_) {
+    loc.offset += static_cast<uint64_t>(base);
+  }
+  in.seekg(0, std::ios::end);
+  store.file_bytes_ = static_cast<size_t>(in.tellg());
+  return store;
+}
+
+Result<const DfStore::CachedCluster*> DfStore::FetchCluster(uint32_t cid) {
+  auto it = cache_.find(cid);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.remove(cid);
+    lru_.push_front(cid);
+    return &it->second;
+  }
+  ++stats_.cluster_loads;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path_);
+  const ClusterLocation& loc = directory_[cid];
+  in.seekg(static_cast<std::streamoff>(loc.offset));
+  CachedCluster cluster;
+  std::string line;
+  for (uint32_t i = 0; i < loc.vertex_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("truncated cluster");
+    }
+    std::istringstream ls(line);
+    A2fId id;
+    size_t n;
+    if (!(ls >> id >> n)) return Status::Corruption("bad vertex line");
+    std::vector<GraphId> ids(n);
+    for (size_t j = 0; j < n; ++j) {
+      if (!(ls >> ids[j])) return Status::Corruption("bad id entry");
+    }
+    cluster.ids.emplace(id, IdSet(std::move(ids)));
+  }
+  // Evict beyond the budget.
+  while (lru_.size() >= cache_clusters_) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(cid);
+  auto [ins, ok] = cache_.emplace(cid, std::move(cluster));
+  (void)ok;
+  return &ins->second;
+}
+
+Result<IdSet> DfStore::FsgIds(A2fId id) {
+  ++stats_.lookups;
+  auto it = cluster_of_.find(id);
+  if (it == cluster_of_.end()) {
+    return Status::NotFound("vertex not in DF tier: " + std::to_string(id));
+  }
+  Result<const CachedCluster*> cluster = FetchCluster(it->second);
+  if (!cluster.ok()) return cluster.status();
+  auto vit = (*cluster)->ids.find(id);
+  if (vit == (*cluster)->ids.end()) {
+    return Status::Corruption("vertex missing from its cluster");
+  }
+  return vit->second;
+}
+
+void DfStore::DropCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace prague

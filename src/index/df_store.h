@@ -1,0 +1,94 @@
+// Disk-resident DF-index store.
+//
+// Section III makes the A2F two-tier: small frequent fragments (size ≤ β)
+// stay memory-resident (MF-index) while larger ones live on disk in
+// fragment clusters (DF-index), reached from MF leaf vertices through
+// their cluster lists. The in-memory A2FIndex keeps everything hot — the
+// right call during interactive sessions — but a deployment with a large
+// fragment population wants the paper's actual layout. DfStore provides
+// it: clusters are serialized to one paged file; FSG id lists of DF
+// vertices are fetched per cluster on demand and held in a bounded LRU
+// cache.
+//
+// The store is a storage layer under A2FIndex, not a replacement: ids and
+// DAG structure stay in memory (they are small); only the id lists of
+// size > β fragments page in and out.
+
+#ifndef PRAGUE_INDEX_DF_STORE_H_
+#define PRAGUE_INDEX_DF_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/a2f_index.h"
+#include "util/id_set.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief Counters describing store traffic.
+struct DfStoreStats {
+  size_t lookups = 0;        ///< FsgIds calls for DF vertices
+  size_t cluster_loads = 0;  ///< clusters read from disk
+  size_t cache_hits = 0;     ///< lookups served from cached clusters
+  size_t evictions = 0;      ///< clusters evicted by the LRU
+};
+
+/// \brief Paged, LRU-cached storage for DF-index id lists.
+class DfStore {
+ public:
+  /// \brief Writes the DF-tier of \p a2f to \p path and opens a store over
+  /// it. \p cache_clusters bounds how many clusters stay resident.
+  static Result<DfStore> Create(const A2FIndex& a2f, const std::string& path,
+                                size_t cache_clusters = 4);
+
+  /// \brief Opens an existing store file (cluster directory is re-read).
+  static Result<DfStore> Open(const std::string& path,
+                              size_t cache_clusters = 4);
+
+  /// \brief FSG ids of a DF vertex, fetching its cluster if needed.
+  /// Fails with NotFound for ids that are not in the DF tier.
+  Result<IdSet> FsgIds(A2fId id);
+
+  /// \brief True iff \p id is stored in the DF tier.
+  bool ContainsVertex(A2fId id) const {
+    return cluster_of_.contains(id);
+  }
+
+  /// \brief Number of clusters in the file.
+  size_t ClusterCount() const { return directory_.size(); }
+  /// \brief Bytes of the on-disk file.
+  size_t FileBytes() const { return file_bytes_; }
+  /// \brief Traffic counters.
+  const DfStoreStats& stats() const { return stats_; }
+  /// \brief Drops every cached cluster (keeps the directory).
+  void DropCache();
+
+ private:
+  struct ClusterLocation {
+    uint64_t offset = 0;  ///< byte offset in the file
+    uint32_t vertex_count = 0;
+  };
+  struct CachedCluster {
+    std::unordered_map<A2fId, IdSet> ids;
+  };
+
+  Result<const CachedCluster*> FetchCluster(uint32_t cid);
+
+  std::string path_;
+  std::vector<ClusterLocation> directory_;
+  std::unordered_map<A2fId, uint32_t> cluster_of_;
+  size_t cache_clusters_ = 4;
+  size_t file_bytes_ = 0;
+  // LRU: most recent at front.
+  std::list<uint32_t> lru_;
+  std::unordered_map<uint32_t, CachedCluster> cache_;
+  DfStoreStats stats_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_DF_STORE_H_

@@ -1,0 +1,178 @@
+#include "index/index_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/dfs_code.h"
+
+namespace prague {
+
+namespace {
+
+void WriteIdSet(const IdSet& ids, std::ostream& out) {
+  out << ids.size();
+  for (GraphId id : ids) out << ' ' << id;
+  out << '\n';
+}
+
+Status ReadIdSet(std::istream& in, IdSet* out) {
+  size_t n;
+  if (!(in >> n)) return Status::Corruption("bad id-set count");
+  std::vector<GraphId> ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> ids[i])) return Status::Corruption("bad id-set entry");
+  }
+  *out = IdSet(std::move(ids));
+  return Status::OK();
+}
+
+template <typename T>
+void WriteVec(const std::vector<T>& v, std::ostream& out) {
+  out << v.size();
+  for (const T& x : v) out << ' ' << x;
+  out << '\n';
+}
+
+template <typename T>
+Status ReadVec(std::istream& in, std::vector<T>* out) {
+  size_t n;
+  if (!(in >> n)) return Status::Corruption("bad vector count");
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*out)[i])) return Status::Corruption("bad vector entry");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IndexSerializer::Save(const ActionAwareIndexes& indexes,
+                             std::ostream* outp) {
+  std::ostream& out = *outp;
+  const A2FIndex& a2f = indexes.a2f;
+  out << "PRAGUE_INDEX 1\n";
+  out << "MINSUP " << indexes.min_support << '\n';
+  out << "A2F " << a2f.beta() << ' ' << a2f.VertexCount() << '\n';
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    const A2fVertex& v = a2f.vertex(id);
+    out << "V " << (v.in_mf ? 1 : 0) << ' ' << v.code << '\n';
+    out << "D ";
+    WriteIdSet(v.del_ids, out);
+    out << "P ";
+    WriteVec(v.parents, out);
+    out << "C ";
+    WriteVec(v.children, out);
+  }
+  out << "CLUSTERS " << a2f.clusters().size() << '\n';
+  for (const FragmentCluster& c : a2f.clusters()) {
+    out << c.root << ' ';
+    WriteVec(c.members, out);
+  }
+  const A2IIndex& a2i = indexes.a2i;
+  out << "A2I " << a2i.EntryCount() << '\n';
+  for (A2iId id = 0; id < a2i.EntryCount(); ++id) {
+    const A2iEntry& e = a2i.entry(id);
+    out << "E " << e.code << '\n';
+    out << "F ";
+    WriteIdSet(e.fsg_ids, out);
+  }
+  return out.good() ? Status::OK() : Status::IOError("index write failed");
+}
+
+Status IndexSerializer::SaveToFile(const ActionAwareIndexes& indexes,
+                                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return Save(indexes, &out);
+}
+
+Result<ActionAwareIndexes> IndexSerializer::Load(std::istream* inp) {
+  std::istream& in = *inp;
+  ActionAwareIndexes out;
+  std::string tag;
+  int version;
+  if (!(in >> tag >> version) || tag != "PRAGUE_INDEX" || version != 1) {
+    return Status::Corruption("bad index header");
+  }
+  size_t minsup;
+  if (!(in >> tag >> minsup) || tag != "MINSUP") {
+    return Status::Corruption("bad MINSUP line");
+  }
+  out.min_support = minsup;
+
+  size_t beta, vertex_count;
+  if (!(in >> tag >> beta >> vertex_count) || tag != "A2F") {
+    return Status::Corruption("bad A2F header");
+  }
+  out.a2f.beta_ = beta;
+  out.a2f.vertices_.resize(vertex_count);
+  out.a2f.mf_count_ = 0;
+  for (A2fId id = 0; id < vertex_count; ++id) {
+    A2fVertex& v = out.a2f.vertices_[id];
+    int in_mf;
+    if (!(in >> tag >> in_mf >> v.code) || tag != "V") {
+      return Status::Corruption("bad A2F vertex line");
+    }
+    v.in_mf = in_mf != 0;
+    if (v.in_mf) ++out.a2f.mf_count_;
+    Result<DfsCode> code = DfsCodeFromString(v.code);
+    if (!code.ok()) return code.status();
+    v.fragment = GraphFromDfsCode(*code);
+    if (!(in >> tag) || tag != "D") return Status::Corruption("missing D");
+    PRAGUE_RETURN_NOT_OK(ReadIdSet(in, &v.del_ids));
+    if (!(in >> tag) || tag != "P") return Status::Corruption("missing P");
+    PRAGUE_RETURN_NOT_OK(ReadVec(in, &v.parents));
+    if (!(in >> tag) || tag != "C") return Status::Corruption("missing C");
+    PRAGUE_RETURN_NOT_OK(ReadVec(in, &v.children));
+    out.a2f.by_code_.emplace(v.code, id);
+  }
+  size_t cluster_count;
+  if (!(in >> tag >> cluster_count) || tag != "CLUSTERS") {
+    return Status::Corruption("bad CLUSTERS header");
+  }
+  out.a2f.clusters_.resize(cluster_count);
+  for (FragmentCluster& c : out.a2f.clusters_) {
+    if (!(in >> c.root)) return Status::Corruption("bad cluster root");
+    PRAGUE_RETURN_NOT_OK(ReadVec(in, &c.members));
+  }
+  // Rebuild MF leaf cluster lists.
+  for (uint32_t cid = 0; cid < out.a2f.clusters_.size(); ++cid) {
+    A2fId root = out.a2f.clusters_[cid].root;
+    for (A2fId parent : out.a2f.vertices_[root].parents) {
+      if (out.a2f.vertices_[parent].size() == beta) {
+        out.a2f.leaf_clusters_[parent].push_back(cid);
+      }
+    }
+  }
+  if (!out.a2f.ReconstructFromDelIds()) {
+    return Status::Corruption("A2F DAG inconsistent");
+  }
+
+  size_t entry_count;
+  if (!(in >> tag >> entry_count) || tag != "A2I") {
+    return Status::Corruption("bad A2I header");
+  }
+  out.a2i.entries_.resize(entry_count);
+  for (A2iId id = 0; id < entry_count; ++id) {
+    A2iEntry& e = out.a2i.entries_[id];
+    if (!(in >> tag >> e.code) || tag != "E") {
+      return Status::Corruption("bad A2I entry line");
+    }
+    Result<DfsCode> code = DfsCodeFromString(e.code);
+    if (!code.ok()) return code.status();
+    e.fragment = GraphFromDfsCode(*code);
+    if (!(in >> tag) || tag != "F") return Status::Corruption("missing F");
+    PRAGUE_RETURN_NOT_OK(ReadIdSet(in, &e.fsg_ids));
+    out.a2i.by_code_.emplace(e.code, id);
+  }
+  return out;
+}
+
+Result<ActionAwareIndexes> IndexSerializer::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(&in);
+}
+
+}  // namespace prague

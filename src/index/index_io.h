@@ -1,0 +1,35 @@
+// Index persistence. The paper's DF-index is disk-resident; this module
+// provides the save/load path for both action-aware indexes. Fragments are
+// serialized as their minimum-DFS-code strings (the canonical code already
+// stored on every vertex) and full FSG id sets are reconstructed from the
+// compressed delIds on load.
+
+#ifndef PRAGUE_INDEX_INDEX_IO_H_
+#define PRAGUE_INDEX_INDEX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "index/action_aware_index.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// \brief Serializer/deserializer for ActionAwareIndexes.
+class IndexSerializer {
+ public:
+  /// \brief Writes both indexes in a line-oriented text format.
+  static Status Save(const ActionAwareIndexes& indexes, std::ostream* out);
+  /// \brief Writes to a file.
+  static Status SaveToFile(const ActionAwareIndexes& indexes,
+                           const std::string& path);
+  /// \brief Reads both indexes; reconstructs fsgIds from delIds.
+  static Result<ActionAwareIndexes> Load(std::istream* in);
+  /// \brief Reads from a file.
+  static Result<ActionAwareIndexes> LoadFromFile(const std::string& path);
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_INDEX_IO_H_

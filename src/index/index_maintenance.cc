@@ -1,0 +1,140 @@
+#include "index/index_maintenance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/subgraph_ops.h"
+#include "graph/verifier.h"
+
+namespace prague {
+
+namespace {
+
+// A2F vertex ids ordered by fragment size ascending, so DAG pruning can
+// rely on parents being processed first.
+std::vector<A2fId> SizeAscendingOrder(const A2FIndex& a2f) {
+  std::vector<A2fId> order(a2f.VertexCount());
+  for (A2fId i = 0; i < a2f.VertexCount(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&a2f](A2fId a, A2fId b) {
+    return a2f.vertex(a).size() < a2f.vertex(b).size();
+  });
+  return order;
+}
+
+// For each A2I entry, the A2F ids of its one-edge-smaller subfragments
+// (all frequent by the DIF definition, hence indexed — unless mining was
+// size-capped, in which case the list may be partial; missing parents
+// simply weaken pruning).
+std::vector<std::vector<A2fId>> DifParents(const ActionAwareIndexes& idx) {
+  std::vector<std::vector<A2fId>> parents(idx.a2i.EntryCount());
+  for (A2iId d = 0; d < idx.a2i.EntryCount(); ++d) {
+    const Graph& g = idx.a2i.entry(d).fragment;
+    if (g.EdgeCount() < 2) continue;
+    auto by_size = ConnectedEdgeSubsetsBySize(g);
+    for (EdgeMask mask : by_size[g.EdgeCount() - 1]) {
+      Graph sub = ExtractEdgeSubgraph(g, mask).graph;
+      if (std::optional<A2fId> fid = idx.a2f.Lookup(GetCanonicalCode(sub))) {
+        parents[d].push_back(*fid);
+      }
+    }
+  }
+  return parents;
+}
+
+}  // namespace
+
+Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
+                                       std::vector<Graph> graphs,
+                                       ActionAwareIndexes* indexes,
+                                       double alpha) {
+  if (alpha <= 0 || alpha >= 1) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  for (const Graph& g : graphs) {
+    if (g.EdgeCount() == 0 || !g.IsConnected()) {
+      return Status::InvalidArgument(
+          "appended graphs must be connected and non-empty");
+    }
+  }
+
+  MaintenanceReport report;
+  report.graphs_added = graphs.size();
+  std::vector<A2fId> order = SizeAscendingOrder(indexes->a2f);
+  std::vector<std::vector<A2fId>> dif_parents = DifParents(*indexes);
+  FilteringVerifier verifier;
+
+  // contains[f] for the graph currently being processed.
+  std::vector<char> contains(indexes->a2f.VertexCount(), 0);
+
+  for (Graph& graph : graphs) {
+    GraphId gid = db->Add(std::move(graph));
+    const Graph& g = db->graph(gid);
+    std::fill(contains.begin(), contains.end(), 0);
+
+    // A2F sweep, size ascending with anti-monotone pruning: skip the VF2
+    // probe whenever some recorded parent fragment is already absent.
+    for (A2fId id : order) {
+      const A2fVertex& v = indexes->a2f.vertex(id);
+      bool possible = true;
+      for (A2fId p : v.parents) {
+        if (!contains[p]) {
+          possible = false;
+          break;
+        }
+      }
+      if (!possible) {
+        ++report.pruned_probes;
+        continue;
+      }
+      ++report.probes;
+      if (verifier.Matches(v.fragment, g)) {
+        contains[id] = 1;
+        indexes->a2f.AddFsgId(id, gid);
+      }
+    }
+    // A2I sweep with the precomputed frequent-parent lists.
+    for (A2iId d = 0; d < indexes->a2i.EntryCount(); ++d) {
+      bool possible = true;
+      for (A2fId p : dif_parents[d]) {
+        if (!contains[p]) {
+          possible = false;
+          break;
+        }
+      }
+      if (!possible) {
+        ++report.pruned_probes;
+        continue;
+      }
+      ++report.probes;
+      if (verifier.Matches(indexes->a2i.entry(d).fragment, g)) {
+        indexes->a2i.AddFsgId(d, gid);
+      }
+    }
+  }
+
+  indexes->a2f.RecomputeDelIds();
+
+  // Drift detection against the moved threshold.
+  report.new_min_support = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(alpha * static_cast<double>(db->size()))));
+  indexes->min_support = report.new_min_support;
+  for (A2fId id = 0; id < indexes->a2f.VertexCount(); ++id) {
+    if (indexes->a2f.FsgIds(id).size() < report.new_min_support) {
+      ++report.frequent_below_threshold;
+    }
+  }
+  for (A2iId d = 0; d < indexes->a2i.EntryCount(); ++d) {
+    if (indexes->a2i.FsgIds(d).size() >= report.new_min_support) {
+      ++report.difs_above_threshold;
+    }
+  }
+  report.remine_recommended = report.frequent_below_threshold > 0 ||
+                              report.difs_above_threshold > 0;
+  return report;
+}
+
+}  // namespace prague

@@ -1,0 +1,59 @@
+// Incremental index maintenance for dynamic databases.
+//
+// The paper mines and indexes a static D offline. In a deployed system new
+// graphs keep arriving; re-mining on every insert is wasteful. This module
+// appends graphs to an indexed database and updates every indexed
+// fragment's FSG id set *exactly*, using the A2F DAG for anti-monotone
+// pruning (a fragment can only occur in the new graph if all of its
+// one-edge-smaller subfragments do).
+//
+// What it cannot do incrementally is change the fragment *sets*: as |D|
+// grows the min-support threshold moves, so some indexed frequent
+// fragments may fall below it and some DIFs may rise above it (and brand
+// new fragments may become frequent). The maintainer detects and reports
+// this drift so callers can schedule a full re-mine; until then the
+// indexes remain *sound* (every id set is exact; candidate generation
+// stays a superset of the truth) but their pruning power slowly decays.
+
+#ifndef PRAGUE_INDEX_INDEX_MAINTENANCE_H_
+#define PRAGUE_INDEX_INDEX_MAINTENANCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief What one AppendGraphs call did.
+struct MaintenanceReport {
+  size_t graphs_added = 0;
+  /// ⌈α·|D|⌉ after the append.
+  size_t new_min_support = 0;
+  /// A2F vertices whose support is now below the new threshold.
+  size_t frequent_below_threshold = 0;
+  /// A2I entries whose support is now at/above the new threshold.
+  size_t difs_above_threshold = 0;
+  /// VF2 containment probes actually run (after DAG pruning).
+  size_t probes = 0;
+  /// Probes skipped because a subfragment was already absent.
+  size_t pruned_probes = 0;
+  /// True when any classification drifted — schedule a re-mine.
+  bool remine_recommended = false;
+};
+
+/// \brief Appends \p graphs to \p db and updates \p indexes in place.
+///
+/// \p alpha is the mining ratio the indexes were built with (used to
+/// recompute the threshold and detect drift). Graphs must be connected
+/// and non-empty. On error nothing is modified.
+Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
+                                       std::vector<Graph> graphs,
+                                       ActionAwareIndexes* indexes,
+                                       double alpha);
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_INDEX_MAINTENANCE_H_

@@ -1,0 +1,295 @@
+#include "mining/gspan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/dfs_code.h"
+#include "graph/subgraph_ops.h"
+#include "util/stopwatch.h"
+
+namespace prague {
+
+namespace {
+
+// One embedding of the current DFS code, stored as a linked list sharing
+// prefixes with sibling embeddings (the classic gSpan "PDFS" layout).
+struct Pdfs {
+  GraphId gid = 0;
+  NodeId from_node = kInvalidNode;  // image of code[i].from
+  NodeId to_node = kInvalidNode;    // image of code[i].to
+  EdgeId edge = kInvalidEdge;       // data edge realizing code[i]
+  const Pdfs* prev = nullptr;       // embedding of the code prefix
+};
+
+// Stable storage for Pdfs nodes created at one recursion level.
+using PdfsArena = std::deque<Pdfs>;
+
+// Fully materialized embedding of a code in a data graph.
+struct History {
+  std::vector<NodeId> map;    // DFS index -> data node
+  std::vector<EdgeId> edges;  // data edges in code order
+};
+
+void BuildHistory(const DfsCode& code, const Pdfs* p, History* h) {
+  int max_index = 1;
+  for (const DfsEdge& e : code) max_index = std::max({max_index, e.from, e.to});
+  h->map.assign(max_index + 1, kInvalidNode);
+  h->edges.assign(code.size(), kInvalidEdge);
+  size_t i = code.size();
+  while (p != nullptr) {
+    --i;
+    h->edges[i] = p->edge;
+    h->map[code[i].from] = p->from_node;
+    h->map[code[i].to] = p->to_node;
+    p = p->prev;
+  }
+  assert(i == 0);
+}
+
+bool UsesEdge(const History& h, EdgeId e) {
+  return std::find(h.edges.begin(), h.edges.end(), e) != h.edges.end();
+}
+
+int MappedIndex(const History& h, NodeId node) {
+  for (size_t i = 0; i < h.map.size(); ++i) {
+    if (h.map[i] == node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+struct DfsEdgeLess {
+  bool operator()(const DfsEdge& a, const DfsEdge& b) const {
+    return CompareDfsEdges(a, b) < 0;
+  }
+};
+
+using ExtensionMap = std::map<DfsEdge, std::vector<const Pdfs*>, DfsEdgeLess>;
+
+IdSet GidsOf(const std::vector<const Pdfs*>& projections) {
+  std::vector<GraphId> gids;
+  gids.reserve(projections.size());
+  for (const Pdfs* p : projections) gids.push_back(p->gid);
+  return IdSet(std::move(gids));
+}
+
+// Embedding counts aligned with the sorted id set.
+std::vector<uint32_t> CountsOf(const std::vector<const Pdfs*>& projections,
+                               const IdSet& gids) {
+  std::vector<uint32_t> counts(gids.size(), 0);
+  const std::vector<GraphId>& ids = gids.ids();
+  for (const Pdfs* p : projections) {
+    auto it = std::lower_bound(ids.begin(), ids.end(), p->gid);
+    counts[static_cast<size_t>(it - ids.begin())]++;
+  }
+  return counts;
+}
+
+class Miner {
+ public:
+  Miner(const GraphDatabase& db, const MiningConfig& config)
+      : db_(db), config_(config) {}
+
+  Result<MiningResult> Run() {
+    if (db_.empty()) {
+      return Status::InvalidArgument("cannot mine an empty database");
+    }
+    if (config_.min_support_ratio <= 0 || config_.min_support_ratio >= 1) {
+      return Status::InvalidArgument("min_support_ratio must be in (0, 1)");
+    }
+    Stopwatch timer;
+    result_.min_support = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(config_.min_support_ratio *
+                                         static_cast<double>(db_.size()))));
+
+    // Seed projections for every single-edge pattern (minimum-code
+    // orientation only: from_label <= to_label).
+    PdfsArena arena;
+    ExtensionMap seeds;
+    for (GraphId gid = 0; gid < db_.size(); ++gid) {
+      const Graph& g = db_.graph(gid);
+      for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+        const Edge& edge = g.GetEdge(e);
+        for (int dir = 0; dir < 2; ++dir) {
+          NodeId u = dir == 0 ? edge.u : edge.v;
+          NodeId v = dir == 0 ? edge.v : edge.u;
+          if (g.NodeLabel(u) > g.NodeLabel(v)) continue;
+          DfsEdge t{0, 1, g.NodeLabel(u), edge.label, g.NodeLabel(v)};
+          arena.push_back(Pdfs{gid, u, v, e, nullptr});
+          seeds[t].push_back(&arena.back());
+        }
+      }
+    }
+
+    DfsCode code;
+    for (const auto& [t, projections] : seeds) {
+      IdSet ids = GidsOf(projections);
+      code.assign(1, t);
+      if (ids.size() >= result_.min_support) {
+        Mine(&code, projections, std::move(ids));
+      } else if (config_.mine_difs) {
+        std::vector<uint32_t> counts = CountsOf(projections, ids);
+        RecordInfrequentCandidate(code, std::move(ids), std::move(counts));
+      }
+    }
+
+    FinalizeDifs();
+    result_.stats.frequent_count = result_.frequent.size();
+    result_.stats.dif_count = result_.difs.size();
+    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  // Depth-first pattern growth. `code` is frequent with the given
+  // projections; record it and recurse into frequent extensions.
+  void Mine(DfsCode* code, const std::vector<const Pdfs*>& projections,
+            IdSet fsg_ids) {
+    if (!IsMinimumDfsCode(*code)) {
+      ++result_.stats.pruned_non_minimal;
+      return;
+    }
+    MinedFragment frag;
+    frag.graph = GraphFromDfsCode(*code);
+    frag.code = DfsCodeToString(*code);
+    frag.embedding_counts = CountsOf(projections, fsg_ids);
+    frag.fsg_ids = std::move(fsg_ids);
+    frequent_codes_.insert(frag.code);
+    result_.frequent.push_back(std::move(frag));
+
+    if (code->size() >= config_.max_fragment_edges) return;
+
+    std::vector<int> rm_path = RightmostPath(*code);
+    int rightmost = rm_path.back();
+    int next_index = 0;
+    for (const DfsEdge& e : *code) {
+      next_index = std::max({next_index, e.from, e.to});
+    }
+    ++next_index;
+
+    PdfsArena arena;
+    ExtensionMap exts;
+    History h;
+    for (const Pdfs* p : projections) {
+      const Graph& g = db_.graph(p->gid);
+      BuildHistory(*code, p, &h);
+      NodeId rm_node = h.map[rightmost];
+      // Backward extensions: rightmost vertex -> rightmost-path ancestor.
+      for (const Adjacency& a : g.Neighbors(rm_node)) {
+        if (UsesEdge(h, a.edge)) continue;
+        int j = MappedIndex(h, a.neighbor);
+        if (j < 0 || j == rightmost) continue;
+        if (std::find(rm_path.begin(), rm_path.end(), j) == rm_path.end()) {
+          continue;  // cross edge: unreachable in any DFS traversal
+        }
+        DfsEdge t{rightmost, j, g.NodeLabel(rm_node), g.GetEdge(a.edge).label,
+                  g.NodeLabel(a.neighbor)};
+        arena.push_back(Pdfs{p->gid, rm_node, a.neighbor, a.edge, p});
+        exts[t].push_back(&arena.back());
+      }
+      // Forward extensions: rightmost-path vertex -> fresh node.
+      for (int i : rm_path) {
+        NodeId from_node = h.map[i];
+        for (const Adjacency& a : g.Neighbors(from_node)) {
+          if (UsesEdge(h, a.edge)) continue;
+          if (MappedIndex(h, a.neighbor) >= 0) continue;
+          DfsEdge t{i, next_index, g.NodeLabel(from_node),
+                    g.GetEdge(a.edge).label, g.NodeLabel(a.neighbor)};
+          arena.push_back(Pdfs{p->gid, from_node, a.neighbor, a.edge, p});
+          exts[t].push_back(&arena.back());
+        }
+      }
+    }
+
+    for (const auto& [t, child_projections] : exts) {
+      IdSet ids = GidsOf(child_projections);
+      code->push_back(t);
+      if (ids.size() >= result_.min_support) {
+        Mine(code, child_projections, std::move(ids));
+      } else if (config_.mine_difs && !ids.empty()) {
+        ++result_.stats.infrequent_candidates;
+        std::vector<uint32_t> counts = CountsOf(child_projections, ids);
+        RecordInfrequentCandidate(*code, std::move(ids), std::move(counts));
+      }
+      code->pop_back();
+    }
+  }
+
+  // Remembers an infrequent extension as a potential DIF; de-duplicated by
+  // canonical code (the growth code need not be minimal).
+  void RecordInfrequentCandidate(const DfsCode& code, IdSet fsg_ids,
+                                 std::vector<uint32_t> embedding_counts) {
+    Graph g = GraphFromDfsCode(code);
+    CanonicalCode canonical = GetCanonicalCode(g);
+    auto it = infrequent_.find(canonical);
+    if (it != infrequent_.end()) return;  // fsgIds are exact either way
+    MinedFragment frag;
+    frag.graph = std::move(g);
+    frag.code = std::move(canonical);
+    frag.fsg_ids = std::move(fsg_ids);
+    frag.embedding_counts = std::move(embedding_counts);
+    infrequent_.emplace(frag.code, std::move(frag));
+  }
+
+  // A candidate is a DIF iff every connected (size-1)-edge subgraph is
+  // frequent (anti-monotonicity then covers all smaller subgraphs), or it
+  // is a single edge.
+  void FinalizeDifs() {
+    for (auto& [canonical, frag] : infrequent_) {
+      if (frag.size() > 1 && !AllMaximalSubgraphsFrequent(frag.graph)) {
+        continue;
+      }
+      result_.difs.push_back(std::move(frag));
+    }
+    infrequent_.clear();
+    std::sort(result_.difs.begin(), result_.difs.end(),
+              [](const MinedFragment& a, const MinedFragment& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a.code < b.code;
+              });
+  }
+
+  bool AllMaximalSubgraphsFrequent(const Graph& g) {
+    size_t k = g.EdgeCount() - 1;
+    std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(g);
+    for (EdgeMask mask : by_size[k]) {
+      ExtractedSubgraph sub = ExtractEdgeSubgraph(g, mask);
+      if (!frequent_codes_.contains(GetCanonicalCode(sub.graph))) {
+        return false;
+      }
+    }
+    // A tree loses (EdgeCount) choose 1 edges but only some removals stay
+    // connected; if *no* connected (k)-subset exists the loop above is
+    // vacuous — impossible for connected g with ≥ 2 edges, which always
+    // has a non-cut edge removal... but removing any leaf edge keeps the
+    // rest connected, so by_size[k] is never empty here.
+    return true;
+  }
+
+  const GraphDatabase& db_;
+  const MiningConfig& config_;
+  MiningResult result_;
+  std::unordered_set<CanonicalCode> frequent_codes_;
+  std::unordered_map<CanonicalCode, MinedFragment> infrequent_;
+};
+
+}  // namespace
+
+uint32_t MinedFragment::EmbeddingCount(GraphId gid) const {
+  const std::vector<GraphId>& ids = fsg_ids.ids();
+  auto it = std::lower_bound(ids.begin(), ids.end(), gid);
+  if (it == ids.end() || *it != gid) return 0;
+  size_t pos = static_cast<size_t>(it - ids.begin());
+  return pos < embedding_counts.size() ? embedding_counts[pos] : 0;
+}
+
+Result<MiningResult> MineFragments(const GraphDatabase& db,
+                                   const MiningConfig& config) {
+  return Miner(db, config).Run();
+}
+
+}  // namespace prague

@@ -1,0 +1,81 @@
+// gSpan frequent-fragment mining (Yan & Han [13]) with per-fragment FSG id
+// sets, plus discriminative infrequent fragment (DIF) extraction — the
+// offline step both GBLENDER and PRAGUE run before any query arrives
+// (Section III).
+//
+// Definitions (paper, Section III):
+//  * fragment g is frequent iff sup(g) ≥ α·|D|;
+//  * an infrequent fragment g is a DIF iff every proper (connected)
+//    subgraph of g is frequent, or |g| = 1;
+//  * fsgIds(g) is the exact set of data-graph ids containing g.
+
+#ifndef PRAGUE_MINING_GSPAN_H_
+#define PRAGUE_MINING_GSPAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/id_set.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief Mining parameters.
+struct MiningConfig {
+  /// α — minimum support threshold as a fraction of |D| (0 < α < 1).
+  double min_support_ratio = 0.1;
+  /// Pattern-growth cap in edges. Visual queries never exceed ~10 edges
+  /// (Section VIII), so fragments beyond this size are never probed.
+  size_t max_fragment_edges = 10;
+  /// Whether to extract DIFs (A2I construction needs them).
+  bool mine_difs = true;
+};
+
+/// \brief One mined fragment with its exact FSG ids.
+struct MinedFragment {
+  Graph graph;
+  CanonicalCode code;
+  IdSet fsg_ids;
+  /// Embedding count per containing graph, parallel to fsg_ids.ids().
+  /// (Feature-count filters — Grafil/SIGMA — need these.)
+  std::vector<uint32_t> embedding_counts;
+
+  /// sup(g) = |D_g|.
+  size_t support() const { return fsg_ids.size(); }
+  /// |g| in edges.
+  size_t size() const { return graph.EdgeCount(); }
+  /// Embeddings of this fragment in data graph \p gid (0 if absent).
+  uint32_t EmbeddingCount(GraphId gid) const;
+};
+
+/// \brief Counters describing one mining run.
+struct MiningStats {
+  size_t frequent_count = 0;
+  size_t dif_count = 0;
+  size_t infrequent_candidates = 0;  // infrequent extensions examined
+  size_t pruned_non_minimal = 0;     // duplicate growth paths pruned
+  double elapsed_seconds = 0;
+};
+
+/// \brief Result of MineFragments.
+struct MiningResult {
+  std::vector<MinedFragment> frequent;  // F, in min-DFS-code growth order
+  std::vector<MinedFragment> difs;      // I_d, ascending by size
+  size_t min_support = 0;               // ⌈α·|D|⌉ (at least 1)
+  MiningStats stats;
+};
+
+/// \brief Mines frequent fragments and DIFs from \p db.
+///
+/// Fails with InvalidArgument for an empty database or a ratio outside
+/// (0, 1).
+Result<MiningResult> MineFragments(const GraphDatabase& db,
+                                   const MiningConfig& config);
+
+}  // namespace prague
+
+#endif  // PRAGUE_MINING_GSPAN_H_

@@ -1,0 +1,272 @@
+#include "query/pattern_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "graph/subgraph_ops.h"
+
+namespace prague {
+
+namespace {
+
+// Minimal recursive-descent scanner over the pattern text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  // Identifiers: [A-Za-z0-9_]+ (covers node names and label strings).
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at position " +
+                                     std::to_string(start));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Label> Number() {
+    Result<std::string> word = Identifier();
+    if (!word.ok()) return word.status();
+    for (char c : *word) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument("expected number, got '" + *word +
+                                       "'");
+      }
+    }
+    return static_cast<Label>(std::stoul(*word));
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Either interns via the mutable dictionary or resolves via the strict
+// read-only one.
+class LabelResolver {
+ public:
+  LabelResolver(LabelDictionary* mutable_dict, const LabelDictionary* strict)
+      : mutable_(mutable_dict), strict_(strict) {}
+
+  Result<Label> Resolve(const std::string& name) {
+    if (mutable_ != nullptr) return mutable_->Intern(name);
+    return strict_->Lookup(name);
+  }
+
+ private:
+  LabelDictionary* mutable_;
+  const LabelDictionary* strict_;
+};
+
+Result<ParsedPattern> Parse(const std::string& text, LabelResolver* labels) {
+  Scanner scan(text);
+  GraphBuilder builder;
+  std::map<std::string, NodeId> nodes;
+  std::vector<std::string> names;
+  std::vector<EdgeId> sequence;
+
+  // Parses one `(name)` or `(name:Label)` reference, creating the node on
+  // first sight.
+  auto parse_node = [&]() -> Result<NodeId> {
+    if (!scan.Consume('(')) {
+      return Status::InvalidArgument("expected '(' at position " +
+                                     std::to_string(scan.position()));
+    }
+    Result<std::string> name = scan.Identifier();
+    if (!name.ok()) return name.status();
+    std::string label_name;
+    if (scan.Consume(':')) {
+      Result<std::string> label = scan.Identifier();
+      if (!label.ok()) return label.status();
+      label_name = *label;
+    }
+    if (!scan.Consume(')')) {
+      return Status::InvalidArgument("expected ')' after node '" + *name +
+                                     "'");
+    }
+    auto it = nodes.find(*name);
+    if (it != nodes.end()) {
+      if (!label_name.empty()) {
+        Result<Label> label = labels->Resolve(label_name);
+        if (!label.ok()) return label.status();
+        if (*label != builder.Snapshot().NodeLabel(it->second)) {
+          return Status::InvalidArgument("node '" + *name +
+                                         "' relabeled mid-pattern");
+        }
+      }
+      return it->second;
+    }
+    if (label_name.empty()) {
+      return Status::InvalidArgument("first use of node '" + *name +
+                                     "' must carry a label");
+    }
+    Result<Label> label = labels->Resolve(label_name);
+    if (!label.ok()) return label.status();
+    NodeId id = builder.AddNode(*label);
+    nodes.emplace(*name, id);
+    names.push_back(*name);
+    return id;
+  };
+
+  while (!scan.AtEnd()) {
+    Result<NodeId> from = parse_node();
+    if (!from.ok()) return from.status();
+    NodeId current = *from;
+    // A chain: node (edge node)*.
+    while (scan.Peek() == '-') {
+      scan.Consume('-');
+      Label edge_label = 0;
+      if (scan.Consume('[')) {
+        Result<Label> n = scan.Number();
+        if (!n.ok()) return n.status();
+        edge_label = *n;
+        if (!scan.Consume(']') || !scan.Consume('-')) {
+          return Status::InvalidArgument("expected ']-' after edge label");
+        }
+      }
+      Result<NodeId> to = parse_node();
+      if (!to.ok()) return to.status();
+      Result<EdgeId> edge = builder.AddEdge(current, *to, edge_label);
+      if (!edge.ok()) return edge.status();
+      sequence.push_back(*edge);
+      current = *to;
+    }
+    if (!scan.AtEnd() && !scan.Consume(',')) {
+      return Status::InvalidArgument("expected ',' or '-' at position " +
+                                     std::to_string(scan.position()));
+    }
+  }
+
+  ParsedPattern out;
+  out.graph = std::move(builder).Build();
+  out.sequence = std::move(sequence);
+  out.node_names = std::move(names);
+  if (out.graph.EdgeCount() == 0) {
+    return Status::InvalidArgument("pattern has no edges");
+  }
+  if (out.graph.EdgeCount() > kMaxSubsetEdges) {
+    return Status::InvalidArgument("pattern too large");
+  }
+  // The written order is the formulation order: every prefix must be
+  // connected, as the GUI enforces.
+  EdgeMask mask = 0;
+  for (EdgeId e : out.sequence) {
+    mask |= EdgeBit(e);
+    if (!IsEdgeSubsetConnected(out.graph, mask)) {
+      return Status::InvalidArgument(
+          "pattern order disconnects the fragment at edge " +
+          std::to_string(e + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedPattern> ParsePattern(const std::string& text,
+                                   LabelDictionary* labels) {
+  LabelResolver resolver(labels, nullptr);
+  return Parse(text, &resolver);
+}
+
+Result<ParsedPattern> ParsePatternStrict(const std::string& text,
+                                         const LabelDictionary& labels) {
+  LabelResolver resolver(nullptr, &labels);
+  return Parse(text, &resolver);
+}
+
+std::string PatternToString(const Graph& g, const LabelDictionary& labels) {
+  // Emit edges in a prefix-connected order so the rendering parses back
+  // (ParsePattern enforces the GUI's connectivity invariant).
+  std::vector<EdgeId> order;
+  if (g.EdgeCount() > 0) {
+    std::vector<bool> used(g.EdgeCount(), false);
+    std::vector<bool> touched(g.NodeCount(), false);
+    order.push_back(0);
+    used[0] = true;
+    touched[g.GetEdge(0).u] = true;
+    touched[g.GetEdge(0).v] = true;
+    while (order.size() < g.EdgeCount()) {
+      bool advanced = false;
+      for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+        if (used[e]) continue;
+        const Edge& edge = g.GetEdge(e);
+        if (touched[edge.u] || touched[edge.v]) {
+          used[e] = true;
+          touched[edge.u] = true;
+          touched[edge.v] = true;
+          order.push_back(e);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        // Disconnected input: emit the remaining edges as-is (the result
+        // will not re-parse, matching the invariant).
+        for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+          if (!used[e]) order.push_back(e);
+        }
+        break;
+      }
+    }
+  }
+  std::string out;
+  std::vector<bool> named(g.NodeCount(), false);
+  auto node_ref = [&](NodeId n) {
+    std::string ref = "(n" + std::to_string(n);
+    if (!named[n]) {
+      ref += ":" + labels.Name(g.NodeLabel(n));
+      named[n] = true;
+    }
+    ref += ")";
+    return ref;
+  };
+  for (EdgeId e : order) {
+    if (!out.empty()) out += ", ";
+    const Edge& edge = g.GetEdge(e);
+    out += node_ref(edge.u);
+    if (edge.label != 0) {
+      out += "-[" + std::to_string(edge.label) + "]-";
+    } else {
+      out += "-";
+    }
+    out += node_ref(edge.v);
+  }
+  return out;
+}
+
+}  // namespace prague

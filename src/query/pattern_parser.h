@@ -1,0 +1,58 @@
+// Textual pattern language.
+//
+// The paper's Section I contrasts visual formulation with textual query
+// languages (SPARQL, GraphQL); for scripting and testing this library
+// still wants one. The syntax is a minimal linear-chain notation:
+//
+//   (a:C)-(b:C), (b)-(c:C), (c)-(d:S), (a)-[2]-(e:N)
+//
+//   * `(name:Label)` introduces a node; later references may omit the
+//     label: `(name)`.
+//   * `-` draws an unlabeled edge; `-[n]-` draws an edge with numeric
+//     label n.
+//   * `,` separates chains; chains may revisit any known node.
+//
+// Edges compile in the order written — that order *is* the formulation
+// sequence, so a textual query replays through PragueSession exactly as
+// if a user had drawn it edge by edge. The written order must keep every
+// prefix connected (the GUI's invariant); violations are errors.
+
+#ifndef PRAGUE_QUERY_PATTERN_PARSER_H_
+#define PRAGUE_QUERY_PATTERN_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief A parsed pattern: graph + formulation order + node names.
+struct ParsedPattern {
+  Graph graph;
+  /// Graph edge ids in the order written (prefix-connected).
+  std::vector<EdgeId> sequence;
+  /// Source-level node names, indexed by NodeId.
+  std::vector<std::string> node_names;
+};
+
+/// \brief Parses \p text, interning labels through \p labels.
+///
+/// Fails with InvalidArgument on syntax errors, duplicate/contradictory
+/// labels, duplicate edges, self-loops, or a prefix-disconnected order.
+Result<ParsedPattern> ParsePattern(const std::string& text,
+                                   LabelDictionary* labels);
+
+/// \brief Parses against an existing (read-only) dictionary: labels not
+/// already interned are errors (Panel 2 only offers database labels).
+Result<ParsedPattern> ParsePatternStrict(const std::string& text,
+                                         const LabelDictionary& labels);
+
+/// \brief Renders a graph back into pattern syntax (one chain per edge).
+std::string PatternToString(const Graph& g, const LabelDictionary& labels);
+
+}  // namespace prague
+
+#endif  // PRAGUE_QUERY_PATTERN_PARSER_H_

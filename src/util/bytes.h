@@ -1,0 +1,35 @@
+// Byte-size helpers used for index footprint accounting (Table II,
+// Figure 10(a)).
+
+#ifndef PRAGUE_UTIL_BYTES_H_
+#define PRAGUE_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace prague {
+
+/// \brief Heap footprint of a std::vector<T> for trivially sized T.
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// \brief Heap footprint of a std::string.
+inline size_t StringBytes(const std::string& s) {
+  // Small strings live inline; only count heap allocations.
+  return s.capacity() > 15 ? s.capacity() : 0;
+}
+
+/// \brief Renders a byte count as "12.3 MB" / "4.5 KB" / "128 B".
+std::string HumanBytes(size_t bytes);
+
+/// \brief Converts bytes to megabytes as a double (paper tables report MB).
+inline double ToMegabytes(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_BYTES_H_

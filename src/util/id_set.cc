@@ -1,0 +1,81 @@
+#include "util/id_set.h"
+
+#include <algorithm>
+
+namespace prague {
+
+IdSet::IdSet(std::vector<GraphId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+IdSet::IdSet(std::initializer_list<GraphId> ids)
+    : IdSet(std::vector<GraphId>(ids)) {}
+
+IdSet IdSet::Universe(GraphId n) {
+  IdSet out;
+  out.ids_.resize(n);
+  for (GraphId i = 0; i < n; ++i) out.ids_[i] = i;
+  return out;
+}
+
+bool IdSet::Contains(GraphId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void IdSet::Insert(GraphId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+void IdSet::Erase(GraphId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) ids_.erase(it);
+}
+
+IdSet IdSet::Intersect(const IdSet& other) const {
+  IdSet out;
+  out.ids_.reserve(std::min(ids_.size(), other.ids_.size()));
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::Union(const IdSet& other) const {
+  IdSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::Subtract(const IdSet& other) const {
+  IdSet out;
+  out.ids_.reserve(ids_.size());
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+void IdSet::IntersectWith(const IdSet& other) { *this = Intersect(other); }
+
+void IdSet::UnionWith(const IdSet& other) { *this = Union(other); }
+
+void IdSet::SubtractWith(const IdSet& other) { *this = Subtract(other); }
+
+bool IdSet::IsSubsetOf(const IdSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+std::string IdSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace prague

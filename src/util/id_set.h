@@ -1,0 +1,86 @@
+// IdSet: a sorted, duplicate-free set of 32-bit graph identifiers with the
+// set algebra the candidate machinery needs (intersection, union,
+// difference). Backed by a flat sorted vector: candidate sets are built
+// once and scanned many times, so cache-friendly storage beats node-based
+// sets by a wide margin.
+
+#ifndef PRAGUE_UTIL_ID_SET_H_
+#define PRAGUE_UTIL_ID_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace prague {
+
+/// Identifier of a data graph within a GraphDatabase.
+using GraphId = uint32_t;
+
+/// \brief Sorted, duplicate-free set of GraphIds.
+class IdSet {
+ public:
+  using const_iterator = std::vector<GraphId>::const_iterator;
+
+  IdSet() = default;
+  /// \brief Builds from arbitrary ids; sorts and de-duplicates.
+  explicit IdSet(std::vector<GraphId> ids);
+  IdSet(std::initializer_list<GraphId> ids);
+
+  /// \brief The universe {0, 1, ..., n-1}.
+  static IdSet Universe(GraphId n);
+
+  /// \brief Number of ids in the set.
+  size_t size() const { return ids_.size(); }
+  /// \brief True iff the set is empty.
+  bool empty() const { return ids_.empty(); }
+  /// \brief Membership test (binary search).
+  bool Contains(GraphId id) const;
+
+  /// \brief Inserts one id, keeping order (O(n) worst case).
+  void Insert(GraphId id);
+  /// \brief Removes one id if present.
+  void Erase(GraphId id);
+  /// \brief Removes all ids.
+  void Clear() { ids_.clear(); }
+
+  /// \brief Set intersection.
+  IdSet Intersect(const IdSet& other) const;
+  /// \brief Set union.
+  IdSet Union(const IdSet& other) const;
+  /// \brief Set difference (this \ other).
+  IdSet Subtract(const IdSet& other) const;
+
+  /// \brief In-place intersection (this ∩= other).
+  void IntersectWith(const IdSet& other);
+  /// \brief In-place union (this ∪= other).
+  void UnionWith(const IdSet& other);
+  /// \brief In-place difference (this \= other).
+  void SubtractWith(const IdSet& other);
+
+  /// \brief True iff this ⊆ other.
+  bool IsSubsetOf(const IdSet& other) const;
+
+  const_iterator begin() const { return ids_.begin(); }
+  const_iterator end() const { return ids_.end(); }
+
+  /// \brief Read-only view of the underlying sorted vector.
+  const std::vector<GraphId>& ids() const { return ids_; }
+
+  /// \brief Approximate heap footprint in bytes (for index sizing).
+  size_t ByteSize() const { return ids_.capacity() * sizeof(GraphId); }
+
+  /// \brief Renders "{1, 2, 5}" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const IdSet& other) const { return ids_ == other.ids_; }
+  bool operator!=(const IdSet& other) const { return ids_ != other.ids_; }
+
+ private:
+  std::vector<GraphId> ids_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_ID_SET_H_

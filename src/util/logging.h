@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Benchmarks and examples use this for
+// progress lines; the core library itself logs nothing on success paths.
+
+#ifndef PRAGUE_UTIL_LOGGING_H_
+#define PRAGUE_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace prague {
+
+/// Severity of a log line.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global log threshold; lines below it are discarded.
+LogLevel GetLogLevel();
+/// \brief Sets the global log threshold.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PRAGUE_LOG(level)                                              \
+  if (::prague::LogLevel::k##level < ::prague::GetLogLevel()) {        \
+  } else                                                               \
+    ::prague::internal::LogMessage(::prague::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                 \
+        .stream()
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_LOGGING_H_

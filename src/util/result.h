@@ -1,0 +1,72 @@
+// Result<T>: a value or an error Status, RocksDB/Arrow style.
+
+#ifndef PRAGUE_UTIL_RESULT_H_
+#define PRAGUE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace prague {
+
+/// \brief Holds either a successfully produced T or an error Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// \brief The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// \brief Borrow the value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// \brief Mutable access to the value. Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// \brief Move the value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Assigns the value of a Result expression to \p lhs, or returns its
+/// error status from the enclosing function.
+#define PRAGUE_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto PRAGUE_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!PRAGUE_CONCAT_(_res_, __LINE__).ok())      \
+    return PRAGUE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PRAGUE_CONCAT_(_res_, __LINE__)).value()
+
+#define PRAGUE_CONCAT_(a, b) PRAGUE_CONCAT_IMPL_(a, b)
+#define PRAGUE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_RESULT_H_

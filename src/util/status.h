@@ -1,0 +1,91 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h); success is the common, cheap path.
+
+#ifndef PRAGUE_UTIL_STATUS_H_
+#define PRAGUE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prague {
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Status is cheap to copy on the OK path (empty
+/// message string).
+class Status {
+ public:
+  /// Error categories used across the library.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    kFailedPrecondition,
+  };
+
+  Status() = default;
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+  /// \brief Returns an InvalidArgument error with \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// \brief Returns a NotFound error with \p msg.
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// \brief Returns a Corruption error with \p msg.
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  /// \brief Returns an IOError with \p msg.
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  /// \brief Returns a NotSupported error with \p msg.
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  /// \brief Returns a FailedPrecondition error with \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  /// \brief The error category.
+  Code code() const { return code_; }
+  /// \brief The error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// \brief Propagates a non-OK Status to the caller.
+#define PRAGUE_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::prague::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_STATUS_H_

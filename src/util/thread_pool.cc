@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace prague {
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t n = std::max<size_t>(1, threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  size_t workers = size();
+  if (workers <= 1 || count <= min_chunk) {
+    fn(0, count);
+    return;
+  }
+  size_t chunks = std::min(workers * 4, (count + min_chunk - 1) / min_chunk);
+  size_t per_chunk = (count + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < count; begin += per_chunk) {
+    size_t end = std::min(count, begin + per_chunk);
+    Submit([fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+}  // namespace prague

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool used to parallelize verification
+// (subgraph-isomorphism tests dominate SRT; they are embarrassingly
+// parallel across candidate graphs).
+
+#ifndef PRAGUE_UTIL_THREAD_POOL_H_
+#define PRAGUE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace prague {
+
+/// \brief Fixed-size worker pool with a blocking task queue.
+class ThreadPool {
+ public:
+  /// \brief Spawns \p threads workers (at least 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Number of workers.
+  size_t size() const { return workers_.size(); }
+
+  /// \brief Partitions [0, count) into roughly equal chunks and runs
+  /// \p fn(begin, end) on the pool, blocking until done. Runs inline when
+  /// the pool has one worker or the range is tiny.
+  void ParallelFor(size_t count, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,163 @@
+// Traditional baselines (GR / SG / DVP analogues): filter completeness
+// (no true answer is pruned), evaluation equivalence with the brute-force
+// similarity search, and index-size behaviour.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/distvp.h"
+#include "baselines/grafil.h"
+#include "baselines/sigma.h"
+#include "datasets/query_workload.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+struct BaselineBundle {
+  FeatureIndex features;
+  std::unique_ptr<GrafilLikeEngine> gr;
+  std::unique_ptr<SigmaLikeEngine> sg;
+
+  static const BaselineBundle& Get() {
+    static BaselineBundle* bundle = [] {
+      const auto& fixture = testing::AidsFixture::Get();
+      auto* b = new BaselineBundle();
+      FeatureIndexConfig config;
+      config.max_feature_edges = 3;
+      b->features = FeatureIndex::Build(fixture.mined.frequent, config);
+      b->gr = std::make_unique<GrafilLikeEngine>(&b->features, &fixture.db);
+      b->sg = std::make_unique<SigmaLikeEngine>(&b->features, &fixture.db);
+      return b;
+    }();
+    return *bundle;
+  }
+};
+
+TEST(FeatureIndexTest, OnlySmallFragmentsIndexed) {
+  const BaselineBundle& bundle = BaselineBundle::Get();
+  const auto& fixture = testing::AidsFixture::Get();
+  size_t expected = 0;
+  for (const MinedFragment& f : fixture.mined.frequent) {
+    if (f.size() <= 3) {
+      ++expected;
+      EXPECT_TRUE(bundle.features.Lookup(f.code).has_value());
+    } else {
+      EXPECT_FALSE(bundle.features.Lookup(f.code).has_value());
+    }
+  }
+  EXPECT_EQ(bundle.features.FeatureCount(), expected);
+  EXPECT_GT(bundle.features.StorageBytes(), 0u);
+}
+
+TEST(QuerySubgraphCatalogTest, EnumeratesAllSubsetsUpToCap) {
+  Graph q = testing::MakeGraph(
+      {testing::kC, testing::kC, testing::kC, testing::kS},
+      {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  QuerySubgraphCatalog catalog = QuerySubgraphCatalog::Build(q, 2);
+  auto by_size = ConnectedEdgeSubsetsBySize(q);
+  EXPECT_EQ(catalog.entries().size(), by_size[1].size() + by_size[2].size());
+  for (const auto& e : catalog.entries()) {
+    EXPECT_LE(e.size, 2);
+    EXPECT_EQ(e.code,
+              GetCanonicalCode(ExtractEdgeSubgraph(q, e.mask).graph));
+  }
+}
+
+// Shared completeness check: no graph within distance sigma may be pruned.
+void ExpectFilterComplete(const TraditionalSimilarityEngine& engine,
+                          const Graph& q, int sigma) {
+  const auto& fixture = testing::AidsFixture::Get();
+  IdSet candidates = engine.Filter(q, sigma);
+  auto truth = testing::BruteForceSimilaritySearch(fixture.db, q, sigma);
+  for (const auto& [gid, distance] : truth) {
+    EXPECT_TRUE(candidates.Contains(gid))
+        << engine.name() << " pruned g" << gid << " at distance " << distance;
+  }
+}
+
+class BaselineCompletenessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineCompletenessTest, GrafilNeverPrunesTrueAnswers) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 100 + GetParam());
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "q");
+  ASSERT_TRUE(spec.ok());
+  ExpectFilterComplete(*BaselineBundle::Get().gr, spec->graph, 2);
+}
+
+TEST_P(BaselineCompletenessTest, SigmaNeverPrunesTrueAnswers) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 200 + GetParam());
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "q");
+  ASSERT_TRUE(spec.ok());
+  ExpectFilterComplete(*BaselineBundle::Get().sg, spec->graph, 2);
+}
+
+TEST_P(BaselineCompletenessTest, DistVpNeverPrunesTrueAnswers) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 300 + GetParam());
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "q");
+  ASSERT_TRUE(spec.ok());
+  DistVpLikeEngine dvp(fixture.mined.frequent, &fixture.db, /*sigma=*/2);
+  ExpectFilterComplete(dvp, spec->graph, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineCompletenessTest,
+                         ::testing::Range(0, 5));
+
+TEST(BaselineEvaluateTest, ResultsMatchBruteForce) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 55);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 1, "e");
+  ASSERT_TRUE(spec.ok());
+  int sigma = 2;
+  SimilaritySearchOutcome outcome =
+      BaselineBundle::Get().gr->Evaluate(spec->graph, sigma, fixture.db);
+  auto truth =
+      testing::BruteForceSimilaritySearch(fixture.db, spec->graph, sigma);
+  ASSERT_EQ(outcome.results.size(), truth.size());
+  std::map<GraphId, int> truth_by_id(truth.begin(), truth.end());
+  int last = 0;
+  for (const SimilarMatch& m : outcome.results) {
+    ASSERT_TRUE(truth_by_id.contains(m.gid));
+    EXPECT_EQ(m.distance, truth_by_id[m.gid]);
+    EXPECT_GE(m.distance, last);
+    last = m.distance;
+  }
+}
+
+TEST(BaselineEvaluateTest, SigmaFiltersAtLeastAsTightAsGrafil) {
+  // SIGMA's exact set-cover test dominates the count bound: its candidate
+  // set is a subset of Grafil's.
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 66);
+  for (int i = 0; i < 3; ++i) {
+    Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "c");
+    ASSERT_TRUE(spec.ok());
+    IdSet gr = BaselineBundle::Get().gr->Filter(spec->graph, 2);
+    IdSet sg = BaselineBundle::Get().sg->Filter(spec->graph, 2);
+    EXPECT_TRUE(sg.IsSubsetOf(gr));
+  }
+}
+
+TEST(DistVpTest, IndexGrowsWithSigma) {
+  const auto& fixture = testing::AidsFixture::Get();
+  size_t prev = 0;
+  for (int sigma = 1; sigma <= 4; ++sigma) {
+    DistVpLikeEngine dvp(fixture.mined.frequent, &fixture.db, sigma);
+    EXPECT_GE(dvp.IndexBytes(), prev) << sigma;
+    prev = dvp.IndexBytes();
+  }
+}
+
+TEST(BaselineTest, SigmaGreaterThanQueryReturnsEverything) {
+  const auto& fixture = testing::AidsFixture::Get();
+  Graph q = testing::MakeGraph({testing::kC, testing::kC}, {{0, 1}});
+  EXPECT_EQ(BaselineBundle::Get().gr->Filter(q, 2).size(), fixture.db.size());
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,193 @@
+// Candidate generation (Algorithms 3 & 4): soundness (no false
+// negatives), exactness for indexed fragments, verification-free
+// guarantees for Rfree.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/candidates.h"
+#include "core/visual_query.h"
+#include "datasets/query_workload.h"
+#include "graph/mccs.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+struct BuiltQuery {
+  VisualQuery query;
+  SpigSet spigs;
+};
+
+BuiltQuery Formulate(const Graph& q, const std::vector<EdgeId>& sequence,
+                     const ActionAwareIndexes& indexes) {
+  BuiltQuery out;
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = out.query.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    Result<FormulationId> ell =
+        out.query.AddEdge(user_node(edge.u), user_node(edge.v), edge.label);
+    if (!ell.ok()) std::abort();
+    Result<const Spig*> spig =
+        out.spigs.AddForNewEdge(out.query, *ell, indexes);
+    if (!spig.ok()) std::abort();
+  }
+  return out;
+}
+
+// True exact answer set by VF2 scan.
+IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
+  std::vector<GraphId> ids;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db.graph(gid))) ids.push_back(gid);
+  }
+  return IdSet(std::move(ids));
+}
+
+TEST(ExactCandidatesTest, ExactForIndexedFragments) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph({testing::kC, testing::kC}, {{0, 1}});
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  const SpigVertex* target = built.spigs.FindVertex(built.query.FullMask());
+  ASSERT_NE(target, nullptr);
+  IdSet rq = ExactSubCandidates(*target, fixture.indexes);
+  EXPECT_EQ(rq, TrueMatches(fixture.db, q));
+}
+
+TEST(ExactCandidatesTest, SoundnessOnEveryVertexOfEveryPrefix) {
+  // For every SPIG vertex, ExactSubCandidates must be a superset of the
+  // vertex fragment's true FSG ids.
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph(
+      {testing::kC, testing::kC, testing::kC, testing::kS},
+      {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  for (FormulationId ell : built.query.AliveEdgeIds()) {
+    const Spig* spig = built.spigs.Find(ell);
+    for (int level = 1; level <= spig->MaxLevel(); ++level) {
+      for (const SpigVertex& v : spig->Level(level)) {
+        IdSet rq = ExactSubCandidates(v, fixture.indexes);
+        IdSet truth = TrueMatches(fixture.db, v.fragment);
+        EXPECT_TRUE(truth.IsSubsetOf(rq))
+            << v.code << " rq=" << rq.ToString()
+            << " truth=" << truth.ToString();
+      }
+    }
+  }
+}
+
+TEST(ExactCandidatesTest, ZeroSupportEdgeYieldsEmpty) {
+  const auto& fixture = testing::TinyFixture::Get();
+  // N-N never occurs in the tiny database.
+  Graph q = testing::MakeGraph({testing::kN, testing::kN}, {{0, 1}});
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  const SpigVertex* target = built.spigs.FindVertex(built.query.FullMask());
+  ASSERT_NE(target, nullptr);
+  EXPECT_TRUE(ExactSubCandidates(*target, fixture.indexes).empty());
+}
+
+TEST(SimilarCandidatesTest, RfreeEntriesAreWithinDistance) {
+  // Every graph in Rfree(i) provably has dist ≤ |q| - i: verify with the
+  // MCCS oracle.
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 5);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 1, "t");
+  ASSERT_TRUE(spec.ok());
+  BuiltQuery built = Formulate(spec->graph, spec->sequence, fixture.indexes);
+  int sigma = 2;
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), sigma, fixture.indexes);
+  int qsize = static_cast<int>(built.query.EdgeCount());
+  for (const auto& [level, ids] : cands.free) {
+    for (GraphId gid : ids) {
+      EXPECT_TRUE(WithinSubgraphDistance(spec->graph, fixture.db.graph(gid),
+                                         qsize - level))
+          << "g" << gid << " at level " << level;
+    }
+  }
+}
+
+TEST(SimilarCandidatesTest, CompletePerLevel) {
+  // Every graph whose MCCS level is i must appear among level-i (or
+  // higher) candidates.
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph(
+      {testing::kC, testing::kC, testing::kC, testing::kN},
+      {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  int sigma = 3;
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), sigma, fixture.indexes);
+  int qsize = static_cast<int>(q.EdgeCount());
+  for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+    MccsResult m = ComputeMccs(q, fixture.db.graph(gid));
+    int level = qsize - m.distance;
+    if (m.distance > sigma || m.distance == 0 || level < 1) continue;
+    bool found = false;
+    for (int i = level; i < qsize && !found; ++i) {
+      auto f = cands.free.find(i);
+      auto v = cands.ver.find(i);
+      found = (f != cands.free.end() && f->second.Contains(gid)) ||
+              (v != cands.ver.end() && v->second.Contains(gid));
+    }
+    EXPECT_TRUE(found) << "g" << gid << " mccs level " << level;
+  }
+}
+
+TEST(SimilarCandidatesTest, VerDisjointFromFreePerLevel) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 6);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "t");
+  ASSERT_TRUE(spec.ok());
+  BuiltQuery built = Formulate(spec->graph, spec->sequence, fixture.indexes);
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), 3, fixture.indexes);
+  for (const auto& [level, ver] : cands.ver) {
+    auto free_it = cands.free.find(level);
+    ASSERT_NE(free_it, cands.free.end());
+    EXPECT_TRUE(ver.Intersect(free_it->second).empty()) << level;
+  }
+}
+
+TEST(SimilarCandidatesTest, SequenceInvariance) {
+  // Lemma 2 corollary: formulation order does not change candidates.
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph(
+      {testing::kC, testing::kC, testing::kC, testing::kS},
+      {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  BuiltQuery a = Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  Rng rng(123);
+  BuiltQuery b =
+      Formulate(q, RandomFormulationSequence(q, &rng), fixture.indexes);
+  int sigma = 2;
+  SimilarCandidates ca = SimilarSubCandidates(a.spigs, q.EdgeCount(), sigma,
+                                              fixture.indexes);
+  SimilarCandidates cb = SimilarSubCandidates(b.spigs, q.EdgeCount(), sigma,
+                                              fixture.indexes);
+  EXPECT_EQ(ca.AllFree(), cb.AllFree());
+  EXPECT_EQ(ca.AllVer(), cb.AllVer());
+  // Exact candidates too.
+  const SpigVertex* ta = a.spigs.FindVertex(a.query.FullMask());
+  const SpigVertex* tb = b.spigs.FindVertex(b.query.FullMask());
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  EXPECT_EQ(ExactSubCandidates(*ta, fixture.indexes),
+            ExactSubCandidates(*tb, fixture.indexes));
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,164 @@
+// Canonical codes: minimum DFS code properties, CAM cross-validation,
+// serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include "graph/brute_force_iso.h"
+#include "graph/cam_code.h"
+#include "graph/vf2.h"
+#include "graph/canonical.h"
+#include "graph/dfs_code.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+using testing::MakeGraph;
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+// Random node permutation of a graph (isomorphic by construction).
+Graph Permute(const Graph& g, Rng* rng) {
+  std::vector<NodeId> perm(g.NodeCount());
+  for (NodeId i = 0; i < g.NodeCount(); ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+  GraphBuilder b;
+  std::vector<NodeId> new_id(g.NodeCount());
+  for (NodeId i = 0; i < g.NodeCount(); ++i) new_id[perm[i]] = i;
+  std::vector<Label> labels(g.NodeCount());
+  for (NodeId i = 0; i < g.NodeCount(); ++i) {
+    labels[new_id[i]] = g.NodeLabel(i);
+  }
+  for (Label l : labels) b.AddNode(l);
+  std::vector<Edge> edges = g.edges();
+  rng->Shuffle(&edges);
+  for (const Edge& e : edges) {
+    (void)b.AddEdge(new_id[e.u], new_id[e.v], e.label);
+  }
+  return std::move(b).Build();
+}
+
+Graph RandomConnectedGraph(Rng* rng, size_t nodes, size_t extra_edges,
+                           size_t label_count) {
+  GraphBuilder b;
+  for (size_t i = 0; i < nodes; ++i) {
+    b.AddNode(static_cast<Label>(rng->Below(label_count)));
+  }
+  for (NodeId i = 1; i < nodes; ++i) {
+    (void)b.AddEdge(i, static_cast<NodeId>(rng->Below(i)));
+  }
+  for (size_t i = 0; i < extra_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng->Below(nodes));
+    NodeId v = static_cast<NodeId>(rng->Below(nodes));
+    if (u != v) (void)b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+TEST(DfsCodeTest, SingleEdgeCode) {
+  Graph g = MakeGraph({kS, kC}, {{0, 1}});
+  DfsCode code = MinimumDfsCode(g);
+  ASSERT_EQ(code.size(), 1u);
+  // Minimum orientation puts the smaller label first: C(0) before S(1).
+  EXPECT_EQ(code[0].from_label, kC);
+  EXPECT_EQ(code[0].to_label, kS);
+}
+
+TEST(DfsCodeTest, RoundTripThroughGraph) {
+  Graph g = MakeGraph({kC, kS, kO, kC}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  DfsCode code = MinimumDfsCode(g);
+  Graph back = GraphFromDfsCode(code);
+  EXPECT_TRUE(AreIsomorphic(g, back));
+}
+
+TEST(DfsCodeTest, StringRoundTrip) {
+  Graph g = MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}, {0, 2}});
+  DfsCode code = MinimumDfsCode(g);
+  Result<DfsCode> parsed = DfsCodeFromString(DfsCodeToString(code));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, code);
+}
+
+TEST(DfsCodeTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(DfsCodeFromString("").ok());
+  EXPECT_FALSE(DfsCodeFromString("1,2,3").ok());
+  EXPECT_FALSE(DfsCodeFromString("a,b,c,d,e;").ok());
+}
+
+TEST(DfsCodeTest, IsMinimumAcceptsMinimum) {
+  Graph g = MakeGraph({kC, kC, kS}, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(IsMinimumDfsCode(MinimumDfsCode(g)));
+}
+
+TEST(DfsCodeTest, IsMinimumRejectsNonMinimum) {
+  // Spell the path S-C-C starting from the S end: (0,1,S,0,C)(1,2,C,0,C)
+  // is a valid DFS code but not minimal (C-first is smaller).
+  DfsCode code = {{0, 1, kS, 0, kC}, {1, 2, kC, 0, kC}};
+  EXPECT_FALSE(IsMinimumDfsCode(code));
+}
+
+TEST(DfsCodeTest, RightmostPathOfPathGraph) {
+  Graph g = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  DfsCode code = MinimumDfsCode(g);
+  std::vector<int> path = RightmostPath(code);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CanonicalTest, PaperQueryGraphCode) {
+  // Figure 1(a)-style query: ring of 5 C with branches — just assert the
+  // code is stable and reproducible.
+  Graph g = MakeGraph({kC, kC, kC, kC, kC},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_EQ(GetCanonicalCode(g), GetCanonicalCode(g));
+}
+
+class CanonicalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalPropertyTest, InvariantUnderPermutation) {
+  Rng rng(GetParam());
+  Graph g = RandomConnectedGraph(&rng, 3 + rng.Below(5), rng.Below(4), 3);
+  Graph h = Permute(g, &rng);
+  EXPECT_EQ(GetCanonicalCode(g), GetCanonicalCode(h));
+}
+
+TEST_P(CanonicalPropertyTest, MinCodeIsMinOverPermutations) {
+  Rng rng(GetParam() ^ 0x77);
+  Graph g = RandomConnectedGraph(&rng, 3 + rng.Below(4), rng.Below(3), 2);
+  DfsCode min_code = MinimumDfsCode(g);
+  EXPECT_TRUE(IsMinimumDfsCode(min_code));
+}
+
+TEST_P(CanonicalPropertyTest, DistinguishesNonIsomorphicPairs) {
+  Rng rng(GetParam() ^ 0x3131);
+  Graph a = RandomConnectedGraph(&rng, 4 + rng.Below(3), rng.Below(3), 2);
+  Graph b = RandomConnectedGraph(&rng, 4 + rng.Below(3), rng.Below(3), 2);
+  bool iso = BruteForceIsomorphic(a, b);
+  EXPECT_EQ(GetCanonicalCode(a) == GetCanonicalCode(b), iso);
+}
+
+TEST_P(CanonicalPropertyTest, CamCodeAgreesWithDfsCodeOnIsoClasses) {
+  // The paper's CAM code and our production min-DFS code must induce the
+  // same isomorphism classes.
+  Rng rng(GetParam() ^ 0x4242);
+  Graph a = RandomConnectedGraph(&rng, 3 + rng.Below(3), rng.Below(3), 2);
+  Graph b = RandomConnectedGraph(&rng, 3 + rng.Below(3), rng.Below(3), 2);
+  bool dfs_equal = GetCanonicalCode(a) == GetCanonicalCode(b);
+  bool cam_equal = CamCode(a) == CamCode(b);
+  EXPECT_EQ(dfs_equal, cam_equal);
+}
+
+TEST_P(CanonicalPropertyTest, CamCodeInvariantUnderPermutation) {
+  Rng rng(GetParam() ^ 0x5555);
+  Graph g = RandomConnectedGraph(&rng, 3 + rng.Below(4), rng.Below(3), 3);
+  Graph h = Permute(g, &rng);
+  EXPECT_EQ(CamCode(g), CamCode(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace prague

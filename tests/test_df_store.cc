@@ -1,0 +1,124 @@
+// Disk-resident DF-index store: round-trip exactness, LRU behaviour, and
+// corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "index/df_store.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DfStoreTest, RoundTripsEveryDfVertex) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  std::string path = TempPath("df_store_roundtrip.dfs");
+  Result<DfStore> store = DfStore::Create(a2f, path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  size_t df_vertices = 0;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    if (a2f.vertex(id).in_mf) {
+      EXPECT_FALSE(store->ContainsVertex(id));
+      EXPECT_FALSE(store->FsgIds(id).ok());
+      continue;
+    }
+    ++df_vertices;
+    ASSERT_TRUE(store->ContainsVertex(id)) << id;
+    Result<IdSet> ids = store->FsgIds(id);
+    ASSERT_TRUE(ids.ok()) << id;
+    EXPECT_EQ(*ids, a2f.FsgIds(id)) << id;
+  }
+  EXPECT_EQ(df_vertices, a2f.DfVertexCount());
+  EXPECT_GT(store->FileBytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DfStoreTest, ReopenedStoreServesSameData) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  std::string path = TempPath("df_store_reopen.dfs");
+  {
+    Result<DfStore> created = DfStore::Create(a2f, path);
+    ASSERT_TRUE(created.ok());
+  }
+  Result<DfStore> reopened = DfStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    if (a2f.vertex(id).in_mf) continue;
+    Result<IdSet> ids = reopened->FsgIds(id);
+    ASSERT_TRUE(ids.ok());
+    EXPECT_EQ(*ids, a2f.FsgIds(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DfStoreTest, LruCachesAndEvicts) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  if (a2f.clusters().size() < 3) GTEST_SKIP() << "needs >= 3 clusters";
+  std::string path = TempPath("df_store_lru.dfs");
+  Result<DfStore> store = DfStore::Create(a2f, path, /*cache_clusters=*/1);
+  ASSERT_TRUE(store.ok());
+
+  // Two vertices in the same cluster: second lookup must be a cache hit.
+  const FragmentCluster& c0 = a2f.clusters()[0];
+  ASSERT_GE(c0.members.size(), 1u);
+  ASSERT_TRUE(store->FsgIds(c0.members[0]).ok());
+  size_t loads_after_first = store->stats().cluster_loads;
+  ASSERT_TRUE(store->FsgIds(c0.members[0]).ok());
+  EXPECT_EQ(store->stats().cluster_loads, loads_after_first);
+  EXPECT_GE(store->stats().cache_hits, 1u);
+
+  // Touch another cluster: with budget 1 the first must be evicted.
+  const FragmentCluster& c1 = a2f.clusters()[1];
+  ASSERT_TRUE(store->FsgIds(c1.members[0]).ok());
+  EXPECT_GE(store->stats().evictions, 1u);
+  // Re-touching the first cluster loads again.
+  size_t loads_before = store->stats().cluster_loads;
+  ASSERT_TRUE(store->FsgIds(c0.members[0]).ok());
+  EXPECT_EQ(store->stats().cluster_loads, loads_before + 1);
+  std::remove(path.c_str());
+}
+
+TEST(DfStoreTest, DropCacheForcesReload) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  if (a2f.DfVertexCount() == 0) GTEST_SKIP();
+  std::string path = TempPath("df_store_drop.dfs");
+  Result<DfStore> store = DfStore::Create(a2f, path);
+  ASSERT_TRUE(store.ok());
+  A2fId some_df = 0;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    if (!a2f.vertex(id).in_mf) {
+      some_df = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(store->FsgIds(some_df).ok());
+  size_t loads = store->stats().cluster_loads;
+  store->DropCache();
+  ASSERT_TRUE(store->FsgIds(some_df).ok());
+  EXPECT_EQ(store->stats().cluster_loads, loads + 1);
+  std::remove(path.c_str());
+}
+
+TEST(DfStoreTest, OpenRejectsGarbage) {
+  std::string path = TempPath("df_store_garbage.dfs");
+  {
+    std::ofstream out(path);
+    out << "NOT_A_STORE\n";
+  }
+  EXPECT_FALSE(DfStore::Open(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(DfStore::Open(TempPath("df_store_missing.dfs")).ok());
+}
+
+}  // namespace
+}  // namespace prague

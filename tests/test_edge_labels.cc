@@ -1,0 +1,171 @@
+// Edge-labeled graphs end-to-end: the paper's model allows edge labels
+// (ψ : E → ΣEℓ); this suite drives bond-labeled molecules through every
+// layer — canonical codes, mining, indexes, SPIGs, sessions — and checks
+// the results against label-aware oracles.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/prague_session.h"
+#include "datasets/aids_generator.h"
+#include "datasets/query_workload.h"
+#include "graph/brute_force_iso.h"
+#include "graph/vf2.h"
+#include "index/action_aware_index.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+// Bond-labeled fixture, built once.
+struct BondFixture {
+  GraphDatabase db;
+  MiningResult mined;
+  ActionAwareIndexes indexes;
+
+  static const BondFixture& Get() {
+    static BondFixture* fixture = [] {
+      auto* f = new BondFixture();
+      AidsGeneratorConfig config;
+      config.graph_count = 200;
+      config.seed = 77;
+      config.bond_labels = true;
+      f->db = GenerateAidsLikeDatabase(config);
+      MiningConfig mining;
+      mining.min_support_ratio = 0.1;
+      mining.max_fragment_edges = 6;
+      Result<MiningResult> mined = MineFragments(f->db, mining);
+      if (!mined.ok()) std::abort();
+      f->mined = std::move(*mined);
+      A2fConfig a2f;
+      a2f.beta = 3;
+      f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+TEST(EdgeLabelTest, GeneratorProducesBothBondTypes) {
+  const BondFixture& fixture = BondFixture::Get();
+  size_t single = 0, dbl = 0;
+  for (const Graph& g : fixture.db.graphs()) {
+    for (const Edge& e : g.edges()) {
+      (e.label == 0 ? single : dbl)++;
+    }
+  }
+  EXPECT_GT(single, dbl);  // singles dominate
+  EXPECT_GT(dbl, 0u);
+}
+
+TEST(EdgeLabelTest, CanonicalCodeSeparatesBondTypes) {
+  GraphBuilder a;
+  NodeId a1 = a.AddNode(0), a2 = a.AddNode(0);
+  ASSERT_TRUE(a.AddEdge(a1, a2, 0).ok());
+  GraphBuilder b;
+  NodeId b1 = b.AddNode(0), b2 = b.AddNode(0);
+  ASSERT_TRUE(b.AddEdge(b1, b2, 1).ok());
+  EXPECT_NE(GetCanonicalCode(std::move(a).Build()),
+            GetCanonicalCode(std::move(b).Build()));
+}
+
+TEST(EdgeLabelTest, MinedFsgIdsAreLabelExact) {
+  const BondFixture& fixture = BondFixture::Get();
+  // Check a sample of fragments (the fixture has hundreds).
+  size_t checked = 0;
+  for (const MinedFragment& f : fixture.mined.frequent) {
+    if (f.size() < 2 || checked >= 10) continue;
+    ++checked;
+    for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+      EXPECT_EQ(f.fsg_ids.Contains(gid),
+                IsSubgraphIsomorphic(f.graph, fixture.db.graph(gid)))
+          << f.code << " g" << gid;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(EdgeLabelTest, Vf2MatchesBruteForceWithEdgeLabels) {
+  Rng rng(17);
+  const BondFixture& fixture = BondFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Result<VisualQuerySpec> spec = workload.ContainmentQuery(4, "el");
+    ASSERT_TRUE(spec.ok());
+    GraphId gid = static_cast<GraphId>(rng.Below(fixture.db.size()));
+    const Graph& g = fixture.db.graph(gid);
+    EXPECT_EQ(IsSubgraphIsomorphic(spec->graph, g),
+              BruteForceSubgraphIsomorphic(spec->graph, g));
+  }
+}
+
+TEST(EdgeLabelTest, SessionEndToEndWithBondLabels) {
+  const BondFixture& fixture = BondFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 23);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(5, "bonds");
+  ASSERT_TRUE(spec.ok());
+  PragueSession session(&fixture.db, &fixture.indexes);
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session.AddNode(spec->graph.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : spec->sequence) {
+    const Edge& edge = spec->graph.GetEdge(e);
+    ASSERT_TRUE(
+        session.AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+            .ok());
+  }
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  // Exact answers must match the label-aware VF2 scan.
+  std::vector<GraphId> expected;
+  for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(spec->graph, fixture.db.graph(gid))) {
+      expected.push_back(gid);
+    }
+  }
+  EXPECT_EQ(results->exact, expected);
+  EXPECT_FALSE(results->exact.empty());
+}
+
+TEST(EdgeLabelTest, SimilaritySearchRespectsBondLabels) {
+  const BondFixture& fixture = BondFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 29);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(5, 1, "bsim");
+  ASSERT_TRUE(spec.ok());
+  PragueSession session(&fixture.db, &fixture.indexes);
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session.AddNode(spec->graph.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : spec->sequence) {
+    const Edge& edge = spec->graph.GetEdge(e);
+    ASSERT_TRUE(
+        session.AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+            .ok());
+  }
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  ASSERT_TRUE(results->similarity);
+  auto expected = testing::BruteForceSimilaritySearch(
+      fixture.db, spec->graph, session.sigma());
+  std::map<GraphId, int> expected_by_id(expected.begin(), expected.end());
+  ASSERT_EQ(results->similar.size(), expected.size());
+  for (const SimilarMatch& m : results->similar) {
+    ASSERT_TRUE(expected_by_id.contains(m.gid)) << m.gid;
+    EXPECT_EQ(m.distance, expected_by_id[m.gid]);
+  }
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,96 @@
+// Match explanations: witness/embedding consistency with the MCCS oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "datasets/query_workload.h"
+#include "graph/mccs.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kS;
+
+TEST(ExplainTest, ExactMatchCoversEverything) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Result<MatchExplanation> e = ExplainMatch(q, fixture.db.graph(0));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->distance, 0);
+  EXPECT_TRUE(e->missing_query_edges.empty());
+  EXPECT_EQ(MaskSize(e->covered_query_edges),
+            static_cast<int>(q.EdgeCount()));
+  EXPECT_EQ(e->data_edges.size(), q.EdgeCount());
+}
+
+TEST(ExplainTest, ApproximateMatchIdentifiesMissingEdges) {
+  const auto& fixture = testing::TinyFixture::Get();
+  // Triangle with N pendant vs g0 (triangle with S pendant): the C-N edge
+  // is the one miss.
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Result<MatchExplanation> e = ExplainMatch(q, fixture.db.graph(0));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->distance, 1);
+  ASSERT_EQ(e->missing_query_edges.size(), 1u);
+  EXPECT_EQ(e->missing_query_edges[0], 3u);  // the C-N edge
+}
+
+TEST(ExplainTest, EmbeddingIsLabelAndAdjacencyConsistent) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 55);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 1, "ex");
+  ASSERT_TRUE(spec.ok());
+  size_t checked = 0;
+  for (GraphId gid = 0; gid < fixture.db.size() && checked < 10; ++gid) {
+    const Graph& g = fixture.db.graph(gid);
+    Result<MatchExplanation> e = ExplainMatch(spec->graph, g);
+    if (!e.ok()) continue;
+    ++checked;
+    // Distance agrees with the MCCS oracle.
+    EXPECT_EQ(e->distance, ComputeMccs(spec->graph, g).distance);
+    // Images respect labels and realize every covered edge.
+    size_t covered_index = 0;
+    for (EdgeId qe = 0; qe < spec->graph.EdgeCount(); ++qe) {
+      if (!(e->covered_query_edges & EdgeBit(qe))) continue;
+      const Edge& edge = spec->graph.GetEdge(qe);
+      NodeId iu = e->node_image[edge.u];
+      NodeId iv = e->node_image[edge.v];
+      ASSERT_NE(iu, kInvalidNode);
+      ASSERT_NE(iv, kInvalidNode);
+      EXPECT_EQ(g.NodeLabel(iu), spec->graph.NodeLabel(edge.u));
+      EXPECT_EQ(g.NodeLabel(iv), spec->graph.NodeLabel(edge.v));
+      ASSERT_LT(covered_index, e->data_edges.size());
+      const Edge& data_edge = g.GetEdge(e->data_edges[covered_index]);
+      EXPECT_TRUE((data_edge.u == iu && data_edge.v == iv) ||
+                  (data_edge.u == iv && data_edge.v == iu));
+      ++covered_index;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ExplainTest, NoCommonEdgeIsNotFound) {
+  Graph q = testing::MakeGraph({kN, kN}, {{0, 1}});
+  Graph g = testing::MakeGraph({kC, kC}, {{0, 1}});
+  EXPECT_FALSE(ExplainMatch(q, g).ok());
+}
+
+TEST(ExplainTest, ToStringMentionsMissingEdges) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Result<MatchExplanation> e = ExplainMatch(q, fixture.db.graph(0));
+  ASSERT_TRUE(e.ok());
+  std::string text = ExplanationToString(*e, q, fixture.db.labels());
+  EXPECT_NE(text.find("missing:"), std::string::npos);
+  EXPECT_NE(text.find("N"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,288 @@
+// Extension features beyond the paper's core algorithms: multi-edge
+// deletion (Section VII says single-edge "is trivial to extend"), node
+// relabeling (footnote 5), canned-pattern drops (footnote 1), and top-k
+// similarity results.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/gblender.h"
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+void Feed(PragueSession* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    auto report =
+        session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label);
+    if (!report.ok()) std::abort();
+  }
+}
+
+IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
+  std::vector<GraphId> ids;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db.graph(gid))) ids.push_back(gid);
+  }
+  return IdSet(std::move(ids));
+}
+
+// --- DeleteEdges ----------------------------------------------------
+
+TEST(DeleteEdgesTest, MultiDeletionEquivalentToFromScratch) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  // Square C-C-S-C plus both diagonals' pendant: delete two edges at once.
+  Graph q = testing::MakeGraph({kC, kC, kS, kC, kO},
+                               {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  Result<StepReport> report = session.DeleteEdges({2, 5});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(session.query().EdgeCount(), 3u);
+
+  const Graph& reduced = session.query().CurrentGraph();
+  PragueSession fresh(&fixture.db, &fixture.indexes);
+  Feed(&fresh, reduced, DefaultFormulationSequence(reduced));
+  EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
+  EXPECT_EQ(session.spigs().TotalVertexCount(),
+            fresh.spigs().TotalVertexCount());
+}
+
+TEST(DeleteEdgesTest, FindsAnOrderWhenNaiveOrderDisconnects) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  // Path e1-e2-e3: deleting {e1, e2} in the given order is fine, but
+  // {e2, e3}... deleting e2 first would disconnect. The session must find
+  // the order e3, e2.
+  Graph q = testing::MakeGraph({kC, kS, kC, kC}, {{0, 1}, {1, 2}, {2, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  Result<StepReport> report = session.DeleteEdges({2, 3});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(session.query().EdgeCount(), 1u);
+  EXPECT_EQ(session.query().AliveEdgeIds(), (std::vector<FormulationId>{1}));
+}
+
+TEST(DeleteEdgesTest, RejectsImpossibleSetWithoutSideEffects) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  // Deleting both edges would empty the fragment.
+  Result<StepReport> report = session.DeleteEdges({1, 2});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(session.query().EdgeCount(), 2u);  // untouched
+  EXPECT_EQ(session.spigs().SpigCount(), 2u);
+}
+
+// --- RelabelNode ------------------------------------------------------
+
+TEST(RelabelTest, EquivalentToFreshFormulation) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  // Relabel the S pendant to O (the session node ids follow discovery
+  // order of the default sequence; find the S node).
+  NodeId s_node = kInvalidNode;
+  for (NodeId n = 0; n < session.query().UserNodeCount(); ++n) {
+    if (session.query().NodeLabel(n) == kS) s_node = n;
+  }
+  ASSERT_NE(s_node, kInvalidNode);
+  Result<StepReport> report = session.RelabelNode(s_node, kO);
+  ASSERT_TRUE(report.ok());
+
+  Graph relabeled = testing::MakeGraph({kC, kC, kC, kO},
+                                       {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  PragueSession fresh(&fixture.db, &fixture.indexes);
+  Feed(&fresh, relabeled, DefaultFormulationSequence(relabeled));
+  EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
+
+  Result<QueryResults> a = session.Run(nullptr);
+  Result<QueryResults> b = fresh.Run(nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->exact, b->exact);
+  EXPECT_EQ(a->similarity, b->similarity);
+}
+
+TEST(RelabelTest, SpigVerticesRekeyed) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  NodeId s_node = session.query().NodeLabel(0) == kS ? 0 : 1;
+  ASSERT_EQ(session.query().NodeLabel(s_node), kS);
+  ASSERT_TRUE(session.RelabelNode(s_node, kN).ok());
+  const SpigVertex* target =
+      session.spigs().FindVertex(session.query().FullMask());
+  ASSERT_NE(target, nullptr);
+  Graph expected = testing::MakeGraph({kC, kN}, {{0, 1}});
+  EXPECT_EQ(target->code, GetCanonicalCode(expected));
+}
+
+TEST(RelabelTest, RelabelCanRestoreExactMode) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  // Triangle with N pendant: no exact match → similarity mode.
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_TRUE(session.similarity_mode());
+  // Relabel N → S: the query becomes exactly data graph g0.
+  NodeId n_node = kInvalidNode;
+  for (NodeId n = 0; n < session.query().UserNodeCount(); ++n) {
+    if (session.query().NodeLabel(n) == kN) n_node = n;
+  }
+  ASSERT_NE(n_node, kInvalidNode);
+  ASSERT_TRUE(session.RelabelNode(n_node, kS).ok());
+  EXPECT_FALSE(session.similarity_mode());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(IdSet(results->exact),
+            TrueMatches(fixture.db, session.query().CurrentGraph()));
+  EXPECT_FALSE(results->exact.empty());
+}
+
+TEST(RelabelTest, NoOpRelabelIsCheap) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  IdSet before = session.exact_candidates();
+  NodeId c_node = session.query().NodeLabel(0) == kC ? 0 : 1;
+  ASSERT_TRUE(session.RelabelNode(c_node, kC).ok());  // same label
+  EXPECT_EQ(session.exact_candidates(), before);
+}
+
+// --- AddPattern -------------------------------------------------------
+
+Graph TrianglePattern() {
+  return testing::MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(AddPatternTest, DropOnEmptyCanvasEqualsManualDrawing) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession with_pattern(&fixture.db, &fixture.indexes);
+  Result<std::vector<StepReport>> reports =
+      with_pattern.AddPattern(TrianglePattern());
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_EQ(reports->size(), 3u);
+
+  PragueSession manual(&fixture.db, &fixture.indexes);
+  Graph q = TrianglePattern();
+  Feed(&manual, q, DefaultFormulationSequence(q));
+  EXPECT_EQ(with_pattern.exact_candidates(), manual.exact_candidates());
+  EXPECT_EQ(with_pattern.spigs().TotalVertexCount(),
+            manual.spigs().TotalVertexCount());
+}
+
+TEST(AddPatternTest, AttachToExistingFragment) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  NodeId c1 = session.AddNode(kC);
+  NodeId s = session.AddNode(kS);
+  ASSERT_TRUE(session.AddEdge(c1, s).ok());
+  // Attach a triangle sharing node c1 (pattern node 0 ↦ session c1).
+  Result<std::vector<StepReport>> reports =
+      session.AddPattern(TrianglePattern(), {{0, c1}});
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_EQ(session.query().EdgeCount(), 4u);
+  // The result equals drawing g0 (triangle + S pendant): exact match g0.
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(IdSet(results->exact),
+            TrueMatches(fixture.db, session.query().CurrentGraph()));
+}
+
+TEST(AddPatternTest, RejectsDetachedPatternOnNonEmptyCanvas) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  NodeId c1 = session.AddNode(kC);
+  NodeId c2 = session.AddNode(kC);
+  ASSERT_TRUE(session.AddEdge(c1, c2).ok());
+  EXPECT_FALSE(session.AddPattern(TrianglePattern()).ok());
+}
+
+TEST(AddPatternTest, RejectsLabelMismatchAttach) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  NodeId s = session.AddNode(kS);
+  NodeId c = session.AddNode(kC);
+  ASSERT_TRUE(session.AddEdge(s, c).ok());
+  // Pattern node 0 is C; session node s is S.
+  EXPECT_FALSE(session.AddPattern(TrianglePattern(), {{0, s}}).ok());
+}
+
+TEST(AddPatternTest, RejectsDisconnectedPattern) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph disconnected =
+      testing::MakeGraph({kC, kC, kC, kC}, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(session.AddPattern(disconnected).ok());
+}
+
+// --- Top-k ------------------------------------------------------------
+
+TEST(TopKTest, TruncatesToMostSimilarPrefix) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 91);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 1, "topk");
+  ASSERT_TRUE(spec.ok());
+
+  auto run_with = [&](size_t top_k) {
+    PragueConfig config;
+    config.sigma = 3;
+    config.top_k = top_k;
+    PragueSession session(&fixture.db, &fixture.indexes, config);
+    Feed(&session, spec->graph, spec->sequence);
+    Result<QueryResults> results = session.Run(nullptr);
+    if (!results.ok()) std::abort();
+    return results->similar;
+  };
+  std::vector<SimilarMatch> all = run_with(0);
+  if (all.size() < 4) GTEST_SKIP() << "not enough matches to truncate";
+  std::vector<SimilarMatch> top3 = run_with(3);
+  ASSERT_EQ(top3.size(), 3u);
+  // Distances must match the full run's prefix (ids may tie-swap only at
+  // equal distance; our generation order is deterministic, so exact).
+  for (size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_EQ(top3[i], all[i]);
+  }
+}
+
+TEST(TopKTest, ZeroMeansUnlimited) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueConfig config;
+  config.top_k = 0;
+  PragueSession session(&fixture.db, &fixture.indexes, config);
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(results->similar.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,153 @@
+// Shared test fixtures: tiny hand-built databases, a cached AIDS-like
+// fixture with mined indexes, and brute-force reference implementations
+// used as oracles.
+
+#ifndef PRAGUE_TESTS_TEST_FIXTURES_H_
+#define PRAGUE_TESTS_TEST_FIXTURES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/aids_generator.h"
+#include "graph/canonical.h"
+#include "graph/graph_database.h"
+#include "graph/mccs.h"
+#include "graph/subgraph_ops.h"
+#include "index/action_aware_index.h"
+#include "mining/gspan.h"
+
+namespace prague::testing {
+
+/// \brief Builds a graph from a compact spec: node labels + edge pairs.
+inline Graph MakeGraph(const std::vector<Label>& labels,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b;
+  for (Label l : labels) b.AddNode(l);
+  for (auto [u, v] : edges) {
+    Result<EdgeId> r = b.AddEdge(u, v, 0);
+    if (!r.ok()) std::abort();
+  }
+  return std::move(b).Build();
+}
+
+/// Labels used by the tiny fixtures (interned ids).
+inline constexpr Label kC = 0;
+inline constexpr Label kS = 1;
+inline constexpr Label kO = 2;
+inline constexpr Label kN = 3;
+
+/// \brief A small chemical-flavoured database in the spirit of Figure 1:
+/// C/S/O/N labeled graphs with overlapping substructure.
+inline GraphDatabase TinyDatabase() {
+  GraphDatabase db;
+  db.mutable_labels()->Intern("C");
+  db.mutable_labels()->Intern("S");
+  db.mutable_labels()->Intern("O");
+  db.mutable_labels()->Intern("N");
+  // g0: triangle C-C-C plus pendant S.
+  db.Add(MakeGraph({kC, kC, kC, kS}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}));
+  // g1: path C-S-C-C.
+  db.Add(MakeGraph({kC, kS, kC, kC}, {{0, 1}, {1, 2}, {2, 3}}));
+  // g2: star around C with S, O, C.
+  db.Add(MakeGraph({kC, kS, kO, kC}, {{0, 1}, {0, 2}, {0, 3}}));
+  // g3: square C-C-S-C.
+  db.Add(MakeGraph({kC, kC, kS, kC}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  // g4: C-C edge with pendant N.
+  db.Add(MakeGraph({kC, kC, kN}, {{0, 1}, {1, 2}}));
+  // g5: C-S-C triangle-ish with O pendant.
+  db.Add(MakeGraph({kC, kS, kC, kO}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}));
+  return db;
+}
+
+/// \brief Brute-force frequent-fragment enumeration (oracle for gSpan):
+/// canonical code → set of containing graph ids, for fragments with
+/// ≤ max_edges edges.
+inline std::map<CanonicalCode, std::set<GraphId>> BruteForceFragments(
+    const GraphDatabase& db, size_t max_edges) {
+  std::map<CanonicalCode, std::set<GraphId>> out;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
+    if (g.EdgeCount() > kMaxSubsetEdges) std::abort();
+    std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(g);
+    for (size_t k = 1; k <= std::min(max_edges, g.EdgeCount()); ++k) {
+      for (EdgeMask mask : by_size[k]) {
+        Graph sub = ExtractEdgeSubgraph(g, mask).graph;
+        out[GetCanonicalCode(sub)].insert(gid);
+      }
+    }
+  }
+  return out;
+}
+
+/// \brief Brute-force Definition-3 similarity search (oracle):
+/// ids and distances of every graph with dist(q, g) ≤ sigma.
+inline std::vector<std::pair<GraphId, int>> BruteForceSimilaritySearch(
+    const GraphDatabase& db, const Graph& q, int sigma) {
+  std::vector<std::pair<GraphId, int>> out;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    MccsResult m = ComputeMccs(q, db.graph(gid));
+    if (m.distance <= sigma) out.emplace_back(gid, m.distance);
+  }
+  return out;
+}
+
+/// \brief Cached AIDS-like fixture: a 300-graph molecular database with
+/// mined indexes (α = 0.1, β = 4). Built once per test binary.
+struct AidsFixture {
+  GraphDatabase db;
+  MiningResult mined;
+  ActionAwareIndexes indexes;
+
+  static const AidsFixture& Get() {
+    static AidsFixture* fixture = [] {
+      auto* f = new AidsFixture();
+      AidsGeneratorConfig config;
+      config.graph_count = 300;
+      config.seed = 11;
+      f->db = GenerateAidsLikeDatabase(config);
+      MiningConfig mining;
+      mining.min_support_ratio = 0.1;
+      mining.max_fragment_edges = 8;
+      Result<MiningResult> mined = MineFragments(f->db, mining);
+      if (!mined.ok()) std::abort();
+      f->mined = std::move(*mined);
+      A2fConfig a2f;
+      a2f.beta = 4;
+      f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+/// \brief Tiny fixture with indexes (α = 0.34 over the 6-graph database —
+/// fragments must appear in ≥ 3 graphs to be frequent).
+struct TinyFixture {
+  GraphDatabase db;
+  MiningResult mined;
+  ActionAwareIndexes indexes;
+
+  static const TinyFixture& Get() {
+    static TinyFixture* fixture = [] {
+      auto* f = new TinyFixture();
+      f->db = TinyDatabase();
+      MiningConfig mining;
+      mining.min_support_ratio = 0.34;
+      mining.max_fragment_edges = 6;
+      Result<MiningResult> mined = MineFragments(f->db, mining);
+      if (!mined.ok()) std::abort();
+      f->mined = std::move(*mined);
+      A2fConfig a2f;
+      a2f.beta = 2;
+      f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+}  // namespace prague::testing
+
+#endif  // PRAGUE_TESTS_TEST_FIXTURES_H_

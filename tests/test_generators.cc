@@ -1,0 +1,147 @@
+// Dataset generators: determinism, structural statistics matching the
+// paper's dataset profiles, label skew.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datasets/aids_generator.h"
+#include "datasets/synthetic_generator.h"
+
+namespace prague {
+namespace {
+
+TEST(AidsGeneratorTest, Deterministic) {
+  AidsGeneratorConfig config;
+  config.graph_count = 50;
+  config.seed = 3;
+  GraphDatabase a = GenerateAidsLikeDatabase(config);
+  GraphDatabase b = GenerateAidsLikeDatabase(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (GraphId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(AidsGeneratorTest, PrefixStable) {
+  // Growing the dataset must not change earlier graphs (graph i depends
+  // only on seed and i) — benchmarks rely on this for scaling sweeps.
+  AidsGeneratorConfig small, large;
+  small.graph_count = 20;
+  large.graph_count = 60;
+  small.seed = large.seed = 5;
+  GraphDatabase a = GenerateAidsLikeDatabase(small);
+  GraphDatabase b = GenerateAidsLikeDatabase(large);
+  for (GraphId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(AidsGeneratorTest, AllGraphsConnectedAndSimple) {
+  AidsGeneratorConfig config;
+  config.graph_count = 200;
+  GraphDatabase db = GenerateAidsLikeDatabase(config);
+  for (const Graph& g : db.graphs()) {
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_GE(g.EdgeCount(), 2u);
+    EXPECT_LE(g.NodeCount(), config.max_nodes);
+  }
+}
+
+TEST(AidsGeneratorTest, SizeProfileMatchesAids) {
+  AidsGeneratorConfig config;
+  config.graph_count = 2000;
+  GraphDatabase db = GenerateAidsLikeDatabase(config);
+  // Paper: avg ≈ 25 vertices / 27 edges. Allow generous tolerance.
+  EXPECT_NEAR(db.AverageNodeCount(), 25.0, 6.0);
+  EXPECT_NEAR(db.AverageEdgeCount(), 27.0, 7.0);
+  // Heavy tail: some molecule well above average.
+  size_t max_nodes = 0;
+  for (const Graph& g : db.graphs()) {
+    max_nodes = std::max(max_nodes, g.NodeCount());
+  }
+  EXPECT_GT(max_nodes, 80u);
+}
+
+TEST(AidsGeneratorTest, CarbonDominatesLabels) {
+  AidsGeneratorConfig config;
+  config.graph_count = 500;
+  GraphDatabase db = GenerateAidsLikeDatabase(config);
+  Result<Label> carbon = db.labels().Lookup("C");
+  ASSERT_TRUE(carbon.ok());
+  size_t total = 0, c_count = 0;
+  for (const Graph& g : db.graphs()) {
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      ++total;
+      if (g.NodeLabel(n) == *carbon) ++c_count;
+    }
+  }
+  double c_ratio = static_cast<double>(c_count) / total;
+  EXPECT_GT(c_ratio, 0.6);
+  EXPECT_LT(c_ratio, 0.85);
+}
+
+TEST(SyntheticGeneratorTest, Deterministic) {
+  SyntheticGeneratorConfig config;
+  config.graph_count = 50;
+  GraphDatabase a = GenerateSyntheticDatabase(config);
+  GraphDatabase b = GenerateSyntheticDatabase(config);
+  for (GraphId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(SyntheticGeneratorTest, PrefixStable) {
+  SyntheticGeneratorConfig small, large;
+  small.graph_count = 25;
+  large.graph_count = 75;
+  GraphDatabase a = GenerateSyntheticDatabase(small);
+  GraphDatabase b = GenerateSyntheticDatabase(large);
+  for (GraphId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(SyntheticGeneratorTest, MatchesPaperProfile) {
+  SyntheticGeneratorConfig config;
+  config.graph_count = 1000;
+  GraphDatabase db = GenerateSyntheticDatabase(config);
+  // Paper: avg edges 30, density 0.1 (⇒ ≈ 25 nodes).
+  EXPECT_NEAR(db.AverageEdgeCount(), 30.0, 5.0);
+  EXPECT_NEAR(db.AverageNodeCount(), 25.0, 6.0);
+  for (const Graph& g : db.graphs()) {
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(SyntheticGeneratorTest, UsesConfiguredLabelCount) {
+  SyntheticGeneratorConfig config;
+  config.graph_count = 100;
+  config.label_count = 7;
+  GraphDatabase db = GenerateSyntheticDatabase(config);
+  EXPECT_EQ(db.labels().size(), 7u);
+  for (const Graph& g : db.graphs()) {
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      EXPECT_LT(g.NodeLabel(n), 7u);
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, LabelsAreSkewed) {
+  SyntheticGeneratorConfig config;
+  config.graph_count = 500;
+  GraphDatabase db = GenerateSyntheticDatabase(config);
+  std::map<Label, size_t> counts;
+  size_t total = 0;
+  for (const Graph& g : db.graphs()) {
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      ++counts[g.NodeLabel(n)];
+      ++total;
+    }
+  }
+  // Label 0 (rank 1 in the Zipf draw) must clearly dominate the last one.
+  EXPECT_GT(counts[0], 4 * std::max<size_t>(1, counts[config.label_count - 1]));
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,193 @@
+// Unit tests for the graph substrate: Graph/GraphBuilder, GraphDatabase,
+// text I/O, connectivity, and edge-subset operations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "graph/graph_io.h"
+#include "graph/subgraph_ops.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::MakeGraph;
+using testing::kC;
+using testing::kO;
+using testing::kS;
+
+TEST(GraphBuilderTest, BuildsNodesAndEdges) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(3);
+  NodeId c = b.AddNode(5);
+  Result<EdgeId> e = b.AddEdge(a, c, 7);
+  ASSERT_TRUE(e.ok());
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NodeCount(), 2u);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  EXPECT_EQ(g.NodeLabel(a), 3u);
+  EXPECT_EQ(g.GetEdge(*e).label, 7u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0);
+  EXPECT_FALSE(b.AddEdge(a, a).ok());
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateEdge) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0);
+  NodeId c = b.AddNode(1);
+  ASSERT_TRUE(b.AddEdge(a, c).ok());
+  EXPECT_FALSE(b.AddEdge(c, a).ok());  // either orientation
+}
+
+TEST(GraphBuilderTest, RejectsMissingEndpoint) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0);
+  EXPECT_FALSE(b.AddEdge(a, 42).ok());
+}
+
+TEST(GraphTest, FindEdgeBothDirections) {
+  Graph g = MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_NE(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_NE(g.FindEdge(1, 0), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 2), kInvalidEdge);
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  Graph g = MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].neighbor, 1u);
+}
+
+TEST(GraphTest, Connectivity) {
+  EXPECT_TRUE(MakeGraph({kC, kC}, {{0, 1}}).IsConnected());
+  EXPECT_FALSE(MakeGraph({kC, kC, kC}, {{0, 1}}).IsConnected());
+  EXPECT_FALSE(Graph().IsConnected());
+}
+
+TEST(GraphDatabaseTest, AddAndStats) {
+  GraphDatabase db = testing::TinyDatabase();
+  EXPECT_EQ(db.size(), 6u);
+  EXPECT_GT(db.AverageEdgeCount(), 2.0);
+  EXPECT_EQ(db.AllIds().size(), 6u);
+  EXPECT_EQ(db.labels().size(), 4u);
+}
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary d;
+  Label a = d.Intern("C");
+  Label b = d.Intern("C");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.Name(a), "C");
+  EXPECT_TRUE(d.Lookup("C").ok());
+  EXPECT_FALSE(d.Lookup("Xx").ok());
+}
+
+TEST(LabelDictionaryTest, SortedNamesLexicographic) {
+  LabelDictionary d;
+  d.Intern("S");
+  d.Intern("C");
+  d.Intern("O");
+  EXPECT_EQ(d.SortedNames(), (std::vector<std::string>{"C", "O", "S"}));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  GraphDatabase db = testing::TinyDatabase();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDatabase(db, &out).ok());
+  std::istringstream in(out.str());
+  Result<GraphDatabase> back = ReadDatabase(&in);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), db.size());
+  for (GraphId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(back->graph(i).NodeCount(), db.graph(i).NodeCount());
+    EXPECT_EQ(back->graph(i).EdgeCount(), db.graph(i).EdgeCount());
+  }
+}
+
+TEST(GraphIoTest, RejectsCorruptInput) {
+  std::istringstream in("t # 0\nv 0 C\nv 1 C\ne 0 5\n");
+  EXPECT_FALSE(ReadDatabase(&in).ok());
+}
+
+TEST(GraphIoTest, ParseGraphInternsLabels) {
+  LabelDictionary labels;
+  Result<Graph> g = ParseGraph("v 0 C\nv 1 S\ne 0 1\n", &labels);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 2u);
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(SubgraphOpsTest, ExtractKeepsLabelsAndMapping) {
+  Graph g = MakeGraph({kC, kS, kO, kC}, {{0, 1}, {1, 2}, {2, 3}});
+  ExtractedSubgraph sub = ExtractEdgeSubgraph(g, EdgeBit(1) | EdgeBit(2));
+  EXPECT_EQ(sub.graph.NodeCount(), 3u);
+  EXPECT_EQ(sub.graph.EdgeCount(), 2u);
+  // node_map maps back to parent nodes {1, 2, 3}.
+  std::vector<NodeId> parents = sub.node_map;
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(sub.edge_map, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(SubgraphOpsTest, ConnectivityOfSubsets) {
+  Graph g = MakeGraph({kC, kS, kO, kC}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(IsEdgeSubsetConnected(g, EdgeBit(0) | EdgeBit(1)));
+  EXPECT_FALSE(IsEdgeSubsetConnected(g, EdgeBit(0) | EdgeBit(2)));
+  EXPECT_TRUE(IsEdgeSubsetConnected(g, EdgeBit(1)));
+  EXPECT_FALSE(IsEdgeSubsetConnected(g, 0));
+}
+
+TEST(SubgraphOpsTest, EnumerationCountsOnPath) {
+  // Path with 3 edges: connected subsets = 3 singles, 2 pairs, 1 triple.
+  Graph g = MakeGraph({kC, kS, kO, kC}, {{0, 1}, {1, 2}, {2, 3}});
+  auto by_size = ConnectedEdgeSubsetsBySize(g);
+  EXPECT_EQ(by_size[1].size(), 3u);
+  EXPECT_EQ(by_size[2].size(), 2u);
+  EXPECT_EQ(by_size[3].size(), 1u);
+}
+
+TEST(SubgraphOpsTest, EnumerationCountsOnTriangle) {
+  Graph g = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  auto by_size = ConnectedEdgeSubsetsBySize(g);
+  EXPECT_EQ(by_size[1].size(), 3u);
+  EXPECT_EQ(by_size[2].size(), 3u);
+  EXPECT_EQ(by_size[3].size(), 1u);
+}
+
+TEST(SubgraphOpsTest, SupersetsOfRequiredEdge) {
+  Graph g = MakeGraph({kC, kS, kO, kC}, {{0, 1}, {1, 2}, {2, 3}});
+  auto by_size = ConnectedEdgeSupersetsOf(g, 0);
+  EXPECT_EQ(by_size[1].size(), 1u);  // just e0
+  EXPECT_EQ(by_size[2].size(), 1u);  // {e0, e1}
+  EXPECT_EQ(by_size[3].size(), 1u);  // all
+  for (size_t k = 1; k < by_size.size(); ++k) {
+    for (EdgeMask m : by_size[k]) EXPECT_TRUE(m & EdgeBit(0));
+  }
+}
+
+TEST(SubgraphOpsTest, SupersetsMatchSubsetsFilteredByEdge) {
+  GraphDatabase db = testing::TinyDatabase();
+  const Graph& g = db.graph(0);  // triangle + pendant
+  auto all = ConnectedEdgeSubsetsBySize(g);
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    auto sup = ConnectedEdgeSupersetsOf(g, e);
+    for (size_t k = 1; k <= g.EdgeCount(); ++k) {
+      size_t expected = 0;
+      for (EdgeMask m : all[k]) {
+        if (m & EdgeBit(e)) ++expected;
+      }
+      EXPECT_EQ(sup[k].size(), expected) << "edge " << e << " size " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prague

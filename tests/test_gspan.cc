@@ -1,0 +1,184 @@
+// gSpan miner and DIF extraction: validated against brute-force
+// enumeration on the tiny database and DIF properties from Section III.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/brute_force_iso.h"
+#include "graph/vf2.h"
+#include "mining/gspan.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::BruteForceFragments;
+using testing::TinyDatabase;
+
+TEST(GspanTest, RejectsEmptyDatabase) {
+  GraphDatabase empty;
+  MiningConfig config;
+  EXPECT_FALSE(MineFragments(empty, config).ok());
+}
+
+TEST(GspanTest, RejectsBadSupportRatio) {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig config;
+  config.min_support_ratio = 0;
+  EXPECT_FALSE(MineFragments(db, config).ok());
+  config.min_support_ratio = 1.5;
+  EXPECT_FALSE(MineFragments(db, config).ok());
+}
+
+TEST(GspanTest, FrequentSetMatchesBruteForce) {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig config;
+  config.min_support_ratio = 0.34;  // support >= 3 of 6
+  config.max_fragment_edges = 5;
+  Result<MiningResult> mined = MineFragments(db, config);
+  ASSERT_TRUE(mined.ok());
+
+  auto oracle = BruteForceFragments(db, config.max_fragment_edges);
+  std::set<CanonicalCode> expected;
+  for (const auto& [code, gids] : oracle) {
+    if (gids.size() >= mined->min_support) expected.insert(code);
+  }
+  std::set<CanonicalCode> actual;
+  for (const MinedFragment& f : mined->frequent) actual.insert(f.code);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(GspanTest, FsgIdsAreExact) {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig config;
+  config.min_support_ratio = 0.34;
+  config.max_fragment_edges = 5;
+  Result<MiningResult> mined = MineFragments(db, config);
+  ASSERT_TRUE(mined.ok());
+  auto oracle = BruteForceFragments(db, config.max_fragment_edges);
+  for (const MinedFragment& f : mined->frequent) {
+    auto it = oracle.find(f.code);
+    ASSERT_NE(it, oracle.end()) << f.code;
+    IdSet expected(std::vector<GraphId>(it->second.begin(),
+                                        it->second.end()));
+    EXPECT_EQ(f.fsg_ids, expected) << f.code;
+  }
+}
+
+TEST(GspanTest, FsgIdsVerifiedByVf2) {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig config;
+  config.min_support_ratio = 0.34;
+  Result<MiningResult> mined = MineFragments(db, config);
+  ASSERT_TRUE(mined.ok());
+  for (const MinedFragment& f : mined->frequent) {
+    for (GraphId gid = 0; gid < db.size(); ++gid) {
+      EXPECT_EQ(f.fsg_ids.Contains(gid),
+                IsSubgraphIsomorphic(f.graph, db.graph(gid)))
+          << f.code << " vs g" << gid;
+    }
+  }
+}
+
+TEST(GspanTest, FrequentSetIsDownwardClosed) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::set<CanonicalCode> codes;
+  for (const MinedFragment& f : fixture.mined.frequent) codes.insert(f.code);
+  for (const MinedFragment& f : fixture.mined.frequent) {
+    if (f.size() < 2) continue;
+    auto by_size = ConnectedEdgeSubsetsBySize(f.graph);
+    for (EdgeMask mask : by_size[f.size() - 1]) {
+      Graph sub = ExtractEdgeSubgraph(f.graph, mask).graph;
+      EXPECT_TRUE(codes.contains(GetCanonicalCode(sub)))
+          << "subgraph of frequent " << f.code << " missing";
+    }
+  }
+}
+
+TEST(GspanTest, DifsAreInfrequentWithFrequentSubgraphs) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::set<CanonicalCode> frequent;
+  for (const MinedFragment& f : fixture.mined.frequent) {
+    frequent.insert(f.code);
+  }
+  for (const MinedFragment& d : fixture.mined.difs) {
+    EXPECT_LT(d.support(), fixture.mined.min_support) << d.code;
+    EXPECT_GT(d.support(), 0u) << d.code;
+    EXPECT_FALSE(frequent.contains(d.code));
+    if (d.size() >= 2) {
+      auto by_size = ConnectedEdgeSubsetsBySize(d.graph);
+      for (size_t k = 1; k < d.size(); ++k) {
+        for (EdgeMask mask : by_size[k]) {
+          Graph sub = ExtractEdgeSubgraph(d.graph, mask).graph;
+          EXPECT_TRUE(frequent.contains(GetCanonicalCode(sub)))
+              << "DIF " << d.code << " has infrequent proper subgraph";
+        }
+      }
+    }
+  }
+}
+
+TEST(GspanTest, DifFsgIdsVerifiedByVf2) {
+  const auto& fixture = testing::TinyFixture::Get();
+  for (const MinedFragment& d : fixture.mined.difs) {
+    for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+      EXPECT_EQ(d.fsg_ids.Contains(gid),
+                IsSubgraphIsomorphic(d.graph, fixture.db.graph(gid)))
+          << d.code << " vs g" << gid;
+    }
+  }
+}
+
+TEST(GspanTest, EveryInfrequentFragmentContainsAnIndexedDif) {
+  // Section III property: given g ∈ I (support ≥ 1), ∃ DIF d ⊆ g.
+  const auto& fixture = testing::TinyFixture::Get();
+  auto oracle = BruteForceFragments(fixture.db,
+                                    /*max_edges=*/4);
+  for (const auto& [code, gids] : oracle) {
+    if (gids.size() >= fixture.mined.min_support) continue;  // frequent
+    Result<DfsCode> dc = DfsCodeFromString(code);
+    ASSERT_TRUE(dc.ok());
+    Graph g = GraphFromDfsCode(*dc);
+    bool contains_dif = false;
+    for (const MinedFragment& d : fixture.mined.difs) {
+      if (d.size() <= g.EdgeCount() && IsSubgraphIsomorphic(d.graph, g)) {
+        contains_dif = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contains_dif) << "infrequent " << code << " has no DIF";
+  }
+}
+
+TEST(GspanTest, DifsSortedBySize) {
+  const auto& fixture = testing::AidsFixture::Get();
+  for (size_t i = 1; i < fixture.mined.difs.size(); ++i) {
+    EXPECT_LE(fixture.mined.difs[i - 1].size(), fixture.mined.difs[i].size());
+  }
+}
+
+TEST(GspanTest, MaxFragmentSizeHonored) {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig config;
+  config.min_support_ratio = 0.34;
+  config.max_fragment_edges = 2;
+  Result<MiningResult> mined = MineFragments(db, config);
+  ASSERT_TRUE(mined.ok());
+  for (const MinedFragment& f : mined->frequent) {
+    EXPECT_LE(f.size(), 2u);
+  }
+  for (const MinedFragment& d : mined->difs) {
+    EXPECT_LE(d.size(), 3u);  // DIF candidates are extensions by one edge
+  }
+}
+
+TEST(GspanTest, MiningAidsFixtureProducesFragments) {
+  const auto& fixture = testing::AidsFixture::Get();
+  EXPECT_GT(fixture.mined.frequent.size(), 10u);
+  EXPECT_GT(fixture.mined.difs.size(), 0u);
+  EXPECT_EQ(fixture.mined.min_support, 30u);  // 0.1 * 300
+}
+
+}  // namespace
+}  // namespace prague

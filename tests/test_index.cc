@@ -1,0 +1,182 @@
+// Action-aware indexes: A2F DAG structure, delId compression round-trip,
+// MF/DF split and clusters, A2I ordering, serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <algorithm>
+
+#include "graph/vf2.h"
+#include "index/action_aware_index.h"
+#include "index/index_io.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+TEST(A2fIndexTest, LookupByCanonicalCode) {
+  const auto& fixture = testing::TinyFixture::Get();
+  for (const MinedFragment& f : fixture.mined.frequent) {
+    std::optional<A2fId> id = fixture.indexes.a2f.Lookup(f.code);
+    ASSERT_TRUE(id.has_value()) << f.code;
+    EXPECT_EQ(fixture.indexes.a2f.FsgIds(*id), f.fsg_ids);
+  }
+  EXPECT_FALSE(fixture.indexes.a2f.Lookup("0,1,99,0,99;").has_value());
+}
+
+TEST(A2fIndexTest, DagEdgesAreSizePlusOneSubgraphs) {
+  const auto& fixture = testing::TinyFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    const A2fVertex& v = a2f.vertex(id);
+    for (A2fId c : v.children) {
+      const A2fVertex& child = a2f.vertex(c);
+      EXPECT_EQ(child.size(), v.size() + 1);
+      EXPECT_TRUE(IsSubgraphIsomorphic(v.fragment, child.fragment));
+    }
+    for (A2fId p : v.parents) {
+      EXPECT_EQ(a2f.vertex(p).size() + 1, v.size());
+    }
+  }
+}
+
+TEST(A2fIndexTest, FsgIdsShrinkUpward) {
+  // f' ⊂ f  ⇒  fsgIds(f) ⊆ fsgIds(f') — the identity delId exploits.
+  const auto& fixture = testing::TinyFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    const A2fVertex& v = a2f.vertex(id);
+    for (A2fId c : v.children) {
+      EXPECT_TRUE(a2f.vertex(c).fsg_ids.IsSubsetOf(v.fsg_ids));
+    }
+  }
+}
+
+TEST(A2fIndexTest, DelIdReconstructionRoundTrip) {
+  const auto& fixture = testing::AidsFixture::Get();
+  A2FIndex copy = fixture.indexes.a2f;
+  // Scramble the full sets, then reconstruct from delIds alone.
+  ASSERT_TRUE(copy.ReconstructFromDelIds());
+  for (A2fId id = 0; id < copy.VertexCount(); ++id) {
+    EXPECT_EQ(copy.FsgIds(id), fixture.indexes.a2f.FsgIds(id)) << id;
+  }
+}
+
+TEST(A2fIndexTest, DelIdsNoLargerThanFullSets) {
+  const auto& fixture = testing::AidsFixture::Get();
+  size_t del_total = 0, full_total = 0;
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    del_total += a2f.vertex(id).del_ids.size();
+    full_total += a2f.vertex(id).fsg_ids.size();
+    EXPECT_TRUE(a2f.vertex(id).del_ids.IsSubsetOf(a2f.vertex(id).fsg_ids));
+  }
+  EXPECT_LE(del_total, full_total);
+  EXPECT_LE(a2f.StorageBytes(), a2f.UncompressedBytes());
+}
+
+TEST(A2fIndexTest, MfDfSplitByBeta) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  size_t mf = 0;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    const A2fVertex& v = a2f.vertex(id);
+    EXPECT_EQ(v.in_mf, v.size() <= a2f.beta());
+    if (v.in_mf) ++mf;
+  }
+  EXPECT_EQ(mf, a2f.MfVertexCount());
+  EXPECT_EQ(a2f.VertexCount() - mf, a2f.DfVertexCount());
+}
+
+TEST(A2fIndexTest, ClustersRootedAtBetaPlusOne) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  for (const FragmentCluster& c : a2f.clusters()) {
+    EXPECT_EQ(a2f.vertex(c.root).size(), a2f.beta() + 1);
+    for (A2fId m : c.members) {
+      EXPECT_GT(a2f.vertex(m).size(), a2f.beta());
+    }
+  }
+}
+
+TEST(A2fIndexTest, LeafClusterListsPointToChildClusters) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    if (a2f.vertex(id).size() != a2f.beta()) {
+      continue;
+    }
+    for (uint32_t cid : a2f.ClusterList(id)) {
+      ASSERT_LT(cid, a2f.clusters().size());
+      A2fId root = a2f.clusters()[cid].root;
+      // The leaf must be a subgraph (parent) of the cluster root.
+      const auto& parents = a2f.vertex(root).parents;
+      EXPECT_NE(std::find(parents.begin(), parents.end(), id), parents.end());
+    }
+  }
+}
+
+TEST(A2iIndexTest, EntriesAscendingBySizeAndLookup) {
+  const auto& fixture = testing::TinyFixture::Get();
+  const A2IIndex& a2i = fixture.indexes.a2i;
+  for (A2iId id = 0; id + 1 < a2i.EntryCount(); ++id) {
+    EXPECT_LE(a2i.entry(id).size(), a2i.entry(id + 1).size());
+  }
+  for (A2iId id = 0; id < a2i.EntryCount(); ++id) {
+    std::optional<A2iId> found = a2i.Lookup(a2i.entry(id).code);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, id);
+  }
+}
+
+TEST(IndexIoTest, SaveLoadRoundTrip) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::ostringstream out;
+  ASSERT_TRUE(IndexSerializer::Save(fixture.indexes, &out).ok());
+  std::istringstream in(out.str());
+  Result<ActionAwareIndexes> loaded = IndexSerializer::Load(&in);
+  ASSERT_TRUE(loaded.ok());
+  const A2FIndex& a = fixture.indexes.a2f;
+  const A2FIndex& b = loaded->a2f;
+  ASSERT_EQ(a.VertexCount(), b.VertexCount());
+  for (A2fId id = 0; id < a.VertexCount(); ++id) {
+    EXPECT_EQ(a.vertex(id).code, b.vertex(id).code);
+    EXPECT_EQ(a.FsgIds(id), b.FsgIds(id)) << id;
+    EXPECT_EQ(a.vertex(id).in_mf, b.vertex(id).in_mf);
+  }
+  ASSERT_EQ(fixture.indexes.a2i.EntryCount(), loaded->a2i.EntryCount());
+  for (A2iId id = 0; id < loaded->a2i.EntryCount(); ++id) {
+    EXPECT_EQ(fixture.indexes.a2i.FsgIds(id), loaded->a2i.FsgIds(id));
+  }
+  EXPECT_EQ(loaded->min_support, fixture.indexes.min_support);
+}
+
+TEST(IndexIoTest, LoadRejectsGarbage) {
+  std::istringstream in("NOT_AN_INDEX");
+  EXPECT_FALSE(IndexSerializer::Load(&in).ok());
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::string path = ::testing::TempDir() + "/prague_index_test.idx";
+  ASSERT_TRUE(IndexSerializer::SaveToFile(fixture.indexes, path).ok());
+  Result<ActionAwareIndexes> loaded = IndexSerializer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->a2f.VertexCount(), fixture.indexes.a2f.VertexCount());
+}
+
+TEST(ActionAwareIndexTest, BuildFromDatabaseEndToEnd) {
+  GraphDatabase db = testing::TinyDatabase();
+  MiningConfig mining;
+  mining.min_support_ratio = 0.34;
+  A2fConfig a2f;
+  a2f.beta = 2;
+  Result<ActionAwareIndexes> built = BuildActionAwareIndexes(db, mining, a2f);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built->a2f.VertexCount(), 0u);
+  EXPECT_GT(built->StorageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace prague

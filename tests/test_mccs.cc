@@ -1,0 +1,111 @@
+// MCCS / subgraph distance (Definitions 1-3), including the paper's
+// Figure 1 worked example.
+
+#include <gtest/gtest.h>
+
+#include "graph/mccs.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+using testing::MakeGraph;
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+TEST(MccsTest, ExactMatchHasDistanceZero) {
+  Graph q = MakeGraph({kC, kS}, {{0, 1}});
+  Graph g = MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  MccsResult m = ComputeMccs(q, g);
+  EXPECT_EQ(m.mccs_edges, 1u);
+  EXPECT_EQ(m.distance, 0);
+  EXPECT_DOUBLE_EQ(m.similarity, 1.0);
+}
+
+TEST(MccsTest, CompletelyDisjointLabels) {
+  Graph q = MakeGraph({kN, kN}, {{0, 1}});
+  Graph g = MakeGraph({kC, kS}, {{0, 1}});
+  MccsResult m = ComputeMccs(q, g);
+  EXPECT_EQ(m.mccs_edges, 0u);
+  EXPECT_EQ(m.distance, 1);
+  EXPECT_DOUBLE_EQ(m.similarity, 0.0);
+}
+
+TEST(MccsTest, OneMissingEdge) {
+  // Query: triangle C-C-C. Data: path C-C-C. MCCS = 2 edges, distance 1.
+  Graph q = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph g = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  MccsResult m = ComputeMccs(q, g);
+  EXPECT_EQ(m.mccs_edges, 2u);
+  EXPECT_EQ(m.distance, 1);
+  EXPECT_DOUBLE_EQ(m.similarity, 2.0 / 3.0);
+}
+
+TEST(MccsTest, Figure1WorkedExample) {
+  // Figure 1(a): 7-edge query — a C5 ring (one edge doubled out to a
+  // 6th and 7th C). We reconstruct the spirit: ring of 5 C plus 2 pendant
+  // C. Data graph (b) misses one query edge (δ = 6/7), data graph (c)
+  // misses two (δ = 5/7).
+  Graph q = MakeGraph({kC, kC, kC, kC, kC, kC, kC},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 5}, {3, 6}});
+  // (b): same but ring broken (no 4-0 edge), plus an O decoration.
+  Graph b = MakeGraph({kC, kC, kC, kC, kC, kC, kC, kO},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 5}, {3, 6}, {4, 7}});
+  MccsResult mb = ComputeMccs(q, b);
+  EXPECT_EQ(mb.distance, 1);
+  EXPECT_DOUBLE_EQ(mb.similarity, 6.0 / 7.0);
+  // (c): ring broken and one pendant gone.
+  Graph c = MakeGraph({kC, kC, kC, kC, kC, kC},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 5}});
+  MccsResult mc = ComputeMccs(q, c);
+  EXPECT_EQ(mc.distance, 2);
+  EXPECT_DOUBLE_EQ(mc.similarity, 5.0 / 7.0);
+}
+
+TEST(MccsTest, WitnessIsActuallyContained) {
+  Graph q = MakeGraph({kC, kC, kC, kS}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  Graph g = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  MccsResult m = ComputeMccs(q, g);
+  ASSERT_GT(m.mccs_edges, 0u);
+  Graph witness = ExtractEdgeSubgraph(q, m.witness).graph;
+  EXPECT_EQ(witness.EdgeCount(), m.mccs_edges);
+  EXPECT_TRUE(IsEdgeSubsetConnected(q, m.witness));
+}
+
+TEST(MccsTest, WithinDistanceMatchesFullComputation) {
+  Graph q = MakeGraph({kC, kC, kC, kS}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const GraphDatabase db = testing::TinyDatabase();
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    MccsResult m = ComputeMccs(q, db.graph(gid));
+    for (int sigma = 0; sigma <= 4; ++sigma) {
+      EXPECT_EQ(WithinSubgraphDistance(q, db.graph(gid), sigma),
+                m.distance <= sigma)
+          << "g" << gid << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(MccsTest, ContainsLevelSubgraphMonotone) {
+  Graph q = MakeGraph({kC, kC, kC, kS}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  Graph g = testing::TinyDatabase().graph(0);
+  bool prev = true;
+  for (size_t level = 1; level <= q.EdgeCount(); ++level) {
+    bool now = ContainsLevelSubgraph(q, g, level);
+    // If a level-k subgraph is contained, some (k-1) one is too.
+    if (now) EXPECT_TRUE(prev);
+    prev = now;
+  }
+}
+
+TEST(MccsTest, SigmaAtLeastQuerySizeAlwaysWithin) {
+  Graph q = MakeGraph({kN, kN}, {{0, 1}});
+  Graph g = MakeGraph({kC, kC}, {{0, 1}});
+  EXPECT_TRUE(WithinSubgraphDistance(q, g, 1));
+  EXPECT_TRUE(WithinSubgraphDistance(q, g, 5));
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,194 @@
+// Figure 3 walkthrough: reproduces the paper's Sequence-1 narrative — the
+// Status column evolving frequent → frequent → frequent → Infreq →
+// Similar → Similar as edges are drawn, the modification suggestion when
+// Rq empties, and the final Run returning ranked approximate matches —
+// on a purpose-built database where every transition is forced by
+// construction.
+
+#include <gtest/gtest.h>
+
+#include "core/prague_session.h"
+#include "graph/vf2.h"
+#include "index/action_aware_index.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kO;
+using testing::kS;
+
+// Database design (α = 0.5 over 4 graphs ⇒ min support 2). The query is
+// drawn as: chain a(C)-b(C)-c(C)-d(S), then e4 = S pendant on a, then
+// e5 = S-S on the pendant, then e6 = O pendant on b.
+//  * C-C, C-S, C-C-C, C-C-C-S are frequent (G1, G2, fillers) → steps 1-3
+//    stay "frequent";
+//  * the chain with an S pendant on a (= step 4) occurs only in G1: all
+//    its proper subgraphs are frequent, so it is a *DIF* with fsgIds =
+//    {G1} → step 4 reads "Infreq" with Rq = {G1};
+//  * the S-S bond occurs only in G4, so S-S is a DIF with fsgIds = {G4};
+//    step 5's fragment contains both DIFs and {G1} ∩ {G4} = ∅ → the
+//    index itself certifies Rq = ∅ ("Similar");
+//  * C-O occurs only in G3 — step 6 stays empty the same way.
+struct Walkthrough {
+  GraphDatabase db;
+  ActionAwareIndexes indexes;
+
+  static Walkthrough Build() {
+    Walkthrough w;
+    w.db.mutable_labels()->Intern("C");
+    w.db.mutable_labels()->Intern("S");
+    w.db.mutable_labels()->Intern("O");
+    // G1: chain C-C-C-S with an S pendant on the first C (= the query
+    // through step 4).
+    w.db.Add(testing::MakeGraph({kC, kC, kC, kS, kS},
+                                {{0, 1}, {1, 2}, {2, 3}, {0, 4}}));
+    // G2: plain chain C-C-C-S.
+    w.db.Add(testing::MakeGraph({kC, kC, kC, kS},
+                                {{0, 1}, {1, 2}, {2, 3}}));
+    // G3: C-C-C with an O pendant on the middle C (the only C-O bonds).
+    w.db.Add(testing::MakeGraph({kC, kC, kC, kO},
+                                {{0, 1}, {1, 2}, {1, 3}}));
+    // G4: C-S-S (the only S-S bond).
+    w.db.Add(testing::MakeGraph({kC, kS, kS}, {{0, 1}, {1, 2}}));
+    MiningConfig mining;
+    mining.min_support_ratio = 0.5;
+    mining.max_fragment_edges = 6;
+    A2fConfig a2f;
+    a2f.beta = 2;
+    Result<MiningResult> mined = MineFragments(w.db, mining);
+    if (!mined.ok()) std::abort();
+    w.indexes = BuildActionAwareIndexes(*mined, a2f);
+    return w;
+  }
+};
+
+TEST(PaperWalkthroughTest, Figure3StatusSequence) {
+  Walkthrough w = Walkthrough::Build();
+  PragueSession session(&w.db, &w.indexes);
+
+  NodeId a = session.AddNode(kC);
+  NodeId b = session.AddNode(kC);
+  NodeId c = session.AddNode(kC);
+  NodeId d = session.AddNode(kS);
+  NodeId e = session.AddNode(kS);
+  NodeId f = session.AddNode(kS);
+  NodeId g = session.AddNode(kO);
+
+  // Step 1: C-C — frequent.
+  Result<StepReport> s1 = session.AddEdge(a, b);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->status, FragmentStatus::kFrequent);
+  EXPECT_GE(s1->exact_candidates, 2u);
+
+  // Step 2: C-C-C — frequent (G1, G2, G3).
+  Result<StepReport> s2 = session.AddEdge(b, c);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->status, FragmentStatus::kFrequent);
+  EXPECT_EQ(session.exact_candidates(), IdSet({0, 1, 2}));
+
+  // Step 3: C-C-C-S — frequent (G1, G2).
+  Result<StepReport> s3 = session.AddEdge(c, d);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s3->status, FragmentStatus::kFrequent);
+  EXPECT_EQ(session.exact_candidates(), IdSet({0, 1}));
+
+  // Step 4: S pendant on a — a DIF matched only by G1 ("Infreq").
+  Result<StepReport> s4 = session.AddEdge(a, e);
+  ASSERT_TRUE(s4.ok());
+  EXPECT_EQ(s4->status, FragmentStatus::kInfrequent);
+  EXPECT_EQ(session.exact_candidates(), IdSet({0}));
+
+  // Step 5: S-S on the pendant — the fragment now contains two DIFs with
+  // disjoint FSG sets, so the index certifies Rq = ∅ ("Similar").
+  Result<StepReport> s5 = session.AddEdge(e, f);
+  ASSERT_TRUE(s5.ok());
+  EXPECT_EQ(s5->status, FragmentStatus::kNoExactMatch);
+  EXPECT_TRUE(session.similarity_mode());
+  EXPECT_TRUE(session.exact_candidates().empty());
+
+  // The engine suggests deleting the offending edge e5 (Algorithm 6):
+  // q − e5 is the step-4 DIF with candidates {G1}; every other deletion
+  // disconnects the fragment or certifies emptiness.
+  std::optional<ModificationSuggestion> suggestion =
+      session.SuggestDeletion();
+  ASSERT_TRUE(suggestion.has_value());
+  EXPECT_EQ(suggestion->edge, 5);
+  EXPECT_EQ(suggestion->candidates, IdSet({0}));
+
+  // Step 6: the user ignores the suggestion and draws an O on b.
+  Result<StepReport> s6 = session.AddEdge(b, g);
+  ASSERT_TRUE(s6.ok());
+  EXPECT_EQ(s6->status, FragmentStatus::kNoExactMatch);
+
+  // Run: ranked approximate matches. G1 misses exactly the S-S and C-O
+  // edges → distance 2, the most similar answer.
+  RunStats stats;
+  Result<QueryResults> results = session.Run(&stats);
+  ASSERT_TRUE(results.ok());
+  ASSERT_TRUE(results->similarity);
+  ASSERT_FALSE(results->similar.empty());
+  EXPECT_EQ(results->similar.front().gid, 0u);
+  EXPECT_EQ(results->similar.front().distance, 2);
+  auto expected = testing::BruteForceSimilaritySearch(
+      w.db, session.query().CurrentGraph(), session.sigma());
+  EXPECT_EQ(results->similar.size(), expected.size());
+}
+
+TEST(PaperWalkthroughTest, TakingTheSuggestionRestoresExactMode) {
+  Walkthrough w = Walkthrough::Build();
+  PragueSession session(&w.db, &w.indexes);
+  NodeId a = session.AddNode(kC);
+  NodeId b = session.AddNode(kC);
+  NodeId c = session.AddNode(kC);
+  NodeId d = session.AddNode(kS);
+  NodeId e = session.AddNode(kS);
+  NodeId f = session.AddNode(kS);
+  ASSERT_TRUE(session.AddEdge(a, b).ok());
+  ASSERT_TRUE(session.AddEdge(b, c).ok());
+  ASSERT_TRUE(session.AddEdge(c, d).ok());
+  ASSERT_TRUE(session.AddEdge(a, e).ok());
+  ASSERT_TRUE(session.AddEdge(e, f).ok());
+  ASSERT_TRUE(session.similarity_mode());
+
+  std::optional<ModificationSuggestion> suggestion =
+      session.SuggestDeletion();
+  ASSERT_TRUE(suggestion.has_value());
+  Result<StepReport> after = session.DeleteEdge(suggestion->edge);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(session.similarity_mode());
+  EXPECT_EQ(after->status, FragmentStatus::kInfrequent);
+
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->similarity);
+  EXPECT_EQ(results->exact, std::vector<GraphId>{0});
+}
+
+TEST(PaperWalkthroughTest, SequenceTwoGivesSameCandidates) {
+  // Figure 3's Sequence 2 draws the same query in a different order; the
+  // SPIG sets differ but candidates must not (Section V-B).
+  Walkthrough w = Walkthrough::Build();
+  auto formulate = [&](const std::vector<std::pair<int, int>>& edges) {
+    auto session = std::make_unique<PragueSession>(&w.db, &w.indexes);
+    std::vector<Label> labels = {kC, kC, kC, kS, kS, kS};
+    std::vector<NodeId> ids;
+    for (Label l : labels) ids.push_back(session->AddNode(l));
+    for (auto [u, v] : edges) {
+      if (!session->AddEdge(ids[u], ids[v]).ok()) std::abort();
+    }
+    return session;
+  };
+  auto s1 = formulate({{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 5}});
+  auto s2 = formulate({{4, 5}, {0, 4}, {0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(s1->similarity_mode(), s2->similarity_mode());
+  EXPECT_EQ(s1->exact_candidates(), s2->exact_candidates());
+  EXPECT_EQ(s1->similar_candidates().AllFree(),
+            s2->similar_candidates().AllFree());
+  EXPECT_EQ(s1->similar_candidates().AllVer(),
+            s2->similar_candidates().AllVer());
+}
+
+}  // namespace
+}  // namespace prague

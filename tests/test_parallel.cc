@@ -1,0 +1,124 @@
+// ThreadPool and parallel-verification correctness: parallel results must
+// be byte-identical to sequential ones.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "core/prague_session.h"
+#include "core/results.h"
+#include "datasets/query_workload.h"
+#include "test_fixtures.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> touched(5, 0);
+  pool.ParallelFor(5, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ParallelVerificationTest, ExactVerificationMatchesSequential) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 77);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(5, "pv");
+  ASSERT_TRUE(spec.ok());
+  IdSet all = fixture.db.AllIds();
+  ThreadPool pool(4);
+  std::vector<GraphId> sequential =
+      ExactVerification(spec->graph, all, fixture.db);
+  std::vector<GraphId> parallel =
+      ExactVerification(spec->graph, all, fixture.db, &pool);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_FALSE(sequential.empty());
+}
+
+void Feed(PragueSession* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    if (!session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+class ParallelRunTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelRunTest, SimilarityResultsIdenticalAcrossThreadCounts) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 700 + GetParam());
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "p");
+  ASSERT_TRUE(spec.ok());
+  auto run = [&](size_t threads) {
+    PragueConfig config;
+    config.sigma = 3;
+    config.verification_threads = threads;
+    PragueSession session(&fixture.db, &fixture.indexes, config);
+    Feed(&session, spec->graph, spec->sequence);
+    Result<QueryResults> results = session.Run(nullptr);
+    if (!results.ok()) std::abort();
+    return *results;
+  };
+  QueryResults one = run(1);
+  QueryResults four = run(4);
+  EXPECT_EQ(one.similarity, four.similarity);
+  EXPECT_EQ(one.exact, four.exact);
+  ASSERT_EQ(one.similar.size(), four.similar.size());
+  for (size_t i = 0; i < one.similar.size(); ++i) {
+    EXPECT_EQ(one.similar[i], four.similar[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRunTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,109 @@
+// Textual pattern language: parsing, error handling, round-trips, and
+// end-to-end execution through a PragueSession.
+
+#include <gtest/gtest.h>
+
+#include "core/prague_session.h"
+#include "graph/vf2.h"
+#include "query/pattern_parser.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kS;
+
+TEST(PatternParserTest, ParsesChain) {
+  LabelDictionary labels;
+  Result<ParsedPattern> p =
+      ParsePattern("(a:C)-(b:C)-(c:S)", &labels);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->graph.NodeCount(), 3u);
+  EXPECT_EQ(p->graph.EdgeCount(), 2u);
+  EXPECT_EQ(p->sequence, (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(p->node_names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(PatternParserTest, MultipleChainsShareNodes) {
+  LabelDictionary labels;
+  Result<ParsedPattern> p = ParsePattern(
+      "(a:C)-(b:C)-(c:C), (a)-(c), (a)-(d:S)", &labels);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->graph.NodeCount(), 4u);
+  EXPECT_EQ(p->graph.EdgeCount(), 4u);  // triangle + pendant
+}
+
+TEST(PatternParserTest, EdgeLabels) {
+  LabelDictionary labels;
+  Result<ParsedPattern> p = ParsePattern("(a:C)-[2]-(b:C)", &labels);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->graph.GetEdge(0).label, 2u);
+}
+
+TEST(PatternParserTest, Errors) {
+  LabelDictionary labels;
+  EXPECT_FALSE(ParsePattern("", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a)", &labels).ok());  // no label, no edge
+  EXPECT_FALSE(ParsePattern("(a:C)", &labels).ok());  // no edges
+  EXPECT_FALSE(ParsePattern("(a:C)-(a)", &labels).ok());  // self loop
+  // chain a-b then b-a duplicates the edge.
+  EXPECT_FALSE(ParsePattern("(a:C)-(b:C)-(a)", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a:C)-(b:C), (a:S)-(b)", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a:C)-(b:C), (c:C)-(d:C)", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a:C)-(b:C)-", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a:C)(b:C)", &labels).ok());
+  EXPECT_FALSE(ParsePattern("(a:C)-(b:C), (a)-(b)", &labels).ok());  // dup
+}
+
+TEST(PatternParserTest, StrictModeRejectsUnknownLabels) {
+  const auto& fixture = testing::TinyFixture::Get();
+  EXPECT_TRUE(
+      ParsePatternStrict("(a:C)-(b:S)", fixture.db.labels()).ok());
+  EXPECT_FALSE(
+      ParsePatternStrict("(a:C)-(b:Xx)", fixture.db.labels()).ok());
+}
+
+TEST(PatternParserTest, WrittenOrderIsFormulationOrder) {
+  LabelDictionary labels;
+  Result<ParsedPattern> p = ParsePattern(
+      "(a:C)-(b:C), (b)-(c:C), (a)-(c)", &labels);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->sequence, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(PatternParserTest, RoundTripThroughToString) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph g = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  std::string text = PatternToString(g, fixture.db.labels());
+  LabelDictionary labels;
+  Result<ParsedPattern> p = ParsePattern(text, &labels);
+  ASSERT_TRUE(p.ok()) << text << " -> " << p.status().ToString();
+  EXPECT_TRUE(AreIsomorphic(p->graph, g));
+}
+
+TEST(PatternParserTest, ExecutesThroughSession) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Result<ParsedPattern> p = ParsePatternStrict(
+      "(a:C)-(b:C), (b)-(c:C), (a)-(c), (a)-(d:S)", fixture.db.labels());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < p->graph.NodeCount(); ++n) {
+    ids.push_back(session.AddNode(p->graph.NodeLabel(n)));
+  }
+  for (EdgeId e : p->sequence) {
+    const Edge& edge = p->graph.GetEdge(e);
+    ASSERT_TRUE(
+        session.AddEdge(ids[edge.u], ids[edge.v], edge.label).ok());
+  }
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  // The pattern is exactly data graph g0 (triangle + S pendant).
+  EXPECT_EQ(results->exact, std::vector<GraphId>{0});
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,154 @@
+// Result generation (Algorithm 5): equivalence with the brute-force
+// Definition-3 similarity search, ordering, and exact verification.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/candidates.h"
+#include "core/results.h"
+#include "core/visual_query.h"
+#include "datasets/query_workload.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+struct BuiltQuery {
+  VisualQuery query;
+  SpigSet spigs;
+};
+
+BuiltQuery Formulate(const Graph& q, const std::vector<EdgeId>& sequence,
+                     const ActionAwareIndexes& indexes) {
+  BuiltQuery out;
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = out.query.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    Result<FormulationId> ell =
+        out.query.AddEdge(user_node(edge.u), user_node(edge.v), edge.label);
+    if (!ell.ok()) std::abort();
+    if (!out.spigs.AddForNewEdge(out.query, *ell, indexes).ok()) std::abort();
+  }
+  return out;
+}
+
+TEST(ExactVerificationTest, FiltersToTrueMatches) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = testing::MakeGraph({testing::kC, testing::kS}, {{0, 1}});
+  IdSet all = fixture.db.AllIds();
+  std::vector<GraphId> verified = ExactVerification(q, all, fixture.db);
+  for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+    bool expected = IsSubgraphIsomorphic(q, fixture.db.graph(gid));
+    bool got = std::find(verified.begin(), verified.end(), gid) !=
+               verified.end();
+    EXPECT_EQ(got, expected) << gid;
+  }
+}
+
+// Parameterized over (query shape, sigma): SimilarResultsGen must return
+// exactly the Definition-3 answer set with correct distances.
+struct SimCase {
+  std::vector<Label> labels;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  int sigma;
+};
+
+class SimilarResultsPropertyTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimilarResultsPropertyTest, MatchesBruteForceSimilaritySearch) {
+  const auto& fixture = testing::TinyFixture::Get();
+  const SimCase& c = GetParam();
+  Graph q = testing::MakeGraph(c.labels, c.edges);
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), c.sigma, fixture.indexes);
+  // Distance-0 matches come through the exact path.
+  const SpigVertex* target = built.spigs.FindVertex(built.query.FullMask());
+  ASSERT_NE(target, nullptr);
+  IdSet rq = ExactSubCandidates(*target, fixture.indexes);
+  SimilarGenStats stats;
+  std::vector<SimilarMatch> got =
+      SimilarResultsGen(q, built.spigs, cands, c.sigma, fixture.db, &rq,
+                        &stats);
+
+  auto expected =
+      testing::BruteForceSimilaritySearch(fixture.db, q, c.sigma);
+  ASSERT_EQ(got.size(), expected.size());
+  std::map<GraphId, int> expected_by_id(expected.begin(), expected.end());
+  int last_distance = 0;
+  for (const SimilarMatch& m : got) {
+    ASSERT_TRUE(expected_by_id.contains(m.gid)) << m.gid;
+    EXPECT_EQ(m.distance, expected_by_id[m.gid]) << m.gid;
+    EXPECT_GE(m.distance, last_distance) << "ordering violated";
+    last_distance = m.distance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimilarResultsPropertyTest,
+    ::testing::Values(
+        // Triangle + S pendant (exact match exists: g0).
+        SimCase{{0, 0, 0, 1}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}, 2},
+        // Triangle + N pendant (no exact match).
+        SimCase{{0, 0, 0, 3}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}, 2},
+        // C-S-C path + O (matches g2/g5 shapes approximately).
+        SimCase{{0, 1, 0, 2}, {{0, 1}, {1, 2}, {2, 3}}, 1},
+        // Square C-C-S-C.
+        SimCase{{0, 0, 1, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 3},
+        // Star around C.
+        SimCase{{0, 1, 2, 0}, {{0, 1}, {0, 2}, {0, 3}}, 2},
+        // 5-cycle with N (stress sigma = 4).
+        SimCase{{0, 0, 0, 1, 3}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}},
+                4}));
+
+TEST(SimilarResultsTest, StatsAreConsistent) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 17);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "stats");
+  ASSERT_TRUE(spec.ok());
+  BuiltQuery built = Formulate(spec->graph, spec->sequence, fixture.indexes);
+  int sigma = 2;
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), sigma, fixture.indexes);
+  SimilarGenStats stats;
+  std::vector<SimilarMatch> got = SimilarResultsGen(
+      spec->graph, built.spigs, cands, sigma, fixture.db, nullptr, &stats);
+  EXPECT_EQ(got.size(), stats.verification_free + stats.verified);
+  size_t free_count = 0;
+  for (const SimilarMatch& m : got) {
+    if (!m.verified) ++free_count;
+  }
+  EXPECT_EQ(free_count, stats.verification_free);
+}
+
+TEST(SimilarResultsTest, VerificationFreeMatchesAreCorrect) {
+  // Even the verification-free shortcut must produce true matches.
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 23);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(7, 1, "vf");
+  ASSERT_TRUE(spec.ok());
+  BuiltQuery built = Formulate(spec->graph, spec->sequence, fixture.indexes);
+  int sigma = 3;
+  SimilarCandidates cands = SimilarSubCandidates(
+      built.spigs, built.query.EdgeCount(), sigma, fixture.indexes);
+  std::vector<SimilarMatch> got = SimilarResultsGen(
+      spec->graph, built.spigs, cands, sigma, fixture.db, nullptr, nullptr);
+  for (const SimilarMatch& m : got) {
+    if (m.verified) continue;
+    MccsResult truth = ComputeMccs(spec->graph, fixture.db.graph(m.gid));
+    EXPECT_EQ(truth.distance, m.distance) << "g" << m.gid;
+  }
+}
+
+}  // namespace
+}  // namespace prague

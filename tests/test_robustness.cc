@@ -1,0 +1,237 @@
+// Robustness under extreme configurations: degenerate databases, extreme
+// support thresholds, oversized queries, and randomized IdSet algebra
+// against a std::set reference model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/vf2.h"
+#include "index/action_aware_index.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+void Feed(PragueSession* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    if (!session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
+  std::vector<GraphId> ids;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db.graph(gid))) ids.push_back(gid);
+  }
+  return IdSet(std::move(ids));
+}
+
+TEST(RobustnessTest, ExtremeAlphaNothingFrequentStaysSound) {
+  // α = 0.99: on the tiny database only near-universal fragments remain
+  // frequent; almost everything becomes a DIF or NIF. Candidates must
+  // remain sound regardless.
+  GraphDatabase db = testing::TinyDatabase();
+  MiningConfig mining;
+  mining.min_support_ratio = 0.99;
+  A2fConfig a2f;
+  Result<ActionAwareIndexes> indexes = BuildActionAwareIndexes(db, mining, a2f);
+  ASSERT_TRUE(indexes.ok());
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  PragueSession session(&db, &indexes.value());
+  Feed(&session, q, DefaultFormulationSequence(q));
+  IdSet truth = TrueMatches(db, q);
+  EXPECT_TRUE(truth.IsSubsetOf(session.exact_candidates()));
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  if (!results->similarity) {
+    EXPECT_EQ(IdSet(results->exact), truth);
+  }
+}
+
+TEST(RobustnessTest, LowAlphaEverythingFrequentStaysSound) {
+  GraphDatabase db = testing::TinyDatabase();
+  MiningConfig mining;
+  mining.min_support_ratio = 0.01;  // min support clamps to 1
+  mining.max_fragment_edges = 5;
+  A2fConfig a2f;
+  Result<ActionAwareIndexes> indexes = BuildActionAwareIndexes(db, mining, a2f);
+  ASSERT_TRUE(indexes.ok());
+  // With support >= 1 everything that occurs is frequent: no DIFs exist.
+  EXPECT_EQ(indexes->a2i.EntryCount(), 0u);
+  Graph q = testing::MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  PragueSession session(&db, &indexes.value());
+  Feed(&session, q, DefaultFormulationSequence(q));
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(IdSet(results->exact), TrueMatches(db, q));
+}
+
+TEST(RobustnessTest, SingleGraphDatabase) {
+  GraphDatabase db;
+  db.mutable_labels()->Intern("C");
+  db.mutable_labels()->Intern("S");
+  db.Add(testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}}));
+  MiningConfig mining;
+  mining.min_support_ratio = 0.5;
+  A2fConfig a2f;
+  Result<ActionAwareIndexes> indexes = BuildActionAwareIndexes(db, mining, a2f);
+  ASSERT_TRUE(indexes.ok());
+  PragueSession session(&db, &indexes.value());
+  NodeId c = session.AddNode(kC);
+  NodeId s = session.AddNode(kS);
+  ASSERT_TRUE(session.AddEdge(c, s).ok());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->exact, std::vector<GraphId>{0});
+}
+
+TEST(RobustnessTest, QueryLargerThanEveryDataGraph) {
+  const auto& fixture = testing::TinyFixture::Get();
+  // A 7-edge star of C around C — bigger than any tiny-database graph.
+  PragueSession session(&fixture.db, &fixture.indexes);
+  NodeId center = session.AddNode(kC);
+  for (int i = 0; i < 7; ++i) {
+    NodeId leaf = session.AddNode(kC);
+    ASSERT_TRUE(session.AddEdge(center, leaf).ok());
+  }
+  // Rq is a sound superset and may stay non-empty even though no graph
+  // truly contains the star; Run's exact verification then comes up empty
+  // and Algorithm 1 lines 19-21 fall back to similarity search.
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->similarity);
+  // Distances must agree with the MCCS oracle.
+  auto expected = testing::BruteForceSimilaritySearch(
+      fixture.db, session.query().CurrentGraph(), session.sigma());
+  std::map<GraphId, int> expected_by_id(expected.begin(), expected.end());
+  EXPECT_EQ(results->similar.size(), expected.size());
+  for (const SimilarMatch& m : results->similar) {
+    EXPECT_EQ(m.distance, expected_by_id[m.gid]);
+  }
+}
+
+TEST(RobustnessTest, SigmaZeroSimilarityEqualsExact) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueConfig config;
+  config.sigma = 0;
+  PragueSession session(&fixture.db, &fixture.indexes, config);
+  Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  ASSERT_TRUE(session.EnableSimilarity().ok());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  IdSet truth = TrueMatches(fixture.db, q);
+  ASSERT_EQ(results->similar.size(), truth.size());
+  for (const SimilarMatch& m : results->similar) {
+    EXPECT_EQ(m.distance, 0);
+    EXPECT_TRUE(truth.Contains(m.gid));
+  }
+}
+
+TEST(RobustnessTest, HugeSigmaReturnsWholeDatabaseRanked) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueConfig config;
+  config.sigma = 100;
+  PragueSession session(&fixture.db, &fixture.indexes, config);
+  Graph q = testing::MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  ASSERT_TRUE(session.EnableSimilarity().ok());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  // Every graph sharing at least one C-C edge must appear.
+  auto expected = testing::BruteForceSimilaritySearch(fixture.db, q, 2);
+  for (const auto& [gid, distance] : expected) {
+    bool found = false;
+    for (const SimilarMatch& m : results->similar) {
+      if (m.gid == gid) {
+        found = true;
+        EXPECT_EQ(m.distance, distance);
+      }
+    }
+    EXPECT_TRUE(found) << gid;
+  }
+}
+
+// --- IdSet randomized reference-model sweep -------------------------
+
+class IdSetModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdSetModelTest, MatchesStdSetReference) {
+  Rng rng(GetParam());
+  IdSet a, b;
+  std::set<GraphId> ra, rb;
+  for (int op = 0; op < 300; ++op) {
+    GraphId id = static_cast<GraphId>(rng.Below(64));
+    switch (rng.Below(6)) {
+      case 0:
+        a.Insert(id);
+        ra.insert(id);
+        break;
+      case 1:
+        b.Insert(id);
+        rb.insert(id);
+        break;
+      case 2:
+        a.Erase(id);
+        ra.erase(id);
+        break;
+      case 3: {
+        IdSet got = a.Intersect(b);
+        std::vector<GraphId> want;
+        std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                              std::back_inserter(want));
+        ASSERT_EQ(got.ids(), want);
+        break;
+      }
+      case 4: {
+        IdSet got = a.Union(b);
+        std::vector<GraphId> want;
+        std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                       std::back_inserter(want));
+        ASSERT_EQ(got.ids(), want);
+        break;
+      }
+      case 5: {
+        IdSet got = a.Subtract(b);
+        std::vector<GraphId> want;
+        std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                            std::back_inserter(want));
+        ASSERT_EQ(got.ids(), want);
+        break;
+      }
+    }
+    ASSERT_EQ(a.size(), ra.size());
+    ASSERT_EQ(a.Contains(id), ra.contains(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdSetModelTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace prague

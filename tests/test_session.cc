@@ -1,0 +1,321 @@
+// PragueSession (Algorithm 1) and GBlenderSession end-to-end behaviour:
+// containment flow, automatic similarity fallback, modification
+// equivalence, deletion suggestions, and PRAGUE/GBLENDER agreement.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/gblender.h"
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/mccs.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+// Feeds a query spec into a session; returns the per-step reports.
+template <typename Session>
+auto Feed(Session* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  using Report =
+      std::decay_t<decltype(session->AddEdge(0, 0, 0).value())>;
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  std::vector<Report> reports;
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    auto report =
+        session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label);
+    if (!report.ok()) std::abort();
+    reports.push_back(*report);
+  }
+  return reports;
+}
+
+IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
+  std::vector<GraphId> ids;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db.graph(gid))) ids.push_back(gid);
+  }
+  return IdSet(std::move(ids));
+}
+
+TEST(PragueSessionTest, ContainmentFlowReturnsExactMatches) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_FALSE(session.similarity_mode());
+  RunStats stats;
+  Result<QueryResults> results = session.Run(&stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->similarity);
+  EXPECT_EQ(IdSet(results->exact), TrueMatches(fixture.db, q));
+  EXPECT_GE(stats.srt_seconds, 0.0);
+}
+
+TEST(PragueSessionTest, CandidatesAreSoundAtEveryStep) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : DefaultFormulationSequence(q)) {
+    const Edge& edge = q.GetEdge(e);
+    ASSERT_TRUE(
+        session.AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+            .ok());
+    IdSet truth = TrueMatches(fixture.db, session.query().CurrentGraph());
+    EXPECT_TRUE(truth.IsSubsetOf(session.exact_candidates()));
+  }
+}
+
+TEST(PragueSessionTest, AutoSimilarityKicksInWhenRqEmpties) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  // Triangle with an N pendant: no data graph contains it (N only appears
+  // in g4, attached to a bare C-C edge).
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  auto reports = Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_TRUE(session.similarity_mode());
+  EXPECT_EQ(reports.back().status, FragmentStatus::kNoExactMatch);
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->similarity);
+  // Answers match the brute-force Definition-3 search.
+  auto expected = testing::BruteForceSimilaritySearch(fixture.db, q,
+                                                      session.sigma());
+  std::map<GraphId, int> expected_by_id(expected.begin(), expected.end());
+  ASSERT_EQ(results->similar.size(), expected.size());
+  for (const SimilarMatch& m : results->similar) {
+    ASSERT_TRUE(expected_by_id.contains(m.gid));
+    EXPECT_EQ(m.distance, expected_by_id[m.gid]);
+  }
+}
+
+TEST(PragueSessionTest, RunFallsBackToSimilarityWhenVerificationEmpties) {
+  // Rq non-empty but verification yields nothing → Algorithm 1 lines
+  // 19-21 must fall back to similarity search. Force it with
+  // auto_similarity off and a pathological candidate set: use a query
+  // whose candidates are a strict superset of its (empty) answers.
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueConfig config;
+  config.auto_similarity = false;
+  config.sigma = 2;
+  PragueSession session(&fixture.db, &fixture.indexes, config);
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_FALSE(session.similarity_mode());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->similarity);
+  EXPECT_FALSE(results->similar.empty());
+}
+
+TEST(PragueSessionTest, ModificationEquivalentToFromScratch) {
+  // Formulate, delete an edge, and compare every candidate set against a
+  // fresh session that formulates the reduced query directly.
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  // Delete the first deletable edge.
+  FormulationId victim = 0;
+  for (FormulationId ell : session.query().AliveEdgeIds()) {
+    if (session.query().CanDelete(ell)) {
+      victim = ell;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0);
+  ASSERT_TRUE(session.DeleteEdge(victim).ok());
+
+  // Fresh session over the reduced graph.
+  const Graph& reduced = session.query().CurrentGraph();
+  PragueSession fresh(&fixture.db, &fixture.indexes);
+  Feed(&fresh, reduced, DefaultFormulationSequence(reduced));
+
+  EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
+  Result<QueryResults> a = session.Run(nullptr);
+  Result<QueryResults> b = fresh.Run(nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->exact, b->exact);
+  EXPECT_EQ(a->similarity, b->similarity);
+}
+
+TEST(PragueSessionTest, SuggestionMaximizesCandidates) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  std::optional<ModificationSuggestion> suggestion = session.SuggestDeletion();
+  ASSERT_TRUE(suggestion.has_value());
+  // The suggestion must beat (or tie) every other deletable edge.
+  for (FormulationId ell : session.query().AliveEdgeIds()) {
+    if (!session.query().CanDelete(ell)) continue;
+    FormulationMask mask =
+        session.query().FullMask() & ~FormulationBit(ell);
+    const SpigVertex* v = session.spigs().FindVertex(mask);
+    ASSERT_NE(v, nullptr);
+    IdSet rq = ExactSubCandidates(*v, fixture.indexes);
+    EXPECT_LE(rq.size(), suggestion->candidates.size());
+  }
+  // Deleting the suggested edge must give exactly the predicted set.
+  ASSERT_TRUE(session.DeleteEdge(suggestion->edge).ok());
+  EXPECT_EQ(session.exact_candidates(), suggestion->candidates);
+  EXPECT_FALSE(session.exact_candidates().empty());
+}
+
+TEST(PragueSessionTest, DeletionRestoresExactMode) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kN},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_TRUE(session.similarity_mode());
+  std::optional<ModificationSuggestion> suggestion = session.SuggestDeletion();
+  ASSERT_TRUE(suggestion.has_value());
+  ASSERT_TRUE(session.DeleteEdge(suggestion->edge).ok());
+  // Algorithm 6 lines 15-18: exact matches exist again → exact mode.
+  EXPECT_FALSE(session.similarity_mode());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->exact.empty());
+}
+
+TEST(PragueSessionTest, EnableSimilarityExplicitly) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueConfig config;
+  config.auto_similarity = false;
+  PragueSession session(&fixture.db, &fixture.indexes, config);
+  Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  EXPECT_FALSE(session.similarity_mode());
+  ASSERT_TRUE(session.EnableSimilarity().ok());
+  EXPECT_TRUE(session.similarity_mode());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->similarity);
+  // Exact matches appear as distance-0 similarity results.
+  IdSet truth = TrueMatches(fixture.db, q);
+  size_t zero_distance = 0;
+  for (const SimilarMatch& m : results->similar) {
+    if (m.distance == 0) {
+      ++zero_distance;
+      EXPECT_TRUE(truth.Contains(m.gid));
+    }
+  }
+  EXPECT_EQ(zero_distance, truth.size());
+}
+
+TEST(PragueSessionTest, RunOnEmptyQueryFails) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  EXPECT_FALSE(session.Run(nullptr).ok());
+  EXPECT_FALSE(session.EnableSimilarity().ok());
+}
+
+TEST(PragueSessionTest, AddNodeByName) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(&fixture.db, &fixture.indexes);
+  Result<NodeId> c = session.AddNodeByName("C");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(session.AddNodeByName("Zz").ok());
+}
+
+TEST(GBlenderSessionTest, AgreesWithPragueOnContainment) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 31);
+  for (int i = 0; i < 4; ++i) {
+    Result<VisualQuerySpec> spec =
+        workload.ContainmentQuery(5 + i, "q" + std::to_string(i));
+    ASSERT_TRUE(spec.ok());
+    PragueSession prg(&fixture.db, &fixture.indexes);
+    GBlenderSession gbr(&fixture.db, &fixture.indexes);
+    Feed(&prg, spec->graph, spec->sequence);
+    Feed(&gbr, spec->graph, spec->sequence);
+    Result<QueryResults> pr = prg.Run(nullptr);
+    Result<QueryResults> gr = gbr.Run(nullptr);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(gr.ok());
+    EXPECT_EQ(pr->exact, gr->exact) << spec->name;
+    EXPECT_FALSE(pr->exact.empty()) << "containment query must match";
+  }
+}
+
+TEST(GBlenderSessionTest, CandidatesAreSound) {
+  const auto& fixture = testing::TinyFixture::Get();
+  GBlenderSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : DefaultFormulationSequence(q)) {
+    const Edge& edge = q.GetEdge(e);
+    ASSERT_TRUE(
+        session.AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+            .ok());
+    IdSet truth = TrueMatches(fixture.db, session.query().CurrentGraph());
+    EXPECT_TRUE(truth.IsSubsetOf(session.candidates()));
+  }
+}
+
+TEST(GBlenderSessionTest, DeletionReplaysAndStaysCorrect) {
+  const auto& fixture = testing::TinyFixture::Get();
+  GBlenderSession session(&fixture.db, &fixture.indexes);
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Feed(&session, q, DefaultFormulationSequence(q));
+  FormulationId victim = 0;
+  for (FormulationId ell : session.query().AliveEdgeIds()) {
+    if (session.query().CanDelete(ell)) {
+      victim = ell;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0);
+  Result<GbrStepReport> report = session.DeleteEdge(victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->replayed_steps, 0u);
+  IdSet truth = TrueMatches(fixture.db, session.query().CurrentGraph());
+  EXPECT_TRUE(truth.IsSubsetOf(session.candidates()));
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(IdSet(results->exact), truth);
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,156 @@
+// Randomized end-to-end session fuzzing: apply a random stream of visual
+// actions (add edge / delete edge / relabel node) to a PragueSession and
+// assert after every action that
+//   (1) the SPIG set covers each connected edge subset of the current
+//       fragment exactly once (the structural invariant all of PRAGUE's
+//       algorithms rely on),
+//   (2) the exact candidate set is sound (superset of the true answers),
+//   (3) the session state equals a fresh session formulating the same
+//       final fragment from scratch.
+
+#include <gtest/gtest.h>
+
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
+  std::vector<GraphId> ids;
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db.graph(gid))) ids.push_back(gid);
+  }
+  return IdSet(std::move(ids));
+}
+
+void CheckSpigCoverage(const PragueSession& session) {
+  if (session.query().Empty()) return;
+  const Graph& q = session.query().CurrentGraph();
+  auto by_size = ConnectedEdgeSubsetsBySize(q);
+  for (size_t k = 1; k <= q.EdgeCount(); ++k) {
+    ASSERT_EQ(session.spigs().VertexCountAtLevel(static_cast<int>(k)),
+              by_size[k].size())
+        << "level " << k;
+    for (EdgeMask gmask : by_size[k]) {
+      FormulationMask fmask = session.query().ToFormulationMask(gmask);
+      const SpigVertex* v = session.spigs().FindVertex(fmask);
+      ASSERT_NE(v, nullptr);
+      // The vertex's canonical code must match the live subgraph (catches
+      // stale fragments after relabels).
+      Graph sub = ExtractEdgeSubgraph(q, gmask).graph;
+      ASSERT_EQ(v->code, GetCanonicalCode(sub));
+    }
+  }
+}
+
+class SessionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionFuzzTest, RandomActionStreamsKeepInvariants) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Rng rng(GetParam() * 7919 + 13);
+  PragueSession session(&fixture.db, &fixture.indexes);
+  std::vector<Label> labels = {testing::kC, testing::kS, testing::kO,
+                               testing::kN};
+
+  int performed = 0;
+  for (int step = 0; step < 40 && performed < 25; ++step) {
+    size_t action = rng.Below(10);
+    if (session.query().Empty() || action < 5) {
+      // Add an edge: either between two existing nodes or to a new node.
+      NodeId u, v;
+      if (!session.query().Empty() && rng.Chance(0.3) &&
+          session.query().UserNodeCount() >= 2) {
+        u = static_cast<NodeId>(rng.Below(session.query().UserNodeCount()));
+        v = static_cast<NodeId>(rng.Below(session.query().UserNodeCount()));
+      } else if (session.query().Empty()) {
+        u = session.AddNode(labels[rng.Below(labels.size())]);
+        v = session.AddNode(labels[rng.Below(labels.size())]);
+      } else {
+        u = static_cast<NodeId>(rng.Below(session.query().UserNodeCount()));
+        v = session.AddNode(labels[rng.Below(labels.size())]);
+      }
+      if (session.query().EdgeCount() >= 7) continue;  // keep it small
+      Result<StepReport> r = session.AddEdge(u, v);
+      if (!r.ok()) continue;  // duplicate/disconnected attempts are fine
+      ++performed;
+    } else if (action < 7) {
+      // Delete a random deletable edge.
+      std::vector<FormulationId> alive = session.query().AliveEdgeIds();
+      if (alive.empty()) continue;
+      FormulationId ell = alive[rng.Below(alive.size())];
+      if (!session.query().CanDelete(ell)) continue;
+      ASSERT_TRUE(session.DeleteEdge(ell).ok());
+      ++performed;
+    } else if (action < 9) {
+      // Relabel a random node.
+      if (session.query().UserNodeCount() == 0) continue;
+      NodeId n =
+          static_cast<NodeId>(rng.Below(session.query().UserNodeCount()));
+      Result<StepReport> r =
+          session.RelabelNode(n, labels[rng.Below(labels.size())]);
+      ASSERT_TRUE(r.ok());
+      ++performed;
+    } else {
+      // Occasionally force similarity mode.
+      if (!session.query().Empty()) {
+        ASSERT_TRUE(session.EnableSimilarity().ok());
+      }
+      continue;
+    }
+
+    // Invariant (1): SPIG coverage.
+    CheckSpigCoverage(session);
+    // Invariant (2): candidate soundness.
+    if (!session.query().Empty()) {
+      IdSet truth =
+          TrueMatches(fixture.db, session.query().CurrentGraph());
+      EXPECT_TRUE(truth.IsSubsetOf(session.exact_candidates()))
+          << "step " << step;
+    }
+  }
+
+  // Invariant (3): equivalence with a from-scratch session.
+  if (!session.query().Empty()) {
+    const Graph& final_q = session.query().CurrentGraph();
+    PragueSession fresh(&fixture.db, &fixture.indexes);
+    std::vector<NodeId> node_map(final_q.NodeCount(), kInvalidNode);
+    for (EdgeId e : DefaultFormulationSequence(final_q)) {
+      const Edge& edge = final_q.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (node_map[n] == kInvalidNode) {
+          node_map[n] = fresh.AddNode(final_q.NodeLabel(n));
+        }
+      }
+      ASSERT_TRUE(
+          fresh.AddEdge(node_map[edge.u], node_map[edge.v], edge.label).ok());
+    }
+    EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
+    // simFlag is path-dependent (once a user opts into similarity it
+    // sticks until a modification restores matches), so Run outputs are
+    // only comparable when both sessions ended in the same mode.
+    if (session.similarity_mode() == fresh.similarity_mode()) {
+      Result<QueryResults> a = session.Run(nullptr);
+      Result<QueryResults> b = fresh.Run(nullptr);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->exact, b->exact);
+      EXPECT_EQ(a->similarity, b->similarity);
+      if (a->similarity) {
+        ASSERT_EQ(a->similar.size(), b->similar.size());
+        for (size_t i = 0; i < a->similar.size(); ++i) {
+          EXPECT_EQ(a->similar[i], b->similar[i]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzzTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,126 @@
+// GUI session simulator: SRT accounting, step traces, scripted
+// modifications, and PRAGUE-vs-GBLENDER protocol parity.
+
+#include <gtest/gtest.h>
+
+#include "datasets/query_workload.h"
+#include "gui/session_simulator.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+TEST(SimulatorTest, PragueContainmentSession) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 12);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "sim");
+  ASSERT_TRUE(spec.ok());
+  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  Result<SimulationResult> result = simulator.RunPrague(*spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps.size(), spec->sequence.size());
+  EXPECT_FALSE(result->similarity);
+  EXPECT_FALSE(result->results.exact.empty());
+  EXPECT_GE(result->srt_seconds, 0.0);
+  EXPECT_GT(result->formulation_engine_seconds, 0.0);
+}
+
+TEST(SimulatorTest, SrtExcludesHiddenWork) {
+  // With a generous latency budget nothing overflows, so SRT equals the
+  // Run() time alone.
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 13);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "srt");
+  ASSERT_TRUE(spec.ok());
+  SimulationConfig config;
+  config.latency.edge_seconds = 1e6;
+  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  Result<SimulationResult> result = simulator.RunPrague(*spec);
+  ASSERT_TRUE(result.ok());
+  for (const StepTrace& t : result->steps) {
+    EXPECT_EQ(t.overflow_seconds, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result->srt_seconds, result->run_stats.srt_seconds);
+}
+
+TEST(SimulatorTest, ZeroLatencyChargesEverything) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 14);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(5, "zl");
+  ASSERT_TRUE(spec.ok());
+  SimulationConfig config;
+  config.latency.edge_seconds = 0.0;
+  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  Result<SimulationResult> result = simulator.RunPrague(*spec);
+  ASSERT_TRUE(result.ok());
+  double overflow = 0;
+  for (const StepTrace& t : result->steps) {
+    EXPECT_DOUBLE_EQ(t.overflow_seconds, t.engine_seconds);
+    overflow += t.overflow_seconds;
+  }
+  EXPECT_NEAR(result->srt_seconds, result->run_stats.srt_seconds + overflow,
+              1e-9);
+}
+
+TEST(SimulatorTest, ScriptedModificationDeletesEdge) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 15);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "mod");
+  ASSERT_TRUE(spec.ok());
+  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  // Delete some edge after the last step, as the paper's Table V protocol
+  // does. Early edges may be bridges (deletion would disconnect), so scan
+  // until a deletable one is found.
+  size_t last = spec->sequence.size();
+  for (FormulationId victim = 1;
+       victim <= static_cast<FormulationId>(last); ++victim) {
+    std::vector<ScriptedModification> mods = {{last, victim}};
+    Result<SimulationResult> result = simulator.RunPrague(*spec, mods);
+    if (!result.ok()) continue;
+    bool saw_deletion = false;
+    for (const StepTrace& t : result->steps) {
+      if (t.deletion) {
+        saw_deletion = true;
+        EXPECT_EQ(t.edge, victim);
+      }
+    }
+    EXPECT_TRUE(saw_deletion);
+    EXPECT_EQ(result->steps.size(), spec->sequence.size() + 1);
+    return;
+  }
+  FAIL() << "no deletable edge found";
+}
+
+TEST(SimulatorTest, GBlenderSessionMatchesPragueOnContainment) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 16);
+  Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "par");
+  ASSERT_TRUE(spec.ok());
+  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  Result<SimulationResult> prg = simulator.RunPrague(*spec);
+  Result<SimulationResult> gbr = simulator.RunGBlender(*spec);
+  ASSERT_TRUE(prg.ok());
+  ASSERT_TRUE(gbr.ok());
+  EXPECT_EQ(prg->results.exact, gbr->results.exact);
+}
+
+TEST(SimulatorTest, SimilarityQuerySessionProducesRankedResults) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 18);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 1, "sq");
+  ASSERT_TRUE(spec.ok());
+  SimulationConfig config;
+  config.prague.sigma = 3;
+  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  Result<SimulationResult> result = simulator.RunPrague(*spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->similarity);
+  int last = 0;
+  for (const SimilarMatch& m : result->results.similar) {
+    EXPECT_GE(m.distance, last);
+    last = m.distance;
+  }
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,266 @@
+// SPIG construction and maintenance: Definition 4 structure, Fragment-List
+// correctness against direct index probing, Lemma 1, formulation-sequence
+// invariance, and deletion updates (Algorithm 6 lines 12-14).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/spig.h"
+#include "core/visual_query.h"
+#include "datasets/query_workload.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+// Replays a query spec into a VisualQuery + SpigSet.
+struct BuiltQuery {
+  VisualQuery query;
+  SpigSet spigs;
+};
+
+BuiltQuery Formulate(const Graph& q, const std::vector<EdgeId>& sequence,
+                     const ActionAwareIndexes& indexes) {
+  BuiltQuery out;
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = out.query.AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    Result<FormulationId> ell =
+        out.query.AddEdge(user_node(edge.u), user_node(edge.v), edge.label);
+    if (!ell.ok()) std::abort();
+    Result<const Spig*> spig =
+        out.spigs.AddForNewEdge(out.query, *ell, indexes);
+    if (!spig.ok()) std::abort();
+  }
+  return out;
+}
+
+// A 4-edge query over the tiny fixture: C-C-C triangle with pendant S
+// (exactly data graph g0, so exact matches exist at every prefix).
+Graph TriangleWithS() {
+  return testing::MakeGraph({testing::kC, testing::kC, testing::kC,
+                             testing::kS},
+                            {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+size_t Binomial(size_t n, size_t k) {
+  if (k > n) return 0;
+  size_t r = 1;
+  for (size_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(SpigTest, VerticesAreConnectedSupersetsOfNewEdge) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  for (FormulationId ell : built.query.AliveEdgeIds()) {
+    const Spig* spig = built.spigs.Find(ell);
+    ASSERT_NE(spig, nullptr);
+    for (int level = 1; level <= spig->MaxLevel(); ++level) {
+      for (const SpigVertex& v : spig->Level(level)) {
+        EXPECT_TRUE(v.edge_list & FormulationBit(ell));
+        EXPECT_EQ(v.Level(), level);
+        EXPECT_EQ(v.fragment.EdgeCount(), static_cast<size_t>(level));
+        EXPECT_TRUE(v.fragment.IsConnected());
+        EXPECT_EQ(v.code, GetCanonicalCode(v.fragment));
+      }
+    }
+  }
+}
+
+TEST(SpigTest, SourceAndTargetVertices) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  FormulationId last = built.query.LastFormulationId();
+  const Spig* spig = built.spigs.Find(last);
+  ASSERT_NE(spig, nullptr);
+  EXPECT_EQ(spig->Source().Level(), 1);
+  // The target vertex of the last SPIG is the whole query.
+  const SpigVertex* target = built.spigs.FindVertex(built.query.FullMask());
+  ASSERT_NE(target, nullptr);
+  EXPECT_TRUE(AreIsomorphic(target->fragment, q));
+}
+
+TEST(SpigTest, EveryConnectedSubsetAppearsInExactlyOneSpig) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  const Graph& compiled = built.query.CurrentGraph();
+  auto by_size = ConnectedEdgeSubsetsBySize(compiled);
+  for (size_t k = 1; k <= compiled.EdgeCount(); ++k) {
+    for (EdgeMask gmask : by_size[k]) {
+      FormulationMask fmask = built.query.ToFormulationMask(gmask);
+      int owners = 0;
+      for (FormulationId ell : built.query.AliveEdgeIds()) {
+        const Spig* spig = built.spigs.Find(ell);
+        if (spig->FindByEdgeList(fmask) != nullptr) ++owners;
+      }
+      EXPECT_EQ(owners, 1) << "mask " << fmask;
+      EXPECT_NE(built.spigs.FindVertex(fmask), nullptr);
+    }
+    // Lemma 1: N(k) ≤ C(n, k).
+    EXPECT_EQ(built.spigs.VertexCountAtLevel(static_cast<int>(k)),
+              by_size[k].size());
+    EXPECT_LE(by_size[k].size(), Binomial(compiled.EdgeCount(), k));
+  }
+}
+
+TEST(SpigTest, FragmentListsMatchDirectIndexProbing) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  const A2FIndex& a2f = fixture.indexes.a2f;
+  const A2IIndex& a2i = fixture.indexes.a2i;
+  for (FormulationId ell : built.query.AliveEdgeIds()) {
+    const Spig* spig = built.spigs.Find(ell);
+    for (int level = 1; level <= spig->MaxLevel(); ++level) {
+      for (const SpigVertex& v : spig->Level(level)) {
+        std::optional<A2fId> fid = a2f.Lookup(v.code);
+        std::optional<A2iId> did = a2i.Lookup(v.code);
+        if (fid) {
+          EXPECT_EQ(v.frag.freq_id, fid);
+          EXPECT_FALSE(v.frag.dif_id.has_value());
+          EXPECT_TRUE(v.frag.phi.empty());
+          EXPECT_TRUE(v.frag.upsilon.empty());
+        } else if (did) {
+          EXPECT_EQ(v.frag.dif_id, did);
+          EXPECT_TRUE(v.frag.phi.empty());
+          EXPECT_TRUE(v.frag.upsilon.empty());
+        } else {
+          // NIF: Φ must be exactly the frequent (level-1)-subgraphs, Υ
+          // exactly the DIF subgraphs of any size — recomputed here by
+          // brute force.
+          std::vector<A2fId> phi;
+          std::vector<A2iId> upsilon;
+          auto subsets = ConnectedEdgeSubsetsBySize(v.fragment);
+          for (size_t k = 1; k < v.fragment.EdgeCount(); ++k) {
+            for (EdgeMask mask : subsets[k]) {
+              Graph sub = ExtractEdgeSubgraph(v.fragment, mask).graph;
+              CanonicalCode code = GetCanonicalCode(sub);
+              if (k + 1 == v.fragment.EdgeCount()) {
+                if (auto f = a2f.Lookup(code)) phi.push_back(*f);
+              }
+              if (auto d = a2i.Lookup(code)) upsilon.push_back(*d);
+            }
+          }
+          std::sort(phi.begin(), phi.end());
+          phi.erase(std::unique(phi.begin(), phi.end()), phi.end());
+          std::sort(upsilon.begin(), upsilon.end());
+          upsilon.erase(std::unique(upsilon.begin(), upsilon.end()),
+                        upsilon.end());
+          EXPECT_EQ(v.frag.phi, phi) << v.code;
+          EXPECT_EQ(v.frag.upsilon, upsilon) << v.code;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpigTest, SequenceInvarianceOfLevelCounts) {
+  // Different formulation sequences give different SPIG sets but identical
+  // per-level totals (Section V-B).
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery a = Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    BuiltQuery b =
+        Formulate(q, RandomFormulationSequence(q, &rng), fixture.indexes);
+    for (size_t k = 1; k <= q.EdgeCount(); ++k) {
+      EXPECT_EQ(a.spigs.VertexCountAtLevel(static_cast<int>(k)),
+                b.spigs.VertexCountAtLevel(static_cast<int>(k)));
+    }
+  }
+}
+
+TEST(SpigTest, DeletionRemovesSpigAndAffectedVertices) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  // Delete a deletable edge.
+  FormulationId victim = 0;
+  for (FormulationId ell : built.query.AliveEdgeIds()) {
+    if (built.query.CanDelete(ell)) {
+      victim = ell;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0);
+  ASSERT_TRUE(built.query.DeleteEdge(victim).ok());
+  built.spigs.RemoveForDeletedEdge(victim);
+  EXPECT_EQ(built.spigs.Find(victim), nullptr);
+  for (FormulationId ell : built.query.AliveEdgeIds()) {
+    const Spig* spig = built.spigs.Find(ell);
+    ASSERT_NE(spig, nullptr);
+    for (int level = 1; level <= spig->MaxLevel(); ++level) {
+      for (const SpigVertex& v : spig->Level(level)) {
+        EXPECT_FALSE(v.edge_list & FormulationBit(victim));
+      }
+    }
+  }
+}
+
+TEST(SpigTest, DeletionPreservesSubsetCoverageInvariant) {
+  // After a deletion the SPIG set still covers every connected subset of
+  // the reduced query exactly once.
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  FormulationId victim = built.query.AliveEdgeIds()[1];
+  if (!built.query.CanDelete(victim)) victim = built.query.AliveEdgeIds()[0];
+  ASSERT_TRUE(built.query.DeleteEdge(victim).ok());
+  built.spigs.RemoveForDeletedEdge(victim);
+  const Graph& compiled = built.query.CurrentGraph();
+  auto by_size = ConnectedEdgeSubsetsBySize(compiled);
+  for (size_t k = 1; k <= compiled.EdgeCount(); ++k) {
+    EXPECT_EQ(built.spigs.VertexCountAtLevel(static_cast<int>(k)),
+              by_size[k].size());
+    for (EdgeMask gmask : by_size[k]) {
+      EXPECT_NE(
+          built.spigs.FindVertex(built.query.ToFormulationMask(gmask)),
+          nullptr);
+    }
+  }
+}
+
+TEST(SpigTest, RejectsDuplicateSpig) {
+  const auto& fixture = testing::TinyFixture::Get();
+  VisualQuery query;
+  NodeId a = query.AddNode(testing::kC);
+  NodeId b = query.AddNode(testing::kC);
+  Result<FormulationId> ell = query.AddEdge(a, b);
+  ASSERT_TRUE(ell.ok());
+  SpigSet spigs;
+  ASSERT_TRUE(spigs.AddForNewEdge(query, *ell, fixture.indexes).ok());
+  EXPECT_FALSE(spigs.AddForNewEdge(query, *ell, fixture.indexes).ok());
+}
+
+TEST(SpigTest, ByteSizeIsPositive) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = TriangleWithS();
+  BuiltQuery built =
+      Formulate(q, DefaultFormulationSequence(q), fixture.indexes);
+  EXPECT_GT(built.spigs.ByteSize(), 0u);
+  EXPECT_GT(built.spigs.TotalVertexCount(), q.EdgeCount());
+}
+
+}  // namespace
+}  // namespace prague

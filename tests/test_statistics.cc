@@ -1,0 +1,57 @@
+// Database statistics module.
+
+#include <gtest/gtest.h>
+
+#include "graph/statistics.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+TEST(StatisticsTest, TinyDatabaseProfile) {
+  GraphDatabase db = testing::TinyDatabase();
+  DatabaseStatistics s = ComputeStatistics(db);
+  EXPECT_EQ(s.graph_count, 6u);
+  // Hand-check against the fixture definition.
+  EXPECT_EQ(s.total_nodes, 4u + 4 + 4 + 4 + 3 + 4);
+  EXPECT_EQ(s.total_edges, 4u + 3 + 3 + 4 + 2 + 4);
+  EXPECT_EQ(s.max_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_nodes,
+                   static_cast<double>(s.total_nodes) / 6.0);
+  // g0, g3 (square), and g5 each contain one cycle.
+  EXPECT_DOUBLE_EQ(s.avg_cyclomatic, 3.0 / 6.0);
+  EXPECT_EQ(s.edge_label_count, 1u);
+  // Labels ordered descending; C dominates the tiny fixture.
+  ASSERT_FALSE(s.label_counts.empty());
+  EXPECT_EQ(s.label_counts.front().first, testing::kC);
+}
+
+TEST(StatisticsTest, EmptyDatabase) {
+  GraphDatabase db;
+  DatabaseStatistics s = ComputeStatistics(db);
+  EXPECT_EQ(s.graph_count, 0u);
+  EXPECT_EQ(s.total_nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_nodes, 0.0);
+}
+
+TEST(StatisticsTest, ToStringContainsLabelNames) {
+  GraphDatabase db = testing::TinyDatabase();
+  DatabaseStatistics s = ComputeStatistics(db);
+  std::string report = s.ToString(db.labels());
+  EXPECT_NE(report.find("C:"), std::string::npos);
+  EXPECT_NE(report.find("graphs: 6"), std::string::npos);
+}
+
+TEST(StatisticsTest, GeneratorProfilesMatchPaper) {
+  AidsGeneratorConfig config;
+  config.graph_count = 500;
+  GraphDatabase db = GenerateAidsLikeDatabase(config);
+  DatabaseStatistics s = ComputeStatistics(db);
+  EXPECT_NEAR(s.avg_nodes, 25.0, 6.0);
+  EXPECT_NEAR(s.avg_edges, 27.0, 7.0);
+  EXPECT_GT(s.avg_cyclomatic, 0.5);   // molecules have rings
+  EXPECT_LT(s.avg_degree, 3.0);       // sparse, chemistry-like
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,173 @@
+// Unit tests for src/util: Status, Result, IdSet, Rng, byte helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/id_set.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace prague {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad alpha");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    PRAGUE_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(IdSetTest, ConstructorSortsAndDedupes) {
+  IdSet s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 3, 5}));
+}
+
+TEST(IdSetTest, Universe) {
+  IdSet s = IdSet::Universe(4);
+  EXPECT_EQ(s.ids(), (std::vector<GraphId>{0, 1, 2, 3}));
+}
+
+TEST(IdSetTest, Contains) {
+  IdSet s({2, 4, 6});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+}
+
+TEST(IdSetTest, InsertKeepsOrder) {
+  IdSet s({1, 5});
+  s.Insert(3);
+  s.Insert(3);  // idempotent
+  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 3, 5}));
+}
+
+TEST(IdSetTest, Erase) {
+  IdSet s({1, 3, 5});
+  s.Erase(3);
+  s.Erase(99);  // no-op
+  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 5}));
+}
+
+TEST(IdSetTest, SetAlgebra) {
+  IdSet a({1, 2, 3, 4});
+  IdSet b({3, 4, 5});
+  EXPECT_EQ(a.Intersect(b).ids(), (std::vector<GraphId>{3, 4}));
+  EXPECT_EQ(a.Union(b).ids(), (std::vector<GraphId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.Subtract(b).ids(), (std::vector<GraphId>{1, 2}));
+}
+
+TEST(IdSetTest, InPlaceAlgebra) {
+  IdSet a({1, 2, 3});
+  a.IntersectWith(IdSet({2, 3, 4}));
+  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 3}));
+  a.UnionWith(IdSet({9}));
+  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 3, 9}));
+  a.SubtractWith(IdSet({3}));
+  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 9}));
+}
+
+TEST(IdSetTest, SubsetOf) {
+  IdSet a({2, 4});
+  IdSet b({1, 2, 3, 4});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(IdSet().IsSubsetOf(a));
+}
+
+TEST(IdSetTest, IntersectWithEmpty) {
+  IdSet a({1, 2});
+  EXPECT_TRUE(a.Intersect(IdSet()).empty());
+}
+
+TEST(IdSetTest, ToString) {
+  EXPECT_EQ(IdSet({1, 2}).ToString(), "{1, 2}");
+  EXPECT_EQ(IdSet().ToString(), "{}");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.Between(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Weighted(w), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BytesTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(100), "100 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(BytesTest, ToMegabytes) {
+  EXPECT_DOUBLE_EQ(ToMegabytes(1024 * 1024), 1.0);
+}
+
+}  // namespace
+}  // namespace prague

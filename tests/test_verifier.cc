@@ -1,0 +1,119 @@
+// Verifier backends: the filtering verifier must agree with plain VF2 on
+// every input while skipping provably impossible pairs, and sessions must
+// return identical results with either backend.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/prague_session.h"
+#include "datasets/query_workload.h"
+#include "graph/verifier.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kS;
+
+TEST(VerifierTest, FactoryNames) {
+  EXPECT_NE(MakeVerifier("plain"), nullptr);
+  EXPECT_NE(MakeVerifier("filtering"), nullptr);
+  EXPECT_NE(MakeVerifier("unknown-defaults-to-plain"), nullptr);
+}
+
+TEST(VerifierTest, PlainCountsCalls) {
+  PlainVerifier v;
+  Graph pattern = testing::MakeGraph({kC, kS}, {{0, 1}});
+  Graph target = testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(v.Matches(pattern, target));
+  EXPECT_EQ(v.stats().checks, 1u);
+  EXPECT_EQ(v.stats().vf2_calls, 1u);
+}
+
+TEST(VerifierTest, FilteringRejectsMissingLabelWithoutVf2) {
+  FilteringVerifier v;
+  Graph pattern = testing::MakeGraph({kN, kN}, {{0, 1}});
+  Graph target = testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(v.Matches(pattern, target));
+  EXPECT_EQ(v.stats().prefilter_hits, 1u);
+  EXPECT_EQ(v.stats().vf2_calls, 0u);
+}
+
+TEST(VerifierTest, FilteringRejectsDegreeDeficitWithoutVf2) {
+  // Pattern: C with 3 C-neighbors. Target: path of C (max degree 2).
+  FilteringVerifier v;
+  Graph pattern = testing::MakeGraph({kC, kC, kC, kC},
+                                     {{0, 1}, {0, 2}, {0, 3}});
+  Graph target = testing::MakeGraph({kC, kC, kC, kC, kC},
+                                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_FALSE(v.Matches(pattern, target));
+  EXPECT_EQ(v.stats().prefilter_hits, 1u);
+  EXPECT_EQ(v.stats().vf2_calls, 0u);
+}
+
+TEST(VerifierTest, FilteringAgreesWithPlainOnRandomPairs) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 301);
+  PlainVerifier plain;
+  FilteringVerifier filtering;
+  Rng rng(301);
+  for (int trial = 0; trial < 40; ++trial) {
+    Result<VisualQuerySpec> spec = workload.ContainmentQuery(
+        3 + rng.Below(4), "v" + std::to_string(trial));
+    ASSERT_TRUE(spec.ok());
+    GraphId gid = static_cast<GraphId>(rng.Below(fixture.db.size()));
+    const Graph& g = fixture.db.graph(gid);
+    EXPECT_EQ(plain.Matches(spec->graph, g),
+              filtering.Matches(spec->graph, g))
+        << "trial " << trial;
+  }
+  // The prefilter must have earned its keep somewhere across 40 pairs.
+  EXPECT_GT(filtering.stats().checks, 0u);
+  EXPECT_LE(filtering.stats().vf2_calls, filtering.stats().checks);
+}
+
+TEST(VerifierTest, SessionsIdenticalAcrossBackends) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 303);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(6, 2, "vb");
+  ASSERT_TRUE(spec.ok());
+  auto run = [&](bool filtering) {
+    PragueConfig config;
+    config.sigma = 3;
+    config.filtering_verifier = filtering;
+    PragueSession session(&fixture.db, &fixture.indexes, config);
+    std::map<NodeId, NodeId> node_map;
+    auto user_node = [&](NodeId n) {
+      auto it = node_map.find(n);
+      if (it != node_map.end()) return it->second;
+      NodeId u = session.AddNode(spec->graph.NodeLabel(n));
+      node_map.emplace(n, u);
+      return u;
+    };
+    for (EdgeId e : spec->sequence) {
+      const Edge& edge = spec->graph.GetEdge(e);
+      if (!session.AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+               .ok()) {
+        std::abort();
+      }
+    }
+    RunStats stats;
+    Result<QueryResults> results = session.Run(&stats);
+    if (!results.ok()) std::abort();
+    return std::make_pair(*results, stats.similar.vf2_calls);
+  };
+  auto [plain_results, plain_calls] = run(false);
+  auto [filtering_results, filtering_calls] = run(true);
+  ASSERT_EQ(plain_results.similar.size(), filtering_results.similar.size());
+  for (size_t i = 0; i < plain_results.similar.size(); ++i) {
+    EXPECT_EQ(plain_results.similar[i], filtering_results.similar[i]);
+  }
+  EXPECT_LE(filtering_calls, plain_calls);
+}
+
+}  // namespace
+}  // namespace prague

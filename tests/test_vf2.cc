@@ -1,0 +1,135 @@
+// VF2 correctness: hand cases plus property sweeps against the exhaustive
+// brute-force oracle on random small graphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/brute_force_iso.h"
+#include "graph/graph.h"
+#include "graph/subgraph_ops.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+using testing::MakeGraph;
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+TEST(Vf2Test, SingleEdgeMatch) {
+  Graph pattern = MakeGraph({kC, kS}, {{0, 1}});
+  Graph target = MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(IsSubgraphIsomorphic(pattern, target));
+}
+
+TEST(Vf2Test, LabelMismatchFails) {
+  Graph pattern = MakeGraph({kC, kO}, {{0, 1}});
+  Graph target = MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, target));
+}
+
+TEST(Vf2Test, NonInducedSemantics) {
+  // A path C-C-C matches inside a triangle (extra target edges allowed).
+  Graph path = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(IsSubgraphIsomorphic(path, triangle));
+  // But a triangle does not match inside a path.
+  EXPECT_FALSE(IsSubgraphIsomorphic(triangle, path));
+}
+
+TEST(Vf2Test, PatternLargerThanTargetFails) {
+  Graph pattern = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  Graph target = MakeGraph({kC, kC}, {{0, 1}});
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, target));
+}
+
+TEST(Vf2Test, EdgeLabelsRespected) {
+  GraphBuilder bp;
+  NodeId a = bp.AddNode(kC), b = bp.AddNode(kC);
+  ASSERT_TRUE(bp.AddEdge(a, b, /*label=*/2).ok());
+  Graph pattern = std::move(bp).Build();
+  GraphBuilder bt;
+  NodeId x = bt.AddNode(kC), y = bt.AddNode(kC);
+  ASSERT_TRUE(bt.AddEdge(x, y, /*label=*/1).ok());
+  Graph target = std::move(bt).Build();
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, target));
+}
+
+TEST(Vf2Test, CountMatchesSymmetry) {
+  // C-C edge in a C-C-C triangle: 3 edges x 2 orientations = 6 mappings.
+  Graph pattern = MakeGraph({kC, kC}, {{0, 1}});
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(Vf2Matcher(pattern, triangle).Count(), 6u);
+}
+
+TEST(Vf2Test, CountHonorsLimit) {
+  Graph pattern = MakeGraph({kC, kC}, {{0, 1}});
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(Vf2Matcher(pattern, triangle).Count(4), 4u);
+}
+
+TEST(Vf2Test, IsomorphismCheck) {
+  Graph a = MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}});
+  Graph b = MakeGraph({kO, kS, kC}, {{0, 1}, {1, 2}});  // relabeled order
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  Graph c = MakeGraph({kC, kS, kO}, {{0, 1}, {0, 2}});  // different center
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+// --- Property sweep: VF2 ≡ brute force on random labeled graphs. ---
+
+Graph RandomConnectedGraph(Rng* rng, size_t nodes, size_t extra_edges,
+                           size_t label_count) {
+  GraphBuilder b;
+  for (size_t i = 0; i < nodes; ++i) {
+    b.AddNode(static_cast<Label>(rng->Below(label_count)));
+  }
+  for (NodeId i = 1; i < nodes; ++i) {
+    (void)b.AddEdge(i, static_cast<NodeId>(rng->Below(i)));
+  }
+  for (size_t i = 0; i < extra_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng->Below(nodes));
+    NodeId v = static_cast<NodeId>(rng->Below(nodes));
+    if (u != v) (void)b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+class Vf2PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Vf2PropertyTest, AgreesWithBruteForceOracle) {
+  Rng rng(GetParam());
+  Graph target = RandomConnectedGraph(&rng, 6 + rng.Below(3), rng.Below(4), 2);
+  Graph pattern = RandomConnectedGraph(&rng, 2 + rng.Below(4), rng.Below(2), 2);
+  EXPECT_EQ(IsSubgraphIsomorphic(pattern, target),
+            BruteForceSubgraphIsomorphic(pattern, target));
+}
+
+TEST_P(Vf2PropertyTest, CountsAgreeWithBruteForce) {
+  Rng rng(GetParam() ^ 0xABCD);
+  Graph target = RandomConnectedGraph(&rng, 5 + rng.Below(3), rng.Below(3), 2);
+  Graph pattern = RandomConnectedGraph(&rng, 2 + rng.Below(3), 0, 2);
+  EXPECT_EQ(Vf2Matcher(pattern, target).Count(),
+            BruteForceCountMappings(pattern, target));
+}
+
+TEST_P(Vf2PropertyTest, SampledSubgraphAlwaysMatches) {
+  Rng rng(GetParam() ^ 0x1234);
+  Graph target = RandomConnectedGraph(&rng, 7, 3, 3);
+  auto by_size = ConnectedEdgeSubsetsBySize(target);
+  for (size_t k = 1; k <= std::min<size_t>(4, target.EdgeCount()); ++k) {
+    ASSERT_FALSE(by_size[k].empty());
+    EdgeMask mask = by_size[k][rng.Below(by_size[k].size())];
+    Graph sub = ExtractEdgeSubgraph(target, mask).graph;
+    EXPECT_TRUE(IsSubgraphIsomorphic(sub, target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vf2PropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace prague

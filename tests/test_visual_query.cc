@@ -1,0 +1,168 @@
+// VisualQuery: formulation ids, connectivity enforcement, deletion rules,
+// compiled-graph mapping, mask conversions.
+
+#include <gtest/gtest.h>
+
+#include "core/visual_query.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kO;
+using testing::kS;
+
+TEST(VisualQueryTest, FormulationIdsAreSequential) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  Result<FormulationId> e1 = q.AddEdge(a, b);
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e1, 1);
+  EXPECT_EQ(*e2, 2);
+  EXPECT_EQ(q.EdgeCount(), 2u);
+  EXPECT_EQ(q.LastFormulationId(), 2);
+}
+
+TEST(VisualQueryTest, RejectsDisconnectedEdge) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC);
+  NodeId c = q.AddNode(kS), d = q.AddNode(kS);
+  ASSERT_TRUE(q.AddEdge(a, b).ok());
+  EXPECT_FALSE(q.AddEdge(c, d).ok());  // would disconnect
+}
+
+TEST(VisualQueryTest, RejectsDuplicateAndSelfLoop) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC);
+  ASSERT_TRUE(q.AddEdge(a, b).ok());
+  EXPECT_FALSE(q.AddEdge(b, a).ok());
+  EXPECT_FALSE(q.AddEdge(a, a).ok());
+}
+
+TEST(VisualQueryTest, DeleteRules) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  Result<FormulationId> e1 = q.AddEdge(a, b);
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  // Deleting either edge of a path leaves a single connected edge.
+  EXPECT_TRUE(q.CanDelete(*e1));
+  EXPECT_TRUE(q.CanDelete(*e2));
+  ASSERT_TRUE(q.DeleteEdge(*e1).ok());
+  EXPECT_EQ(q.EdgeCount(), 1u);
+  // Last edge cannot be deleted (fragment must stay non-empty).
+  EXPECT_FALSE(q.CanDelete(*e2));
+  EXPECT_FALSE(q.DeleteEdge(*e2).ok());
+  // Deleted edge stays dead.
+  EXPECT_FALSE(q.DeleteEdge(*e1).ok());
+  EXPECT_FALSE(q.GetEdge(*e1).has_value());
+}
+
+TEST(VisualQueryTest, BridgeDeletionDisconnectsAndIsRejected) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  NodeId d = q.AddNode(kO);
+  ASSERT_TRUE(q.AddEdge(a, b).ok());
+  Result<FormulationId> bridge = q.AddEdge(b, c);
+  ASSERT_TRUE(bridge.ok());
+  ASSERT_TRUE(q.AddEdge(c, d).ok());
+  EXPECT_FALSE(q.CanDelete(*bridge));
+  EXPECT_FALSE(q.DeleteEdge(*bridge).ok());
+}
+
+TEST(VisualQueryTest, LeafEdgeDeletionDropsOrphanNode) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  ASSERT_TRUE(q.AddEdge(a, b).ok());
+  Result<FormulationId> leaf = q.AddEdge(b, c);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(q.CurrentGraph().NodeCount(), 3u);
+  ASSERT_TRUE(q.DeleteEdge(*leaf).ok());
+  EXPECT_EQ(q.CurrentGraph().NodeCount(), 2u);  // orphan S dropped
+}
+
+TEST(VisualQueryTest, CompiledGraphMapsBothWays) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  Result<FormulationId> e1 = q.AddEdge(a, b);
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  const Graph& g = q.CurrentGraph();
+  ASSERT_EQ(g.EdgeCount(), 2u);
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    FormulationId ell = q.FormulationIdOfGraphEdge(e);
+    std::optional<EdgeId> back = q.GraphEdgeOfFormulationId(ell);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, e);
+  }
+}
+
+TEST(VisualQueryTest, MaskConversionRoundTrip) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  NodeId d = q.AddNode(kO);
+  ASSERT_TRUE(q.AddEdge(a, b).ok());
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(q.AddEdge(c, d).ok());
+  // Delete e2's sibling? Keep all; test round-trip on arbitrary masks.
+  const Graph& g = q.CurrentGraph();
+  for (EdgeMask gmask = 1; gmask < (EdgeMask{1} << g.EdgeCount()); ++gmask) {
+    FormulationMask fmask = q.ToFormulationMask(gmask);
+    EXPECT_EQ(q.ToGraphMask(fmask), gmask);
+  }
+  EXPECT_EQ(q.FullMask(), q.ToFormulationMask((EdgeMask{1} << 3) - 1));
+}
+
+TEST(VisualQueryTest, MasksStableAcrossDeletion) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  NodeId d = q.AddNode(kO);
+  Result<FormulationId> e1 = q.AddEdge(a, b);
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  Result<FormulationId> e3 = q.AddEdge(c, d);
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  ASSERT_TRUE(q.DeleteEdge(*e1).ok());
+  // e2 and e3 keep their formulation ids; compiled edges renumber.
+  EXPECT_EQ(q.FullMask(), FormulationBit(*e2) | FormulationBit(*e3));
+  const Graph& g = q.CurrentGraph();
+  ASSERT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(q.GraphEdgeOfFormulationId(*e1), std::nullopt);
+  EXPECT_TRUE(q.GraphEdgeOfFormulationId(*e2).has_value());
+}
+
+TEST(VisualQueryTest, EdgeCapEnforced) {
+  VisualQuery q;
+  NodeId center = q.AddNode(kC);
+  Status last = Status::OK();
+  for (size_t i = 0; i < kMaxVisualQueryEdges + 1; ++i) {
+    NodeId n = q.AddNode(kC);
+    Result<FormulationId> r = q.AddEdge(center, n);
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(q.EdgeCount(), kMaxVisualQueryEdges);
+}
+
+TEST(VisualQueryTest, AliveEdgeIdsAscending) {
+  VisualQuery q;
+  NodeId a = q.AddNode(kC), b = q.AddNode(kC), c = q.AddNode(kS);
+  Result<FormulationId> e1 = q.AddEdge(a, b);
+  Result<FormulationId> e2 = q.AddEdge(b, c);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  ASSERT_TRUE(q.DeleteEdge(*e1).ok());
+  NodeId d = q.AddNode(kO);
+  Result<FormulationId> e3 = q.AddEdge(c, d);
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(*e3, 3);  // ids are never reused
+  EXPECT_EQ(q.AliveEdgeIds(), (std::vector<FormulationId>{2, 3}));
+}
+
+}  // namespace
+}  // namespace prague

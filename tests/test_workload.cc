@@ -1,0 +1,108 @@
+// Query workload generation: sequence validity, containment guarantees,
+// similarity-query no-exact-match guarantees.
+
+#include <gtest/gtest.h>
+
+#include "datasets/query_workload.h"
+#include "graph/mccs.h"
+#include "graph/subgraph_ops.h"
+#include "graph/vf2.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace prague {
+namespace {
+
+bool PrefixConnected(const Graph& q, const std::vector<EdgeId>& seq) {
+  EdgeMask mask = 0;
+  for (EdgeId e : seq) {
+    mask |= EdgeBit(e);
+    if (!IsEdgeSubsetConnected(q, mask)) return false;
+  }
+  return MaskSize(mask) == static_cast<int>(q.EdgeCount());
+}
+
+TEST(FormulationSequenceTest, DefaultIsPrefixConnectedAndComplete) {
+  const auto& fixture = testing::AidsFixture::Get();
+  for (GraphId gid = 0; gid < 20; ++gid) {
+    const Graph& g = fixture.db.graph(gid);
+    if (g.EdgeCount() > kMaxSubsetEdges) continue;
+    auto seq = DefaultFormulationSequence(g);
+    EXPECT_EQ(seq.size(), g.EdgeCount());
+    EXPECT_TRUE(PrefixConnected(g, seq)) << "graph " << gid;
+  }
+}
+
+TEST(FormulationSequenceTest, RandomIsPrefixConnected) {
+  const auto& fixture = testing::AidsFixture::Get();
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph& g = fixture.db.graph(trial);
+    if (g.EdgeCount() > kMaxSubsetEdges) continue;
+    auto seq = RandomFormulationSequence(g, &rng);
+    EXPECT_TRUE(PrefixConnected(g, seq)) << "trial " << trial;
+  }
+}
+
+TEST(WorkloadTest, ContainmentQueryHasExactMatch) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 42);
+  for (size_t edges = 4; edges <= 8; ++edges) {
+    Result<VisualQuerySpec> spec = workload.ContainmentQuery(edges, "q");
+    ASSERT_TRUE(spec.ok()) << edges;
+    EXPECT_EQ(spec->graph.EdgeCount(), edges);
+    EXPECT_TRUE(spec->graph.IsConnected());
+    EXPECT_TRUE(workload.HasExactMatch(spec->graph));
+    EXPECT_TRUE(PrefixConnected(spec->graph, spec->sequence));
+  }
+}
+
+TEST(WorkloadTest, SimilarityQueryHasNoExactMatchButNearMatches) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 43);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(7, 1, "s");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(workload.HasExactMatch(spec->graph));
+  // Something must be near: distance ≤ 2 for at least one data graph
+  // (one mutated node touches at most a couple of edges in a sparse
+  // molecule, and the unmutated core came from a real data graph).
+  bool near = false;
+  for (GraphId gid = 0; gid < fixture.db.size() && !near; ++gid) {
+    near = WithinSubgraphDistance(spec->graph, fixture.db.graph(gid), 3);
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST(WorkloadTest, MoreMutationsStillNoExactMatch) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator workload(&fixture.db, 44);
+  Result<VisualQuerySpec> spec = workload.SimilarityQuery(7, 3, "w");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(workload.HasExactMatch(spec->graph));
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const auto& fixture = testing::AidsFixture::Get();
+  WorkloadGenerator a(&fixture.db, 7);
+  WorkloadGenerator b(&fixture.db, 7);
+  Result<VisualQuerySpec> qa = a.ContainmentQuery(6, "x");
+  Result<VisualQuerySpec> qb = b.ContainmentQuery(6, "x");
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qa->graph, qb->graph);
+  EXPECT_EQ(qa->sequence, qb->sequence);
+}
+
+TEST(WorkloadTest, FailsWhenNoHostLargeEnough) {
+  GraphDatabase tiny;
+  tiny.mutable_labels()->Intern("C");
+  GraphBuilder b;
+  NodeId x = b.AddNode(0), y = b.AddNode(0);
+  ASSERT_TRUE(b.AddEdge(x, y).ok());
+  tiny.Add(std::move(b).Build());
+  WorkloadGenerator workload(&tiny, 1);
+  EXPECT_FALSE(workload.ContainmentQuery(10, "too-big").ok());
+}
+
+}  // namespace
+}  // namespace prague

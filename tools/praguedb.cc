@@ -1,0 +1,407 @@
+// praguedb — command-line data-preparation and batch-query tool.
+//
+//   praguedb gen   (aids|synth) <count> <out.db> [seed] [--bonds]
+//   praguedb mine  <db> [alpha] [max_edges]
+//   praguedb index <db> <out.idx> [alpha] [beta]
+//   praguedb info  <index.idx>
+//   praguedb query <db> <index.idx> <queries.db> [sigma] [threads]
+//   praguedb sample <db> <count> <edges> <out.db> [seed]
+//   praguedb append <db> <index.idx> <new.db> <alpha> [out.db out.idx]
+//   praguedb stats <db>
+//   praguedb run   <db> <index.idx> "<pattern>" [sigma] — e.g.
+//                  "(a:C)-(b:C), (b)-(c:S)" (see query/pattern_parser.h)
+//
+// Databases and query files use the gSpan text format (`t # id / v / e`
+// lines); indexes use the PRAGUE_INDEX format of index_io. The `query`
+// subcommand replays each query graph through a PragueSession
+// edge-at-a-time (exactly like the GUI) and prints one summary row per
+// query.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/prague_session.h"
+#include "datasets/aids_generator.h"
+#include "datasets/query_workload.h"
+#include "datasets/synthetic_generator.h"
+#include "graph/graph_io.h"
+#include "graph/statistics.h"
+#include "index/index_io.h"
+#include "index/index_maintenance.h"
+#include "core/explain.h"
+#include "query/pattern_parser.h"
+#include "util/bytes.h"
+#include "util/stopwatch.h"
+
+using namespace prague;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  praguedb gen   (aids|synth) <count> <out.db> [seed] [--bonds]\n"
+      "  praguedb mine  <db> [alpha=0.1] [max_edges=8]\n"
+      "  praguedb index <db> <out.idx> [alpha=0.1] [beta=4]\n"
+      "  praguedb info  <index.idx>\n"
+      "  praguedb query <db> <index.idx> <queries.db> [sigma=3] "
+      "[threads=1]\n"
+      "  praguedb sample <db> <count> <edges> <out.db> [seed]\n"
+      "  praguedb append <db> <index.idx> <new.db> <alpha> "
+      "[out.db out.idx]\n"
+      "  praguedb stats <db>\n"
+      "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain]\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string kind = argv[1];
+  size_t count = std::strtoul(argv[2], nullptr, 10);
+  std::string out = argv[3];
+  uint64_t seed = argc > 4 && argv[4][0] != '-'
+                      ? std::strtoull(argv[4], nullptr, 10)
+                      : 42;
+  bool bonds = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bonds") == 0) bonds = true;
+  }
+  GraphDatabase db;
+  if (kind == "aids") {
+    AidsGeneratorConfig config;
+    config.graph_count = count;
+    config.seed = seed;
+    config.bond_labels = bonds;
+    db = GenerateAidsLikeDatabase(config);
+  } else if (kind == "synth") {
+    SyntheticGeneratorConfig config;
+    config.graph_count = count;
+    config.seed = seed;
+    db = GenerateSyntheticDatabase(config);
+  } else {
+    return Usage();
+  }
+  if (Status st = WriteDatabaseToFile(db, out); !st.ok()) return Fail(st);
+  std::printf("wrote %zu graphs (avg %.1f nodes / %.1f edges) to %s\n",
+              db.size(), db.AverageNodeCount(), db.AverageEdgeCount(),
+              out.c_str());
+  return 0;
+}
+
+int CmdMine(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  MiningConfig config;
+  if (argc > 2) config.min_support_ratio = std::strtod(argv[2], nullptr);
+  if (argc > 3) config.max_fragment_edges = std::strtoul(argv[3], nullptr, 10);
+  Stopwatch timer;
+  Result<MiningResult> mined = MineFragments(*db, config);
+  if (!mined.ok()) return Fail(mined.status());
+  std::printf(
+      "mined %s in %.2fs (alpha=%.3f, min support %zu):\n"
+      "  frequent fragments: %zu\n"
+      "  DIFs:               %zu\n"
+      "  duplicate growth paths pruned: %zu\n",
+      argv[1], timer.ElapsedSeconds(), config.min_support_ratio,
+      mined->min_support, mined->frequent.size(), mined->difs.size(),
+      mined->stats.pruned_non_minimal);
+  return 0;
+}
+
+int CmdIndex(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  MiningConfig mining;
+  A2fConfig a2f;
+  if (argc > 3) mining.min_support_ratio = std::strtod(argv[3], nullptr);
+  if (argc > 4) a2f.beta = std::strtoul(argv[4], nullptr, 10);
+  Stopwatch timer;
+  Result<ActionAwareIndexes> indexes =
+      BuildActionAwareIndexes(*db, mining, a2f);
+  if (!indexes.ok()) return Fail(indexes.status());
+  if (Status st = IndexSerializer::SaveToFile(*indexes, argv[2]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf(
+      "built indexes in %.2fs: A2F %zu fragments, A2I %zu DIFs, %s; "
+      "saved to %s\n",
+      timer.ElapsedSeconds(), indexes->a2f.VertexCount(),
+      indexes->a2i.EntryCount(),
+      HumanBytes(indexes->StorageBytes()).c_str(), argv[2]);
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[1]);
+  if (!indexes.ok()) return Fail(indexes.status());
+  const A2FIndex& a2f = indexes->a2f;
+  std::printf(
+      "%s:\n"
+      "  min support:  %zu\n"
+      "  A2F vertices: %zu (MF %zu / DF %zu, beta=%zu, %zu clusters)\n"
+      "  A2I entries:  %zu\n"
+      "  storage:      %s (delId-compressed)\n",
+      argv[1], indexes->min_support, a2f.VertexCount(), a2f.MfVertexCount(),
+      a2f.DfVertexCount(), a2f.beta(), a2f.clusters().size(),
+      indexes->a2i.EntryCount(),
+      HumanBytes(indexes->StorageBytes()).c_str());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[2]);
+  if (!indexes.ok()) return Fail(indexes.status());
+  Result<GraphDatabase> queries = ReadDatabaseFromFile(argv[3]);
+  if (!queries.ok()) return Fail(queries.status());
+  PragueConfig config;
+  if (argc > 4) config.sigma = std::atoi(argv[4]);
+  if (argc > 5) {
+    config.verification_threads = std::strtoul(argv[5], nullptr, 10);
+  }
+
+  // Query label names must map onto database label ids.
+  std::printf("%-6s %-4s %-10s %-8s %-8s %-10s\n", "query", "|q|", "mode",
+              "matches", "best_d", "SRT(ms)");
+  for (GraphId qid = 0; qid < queries->size(); ++qid) {
+    const Graph& raw = queries->graph(qid);
+    PragueSession session(&db.value(), &indexes.value(), config);
+    std::vector<NodeId> node_map(raw.NodeCount(), kInvalidNode);
+    bool ok = true;
+    for (EdgeId e : DefaultFormulationSequence(raw)) {
+      const Edge& edge = raw.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (node_map[n] != kInvalidNode) continue;
+        Result<NodeId> mapped = session.AddNodeByName(
+            queries->labels().Name(raw.NodeLabel(n)));
+        if (!mapped.ok()) {
+          std::fprintf(stderr, "query %u: %s\n", qid,
+                       mapped.status().ToString().c_str());
+          ok = false;
+          break;
+        }
+        node_map[n] = *mapped;
+      }
+      if (!ok) break;
+      if (!session.AddEdge(node_map[edge.u], node_map[edge.v], edge.label)
+               .ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    RunStats stats;
+    Result<QueryResults> results = session.Run(&stats);
+    if (!results.ok()) {
+      std::fprintf(stderr, "query %u: %s\n", qid,
+                   results.status().ToString().c_str());
+      continue;
+    }
+    if (results->similarity) {
+      int best = results->similar.empty() ? -1
+                                          : results->similar.front().distance;
+      std::printf("%-6u %-4zu %-10s %-8zu %-8d %-10.3f\n", qid,
+                  raw.EdgeCount(), "similar", results->similar.size(), best,
+                  stats.srt_seconds * 1000);
+    } else {
+      std::printf("%-6u %-4zu %-10s %-8zu %-8d %-10.3f\n", qid,
+                  raw.EdgeCount(), "exact", results->exact.size(), 0,
+                  stats.srt_seconds * 1000);
+    }
+  }
+  return 0;
+}
+
+// Samples query-sized connected subgraphs from a database — the input
+// `praguedb query` expects.
+int CmdSample(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  size_t count = std::strtoul(argv[2], nullptr, 10);
+  size_t edges = std::strtoul(argv[3], nullptr, 10);
+  uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  WorkloadGenerator workload(&db.value(), seed);
+  GraphDatabase out;
+  // Share the source dictionary so label names round-trip.
+  for (const std::string& name : db->labels().names()) {
+    out.mutable_labels()->Intern(name);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Result<VisualQuerySpec> spec =
+        workload.ContainmentQuery(edges, "q" + std::to_string(i));
+    if (!spec.ok()) return Fail(spec.status());
+    out.Add(spec->graph);
+  }
+  if (Status st = WriteDatabaseToFile(out, argv[4]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu %zu-edge query graphs to %s\n", count, edges,
+              argv[4]);
+  return 0;
+}
+
+// Incrementally appends new graphs to an indexed database
+// (index_maintenance.h) and reports drift.
+int CmdAppend(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[2]);
+  if (!indexes.ok()) return Fail(indexes.status());
+  Result<GraphDatabase> incoming = ReadDatabaseFromFile(argv[3]);
+  if (!incoming.ok()) return Fail(incoming.status());
+  double alpha = std::strtod(argv[4], nullptr);
+
+  // Re-intern incoming labels against the base dictionary.
+  std::vector<Graph> extra;
+  for (GraphId gid = 0; gid < incoming->size(); ++gid) {
+    const Graph& g = incoming->graph(gid);
+    GraphBuilder b;
+    for (NodeId n = 0; n < g.NodeCount(); ++n) {
+      b.AddNode(db->mutable_labels()->Intern(
+          incoming->labels().Name(g.NodeLabel(n))));
+    }
+    for (const Edge& e : g.edges()) (void)b.AddEdge(e.u, e.v, e.label);
+    extra.push_back(std::move(b).Build());
+  }
+  Stopwatch timer;
+  Result<MaintenanceReport> report =
+      AppendGraphs(&db.value(), std::move(extra), &indexes.value(), alpha);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "appended %zu graphs in %.2fs (probes %zu, pruned %zu)\n"
+      "new min support %zu; drift: %zu frequent below threshold, %zu DIFs "
+      "above\n%s\n",
+      report->graphs_added, timer.ElapsedSeconds(), report->probes,
+      report->pruned_probes, report->new_min_support,
+      report->frequent_below_threshold, report->difs_above_threshold,
+      report->remine_recommended
+          ? "recommendation: schedule a full re-mine"
+          : "indexes remain classification-exact");
+  if (argc > 6) {
+    if (Status st = WriteDatabaseToFile(*db, argv[5]); !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st = IndexSerializer::SaveToFile(*indexes, argv[6]);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s and %s\n", argv[5], argv[6]);
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  DatabaseStatistics stats = ComputeStatistics(*db);
+  std::printf("%s", stats.ToString(db->labels()).c_str());
+  return 0;
+}
+
+// Executes one textual pattern through a PragueSession, edge by edge in
+// the written order — exactly as if drawn in the GUI.
+int CmdRun(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[2]);
+  if (!indexes.ok()) return Fail(indexes.status());
+  Result<ParsedPattern> pattern =
+      ParsePatternStrict(argv[3], db->labels());
+  if (!pattern.ok()) return Fail(pattern.status());
+  PragueConfig config;
+  bool explain = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      config.sigma = std::atoi(argv[i]);
+    }
+  }
+
+  PragueSession session(&db.value(), &indexes.value(), config);
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < pattern->graph.NodeCount(); ++n) {
+    ids.push_back(session.AddNode(pattern->graph.NodeLabel(n)));
+  }
+  for (EdgeId e : pattern->sequence) {
+    const Edge& edge = pattern->graph.GetEdge(e);
+    Result<StepReport> report =
+        session.AddEdge(ids[edge.u], ids[edge.v], edge.label);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("e%-2d |Rq|=%-8zu%s\n", report->edge,
+                report->exact_candidates,
+                report->similarity_mode ? "  (similarity mode)" : "");
+  }
+  RunStats stats;
+  Result<QueryResults> results = session.Run(&stats);
+  if (!results.ok()) return Fail(results.status());
+  std::printf("SRT %.3f ms\n", stats.srt_seconds * 1000);
+  if (!results->similarity) {
+    std::printf("%zu exact matches:", results->exact.size());
+    size_t shown = 0;
+    for (GraphId gid : results->exact) {
+      if (++shown > 25) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" g%u", gid);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("%zu approximate matches (sigma=%d):\n",
+                results->similar.size(), config.sigma);
+    size_t shown = 0;
+    for (const SimilarMatch& m : results->similar) {
+      if (++shown > 25) {
+        std::printf("  ...\n");
+        break;
+      }
+      std::printf("  g%-8u distance=%d\n", m.gid, m.distance);
+    }
+    if (explain && !results->similar.empty()) {
+      GraphId best = results->similar.front().gid;
+      const Graph& q = session.query().CurrentGraph();
+      Result<MatchExplanation> why = ExplainMatch(q, db->graph(best));
+      if (why.ok()) {
+        std::printf("why g%u matches:\n%s", best,
+                    ExplanationToString(*why, q, db->labels()).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 1, argv + 1);
+  if (cmd == "mine") return CmdMine(argc - 1, argv + 1);
+  if (cmd == "index") return CmdIndex(argc - 1, argv + 1);
+  if (cmd == "info") return CmdInfo(argc - 1, argv + 1);
+  if (cmd == "query") return CmdQuery(argc - 1, argv + 1);
+  if (cmd == "sample") return CmdSample(argc - 1, argv + 1);
+  if (cmd == "append") return CmdAppend(argc - 1, argv + 1);
+  if (cmd == "stats") return CmdStats(argc - 1, argv + 1);
+  if (cmd == "run") return CmdRun(argc - 1, argv + 1);
+  return Usage();
+}
