@@ -216,7 +216,8 @@ std::vector<VisualQuerySpec> ContainmentQueries(const Workbench& bench) {
 }
 
 FormulatedQuery Formulate(const VisualQuerySpec& spec,
-                          const ActionAwareIndexes& indexes) {
+                          const ActionAwareIndexes& indexes,
+                          ThreadPool* pool) {
   FormulatedQuery out;
   const Graph& q = spec.graph;
   std::vector<NodeId> node_map(q.NodeCount(), kInvalidNode);
@@ -230,7 +231,9 @@ FormulatedQuery Formulate(const VisualQuerySpec& spec,
     Result<FormulationId> ell =
         out.query.AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
     if (!ell.ok()) std::abort();
-    if (!out.spigs.AddForNewEdge(out.query, *ell, indexes).ok()) std::abort();
+    if (!out.spigs.AddForNewEdge(out.query, *ell, indexes, pool).ok()) {
+      std::abort();
+    }
   }
   return out;
 }

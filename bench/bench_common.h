@@ -23,6 +23,7 @@
 #include "gui/session_simulator.h"
 #include "index/action_aware_index.h"
 #include "mining/gspan.h"
+#include "util/thread_pool.h"
 
 namespace prague::bench {
 
@@ -86,8 +87,10 @@ struct FormulatedQuery {
 };
 
 /// \brief Replays a spec through VisualQuery + SpigSet construction.
+/// \p pool parallelizes each SPIG build (null = sequential).
 FormulatedQuery Formulate(const VisualQuerySpec& spec,
-                          const ActionAwareIndexes& indexes);
+                          const ActionAwareIndexes& indexes,
+                          ThreadPool* pool = nullptr);
 
 /// \brief Fixed-width table printer.
 class TablePrinter {

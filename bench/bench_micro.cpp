@@ -99,6 +99,18 @@ void BM_SpigSetConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_SpigSetConstruction);
 
+// threads=1 vs 4 comparison for the parallel per-level SPIG build.
+void BM_SpigSetConstructionParallel(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  const VisualQuerySpec& spec = MicroQueries()[0];
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FormulatedQuery built = Formulate(spec, bench.indexes, &pool);
+    benchmark::DoNotOptimize(built.spigs.TotalVertexCount());
+  }
+}
+BENCHMARK(BM_SpigSetConstructionParallel)->Arg(1)->Arg(4);
+
 void BM_ExactCandidates(benchmark::State& state) {
   const Workbench& bench = SmallBench();
   FormulatedQuery built = Formulate(MicroQueries()[0], bench.indexes);
@@ -109,15 +121,31 @@ void BM_ExactCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactCandidates);
 
+// Cold path: every per-vertex candidate set recomputed from the indexes.
 void BM_SimilarCandidates(benchmark::State& state) {
   const Workbench& bench = SmallBench();
   FormulatedQuery built = Formulate(MicroQueries()[1], bench.indexes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimilarSubCandidates(built.spigs, built.query.EdgeCount(), 3,
+                             bench.indexes, /*use_cache=*/false));
+  }
+}
+BENCHMARK(BM_SimilarCandidates);
+
+// Warm path: per-vertex sets answered from the SpigVertex memo — what a
+// steady-state formulation step pays for its persisted vertices.
+void BM_SimilarCandidatesWarm(benchmark::State& state) {
+  const Workbench& bench = SmallBench();
+  FormulatedQuery built = Formulate(MicroQueries()[1], bench.indexes);
+  SimilarSubCandidates(built.spigs, built.query.EdgeCount(), 3,
+                       bench.indexes);  // populate the memo
   for (auto _ : state) {
     benchmark::DoNotOptimize(SimilarSubCandidates(
         built.spigs, built.query.EdgeCount(), 3, bench.indexes));
   }
 }
-BENCHMARK(BM_SimilarCandidates);
+BENCHMARK(BM_SimilarCandidatesWarm);
 
 void BM_IdSetIntersect(benchmark::State& state) {
   Rng rng(1);
@@ -132,6 +160,43 @@ void BM_IdSetIntersect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IdSetIntersect);
+
+// Lopsided sides (ratio 1:400) take the galloping path.
+void BM_IdSetIntersectGallop(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<GraphId> small_ids, large_ids;
+  for (int i = 0; i < 100; ++i) {
+    small_ids.push_back(static_cast<GraphId>(rng.Below(100000)));
+  }
+  for (int i = 0; i < 40000; ++i) {
+    large_ids.push_back(static_cast<GraphId>(rng.Below(100000)));
+  }
+  IdSet small(std::move(small_ids)), large(std::move(large_ids));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.Intersect(large));
+  }
+}
+BENCHMARK(BM_IdSetIntersectGallop);
+
+// k-way smallest-first intersection with early exit — the NIF Φ/Υ shape.
+void BM_IdSetIntersectMany(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<IdSet> sets;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<GraphId> ids;
+    size_t n = 500 << s;  // 500 .. 16000, skewed like real FSG sets
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<GraphId>(rng.Below(40000)));
+    }
+    sets.emplace_back(std::move(ids));
+  }
+  std::vector<const IdSet*> ptrs;
+  for (const IdSet& s : sets) ptrs.push_back(&s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IdSet::IntersectMany(ptrs));
+  }
+}
+BENCHMARK(BM_IdSetIntersectMany);
 
 void BM_PlainVerifier(benchmark::State& state) {
   const Workbench& bench = SmallBench();

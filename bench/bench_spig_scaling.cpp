@@ -1,14 +1,22 @@
 // SPIG cost scaling (Section V-B analysis): how SPIG-set size and
-// per-step construction time grow with query size |q|.
+// per-step construction/candidate time grow with query size |q|, and how
+// much the parallel SPIG build (PragueConfig::spig_threads) and the
+// per-vertex candidate memo (PragueConfig::candidate_memo) buy back.
 //
 // The worst case is C(n-1, k-1) vertices per level (all edges distinct);
 // real queries share labels, keeping counts far below that. This bench
-// sweeps |q| = 4..12 over sampled AIDS-like queries and reports total
-// SPIG vertices, the worst single-step construction time, and the level-k
-// totals against the C(n,k) bound of Lemma 1 — all of which must stay
-// comfortably below the ~2 s GUI latency for the paradigm to work.
+// sweeps |q| = 4..12 over sampled AIDS-like queries with similarity mode
+// forced on (so every step maintains Algorithm-4 candidates), at
+// threads ∈ {1, 2, 4} and warm (memoized) vs cold (from-scratch)
+// candidate refresh. Per-configuration numbers are appended to
+// BENCH_spig.json (override the path with PRAGUE_BENCH_JSON) so later
+// PRs can track the perf trajectory; the Lemma-1 level bound is
+// re-checked at runtime as before.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/prague_session.h"
@@ -25,16 +33,79 @@ size_t Binomial(size_t n, size_t k) {
   return r;
 }
 
+struct RunResult {
+  size_t vertices = 0;
+  double spig_total = 0, spig_worst = 0;
+  double cand_total = 0, cand_worst = 0;
+};
+
+// Replays `spec` through a session with the given knobs, forcing
+// similarity mode after the first edge so each later step pays the full
+// Algorithm-4 candidate refresh. Only AddEdge steps are timed.
+RunResult Replay(const Workbench& bench, const VisualQuerySpec& spec,
+                 size_t threads, bool warm_cache, bool check_lemma1) {
+  PragueConfig config;
+  config.spig_threads = threads;
+  config.candidate_memo = warm_cache;
+  PragueSession session(&bench.db, &bench.indexes, config);
+  std::vector<NodeId> node_map(spec.graph.NodeCount(), kInvalidNode);
+  RunResult out;
+  bool sim_forced = false;
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = spec.graph.GetEdge(e);
+    for (NodeId n : {edge.u, edge.v}) {
+      if (node_map[n] == kInvalidNode) {
+        node_map[n] = session.AddNode(spec.graph.NodeLabel(n));
+      }
+    }
+    Result<StepReport> report =
+        session.AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
+    if (!report.ok()) std::abort();
+    out.spig_total += report->spig_seconds;
+    out.spig_worst = std::max(out.spig_worst, report->spig_seconds);
+    out.cand_total += report->candidate_seconds;
+    out.cand_worst = std::max(out.cand_worst, report->candidate_seconds);
+    if (!sim_forced) {
+      if (!session.EnableSimilarity().ok()) std::abort();
+      sim_forced = true;
+    }
+  }
+  out.vertices = session.spigs().TotalVertexCount();
+  if (check_lemma1) {
+    size_t edges = session.query().EdgeCount();
+    for (size_t k = 1; k <= edges; ++k) {
+      if (session.spigs().VertexCountAtLevel(static_cast<int>(k)) >
+          Binomial(edges, k)) {
+        std::fprintf(stderr, "Lemma 1 violated at level %zu!\n", k);
+        std::exit(1);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
-  Banner("SPIG scaling: vertices and construction cost vs |q|",
-         "AIDS-like dataset; Lemma 1 bound = sum_k C(n,k) = 2^n - 1");
+  Banner("SPIG scaling: parallel build + memoized candidates vs |q|",
+         "AIDS-like dataset; threads in {1,2,4}, warm vs cold candidates");
   Workbench bench = BuildAidsWorkbench(AidsGraphCount() / 2);
   WorkloadGenerator workload(&bench.db, 99);
 
-  TablePrinter table({"|q|", "SPIG vertices", "Lemma-1 bound",
-                      "utilization", "worst step (ms)", "total (ms)"});
+  const char* json_env = std::getenv("PRAGUE_BENCH_JSON");
+  std::string json_path = json_env != nullptr ? json_env : "BENCH_spig.json";
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "[\n");
+  bool first_record = true;
+
+  TablePrinter table({"|q|", "vertices", "spig t1 (ms)", "spig t4 (ms)",
+                      "spig x", "cand cold (ms)", "cand warm (ms)",
+                      "cand x"});
+  const std::vector<size_t> kThreads = {1, 2, 4};
   for (size_t edges = 4; edges <= 12; ++edges) {
     Result<VisualQuerySpec> spec =
         workload.ContainmentQuery(edges, "s" + std::to_string(edges));
@@ -42,43 +113,46 @@ int main() {
       std::fprintf(stderr, "no host graph with %zu edges; stopping\n", edges);
       break;
     }
-    PragueSession session(&bench.db, &bench.indexes);
-    std::vector<NodeId> node_map(spec->graph.NodeCount(), kInvalidNode);
-    double worst_step = 0, total = 0;
-    for (EdgeId e : spec->sequence) {
-      const Edge& edge = spec->graph.GetEdge(e);
-      for (NodeId n : {edge.u, edge.v}) {
-        if (node_map[n] == kInvalidNode) {
-          node_map[n] = session.AddNode(spec->graph.NodeLabel(n));
+    double spig_t1 = 0, spig_t4 = 0, cand_cold = 0, cand_warm = 0;
+    size_t vertices = 0;
+    for (size_t threads : kThreads) {
+      for (bool warm : {false, true}) {
+        RunResult r =
+            Replay(bench, *spec, threads, warm,
+                   /*check_lemma1=*/threads == 1 && warm);
+        vertices = r.vertices;
+        if (threads == 1 && !warm) cand_cold = r.cand_total;
+        if (threads == 1 && warm) {
+          spig_t1 = r.spig_total;
+          cand_warm = r.cand_total;
         }
-      }
-      Result<StepReport> report =
-          session.AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
-      if (!report.ok()) return 1;
-      worst_step = std::max(worst_step, report->spig_seconds);
-      total += report->spig_seconds;
-    }
-    size_t vertices = session.spigs().TotalVertexCount();
-    size_t bound = (size_t{1} << edges) - 1;
-    // Per-level check of Lemma 1 while we are here.
-    for (size_t k = 1; k <= edges; ++k) {
-      if (session.spigs().VertexCountAtLevel(static_cast<int>(k)) >
-          Binomial(edges, k)) {
-        std::fprintf(stderr, "Lemma 1 violated at level %zu!\n", k);
-        return 1;
+        if (threads == 4 && warm) spig_t4 = r.spig_total;
+        std::fprintf(
+            json,
+            "%s  {\"query_edges\": %zu, \"threads\": %zu, "
+            "\"cache\": \"%s\", \"vertices\": %zu, "
+            "\"spig_seconds_total\": %.9f, \"spig_seconds_worst\": %.9f, "
+            "\"candidate_seconds_total\": %.9f, "
+            "\"candidate_seconds_worst\": %.9f}",
+            first_record ? "" : ",\n", edges, threads, warm ? "warm" : "cold",
+            r.vertices, r.spig_total, r.spig_worst, r.cand_total,
+            r.cand_worst);
+        first_record = false;
       }
     }
-    table.AddRow({std::to_string(edges), std::to_string(vertices),
-                  std::to_string(bound),
-                  Fmt(100.0 * static_cast<double>(vertices) /
-                          static_cast<double>(bound),
-                      1) + "%",
-                  FmtMs(worst_step), FmtMs(total)});
+    table.AddRow(
+        {std::to_string(edges), std::to_string(vertices), FmtMs(spig_t1),
+         FmtMs(spig_t4), Fmt(spig_t4 > 0 ? spig_t1 / spig_t4 : 0, 2) + "x",
+         FmtMs(cand_cold), FmtMs(cand_warm),
+         Fmt(cand_warm > 0 ? cand_cold / cand_warm : 0, 2) + "x"});
   }
+  std::fprintf(json, "\n]\n");
+  std::fclose(json);
   table.Print();
   std::printf(
-      "\nshape check: vertex counts track 2^|q| but stay well under the "
-      "bound; even the worst step is orders of magnitude below the ~2s GUI "
-      "latency.\n");
+      "\nwrote %s. spig x = sequential/parallel(4 threads) build time "
+      "(gains need multi-core hardware); cand x = cold/warm refresh — the "
+      "memo only recomputes vertices created by the current step.\n",
+      json_path.c_str());
   return 0;
 }

@@ -9,6 +9,14 @@
 // per-level candidates into Rfree — graphs proven to contain a full
 // level-i subgraph of q (distance ≤ |q|−i without any verification) — and
 // Rver, the NIF-derived candidates that still need an MCCS check.
+//
+// Incremental candidate engine: a SPIG vertex's candidate set depends
+// only on its Fragment List and the (session-immutable) indexes, so it is
+// memoized in the vertex (SpigVertex::cand_cache) the first time it is
+// resolved. A formulation step therefore only computes candidates for the
+// vertices the step created; persisted vertices answer from cache. The
+// cache is reset by SpigSet::RefreshForRelabel (the fragment changed) and
+// survives edge deletions (surviving fragments are untouched).
 
 #ifndef PRAGUE_CORE_CANDIDATES_H_
 #define PRAGUE_CORE_CANDIDATES_H_
@@ -21,13 +29,20 @@
 
 namespace prague {
 
-/// \brief Algorithm 3: candidate data-graph ids for one SPIG vertex.
+/// \brief Algorithm 3: candidate data-graph ids for one SPIG vertex,
+/// computed from scratch (no memo read or write).
 ///
 /// For a NIF with empty Φ and Υ the subgraph provably has zero support
 /// (every infrequent fragment with support ≥ 1 contains an indexed DIF),
 /// so the result is empty.
 IdSet ExactSubCandidates(const SpigVertex& v,
                          const ActionAwareIndexes& indexes);
+
+/// \brief Algorithm 3 through the per-vertex memo: answers from
+/// v.cand_cache when valid, else computes and fills it. Not thread-safe
+/// across calls on the same vertex.
+const IdSet& CachedSubCandidates(const SpigVertex& v,
+                                 const ActionAwareIndexes& indexes);
 
 /// \brief Per-level split of similarity candidates.
 struct SimilarCandidates {
@@ -38,7 +53,8 @@ struct SimilarCandidates {
   std::map<int, IdSet> ver;
 
   /// \brief |∪ Rfree ∪ Rver| — the candidate-size metric of Figures
-  /// 9(b)-(e) and 10.
+  /// 9(b)-(e) and 10. Counted by one merged sweep over the per-level
+  /// sets; no intermediate sets are materialized.
   size_t TotalCandidates() const;
   /// \brief Union of all verification-free ids across levels.
   IdSet AllFree() const;
@@ -49,9 +65,12 @@ struct SimilarCandidates {
 /// \brief Algorithm 4: similarity candidates for the current query.
 ///
 /// \p query_size is |q| in edges; levels below 1 are clamped away.
+/// \p use_cache routes per-vertex resolution through the SpigVertex memo
+/// (the incremental warm path); pass false to force cold recomputation.
 SimilarCandidates SimilarSubCandidates(const SpigSet& spigs,
                                        size_t query_size, int sigma,
-                                       const ActionAwareIndexes& indexes);
+                                       const ActionAwareIndexes& indexes,
+                                       bool use_cache = true);
 
 }  // namespace prague
 

@@ -13,7 +13,7 @@ std::optional<ModificationSuggestion> SuggestEdgeDeletion(
     FormulationMask reduced = full & ~FormulationBit(ell);
     const SpigVertex* v = spigs.FindVertex(reduced);
     if (v == nullptr) continue;  // should not happen for connected subsets
-    IdSet rq = ExactSubCandidates(*v, indexes);
+    IdSet rq = CachedSubCandidates(*v, indexes);
     if (!best || rq.size() > best->candidates.size()) {
       best = ModificationSuggestion{ell, std::move(rq)};
     }

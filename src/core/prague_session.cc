@@ -29,17 +29,22 @@ const SpigVertex* PragueSession::TargetVertex() const {
   return spigs_.FindVertex(query_.FullMask());
 }
 
+IdSet PragueSession::VertexCandidates(const SpigVertex& v) const {
+  return config_.candidate_memo ? CachedSubCandidates(v, *indexes_)
+                                : ExactSubCandidates(v, *indexes_);
+}
+
 void PragueSession::RefreshCandidates(StepReport* report) {
   Stopwatch timer;
   const SpigVertex* target = TargetVertex();
-  rq_ = target != nullptr ? ExactSubCandidates(*target, *indexes_) : IdSet();
+  rq_ = target != nullptr ? VertexCandidates(*target) : IdSet();
   if (rq_.empty() && !sim_flag_ && config_.auto_similarity &&
       !query_.Empty()) {
     sim_flag_ = true;  // user answers the option dialogue with "continue"
   }
   if (sim_flag_) {
     similar_ = SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
-                                    *indexes_);
+                                    *indexes_, config_.candidate_memo);
     report->free_candidates = similar_.AllFree().size();
     report->ver_candidates = similar_.AllVer().size();
   } else {
@@ -64,7 +69,8 @@ Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
   StepReport report;
   report.edge = *ell;
   Stopwatch spig_timer;
-  Result<const Spig*> spig = spigs_.AddForNewEdge(query_, *ell, *indexes_);
+  Result<const Spig*> spig =
+      spigs_.AddForNewEdge(query_, *ell, *indexes_, SpigPool());
   if (!spig.ok()) return spig.status();
   report.spig_seconds = spig_timer.ElapsedSeconds();
   RefreshCandidates(&report);
@@ -80,7 +86,7 @@ Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
 void PragueSession::MaybeExitSimilarity() {
   const SpigVertex* target = TargetVertex();
   if (sim_flag_ && target != nullptr &&
-      !ExactSubCandidates(*target, *indexes_).empty()) {
+      !VertexCandidates(*target).empty()) {
     sim_flag_ = false;
   }
 }
@@ -262,6 +268,15 @@ ThreadPool* PragueSession::VerificationPool() {
   return pool_.get();
 }
 
+ThreadPool* PragueSession::SpigPool() {
+  size_t threads = config_.spig_threads == 0 ? config_.verification_threads
+                                             : config_.spig_threads;
+  if (threads <= 1) return nullptr;
+  if (threads == config_.verification_threads) return VerificationPool();
+  if (!spig_pool_) spig_pool_ = std::make_unique<ThreadPool>(threads);
+  return spig_pool_.get();
+}
+
 Result<QueryResults> PragueSession::Run(RunStats* stats) {
   if (query_.Empty()) {
     return Status::FailedPrecondition("no query fragment to run");
@@ -295,8 +310,9 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
       // Algorithm 1 lines 19-21: exact verification came up empty — fall
       // back to similarity search.
       results.similarity = true;
-      SimilarCandidates cands = SimilarSubCandidates(
-          spigs_, query_.EdgeCount(), config_.sigma, *indexes_);
+      SimilarCandidates cands =
+          SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
+                               *indexes_, config_.candidate_memo);
       results.similar =
           SimilarResultsGen(q, spigs_, cands, config_.sigma, *db_, nullptr,
                             &sim_stats, config_.top_k, pool,

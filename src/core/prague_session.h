@@ -43,6 +43,15 @@ struct PragueConfig {
   /// Verification is read-only over the database, so parallel results are
   /// identical to sequential ones.
   size_t verification_threads = 1;
+  /// Worker threads for SPIG construction (Algorithm 2): the per-vertex
+  /// work of each level fans out with a barrier between levels, producing
+  /// SPIGs bit-identical to the sequential build. 0 = follow
+  /// verification_threads; 1 = sequential.
+  size_t spig_threads = 0;
+  /// Memoize each SPIG vertex's Algorithm-3 candidate set so candidate
+  /// refreshes only compute vertices created by the current step. Same
+  /// answers either way; false forces the cold path (benchmarking).
+  bool candidate_memo = true;
   /// Run MCCS checks behind FilteringVerifier's label/degree prefilters
   /// (graph/verifier.h). Same answers, fewer VF2 calls; off by default to
   /// match the paper's plain SimVerify.
@@ -147,6 +156,11 @@ class PragueSession {
 
   // Lazily created when config_.verification_threads > 1.
   ThreadPool* VerificationPool();
+  // Pool for SPIG construction (resolved spig_threads > 1), reusing the
+  // verification pool when the sizes agree. Null means build sequentially.
+  ThreadPool* SpigPool();
+  // Algorithm 3 for one vertex, memoized or not per config_.
+  IdSet VertexCandidates(const SpigVertex& v) const;
 
   const GraphDatabase* db_;
   const ActionAwareIndexes* indexes_;
@@ -158,6 +172,7 @@ class PragueSession {
   SimilarCandidates similar_;
   bool sim_flag_ = false;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> spig_pool_;
   SessionLog log_;
 };
 

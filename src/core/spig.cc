@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
+#include "graph/code_memo.h"
 #include "graph/subgraph_ops.h"
 #include "util/bytes.h"
+#include "util/thread_pool.h"
 
 namespace prague {
 
 namespace {
+
+// Below this many vertices a level is built inline even when a pool is
+// available: task overhead beats the win on tiny levels.
+constexpr size_t kMinParallelLevelSize = 4;
 
 // Highest formulation id present in a mask (masks are never 0 here).
 FormulationId MaxFormulationId(FormulationMask mask) {
@@ -27,6 +33,7 @@ void SortUnique(std::vector<uint32_t>* v) {
 // Υ sets feed Υ.
 void InheritInto(const SpigVertex& sub, FragmentList* frag) {
   if (sub.frag.freq_id) frag->phi.push_back(*sub.frag.freq_id);
+  frag->upsilon.reserve(frag->upsilon.size() + sub.frag.upsilon.size() + 1);
   if (sub.frag.dif_id) frag->upsilon.push_back(*sub.frag.dif_id);
   frag->upsilon.insert(frag->upsilon.end(), sub.frag.upsilon.begin(),
                        sub.frag.upsilon.end());
@@ -62,6 +69,10 @@ void Spig::RemoveVerticesWithEdge(FormulationId ell_d) {
                                return (v.edge_list & bit) != 0;
                              }),
               vec.end());
+    // Surviving vertices keep their memoized candidate sets: their
+    // fragments are untouched by the deletion, so the cached Algorithm-3
+    // results stay valid — this is what keeps DeleteEdge near the paper's
+    // zero-cost-modification promise.
     for (int i = 0; i < static_cast<int>(vec.size()); ++i) {
       by_mask_.emplace(vec[i].edge_list, std::make_pair(level, i));
     }
@@ -75,7 +86,8 @@ size_t Spig::ByteSize() const {
     bytes += VectorBytes(level);
     for (const SpigVertex& v : level) {
       bytes += v.fragment.ByteSize() + v.code.capacity() +
-               VectorBytes(v.frag.phi) + VectorBytes(v.frag.upsilon);
+               VectorBytes(v.frag.phi) + VectorBytes(v.frag.upsilon) +
+               v.cand_cache.ByteSize();
     }
   }
   bytes += by_mask_.size() *
@@ -83,9 +95,55 @@ size_t Spig::ByteSize() const {
   return bytes;
 }
 
+// Resolves one SPIG vertex of `spig` (its edge_list is already set):
+// extracts the subgraph, computes the canonical code, and fills the
+// Fragment List by index lookup or Φ/Υ inheritance (Algorithm 2 lines
+// 6-11). Reads only the query, the indexes, completed earlier levels of
+// `spig`, and fully built earlier SPIGs — safe to run concurrently for
+// all vertices of one level.
+void SpigSet::BuildVertex(const VisualQuery& query, const Graph& q,
+                          EdgeId graph_edge, EdgeMask gmask, const Spig& spig,
+                          const ActionAwareIndexes& indexes,
+                          SpigVertex* v) const {
+  ExtractedSubgraph sub = ExtractEdgeSubgraph(q, gmask);
+  v->fragment = std::move(sub.graph);
+  v->code = GetCanonicalCode(v->fragment);
+
+  if (std::optional<A2fId> fid = indexes.a2f.Lookup(v->code)) {
+    v->frag.freq_id = *fid;
+  } else if (std::optional<A2iId> did = indexes.a2i.Lookup(v->code)) {
+    v->frag.dif_id = *did;
+  } else {
+    // NIF: inherit Φ/Υ from the (level−1)-subgraphs. Those containing
+    // eℓ are this SPIG's parents (drop one non-eℓ edge, if still
+    // connected); the single one without eℓ lives in the SPIG of its
+    // own largest formulation id (Algorithm 2 lines 8-11).
+    v->frag.phi.reserve(MaskSize(gmask));
+    for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
+      if (e == graph_edge || !(gmask & EdgeBit(e))) continue;
+      EdgeMask parent_mask = gmask & ~EdgeBit(e);
+      if (!IsEdgeSubsetConnected(q, parent_mask)) continue;
+      const SpigVertex* parent =
+          spig.FindByEdgeList(query.ToFormulationMask(parent_mask));
+      assert(parent != nullptr && "parent level must be complete");
+      if (parent != nullptr) InheritInto(*parent, &v->frag);
+    }
+    EdgeMask without_ell = gmask & ~EdgeBit(graph_edge);
+    if (without_ell != 0 && IsEdgeSubsetConnected(q, without_ell)) {
+      FormulationMask fmask = query.ToFormulationMask(without_ell);
+      const SpigVertex* prior = FindVertexInternal(fmask);
+      assert(prior != nullptr && "earlier SPIGs must cover this subset");
+      if (prior != nullptr) InheritInto(*prior, &v->frag);
+    }
+    SortUnique(&v->frag.phi);
+    SortUnique(&v->frag.upsilon);
+  }
+}
+
 Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
                                            FormulationId ell,
-                                           const ActionAwareIndexes& indexes) {
+                                           const ActionAwareIndexes& indexes,
+                                           ThreadPool* pool) {
   if (spigs_.contains(ell)) {
     return Status::InvalidArgument("SPIG already built for e" +
                                    std::to_string(ell));
@@ -95,7 +153,6 @@ Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
     return Status::NotFound("edge e" + std::to_string(ell) + " is not alive");
   }
   const Graph& q = query.CurrentGraph();
-  FormulationMask ell_bit = FormulationBit(ell);
 
   Spig spig;
   spig.ell_ = ell;
@@ -103,47 +160,31 @@ Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
       ConnectedEdgeSupersetsOf(q, *graph_edge);
   spig.levels_.resize(masks.size());
 
+  // Level-by-level with a barrier between levels: resolving a level-k NIF
+  // reads the completed level k−1 (in-SPIG parents) and earlier SPIGs, so
+  // within one level every vertex is independent. Slots are pre-sized and
+  // the by-mask table pre-registered in enumeration order, which makes the
+  // parallel build's layout identical to the sequential one.
   for (int level = 1; level < static_cast<int>(masks.size()); ++level) {
-    for (EdgeMask gmask : masks[level]) {
-      SpigVertex v;
-      v.edge_list = query.ToFormulationMask(gmask);
-      ExtractedSubgraph sub = ExtractEdgeSubgraph(q, gmask);
-      v.fragment = std::move(sub.graph);
-      v.code = GetCanonicalCode(v.fragment);
-
-      if (std::optional<A2fId> fid = indexes.a2f.Lookup(v.code)) {
-        v.frag.freq_id = *fid;
-      } else if (std::optional<A2iId> did = indexes.a2i.Lookup(v.code)) {
-        v.frag.dif_id = *did;
-      } else {
-        // NIF: inherit Φ/Υ from the (level−1)-subgraphs. Those containing
-        // eℓ are this SPIG's parents (drop one non-eℓ edge, if still
-        // connected); the single one without eℓ lives in the SPIG of its
-        // own largest formulation id (Algorithm 2 lines 8-11).
-        for (EdgeId e = 0; e < q.EdgeCount(); ++e) {
-          if (e == *graph_edge || !(gmask & EdgeBit(e))) continue;
-          EdgeMask parent_mask = gmask & ~EdgeBit(e);
-          if (!IsEdgeSubsetConnected(q, parent_mask)) continue;
-          const SpigVertex* parent =
-              spig.FindByEdgeList(query.ToFormulationMask(parent_mask));
-          assert(parent != nullptr && "parent level must be complete");
-          if (parent != nullptr) InheritInto(*parent, &v.frag);
-        }
-        EdgeMask without_ell = gmask & ~EdgeBit(*graph_edge);
-        if (without_ell != 0 && IsEdgeSubsetConnected(q, without_ell)) {
-          FormulationMask fmask = query.ToFormulationMask(without_ell);
-          const SpigVertex* prior = FindVertexInternal(fmask);
-          assert(prior != nullptr && "earlier SPIGs must cover this subset");
-          if (prior != nullptr) InheritInto(*prior, &v.frag);
-        }
-        SortUnique(&v.frag.phi);
-        SortUnique(&v.frag.upsilon);
+    const std::vector<EdgeMask>& level_masks = masks[level];
+    std::vector<SpigVertex>& out = spig.levels_[level];
+    out.resize(level_masks.size());
+    for (size_t i = 0; i < level_masks.size(); ++i) {
+      out[i].edge_list = query.ToFormulationMask(level_masks[i]);
+      spig.by_mask_.emplace(out[i].edge_list,
+                            std::make_pair(level, static_cast<int>(i)));
+    }
+    auto build_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        BuildVertex(query, q, *graph_edge, level_masks[i], spig, indexes,
+                    &out[i]);
       }
-      (void)ell_bit;
-      spig.by_mask_.emplace(
-          v.edge_list,
-          std::make_pair(level, static_cast<int>(spig.levels_[level].size())));
-      spig.levels_[level].push_back(std::move(v));
+    };
+    if (pool != nullptr && pool->size() > 1 &&
+        level_masks.size() >= kMinParallelLevelSize) {
+      pool->ParallelFor(level_masks.size(), 1, build_range);
+    } else {
+      build_range(0, level_masks.size());
     }
   }
 
@@ -157,7 +198,9 @@ namespace {
 
 // Recomputes a Fragment List from scratch: index lookups for the fragment
 // itself, else Φ = frequent (size−1)-subgraphs and Υ = all DIF subgraphs
-// by full enumeration (Definition 4, computed the slow way).
+// by full enumeration (Definition 4, computed the slow way). Subgraph
+// codes go through the global canonical-code memo: a relabel refreshes
+// many SPIG vertices whose enumerations overlap heavily.
 FragmentList DirectFragmentList(const Graph& fragment,
                                 const CanonicalCode& code,
                                 const ActionAwareIndexes& indexes) {
@@ -172,10 +215,12 @@ FragmentList DirectFragmentList(const Graph& fragment,
   }
   std::vector<std::vector<EdgeMask>> by_size =
       ConnectedEdgeSubsetsBySize(fragment);
+  CanonicalCodeMemo& memo = CanonicalCodeMemo::Global();
   for (size_t k = 1; k < fragment.EdgeCount(); ++k) {
+    out.upsilon.reserve(out.upsilon.size() + by_size[k].size());
     for (EdgeMask mask : by_size[k]) {
       Graph sub = ExtractEdgeSubgraph(fragment, mask).graph;
-      CanonicalCode sub_code = GetCanonicalCode(sub);
+      CanonicalCode sub_code = memo.Get(sub);
       if (k + 1 == fragment.EdgeCount()) {
         if (std::optional<A2fId> fid = indexes.a2f.Lookup(sub_code)) {
           out.phi.push_back(*fid);
@@ -210,6 +255,9 @@ Status SpigSet::RefreshForRelabel(const VisualQuery& query,
         v.fragment = std::move(sub.graph);
         v.code = GetCanonicalCode(v.fragment);
         v.frag = DirectFragmentList(v.fragment, v.code, indexes);
+        // The fragment changed, so the memoized candidate set is stale.
+        v.cand_cache = IdSet();
+        v.cand_cached = false;
       }
     }
   }
@@ -220,6 +268,17 @@ void SpigSet::RemoveForDeletedEdge(FormulationId ell_d) {
   spigs_.erase(ell_d);
   for (auto& [ell, spig] : spigs_) {
     if (ell > ell_d) spig.RemoveVerticesWithEdge(ell_d);
+  }
+}
+
+void SpigSet::InvalidateCandidateCaches() const {
+  for (const auto& [ell, spig] : spigs_) {
+    for (const auto& level : spig.levels_) {
+      for (const SpigVertex& v : level) {
+        v.cand_cache = IdSet();
+        v.cand_cached = false;
+      }
+    }
   }
 }
 

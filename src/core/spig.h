@@ -29,9 +29,12 @@
 #include "graph/canonical.h"
 #include "graph/graph.h"
 #include "index/action_aware_index.h"
+#include "util/id_set.h"
 #include "util/result.h"
 
 namespace prague {
+
+class ThreadPool;
 
 /// \brief The Fragment List Lfrag(g) of a SPIG vertex (Definition 4).
 struct FragmentList {
@@ -58,6 +61,16 @@ struct SpigVertex {
   CanonicalCode code;
   /// Lfrag(g).
   FragmentList frag;
+
+  /// Memoized Algorithm-3 candidate set (see core/candidates.h —
+  /// CachedSubCandidates). Valid while `frag` is unchanged: the candidate
+  /// set depends only on the Fragment List and the (immutable during a
+  /// session) indexes, so it survives edge deletions untouched and is
+  /// reset only when RefreshForRelabel rewrites the fragment. Mutable
+  /// because caching happens under const access; candidate generation is
+  /// single-threaded (only SPIG *construction* is parallel).
+  mutable IdSet cand_cache;
+  mutable bool cand_cached = false;
 
   /// \brief Level = |g| in edges.
   int Level() const { return __builtin_popcountll(edge_list); }
@@ -109,9 +122,18 @@ class SpigSet {
   /// \p indexes with inheritance from in-SPIG parents and earlier SPIGs.
   ///
   /// Must be called exactly once per drawn edge, in formulation order.
+  ///
+  /// When \p pool is non-null (and has > 1 worker), the per-vertex work of
+  /// each level — subgraph extraction, canonical code, A2F/A2I lookups,
+  /// and NIF Φ/Υ inheritance — fans out across the pool, with a barrier
+  /// between levels so inheritance always reads a completed level−1.
+  /// Vertices are written into pre-sized slots in enumeration order, so
+  /// the resulting SPIG (levels, by-mask lookups, Fragment Lists) is
+  /// bit-identical to the sequential build.
   Result<const Spig*> AddForNewEdge(const VisualQuery& query,
                                     FormulationId ell,
-                                    const ActionAwareIndexes& indexes);
+                                    const ActionAwareIndexes& indexes,
+                                    ThreadPool* pool = nullptr);
 
   /// \brief Algorithm 6 (lines 12-14): drops S_d and every vertex of later
   /// SPIGs whose Edge List contains e_d.
@@ -129,6 +151,11 @@ class SpigSet {
 
   /// \brief Drops all SPIGs.
   void Clear() { spigs_.clear(); }
+
+  /// \brief Drops every vertex's memoized candidate set (cold-path
+  /// benchmarking, and required after external index maintenance mutates
+  /// the FSG id sets mid-session).
+  void InvalidateCandidateCaches() const;
 
   /// \brief The SPIG for eℓ, or nullptr.
   const Spig* Find(FormulationId ell) const;
@@ -161,6 +188,13 @@ class SpigSet {
  private:
   // Locates the Fragment List of the (already built) vertex for `mask`.
   const SpigVertex* FindVertexInternal(FormulationMask mask) const;
+
+  // Resolves one vertex of the SPIG under construction (fragment, code,
+  // Fragment List). Reads only completed earlier levels / SPIGs; safe to
+  // run concurrently across the vertices of one level.
+  void BuildVertex(const VisualQuery& query, const Graph& q,
+                   EdgeId graph_edge, EdgeMask gmask, const Spig& spig,
+                   const ActionAwareIndexes& indexes, SpigVertex* v) const;
 
   std::unordered_map<FormulationId, Spig> spigs_;
 };

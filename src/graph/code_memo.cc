@@ -1,0 +1,70 @@
+#include "graph/code_memo.h"
+
+namespace prague {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+}  // namespace
+
+std::string GraphRepresentationKey(const Graph& g) {
+  std::string key;
+  key.reserve(4 * (1 + g.NodeCount() + 3 * g.EdgeCount()));
+  AppendU32(&key, static_cast<uint32_t>(g.NodeCount()));
+  for (NodeId n = 0; n < g.NodeCount(); ++n) AppendU32(&key, g.NodeLabel(n));
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    const Edge& edge = g.GetEdge(e);
+    AppendU32(&key, edge.u);
+    AppendU32(&key, edge.v);
+    AppendU32(&key, edge.label);
+  }
+  return key;
+}
+
+CanonicalCode CanonicalCodeMemo::Get(const Graph& g) {
+  std::string key = GraphRepresentationKey(g);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  CanonicalCode code = GetCanonicalCode(g);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    if (memo_.size() >= max_entries_) memo_.clear();
+    memo_.emplace(std::move(key), code);
+  }
+  return code;
+}
+
+size_t CanonicalCodeMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+size_t CanonicalCodeMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void CanonicalCodeMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memo_.clear();
+}
+
+CanonicalCodeMemo& CanonicalCodeMemo::Global() {
+  static CanonicalCodeMemo* memo = new CanonicalCodeMemo();
+  return *memo;
+}
+
+}  // namespace prague

@@ -1,0 +1,66 @@
+// Canonical-code memo: hash-consing of Graph → CanonicalCode.
+//
+// Minimum-DFS-code computation is the single most expensive primitive on
+// the relabel/maintenance paths, and both DirectFragmentList
+// (core/spig.cc) and DifParents (index/index_maintenance.cc) recompute
+// codes for the *same* extracted subgraphs over and over: every SPIG
+// vertex touching a relabeled node re-enumerates its subsets, and every
+// appended data graph re-derives the DIF parent lists. The memo keys on
+// the exact graph representation (node labels + edge triples in storage
+// order), which is stable because ExtractEdgeSubgraph is deterministic —
+// two extractions of the same subset serialize identically. Isomorphic
+// graphs with different node orders simply miss; that only costs a
+// recompute, never correctness.
+
+#ifndef PRAGUE_GRAPH_CODE_MEMO_H_
+#define PRAGUE_GRAPH_CODE_MEMO_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+
+namespace prague {
+
+/// \brief Thread-safe memo of canonical codes, keyed by exact graph
+/// representation.
+class CanonicalCodeMemo {
+ public:
+  /// \p max_entries bounds memory; the memo resets when it would exceed
+  /// the cap (simple and good enough — hit rates come from tight loops,
+  /// not long histories).
+  explicit CanonicalCodeMemo(size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  /// \brief cam(g), from the memo when possible.
+  CanonicalCode Get(const Graph& g);
+
+  /// \brief Lifetime hit/miss counters (for benchmarks and tests).
+  size_t hits() const;
+  size_t misses() const;
+
+  /// \brief Drops all entries (counters survive).
+  void Clear();
+
+  /// \brief Process-wide instance shared by the relabel and index-
+  /// maintenance paths.
+  static CanonicalCodeMemo& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, CanonicalCode> memo_;
+  size_t max_entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+/// \brief The memo key: node labels + edge triples in storage order.
+/// Exposed for tests.
+std::string GraphRepresentationKey(const Graph& g);
+
+}  // namespace prague
+
+#endif  // PRAGUE_GRAPH_CODE_MEMO_H_

@@ -5,7 +5,7 @@
 #include <optional>
 #include <vector>
 
-#include "graph/canonical.h"
+#include "graph/code_memo.h"
 #include "graph/subgraph_ops.h"
 #include "graph/verifier.h"
 
@@ -27,16 +27,20 @@ std::vector<A2fId> SizeAscendingOrder(const A2FIndex& a2f) {
 // For each A2I entry, the A2F ids of its one-edge-smaller subfragments
 // (all frequent by the DIF definition, hence indexed — unless mining was
 // size-capped, in which case the list may be partial; missing parents
-// simply weaken pruning).
+// simply weaken pruning). Subgraph codes go through the global
+// canonical-code memo: repeated maintenance batches re-derive the same
+// parent lists.
 std::vector<std::vector<A2fId>> DifParents(const ActionAwareIndexes& idx) {
+  CanonicalCodeMemo& memo = CanonicalCodeMemo::Global();
   std::vector<std::vector<A2fId>> parents(idx.a2i.EntryCount());
   for (A2iId d = 0; d < idx.a2i.EntryCount(); ++d) {
     const Graph& g = idx.a2i.entry(d).fragment;
     if (g.EdgeCount() < 2) continue;
     auto by_size = ConnectedEdgeSubsetsBySize(g);
+    parents[d].reserve(by_size[g.EdgeCount() - 1].size());
     for (EdgeMask mask : by_size[g.EdgeCount() - 1]) {
       Graph sub = ExtractEdgeSubgraph(g, mask).graph;
-      if (std::optional<A2fId> fid = idx.a2f.Lookup(GetCanonicalCode(sub))) {
+      if (std::optional<A2fId> fid = idx.a2f.Lookup(memo.Get(sub))) {
         parents[d].push_back(*fid);
       }
     }

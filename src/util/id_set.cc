@@ -4,6 +4,62 @@
 
 namespace prague {
 
+namespace {
+
+// Per-thread output buffer for the in-place operations: the result is
+// built here and swapped into ids_, recycling capacity across calls.
+std::vector<GraphId>& ScratchBuffer() {
+  thread_local std::vector<GraphId> scratch;
+  return scratch;
+}
+
+// Galloping intersection: for each id of the small side, exponential
+// search forward through the large side from the previous match position.
+void GallopIntersect(const std::vector<GraphId>& small,
+                     const std::vector<GraphId>& large,
+                     std::vector<GraphId>* out) {
+  const size_t n = large.size();
+  size_t pos = 0;
+  for (GraphId id : small) {
+    size_t lo = pos;
+    size_t step = 1;
+    while (lo + step < n && large[lo + step] < id) {
+      lo += step;
+      step <<= 1;
+    }
+    size_t hi = std::min(n, lo + step + 1);
+    pos = static_cast<size_t>(
+        std::lower_bound(large.begin() + static_cast<ptrdiff_t>(lo),
+                         large.begin() + static_cast<ptrdiff_t>(hi), id) -
+        large.begin());
+    if (pos == n) return;
+    if (large[pos] == id) {
+      out->push_back(id);
+      ++pos;
+    }
+  }
+}
+
+// Intersection of two sorted vectors into `out` (cleared first), picking
+// merge vs gallop by size ratio.
+void IntersectInto(const std::vector<GraphId>& a,
+                   const std::vector<GraphId>& b,
+                   std::vector<GraphId>* out) {
+  out->clear();
+  const std::vector<GraphId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<GraphId>& large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return;
+  out->reserve(small.size());
+  if (large.size() / small.size() >= IdSet::kGallopRatio) {
+    GallopIntersect(small, large, out);
+  } else {
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(*out));
+  }
+}
+
+}  // namespace
+
 IdSet::IdSet(std::vector<GraphId> ids) : ids_(std::move(ids)) {
   std::sort(ids_.begin(), ids_.end());
   ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
@@ -35,9 +91,7 @@ void IdSet::Erase(GraphId id) {
 
 IdSet IdSet::Intersect(const IdSet& other) const {
   IdSet out;
-  out.ids_.reserve(std::min(ids_.size(), other.ids_.size()));
-  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
-                        other.ids_.end(), std::back_inserter(out.ids_));
+  IntersectInto(ids_, other.ids_, &out.ids_);
   return out;
 }
 
@@ -57,11 +111,48 @@ IdSet IdSet::Subtract(const IdSet& other) const {
   return out;
 }
 
-void IdSet::IntersectWith(const IdSet& other) { *this = Intersect(other); }
+void IdSet::IntersectWith(const IdSet& other) {
+  std::vector<GraphId>& scratch = ScratchBuffer();
+  IntersectInto(ids_, other.ids_, &scratch);
+  ids_.swap(scratch);
+}
 
-void IdSet::UnionWith(const IdSet& other) { *this = Union(other); }
+void IdSet::UnionWith(const IdSet& other) {
+  if (other.ids_.empty()) return;
+  if (ids_.empty()) {
+    ids_ = other.ids_;
+    return;
+  }
+  std::vector<GraphId>& scratch = ScratchBuffer();
+  scratch.clear();
+  scratch.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(scratch));
+  ids_.swap(scratch);
+}
 
-void IdSet::SubtractWith(const IdSet& other) { *this = Subtract(other); }
+void IdSet::SubtractWith(const IdSet& other) {
+  if (ids_.empty() || other.ids_.empty()) return;
+  std::vector<GraphId>& scratch = ScratchBuffer();
+  scratch.clear();
+  scratch.reserve(ids_.size());
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(scratch));
+  ids_.swap(scratch);
+}
+
+IdSet IdSet::IntersectMany(std::vector<const IdSet*> sets) {
+  sets.erase(std::remove(sets.begin(), sets.end(), nullptr), sets.end());
+  if (sets.empty()) return IdSet();
+  std::sort(sets.begin(), sets.end(), [](const IdSet* a, const IdSet* b) {
+    return a->size() < b->size();
+  });
+  IdSet out = *sets.front();
+  for (size_t i = 1; i < sets.size() && !out.empty(); ++i) {
+    out.IntersectWith(*sets[i]);
+  }
+  return out;
+}
 
 bool IdSet::IsSubsetOf(const IdSet& other) const {
   return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),

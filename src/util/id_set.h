@@ -3,6 +3,12 @@
 // difference). Backed by a flat sorted vector: candidate sets are built
 // once and scanned many times, so cache-friendly storage beats node-based
 // sets by a wide margin.
+//
+// Intersections switch from the linear merge to a galloping (exponential-
+// search) scan of the larger side when the size ratio crosses
+// kGallopRatio, and the in-place operations build their result in a
+// per-thread scratch buffer that is swapped into place, so steady-state
+// candidate algebra performs no allocation.
 
 #ifndef PRAGUE_UTIL_ID_SET_H_
 #define PRAGUE_UTIL_ID_SET_H_
@@ -30,6 +36,18 @@ class IdSet {
 
   /// \brief The universe {0, 1, ..., n-1}.
   static IdSet Universe(GraphId n);
+
+  /// Size ratio (larger/smaller) above which intersections gallop through
+  /// the larger side instead of merging linearly. Galloping is
+  /// O(|small| · log(|large|/|small|)), which wins once the sides are
+  /// lopsided — the common case when a tiny NIF Φ set filters a huge
+  /// frequent-fragment FSG set.
+  static constexpr size_t kGallopRatio = 16;
+
+  /// \brief Intersection of all \p sets, visiting them smallest-first and
+  /// stopping as soon as the running result empties. Null entries are
+  /// skipped; no sets (or only null entries) yields the empty set.
+  static IdSet IntersectMany(std::vector<const IdSet*> sets);
 
   /// \brief Number of ids in the set.
   size_t size() const { return ids_.size(); }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "util/bytes.h"
 #include "util/id_set.h"
 #include "util/result.h"
@@ -117,6 +120,131 @@ TEST(IdSetTest, IntersectWithEmpty) {
 TEST(IdSetTest, ToString) {
   EXPECT_EQ(IdSet({1, 2}).ToString(), "{1, 2}");
   EXPECT_EQ(IdSet().ToString(), "{}");
+}
+
+// ---- Property tests for the merge/gallop intersection fast paths ----
+//
+// Every IdSet operation is checked against a std::set-based reference
+// model, on both balanced inputs (merge path) and heavily skewed ones
+// (size ratio ≥ kGallopRatio forces the galloping path).
+
+std::vector<GraphId> RandomIds(Rng* rng, size_t count, GraphId universe) {
+  std::vector<GraphId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<GraphId>(rng->Below(universe)));
+  }
+  return ids;
+}
+
+std::set<GraphId> AsSet(const IdSet& s) {
+  return std::set<GraphId>(s.ids().begin(), s.ids().end());
+}
+
+void CheckAlgebraAgainstReference(const IdSet& a, const IdSet& b) {
+  std::set<GraphId> ra = AsSet(a), rb = AsSet(b);
+  std::vector<GraphId> want_inter, want_union, want_diff;
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::back_inserter(want_inter));
+  std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::back_inserter(want_union));
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::back_inserter(want_diff));
+
+  EXPECT_EQ(a.Intersect(b).ids(), want_inter);
+  EXPECT_EQ(b.Intersect(a).ids(), want_inter);  // commutes across paths
+  EXPECT_EQ(a.Union(b).ids(), want_union);
+  EXPECT_EQ(a.Subtract(b).ids(), want_diff);
+
+  IdSet in_place = a;
+  in_place.IntersectWith(b);
+  EXPECT_EQ(in_place.ids(), want_inter);
+  in_place = a;
+  in_place.UnionWith(b);
+  EXPECT_EQ(in_place.ids(), want_union);
+  in_place = a;
+  in_place.SubtractWith(b);
+  EXPECT_EQ(in_place.ids(), want_diff);
+}
+
+TEST(IdSetPropertyTest, BalancedRoundsMatchReferenceModel) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    GraphId universe = static_cast<GraphId>(rng.Between(1, 2000));
+    IdSet a(RandomIds(&rng, rng.Below(400), universe));
+    IdSet b(RandomIds(&rng, rng.Below(400), universe));
+    CheckAlgebraAgainstReference(a, b);
+  }
+}
+
+TEST(IdSetPropertyTest, SkewedRoundsForceGallopPath) {
+  Rng rng(4048);
+  for (int round = 0; round < 30; ++round) {
+    GraphId universe = static_cast<GraphId>(rng.Between(100, 50000));
+    size_t small_n = rng.Below(20);
+    // Large side at least kGallopRatio times bigger than the small side.
+    size_t large_n = (small_n + 1) * IdSet::kGallopRatio * 4;
+    IdSet small(RandomIds(&rng, small_n, universe));
+    IdSet large(RandomIds(&rng, large_n, universe));
+    CheckAlgebraAgainstReference(small, large);
+  }
+}
+
+TEST(IdSetPropertyTest, GallopEdgeCases) {
+  // Small side entirely past the large side's range.
+  IdSet past({1000, 1001});
+  std::vector<GraphId> dense;
+  for (GraphId i = 0; i < 512; ++i) dense.push_back(i);
+  IdSet big(dense);
+  EXPECT_TRUE(past.Intersect(big).empty());
+  // Small side entirely before it.
+  IdSet before({0});
+  IdSet high_ids([] {
+    std::vector<GraphId> v;
+    for (GraphId i = 100; i < 612; ++i) v.push_back(i);
+    return v;
+  }());
+  EXPECT_TRUE(before.Intersect(high_ids).empty());
+  // Exact hits at both ends of the large side.
+  IdSet ends({0, 511});
+  EXPECT_EQ(ends.Intersect(big).ids(), (std::vector<GraphId>{0, 511}));
+}
+
+TEST(IdSetPropertyTest, SelfAliasingInPlaceOps) {
+  IdSet a({1, 2, 3});
+  a.IntersectWith(a);
+  EXPECT_EQ(a.ids(), (std::vector<GraphId>{1, 2, 3}));
+  a.UnionWith(a);
+  EXPECT_EQ(a.ids(), (std::vector<GraphId>{1, 2, 3}));
+  a.SubtractWith(a);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(IdSetPropertyTest, IntersectManyMatchesPairwiseFolds) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    size_t k = rng.Between(1, 6);
+    std::vector<IdSet> sets;
+    for (size_t i = 0; i < k; ++i) {
+      sets.emplace_back(RandomIds(&rng, rng.Below(300), 500));
+    }
+    std::vector<const IdSet*> ptrs;
+    for (const IdSet& s : sets) ptrs.push_back(&s);
+    IdSet folded = sets[0];
+    for (size_t i = 1; i < k; ++i) folded.IntersectWith(sets[i]);
+    EXPECT_EQ(IdSet::IntersectMany(ptrs), folded);
+  }
+}
+
+TEST(IdSetPropertyTest, IntersectManyIgnoresNullsAndHandlesEmpty) {
+  IdSet a({1, 2, 3}), b({2, 3, 4});
+  EXPECT_EQ(IdSet::IntersectMany({&a, nullptr, &b}).ids(),
+            (std::vector<GraphId>{2, 3}));
+  EXPECT_TRUE(IdSet::IntersectMany({}).empty());
+  EXPECT_TRUE(IdSet::IntersectMany({nullptr}).empty());
+  IdSet empty;
+  EXPECT_TRUE(IdSet::IntersectMany({&a, &empty, &b}).empty());
+  EXPECT_EQ(IdSet::IntersectMany({&a}).ids(), a.ids());
 }
 
 TEST(RngTest, Deterministic) {
