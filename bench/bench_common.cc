@@ -52,6 +52,10 @@ Workbench BuildWorkbench(GraphDatabase db, double alpha, size_t beta,
   A2fConfig a2f;
   a2f.beta = beta;
   bench.indexes = BuildActionAwareIndexes(bench.mined, a2f);
+  bench.alpha = alpha;
+  // Owned copies (cheap via structural sharing) — a Borrow would dangle
+  // once the Workbench is returned by value.
+  bench.snapshot = DatabaseSnapshot::Make(bench.db, bench.indexes);
   return bench;
 }
 
@@ -104,7 +108,8 @@ Result<VisualQuerySpec> BestCaseSimilarityQuery(const Workbench& bench,
                                                 const std::string& name) {
   // Label pairs that occur on any data edge.
   std::set<std::pair<Label, Label>> present;
-  for (const Graph& g : bench.db.graphs()) {
+  for (GraphId gid = 0; gid < bench.db.size(); ++gid) {
+    const Graph& g = bench.db.graph(gid);
     for (const Edge& e : g.edges()) {
       Label a = g.NodeLabel(e.u);
       Label b = g.NodeLabel(e.v);
@@ -142,7 +147,8 @@ Result<VisualQuerySpec> BestCaseSimilarityQuery(const Workbench& bench,
     spec.graph = std::move(b).Build();
     if (!absent) {
       if (scans_left-- <= 0) return std::nullopt;
-      for (const Graph& g : bench.db.graphs()) {
+      for (GraphId gid = 0; gid < bench.db.size(); ++gid) {
+        const Graph& g = bench.db.graph(gid);
         if (IsSubgraphIsomorphic(spec.graph, g)) return std::nullopt;
       }
     }

@@ -35,6 +35,12 @@ struct Workbench {
   GraphDatabase db;
   MiningResult mined;
   ActionAwareIndexes indexes;
+  /// Version-0 snapshot over owned *copies* of db/indexes (cheap: graph
+  /// storage and id-sets are shared). Owned rather than borrowed because
+  /// Workbench is returned by value and a borrow would dangle.
+  SnapshotPtr snapshot;
+  /// Mining ratio the indexes were built with (for append benchmarks).
+  double alpha = 0;
   double mining_seconds = 0;
 
   /// Baseline engines share the mined fragments.

@@ -1,0 +1,185 @@
+// Concurrent session throughput over the SessionManager: S sessions
+// formulate and run containment queries in parallel, with and without a
+// background appender publishing copy-on-write successors the whole time.
+//
+// What the snapshot layer promises: readers never pause for the writer —
+// per-query latency with the appender running should stay close to the
+// appender-off baseline (the writer burns one core doing index
+// maintenance, but never blocks a session). Sweeps S in {1, 4, 16}, each
+// cell re-built from a fresh version-0 snapshot so appends never
+// accumulate across cells. Per-cell records go to BENCH_concurrent.json
+// (override the path with PRAGUE_BENCH_JSON).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/session_manager.h"
+#include "util/stopwatch.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+namespace {
+
+constexpr size_t kQueriesPerSession = 8;
+constexpr size_t kAppendBatch = 10;
+
+// Formulates `spec` and runs it inside one manager-opened session.
+void RunOne(SessionManager& manager, const VisualQuerySpec& spec) {
+  std::shared_ptr<ManagedSession> session = manager.Open();
+  session->With([&](PragueSession& s) {
+    std::vector<NodeId> ids(spec.graph.NodeCount(), kInvalidNode);
+    for (EdgeId e : spec.sequence) {
+      const Edge& edge = spec.graph.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (ids[n] == kInvalidNode) ids[n] = s.AddNode(spec.graph.NodeLabel(n));
+      }
+      if (!s.AddEdge(ids[edge.u], ids[edge.v], edge.label).ok()) std::abort();
+    }
+    if (!s.Run(nullptr).ok()) std::abort();
+  });
+}
+
+struct CellResult {
+  size_t sessions = 0;
+  bool appender = false;
+  size_t queries = 0;
+  double wall_seconds = 0;
+  double mean_latency = 0;
+  double worst_latency = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t final_version = 0;
+};
+
+CellResult RunCell(const Workbench& bench,
+                   const std::vector<VisualQuerySpec>& specs, size_t sessions,
+                   bool with_appender) {
+  // Fresh version-0 snapshot per cell (cheap: structurally shared).
+  SessionManager manager(DatabaseSnapshot::Make(bench.db, bench.indexes));
+
+  std::atomic<bool> stop{false};
+  std::thread appender;
+  if (with_appender) {
+    appender = std::thread([&] {
+      size_t next = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Re-append copies of existing molecules: label-compatible by
+        // construction, and the id sets keep growing realistically.
+        std::vector<Graph> batch;
+        for (size_t i = 0; i < kAppendBatch; ++i, ++next) {
+          batch.push_back(bench.db.graph(next % bench.db.size()));
+        }
+        if (!manager.Append(std::move(batch), bench.alpha).ok()) std::abort();
+      }
+    });
+  }
+
+  std::vector<double> total_latency(sessions, 0);
+  std::vector<double> worst_latency(sessions, 0);
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(sessions);
+  for (size_t t = 0; t < sessions; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t q = 0; q < kQueriesPerSession; ++q) {
+        const VisualQuerySpec& spec =
+            specs[(t * kQueriesPerSession + q) % specs.size()];
+        Stopwatch timer;
+        RunOne(manager, spec);
+        double seconds = timer.ElapsedSeconds();
+        total_latency[t] += seconds;
+        worst_latency[t] = std::max(worst_latency[t], seconds);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  CellResult out;
+  out.wall_seconds = wall.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  if (appender.joinable()) appender.join();
+
+  out.sessions = sessions;
+  out.appender = with_appender;
+  out.queries = sessions * kQueriesPerSession;
+  for (size_t t = 0; t < sessions; ++t) {
+    out.mean_latency += total_latency[t];
+    out.worst_latency = std::max(out.worst_latency, worst_latency[t]);
+  }
+  out.mean_latency /= static_cast<double>(out.queries);
+  SessionManagerStats stats = manager.Stats();
+  out.snapshots_published = stats.snapshots_published;
+  out.final_version = stats.current_version;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("concurrent sessions: throughput under copy-on-write appends",
+         "S sessions x 8 queries each; appender off vs publishing "
+         "continuously");
+  Workbench bench = BuildAidsWorkbench(AidsGraphCount() / 4);
+  WorkloadGenerator workload(&bench.db, 1234);
+  std::vector<VisualQuerySpec> specs;
+  for (size_t i = 0; i < 8; ++i) {
+    Result<VisualQuerySpec> spec =
+        workload.ContainmentQuery(5 + i % 3, "c" + std::to_string(i));
+    if (!spec.ok()) std::abort();
+    specs.push_back(std::move(spec.value()));
+  }
+
+  const char* json_env = std::getenv("PRAGUE_BENCH_JSON");
+  std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_concurrent.json";
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "[\n");
+  bool first_record = true;
+
+  TablePrinter table({"sessions", "appender", "queries", "wall (s)", "qps",
+                      "mean lat (ms)", "worst lat (ms)", "published"});
+  for (size_t sessions : {1, 4, 16}) {
+    for (bool with_appender : {false, true}) {
+      CellResult r = RunCell(bench, specs, sessions, with_appender);
+      double qps = r.wall_seconds > 0
+                       ? static_cast<double>(r.queries) / r.wall_seconds
+                       : 0;
+      table.AddRow({std::to_string(r.sessions), r.appender ? "on" : "off",
+                    std::to_string(r.queries), Fmt(r.wall_seconds, 2),
+                    Fmt(qps, 1), FmtMs(r.mean_latency), FmtMs(r.worst_latency),
+                    std::to_string(r.snapshots_published)});
+      std::fprintf(
+          json,
+          "%s  {\"sessions\": %zu, \"appender\": %s, \"queries\": %zu, "
+          "\"wall_seconds\": %.6f, \"queries_per_second\": %.3f, "
+          "\"mean_latency_seconds\": %.9f, \"worst_latency_seconds\": %.9f, "
+          "\"snapshots_published\": %llu, \"final_version\": %llu}",
+          first_record ? "" : ",\n", r.sessions, r.appender ? "true" : "false",
+          r.queries, r.wall_seconds, qps, r.mean_latency, r.worst_latency,
+          static_cast<unsigned long long>(r.snapshots_published),
+          static_cast<unsigned long long>(r.final_version));
+      first_record = false;
+    }
+  }
+  std::fprintf(json, "\n]\n");
+  std::fclose(json);
+  table.Print();
+  std::printf(
+      "\nwrote %s. Readers never block on the writer: compare mean/worst "
+      "latency between appender off and on at each session count — the gap "
+      "is core contention, not lock waiting. 'published' counts successor "
+      "snapshots the appender managed to build+publish during the cell.\n",
+      json_path.c_str());
+  return 0;
+}

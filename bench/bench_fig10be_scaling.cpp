@@ -35,7 +35,7 @@ int main() {
     SigmaLikeEngine sg(&features, &bench.db);
     SimulationConfig config;
     config.prague.sigma = 3;
-    SessionSimulator simulator(&bench.db, &bench.indexes, config);
+    SessionSimulator simulator(bench.snapshot, config);
     for (size_t qi : {size_t{1}, size_t{3}}) {  // Q6 and Q8
       const VisualQuerySpec& spec = queries[qi];
       Result<SimulationResult> prg = simulator.RunPrague(spec);

@@ -17,7 +17,7 @@ int main() {
   Workbench bench = BuildAidsWorkbench(AidsGraphCount());
   std::vector<VisualQuerySpec> queries = ContainmentQueries(bench);
 
-  SessionSimulator simulator(&bench.db, &bench.indexes);
+  SessionSimulator simulator(bench.snapshot);
   TablePrinter table({"query", "|q|", "PRG (ms)", "GBR (ms)", "matches"});
   for (const VisualQuerySpec& spec : queries) {
     // Warm run discarded (paper discards the first formulation too).

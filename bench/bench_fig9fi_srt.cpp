@@ -30,7 +30,7 @@ int main() {
     for (int sigma = 1; sigma <= 4; ++sigma) {
       SimulationConfig config;
       config.prague.sigma = sigma;
-      SessionSimulator simulator(&bench.db, &bench.indexes, config);
+      SessionSimulator simulator(bench.snapshot, config);
       Result<SimulationResult> prg = simulator.RunPrague(spec);
       if (!prg.ok()) {
         std::fprintf(stderr, "PRG failed: %s\n",

@@ -27,7 +27,7 @@ int main() {
     std::vector<std::string> row = {Fmt(alpha, 2)};
     SimulationConfig config;
     config.prague.sigma = 3;
-    SessionSimulator simulator(&bench.db, &bench.indexes, config);
+    SessionSimulator simulator(bench.snapshot, config);
     for (const VisualQuerySpec& spec : queries) {
       Result<SimulationResult> result = simulator.RunPrague(spec);
       if (!result.ok()) {

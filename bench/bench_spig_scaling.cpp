@@ -47,7 +47,7 @@ RunResult Replay(const Workbench& bench, const VisualQuerySpec& spec,
   PragueConfig config;
   config.spig_threads = threads;
   config.candidate_memo = warm_cache;
-  PragueSession session(&bench.db, &bench.indexes, config);
+  PragueSession session(bench.snapshot, config);
   std::vector<NodeId> node_map(spec.graph.NodeCount(), kInvalidNode);
   RunResult out;
   bool sim_forced = false;

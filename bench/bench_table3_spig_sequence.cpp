@@ -28,7 +28,7 @@ SequenceRun RunSequence(const Workbench& bench, const Graph& q,
                         const std::vector<EdgeId>& sequence, int sigma) {
   PragueConfig config;
   config.sigma = sigma;
-  PragueSession session(&bench.db, &bench.indexes, config);
+  PragueSession session(bench.snapshot, config);
   std::vector<NodeId> node_map(q.NodeCount(), kInvalidNode);
   SequenceRun out;
   for (EdgeId e : sequence) {

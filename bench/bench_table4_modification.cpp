@@ -74,10 +74,10 @@ int main() {
         }
         double seconds;
         if (prague_engine) {
-          PragueSession session(&bench.db, &bench.indexes);
+          PragueSession session(bench.snapshot);
           seconds = ModifyAfter(&session, spec, k);
         } else {
-          GBlenderSession session(&bench.db, &bench.indexes);
+          GBlenderSession session(bench.snapshot);
           seconds = ModifyAfter(&session, spec, k);
         }
         row.push_back(seconds < 0 ? "-" : FmtMs(seconds));

@@ -40,7 +40,7 @@ int main() {
     }
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const VisualQuerySpec& spec = queries[qi];
-      PragueSession session(&bench.db, &bench.indexes);
+      PragueSession session(bench.snapshot);
       const Graph& q = spec.graph;
       std::vector<NodeId> node_map(q.NodeCount(), kInvalidNode);
       bool ok = true;

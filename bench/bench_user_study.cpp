@@ -41,7 +41,7 @@ int main() {
       config.latency.jitter = 0.3;
       config.latency.jitter_seed =
           1000 + static_cast<uint64_t>(participant);
-      SessionSimulator simulator(&bench.db, &bench.indexes, config);
+      SessionSimulator simulator(bench.snapshot, config);
       for (int formulation = 0; formulation < kFormulations;
            ++formulation) {
         Result<SimulationResult> result = simulator.RunPrague(spec);

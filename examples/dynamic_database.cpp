@@ -1,22 +1,26 @@
-// Dynamic database: keeping PRAGUE's indexes fresh while molecules keep
-// arriving — the deployment concern the paper leaves open.
+// Dynamic database: versioned snapshots and copy-on-write maintenance —
+// many readers, one writer, nobody waits.
 //
 // Flow:
-//  1. Index an initial corpus.
-//  2. Run a query; remember its answers.
-//  3. Append batches of new molecules with incremental maintenance
-//     (index/index_maintenance.h) — no re-mining — and watch the same
-//     query pick up new matches immediately.
-//  4. When the maintenance report flags classification drift, re-mine and
-//     compare: the incrementally-maintained index never returned a wrong
-//     answer, it just gradually lost pruning power.
+//  1. Index an initial corpus and stand up a SessionManager over the
+//     version-0 snapshot.
+//  2. Open a session and pin it; it will stay on version 0 for its whole
+//     life.
+//  3. Append batches of new molecules through the manager: each append
+//     builds a successor snapshot copy-on-write and publishes it
+//     atomically. The pinned session keeps answering from version 0 while
+//     fresh sessions see each new version immediately.
+//  4. Watch the manager's stats view (sessions grouped by pinned version)
+//     and the per-append from→to version stamps in the report.
 //
 // Usage: ./build/examples/dynamic_database [initial=1500] [batches=4]
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
-#include "core/prague_session.h"
+#include "core/session_manager.h"
 #include "datasets/aids_generator.h"
 #include "datasets/query_workload.h"
 #include "index/action_aware_index.h"
@@ -27,27 +31,41 @@ using namespace prague;
 
 namespace {
 
-// Runs `spec` through a fresh session; returns (matches, candidates).
-std::pair<size_t, size_t> RunQuery(const GraphDatabase& db,
-                                   const ActionAwareIndexes& indexes,
-                                   const VisualQuerySpec& spec) {
-  PragueSession session(&db, &indexes);
-  std::vector<NodeId> ids(spec.graph.NodeCount(), kInvalidNode);
-  for (EdgeId e : spec.sequence) {
-    const Edge& edge = spec.graph.GetEdge(e);
-    for (NodeId n : {edge.u, edge.v}) {
-      if (ids[n] == kInvalidNode) {
-        ids[n] = session.AddNode(spec.graph.NodeLabel(n));
+// Runs `spec` through a session opened from `manager`; returns
+// (matches, candidates, pinned version).
+struct QueryOutcome {
+  size_t matches = 0;
+  size_t candidates = 0;
+  uint64_t version = 0;
+};
+
+QueryOutcome Formulate(const std::shared_ptr<ManagedSession>& session,
+                       const VisualQuerySpec& spec) {
+  return session->With([&](PragueSession& s) {
+    std::vector<NodeId> ids(spec.graph.NodeCount(), kInvalidNode);
+    for (EdgeId e : spec.sequence) {
+      const Edge& edge = spec.graph.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (ids[n] == kInvalidNode) {
+          ids[n] = s.AddNode(spec.graph.NodeLabel(n));
+        }
+      }
+      if (!s.AddEdge(ids[edge.u], ids[edge.v], edge.label).ok()) {
+        std::abort();
       }
     }
-    if (!session.AddEdge(ids[edge.u], ids[edge.v], edge.label).ok()) {
-      std::abort();
-    }
-  }
-  size_t candidates = session.exact_candidates().size();
-  Result<QueryResults> results = session.Run(nullptr);
-  if (!results.ok()) std::abort();
-  return {results->exact.size(), candidates};
+    QueryOutcome out;
+    out.candidates = s.exact_candidates().size();
+    out.version = s.version();
+    Result<QueryResults> results = s.Run(nullptr);
+    if (!results.ok()) std::abort();
+    out.matches = results.value().exact.size();
+    return out;
+  });
+}
+
+QueryOutcome RunQuery(SessionManager& manager, const VisualQuerySpec& spec) {
+  return Formulate(manager.Open(), spec);
 }
 
 }  // namespace
@@ -57,7 +75,7 @@ int main(int argc, char** argv) {
   int batches = argc > 2 ? std::atoi(argv[2]) : 4;
   constexpr double kAlpha = 0.1;
 
-  std::printf("== dynamic_database: incremental index maintenance ==\n\n");
+  std::printf("== dynamic_database: versioned snapshots + COW appends ==\n\n");
   AidsGeneratorConfig gen;
   gen.graph_count = initial + static_cast<size_t>(batches) * 200;
   gen.seed = 77;
@@ -92,10 +110,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
     return 1;
   }
-  auto [matches, candidates] = RunQuery(db, *indexes, *spec);
-  std::printf("watched query: %zu matches (%zu candidates) on the initial "
-              "corpus\n\n",
-              matches, candidates);
+
+  SessionManager manager(
+      DatabaseSnapshot::Make(std::move(db), std::move(indexes.value())));
+
+  // This session pins version 0 and holds it across every append below.
+  std::shared_ptr<ManagedSession> pinned = manager.Open();
+  QueryOutcome v0 = Formulate(pinned, *spec);
+  std::printf("watched query: %zu matches (%zu candidates) pinned at "
+              "version %llu\n\n",
+              v0.matches, v0.candidates,
+              static_cast<unsigned long long>(v0.version));
 
   GraphId next = static_cast<GraphId>(initial);
   for (int batch = 1; batch <= batches; ++batch) {
@@ -105,35 +130,45 @@ int main(int argc, char** argv) {
     }
     Stopwatch append_timer;
     Result<MaintenanceReport> report =
-        AppendGraphs(&db, std::move(incoming), &indexes.value(), kAlpha);
+        manager.Append(std::move(incoming), kAlpha);
     if (!report.ok()) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
     }
-    auto [m, c] = RunQuery(db, *indexes, *spec);
+    QueryOutcome now = RunQuery(manager, *spec);
     std::printf(
-        "batch %d: +%zu graphs in %.2fs (probes %zu, pruned %zu) -> query "
-        "now %zu matches / %zu candidates%s\n",
+        "batch %d: +%zu graphs in %.2fs, version %llu -> %llu -> fresh "
+        "session sees %zu matches / %zu candidates%s\n",
         batch, report->graphs_added, append_timer.ElapsedSeconds(),
-        report->probes, report->pruned_probes, m, c,
+        static_cast<unsigned long long>(report->from_version),
+        static_cast<unsigned long long>(report->to_version), now.matches,
+        now.candidates,
         report->remine_recommended ? "  [drift: re-mine recommended]" : "");
   }
 
-  // Full re-mine at the final corpus and compare footprints.
-  Stopwatch remine_timer;
-  Result<ActionAwareIndexes> fresh = BuildActionAwareIndexes(db, mining, a2f);
-  if (!fresh.ok()) {
-    std::fprintf(stderr, "%s\n", fresh.status().ToString().c_str());
-    return 1;
-  }
-  auto [m2, c2] = RunQuery(db, *fresh, *spec);
+  // The pinned session still answers from version 0 — results are a pure
+  // function of the pinned snapshot, not of wall-clock time.
+  size_t pinned_db_size = pinned->With(
+      [](PragueSession& s) { return s.snapshot()->db().size(); });
+  Result<QueryResults> replay =
+      pinned->With([](PragueSession& s) { return s.Run(nullptr); });
+  if (!replay.ok()) std::abort();
   std::printf(
-      "\nfull re-mine in %.1fs: %zu frequent / %zu DIFs (incremental index "
-      "had %zu / %zu); query matches unchanged at %zu, candidates %zu vs "
-      "%zu incremental\n",
-      remine_timer.ElapsedSeconds(), fresh->a2f.VertexCount(),
-      fresh->a2i.EntryCount(), indexes->a2f.VertexCount(),
-      indexes->a2i.EntryCount(), m2, c2,
-      RunQuery(db, *indexes, *spec).second);
+      "\npinned session: still version %llu, |D| = %zu, query still %zu "
+      "matches\n",
+      static_cast<unsigned long long>(pinned->version()), pinned_db_size,
+      replay->exact.size());
+
+  SessionManagerStats stats = manager.Stats();
+  std::printf("manager: current version %llu, %zu open / %llu opened "
+              "sessions, %llu snapshots published\n",
+              static_cast<unsigned long long>(stats.current_version),
+              stats.open_sessions,
+              static_cast<unsigned long long>(stats.sessions_opened),
+              static_cast<unsigned long long>(stats.snapshots_published));
+  for (const auto& [version, count] : stats.sessions_by_version) {
+    std::printf("  version %llu: %zu live session(s)\n",
+                static_cast<unsigned long long>(version), count);
+  }
   return 0;
 }

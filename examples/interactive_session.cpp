@@ -63,7 +63,8 @@ struct Repl {
       return false;
     }
     if (!session) {
-      session = std::make_unique<PragueSession>(&db, indexes.get(), config);
+      session = std::make_unique<PragueSession>(
+          DatabaseSnapshot::Borrow(&db, indexes.get()), config);
     }
     return true;
   }

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   // --- Path (b): user keeps drawing; PRAGUE goes to similarity. -------
   SimulationConfig sim_config;
   sim_config.prague.sigma = 3;
-  SessionSimulator simulator(&db, &indexes.value(), sim_config);
+  SessionSimulator simulator(DatabaseSnapshot::Borrow(&db, &indexes.value()), sim_config);
   Result<SimulationResult> sim = simulator.RunPrague(*spec);
   if (!sim.ok()) {
     std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // --- Path (a): user asks for a modification suggestion. -------------
-  PragueSession session(&db, &indexes.value(), sim_config.prague);
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()), sim_config.prague);
   {
     std::vector<NodeId> node_map(spec->graph.NodeCount(), kInvalidNode);
     for (EdgeId e : spec->sequence) {
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
   }
 
   // --- GBLENDER's modification cost, for contrast. ---------------------
-  GBlenderSession gbr(&db, &indexes.value());
+  GBlenderSession gbr(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   {
     std::vector<NodeId> node_map(spec->graph.NodeCount(), kInvalidNode);
     for (EdgeId e : spec->sequence) {

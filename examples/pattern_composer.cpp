@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   Label N = *db.labels().Lookup("N");
   Label O = *db.labels().Lookup("O");
 
-  PragueSession session(&db, &indexes.value());
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()));
 
   // 1. Benzene ring drop.
   Graph benzene = MakeRing(C, 6);

@@ -99,7 +99,7 @@ int main() {
 
   // --- Online: formulate a query edge-at-a-time. ---------------------
   // The user draws a C-C-C triangle with an S pendant: exactly g0.
-  PragueSession session(&db, &indexes.value());
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   NodeId c1 = *session.AddNodeByName("C");
   NodeId c2 = *session.AddNodeByName("C");
   NodeId c3 = *session.AddNodeByName("C");
@@ -125,7 +125,7 @@ int main() {
   std::printf("\n\n");
 
   // --- Now a query with NO exact match: PRAGUE switches to similarity.
-  PragueSession session2(&db, &indexes.value());
+  PragueSession session2(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   NodeId a = *session2.AddNodeByName("C");
   NodeId b = *session2.AddNodeByName("C");
   NodeId c = *session2.AddNodeByName("C");

@@ -1,6 +1,7 @@
 #include "core/gblender.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/canonical.h"
 #include "graph/subgraph_ops.h"
@@ -8,20 +9,19 @@
 
 namespace prague {
 
-GBlenderSession::GBlenderSession(const GraphDatabase* db,
-                                 const ActionAwareIndexes* indexes)
-    : db_(db), indexes_(indexes) {}
+GBlenderSession::GBlenderSession(SnapshotPtr snapshot)
+    : snap_(std::move(snapshot)) {}
 
 NodeId GBlenderSession::AddNode(Label label) { return query_.AddNode(label); }
 
 void GBlenderSession::StepUpdate(const Graph& fragment, IdSet* rq) const {
   CanonicalCode code = GetCanonicalCode(fragment);
-  if (std::optional<A2fId> fid = indexes_->a2f.Lookup(code)) {
-    *rq = indexes_->a2f.FsgIds(*fid);
+  if (std::optional<A2fId> fid = snap_->indexes().a2f.Lookup(code)) {
+    *rq = snap_->indexes().a2f.FsgIds(*fid);
     return;
   }
-  if (std::optional<A2iId> did = indexes_->a2i.Lookup(code)) {
-    *rq = indexes_->a2i.FsgIds(*did);
+  if (std::optional<A2iId> did = snap_->indexes().a2i.Lookup(code)) {
+    *rq = snap_->indexes().a2i.FsgIds(*did);
     return;
   }
   // Unindexed fragment: intersect the previous Rq with the FSG ids of
@@ -36,10 +36,10 @@ void GBlenderSession::StepUpdate(const Graph& fragment, IdSet* rq) const {
   for (EdgeMask mask : by_size[fragment.EdgeCount() - 1]) {
     ExtractedSubgraph sub = ExtractEdgeSubgraph(fragment, mask);
     CanonicalCode sub_code = GetCanonicalCode(sub.graph);
-    if (std::optional<A2fId> fid = indexes_->a2f.Lookup(sub_code)) {
-      rq->IntersectWith(indexes_->a2f.FsgIds(*fid));
-    } else if (std::optional<A2iId> did = indexes_->a2i.Lookup(sub_code)) {
-      rq->IntersectWith(indexes_->a2i.FsgIds(*did));
+    if (std::optional<A2fId> fid = snap_->indexes().a2f.Lookup(sub_code)) {
+      rq->IntersectWith(snap_->indexes().a2f.FsgIds(*fid));
+    } else if (std::optional<A2iId> did = snap_->indexes().a2i.Lookup(sub_code)) {
+      rq->IntersectWith(snap_->indexes().a2i.FsgIds(*did));
     }
   }
 }
@@ -52,7 +52,7 @@ Result<GbrStepReport> GBlenderSession::AddEdge(NodeId u, NodeId v,
   report.edge = *ell;
   Stopwatch timer;
   if (!started_) {
-    rq_ = db_->AllIds();
+    rq_ = snap_->db().AllIds();
     started_ = true;
   }
   StepUpdate(query_.CurrentGraph(), &rq_);
@@ -62,7 +62,7 @@ Result<GbrStepReport> GBlenderSession::AddEdge(NodeId u, NodeId v,
 }
 
 size_t GBlenderSession::Replay() {
-  rq_ = db_->AllIds();
+  rq_ = snap_->db().AllIds();
   std::vector<FormulationId> remaining = query_.AliveEdgeIds();
   if (remaining.empty()) {
     rq_.Clear();
@@ -115,7 +115,7 @@ Result<QueryResults> GBlenderSession::Run(RunStats* stats) {
   }
   Stopwatch timer;
   QueryResults results;
-  results.exact = ExactVerification(query_.CurrentGraph(), rq_, *db_);
+  results.exact = ExactVerification(query_.CurrentGraph(), rq_, snap_->db());
   if (stats != nullptr) {
     stats->verified = results.exact.size();
     stats->rejected = rq_.size() - results.exact.size();

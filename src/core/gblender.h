@@ -18,6 +18,7 @@
 #include "core/visual_query.h"
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
 #include "util/id_set.h"
 #include "util/result.h"
 
@@ -35,7 +36,9 @@ struct GbrStepReport {
 /// \brief The GBLENDER engine.
 class GBlenderSession {
  public:
-  GBlenderSession(const GraphDatabase* db, const ActionAwareIndexes* indexes);
+  /// \brief Opens a session pinned to \p snapshot (same pinning semantics
+  /// as PragueSession).
+  explicit GBlenderSession(SnapshotPtr snapshot);
 
   /// \brief GUI: user drops a node.
   NodeId AddNode(Label label);
@@ -51,6 +54,8 @@ class GBlenderSession {
   const IdSet& candidates() const { return rq_; }
   /// \brief Current query fragment.
   const VisualQuery& query() const { return query_; }
+  /// \brief The pinned snapshot.
+  const SnapshotPtr& snapshot() const { return snap_; }
 
  private:
   // Refines `rq` for one fragment snapshot (Rq update rule above).
@@ -59,8 +64,7 @@ class GBlenderSession {
   // order; returns the number of replayed steps.
   size_t Replay();
 
-  const GraphDatabase* db_;
-  const ActionAwareIndexes* indexes_;
+  SnapshotPtr snap_;
   VisualQuery query_;
   IdSet rq_;
   bool started_ = false;  // Rq meaningless before the first edge

@@ -1,13 +1,13 @@
 #include "core/prague_session.h"
 
+#include <utility>
+
 #include "util/stopwatch.h"
 
 namespace prague {
 
-PragueSession::PragueSession(const GraphDatabase* db,
-                             const ActionAwareIndexes* indexes,
-                             const PragueConfig& config)
-    : db_(db), indexes_(indexes), config_(config) {}
+PragueSession::PragueSession(SnapshotPtr snapshot, const PragueConfig& config)
+    : snap_(std::move(snapshot)), config_(config) {}
 
 NodeId PragueSession::AddNode(Label label) {
   NodeId id = query_.AddNode(label);
@@ -19,7 +19,7 @@ NodeId PragueSession::AddNode(Label label) {
 }
 
 Result<NodeId> PragueSession::AddNodeByName(const std::string& label_name) {
-  Result<Label> label = db_->labels().Lookup(label_name);
+  Result<Label> label = snap_->labels().Lookup(label_name);
   if (!label.ok()) return label.status();
   return AddNode(*label);
 }
@@ -30,8 +30,8 @@ const SpigVertex* PragueSession::TargetVertex() const {
 }
 
 IdSet PragueSession::VertexCandidates(const SpigVertex& v) const {
-  return config_.candidate_memo ? CachedSubCandidates(v, *indexes_)
-                                : ExactSubCandidates(v, *indexes_);
+  return config_.candidate_memo ? CachedSubCandidates(v, snap_->indexes())
+                                : ExactSubCandidates(v, snap_->indexes());
 }
 
 void PragueSession::RefreshCandidates(StepReport* report) {
@@ -44,7 +44,7 @@ void PragueSession::RefreshCandidates(StepReport* report) {
   }
   if (sim_flag_) {
     similar_ = SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
-                                    *indexes_, config_.candidate_memo);
+                                    snap_->indexes(), config_.candidate_memo);
     report->free_candidates = similar_.AllFree().size();
     report->ver_candidates = similar_.AllVer().size();
   } else {
@@ -70,7 +70,7 @@ Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
   report.edge = *ell;
   Stopwatch spig_timer;
   Result<const Spig*> spig =
-      spigs_.AddForNewEdge(query_, *ell, *indexes_, SpigPool());
+      spigs_.AddForNewEdge(query_, *ell, snap_->indexes(), SpigPool());
   if (!spig.ok()) return spig.status();
   report.spig_seconds = spig_timer.ElapsedSeconds();
   RefreshCandidates(&report);
@@ -164,7 +164,7 @@ Result<StepReport> PragueSession::RelabelNode(NodeId node, Label new_label) {
   PRAGUE_RETURN_NOT_OK(query_.RelabelNode(node, new_label));
   if (affected != 0) {
     PRAGUE_RETURN_NOT_OK(
-        spigs_.RefreshForRelabel(query_, affected, *indexes_));
+        spigs_.RefreshForRelabel(query_, affected, snap_->indexes()));
   }
   report.spig_seconds = spig_timer.ElapsedSeconds();
   MaybeExitSimilarity();
@@ -300,7 +300,7 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
         stats->rejected = 0;
       }
     } else {
-      results.exact = ExactVerification(q, rq_, *db_, pool);
+      results.exact = ExactVerification(q, rq_, snap_->db(), pool);
       if (stats != nullptr) {
         stats->verified = results.exact.size();
         stats->rejected = rq_.size() - results.exact.size();
@@ -312,9 +312,9 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
       results.similarity = true;
       SimilarCandidates cands =
           SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
-                               *indexes_, config_.candidate_memo);
+                               snap_->indexes(), config_.candidate_memo);
       results.similar =
-          SimilarResultsGen(q, spigs_, cands, config_.sigma, *db_, nullptr,
+          SimilarResultsGen(q, spigs_, cands, config_.sigma, snap_->db(), nullptr,
                             &sim_stats, config_.top_k, pool,
                             config_.filtering_verifier);
     }
@@ -324,7 +324,7 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
     // matches while simFlag stayed set.
     const IdSet* exact_rq = rq_.empty() ? nullptr : &rq_;
     results.similar =
-        SimilarResultsGen(q, spigs_, similar_, config_.sigma, *db_,
+        SimilarResultsGen(q, spigs_, similar_, config_.sigma, snap_->db(),
                           exact_rq, &sim_stats, config_.top_k, pool,
                           config_.filtering_verifier);
   }
@@ -336,7 +336,7 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
 }
 
 std::optional<ModificationSuggestion> PragueSession::SuggestDeletion() const {
-  return SuggestEdgeDeletion(query_, spigs_, *indexes_);
+  return SuggestEdgeDeletion(query_, spigs_, snap_->indexes());
 }
 
 }  // namespace prague

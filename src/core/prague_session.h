@@ -21,6 +21,7 @@
 #include "core/visual_query.h"
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
 #include "util/result.h"
 
 namespace prague {
@@ -80,9 +81,11 @@ struct StepReport {
 /// \brief The PRAGUE engine (Algorithm 1).
 class PragueSession {
  public:
-  /// \p db and \p indexes must outlive the session.
-  PragueSession(const GraphDatabase* db, const ActionAwareIndexes* indexes,
-                const PragueConfig& config = PragueConfig());
+  /// \brief Opens a session pinned to \p snapshot: every action and Run()
+  /// sees exactly that version of the database and indexes, regardless of
+  /// appends published while the session is live.
+  explicit PragueSession(SnapshotPtr snapshot,
+                         const PragueConfig& config = PragueConfig());
 
   /// \brief GUI: user drops a node on the canvas.
   NodeId AddNode(Label label);
@@ -144,6 +147,10 @@ class PragueSession {
   /// \brief Every visual action applied so far (crash recovery / replay;
   /// see core/session_log.h). Only successful actions are recorded.
   const SessionLog& action_log() const { return log_; }
+  /// \brief The pinned snapshot.
+  const SnapshotPtr& snapshot() const { return snap_; }
+  /// \brief Version of the pinned snapshot.
+  uint64_t version() const { return snap_->version(); }
 
  private:
   // Recomputes Rq (and similarity candidates if simFlag) from the SPIG
@@ -162,8 +169,7 @@ class PragueSession {
   // Algorithm 3 for one vertex, memoized or not per config_.
   IdSet VertexCandidates(const SpigVertex& v) const;
 
-  const GraphDatabase* db_;
-  const ActionAwareIndexes* indexes_;
+  SnapshotPtr snap_;
   PragueConfig config_;
 
   VisualQuery query_;

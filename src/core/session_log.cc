@@ -103,9 +103,8 @@ Result<SessionLog> LoadSessionLogFromFile(const std::string& path) {
 }
 
 Result<std::unique_ptr<PragueSession>> ReplaySession(
-    const SessionLog& log, const GraphDatabase* db,
-    const ActionAwareIndexes* indexes, const PragueConfig& config) {
-  auto session = std::make_unique<PragueSession>(db, indexes, config);
+    const SessionLog& log, SnapshotPtr snapshot, const PragueConfig& config) {
+  auto session = std::make_unique<PragueSession>(std::move(snapshot), config);
   for (const SessionAction& a : log) {
     switch (a.kind) {
       case SessionAction::Kind::kAddNode:

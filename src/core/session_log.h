@@ -17,14 +17,13 @@
 #include <vector>
 
 #include "core/visual_query.h"
+#include "index/database_snapshot.h"
 #include "util/result.h"
 
 namespace prague {
 
 class PragueSession;
 struct PragueConfig;
-class GraphDatabase;
-struct ActionAwareIndexes;
 
 /// \brief One recorded visual action.
 struct SessionAction {
@@ -59,12 +58,12 @@ Result<SessionLog> LoadSessionLog(std::istream* in);
 /// \brief Parses a log from a file.
 Result<SessionLog> LoadSessionLogFromFile(const std::string& path);
 
-/// \brief Rebuilds a session by replaying \p log against \p db/\p indexes.
+/// \brief Rebuilds a session by replaying \p log against \p snapshot.
 /// The replayed session's state (candidates, SPIGs, simFlag) equals the
-/// original's at the moment the log was captured.
+/// original's at the moment the log was captured — provided the snapshot
+/// is the same version the original session was pinned to.
 Result<std::unique_ptr<PragueSession>> ReplaySession(
-    const SessionLog& log, const GraphDatabase* db,
-    const ActionAwareIndexes* indexes, const PragueConfig& config);
+    const SessionLog& log, SnapshotPtr snapshot, const PragueConfig& config);
 
 }  // namespace prague
 

@@ -1,0 +1,77 @@
+#include "core/session_manager.h"
+
+#include <iterator>
+#include <string>
+
+namespace prague {
+
+SessionManager::SessionManager(SnapshotPtr initial,
+                               PragueConfig default_config)
+    : default_config_(default_config), current_(std::move(initial)) {}
+
+std::shared_ptr<ManagedSession> SessionManager::Open(
+    const PragueConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session = std::shared_ptr<ManagedSession>(
+      new ManagedSession(next_session_id_++, current_, config));
+  ++sessions_opened_;
+  sessions_[session->id()] = session;
+  // Lazy prune: drop registry entries whose sessions have closed.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    it = it->second.expired() ? sessions_.erase(it) : std::next(it);
+  }
+  return session;
+}
+
+SnapshotPtr SessionManager::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Status SessionManager::Publish(SnapshotPtr next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next->version() <= current_->version()) {
+    return Status::FailedPrecondition(
+        "stale publish: version " + std::to_string(next->version()) +
+        " does not exceed current version " +
+        std::to_string(current_->version()));
+  }
+  current_ = std::move(next);
+  ++snapshots_published_;
+  return Status::OK();
+}
+
+Result<MaintenanceReport> SessionManager::Append(
+    std::vector<Graph> graphs, double alpha,
+    const LabelDictionary* graph_labels) {
+  // One writer at a time: without this, two concurrent appends would both
+  // build successors of the same base and the second publish would lose
+  // the first one's graphs.
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  SnapshotPtr base = current();
+  Result<SnapshotAppendResult> appended =
+      AppendGraphs(*base, std::move(graphs), alpha, graph_labels);
+  if (!appended.ok()) return appended.status();
+  PRAGUE_RETURN_NOT_OK(Publish(appended.value().snapshot));
+  return appended.value().report;
+}
+
+SessionManagerStats SessionManager::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionManagerStats stats;
+  stats.current_version = current_->version();
+  stats.sessions_opened = sessions_opened_;
+  stats.snapshots_published = snapshots_published_;
+  for (const auto& [id, weak] : sessions_) {
+    if (std::shared_ptr<ManagedSession> session = weak.lock()) {
+      ++stats.open_sessions;
+      ++stats.sessions_by_version[session->version()];
+    }
+  }
+  return stats;
+}
+
+}  // namespace prague

@@ -1,0 +1,132 @@
+// SessionManager — the concurrency layer PRAGUE's premise implies: many
+// users formulating queries simultaneously against one shared indexed
+// database.
+//
+// The manager holds the *current* DatabaseSnapshot. Open() pins whatever
+// snapshot is current at that moment into a new ManagedSession; the
+// session keeps querying that version for its whole life, no matter how
+// many successors are published meanwhile. Append() builds a successor
+// copy-on-write (index_maintenance.h) and Publish()es it with an atomic
+// swap of the current pointer, so readers are never paused and writers
+// never wait for readers. A retired snapshot frees itself when the last
+// session pinning it drops — plain shared_ptr reference counting.
+//
+// Locking model:
+//  - mu_ guards the current pointer and the session registry (short
+//    critical sections only — pointer swaps and map updates).
+//  - writer_mu_ serializes Append() calls so concurrent appends cannot
+//    both build successors of the same base and lose one.
+//  - Each ManagedSession carries its own mutex; With() is the only way to
+//    reach the PragueSession inside, so one session is never driven from
+//    two threads at once while distinct sessions proceed in parallel.
+
+#ifndef PRAGUE_CORE_SESSION_MANAGER_H_
+#define PRAGUE_CORE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/prague_session.h"
+#include "index/database_snapshot.h"
+#include "index/index_maintenance.h"
+#include "util/result.h"
+
+namespace prague {
+
+/// \brief A PragueSession plus the mutex that makes it safe to drive from
+/// the manager's multi-threaded callers. Created by SessionManager::Open.
+class ManagedSession {
+ public:
+  /// \brief Runs \p fn with exclusive access to the underlying session.
+  /// All interaction with the session goes through here.
+  template <typename Fn>
+  auto With(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::forward<Fn>(fn)(session_);
+  }
+
+  /// \brief Manager-assigned session id (monotone per manager).
+  uint64_t id() const { return id_; }
+  /// \brief Version of the snapshot this session pinned at Open() time.
+  uint64_t version() const { return snap_->version(); }
+  /// \brief The pinned snapshot.
+  const SnapshotPtr& snapshot() const { return snap_; }
+
+ private:
+  friend class SessionManager;
+  ManagedSession(uint64_t id, SnapshotPtr snap, const PragueConfig& config)
+      : id_(id), snap_(std::move(snap)), session_(snap_, config) {}
+
+  uint64_t id_;
+  SnapshotPtr snap_;
+  std::mutex mu_;
+  PragueSession session_;
+};
+
+/// \brief Point-in-time view of the manager (Stats()).
+struct SessionManagerStats {
+  uint64_t current_version = 0;
+  size_t open_sessions = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t snapshots_published = 0;
+  /// Live sessions grouped by the version they pinned — shows how many
+  /// readers each retained snapshot is still serving.
+  std::map<uint64_t, size_t> sessions_by_version;
+};
+
+/// \brief Opens concurrent sessions over a shared, versioned database.
+class SessionManager {
+ public:
+  /// \brief Starts with \p initial as the current snapshot. \p
+  /// default_config is used by the zero-argument Open().
+  explicit SessionManager(SnapshotPtr initial,
+                          PragueConfig default_config = PragueConfig());
+
+  /// \brief Opens a session pinned to the snapshot current right now.
+  std::shared_ptr<ManagedSession> Open() { return Open(default_config_); }
+  /// \brief Opens a session with an explicit config.
+  std::shared_ptr<ManagedSession> Open(const PragueConfig& config);
+
+  /// \brief The snapshot new sessions would pin right now.
+  SnapshotPtr current() const;
+
+  /// \brief Atomically swaps the current snapshot to \p next. Rejects
+  /// stale publishes (next->version() must exceed the current version).
+  /// In-flight sessions are unaffected.
+  Status Publish(SnapshotPtr next);
+
+  /// \brief Copy-on-write append: builds a successor of the current
+  /// snapshot with \p graphs added and publishes it. Serialized against
+  /// concurrent Append() calls; never blocks Open() or running sessions
+  /// for the duration of the index update. See index_maintenance.h for
+  /// \p graph_labels.
+  Result<MaintenanceReport> Append(std::vector<Graph> graphs, double alpha,
+                                   const LabelDictionary* graph_labels =
+                                       nullptr);
+
+  /// \brief Counters plus live sessions grouped by pinned version.
+  SessionManagerStats Stats() const;
+
+ private:
+  PragueConfig default_config_;
+
+  mutable std::mutex mu_;  // guards current_ and sessions_
+  SnapshotPtr current_;
+  // Registry of open sessions for Stats(); weak so a dropped session
+  // releases its snapshot pin immediately. Dead entries are pruned lazily.
+  std::unordered_map<uint64_t, std::weak_ptr<ManagedSession>> sessions_;
+  uint64_t next_session_id_ = 1;
+  uint64_t sessions_opened_ = 0;
+  uint64_t snapshots_published_ = 0;
+
+  std::mutex writer_mu_;  // serializes Append()
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_SESSION_MANAGER_H_

@@ -54,8 +54,8 @@ WorkloadGenerator::WorkloadGenerator(const GraphDatabase* db, uint64_t seed)
     : db_(db), rng_(seed) {}
 
 bool WorkloadGenerator::HasExactMatch(const Graph& q) const {
-  for (const Graph& g : db_->graphs()) {
-    if (IsSubgraphIsomorphic(q, g)) return true;
+  for (GraphId gid = 0; gid < db_->size(); ++gid) {
+    if (IsSubgraphIsomorphic(q, db_->graph(gid))) return true;
   }
   return false;
 }

@@ -21,6 +21,15 @@ Result<Label> LabelDictionary::Lookup(const std::string& name) const {
   return it->second;
 }
 
+Result<std::string> LabelDictionary::NameOf(Label label) const {
+  if (static_cast<size_t>(label) >= names_.size()) {
+    return Status::NotFound("label id " + std::to_string(label) +
+                            " outside dictionary of size " +
+                            std::to_string(names_.size()));
+  }
+  return names_[label];
+}
+
 std::vector<std::string> LabelDictionary::SortedNames() const {
   std::vector<std::string> out = names_;
   std::sort(out.begin(), out.end());
@@ -28,27 +37,27 @@ std::vector<std::string> LabelDictionary::SortedNames() const {
 }
 
 GraphId GraphDatabase::Add(Graph g) {
-  graphs_.push_back(std::move(g));
+  graphs_.push_back(std::make_shared<const Graph>(std::move(g)));
   return static_cast<GraphId>(graphs_.size() - 1);
 }
 
 double GraphDatabase::AverageEdgeCount() const {
   if (graphs_.empty()) return 0;
   size_t total = 0;
-  for (const Graph& g : graphs_) total += g.EdgeCount();
+  for (const auto& g : graphs_) total += g->EdgeCount();
   return static_cast<double>(total) / static_cast<double>(graphs_.size());
 }
 
 double GraphDatabase::AverageNodeCount() const {
   if (graphs_.empty()) return 0;
   size_t total = 0;
-  for (const Graph& g : graphs_) total += g.NodeCount();
+  for (const auto& g : graphs_) total += g->NodeCount();
   return static_cast<double>(total) / static_cast<double>(graphs_.size());
 }
 
 size_t GraphDatabase::ByteSize() const {
   size_t bytes = 0;
-  for (const Graph& g : graphs_) bytes += g.ByteSize();
+  for (const auto& g : graphs_) bytes += g->ByteSize();
   return bytes;
 }
 

@@ -1,10 +1,17 @@
 // GraphDatabase: the set D of data graphs plus the label dictionary that
 // maps human-readable label strings (e.g. atom symbols "C", "N", "O") to
 // dense Label ids. Panel 2 of the paper's GUI lists exactly these labels.
+//
+// Data graphs are held through shared_ptr<const Graph>: copying a
+// GraphDatabase copies only the pointer vector and the dictionary, sharing
+// every graph's storage with the original. Versioned snapshots
+// (index/database_snapshot.h) rely on this — a successor database built by
+// AppendGraphs shares all pre-existing graphs structurally.
 
 #ifndef PRAGUE_GRAPH_GRAPH_DATABASE_H_
 #define PRAGUE_GRAPH_GRAPH_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +31,10 @@ class LabelDictionary {
   Result<Label> Lookup(const std::string& name) const;
   /// \brief Returns the string for \p label. Requires a valid label.
   const std::string& Name(Label label) const { return names_[label]; }
+  /// \brief Bounds-checked Name: the string for \p label, or NotFound for
+  /// ids outside the dictionary. Use this on user-facing paths where the
+  /// label came from external input (query files, index files).
+  Result<std::string> NameOf(Label label) const;
   /// \brief Number of distinct labels.
   size_t size() const { return names_.size(); }
   /// \brief All label names in id order (Panel 2 shows them sorted;
@@ -51,9 +62,13 @@ class GraphDatabase {
   bool empty() const { return graphs_.empty(); }
 
   /// \brief Data graph by id.
-  const Graph& graph(GraphId id) const { return graphs_[id]; }
-  /// \brief All data graphs.
-  const std::vector<Graph>& graphs() const { return graphs_; }
+  const Graph& graph(GraphId id) const { return *graphs_[id]; }
+  /// \brief Shared ownership of one data graph. Two databases returning
+  /// the same pointer share that graph's storage (the structural-sharing
+  /// invariant snapshot tests assert).
+  const std::shared_ptr<const Graph>& shared_graph(GraphId id) const {
+    return graphs_[id];
+  }
 
   /// \brief Mutable label dictionary (generators intern through this).
   LabelDictionary* mutable_labels() { return &labels_; }
@@ -71,7 +86,7 @@ class GraphDatabase {
   size_t ByteSize() const;
 
  private:
-  std::vector<Graph> graphs_;
+  std::vector<std::shared_ptr<const Graph>> graphs_;
   LabelDictionary labels_;
 };
 

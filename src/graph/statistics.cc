@@ -14,7 +14,8 @@ DatabaseStatistics ComputeStatistics(const GraphDatabase& db) {
   std::set<std::pair<Label, Label>> pairs;
   size_t degree_sum = 0;
   double cyclomatic_sum = 0;
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     s.total_nodes += g.NodeCount();
     s.total_edges += g.EdgeCount();
     s.max_nodes = std::max(s.max_nodes, g.NodeCount());

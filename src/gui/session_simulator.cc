@@ -1,6 +1,7 @@
 #include "gui/session_simulator.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -32,15 +33,14 @@ double JitteredLatency(double base, double jitter, Rng* rng) {
 
 }  // namespace
 
-SessionSimulator::SessionSimulator(const GraphDatabase* db,
-                                   const ActionAwareIndexes* indexes,
+SessionSimulator::SessionSimulator(SnapshotPtr snapshot,
                                    const SimulationConfig& config)
-    : db_(db), indexes_(indexes), config_(config) {}
+    : snap_(std::move(snapshot)), config_(config) {}
 
 Result<SimulationResult> SessionSimulator::RunPrague(
     const VisualQuerySpec& spec,
     const std::vector<ScriptedModification>& mods) const {
-  PragueSession session(db_, indexes_, config_.prague);
+  PragueSession session(snap_, config_.prague);
   SimulationResult out;
   out.query_name = spec.name;
   const Graph& q = spec.graph;
@@ -119,7 +119,7 @@ Result<SimulationResult> SessionSimulator::RunPrague(
 Result<SimulationResult> SessionSimulator::RunGBlender(
     const VisualQuerySpec& spec,
     const std::vector<ScriptedModification>& mods) const {
-  GBlenderSession session(db_, indexes_);
+  GBlenderSession session(snap_);
   SimulationResult out;
   out.query_name = spec.name;
   const Graph& q = spec.graph;

@@ -24,6 +24,7 @@
 #include "datasets/query_workload.h"
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
 #include "util/result.h"
 
 namespace prague {
@@ -89,9 +90,11 @@ struct SimulationResult {
 /// \brief Drives engines through scripted visual sessions.
 class SessionSimulator {
  public:
-  /// \p db and \p indexes must outlive the simulator.
-  SessionSimulator(const GraphDatabase* db, const ActionAwareIndexes* indexes,
-                   const SimulationConfig& config = SimulationConfig());
+  /// \brief Simulates sessions pinned to \p snapshot; every simulated
+  /// session sees exactly that version.
+  explicit SessionSimulator(SnapshotPtr snapshot,
+                            const SimulationConfig& config =
+                                SimulationConfig());
 
   /// \brief Formulate the whole query, then Run — PRAGUE engine.
   /// Optional scripted modifications fire after their step.
@@ -105,8 +108,7 @@ class SessionSimulator {
       const std::vector<ScriptedModification>& mods = {}) const;
 
  private:
-  const GraphDatabase* db_;
-  const ActionAwareIndexes* indexes_;
+  SnapshotPtr snap_;
   SimulationConfig config_;
 };
 

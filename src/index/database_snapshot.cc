@@ -1,0 +1,29 @@
+#include "index/database_snapshot.h"
+
+#include <utility>
+
+namespace prague {
+
+SnapshotPtr DatabaseSnapshot::Make(GraphDatabase db, ActionAwareIndexes indexes,
+                                   uint64_t version) {
+  auto snap = std::shared_ptr<DatabaseSnapshot>(new DatabaseSnapshot());
+  snap->owned_db_ = std::make_unique<const GraphDatabase>(std::move(db));
+  snap->owned_indexes_ =
+      std::make_unique<const ActionAwareIndexes>(std::move(indexes));
+  snap->db_ = snap->owned_db_.get();
+  snap->indexes_ = snap->owned_indexes_.get();
+  snap->version_ = version;
+  return snap;
+}
+
+SnapshotPtr DatabaseSnapshot::Borrow(const GraphDatabase* db,
+                                     const ActionAwareIndexes* indexes,
+                                     uint64_t version) {
+  auto snap = std::shared_ptr<DatabaseSnapshot>(new DatabaseSnapshot());
+  snap->db_ = db;
+  snap->indexes_ = indexes;
+  snap->version_ = version;
+  return snap;
+}
+
+}  // namespace prague

@@ -1,0 +1,72 @@
+// DatabaseSnapshot: an immutable, reference-counted view of one version of
+// the indexed database — the data graphs, both action-aware indexes, and
+// (through the database) the label dictionary, stamped with a monotone
+// version id.
+//
+// Sessions pin a snapshot via shared_ptr at open time and keep querying it
+// unchanged while index maintenance publishes successors; the snapshot
+// frees itself when the last pinned session drops. Successor snapshots are
+// cheap: GraphDatabase shares Graph storage through shared_ptr, and index
+// id-sets are copy-on-write (util/id_set.h), so a copy-and-append touches
+// only the sets the new graphs actually extend.
+//
+// Two construction modes:
+//  - Make(db, indexes, version): the snapshot owns its components. This is
+//    the production path (SessionManager, praguedb, COW AppendGraphs).
+//  - Borrow(&db, &indexes, version): non-owning view over components that
+//    outlive the snapshot. For test fixtures and stack-local setups; the
+//    caller is responsible for lifetime.
+
+#ifndef PRAGUE_INDEX_DATABASE_SNAPSHOT_H_
+#define PRAGUE_INDEX_DATABASE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+
+namespace prague {
+
+/// \brief One immutable version of the database + indexes.
+class DatabaseSnapshot {
+ public:
+  using Ptr = std::shared_ptr<const DatabaseSnapshot>;
+
+  /// \brief Snapshot owning its components (moved in).
+  static Ptr Make(GraphDatabase db, ActionAwareIndexes indexes,
+                  uint64_t version = 0);
+
+  /// \brief Non-owning snapshot over components the caller keeps alive
+  /// for at least the snapshot's lifetime.
+  static Ptr Borrow(const GraphDatabase* db, const ActionAwareIndexes* indexes,
+                    uint64_t version = 0);
+
+  /// \brief The data graphs at this version.
+  const GraphDatabase& db() const { return *db_; }
+  /// \brief The action-aware indexes (A2F + A2I) at this version.
+  const ActionAwareIndexes& indexes() const { return *indexes_; }
+  /// \brief The label dictionary at this version.
+  const LabelDictionary& labels() const { return db_->labels(); }
+  /// \brief Monotone version id; successors always carry a larger one.
+  uint64_t version() const { return version_; }
+
+  DatabaseSnapshot(const DatabaseSnapshot&) = delete;
+  DatabaseSnapshot& operator=(const DatabaseSnapshot&) = delete;
+
+ private:
+  DatabaseSnapshot() = default;
+
+  std::unique_ptr<const GraphDatabase> owned_db_;
+  std::unique_ptr<const ActionAwareIndexes> owned_indexes_;
+  const GraphDatabase* db_ = nullptr;
+  const ActionAwareIndexes* indexes_ = nullptr;
+  uint64_t version_ = 0;
+};
+
+/// Shared handle sessions use to pin a version.
+using SnapshotPtr = DatabaseSnapshot::Ptr;
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_DATABASE_SNAPSHOT_H_

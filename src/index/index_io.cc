@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "graph/dfs_code.h"
 
@@ -47,10 +48,11 @@ Status ReadVec(std::istream& in, std::vector<T>* out) {
 }  // namespace
 
 Status IndexSerializer::Save(const ActionAwareIndexes& indexes,
-                             std::ostream* outp) {
+                             std::ostream* outp, uint64_t snapshot_version) {
   std::ostream& out = *outp;
   const A2FIndex& a2f = indexes.a2f;
-  out << "PRAGUE_INDEX 1\n";
+  out << "PRAGUE_INDEX 2\n";
+  out << "VERSION " << snapshot_version << '\n';
   out << "MINSUP " << indexes.min_support << '\n';
   out << "A2F " << a2f.beta() << ' ' << a2f.VertexCount() << '\n';
   for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
@@ -80,19 +82,33 @@ Status IndexSerializer::Save(const ActionAwareIndexes& indexes,
 }
 
 Status IndexSerializer::SaveToFile(const ActionAwareIndexes& indexes,
-                                   const std::string& path) {
+                                   const std::string& path,
+                                   uint64_t snapshot_version) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
-  return Save(indexes, &out);
+  return Save(indexes, &out, snapshot_version);
 }
 
 Result<ActionAwareIndexes> IndexSerializer::Load(std::istream* inp) {
+  Result<VersionedIndexes> loaded = LoadVersioned(inp);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded.value().indexes);
+}
+
+Result<VersionedIndexes> IndexSerializer::LoadVersioned(std::istream* inp) {
   std::istream& in = *inp;
-  ActionAwareIndexes out;
+  VersionedIndexes result;
+  ActionAwareIndexes& out = result.indexes;
   std::string tag;
-  int version;
-  if (!(in >> tag >> version) || tag != "PRAGUE_INDEX" || version != 1) {
+  int format;
+  if (!(in >> tag >> format) || tag != "PRAGUE_INDEX" ||
+      (format != 1 && format != 2)) {
     return Status::Corruption("bad index header");
+  }
+  if (format >= 2) {
+    if (!(in >> tag >> result.version) || tag != "VERSION") {
+      return Status::Corruption("bad VERSION line");
+    }
   }
   size_t minsup;
   if (!(in >> tag >> minsup) || tag != "MINSUP") {
@@ -165,7 +181,7 @@ Result<ActionAwareIndexes> IndexSerializer::Load(std::istream* inp) {
     PRAGUE_RETURN_NOT_OK(ReadIdSet(in, &e.fsg_ids));
     out.a2i.by_code_.emplace(e.code, id);
   }
-  return out;
+  return result;
 }
 
 Result<ActionAwareIndexes> IndexSerializer::LoadFromFile(
@@ -173,6 +189,13 @@ Result<ActionAwareIndexes> IndexSerializer::LoadFromFile(
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   return Load(&in);
+}
+
+Result<VersionedIndexes> IndexSerializer::LoadVersionedFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadVersioned(&in);
 }
 
 }  // namespace prague

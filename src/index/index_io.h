@@ -3,10 +3,18 @@
 // serialized as their minimum-DFS-code strings (the canonical code already
 // stored on every vertex) and full FSG id sets are reconstructed from the
 // compressed delIds on load.
+//
+// Format versions:
+//   PRAGUE_INDEX 1 — original format, no snapshot version.
+//   PRAGUE_INDEX 2 — adds a "VERSION <v>" line recording the snapshot
+//     version the indexes were saved at, so a reloaded database resumes
+//     its version sequence instead of restarting at 0.
+// The loader accepts both; version-1 files load with snapshot version 0.
 
 #ifndef PRAGUE_INDEX_INDEX_IO_H_
 #define PRAGUE_INDEX_INDEX_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -16,18 +24,34 @@
 
 namespace prague {
 
+/// \brief Indexes plus the snapshot version they were saved at.
+struct VersionedIndexes {
+  ActionAwareIndexes indexes;
+  uint64_t version = 0;
+};
+
 /// \brief Serializer/deserializer for ActionAwareIndexes.
 class IndexSerializer {
  public:
-  /// \brief Writes both indexes in a line-oriented text format.
-  static Status Save(const ActionAwareIndexes& indexes, std::ostream* out);
+  /// \brief Writes both indexes in a line-oriented text format, stamping
+  /// \p snapshot_version into the header.
+  static Status Save(const ActionAwareIndexes& indexes, std::ostream* out,
+                     uint64_t snapshot_version = 0);
   /// \brief Writes to a file.
   static Status SaveToFile(const ActionAwareIndexes& indexes,
-                           const std::string& path);
-  /// \brief Reads both indexes; reconstructs fsgIds from delIds.
+                           const std::string& path,
+                           uint64_t snapshot_version = 0);
+  /// \brief Reads both indexes; reconstructs fsgIds from delIds. Drops the
+  /// stored snapshot version — use LoadVersioned to keep it.
   static Result<ActionAwareIndexes> Load(std::istream* in);
   /// \brief Reads from a file.
   static Result<ActionAwareIndexes> LoadFromFile(const std::string& path);
+  /// \brief Reads both indexes plus the stored snapshot version
+  /// (0 for version-1 files).
+  static Result<VersionedIndexes> LoadVersioned(std::istream* in);
+  /// \brief Reads from a file, keeping the snapshot version.
+  static Result<VersionedIndexes> LoadVersionedFromFile(
+      const std::string& path);
 };
 
 }  // namespace prague

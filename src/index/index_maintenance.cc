@@ -57,6 +57,9 @@ Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
   if (alpha <= 0 || alpha >= 1) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
+  if (graphs.empty()) {
+    return Status::InvalidArgument("no graphs to append");
+  }
   for (const Graph& g : graphs) {
     if (g.EdgeCount() == 0 || !g.IsConnected()) {
       return Status::InvalidArgument(
@@ -139,6 +142,44 @@ Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
   report.remine_recommended = report.frequent_below_threshold > 0 ||
                               report.difs_above_threshold > 0;
   return report;
+}
+
+Result<SnapshotAppendResult> AppendGraphs(const DatabaseSnapshot& base,
+                                          std::vector<Graph> graphs,
+                                          double alpha,
+                                          const LabelDictionary* graph_labels) {
+  // Both copies are cheap: the database shares all Graph storage through
+  // shared_ptr and every index id-set is copy-on-write.
+  GraphDatabase db = base.db();
+  ActionAwareIndexes indexes = base.indexes();
+
+  if (graph_labels != nullptr) {
+    for (Graph& g : graphs) {
+      GraphBuilder b;
+      for (NodeId n = 0; n < g.NodeCount(); ++n) {
+        Result<std::string> name = graph_labels->NameOf(g.NodeLabel(n));
+        if (!name.ok()) return name.status();
+        b.AddNode(db.mutable_labels()->Intern(name.value()));
+      }
+      for (const Edge& e : g.edges()) {
+        Result<EdgeId> eid = b.AddEdge(e.u, e.v, e.label);
+        if (!eid.ok()) return eid.status();
+      }
+      g = std::move(b).Build();
+    }
+  }
+
+  Result<MaintenanceReport> report =
+      AppendGraphs(&db, std::move(graphs), &indexes, alpha);
+  if (!report.ok()) return report.status();
+
+  SnapshotAppendResult out;
+  out.report = report.value();
+  out.report.from_version = base.version();
+  out.report.to_version = base.version() + 1;
+  out.snapshot = DatabaseSnapshot::Make(std::move(db), std::move(indexes),
+                                        out.report.to_version);
+  return out;
 }
 
 }  // namespace prague

@@ -23,6 +23,7 @@
 #include "graph/graph.h"
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
 #include "util/result.h"
 
 namespace prague {
@@ -42,6 +43,10 @@ struct MaintenanceReport {
   size_t pruned_probes = 0;
   /// True when any classification drifted — schedule a re-mine.
   bool remine_recommended = false;
+  /// Snapshot version the append started from (0 for the in-place API).
+  uint64_t from_version = 0;
+  /// Snapshot version the append published (0 for the in-place API).
+  uint64_t to_version = 0;
 };
 
 /// \brief Appends \p graphs to \p db and updates \p indexes in place.
@@ -53,6 +58,27 @@ Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
                                        std::vector<Graph> graphs,
                                        ActionAwareIndexes* indexes,
                                        double alpha);
+
+/// \brief A successor snapshot plus the report describing how it was built.
+struct SnapshotAppendResult {
+  SnapshotPtr snapshot;
+  MaintenanceReport report;
+};
+
+/// \brief Copy-on-write append: builds a successor snapshot of \p base with
+/// \p graphs added and every index id-set updated, leaving \p base
+/// untouched. The successor structurally shares all pre-existing graph
+/// storage and every id-set the new graphs do not extend, and carries
+/// version base.version() + 1.
+///
+/// \p graph_labels, when non-null, is the dictionary the incoming graphs'
+/// node labels were interned against; they are re-interned into the
+/// successor's dictionary (edge labels are passed through unchanged, as
+/// praguedb's graph files share one edge-label space). When null the
+/// graphs must already use \p base's label ids.
+Result<SnapshotAppendResult> AppendGraphs(
+    const DatabaseSnapshot& base, std::vector<Graph> graphs, double alpha,
+    const LabelDictionary* graph_labels = nullptr);
 
 }  // namespace prague
 

@@ -7,10 +7,15 @@ namespace prague {
 namespace {
 
 // Per-thread output buffer for the in-place operations: the result is
-// built here and swapped into ids_, recycling capacity across calls.
+// built here and swapped into place, recycling capacity across calls.
 std::vector<GraphId>& ScratchBuffer() {
   thread_local std::vector<GraphId> scratch;
   return scratch;
+}
+
+const std::vector<GraphId>& EmptyVec() {
+  static const std::vector<GraphId> empty;
+  return empty;
 }
 
 // Galloping intersection: for each id of the small side, exponential
@@ -60,85 +65,126 @@ void IntersectInto(const std::vector<GraphId>& a,
 
 }  // namespace
 
-IdSet::IdSet(std::vector<GraphId> ids) : ids_(std::move(ids)) {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+IdSet::IdSet(std::vector<GraphId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (!ids.empty()) {
+    data_ = std::make_shared<std::vector<GraphId>>(std::move(ids));
+  }
 }
 
 IdSet::IdSet(std::initializer_list<GraphId> ids)
     : IdSet(std::vector<GraphId>(ids)) {}
 
-IdSet IdSet::Universe(GraphId n) {
+IdSet IdSet::FromSorted(std::vector<GraphId> ids) {
   IdSet out;
-  out.ids_.resize(n);
-  for (GraphId i = 0; i < n; ++i) out.ids_[i] = i;
+  if (!ids.empty()) {
+    out.data_ = std::make_shared<std::vector<GraphId>>(std::move(ids));
+  }
   return out;
+}
+
+const std::vector<GraphId>& IdSet::ids() const {
+  return data_ ? *data_ : EmptyVec();
+}
+
+std::vector<GraphId>& IdSet::Mutable() {
+  if (!data_) {
+    data_ = std::make_shared<std::vector<GraphId>>();
+  } else if (data_.use_count() > 1) {
+    data_ = std::make_shared<std::vector<GraphId>>(*data_);
+  }
+  return *data_;
+}
+
+void IdSet::AdoptScratch(std::vector<GraphId>* scratch) {
+  if (scratch->empty()) {
+    data_.reset();
+  } else if (data_ && data_.use_count() == 1) {
+    data_->swap(*scratch);
+  } else {
+    data_ = std::make_shared<std::vector<GraphId>>(scratch->begin(),
+                                                   scratch->end());
+  }
+}
+
+IdSet IdSet::Universe(GraphId n) {
+  std::vector<GraphId> ids(n);
+  for (GraphId i = 0; i < n; ++i) ids[i] = i;
+  return FromSorted(std::move(ids));
 }
 
 bool IdSet::Contains(GraphId id) const {
-  return std::binary_search(ids_.begin(), ids_.end(), id);
+  const std::vector<GraphId>& v = ids();
+  return std::binary_search(v.begin(), v.end(), id);
 }
 
 void IdSet::Insert(GraphId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  if (Contains(id)) return;
+  std::vector<GraphId>& v = Mutable();
+  v.insert(std::lower_bound(v.begin(), v.end(), id), id);
 }
 
 void IdSet::Erase(GraphId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it != ids_.end() && *it == id) ids_.erase(it);
+  if (!Contains(id)) return;
+  std::vector<GraphId>& v = Mutable();
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) v.erase(it);
 }
 
 IdSet IdSet::Intersect(const IdSet& other) const {
-  IdSet out;
-  IntersectInto(ids_, other.ids_, &out.ids_);
-  return out;
+  std::vector<GraphId> out;
+  IntersectInto(ids(), other.ids(), &out);
+  return FromSorted(std::move(out));
 }
 
 IdSet IdSet::Union(const IdSet& other) const {
-  IdSet out;
-  out.ids_.reserve(ids_.size() + other.ids_.size());
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
-                 other.ids_.end(), std::back_inserter(out.ids_));
-  return out;
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  std::vector<GraphId> out;
+  out.reserve(size() + other.size());
+  std::set_union(begin(), end(), other.begin(), other.end(),
+                 std::back_inserter(out));
+  return FromSorted(std::move(out));
 }
 
 IdSet IdSet::Subtract(const IdSet& other) const {
-  IdSet out;
-  out.ids_.reserve(ids_.size());
-  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
-                      other.ids_.end(), std::back_inserter(out.ids_));
-  return out;
+  if (empty() || other.empty()) return *this;
+  std::vector<GraphId> out;
+  out.reserve(size());
+  std::set_difference(begin(), end(), other.begin(), other.end(),
+                      std::back_inserter(out));
+  return FromSorted(std::move(out));
 }
 
 void IdSet::IntersectWith(const IdSet& other) {
   std::vector<GraphId>& scratch = ScratchBuffer();
-  IntersectInto(ids_, other.ids_, &scratch);
-  ids_.swap(scratch);
+  IntersectInto(ids(), other.ids(), &scratch);
+  AdoptScratch(&scratch);
 }
 
 void IdSet::UnionWith(const IdSet& other) {
-  if (other.ids_.empty()) return;
-  if (ids_.empty()) {
-    ids_ = other.ids_;
+  if (other.empty()) return;
+  if (empty()) {
+    data_ = other.data_;  // structural share
     return;
   }
   std::vector<GraphId>& scratch = ScratchBuffer();
   scratch.clear();
-  scratch.reserve(ids_.size() + other.ids_.size());
-  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
-                 other.ids_.end(), std::back_inserter(scratch));
-  ids_.swap(scratch);
+  scratch.reserve(size() + other.size());
+  std::set_union(begin(), end(), other.begin(), other.end(),
+                 std::back_inserter(scratch));
+  AdoptScratch(&scratch);
 }
 
 void IdSet::SubtractWith(const IdSet& other) {
-  if (ids_.empty() || other.ids_.empty()) return;
+  if (empty() || other.empty()) return;
   std::vector<GraphId>& scratch = ScratchBuffer();
   scratch.clear();
-  scratch.reserve(ids_.size());
-  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
-                      other.ids_.end(), std::back_inserter(scratch));
-  ids_.swap(scratch);
+  scratch.reserve(size());
+  std::set_difference(begin(), end(), other.begin(), other.end(),
+                      std::back_inserter(scratch));
+  AdoptScratch(&scratch);
 }
 
 IdSet IdSet::IntersectMany(std::vector<const IdSet*> sets) {
@@ -155,15 +201,15 @@ IdSet IdSet::IntersectMany(std::vector<const IdSet*> sets) {
 }
 
 bool IdSet::IsSubsetOf(const IdSet& other) const {
-  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
-                       ids_.end());
+  return std::includes(other.begin(), other.end(), begin(), end());
 }
 
 std::string IdSet::ToString() const {
+  const std::vector<GraphId>& v = ids();
   std::string out = "{";
-  for (size_t i = 0; i < ids_.size(); ++i) {
+  for (size_t i = 0; i < v.size(); ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string(ids_[i]);
+    out += std::to_string(v[i]);
   }
   out += "}";
   return out;

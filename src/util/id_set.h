@@ -9,6 +9,14 @@
 // kGallopRatio, and the in-place operations build their result in a
 // per-thread scratch buffer that is swapped into place, so steady-state
 // candidate algebra performs no allocation.
+//
+// Copies are copy-on-write: the sorted vector lives behind a shared_ptr,
+// so copying an IdSet shares the buffer and the first mutation through
+// any copy detaches it. This is what makes versioned database snapshots
+// cheap — a successor index copies every FSG id set structurally and only
+// the sets the appended graphs actually touch get new storage. Mutating
+// one IdSet object from two threads is a data race exactly as it was with
+// the plain vector; concurrent reads of copies sharing a buffer are safe.
 
 #ifndef PRAGUE_UTIL_ID_SET_H_
 #define PRAGUE_UTIL_ID_SET_H_
@@ -16,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,9 +59,9 @@ class IdSet {
   static IdSet IntersectMany(std::vector<const IdSet*> sets);
 
   /// \brief Number of ids in the set.
-  size_t size() const { return ids_.size(); }
+  size_t size() const { return data_ ? data_->size() : 0; }
   /// \brief True iff the set is empty.
-  bool empty() const { return ids_.empty(); }
+  bool empty() const { return data_ == nullptr || data_->empty(); }
   /// \brief Membership test (binary search).
   bool Contains(GraphId id) const;
 
@@ -61,7 +70,7 @@ class IdSet {
   /// \brief Removes one id if present.
   void Erase(GraphId id);
   /// \brief Removes all ids.
-  void Clear() { ids_.clear(); }
+  void Clear() { data_.reset(); }
 
   /// \brief Set intersection.
   IdSet Intersect(const IdSet& other) const;
@@ -80,23 +89,44 @@ class IdSet {
   /// \brief True iff this ⊆ other.
   bool IsSubsetOf(const IdSet& other) const;
 
-  const_iterator begin() const { return ids_.begin(); }
-  const_iterator end() const { return ids_.end(); }
+  const_iterator begin() const { return ids().begin(); }
+  const_iterator end() const { return ids().end(); }
 
-  /// \brief Read-only view of the underlying sorted vector.
-  const std::vector<GraphId>& ids() const { return ids_; }
+  /// \brief Read-only view of the underlying sorted vector. Copies of an
+  /// unmodified IdSet return the *same* vector (structural sharing).
+  const std::vector<GraphId>& ids() const;
+
+  /// \brief True iff this and \p other share one underlying buffer (both
+  /// empty counts as shared). Exposed so snapshot tests can prove
+  /// copy-on-write sharing.
+  bool SharesStorageWith(const IdSet& other) const {
+    return data_ == other.data_;
+  }
 
   /// \brief Approximate heap footprint in bytes (for index sizing).
-  size_t ByteSize() const { return ids_.capacity() * sizeof(GraphId); }
+  size_t ByteSize() const {
+    return data_ ? data_->capacity() * sizeof(GraphId) : 0;
+  }
 
   /// \brief Renders "{1, 2, 5}" for diagnostics.
   std::string ToString() const;
 
-  bool operator==(const IdSet& other) const { return ids_ == other.ids_; }
-  bool operator!=(const IdSet& other) const { return ids_ != other.ids_; }
+  bool operator==(const IdSet& other) const {
+    return data_ == other.data_ || ids() == other.ids();
+  }
+  bool operator!=(const IdSet& other) const { return !(*this == other); }
 
  private:
-  std::vector<GraphId> ids_;
+  // Wraps an already sorted, duplicate-free vector without re-sorting.
+  static IdSet FromSorted(std::vector<GraphId> ids);
+  // Sole-owner buffer for mutation: allocates when empty, clones when
+  // shared.
+  std::vector<GraphId>& Mutable();
+  // Replaces the contents with `scratch` (swapping capacity back into the
+  // per-thread scratch buffer when this is the sole owner).
+  void AdoptScratch(std::vector<GraphId>* scratch);
+
+  std::shared_ptr<std::vector<GraphId>> data_;  // null = empty
 };
 
 }  // namespace prague

@@ -24,6 +24,7 @@ struct BondFixture {
   GraphDatabase db;
   MiningResult mined;
   ActionAwareIndexes indexes;
+  SnapshotPtr snapshot;  // Borrow is safe: immortal static
 
   static const BondFixture& Get() {
     static BondFixture* fixture = [] {
@@ -42,6 +43,7 @@ struct BondFixture {
       A2fConfig a2f;
       a2f.beta = 3;
       f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      f->snapshot = DatabaseSnapshot::Borrow(&f->db, &f->indexes);
       return f;
     }();
     return *fixture;
@@ -51,7 +53,8 @@ struct BondFixture {
 TEST(EdgeLabelTest, GeneratorProducesBothBondTypes) {
   const BondFixture& fixture = BondFixture::Get();
   size_t single = 0, dbl = 0;
-  for (const Graph& g : fixture.db.graphs()) {
+  for (GraphId gid = 0; gid < fixture.db.size(); ++gid) {
+    const Graph& g = fixture.db.graph(gid);
     for (const Edge& e : g.edges()) {
       (e.label == 0 ? single : dbl)++;
     }
@@ -106,7 +109,7 @@ TEST(EdgeLabelTest, SessionEndToEndWithBondLabels) {
   WorkloadGenerator workload(&fixture.db, 23);
   Result<VisualQuerySpec> spec = workload.ContainmentQuery(5, "bonds");
   ASSERT_TRUE(spec.ok());
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   std::map<NodeId, NodeId> node_map;
   auto user_node = [&](NodeId n) {
     auto it = node_map.find(n);
@@ -139,7 +142,7 @@ TEST(EdgeLabelTest, SimilaritySearchRespectsBondLabels) {
   WorkloadGenerator workload(&fixture.db, 29);
   Result<VisualQuerySpec> spec = workload.SimilarityQuery(5, 1, "bsim");
   ASSERT_TRUE(spec.ok());
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   std::map<NodeId, NodeId> node_map;
   auto user_node = [&](NodeId n) {
     auto it = node_map.find(n);

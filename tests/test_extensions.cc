@@ -51,7 +51,7 @@ IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
 
 TEST(DeleteEdgesTest, MultiDeletionEquivalentToFromScratch) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   // Square C-C-S-C plus both diagonals' pendant: delete two edges at once.
   Graph q = testing::MakeGraph({kC, kC, kS, kC, kO},
                                {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}});
@@ -61,7 +61,7 @@ TEST(DeleteEdgesTest, MultiDeletionEquivalentToFromScratch) {
   ASSERT_EQ(session.query().EdgeCount(), 3u);
 
   const Graph& reduced = session.query().CurrentGraph();
-  PragueSession fresh(&fixture.db, &fixture.indexes);
+  PragueSession fresh(fixture.snapshot);
   Feed(&fresh, reduced, DefaultFormulationSequence(reduced));
   EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
   EXPECT_EQ(session.spigs().TotalVertexCount(),
@@ -70,7 +70,7 @@ TEST(DeleteEdgesTest, MultiDeletionEquivalentToFromScratch) {
 
 TEST(DeleteEdgesTest, FindsAnOrderWhenNaiveOrderDisconnects) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   // Path e1-e2-e3: deleting {e1, e2} in the given order is fine, but
   // {e2, e3}... deleting e2 first would disconnect. The session must find
   // the order e3, e2.
@@ -84,7 +84,7 @@ TEST(DeleteEdgesTest, FindsAnOrderWhenNaiveOrderDisconnects) {
 
 TEST(DeleteEdgesTest, RejectsImpossibleSetWithoutSideEffects) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}});
   Feed(&session, q, DefaultFormulationSequence(q));
   // Deleting both edges would empty the fragment.
@@ -98,7 +98,7 @@ TEST(DeleteEdgesTest, RejectsImpossibleSetWithoutSideEffects) {
 
 TEST(RelabelTest, EquivalentToFreshFormulation) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -114,7 +114,7 @@ TEST(RelabelTest, EquivalentToFreshFormulation) {
 
   Graph relabeled = testing::MakeGraph({kC, kC, kC, kO},
                                        {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
-  PragueSession fresh(&fixture.db, &fixture.indexes);
+  PragueSession fresh(fixture.snapshot);
   Feed(&fresh, relabeled, DefaultFormulationSequence(relabeled));
   EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
 
@@ -128,7 +128,7 @@ TEST(RelabelTest, EquivalentToFreshFormulation) {
 
 TEST(RelabelTest, SpigVerticesRekeyed) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
   Feed(&session, q, DefaultFormulationSequence(q));
   NodeId s_node = session.query().NodeLabel(0) == kS ? 0 : 1;
@@ -143,7 +143,7 @@ TEST(RelabelTest, SpigVerticesRekeyed) {
 
 TEST(RelabelTest, RelabelCanRestoreExactMode) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   // Triangle with N pendant: no exact match → similarity mode.
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
@@ -166,7 +166,7 @@ TEST(RelabelTest, RelabelCanRestoreExactMode) {
 
 TEST(RelabelTest, NoOpRelabelIsCheap) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
   Feed(&session, q, DefaultFormulationSequence(q));
   IdSet before = session.exact_candidates();
@@ -183,13 +183,13 @@ Graph TrianglePattern() {
 
 TEST(AddPatternTest, DropOnEmptyCanvasEqualsManualDrawing) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession with_pattern(&fixture.db, &fixture.indexes);
+  PragueSession with_pattern(fixture.snapshot);
   Result<std::vector<StepReport>> reports =
       with_pattern.AddPattern(TrianglePattern());
   ASSERT_TRUE(reports.ok()) << reports.status().ToString();
   EXPECT_EQ(reports->size(), 3u);
 
-  PragueSession manual(&fixture.db, &fixture.indexes);
+  PragueSession manual(fixture.snapshot);
   Graph q = TrianglePattern();
   Feed(&manual, q, DefaultFormulationSequence(q));
   EXPECT_EQ(with_pattern.exact_candidates(), manual.exact_candidates());
@@ -199,7 +199,7 @@ TEST(AddPatternTest, DropOnEmptyCanvasEqualsManualDrawing) {
 
 TEST(AddPatternTest, AttachToExistingFragment) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId c1 = session.AddNode(kC);
   NodeId s = session.AddNode(kS);
   ASSERT_TRUE(session.AddEdge(c1, s).ok());
@@ -217,7 +217,7 @@ TEST(AddPatternTest, AttachToExistingFragment) {
 
 TEST(AddPatternTest, RejectsDetachedPatternOnNonEmptyCanvas) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId c1 = session.AddNode(kC);
   NodeId c2 = session.AddNode(kC);
   ASSERT_TRUE(session.AddEdge(c1, c2).ok());
@@ -226,7 +226,7 @@ TEST(AddPatternTest, RejectsDetachedPatternOnNonEmptyCanvas) {
 
 TEST(AddPatternTest, RejectsLabelMismatchAttach) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId s = session.AddNode(kS);
   NodeId c = session.AddNode(kC);
   ASSERT_TRUE(session.AddEdge(s, c).ok());
@@ -236,7 +236,7 @@ TEST(AddPatternTest, RejectsLabelMismatchAttach) {
 
 TEST(AddPatternTest, RejectsDisconnectedPattern) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph disconnected =
       testing::MakeGraph({kC, kC, kC, kC}, {{0, 1}, {2, 3}});
   EXPECT_FALSE(session.AddPattern(disconnected).ok());
@@ -254,7 +254,7 @@ TEST(TopKTest, TruncatesToMostSimilarPrefix) {
     PragueConfig config;
     config.sigma = 3;
     config.top_k = top_k;
-    PragueSession session(&fixture.db, &fixture.indexes, config);
+    PragueSession session(fixture.snapshot, config);
     Feed(&session, spec->graph, spec->sequence);
     Result<QueryResults> results = session.Run(nullptr);
     if (!results.ok()) std::abort();
@@ -275,7 +275,7 @@ TEST(TopKTest, ZeroMeansUnlimited) {
   const auto& fixture = testing::TinyFixture::Get();
   PragueConfig config;
   config.top_k = 0;
-  PragueSession session(&fixture.db, &fixture.indexes, config);
+  PragueSession session(fixture.snapshot, config);
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));

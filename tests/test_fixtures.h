@@ -16,6 +16,7 @@
 #include "graph/mccs.h"
 #include "graph/subgraph_ops.h"
 #include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
 #include "mining/gspan.h"
 
 namespace prague::testing {
@@ -99,6 +100,9 @@ struct AidsFixture {
   GraphDatabase db;
   MiningResult mined;
   ActionAwareIndexes indexes;
+  /// Version-0 snapshot over db/indexes (safe Borrow: the fixture is an
+  /// immortal static).
+  SnapshotPtr snapshot;
 
   static const AidsFixture& Get() {
     static AidsFixture* fixture = [] {
@@ -116,6 +120,7 @@ struct AidsFixture {
       A2fConfig a2f;
       a2f.beta = 4;
       f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      f->snapshot = DatabaseSnapshot::Borrow(&f->db, &f->indexes);
       return f;
     }();
     return *fixture;
@@ -128,6 +133,8 @@ struct TinyFixture {
   GraphDatabase db;
   MiningResult mined;
   ActionAwareIndexes indexes;
+  /// Version-0 snapshot over db/indexes (safe Borrow: immortal static).
+  SnapshotPtr snapshot;
 
   static const TinyFixture& Get() {
     static TinyFixture* fixture = [] {
@@ -142,6 +149,7 @@ struct TinyFixture {
       A2fConfig a2f;
       a2f.beta = 2;
       f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      f->snapshot = DatabaseSnapshot::Borrow(&f->db, &f->indexes);
       return f;
     }();
     return *fixture;

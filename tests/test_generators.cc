@@ -41,7 +41,8 @@ TEST(AidsGeneratorTest, AllGraphsConnectedAndSimple) {
   AidsGeneratorConfig config;
   config.graph_count = 200;
   GraphDatabase db = GenerateAidsLikeDatabase(config);
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     EXPECT_TRUE(g.IsConnected());
     EXPECT_GE(g.EdgeCount(), 2u);
     EXPECT_LE(g.NodeCount(), config.max_nodes);
@@ -57,7 +58,8 @@ TEST(AidsGeneratorTest, SizeProfileMatchesAids) {
   EXPECT_NEAR(db.AverageEdgeCount(), 27.0, 7.0);
   // Heavy tail: some molecule well above average.
   size_t max_nodes = 0;
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     max_nodes = std::max(max_nodes, g.NodeCount());
   }
   EXPECT_GT(max_nodes, 80u);
@@ -70,7 +72,8 @@ TEST(AidsGeneratorTest, CarbonDominatesLabels) {
   Result<Label> carbon = db.labels().Lookup("C");
   ASSERT_TRUE(carbon.ok());
   size_t total = 0, c_count = 0;
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     for (NodeId n = 0; n < g.NodeCount(); ++n) {
       ++total;
       if (g.NodeLabel(n) == *carbon) ++c_count;
@@ -109,7 +112,8 @@ TEST(SyntheticGeneratorTest, MatchesPaperProfile) {
   // Paper: avg edges 30, density 0.1 (⇒ ≈ 25 nodes).
   EXPECT_NEAR(db.AverageEdgeCount(), 30.0, 5.0);
   EXPECT_NEAR(db.AverageNodeCount(), 25.0, 6.0);
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     EXPECT_TRUE(g.IsConnected());
   }
 }
@@ -120,7 +124,8 @@ TEST(SyntheticGeneratorTest, UsesConfiguredLabelCount) {
   config.label_count = 7;
   GraphDatabase db = GenerateSyntheticDatabase(config);
   EXPECT_EQ(db.labels().size(), 7u);
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     for (NodeId n = 0; n < g.NodeCount(); ++n) {
       EXPECT_LT(g.NodeLabel(n), 7u);
     }
@@ -133,7 +138,8 @@ TEST(SyntheticGeneratorTest, LabelsAreSkewed) {
   GraphDatabase db = GenerateSyntheticDatabase(config);
   std::map<Label, size_t> counts;
   size_t total = 0;
-  for (const Graph& g : db.graphs()) {
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
     for (NodeId n = 0; n < g.NodeCount(); ++n) {
       ++counts[g.NodeLabel(n)];
       ++total;

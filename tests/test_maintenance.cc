@@ -137,7 +137,7 @@ TEST(MaintenanceTest, SessionsStaySoundAfterMaintenance) {
   extra.push_back(testing::MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}}));
   ASSERT_TRUE(AppendGraphs(&f.db, extra, &f.indexes, f.alpha).ok());
 
-  PragueSession session(&f.db, &f.indexes);
+  PragueSession session(DatabaseSnapshot::Borrow(&f.db, &f.indexes));
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   std::vector<NodeId> node_map(q.NodeCount(), kInvalidNode);

@@ -66,7 +66,7 @@ struct Walkthrough {
 
 TEST(PaperWalkthroughTest, Figure3StatusSequence) {
   Walkthrough w = Walkthrough::Build();
-  PragueSession session(&w.db, &w.indexes);
+  PragueSession session(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
 
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
@@ -138,7 +138,7 @@ TEST(PaperWalkthroughTest, Figure3StatusSequence) {
 
 TEST(PaperWalkthroughTest, TakingTheSuggestionRestoresExactMode) {
   Walkthrough w = Walkthrough::Build();
-  PragueSession session(&w.db, &w.indexes);
+  PragueSession session(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
   NodeId c = session.AddNode(kC);
@@ -171,7 +171,7 @@ TEST(PaperWalkthroughTest, SequenceTwoGivesSameCandidates) {
   // SPIG sets differ but candidates must not (Section V-B).
   Walkthrough w = Walkthrough::Build();
   auto formulate = [&](const std::vector<std::pair<int, int>>& edges) {
-    auto session = std::make_unique<PragueSession>(&w.db, &w.indexes);
+    auto session = std::make_unique<PragueSession>(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
     std::vector<Label> labels = {kC, kC, kC, kS, kS, kS};
     std::vector<NodeId> ids;
     for (Label l : labels) ids.push_back(session->AddNode(l));

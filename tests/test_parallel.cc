@@ -105,7 +105,7 @@ TEST_P(ParallelRunTest, SimilarityResultsIdenticalAcrossThreadCounts) {
     PragueConfig config;
     config.sigma = 3;
     config.verification_threads = threads;
-    PragueSession session(&fixture.db, &fixture.indexes, config);
+    PragueSession session(fixture.snapshot, config);
     Feed(&session, spec->graph, spec->sequence);
     Result<QueryResults> results = session.Run(nullptr);
     if (!results.ok()) std::abort();
@@ -176,9 +176,9 @@ TEST_P(SpigDeterminismTest, ParallelAndMemoizedMatchSequentialCold) {
   PragueConfig cold_config;
   cold_config.spig_threads = 4;
   cold_config.candidate_memo = false;
-  PragueSession seq(&fixture.db, &fixture.indexes, seq_config);
-  PragueSession par(&fixture.db, &fixture.indexes, par_config);
-  PragueSession cold(&fixture.db, &fixture.indexes, cold_config);
+  PragueSession seq(fixture.snapshot, seq_config);
+  PragueSession par(fixture.snapshot, par_config);
+  PragueSession cold(fixture.snapshot, cold_config);
   PragueSession* sessions[] = {&seq, &par, &cold};
   std::vector<Label> labels = {testing::kC, testing::kS, testing::kO,
                                testing::kN};
@@ -249,7 +249,7 @@ TEST(SpigDeterminismTest, TenEdgeQueryMatchesAcrossThreadCounts) {
     PragueConfig config;
     config.spig_threads = threads;
     auto session =
-        std::make_unique<PragueSession>(&fixture.db, &fixture.indexes, config);
+        std::make_unique<PragueSession>(fixture.snapshot, config);
     std::vector<NodeId> node_map(spec->graph.NodeCount(), kInvalidNode);
     for (EdgeId e : spec->sequence) {
       const Edge& edge = spec->graph.GetEdge(e);
@@ -275,7 +275,7 @@ TEST(SpigDeterminismTest, TenEdgeQueryMatchesAcrossThreadCounts) {
 // relabels (caches reset).
 TEST(CandidateMemoTest, CacheMatchesColdRecomputeAfterModifications) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId a = session.AddNode(testing::kC);
   NodeId b = session.AddNode(testing::kC);
   NodeId c = session.AddNode(testing::kS);

@@ -89,7 +89,7 @@ TEST(PatternParserTest, ExecutesThroughSession) {
   Result<ParsedPattern> p = ParsePatternStrict(
       "(a:C)-(b:C), (b)-(c:C), (a)-(c), (a)-(d:S)", fixture.db.labels());
   ASSERT_TRUE(p.ok()) << p.status().ToString();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   std::vector<NodeId> ids;
   for (NodeId n = 0; n < p->graph.NodeCount(); ++n) {
     ids.push_back(session.AddNode(p->graph.NodeLabel(n)));

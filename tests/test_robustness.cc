@@ -62,7 +62,7 @@ TEST(RobustnessTest, ExtremeAlphaNothingFrequentStaysSound) {
   ASSERT_TRUE(indexes.ok());
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
-  PragueSession session(&db, &indexes.value());
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   Feed(&session, q, DefaultFormulationSequence(q));
   IdSet truth = TrueMatches(db, q);
   EXPECT_TRUE(truth.IsSubsetOf(session.exact_candidates()));
@@ -84,7 +84,7 @@ TEST(RobustnessTest, LowAlphaEverythingFrequentStaysSound) {
   // With support >= 1 everything that occurs is frequent: no DIFs exist.
   EXPECT_EQ(indexes->a2i.EntryCount(), 0u);
   Graph q = testing::MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
-  PragueSession session(&db, &indexes.value());
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   Feed(&session, q, DefaultFormulationSequence(q));
   Result<QueryResults> results = session.Run(nullptr);
   ASSERT_TRUE(results.ok());
@@ -101,7 +101,7 @@ TEST(RobustnessTest, SingleGraphDatabase) {
   A2fConfig a2f;
   Result<ActionAwareIndexes> indexes = BuildActionAwareIndexes(db, mining, a2f);
   ASSERT_TRUE(indexes.ok());
-  PragueSession session(&db, &indexes.value());
+  PragueSession session(DatabaseSnapshot::Borrow(&db, &indexes.value()));
   NodeId c = session.AddNode(kC);
   NodeId s = session.AddNode(kS);
   ASSERT_TRUE(session.AddEdge(c, s).ok());
@@ -113,7 +113,7 @@ TEST(RobustnessTest, SingleGraphDatabase) {
 TEST(RobustnessTest, QueryLargerThanEveryDataGraph) {
   const auto& fixture = testing::TinyFixture::Get();
   // A 7-edge star of C around C — bigger than any tiny-database graph.
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId center = session.AddNode(kC);
   for (int i = 0; i < 7; ++i) {
     NodeId leaf = session.AddNode(kC);
@@ -139,7 +139,7 @@ TEST(RobustnessTest, SigmaZeroSimilarityEqualsExact) {
   const auto& fixture = testing::TinyFixture::Get();
   PragueConfig config;
   config.sigma = 0;
-  PragueSession session(&fixture.db, &fixture.indexes, config);
+  PragueSession session(fixture.snapshot, config);
   Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
   Feed(&session, q, DefaultFormulationSequence(q));
   ASSERT_TRUE(session.EnableSimilarity().ok());
@@ -157,7 +157,7 @@ TEST(RobustnessTest, HugeSigmaReturnsWholeDatabaseRanked) {
   const auto& fixture = testing::TinyFixture::Get();
   PragueConfig config;
   config.sigma = 100;
-  PragueSession session(&fixture.db, &fixture.indexes, config);
+  PragueSession session(fixture.snapshot, config);
   Graph q = testing::MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
   Feed(&session, q, DefaultFormulationSequence(q));
   ASSERT_TRUE(session.EnableSimilarity().ok());

@@ -56,7 +56,7 @@ IdSet TrueMatches(const GraphDatabase& db, const Graph& q) {
 
 TEST(PragueSessionTest, ContainmentFlowReturnsExactMatches) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -71,7 +71,7 @@ TEST(PragueSessionTest, ContainmentFlowReturnsExactMatches) {
 
 TEST(PragueSessionTest, CandidatesAreSoundAtEveryStep) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   std::map<NodeId, NodeId> node_map;
@@ -94,7 +94,7 @@ TEST(PragueSessionTest, CandidatesAreSoundAtEveryStep) {
 
 TEST(PragueSessionTest, AutoSimilarityKicksInWhenRqEmpties) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   // Triangle with an N pendant: no data graph contains it (N only appears
   // in g4, attached to a bare C-C edge).
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
@@ -125,7 +125,7 @@ TEST(PragueSessionTest, RunFallsBackToSimilarityWhenVerificationEmpties) {
   PragueConfig config;
   config.auto_similarity = false;
   config.sigma = 2;
-  PragueSession session(&fixture.db, &fixture.indexes, config);
+  PragueSession session(fixture.snapshot, config);
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -140,7 +140,7 @@ TEST(PragueSessionTest, ModificationEquivalentToFromScratch) {
   // Formulate, delete an edge, and compare every candidate set against a
   // fresh session that formulates the reduced query directly.
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -157,7 +157,7 @@ TEST(PragueSessionTest, ModificationEquivalentToFromScratch) {
 
   // Fresh session over the reduced graph.
   const Graph& reduced = session.query().CurrentGraph();
-  PragueSession fresh(&fixture.db, &fixture.indexes);
+  PragueSession fresh(fixture.snapshot);
   Feed(&fresh, reduced, DefaultFormulationSequence(reduced));
 
   EXPECT_EQ(session.exact_candidates(), fresh.exact_candidates());
@@ -171,7 +171,7 @@ TEST(PragueSessionTest, ModificationEquivalentToFromScratch) {
 
 TEST(PragueSessionTest, SuggestionMaximizesCandidates) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -195,7 +195,7 @@ TEST(PragueSessionTest, SuggestionMaximizesCandidates) {
 
 TEST(PragueSessionTest, DeletionRestoresExactMode) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kN},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));
@@ -214,7 +214,7 @@ TEST(PragueSessionTest, EnableSimilarityExplicitly) {
   const auto& fixture = testing::TinyFixture::Get();
   PragueConfig config;
   config.auto_similarity = false;
-  PragueSession session(&fixture.db, &fixture.indexes, config);
+  PragueSession session(fixture.snapshot, config);
   Graph q = testing::MakeGraph({kC, kS}, {{0, 1}});
   Feed(&session, q, DefaultFormulationSequence(q));
   EXPECT_FALSE(session.similarity_mode());
@@ -237,14 +237,14 @@ TEST(PragueSessionTest, EnableSimilarityExplicitly) {
 
 TEST(PragueSessionTest, RunOnEmptyQueryFails) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   EXPECT_FALSE(session.Run(nullptr).ok());
   EXPECT_FALSE(session.EnableSimilarity().ok());
 }
 
 TEST(PragueSessionTest, AddNodeByName) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Result<NodeId> c = session.AddNodeByName("C");
   ASSERT_TRUE(c.ok());
   EXPECT_FALSE(session.AddNodeByName("Zz").ok());
@@ -257,8 +257,8 @@ TEST(GBlenderSessionTest, AgreesWithPragueOnContainment) {
     Result<VisualQuerySpec> spec =
         workload.ContainmentQuery(5 + i, "q" + std::to_string(i));
     ASSERT_TRUE(spec.ok());
-    PragueSession prg(&fixture.db, &fixture.indexes);
-    GBlenderSession gbr(&fixture.db, &fixture.indexes);
+    PragueSession prg(fixture.snapshot);
+    GBlenderSession gbr(fixture.snapshot);
     Feed(&prg, spec->graph, spec->sequence);
     Feed(&gbr, spec->graph, spec->sequence);
     Result<QueryResults> pr = prg.Run(nullptr);
@@ -272,7 +272,7 @@ TEST(GBlenderSessionTest, AgreesWithPragueOnContainment) {
 
 TEST(GBlenderSessionTest, CandidatesAreSound) {
   const auto& fixture = testing::TinyFixture::Get();
-  GBlenderSession session(&fixture.db, &fixture.indexes);
+  GBlenderSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   std::map<NodeId, NodeId> node_map;
@@ -295,7 +295,7 @@ TEST(GBlenderSessionTest, CandidatesAreSound) {
 
 TEST(GBlenderSessionTest, DeletionReplaysAndStaysCorrect) {
   const auto& fixture = testing::TinyFixture::Get();
-  GBlenderSession session(&fixture.db, &fixture.indexes);
+  GBlenderSession session(fixture.snapshot);
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
   Feed(&session, q, DefaultFormulationSequence(q));

@@ -10,7 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/prague_session.h"
+#include "core/session_manager.h"
 #include "datasets/query_workload.h"
 #include "graph/vf2.h"
 #include "test_fixtures.h"
@@ -52,7 +56,7 @@ class SessionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SessionFuzzTest, RandomActionStreamsKeepInvariants) {
   const auto& fixture = testing::TinyFixture::Get();
   Rng rng(GetParam() * 7919 + 13);
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   std::vector<Label> labels = {testing::kC, testing::kS, testing::kO,
                                testing::kN};
 
@@ -116,7 +120,7 @@ TEST_P(SessionFuzzTest, RandomActionStreamsKeepInvariants) {
   // Invariant (3): equivalence with a from-scratch session.
   if (!session.query().Empty()) {
     const Graph& final_q = session.query().CurrentGraph();
-    PragueSession fresh(&fixture.db, &fixture.indexes);
+    PragueSession fresh(fixture.snapshot);
     std::vector<NodeId> node_map(final_q.NodeCount(), kInvalidNode);
     for (EdgeId e : DefaultFormulationSequence(final_q)) {
       const Edge& edge = final_q.GetEdge(e);
@@ -151,6 +155,78 @@ TEST_P(SessionFuzzTest, RandomActionStreamsKeepInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzzTest,
                          ::testing::Range<uint64_t>(0, 25));
+
+// Modification actions (DeleteEdges, RelabelNode) inside snapshot-pinned
+// sessions while a background thread keeps publishing appended versions
+// through the manager. Every session must keep answering from its pinned
+// version: candidate soundness is checked against the *pinned* database,
+// and |D| must never move under a live session's feet.
+TEST(ConcurrentAppendFuzzTest, ModificationsInPinnedSessionsDuringAppends) {
+  const auto& fixture = testing::TinyFixture::Get();
+  // Owned copies (cheap, structurally shared) so published successors can
+  // never touch the shared fixture.
+  SessionManager manager(DatabaseSnapshot::Make(fixture.db, fixture.indexes));
+
+  std::atomic<bool> stop{false};
+  std::thread appender([&] {
+    for (int i = 0; i < 64 && !stop.load(std::memory_order_relaxed); ++i) {
+      std::vector<Graph> extra;
+      extra.push_back(testing::MakeGraph(
+          {testing::kC, testing::kC, testing::kS}, {{0, 1}, {1, 2}}));
+      Result<MaintenanceReport> r = manager.Append(std::move(extra), 0.34);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (r.ok()) {
+        EXPECT_EQ(r->to_version, r->from_version + 1);
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < 6; ++round) {
+        std::shared_ptr<ManagedSession> managed = manager.Open();
+        managed->With([&](PragueSession& s) {
+          const size_t pinned_size = s.snapshot()->db().size();
+          // Draw a 4-edge path C-S-C-C-O, then modify it.
+          NodeId a = s.AddNode(testing::kC);
+          NodeId b = s.AddNode(testing::kS);
+          NodeId c = s.AddNode(testing::kC);
+          NodeId d = s.AddNode(testing::kC);
+          NodeId e = s.AddNode(testing::kO);
+          EXPECT_TRUE(s.AddEdge(a, b).ok());
+          EXPECT_TRUE(s.AddEdge(b, c).ok());
+          Result<StepReport> third = s.AddEdge(c, d);
+          Result<StepReport> fourth = s.AddEdge(d, e);
+          EXPECT_TRUE(third.ok());
+          EXPECT_TRUE(fourth.ok());
+          // Multi-edge deletion while versions publish underneath.
+          EXPECT_TRUE(s.DeleteEdges({third->edge, fourth->edge}).ok());
+          // Relabel, too.
+          EXPECT_TRUE(s.RelabelNode(b, testing::kO).ok());
+          // Soundness against the *pinned* database.
+          IdSet truth =
+              TrueMatches(s.snapshot()->db(), s.query().CurrentGraph());
+          EXPECT_TRUE(truth.IsSubsetOf(s.exact_candidates()));
+          // The pinned view is immutable: |D| cannot have changed.
+          EXPECT_EQ(s.snapshot()->db().size(), pinned_size);
+          EXPECT_TRUE(s.Run(nullptr).ok());
+        });
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  appender.join();
+
+  // All worker sessions are closed; the current snapshot reflects every
+  // published append (one graph per publish).
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.open_sessions, 0u);
+  EXPECT_GE(stats.snapshots_published, 1u);
+  EXPECT_EQ(manager.current()->db().size(),
+            fixture.db.size() + stats.snapshots_published);
+}
 
 }  // namespace
 }  // namespace prague

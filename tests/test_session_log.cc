@@ -19,7 +19,7 @@ using testing::kS;
 
 TEST(SessionLogTest, RecordsAllActionKinds) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
   NodeId c = session.AddNode(kS);
@@ -41,7 +41,7 @@ TEST(SessionLogTest, RecordsAllActionKinds) {
 
 TEST(SessionLogTest, SerializationRoundTrip) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
   NodeId c = session.AddNode(kS);
@@ -67,7 +67,7 @@ TEST(SessionLogTest, LoadRejectsGarbage) {
 
 TEST(SessionLogTest, ReplayReproducesState) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
   NodeId c = session.AddNode(kC);
@@ -79,7 +79,7 @@ TEST(SessionLogTest, ReplayReproducesState) {
   ASSERT_TRUE(session.RelabelNode(n, kS).ok());  // back to exact (= g0)
 
   Result<std::unique_ptr<PragueSession>> replayed = ReplaySession(
-      session.action_log(), &fixture.db, &fixture.indexes, PragueConfig());
+      session.action_log(), fixture.snapshot, PragueConfig());
   ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
   PragueSession& twin = **replayed;
   EXPECT_EQ(twin.exact_candidates(), session.exact_candidates());
@@ -98,7 +98,7 @@ TEST(SessionLogTest, ReplayReproducesState) {
 
 TEST(SessionLogTest, ReplayThroughFileRoundTrip) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kS);
   ASSERT_TRUE(session.AddEdge(a, b).ok());
@@ -107,20 +107,20 @@ TEST(SessionLogTest, ReplayThroughFileRoundTrip) {
   Result<SessionLog> loaded = LoadSessionLogFromFile(path);
   ASSERT_TRUE(loaded.ok());
   Result<std::unique_ptr<PragueSession>> replayed =
-      ReplaySession(*loaded, &fixture.db, &fixture.indexes, PragueConfig());
+      ReplaySession(*loaded, fixture.snapshot, PragueConfig());
   ASSERT_TRUE(replayed.ok());
   EXPECT_EQ((*replayed)->exact_candidates(), session.exact_candidates());
 }
 
 TEST(SessionLogTest, PatternDropIsReplayable) {
   const auto& fixture = testing::TinyFixture::Get();
-  PragueSession session(&fixture.db, &fixture.indexes);
+  PragueSession session(fixture.snapshot);
   Graph triangle = testing::MakeGraph({kC, kC, kC},
                                       {{0, 1}, {1, 2}, {0, 2}});
   ASSERT_TRUE(session.AddPattern(triangle).ok());
   // A pattern drop decomposes into node/edge actions — replay must work.
   Result<std::unique_ptr<PragueSession>> replayed = ReplaySession(
-      session.action_log(), &fixture.db, &fixture.indexes, PragueConfig());
+      session.action_log(), fixture.snapshot, PragueConfig());
   ASSERT_TRUE(replayed.ok());
   EXPECT_EQ((*replayed)->exact_candidates(), session.exact_candidates());
 }

@@ -1,0 +1,209 @@
+// SessionManager: pinning semantics (Open before/after Publish), stale and
+// null publish rejection, stats bookkeeping, Append visibility — and the
+// acceptance property of the snapshot layer: N sessions formulating
+// concurrently while an appender publishes produce results bit-identical
+// to the same formulations replayed sequentially on each session's pinned
+// snapshot. Results are a pure function of the pinned version.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "index/index_maintenance.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+SnapshotPtr FreshTinySnapshot(uint64_t version = 0) {
+  const auto& fixture = testing::TinyFixture::Get();
+  return DatabaseSnapshot::Make(fixture.db, fixture.indexes, version);
+}
+
+std::vector<Graph> OneGraphBatch() {
+  return {testing::MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}})};
+}
+
+// Formulates a small C-S-C path query; returns the full Run output.
+QueryResults FormulatePath(PragueSession& s) {
+  NodeId a = s.AddNode(kC);
+  NodeId b = s.AddNode(kS);
+  NodeId c = s.AddNode(kC);
+  if (!s.AddEdge(a, b).ok()) std::abort();
+  if (!s.AddEdge(b, c).ok()) std::abort();
+  Result<QueryResults> r = s.Run(nullptr);
+  if (!r.ok()) std::abort();
+  return std::move(r.value());
+}
+
+void ExpectSameResults(const QueryResults& a, const QueryResults& b) {
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.similarity, b.similarity);
+  ASSERT_EQ(a.similar.size(), b.similar.size());
+  for (size_t i = 0; i < a.similar.size(); ++i) {
+    EXPECT_EQ(a.similar[i], b.similar[i]);
+  }
+}
+
+TEST(SessionManagerTest, OpenPinsTheCurrentSnapshot) {
+  SessionManager manager(FreshTinySnapshot());
+  std::shared_ptr<ManagedSession> before = manager.Open();
+  EXPECT_EQ(before->version(), 0u);
+  EXPECT_EQ(before->snapshot().get(), manager.current().get());
+
+  ASSERT_TRUE(manager.Append(OneGraphBatch(), 0.34).ok());
+  std::shared_ptr<ManagedSession> after = manager.Open();
+  EXPECT_EQ(after->version(), 1u);
+  // The earlier session is still pinned to version 0 with the old |D|.
+  EXPECT_EQ(before->version(), 0u);
+  EXPECT_EQ(before->snapshot()->db().size(), 6u);
+  EXPECT_EQ(after->snapshot()->db().size(), 7u);
+}
+
+TEST(SessionManagerTest, PublishRejectsStaleAndNull) {
+  SessionManager manager(FreshTinySnapshot(4));
+  EXPECT_FALSE(manager.Publish(nullptr).ok());
+  // Same version: stale.
+  EXPECT_FALSE(manager.Publish(FreshTinySnapshot(4)).ok());
+  // Lower version: stale.
+  EXPECT_FALSE(manager.Publish(FreshTinySnapshot(2)).ok());
+  // Higher version: accepted.
+  EXPECT_TRUE(manager.Publish(FreshTinySnapshot(5)).ok());
+  EXPECT_EQ(manager.current()->version(), 5u);
+}
+
+TEST(SessionManagerTest, AppendReportsVersionsAndPublishes) {
+  SessionManager manager(FreshTinySnapshot());
+  Result<MaintenanceReport> r1 = manager.Append(OneGraphBatch(), 0.34);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->from_version, 0u);
+  EXPECT_EQ(r1->to_version, 1u);
+  Result<MaintenanceReport> r2 = manager.Append(OneGraphBatch(), 0.34);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->from_version, 1u);
+  EXPECT_EQ(r2->to_version, 2u);
+  EXPECT_EQ(manager.current()->version(), 2u);
+  EXPECT_EQ(manager.current()->db().size(), 8u);
+}
+
+TEST(SessionManagerTest, FailedAppendLeavesCurrentUnchanged) {
+  SessionManager manager(FreshTinySnapshot());
+  // Empty batch is rejected by the maintenance layer.
+  EXPECT_FALSE(manager.Append({}, 0.34).ok());
+  EXPECT_EQ(manager.current()->version(), 0u);
+  EXPECT_EQ(manager.Stats().snapshots_published, 0u);
+}
+
+TEST(SessionManagerTest, StatsTrackSessionsByPinnedVersion) {
+  SessionManager manager(FreshTinySnapshot());
+  std::shared_ptr<ManagedSession> s0a = manager.Open();
+  std::shared_ptr<ManagedSession> s0b = manager.Open();
+  ASSERT_TRUE(manager.Append(OneGraphBatch(), 0.34).ok());
+  std::shared_ptr<ManagedSession> s1 = manager.Open();
+
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.current_version, 1u);
+  EXPECT_EQ(stats.open_sessions, 3u);
+  EXPECT_EQ(stats.sessions_opened, 3u);
+  EXPECT_EQ(stats.snapshots_published, 1u);
+  EXPECT_EQ(stats.sessions_by_version.at(0), 2u);
+  EXPECT_EQ(stats.sessions_by_version.at(1), 1u);
+
+  // Dropping sessions releases their pins; ids are never reused.
+  s0a.reset();
+  s0b.reset();
+  stats = manager.Stats();
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_EQ(stats.sessions_by_version.count(0), 0u);
+  EXPECT_EQ(stats.sessions_opened, 3u);
+  EXPECT_EQ(s1->id(), 3u);
+}
+
+TEST(SessionManagerTest, RetiredSnapshotFreesWhenLastPinDrops) {
+  SessionManager manager(FreshTinySnapshot());
+  std::shared_ptr<ManagedSession> pinned = manager.Open();
+  std::weak_ptr<const DatabaseSnapshot> retired = pinned->snapshot();
+  ASSERT_TRUE(manager.Append(OneGraphBatch(), 0.34).ok());
+  // The manager no longer holds version 0, but the session still does.
+  EXPECT_FALSE(retired.expired());
+  pinned.reset();
+  EXPECT_TRUE(retired.expired());
+}
+
+TEST(SessionManagerTest, DistinctSessionsShareNoQueryState) {
+  SessionManager manager(FreshTinySnapshot());
+  std::shared_ptr<ManagedSession> s1 = manager.Open();
+  std::shared_ptr<ManagedSession> s2 = manager.Open();
+  s1->With([](PragueSession& s) {
+    NodeId a = s.AddNode(kC);
+    NodeId b = s.AddNode(kC);
+    if (!s.AddEdge(a, b).ok()) std::abort();
+  });
+  s2->With([](PragueSession& s) { EXPECT_TRUE(s.query().Empty()); });
+}
+
+// Acceptance: N sessions formulate queries concurrently (one thread each)
+// while an appender keeps publishing successors. Afterwards each session's
+// results must be bit-identical to a sequential replay of the same
+// formulation on a plain PragueSession over that session's own pinned
+// snapshot.
+TEST(SessionManagerTest, ConcurrentResultsMatchSequentialReplayOnPinnedVersion) {
+  SessionManager manager(FreshTinySnapshot());
+
+  constexpr int kSessions = 6;
+  std::vector<std::shared_ptr<ManagedSession>> sessions;
+  std::vector<QueryResults> concurrent(kSessions);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions + 1);
+  // Appender: publishes a successor repeatedly while sessions run.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(manager.Append(OneGraphBatch(), 0.34).ok());
+    }
+  });
+  sessions.resize(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      sessions[i] = manager.Open();
+      concurrent[i] = sessions[i]->With(
+          [](PragueSession& s) { return FormulatePath(s); });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Sessions opened at different moments pinned different versions; at
+  // least two distinct versions must exist for this test to mean much —
+  // with 12 appends racing 6 opens this has always held in practice, but
+  // it is not guaranteed, so it is only recorded, not asserted.
+  // Sequential replay on each pinned snapshot must reproduce the
+  // concurrent results bit-for-bit.
+  for (int i = 0; i < kSessions; ++i) {
+    PragueSession replay(sessions[i]->snapshot());
+    QueryResults sequential = FormulatePath(replay);
+    SCOPED_TRACE("session " + std::to_string(i) + " pinned version " +
+                 std::to_string(sessions[i]->version()));
+    ExpectSameResults(concurrent[i], sequential);
+    // Matches within the pinned |D| only: no appended graph id can leak in.
+    for (GraphId gid : concurrent[i].exact) {
+      EXPECT_LT(gid, sessions[i]->snapshot()->db().size());
+    }
+  }
+
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.current_version, 12u);
+  EXPECT_EQ(stats.snapshots_published, 12u);
+  EXPECT_EQ(manager.current()->db().size(), 6u + 12u);
+}
+
+}  // namespace
+}  // namespace prague

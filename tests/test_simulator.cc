@@ -15,7 +15,7 @@ TEST(SimulatorTest, PragueContainmentSession) {
   WorkloadGenerator workload(&fixture.db, 12);
   Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "sim");
   ASSERT_TRUE(spec.ok());
-  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  SessionSimulator simulator(fixture.snapshot);
   Result<SimulationResult> result = simulator.RunPrague(*spec);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->steps.size(), spec->sequence.size());
@@ -34,7 +34,7 @@ TEST(SimulatorTest, SrtExcludesHiddenWork) {
   ASSERT_TRUE(spec.ok());
   SimulationConfig config;
   config.latency.edge_seconds = 1e6;
-  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  SessionSimulator simulator(fixture.snapshot, config);
   Result<SimulationResult> result = simulator.RunPrague(*spec);
   ASSERT_TRUE(result.ok());
   for (const StepTrace& t : result->steps) {
@@ -50,7 +50,7 @@ TEST(SimulatorTest, ZeroLatencyChargesEverything) {
   ASSERT_TRUE(spec.ok());
   SimulationConfig config;
   config.latency.edge_seconds = 0.0;
-  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  SessionSimulator simulator(fixture.snapshot, config);
   Result<SimulationResult> result = simulator.RunPrague(*spec);
   ASSERT_TRUE(result.ok());
   double overflow = 0;
@@ -67,7 +67,7 @@ TEST(SimulatorTest, ScriptedModificationDeletesEdge) {
   WorkloadGenerator workload(&fixture.db, 15);
   Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "mod");
   ASSERT_TRUE(spec.ok());
-  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  SessionSimulator simulator(fixture.snapshot);
   // Delete some edge after the last step, as the paper's Table V protocol
   // does. Early edges may be bridges (deletion would disconnect), so scan
   // until a deletable one is found.
@@ -96,7 +96,7 @@ TEST(SimulatorTest, GBlenderSessionMatchesPragueOnContainment) {
   WorkloadGenerator workload(&fixture.db, 16);
   Result<VisualQuerySpec> spec = workload.ContainmentQuery(6, "par");
   ASSERT_TRUE(spec.ok());
-  SessionSimulator simulator(&fixture.db, &fixture.indexes);
+  SessionSimulator simulator(fixture.snapshot);
   Result<SimulationResult> prg = simulator.RunPrague(*spec);
   Result<SimulationResult> gbr = simulator.RunGBlender(*spec);
   ASSERT_TRUE(prg.ok());
@@ -111,7 +111,7 @@ TEST(SimulatorTest, SimilarityQuerySessionProducesRankedResults) {
   ASSERT_TRUE(spec.ok());
   SimulationConfig config;
   config.prague.sigma = 3;
-  SessionSimulator simulator(&fixture.db, &fixture.indexes, config);
+  SessionSimulator simulator(fixture.snapshot, config);
   Result<SimulationResult> result = simulator.RunPrague(*spec);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->similarity);

@@ -1,0 +1,275 @@
+// DatabaseSnapshot semantics: owning (Make) vs borrowing (Borrow)
+// construction, copy-on-write appends that structurally share unchanged
+// graph storage and id-sets with their base, base immutability, exactness
+// of the successor's id sets, and versioned index persistence (format v2
+// round-trip plus v1 backward compatibility).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/vf2.h"
+#include "index/database_snapshot.h"
+#include "index/index_io.h"
+#include "index/index_maintenance.h"
+#include "mining/gspan.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+// Fresh owned snapshot over copies of the tiny fixture's data. Copies are
+// cheap: graph storage and id-set payloads are structurally shared.
+SnapshotPtr FreshTinySnapshot(uint64_t version = 0) {
+  const auto& fixture = testing::TinyFixture::Get();
+  return DatabaseSnapshot::Make(fixture.db, fixture.indexes, version);
+}
+
+TEST(DatabaseSnapshotTest, MakeOwnsItsComponents) {
+  // The snapshot must stay valid after every external handle to the moved-
+  // in components is gone — exactly the by-value-return scenario that a
+  // Borrow would turn into a dangling view.
+  SnapshotPtr snap;
+  {
+    GraphDatabase db = testing::TinyDatabase();
+    MiningConfig mining;
+    mining.min_support_ratio = 0.34;
+    mining.max_fragment_edges = 6;
+    Result<MiningResult> mined = MineFragments(db, mining);
+    ASSERT_TRUE(mined.ok());
+    A2fConfig a2f;
+    a2f.beta = 2;
+    ActionAwareIndexes indexes = BuildActionAwareIndexes(*mined, a2f);
+    snap = DatabaseSnapshot::Make(std::move(db), std::move(indexes), 42);
+  }
+  EXPECT_EQ(snap->version(), 42u);
+  EXPECT_EQ(snap->db().size(), 6u);
+  EXPECT_GT(snap->indexes().a2f.VertexCount(), 0u);
+  EXPECT_EQ(snap->labels().Name(kC), "C");
+}
+
+TEST(DatabaseSnapshotTest, BorrowViewsTheCallersComponents) {
+  const auto& fixture = testing::TinyFixture::Get();
+  SnapshotPtr snap = DatabaseSnapshot::Borrow(&fixture.db, &fixture.indexes, 7);
+  EXPECT_EQ(&snap->db(), &fixture.db);
+  EXPECT_EQ(&snap->indexes(), &fixture.indexes);
+  EXPECT_EQ(&snap->labels(), &fixture.db.labels());
+  EXPECT_EQ(snap->version(), 7u);
+}
+
+TEST(DatabaseSnapshotTest, CopyingTheDatabaseSharesGraphStorage) {
+  const auto& fixture = testing::TinyFixture::Get();
+  GraphDatabase copy = fixture.db;
+  ASSERT_EQ(copy.size(), fixture.db.size());
+  for (GraphId gid = 0; gid < copy.size(); ++gid) {
+    EXPECT_EQ(copy.shared_graph(gid).get(), fixture.db.shared_graph(gid).get())
+        << "graph " << gid << " was deep-copied";
+  }
+}
+
+TEST(DatabaseSnapshotTest, CowAppendSharesUnchangedStateWithBase) {
+  SnapshotPtr base = FreshTinySnapshot();
+  std::vector<Graph> extra;
+  // N-N-N matches no existing frequent fragment or DIF containing C/S/O
+  // patterns beyond those with N — most id-sets must stay untouched.
+  extra.push_back(testing::MakeGraph({kN, kN, kN}, {{0, 1}, {1, 2}}));
+  Result<SnapshotAppendResult> next = AppendGraphs(*base, extra, 0.34);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  const DatabaseSnapshot& succ = *next->snapshot;
+
+  // All pre-existing graphs are the same heap objects, not copies.
+  ASSERT_EQ(succ.db().size(), base->db().size() + 1);
+  for (GraphId gid = 0; gid < base->db().size(); ++gid) {
+    EXPECT_EQ(succ.db().shared_graph(gid).get(),
+              base->db().shared_graph(gid).get())
+        << "graph " << gid;
+  }
+
+  // Id-sets the new graph did not extend still share their payload with
+  // the base (copy-on-write: only mutated sets were cloned).
+  size_t shared_sets = 0;
+  const GraphId new_gid = static_cast<GraphId>(base->db().size());
+  for (A2fId id = 0; id < base->indexes().a2f.VertexCount(); ++id) {
+    const IdSet& before = base->indexes().a2f.vertex(id).fsg_ids;
+    const IdSet& after = succ.indexes().a2f.vertex(id).fsg_ids;
+    if (!after.Contains(new_gid)) {
+      EXPECT_TRUE(after.SharesStorageWith(before)) << "A2F " << id;
+      ++shared_sets;
+    }
+  }
+  EXPECT_GT(shared_sets, 0u) << "no unchanged id-set to share?";
+}
+
+TEST(DatabaseSnapshotTest, CowAppendLeavesBaseUntouched) {
+  SnapshotPtr base = FreshTinySnapshot();
+  const size_t base_size = base->db().size();
+  std::vector<IdSet> before;
+  for (A2fId id = 0; id < base->indexes().a2f.VertexCount(); ++id) {
+    before.push_back(base->indexes().a2f.vertex(id).fsg_ids);
+  }
+
+  std::vector<Graph> extra;
+  // A copy of g0's shape: extends many id-sets in the successor.
+  extra.push_back(testing::MakeGraph({kC, kC, kC, kS},
+                                     {{0, 1}, {1, 2}, {0, 2}, {0, 3}}));
+  Result<SnapshotAppendResult> next = AppendGraphs(*base, extra, 0.34);
+  ASSERT_TRUE(next.ok());
+
+  EXPECT_EQ(base->db().size(), base_size);
+  for (A2fId id = 0; id < base->indexes().a2f.VertexCount(); ++id) {
+    EXPECT_EQ(base->indexes().a2f.vertex(id).fsg_ids, before[id]) << id;
+  }
+  // And the successor really did change.
+  EXPECT_EQ(next->snapshot->db().size(), base_size + 1);
+}
+
+TEST(DatabaseSnapshotTest, CowAppendIdSetsMatchVf2Oracle) {
+  SnapshotPtr base = FreshTinySnapshot();
+  std::vector<Graph> extra;
+  extra.push_back(testing::MakeGraph({kC, kC, kC, kS},
+                                     {{0, 1}, {1, 2}, {0, 2}, {0, 3}}));
+  extra.push_back(testing::MakeGraph({kN, kC, kN}, {{0, 1}, {1, 2}}));
+  Result<SnapshotAppendResult> next = AppendGraphs(*base, extra, 0.34);
+  ASSERT_TRUE(next.ok());
+  const DatabaseSnapshot& succ = *next->snapshot;
+
+  for (A2fId id = 0; id < succ.indexes().a2f.VertexCount(); ++id) {
+    const A2fVertex& v = succ.indexes().a2f.vertex(id);
+    for (GraphId gid = 0; gid < succ.db().size(); ++gid) {
+      EXPECT_EQ(v.fsg_ids.Contains(gid),
+                IsSubgraphIsomorphic(v.fragment, succ.db().graph(gid)))
+          << "A2F " << id << " g" << gid;
+    }
+  }
+  for (A2iId d = 0; d < succ.indexes().a2i.EntryCount(); ++d) {
+    const A2iEntry& e = succ.indexes().a2i.entry(d);
+    for (GraphId gid = 0; gid < succ.db().size(); ++gid) {
+      EXPECT_EQ(e.fsg_ids.Contains(gid),
+                IsSubgraphIsomorphic(e.fragment, succ.db().graph(gid)))
+          << "A2I " << d << " g" << gid;
+    }
+  }
+}
+
+TEST(DatabaseSnapshotTest, CowAppendStampsVersions) {
+  SnapshotPtr base = FreshTinySnapshot(5);
+  std::vector<Graph> extra = {
+      testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}})};
+  Result<SnapshotAppendResult> next = AppendGraphs(*base, extra, 0.34);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->report.from_version, 5u);
+  EXPECT_EQ(next->report.to_version, 6u);
+  EXPECT_EQ(next->snapshot->version(), 6u);
+  EXPECT_EQ(next->report.graphs_added, 1u);
+}
+
+TEST(DatabaseSnapshotTest, CowAppendReinternsForeignLabels) {
+  SnapshotPtr base = FreshTinySnapshot();
+  // Incoming graphs interned against a dictionary with a *different* label
+  // order: id 0 = "S", id 1 = "C". Without re-interning the appended graph
+  // would silently swap sulfur and carbon.
+  LabelDictionary foreign;
+  Label fS = foreign.Intern("S");
+  Label fC = foreign.Intern("C");
+  std::vector<Graph> extra = {
+      testing::MakeGraph({fC, fS, fC}, {{0, 1}, {1, 2}})};
+  Result<SnapshotAppendResult> next =
+      AppendGraphs(*base, extra, 0.34, &foreign);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  const Graph& appended =
+      next->snapshot->db().graph(next->snapshot->db().size() - 1);
+  EXPECT_EQ(appended.NodeLabel(0), kC);
+  EXPECT_EQ(appended.NodeLabel(1), kS);
+  EXPECT_EQ(appended.NodeLabel(2), kC);
+}
+
+TEST(DatabaseSnapshotTest, CowAppendRejectsUnknownForeignLabel) {
+  SnapshotPtr base = FreshTinySnapshot();
+  LabelDictionary foreign;
+  Label fX = foreign.Intern("Xe");  // not in the tiny dictionary... but
+  // re-interning *adds* new labels to the successor's dictionary, so this
+  // must succeed and extend the dictionary instead of failing.
+  std::vector<Graph> extra = {testing::MakeGraph({fX, fX}, {{0, 1}})};
+  Result<SnapshotAppendResult> next =
+      AppendGraphs(*base, extra, 0.34, &foreign);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  const DatabaseSnapshot& succ = *next->snapshot;
+  const Graph& appended = succ.db().graph(succ.db().size() - 1);
+  Result<std::string> name = succ.labels().NameOf(appended.NodeLabel(0));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "Xe");
+  // The base dictionary is untouched.
+  EXPECT_FALSE(base->labels().Lookup("Xe").ok());
+}
+
+TEST(LabelDictionaryTest, NameOfBoundsChecks) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Result<std::string> ok = fixture.db.labels().NameOf(kS);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "S");
+  Result<std::string> bad = fixture.db.labels().NameOf(
+      static_cast<Label>(fixture.db.labels().size() + 3));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound)
+      << bad.status().ToString();
+}
+
+TEST(VersionedIndexIoTest, V2RoundTripKeepsVersion) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::ostringstream out;
+  ASSERT_TRUE(IndexSerializer::Save(fixture.indexes, &out, 9).ok());
+  EXPECT_EQ(out.str().rfind("PRAGUE_INDEX 2\nVERSION 9\n", 0), 0u)
+      << "v2 header missing";
+
+  std::istringstream in(out.str());
+  Result<VersionedIndexes> loaded = IndexSerializer::LoadVersioned(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 9u);
+  ASSERT_EQ(loaded->indexes.a2f.VertexCount(),
+            fixture.indexes.a2f.VertexCount());
+  for (A2fId id = 0; id < loaded->indexes.a2f.VertexCount(); ++id) {
+    EXPECT_EQ(loaded->indexes.a2f.FsgIds(id), fixture.indexes.a2f.FsgIds(id))
+        << id;
+  }
+  ASSERT_EQ(loaded->indexes.a2i.EntryCount(),
+            fixture.indexes.a2i.EntryCount());
+}
+
+TEST(VersionedIndexIoTest, V1FilesLoadWithVersionZero) {
+  const auto& fixture = testing::TinyFixture::Get();
+  std::ostringstream out;
+  ASSERT_TRUE(IndexSerializer::Save(fixture.indexes, &out, 3).ok());
+  // Rewrite the v2 header into the legacy v1 form.
+  std::string text = out.str();
+  const std::string v2_header = "PRAGUE_INDEX 2\nVERSION 3\n";
+  ASSERT_EQ(text.rfind(v2_header, 0), 0u);
+  text = "PRAGUE_INDEX 1\n" + text.substr(v2_header.size());
+
+  std::istringstream in(text);
+  Result<VersionedIndexes> loaded = IndexSerializer::LoadVersioned(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 0u);
+  EXPECT_EQ(loaded->indexes.a2f.VertexCount(),
+            fixture.indexes.a2f.VertexCount());
+
+  // The version-dropping Load() accepts both formats too.
+  std::istringstream in2(text);
+  EXPECT_TRUE(IndexSerializer::Load(&in2).ok());
+}
+
+TEST(VersionedIndexIoTest, RejectsUnknownFormatVersion) {
+  std::istringstream bad("PRAGUE_INDEX 3\nVERSION 1\n");
+  EXPECT_FALSE(IndexSerializer::LoadVersioned(&bad).ok());
+}
+
+}  // namespace
+}  // namespace prague

@@ -85,7 +85,7 @@ TEST(VerifierTest, SessionsIdenticalAcrossBackends) {
     PragueConfig config;
     config.sigma = 3;
     config.filtering_verifier = filtering;
-    PragueSession session(&fixture.db, &fixture.indexes, config);
+    PragueSession session(fixture.snapshot, config);
     std::map<NodeId, NodeId> node_map;
     auto user_node = [&](NodeId n) {
       auto it = node_map.find(n);

@@ -12,18 +12,26 @@
 //                  "(a:C)-(b:C), (b)-(c:S)" (see query/pattern_parser.h)
 //
 // Databases and query files use the gSpan text format (`t # id / v / e`
-// lines); indexes use the PRAGUE_INDEX format of index_io. The `query`
-// subcommand replays each query graph through a PragueSession
-// edge-at-a-time (exactly like the GUI) and prints one summary row per
-// query.
+// lines); indexes use the PRAGUE_INDEX format of index_io (v2 carries the
+// snapshot version). The `query` subcommand replays each query graph
+// through its own PragueSession edge-at-a-time (exactly like the GUI) and
+// prints one summary row per query; its `threads` argument runs that many
+// whole sessions concurrently through a SessionManager. The `append`
+// subcommand publishes a copy-on-write successor snapshot while a pinned
+// session keeps reading the old version.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/prague_session.h"
+#include "core/session_manager.h"
 #include "datasets/aids_generator.h"
 #include "datasets/query_workload.h"
 #include "datasets/synthetic_generator.h"
@@ -49,7 +57,7 @@ int Usage() {
       "  praguedb index <db> <out.idx> [alpha=0.1] [beta=4]\n"
       "  praguedb info  <index.idx>\n"
       "  praguedb query <db> <index.idx> <queries.db> [sigma=3] "
-      "[threads=1]\n"
+      "[threads=1]  (threads = concurrent sessions)\n"
       "  praguedb sample <db> <count> <edges> <out.db> [seed]\n"
       "  praguedb append <db> <index.idx> <new.db> <alpha> "
       "[out.db out.idx]\n"
@@ -144,83 +152,128 @@ int CmdIndex(int argc, char** argv) {
 
 int CmdInfo(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[1]);
-  if (!indexes.ok()) return Fail(indexes.status());
-  const A2FIndex& a2f = indexes->a2f;
+  Result<VersionedIndexes> loaded =
+      IndexSerializer::LoadVersionedFromFile(argv[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const ActionAwareIndexes& indexes = loaded->indexes;
+  const A2FIndex& a2f = indexes.a2f;
   std::printf(
       "%s:\n"
+      "  snapshot ver: %llu\n"
       "  min support:  %zu\n"
       "  A2F vertices: %zu (MF %zu / DF %zu, beta=%zu, %zu clusters)\n"
       "  A2I entries:  %zu\n"
       "  storage:      %s (delId-compressed)\n",
-      argv[1], indexes->min_support, a2f.VertexCount(), a2f.MfVertexCount(),
+      argv[1], static_cast<unsigned long long>(loaded->version),
+      indexes.min_support, a2f.VertexCount(), a2f.MfVertexCount(),
       a2f.DfVertexCount(), a2f.beta(), a2f.clusters().size(),
-      indexes->a2i.EntryCount(),
-      HumanBytes(indexes->StorageBytes()).c_str());
+      indexes.a2i.EntryCount(),
+      HumanBytes(indexes.StorageBytes()).c_str());
   return 0;
+}
+
+// Replays one query graph through `session` and formats its summary row
+// (or an error message) into *row / *err.
+void RunOneQuery(const std::shared_ptr<ManagedSession>& session,
+                 const GraphDatabase& queries, GraphId qid, std::string* row,
+                 std::string* err) {
+  const Graph& raw = queries.graph(qid);
+  session->With([&](PragueSession& s) {
+    std::vector<NodeId> node_map(raw.NodeCount(), kInvalidNode);
+    for (EdgeId e : DefaultFormulationSequence(raw)) {
+      const Edge& edge = raw.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (node_map[n] != kInvalidNode) continue;
+        Result<std::string> name = queries.labels().NameOf(raw.NodeLabel(n));
+        if (!name.ok()) {
+          *err = name.status().ToString();
+          return;
+        }
+        Result<NodeId> mapped = s.AddNodeByName(name.value());
+        if (!mapped.ok()) {
+          *err = mapped.status().ToString();
+          return;
+        }
+        node_map[n] = *mapped;
+      }
+      Result<StepReport> step =
+          s.AddEdge(node_map[edge.u], node_map[edge.v], edge.label);
+      if (!step.ok()) {
+        *err = step.status().ToString();
+        return;
+      }
+    }
+    RunStats stats;
+    Result<QueryResults> results = s.Run(&stats);
+    if (!results.ok()) {
+      *err = results.status().ToString();
+      return;
+    }
+    char buf[128];
+    if (results->similarity) {
+      int best = results->similar.empty() ? -1
+                                          : results->similar.front().distance;
+      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f",
+                    qid, raw.EdgeCount(), "similar", results->similar.size(),
+                    best, stats.srt_seconds * 1000);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f",
+                    qid, raw.EdgeCount(), "exact", results->exact.size(), 0,
+                    stats.srt_seconds * 1000);
+    }
+    *row = buf;
+  });
 }
 
 int CmdQuery(int argc, char** argv) {
   if (argc < 4) return Usage();
   Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
   if (!db.ok()) return Fail(db.status());
-  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[2]);
-  if (!indexes.ok()) return Fail(indexes.status());
+  Result<VersionedIndexes> loaded =
+      IndexSerializer::LoadVersionedFromFile(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
   Result<GraphDatabase> queries = ReadDatabaseFromFile(argv[3]);
   if (!queries.ok()) return Fail(queries.status());
   PragueConfig config;
   if (argc > 4) config.sigma = std::atoi(argv[4]);
-  if (argc > 5) {
-    config.verification_threads = std::strtoul(argv[5], nullptr, 10);
-  }
+  size_t threads = 1;
+  if (argc > 5) threads = std::strtoul(argv[5], nullptr, 10);
+  if (threads == 0) threads = 1;
+
+  // `threads` runs that many *whole sessions* concurrently through the
+  // manager — the paper's multi-user scenario — rather than splitting one
+  // session's verification across threads.
+  SessionManager manager(
+      DatabaseSnapshot::Make(std::move(db.value()),
+                             std::move(loaded.value().indexes),
+                             loaded.value().version),
+      config);
+
+  const size_t n = queries->size();
+  std::vector<std::string> rows(n);
+  std::vector<std::string> errs(n);
+  std::atomic<size_t> next_query{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t qid = next_query.fetch_add(1);
+      if (qid >= n) return;
+      RunOneQuery(manager.Open(), *queries, static_cast<GraphId>(qid),
+                  &rows[qid], &errs[qid]);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
 
   // Query label names must map onto database label ids.
   std::printf("%-6s %-4s %-10s %-8s %-8s %-10s\n", "query", "|q|", "mode",
               "matches", "best_d", "SRT(ms)");
-  for (GraphId qid = 0; qid < queries->size(); ++qid) {
-    const Graph& raw = queries->graph(qid);
-    PragueSession session(&db.value(), &indexes.value(), config);
-    std::vector<NodeId> node_map(raw.NodeCount(), kInvalidNode);
-    bool ok = true;
-    for (EdgeId e : DefaultFormulationSequence(raw)) {
-      const Edge& edge = raw.GetEdge(e);
-      for (NodeId n : {edge.u, edge.v}) {
-        if (node_map[n] != kInvalidNode) continue;
-        Result<NodeId> mapped = session.AddNodeByName(
-            queries->labels().Name(raw.NodeLabel(n)));
-        if (!mapped.ok()) {
-          std::fprintf(stderr, "query %u: %s\n", qid,
-                       mapped.status().ToString().c_str());
-          ok = false;
-          break;
-        }
-        node_map[n] = *mapped;
-      }
-      if (!ok) break;
-      if (!session.AddEdge(node_map[edge.u], node_map[edge.v], edge.label)
-               .ok()) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    RunStats stats;
-    Result<QueryResults> results = session.Run(&stats);
-    if (!results.ok()) {
-      std::fprintf(stderr, "query %u: %s\n", qid,
-                   results.status().ToString().c_str());
-      continue;
-    }
-    if (results->similarity) {
-      int best = results->similar.empty() ? -1
-                                          : results->similar.front().distance;
-      std::printf("%-6u %-4zu %-10s %-8zu %-8d %-10.3f\n", qid,
-                  raw.EdgeCount(), "similar", results->similar.size(), best,
-                  stats.srt_seconds * 1000);
+  for (size_t qid = 0; qid < n; ++qid) {
+    if (!errs[qid].empty()) {
+      std::fprintf(stderr, "query %zu: %s\n", qid, errs[qid].c_str());
     } else {
-      std::printf("%-6u %-4zu %-10s %-8zu %-8d %-10.3f\n", qid,
-                  raw.EdgeCount(), "exact", results->exact.size(), 0,
-                  stats.srt_seconds * 1000);
+      std::printf("%s\n", rows[qid].c_str());
     }
   }
   return 0;
@@ -255,53 +308,76 @@ int CmdSample(int argc, char** argv) {
   return 0;
 }
 
-// Incrementally appends new graphs to an indexed database
-// (index_maintenance.h) and reports drift.
+// Copy-on-write append: builds and publishes a successor snapshot through
+// a SessionManager, reports drift with from→to version stamps, and
+// demonstrates publish-while-querying — a session pinned before the
+// append keeps seeing the old version afterwards.
 int CmdAppend(int argc, char** argv) {
   if (argc < 5) return Usage();
   Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
   if (!db.ok()) return Fail(db.status());
-  Result<ActionAwareIndexes> indexes = IndexSerializer::LoadFromFile(argv[2]);
-  if (!indexes.ok()) return Fail(indexes.status());
+  Result<VersionedIndexes> loaded =
+      IndexSerializer::LoadVersionedFromFile(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
   Result<GraphDatabase> incoming = ReadDatabaseFromFile(argv[3]);
   if (!incoming.ok()) return Fail(incoming.status());
   double alpha = std::strtod(argv[4], nullptr);
 
-  // Re-intern incoming labels against the base dictionary.
+  SessionManager manager(
+      DatabaseSnapshot::Make(std::move(db.value()),
+                             std::move(loaded.value().indexes),
+                             loaded.value().version));
+
+  // Pin a session *before* the append: it must keep seeing the old
+  // version while the successor publishes under it.
+  std::shared_ptr<ManagedSession> pinned = manager.Open();
+  size_t pinned_size = pinned->With(
+      [](PragueSession& s) { return s.snapshot()->db().size(); });
+
   std::vector<Graph> extra;
   for (GraphId gid = 0; gid < incoming->size(); ++gid) {
-    const Graph& g = incoming->graph(gid);
-    GraphBuilder b;
-    for (NodeId n = 0; n < g.NodeCount(); ++n) {
-      b.AddNode(db->mutable_labels()->Intern(
-          incoming->labels().Name(g.NodeLabel(n))));
-    }
-    for (const Edge& e : g.edges()) (void)b.AddEdge(e.u, e.v, e.label);
-    extra.push_back(std::move(b).Build());
+    extra.push_back(incoming->graph(gid));
   }
   Stopwatch timer;
+  // Incoming node labels are re-interned against the successor's
+  // dictionary inside the COW append.
   Result<MaintenanceReport> report =
-      AppendGraphs(&db.value(), std::move(extra), &indexes.value(), alpha);
+      manager.Append(std::move(extra), alpha, &incoming->labels());
   if (!report.ok()) return Fail(report.status());
   std::printf(
-      "appended %zu graphs in %.2fs (probes %zu, pruned %zu)\n"
+      "appended %zu graphs in %.2fs (probes %zu, pruned %zu), version "
+      "%llu -> %llu\n"
       "new min support %zu; drift: %zu frequent below threshold, %zu DIFs "
       "above\n%s\n",
       report->graphs_added, timer.ElapsedSeconds(), report->probes,
-      report->pruned_probes, report->new_min_support,
-      report->frequent_below_threshold, report->difs_above_threshold,
+      report->pruned_probes,
+      static_cast<unsigned long long>(report->from_version),
+      static_cast<unsigned long long>(report->to_version),
+      report->new_min_support, report->frequent_below_threshold,
+      report->difs_above_threshold,
       report->remine_recommended
           ? "recommendation: schedule a full re-mine"
           : "indexes remain classification-exact");
+
+  SnapshotPtr current = manager.current();
+  std::printf(
+      "publish-while-querying: session pinned at version %llu still sees "
+      "|D| = %zu; new sessions see version %llu with |D| = %zu\n",
+      static_cast<unsigned long long>(pinned->version()), pinned_size,
+      static_cast<unsigned long long>(current->version()),
+      current->db().size());
+
   if (argc > 6) {
-    if (Status st = WriteDatabaseToFile(*db, argv[5]); !st.ok()) {
+    if (Status st = WriteDatabaseToFile(current->db(), argv[5]); !st.ok()) {
       return Fail(st);
     }
-    if (Status st = IndexSerializer::SaveToFile(*indexes, argv[6]);
+    if (Status st = IndexSerializer::SaveToFile(current->indexes(), argv[6],
+                                                current->version());
         !st.ok()) {
       return Fail(st);
     }
-    std::printf("wrote %s and %s\n", argv[5], argv[6]);
+    std::printf("wrote %s and %s (version %llu)\n", argv[5], argv[6],
+                static_cast<unsigned long long>(current->version()));
   }
   return 0;
 }
@@ -336,7 +412,8 @@ int CmdRun(int argc, char** argv) {
     }
   }
 
-  PragueSession session(&db.value(), &indexes.value(), config);
+  PragueSession session(
+      DatabaseSnapshot::Borrow(&db.value(), &indexes.value()), config);
   std::vector<NodeId> ids;
   for (NodeId n = 0; n < pattern->graph.NodeCount(); ++n) {
     ids.push_back(session.AddNode(pattern->graph.NodeLabel(n)));
