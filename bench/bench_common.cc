@@ -273,6 +273,29 @@ void TablePrinter::Print() const {
   for (const auto& row : rows_) print_row(row);
 }
 
+BenchJsonWriter::BenchJsonWriter(const std::string& default_path) {
+  const char* env = std::getenv("PRAGUE_BENCH_JSON");
+  path_ = env != nullptr ? env : default_path;
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+    return;
+  }
+  std::fprintf(file_, "[\n");
+}
+
+BenchJsonWriter::~BenchJsonWriter() {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "\n]\n");
+  std::fclose(file_);
+}
+
+void BenchJsonWriter::Add(const std::string& object) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "%s  %s", first_ ? "" : ",\n", object.c_str());
+  first_ = false;
+}
+
 std::string Fmt(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);

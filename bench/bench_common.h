@@ -10,6 +10,7 @@
 #ifndef PRAGUE_BENCH_BENCH_COMMON_H_
 #define PRAGUE_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -113,6 +114,30 @@ class TablePrinter {
 /// \brief "%.2f"-style formatting helpers.
 std::string Fmt(double value, int decimals = 2);
 std::string FmtMs(double seconds);
+
+/// \brief Streams a JSON array of records to the PRAGUE_BENCH_JSON path
+/// (falling back to \p default_path). Shared by the benchmarks that leave
+/// machine-readable BENCH_*.json trails; the destructor closes the array.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& default_path);
+  ~BenchJsonWriter();
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  /// False when the output file could not be opened (already reported to
+  /// stderr); Add() is then a no-op.
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Appends one record. \p object must be a complete JSON object
+  /// literal, e.g. "{\"sessions\": 4}".
+  void Add(const std::string& object);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+};
 
 /// \brief Prints the standard benchmark banner (name, scale, sizes).
 void Banner(const std::string& name, const std::string& detail);

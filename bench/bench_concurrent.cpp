@@ -8,7 +8,10 @@
 // maintenance, but never blocks a session). Sweeps S in {1, 4, 16}, each
 // cell re-built from a fresh version-0 snapshot so appends never
 // accumulate across cells. Per-cell records go to BENCH_concurrent.json
-// (override the path with PRAGUE_BENCH_JSON).
+// (override the path with PRAGUE_BENCH_JSON), including how many queries
+// were truncated by the Run() budget — set PRAGUE_BENCH_TIMEOUT_MS to
+// bound every Run() and exercise the graceful-degradation path (default
+// 0 = unbounded, so truncated stays 0).
 
 #include <algorithm>
 #include <atomic>
@@ -31,10 +34,20 @@ namespace {
 constexpr size_t kQueriesPerSession = 8;
 constexpr size_t kAppendBatch = 10;
 
+// Run() budget applied to every session (0 = unbounded).
+int64_t TimeoutMs() {
+  static int64_t ms = [] {
+    const char* env = std::getenv("PRAGUE_BENCH_TIMEOUT_MS");
+    return env != nullptr ? std::strtoll(env, nullptr, 10) : 0LL;
+  }();
+  return ms;
+}
+
 // Formulates `spec` and runs it inside one manager-opened session.
-void RunOne(SessionManager& manager, const VisualQuerySpec& spec) {
+// Returns true when the Run() budget truncated the results.
+bool RunOne(SessionManager& manager, const VisualQuerySpec& spec) {
   std::shared_ptr<ManagedSession> session = manager.Open();
-  session->With([&](PragueSession& s) {
+  return session->With([&](PragueSession& s) {
     std::vector<NodeId> ids(spec.graph.NodeCount(), kInvalidNode);
     for (EdgeId e : spec.sequence) {
       const Edge& edge = spec.graph.GetEdge(e);
@@ -43,7 +56,9 @@ void RunOne(SessionManager& manager, const VisualQuerySpec& spec) {
       }
       if (!s.AddEdge(ids[edge.u], ids[edge.v], edge.label).ok()) std::abort();
     }
-    if (!s.Run(nullptr).ok()) std::abort();
+    Result<QueryResults> results = s.Run(nullptr);
+    if (!results.ok()) std::abort();
+    return results->truncated;
   });
 }
 
@@ -51,6 +66,7 @@ struct CellResult {
   size_t sessions = 0;
   bool appender = false;
   size_t queries = 0;
+  size_t truncated = 0;  ///< queries cut short by the Run() budget
   double wall_seconds = 0;
   double mean_latency = 0;
   double worst_latency = 0;
@@ -62,7 +78,10 @@ CellResult RunCell(const Workbench& bench,
                    const std::vector<VisualQuerySpec>& specs, size_t sessions,
                    bool with_appender) {
   // Fresh version-0 snapshot per cell (cheap: structurally shared).
-  SessionManager manager(DatabaseSnapshot::Make(bench.db, bench.indexes));
+  PragueConfig default_config;
+  default_config.run_deadline_ms = TimeoutMs();
+  SessionManager manager(DatabaseSnapshot::Make(bench.db, bench.indexes),
+                         default_config);
 
   std::atomic<bool> stop{false};
   std::thread appender;
@@ -83,6 +102,7 @@ CellResult RunCell(const Workbench& bench,
 
   std::vector<double> total_latency(sessions, 0);
   std::vector<double> worst_latency(sessions, 0);
+  std::vector<size_t> truncated(sessions, 0);
   Stopwatch wall;
   std::vector<std::thread> workers;
   workers.reserve(sessions);
@@ -92,7 +112,7 @@ CellResult RunCell(const Workbench& bench,
         const VisualQuerySpec& spec =
             specs[(t * kQueriesPerSession + q) % specs.size()];
         Stopwatch timer;
-        RunOne(manager, spec);
+        if (RunOne(manager, spec)) ++truncated[t];
         double seconds = timer.ElapsedSeconds();
         total_latency[t] += seconds;
         worst_latency[t] = std::max(worst_latency[t], seconds);
@@ -112,6 +132,7 @@ CellResult RunCell(const Workbench& bench,
   for (size_t t = 0; t < sessions; ++t) {
     out.mean_latency += total_latency[t];
     out.worst_latency = std::max(out.worst_latency, worst_latency[t]);
+    out.truncated += truncated[t];
   }
   out.mean_latency /= static_cast<double>(out.queries);
   SessionManagerStats stats = manager.Stats();
@@ -136,19 +157,12 @@ int main() {
     specs.push_back(std::move(spec.value()));
   }
 
-  const char* json_env = std::getenv("PRAGUE_BENCH_JSON");
-  std::string json_path =
-      json_env != nullptr ? json_env : "BENCH_concurrent.json";
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(json, "[\n");
-  bool first_record = true;
+  BenchJsonWriter json("BENCH_concurrent.json");
+  if (!json.ok()) return 1;
 
-  TablePrinter table({"sessions", "appender", "queries", "wall (s)", "qps",
-                      "mean lat (ms)", "worst lat (ms)", "published"});
+  TablePrinter table({"sessions", "appender", "queries", "truncated",
+                      "wall (s)", "qps", "mean lat (ms)", "worst lat (ms)",
+                      "published"});
   for (size_t sessions : {1, 4, 16}) {
     for (bool with_appender : {false, true}) {
       CellResult r = RunCell(bench, specs, sessions, with_appender);
@@ -156,30 +170,33 @@ int main() {
                        ? static_cast<double>(r.queries) / r.wall_seconds
                        : 0;
       table.AddRow({std::to_string(r.sessions), r.appender ? "on" : "off",
-                    std::to_string(r.queries), Fmt(r.wall_seconds, 2),
-                    Fmt(qps, 1), FmtMs(r.mean_latency), FmtMs(r.worst_latency),
+                    std::to_string(r.queries), std::to_string(r.truncated),
+                    Fmt(r.wall_seconds, 2), Fmt(qps, 1),
+                    FmtMs(r.mean_latency), FmtMs(r.worst_latency),
                     std::to_string(r.snapshots_published)});
-      std::fprintf(
-          json,
-          "%s  {\"sessions\": %zu, \"appender\": %s, \"queries\": %zu, "
+      char record[512];
+      std::snprintf(
+          record, sizeof(record),
+          "{\"sessions\": %zu, \"appender\": %s, \"queries\": %zu, "
+          "\"truncated\": %zu, \"run_deadline_ms\": %lld, "
           "\"wall_seconds\": %.6f, \"queries_per_second\": %.3f, "
           "\"mean_latency_seconds\": %.9f, \"worst_latency_seconds\": %.9f, "
           "\"snapshots_published\": %llu, \"final_version\": %llu}",
-          first_record ? "" : ",\n", r.sessions, r.appender ? "true" : "false",
-          r.queries, r.wall_seconds, qps, r.mean_latency, r.worst_latency,
+          r.sessions, r.appender ? "true" : "false", r.queries, r.truncated,
+          static_cast<long long>(TimeoutMs()), r.wall_seconds, qps,
+          r.mean_latency, r.worst_latency,
           static_cast<unsigned long long>(r.snapshots_published),
           static_cast<unsigned long long>(r.final_version));
-      first_record = false;
+      json.Add(record);
     }
   }
-  std::fprintf(json, "\n]\n");
-  std::fclose(json);
   table.Print();
   std::printf(
       "\nwrote %s. Readers never block on the writer: compare mean/worst "
       "latency between appender off and on at each session count — the gap "
       "is core contention, not lock waiting. 'published' counts successor "
-      "snapshots the appender managed to build+publish during the cell.\n",
-      json_path.c_str());
+      "snapshots the appender managed to build+publish during the cell; "
+      "'truncated' counts queries cut short by PRAGUE_BENCH_TIMEOUT_MS.\n",
+      json.path().c_str());
   return 0;
 }

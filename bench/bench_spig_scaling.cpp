@@ -92,15 +92,8 @@ int main() {
   Workbench bench = BuildAidsWorkbench(AidsGraphCount() / 2);
   WorkloadGenerator workload(&bench.db, 99);
 
-  const char* json_env = std::getenv("PRAGUE_BENCH_JSON");
-  std::string json_path = json_env != nullptr ? json_env : "BENCH_spig.json";
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(json, "[\n");
-  bool first_record = true;
+  BenchJsonWriter json("BENCH_spig.json");
+  if (!json.ok()) return 1;
 
   TablePrinter table({"|q|", "vertices", "spig t1 (ms)", "spig t4 (ms)",
                       "spig x", "cand cold (ms)", "cand warm (ms)",
@@ -127,17 +120,17 @@ int main() {
           cand_warm = r.cand_total;
         }
         if (threads == 4 && warm) spig_t4 = r.spig_total;
-        std::fprintf(
-            json,
-            "%s  {\"query_edges\": %zu, \"threads\": %zu, "
+        char record[384];
+        std::snprintf(
+            record, sizeof(record),
+            "{\"query_edges\": %zu, \"threads\": %zu, "
             "\"cache\": \"%s\", \"vertices\": %zu, "
             "\"spig_seconds_total\": %.9f, \"spig_seconds_worst\": %.9f, "
             "\"candidate_seconds_total\": %.9f, "
             "\"candidate_seconds_worst\": %.9f}",
-            first_record ? "" : ",\n", edges, threads, warm ? "warm" : "cold",
-            r.vertices, r.spig_total, r.spig_worst, r.cand_total,
-            r.cand_worst);
-        first_record = false;
+            edges, threads, warm ? "warm" : "cold", r.vertices, r.spig_total,
+            r.spig_worst, r.cand_total, r.cand_worst);
+        json.Add(record);
       }
     }
     table.AddRow(
@@ -146,13 +139,11 @@ int main() {
          FmtMs(cand_cold), FmtMs(cand_warm),
          Fmt(cand_warm > 0 ? cand_cold / cand_warm : 0, 2) + "x"});
   }
-  std::fprintf(json, "\n]\n");
-  std::fclose(json);
   table.Print();
   std::printf(
       "\nwrote %s. spig x = sequential/parallel(4 threads) build time "
       "(gains need multi-core hardware); cand x = cold/warm refresh — the "
       "memo only recomputes vertices created by the current step.\n",
-      json_path.c_str());
+      json.path().c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/subgraph_ops.h"
+#include "util/deadline.h"
 
 namespace prague {
 
@@ -52,14 +53,23 @@ size_t DistVpLikeEngine::IndexBytes() const {
   return index_.StorageBytes() + RelaxedBytes();
 }
 
-IdSet DistVpLikeEngine::Filter(const Graph& q, int sigma) const {
+IdSet DistVpLikeEngine::Filter(const Graph& q, int sigma,
+                               const Deadline& deadline,
+                               bool* truncated) const {
   if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
   size_t level = q.EdgeCount() - static_cast<size_t>(sigma);
   QuerySubgraphCatalog catalog = QuerySubgraphCatalog::Build(q, q.EdgeCount());
+  DeadlineChecker checker(deadline);
 
   IdSet out;
   for (const QuerySubgraphCatalog::Entry& s : catalog.entries()) {
     if (static_cast<size_t>(s.size) != level) continue;
+    if (checker.Check()) {
+      // The result is a union over level subgraphs; stopping early would
+      // silently drop candidates, so degrade to the sound superset.
+      if (truncated != nullptr) *truncated = true;
+      return db_->AllIds();
+    }
     // Intersect the FSG ids of every indexed feature inside s.
     bool first = true;
     IdSet x;

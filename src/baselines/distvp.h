@@ -36,7 +36,9 @@ class DistVpLikeEngine : public TraditionalSimilarityEngine {
 
   std::string name() const override { return "DVP"; }
   size_t IndexBytes() const override;
-  IdSet Filter(const Graph& q, int sigma) const override;
+  IdSet Filter(const Graph& q, int sigma,
+               const Deadline& deadline = Deadline(),
+               bool* truncated = nullptr) const override;
 
   /// \brief The σ this index was built for.
   int built_sigma() const { return sigma_; }

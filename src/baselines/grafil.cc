@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/subgraph_ops.h"
+#include "util/deadline.h"
 
 namespace prague {
 
@@ -19,29 +20,44 @@ struct QueryFeature {
   std::vector<EdgeMask> occurrence_masks;
 };
 
-// Enumerates C(n, k) subsets of the query's edges as masks.
-void ForEachSigmaSubset(size_t edge_count, int sigma,
-                        const std::function<void(EdgeMask)>& fn) {
+// Enumerates C(n, k) subsets of the query's edges as masks. Returns false
+// if `checker` tripped before the enumeration finished.
+bool ForEachSigmaSubset(size_t edge_count, int sigma,
+                        const std::function<void(EdgeMask)>& fn,
+                        DeadlineChecker* checker) {
   std::vector<int> pick(sigma);
-  std::function<void(int, int, EdgeMask)> rec = [&](int start, int depth,
-                                                    EdgeMask mask) {
+  std::function<bool(int, int, EdgeMask)> rec = [&](int start, int depth,
+                                                    EdgeMask mask) -> bool {
+    if (checker->Check()) return false;
     if (depth == sigma) {
       fn(mask);
-      return;
+      return true;
     }
     for (int e = start; e < static_cast<int>(edge_count); ++e) {
-      rec(e + 1, depth + 1, mask | EdgeBit(static_cast<EdgeId>(e)));
+      if (!rec(e + 1, depth + 1, mask | EdgeBit(static_cast<EdgeId>(e)))) {
+        return false;
+      }
     }
+    return true;
   };
-  rec(0, 0, 0);
+  return rec(0, 0, 0);
 }
 
 }  // namespace
 
-IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma) const {
+IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma,
+                               const Deadline& deadline,
+                               bool* truncated) const {
+  // On expiry the filter degrades to the trivially sound superset: every
+  // database graph. A partially filtered set could drop true answers.
+  const auto give_up = [&]() {
+    if (truncated != nullptr) *truncated = true;
+    return db_->AllIds();
+  };
   if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
   QuerySubgraphCatalog catalog =
       QuerySubgraphCatalog::Build(q, index_->max_feature_edges());
+  DeadlineChecker checker(deadline);
 
   // Group occurrences by feature id.
   std::map<uint32_t, QueryFeature> features;
@@ -60,15 +76,19 @@ IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma) const {
 
   // d_max: the most occurrences any σ-edge deletion can destroy.
   int d_max = 0;
-  ForEachSigmaSubset(q.EdgeCount(), sigma, [&](EdgeMask deleted) {
-    int destroyed = 0;
-    for (const auto& [fid, f] : features) {
-      for (EdgeMask occ : f.occurrence_masks) {
-        if (occ & deleted) ++destroyed;
-      }
-    }
-    d_max = std::max(d_max, destroyed);
-  });
+  bool complete = ForEachSigmaSubset(
+      q.EdgeCount(), sigma,
+      [&](EdgeMask deleted) {
+        int destroyed = 0;
+        for (const auto& [fid, f] : features) {
+          for (EdgeMask occ : f.occurrence_masks) {
+            if (occ & deleted) ++destroyed;
+          }
+        }
+        d_max = std::max(d_max, destroyed);
+      },
+      &checker);
+  if (!complete) return give_up();
 
   // Count-based hit accounting (Grafil's rule): graph g keeps
   // min(cnt_q(f), cnt_g(f)) occurrences of feature f, where cnt_g is the
@@ -84,6 +104,7 @@ IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma) const {
   }
   std::vector<GraphId> out;
   for (GraphId gid = 0; gid < db_->size(); ++gid) {
+    if (checker.Check()) return give_up();
     if (total_occurrences - hits[gid] <= d_max) out.push_back(gid);
   }
   return IdSet(std::move(out));

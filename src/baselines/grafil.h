@@ -31,7 +31,9 @@ class GrafilLikeEngine : public TraditionalSimilarityEngine {
 
   std::string name() const override { return "GR"; }
   size_t IndexBytes() const override { return index_->StorageBytes(); }
-  IdSet Filter(const Graph& q, int sigma) const override;
+  IdSet Filter(const Graph& q, int sigma,
+               const Deadline& deadline = Deadline(),
+               bool* truncated = nullptr) const override;
 
  private:
   const FeatureIndex* index_;

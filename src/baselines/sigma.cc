@@ -6,15 +6,18 @@
 #include <vector>
 
 #include "graph/subgraph_ops.h"
+#include "util/deadline.h"
 
 namespace prague {
 
 namespace {
 
 // Can some subset of ≤ sigma edges (bits) hit every mask in `missing`?
-// Greedy accept first, exact enumeration before rejecting.
+// Greedy accept first, exact enumeration before rejecting. A tripped
+// `checker` answers true — treating the graph as coverable keeps the
+// candidate set a sound superset (the caller reports truncation).
 bool CoverableWithin(const std::vector<EdgeMask>& missing, int sigma,
-                     size_t edge_count) {
+                     size_t edge_count, DeadlineChecker* checker) {
   if (missing.empty()) return true;
   if (sigma <= 0) return false;
   // Greedy: repeatedly pick the edge hitting the most remaining masks.
@@ -49,6 +52,7 @@ bool CoverableWithin(const std::vector<EdgeMask>& missing, int sigma,
   }
   std::function<bool(size_t, EdgeMask)> rec = [&](size_t start,
                                                   EdgeMask del) -> bool {
+    if (checker->Check()) return true;  // sound: accept on cut
     bool covered = true;
     for (EdgeMask m : missing) {
       if (!(m & del)) {
@@ -68,10 +72,13 @@ bool CoverableWithin(const std::vector<EdgeMask>& missing, int sigma,
 
 }  // namespace
 
-IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma) const {
+IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma,
+                              const Deadline& deadline,
+                              bool* truncated) const {
   if (sigma >= static_cast<int>(q.EdgeCount())) return db_->AllIds();
   QuerySubgraphCatalog catalog =
       QuerySubgraphCatalog::Build(q, index_->max_feature_edges());
+  DeadlineChecker checker(deadline);
 
   // Distinct features with their occurrence masks.
   std::map<uint32_t, std::vector<EdgeMask>> occurrences;
@@ -114,6 +121,7 @@ IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma) const {
     }
     std::function<void(int, int, EdgeMask)> rec = [&](int start, int depth,
                                                       EdgeMask mask) {
+      if (checker.Check()) return;
       if (depth == sigma) {
         int destroyed = 0;
         for (EdgeMask m : all_masks) {
@@ -127,6 +135,12 @@ IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma) const {
       }
     };
     rec(0, 0, 0);
+    if (checker.expired()) {
+      // Incomplete d_max would be unsound (too small → over-pruning);
+      // degrade to the trivially sound superset.
+      if (truncated != nullptr) *truncated = true;
+      return db_->AllIds();
+    }
   }
 
   std::vector<GraphId> out;
@@ -139,8 +153,13 @@ IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma) const {
       const std::vector<EdgeMask>& masks = occurrences[fids[i]];
       missing.insert(missing.end(), masks.begin(), masks.end());
     }
-    if (CoverableWithin(missing, sigma, q.EdgeCount())) out.push_back(gid);
+    if (CoverableWithin(missing, sigma, q.EdgeCount(), &checker)) {
+      out.push_back(gid);
+    }
   }
+  // A cut inside CoverableWithin accepted the affected graphs, so the set
+  // is still a sound superset — just looser than the unbounded one.
+  if (checker.expired() && truncated != nullptr) *truncated = true;
   return IdSet(std::move(out));
 }
 

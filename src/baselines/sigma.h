@@ -28,7 +28,9 @@ class SigmaLikeEngine : public TraditionalSimilarityEngine {
 
   std::string name() const override { return "SG"; }
   size_t IndexBytes() const override { return index_->StorageBytes(); }
-  IdSet Filter(const Graph& q, int sigma) const override;
+  IdSet Filter(const Graph& q, int sigma,
+               const Deadline& deadline = Deadline(),
+               bool* truncated = nullptr) const override;
 
  private:
   const FeatureIndex* index_;

@@ -11,11 +11,13 @@
 namespace prague {
 
 SimilaritySearchOutcome TraditionalSimilarityEngine::Evaluate(
-    const Graph& q, int sigma, const GraphDatabase& db) const {
+    const Graph& q, int sigma, const GraphDatabase& db,
+    const Deadline& deadline) const {
   SimilaritySearchOutcome out;
   Stopwatch filter_timer;
-  out.candidates = Filter(q, sigma);
+  out.candidates = Filter(q, sigma, deadline, &out.truncated);
   out.filter_seconds = filter_timer.ElapsedSeconds();
+  const bool bounded = deadline.CanExpire();
 
   // Distinct level fragments of q for levels |q| .. |q|-sigma.
   Stopwatch verify_timer;
@@ -33,13 +35,26 @@ SimilaritySearchOutcome TraditionalSimilarityEngine::Evaluate(
     }
   }
   // Rank each candidate by the highest level it contains (its MCCS level).
+  // A deadline cut leaves `results` a prefix of the candidate order: the
+  // candidate whose ranking was interrupted is dropped entirely (its level
+  // is undecided), never recorded at a wrong level.
   for (GraphId gid : out.candidates) {
+    if (bounded && deadline.Expired()) {
+      out.truncated = true;
+      break;
+    }
     const Graph& g = db.graph(gid);
-    for (int level = qsize; level >= lowest; --level) {
+    bool cut = false;
+    for (int level = qsize; level >= lowest && !cut; --level) {
       bool hit = false;
       for (const Graph& fragment : level_fragments[level]) {
-        if (IsSubgraphIsomorphic(fragment, g)) {
+        bool vf2_cut = false;
+        if (IsSubgraphIsomorphic(fragment, g, deadline, &vf2_cut)) {
           hit = true;
+          break;
+        }
+        if (vf2_cut) {
+          cut = true;
           break;
         }
       }
@@ -47,6 +62,10 @@ SimilaritySearchOutcome TraditionalSimilarityEngine::Evaluate(
         out.results.push_back(SimilarMatch{gid, qsize - level, true});
         break;
       }
+    }
+    if (cut) {
+      out.truncated = true;
+      break;
     }
   }
   std::stable_sort(out.results.begin(), out.results.end(),

@@ -17,6 +17,7 @@
 #include "core/results.h"
 #include "graph/graph.h"
 #include "graph/graph_database.h"
+#include "util/deadline.h"
 #include "util/id_set.h"
 
 namespace prague {
@@ -29,6 +30,10 @@ struct SimilaritySearchOutcome {
   double verify_seconds = 0;
   /// Traditional SRT = filter + verify (nothing is hidden under latency).
   double srt_seconds = 0;
+  /// True when a deadline cut the evaluation short. `results` is then the
+  /// prefix of candidates decided before the cut; `candidates` may be the
+  /// unfiltered database if the cut landed inside the filter itself.
+  bool truncated = false;
 };
 
 /// \brief Base class for the traditional engines.
@@ -40,12 +45,21 @@ class TraditionalSimilarityEngine {
   virtual std::string name() const = 0;
   /// \brief Index footprint in bytes (Table II).
   virtual size_t IndexBytes() const = 0;
-  /// \brief Filtering step: the candidate ids for (q, σ).
-  virtual IdSet Filter(const Graph& q, int sigma) const = 0;
+  /// \brief Filtering step: the candidate ids for (q, σ). If \p deadline
+  /// expires mid-filter the engine abandons pruning and returns the
+  /// trivially sound superset (all database ids) with \p truncated set —
+  /// never a partial candidate set, which could silently drop answers.
+  virtual IdSet Filter(const Graph& q, int sigma,
+                       const Deadline& deadline = Deadline(),
+                       bool* truncated = nullptr) const = 0;
 
-  /// \brief Filter + MCCS verification + ranking, timed.
+  /// \brief Filter + MCCS verification + ranking, timed. A bounded
+  /// \p deadline truncates verification at the first undecided candidate
+  /// (prefix-consistent) and sets SimilaritySearchOutcome::truncated.
   SimilaritySearchOutcome Evaluate(const Graph& q, int sigma,
-                                   const GraphDatabase& db) const;
+                                   const GraphDatabase& db,
+                                   const Deadline& deadline = Deadline())
+      const;
 };
 
 }  // namespace prague

@@ -75,11 +75,18 @@ IdSet SimilarCandidates::AllVer() const {
 SimilarCandidates SimilarSubCandidates(const SpigSet& spigs,
                                        size_t query_size, int sigma,
                                        const ActionAwareIndexes& indexes,
-                                       bool use_cache) {
+                                       bool use_cache,
+                                       const Deadline& deadline,
+                                       bool* truncated) {
   SimilarCandidates out;
+  const bool bounded = deadline.CanExpire();
   int q = static_cast<int>(query_size);
   int lowest = std::max(1, q - sigma);
   for (int level = q - 1; level >= lowest; --level) {
+    if (bounded && deadline.Expired()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     IdSet free_ids;
     IdSet ver_ids;
     spigs.ForEachVertexAtLevel(

@@ -25,6 +25,7 @@
 
 #include "core/spig.h"
 #include "index/action_aware_index.h"
+#include "util/deadline.h"
 #include "util/id_set.h"
 
 namespace prague {
@@ -67,10 +68,17 @@ struct SimilarCandidates {
 /// \p query_size is |q| in edges; levels below 1 are clamped away.
 /// \p use_cache routes per-vertex resolution through the SpigVertex memo
 /// (the incremental warm path); pass false to force cold recomputation.
+/// Under a bounded \p deadline the walk stops at a level boundary: levels
+/// derived before the cut are complete, deeper (more-dissimilar) levels
+/// are absent, and \p truncated (optional) reports the cut. A partially
+/// derived level is discarded — its candidate set would be an unsound
+/// subset.
 SimilarCandidates SimilarSubCandidates(const SpigSet& spigs,
                                        size_t query_size, int sigma,
                                        const ActionAwareIndexes& indexes,
-                                       bool use_cache = true);
+                                       bool use_cache = true,
+                                       const Deadline& deadline = Deadline(),
+                                       bool* truncated = nullptr);
 
 }  // namespace prague
 

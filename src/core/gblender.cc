@@ -109,16 +109,26 @@ Result<GbrStepReport> GBlenderSession::DeleteEdge(FormulationId ell) {
   return report;
 }
 
-Result<QueryResults> GBlenderSession::Run(RunStats* stats) {
+Result<QueryResults> GBlenderSession::Run(RunStats* stats,
+                                          const Deadline& deadline) {
   if (query_.Empty()) {
     return Status::FailedPrecondition("no query fragment to run");
   }
   Stopwatch timer;
   QueryResults results;
-  results.exact = ExactVerification(query_.CurrentGraph(), rq_, snap_->db());
+  VerificationOutcome outcome;
+  results.exact = ExactVerification(query_.CurrentGraph(), rq_, snap_->db(),
+                                    nullptr, deadline, &outcome);
+  results.truncated = outcome.truncated;
   if (stats != nullptr) {
     stats->verified = results.exact.size();
-    stats->rejected = rq_.size() - results.exact.size();
+    stats->rejected = outcome.checked - results.exact.size();
+    stats->nodes_expanded = outcome.nodes_expanded;
+    stats->verification_seconds = timer.ElapsedSeconds();
+    stats->truncated = outcome.truncated;
+    if (outcome.truncated) {
+      stats->deadline_phase = RunPhase::kExactVerification;
+    }
     stats->srt_seconds = timer.ElapsedSeconds();
   }
   return results;

@@ -47,8 +47,11 @@ class GBlenderSession {
   /// \brief Action Modify: delete an edge; replays the whole formulation
   /// (GBLENDER's documented weakness).
   Result<GbrStepReport> DeleteEdge(FormulationId ell);
-  /// \brief Action Run: verify Rq with VF2.
-  Result<QueryResults> Run(RunStats* stats = nullptr);
+  /// \brief Action Run: verify Rq with VF2. A bounded \p deadline stops
+  /// verification at the first undecided candidate (prefix-consistent, as
+  /// in PragueSession) and sets QueryResults::truncated.
+  Result<QueryResults> Run(RunStats* stats = nullptr,
+                           const Deadline& deadline = Deadline());
 
   /// \brief Current Rq.
   const IdSet& candidates() const { return rq_; }

@@ -64,14 +64,20 @@ void PragueSession::RefreshCandidates(StepReport* report) {
 
 Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
                                           Label edge_label) {
+  // Kept so a deadline-aborted SPIG build can undo the drawn edge: the
+  // session must stay exactly as it was before the failed action.
+  VisualQuery backup = query_;
   Result<FormulationId> ell = query_.AddEdge(u, v, edge_label);
   if (!ell.ok()) return ell.status();
   StepReport report;
   report.edge = *ell;
   Stopwatch spig_timer;
-  Result<const Spig*> spig =
-      spigs_.AddForNewEdge(query_, *ell, snap_->indexes(), SpigPool());
-  if (!spig.ok()) return spig.status();
+  Result<const Spig*> spig = spigs_.AddForNewEdge(
+      query_, *ell, snap_->indexes(), SpigPool(), StepDeadline());
+  if (!spig.ok()) {
+    query_ = std::move(backup);
+    return spig.status();
+  }
   report.spig_seconds = spig_timer.ElapsedSeconds();
   RefreshCandidates(&report);
   SessionAction a;
@@ -277,15 +283,39 @@ ThreadPool* PragueSession::SpigPool() {
   return spig_pool_.get();
 }
 
+Deadline PragueSession::RunDeadline() const {
+  Deadline d = config_.run_deadline_ms > 0
+                   ? Deadline::AfterMillis(config_.run_deadline_ms)
+                   : Deadline();
+  return d.WithToken(config_.cancellation);
+}
+
+Deadline PragueSession::StepDeadline() const {
+  Deadline d = config_.step_deadline_ms > 0
+                   ? Deadline::AfterMillis(config_.step_deadline_ms)
+                   : Deadline();
+  return d.WithToken(config_.cancellation);
+}
+
 Result<QueryResults> PragueSession::Run(RunStats* stats) {
+  return Run(RunDeadline(), stats);
+}
+
+Result<QueryResults> PragueSession::Run(const Deadline& deadline,
+                                        RunStats* stats) {
   if (query_.Empty()) {
     return Status::FailedPrecondition("no query fragment to run");
   }
   Stopwatch timer;
   const Graph& q = query_.CurrentGraph();
   QueryResults results;
-  SimilarGenStats sim_stats;
+  RunStats local;
   ThreadPool* pool = VerificationPool();
+  auto mark_cut = [&](RunPhase phase) {
+    results.truncated = true;
+    local.truncated = true;
+    if (local.deadline_phase == RunPhase::kNone) local.deadline_phase = phase;
+  };
   if (!sim_flag_) {
     // Verification-free answers (the FG-Index [2] guarantee the indexes
     // inherit): when the whole query is an indexed frequent fragment or
@@ -295,43 +325,56 @@ Result<QueryResults> PragueSession::Run(RunStats* stats) {
     if (target != nullptr &&
         (target->frag.IsFrequent() || target->frag.IsDif())) {
       results.exact.assign(rq_.begin(), rq_.end());
-      if (stats != nullptr) {
-        stats->verified = results.exact.size();
-        stats->rejected = 0;
-      }
+      local.verified = results.exact.size();
+      local.rejected = 0;
     } else {
-      results.exact = ExactVerification(q, rq_, snap_->db(), pool);
-      if (stats != nullptr) {
-        stats->verified = results.exact.size();
-        stats->rejected = rq_.size() - results.exact.size();
-      }
+      Stopwatch verify_timer;
+      VerificationOutcome outcome;
+      results.exact =
+          ExactVerification(q, rq_, snap_->db(), pool, deadline, &outcome);
+      local.verification_seconds = verify_timer.ElapsedSeconds();
+      local.verified = results.exact.size();
+      local.rejected = outcome.checked - results.exact.size();
+      local.nodes_expanded += outcome.nodes_expanded;
+      if (outcome.truncated) mark_cut(RunPhase::kExactVerification);
     }
-    if (results.exact.empty()) {
+    if (results.exact.empty() && !results.truncated) {
       // Algorithm 1 lines 19-21: exact verification came up empty — fall
       // back to similarity search.
       results.similarity = true;
-      SimilarCandidates cands =
-          SimilarSubCandidates(spigs_, query_.EdgeCount(), config_.sigma,
-                               snap_->indexes(), config_.candidate_memo);
-      results.similar =
-          SimilarResultsGen(q, spigs_, cands, config_.sigma, snap_->db(), nullptr,
-                            &sim_stats, config_.top_k, pool,
-                            config_.filtering_verifier);
+      Stopwatch cand_timer;
+      bool cand_cut = false;
+      SimilarCandidates cands = SimilarSubCandidates(
+          spigs_, query_.EdgeCount(), config_.sigma, snap_->indexes(),
+          config_.candidate_memo, deadline, &cand_cut);
+      local.candidate_seconds = cand_timer.ElapsedSeconds();
+      if (cand_cut) mark_cut(RunPhase::kSimilarCandidates);
+      Stopwatch sim_timer;
+      bool gen_cut = false;
+      results.similar = SimilarResultsGen(
+          q, spigs_, cands, config_.sigma, snap_->db(), nullptr,
+          &local.similar, config_.top_k, pool, config_.filtering_verifier,
+          deadline, &gen_cut);
+      local.similarity_seconds = sim_timer.ElapsedSeconds();
+      if (gen_cut) mark_cut(RunPhase::kSimilarGeneration);
     }
   } else {
     results.similarity = true;
     // Distance-0 matches are possible when a deletion restored exact
     // matches while simFlag stayed set.
     const IdSet* exact_rq = rq_.empty() ? nullptr : &rq_;
-    results.similar =
-        SimilarResultsGen(q, spigs_, similar_, config_.sigma, snap_->db(),
-                          exact_rq, &sim_stats, config_.top_k, pool,
-                          config_.filtering_verifier);
+    Stopwatch sim_timer;
+    bool gen_cut = false;
+    results.similar = SimilarResultsGen(
+        q, spigs_, similar_, config_.sigma, snap_->db(), exact_rq,
+        &local.similar, config_.top_k, pool, config_.filtering_verifier,
+        deadline, &gen_cut);
+    local.similarity_seconds = sim_timer.ElapsedSeconds();
+    if (gen_cut) mark_cut(RunPhase::kSimilarGeneration);
   }
-  if (stats != nullptr) {
-    stats->similar = sim_stats;
-    stats->srt_seconds = timer.ElapsedSeconds();
-  }
+  local.nodes_expanded += local.similar.nodes_expanded;
+  local.srt_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
   return results;
 }
 

@@ -57,6 +57,22 @@ struct PragueConfig {
   /// (graph/verifier.h). Same answers, fewer VF2 calls; off by default to
   /// match the paper's plain SimVerify.
   bool filtering_verifier = false;
+  /// Default Run() budget in milliseconds; 0 = unbounded. On expiry Run()
+  /// degrades gracefully: it returns the prefix of the results decided
+  /// before the cut and sets QueryResults::truncated plus the RunStats
+  /// phase breakdown. An explicit Run(deadline, ...) overrides this.
+  int64_t run_deadline_ms = 0;
+  /// Formulation-step budget in milliseconds (SPIG construction during
+  /// AddEdge/AddPattern); 0 = unbounded. Unlike Run(), a step cut mid-way
+  /// cannot keep a half-built SPIG, so the step fails with
+  /// Status::DeadlineExceeded and the query rolls back to the state before
+  /// the action — retry with a larger budget to proceed.
+  int64_t step_deadline_ms = 0;
+  /// Optional cross-thread stop flag, checked together with any deadline
+  /// on Run() and on formulation steps. Owned by the caller and must
+  /// outlive the session; ManagedSession wires its own token here so a
+  /// manager-level thread can cancel work in flight.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// \brief The Status column of Figure 3.
@@ -125,8 +141,18 @@ class PragueSession {
   Result<StepReport> EnableSimilarity();
 
   /// \brief Action Run: produce final results. Residual work only — its
-  /// cost is the SRT. \p stats may be null.
+  /// cost is the SRT. \p stats may be null. Bounded by the config's
+  /// run_deadline_ms/cancellation token; see the deadline overload for
+  /// truncation semantics.
   Result<QueryResults> Run(RunStats* stats = nullptr);
+
+  /// \brief Run under an explicit \p deadline (overrides the config
+  /// budget; the config token still applies if the deadline carries none).
+  /// On expiry the result is a prefix-consistent subset of the unbounded
+  /// run with QueryResults::truncated set, and RunStats records the phase
+  /// the cut landed in plus per-phase timings.
+  Result<QueryResults> Run(const Deadline& deadline,
+                           RunStats* stats = nullptr);
 
   /// \brief Algorithm 6 lines 3-8: which edge should be deleted to make
   /// Rq non-empty (largest resulting candidate set)?
@@ -166,6 +192,10 @@ class PragueSession {
   // Pool for SPIG construction (resolved spig_threads > 1), reusing the
   // verification pool when the sizes agree. Null means build sequentially.
   ThreadPool* SpigPool();
+  // Config-derived budgets (unbounded when the knob is 0), carrying the
+  // config's cancellation token.
+  Deadline RunDeadline() const;
+  Deadline StepDeadline() const;
   // Algorithm 3 for one vertex, memoized or not per config_.
   IdSet VertexCandidates(const SpigVertex& v) const;
 

@@ -10,28 +10,88 @@
 
 namespace prague {
 
+const char* RunPhaseName(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kNone:
+      return "none";
+    case RunPhase::kExactVerification:
+      return "exact-verification";
+    case RunPhase::kSimilarCandidates:
+      return "similar-candidates";
+    case RunPhase::kSimilarGeneration:
+      return "similar-generation";
+  }
+  return "unknown";
+}
+
 std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
                                        const GraphDatabase& db,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool,
+                                       const Deadline& deadline,
+                                       VerificationOutcome* outcome) {
   const std::vector<GraphId>& ids = rq.ids();
+  const bool bounded = deadline.CanExpire();
+  VerificationOutcome local;
+  std::vector<GraphId> out;
   if (pool == nullptr || pool->size() <= 1) {
-    std::vector<GraphId> out;
     for (GraphId gid : ids) {
-      if (IsSubgraphIsomorphic(q, db.graph(gid))) out.push_back(gid);
+      if (bounded && deadline.Expired()) {
+        local.truncated = true;
+        break;
+      }
+      bool cut = false;
+      bool found = IsSubgraphIsomorphic(q, db.graph(gid), deadline, &cut,
+                                        &local.nodes_expanded);
+      if (cut) {
+        local.truncated = true;  // verdict unknown: stop before recording it
+        break;
+      }
+      ++local.checked;
+      if (found) out.push_back(gid);
     }
+    if (outcome != nullptr) *outcome = local;
     return out;
   }
   std::vector<char> hit(ids.size(), 0);
+  // decided[i] == 0 marks candidates the deadline left unresolved; the
+  // output stops at the first such index so parallel truncation yields the
+  // same prefix a sequential scan would.
+  std::vector<char> decided(ids.size(), 1);
+  std::atomic<bool> expired{false};
+  std::atomic<size_t> nodes{0};
   pool->ParallelFor(ids.size(), /*min_chunk=*/16,
                     [&](size_t begin, size_t end) {
+                      size_t local_nodes = 0;
                       for (size_t i = begin; i < end; ++i) {
-                        hit[i] = IsSubgraphIsomorphic(q, db.graph(ids[i]));
+                        if (bounded && (expired.load(std::memory_order_relaxed) ||
+                                        deadline.Expired())) {
+                          expired.store(true, std::memory_order_relaxed);
+                          for (size_t j = i; j < end; ++j) decided[j] = 0;
+                          break;
+                        }
+                        bool cut = false;
+                        hit[i] = IsSubgraphIsomorphic(q, db.graph(ids[i]),
+                                                      deadline, &cut,
+                                                      &local_nodes);
+                        if (cut) {
+                          expired.store(true, std::memory_order_relaxed);
+                          for (size_t j = i; j < end; ++j) decided[j] = 0;
+                          break;
+                        }
                       }
+                      nodes.fetch_add(local_nodes,
+                                      std::memory_order_relaxed);
                     });
-  std::vector<GraphId> out;
+  local.nodes_expanded = nodes.load();
   for (size_t i = 0; i < ids.size(); ++i) {
+    if (!decided[i]) {
+      local.truncated = true;
+      break;
+    }
+    ++local.checked;
     if (hit[i]) out.push_back(ids[i]);
   }
+  if (outcome != nullptr) *outcome = local;
   return out;
 }
 
@@ -51,16 +111,24 @@ std::vector<const Graph*> DistinctLevelFragments(const SpigSet& spigs,
 }
 
 // SimVerify for one data graph at one level: mccs(g, q) ≥ level?
+// When the verifier's deadline cuts a search the verdict is unknown;
+// we stop trying further fragments (the caller detects the cut via the
+// deadline and treats the candidate as undecided, not rejected).
 bool SimVerify(const std::vector<const Graph*>& level_fragments,
                const Graph& g, SimilarGenStats* stats,
                Verifier* verifier) {
   for (const Graph* fragment : level_fragments) {
-    size_t before = verifier->stats().vf2_calls;
+    size_t before_calls = verifier->stats().vf2_calls;
+    size_t before_nodes = verifier->stats().nodes_expanded;
+    size_t before_cuts = verifier->stats().deadline_hits;
     bool hit = verifier->Matches(*fragment, g);
     if (stats != nullptr) {
-      stats->vf2_calls += verifier->stats().vf2_calls - before;
+      stats->vf2_calls += verifier->stats().vf2_calls - before_calls;
+      stats->nodes_expanded +=
+          verifier->stats().nodes_expanded - before_nodes;
     }
     if (hit) return true;
+    if (verifier->stats().deadline_hits != before_cuts) return false;
   }
   return false;
 }
@@ -71,25 +139,39 @@ std::vector<SimilarMatch> SimilarResultsGen(
     const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
     int sigma, const GraphDatabase& db, const IdSet* exact_rq,
     SimilarGenStats* stats, size_t top_k, ThreadPool* pool,
-    bool filtering_verifier) {
+    bool filtering_verifier, const Deadline& deadline, bool* truncated) {
   std::unique_ptr<Verifier> verifier =
       MakeVerifier(filtering_verifier ? "filtering" : "plain");
+  verifier->SetDeadline(deadline);
+  const bool bounded = deadline.CanExpire();
   std::vector<SimilarMatch> results;
   IdSet seen;
   int qsize = static_cast<int>(q.EdgeCount());
   auto full = [&]() { return top_k != 0 && results.size() >= top_k; };
+  auto cut = [&]() {
+    if (truncated != nullptr) *truncated = true;
+    return results;
+  };
 
   if (exact_rq != nullptr && !exact_rq->empty()) {
-    for (GraphId gid : ExactVerification(q, *exact_rq, db, pool)) {
+    VerificationOutcome exact_outcome;
+    std::vector<GraphId> exact_hits =
+        ExactVerification(q, *exact_rq, db, pool, deadline, &exact_outcome);
+    if (stats != nullptr) {
+      stats->nodes_expanded += exact_outcome.nodes_expanded;
+    }
+    for (GraphId gid : exact_hits) {
       if (full()) return results;
       results.push_back(SimilarMatch{gid, 0, true});
       seen.Insert(gid);
       if (stats != nullptr) ++stats->verified;
     }
+    if (exact_outcome.truncated) return cut();
   }
 
   int lowest = std::max(1, qsize - sigma);
   for (int level = qsize - 1; level >= lowest && !full(); --level) {
+    if (bounded && deadline.Expired()) return cut();
     int distance = qsize - level;
     auto free_it = cands.free.find(level);
     if (free_it != cands.free.end()) {
@@ -109,9 +191,14 @@ std::vector<SimilarMatch> SimilarResultsGen(
         const std::vector<GraphId>& ids = pending.ids();
         if (pool != nullptr && pool->size() > 1 && ids.size() > 16) {
           // Parallel MCCS checks; appended in id order afterwards so the
-          // output matches the sequential path exactly.
+          // output matches the sequential path exactly. decided[i] == 0
+          // marks deadline-unresolved candidates; the append loop stops at
+          // the first one, keeping truncation prefix-consistent.
           std::vector<char> verdict(ids.size(), 0);
+          std::vector<char> decided(ids.size(), 1);
+          std::atomic<bool> expired{false};
           std::atomic<size_t> vf2_calls{0};
+          std::atomic<size_t> nodes{0};
           pool->ParallelFor(
               ids.size(), /*min_chunk=*/8, [&](size_t begin, size_t end) {
                 // Verifier caches are not shared across threads; each
@@ -119,16 +206,35 @@ std::vector<SimilarMatch> SimilarResultsGen(
                 // once per chunk, which is cheap).
                 std::unique_ptr<Verifier> local_verifier = MakeVerifier(
                     filtering_verifier ? "filtering" : "plain");
+                local_verifier->SetDeadline(deadline);
                 SimilarGenStats local;
                 for (size_t i = begin; i < end; ++i) {
+                  if (bounded &&
+                      (expired.load(std::memory_order_relaxed) ||
+                       deadline.Expired())) {
+                    expired.store(true, std::memory_order_relaxed);
+                    for (size_t j = i; j < end; ++j) decided[j] = 0;
+                    break;
+                  }
+                  size_t cuts = local_verifier->stats().deadline_hits;
                   verdict[i] = SimVerify(fragments, db.graph(ids[i]),
                                          &local, local_verifier.get());
+                  if (local_verifier->stats().deadline_hits != cuts) {
+                    expired.store(true, std::memory_order_relaxed);
+                    for (size_t j = i; j < end; ++j) decided[j] = 0;
+                    break;
+                  }
                 }
                 vf2_calls += local.vf2_calls;
+                nodes += local.nodes_expanded;
               });
-          if (stats != nullptr) stats->vf2_calls += vf2_calls.load();
+          if (stats != nullptr) {
+            stats->vf2_calls += vf2_calls.load();
+            stats->nodes_expanded += nodes.load();
+          }
           for (size_t i = 0; i < ids.size(); ++i) {
             if (full()) return results;
+            if (!decided[i]) return cut();
             if (verdict[i]) {
               results.push_back(SimilarMatch{ids[i], distance, true});
               seen.Insert(ids[i]);
@@ -140,11 +246,15 @@ std::vector<SimilarMatch> SimilarResultsGen(
         } else {
           for (GraphId gid : ids) {
             if (full()) return results;
+            if (bounded && deadline.Expired()) return cut();
             if (SimVerify(fragments, db.graph(gid), stats,
                           verifier.get())) {
               results.push_back(SimilarMatch{gid, distance, true});
               seen.Insert(gid);
               if (stats != nullptr) ++stats->verified;
+            } else if (bounded && deadline.Expired()) {
+              // Verdict unknown — the deadline cut the search mid-check.
+              return cut();
             } else if (stats != nullptr) {
               ++stats->rejected;
             }

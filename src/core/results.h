@@ -15,6 +15,7 @@
 #include "core/candidates.h"
 #include "core/spig.h"
 #include "graph/graph_database.h"
+#include "util/deadline.h"
 #include "util/id_set.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +43,11 @@ struct QueryResults {
   std::vector<GraphId> exact;
   /// Similarity matches ordered by non-decreasing distance.
   std::vector<SimilarMatch> similar;
+  /// True when a deadline cut Run() short. What is present is still
+  /// sound — a prefix-consistent subset of the unbounded result, since
+  /// candidates are decided in a fixed order and generation stops at the
+  /// first undecided one.
+  bool truncated = false;
 };
 
 /// \brief Counters describing one SimilarResultsGen run.
@@ -50,7 +56,19 @@ struct SimilarGenStats {
   size_t verified = 0;           ///< Rver candidates that passed SimVerify
   size_t rejected = 0;           ///< Rver candidates that failed
   size_t vf2_calls = 0;          ///< VF2 invocations spent verifying
+  size_t nodes_expanded = 0;     ///< VF2 expansion steps spent verifying
 };
+
+/// \brief Which phase of a Run() a deadline interrupted.
+enum class RunPhase {
+  kNone = 0,            ///< no deadline hit
+  kExactVerification,   ///< containment verification of Rq
+  kSimilarCandidates,   ///< SPIG-level candidate derivation (Algorithm 4)
+  kSimilarGeneration,   ///< ordered result generation (Algorithm 5)
+};
+
+/// \brief Human-readable phase name for logs and the CLI.
+const char* RunPhaseName(RunPhase phase);
 
 /// \brief Timing/counters for one Run (PRAGUE or a baseline session).
 struct RunStats {
@@ -58,14 +76,34 @@ struct RunStats {
   size_t verified = 0;     ///< candidates that passed verification
   size_t rejected = 0;     ///< candidates that failed
   SimilarGenStats similar; ///< similarity-path details
+  // Per-phase accounting (phases that did not run stay 0).
+  double candidate_seconds = 0;     ///< deriving similarity candidates
+  double verification_seconds = 0;  ///< exact containment verification
+  double similarity_seconds = 0;    ///< Algorithm 5 result generation
+  size_t nodes_expanded = 0;        ///< VF2 expansion steps, all phases
+  bool truncated = false;           ///< a deadline cut the run short
+  RunPhase deadline_phase = RunPhase::kNone;  ///< where the cut landed
+};
+
+/// \brief How a (possibly deadline-bounded) verification scan ended.
+struct VerificationOutcome {
+  /// True when the deadline cut the scan; the returned matches are then
+  /// the decisions made before the cut (a prefix of the candidate order).
+  bool truncated = false;
+  size_t checked = 0;         ///< candidates fully decided
+  size_t nodes_expanded = 0;  ///< VF2 expansion steps spent
 };
 
 /// \brief Subgraph-isomorphism verification of the containment candidate
 /// set Rq; returns the ids of true matches, ascending. A non-null \p pool
-/// verifies candidates in parallel (identical results, same order).
+/// verifies candidates in parallel (identical results, same order). Under
+/// a bounded \p deadline the scan stops at the first undecided candidate
+/// and \p outcome (optional) reports the cut.
 std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
                                        const GraphDatabase& db,
-                                       ThreadPool* pool = nullptr);
+                                       ThreadPool* pool = nullptr,
+                                       const Deadline& deadline = Deadline(),
+                                       VerificationOutcome* outcome = nullptr);
 
 /// \brief Algorithm 5: ordered similarity results.
 ///
@@ -78,12 +116,17 @@ std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
 /// MCCS verification in parallel; results are identical and in the same
 /// order as the sequential path. When \p filtering_verifier is set the
 /// MCCS checks run behind FilteringVerifier's label/degree prefilters
-/// (same answers, fewer VF2 calls — see graph/verifier.h).
+/// (same answers, fewer VF2 calls — see graph/verifier.h). Under a bounded
+/// \p deadline generation stops at the first undecided candidate — because
+/// results are produced in non-decreasing distance order, what is returned
+/// is a prefix of the unbounded result list — and \p truncated (optional)
+/// reports the cut.
 std::vector<SimilarMatch> SimilarResultsGen(
     const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
     int sigma, const GraphDatabase& db, const IdSet* exact_rq,
     SimilarGenStats* stats, size_t top_k = 0, ThreadPool* pool = nullptr,
-    bool filtering_verifier = false);
+    bool filtering_verifier = false, const Deadline& deadline = Deadline(),
+    bool* truncated = nullptr);
 
 }  // namespace prague
 

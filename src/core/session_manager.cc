@@ -9,6 +9,28 @@ SessionManager::SessionManager(SnapshotPtr initial,
                                PragueConfig default_config)
     : default_config_(default_config), current_(std::move(initial)) {}
 
+PragueConfig SessionManager::DefaultConfig() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_config_;
+}
+
+std::shared_ptr<ManagedSession> SessionManager::OpenWithDeadline(
+    int64_t run_deadline_ms) {
+  PragueConfig config = DefaultConfig();
+  config.run_deadline_ms = run_deadline_ms;
+  return Open(config);
+}
+
+void SessionManager::SetDefaultRunDeadlineMillis(int64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_config_.run_deadline_ms = ms;
+}
+
+int64_t SessionManager::DefaultRunDeadlineMillis() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_config_.run_deadline_ms;
+}
+
 std::shared_ptr<ManagedSession> SessionManager::Open(
     const PragueConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -50,6 +50,19 @@ class ManagedSession {
     return std::forward<Fn>(fn)(session_);
   }
 
+  /// \brief Requests cancellation of whatever the session is doing.
+  /// Deliberately does NOT take mu_: the whole point is to stop a Run()
+  /// already executing inside another thread's With(). The token is
+  /// checked cooperatively, so the running call returns promptly with a
+  /// truncated result (or Status::DeadlineExceeded for formulation
+  /// steps) rather than being interrupted mid-write.
+  void Cancel() { token_.RequestStop(); }
+  /// \brief Re-arms the session after a Cancel() so later calls run
+  /// normally. Call between With() uses, not concurrently with one.
+  void ResetCancellation() { token_.Reset(); }
+  /// \brief Whether Cancel() has been requested since the last reset.
+  bool cancelled() const { return token_.StopRequested(); }
+
   /// \brief Manager-assigned session id (monotone per manager).
   uint64_t id() const { return id_; }
   /// \brief Version of the snapshot this session pinned at Open() time.
@@ -60,11 +73,22 @@ class ManagedSession {
  private:
   friend class SessionManager;
   ManagedSession(uint64_t id, SnapshotPtr snap, const PragueConfig& config)
-      : id_(id), snap_(std::move(snap)), session_(snap_, config) {}
+      : id_(id), snap_(std::move(snap)),
+        session_(snap_, WireToken(config, &token_)) {}
+
+  // The session keeps a pointer to token_, so the token must be declared
+  // before session_ (construction order) and the config must be rewired
+  // to point at this instance's token rather than whatever the caller had.
+  static PragueConfig WireToken(PragueConfig config,
+                                const CancellationToken* token) {
+    config.cancellation = token;
+    return config;
+  }
 
   uint64_t id_;
   SnapshotPtr snap_;
   std::mutex mu_;
+  CancellationToken token_;
   PragueSession session_;
 };
 
@@ -88,9 +112,19 @@ class SessionManager {
                           PragueConfig default_config = PragueConfig());
 
   /// \brief Opens a session pinned to the snapshot current right now.
-  std::shared_ptr<ManagedSession> Open() { return Open(default_config_); }
+  std::shared_ptr<ManagedSession> Open() { return Open(DefaultConfig()); }
   /// \brief Opens a session with an explicit config.
   std::shared_ptr<ManagedSession> Open(const PragueConfig& config);
+  /// \brief Opens a session with the default config but an explicit Run()
+  /// budget (overrides the manager-wide default for this session only).
+  std::shared_ptr<ManagedSession> OpenWithDeadline(int64_t run_deadline_ms);
+
+  /// \brief Sets the default Run() budget (milliseconds, 0 = unbounded)
+  /// applied to sessions opened after this call via Open() /
+  /// OpenWithDeadline(). Already-open sessions are unaffected.
+  void SetDefaultRunDeadlineMillis(int64_t ms);
+  /// \brief The current manager-wide default Run() budget.
+  int64_t DefaultRunDeadlineMillis() const;
 
   /// \brief The snapshot new sessions would pin right now.
   SnapshotPtr current() const;
@@ -113,9 +147,14 @@ class SessionManager {
   SessionManagerStats Stats() const;
 
  private:
+  // Snapshot of default_config_ under mu_ (it is mutable via
+  // SetDefaultRunDeadlineMillis).
+  PragueConfig DefaultConfig() const;
+
   PragueConfig default_config_;
 
-  mutable std::mutex mu_;  // guards current_ and sessions_
+  // Guards current_, sessions_, and default_config_.
+  mutable std::mutex mu_;
   SnapshotPtr current_;
   // Registry of open sessions for Stats(); weak so a dropped session
   // releases its snapshot pin immediately. Dead entries are pruned lazily.

@@ -1,6 +1,7 @@
 #include "core/spig.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "graph/code_memo.h"
@@ -143,7 +144,8 @@ void SpigSet::BuildVertex(const VisualQuery& query, const Graph& q,
 Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
                                            FormulationId ell,
                                            const ActionAwareIndexes& indexes,
-                                           ThreadPool* pool) {
+                                           ThreadPool* pool,
+                                           const Deadline& deadline) {
   if (spigs_.contains(ell)) {
     return Status::InvalidArgument("SPIG already built for e" +
                                    std::to_string(ell));
@@ -165,6 +167,12 @@ Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
   // within one level every vertex is independent. Slots are pre-sized and
   // the by-mask table pre-registered in enumeration order, which makes the
   // parallel build's layout identical to the sequential one.
+  //
+  // The deadline is polled between vertices (and the level barrier checks
+  // the shared flag): workers finish their current vertex, skip the rest,
+  // and the whole half-built SPIG is thrown away below.
+  const bool bounded = deadline.CanExpire();
+  std::atomic<bool> expired{false};
   for (int level = 1; level < static_cast<int>(masks.size()); ++level) {
     const std::vector<EdgeMask>& level_masks = masks[level];
     std::vector<SpigVertex>& out = spig.levels_[level];
@@ -176,6 +184,11 @@ Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
     }
     auto build_range = [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
+        if (bounded && (expired.load(std::memory_order_relaxed) ||
+                        deadline.Expired())) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
         BuildVertex(query, q, *graph_edge, level_masks[i], spig, indexes,
                     &out[i]);
       }
@@ -185,6 +198,11 @@ Result<const Spig*> SpigSet::AddForNewEdge(const VisualQuery& query,
       pool->ParallelFor(level_masks.size(), 1, build_range);
     } else {
       build_range(0, level_masks.size());
+    }
+    if (expired.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded(
+          "SPIG construction for e" + std::to_string(ell) +
+          " exceeded its budget at level " + std::to_string(level));
     }
   }
 

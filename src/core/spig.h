@@ -29,6 +29,7 @@
 #include "graph/canonical.h"
 #include "graph/graph.h"
 #include "index/action_aware_index.h"
+#include "util/deadline.h"
 #include "util/id_set.h"
 #include "util/result.h"
 
@@ -130,10 +131,16 @@ class SpigSet {
   /// Vertices are written into pre-sized slots in enumeration order, so
   /// the resulting SPIG (levels, by-mask lookups, Fragment Lists) is
   /// bit-identical to the sequential build.
+  ///
+  /// A half-built SPIG would poison every later inheritance step, so a
+  /// bounded \p deadline aborts cleanly: on expiry the build is discarded
+  /// before insertion and Status::DeadlineExceeded is returned — the set
+  /// is unchanged and the step can be retried with a larger budget.
   Result<const Spig*> AddForNewEdge(const VisualQuery& query,
                                     FormulationId ell,
                                     const ActionAwareIndexes& indexes,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    const Deadline& deadline = Deadline());
 
   /// \brief Algorithm 6 (lines 12-14): drops S_d and every vertex of later
   /// SPIGs whose Edge List contains e_d.

@@ -10,12 +10,13 @@ namespace {
 // plain id order (no connectivity anchoring, no pruning beyond validity).
 bool Extend(const Graph& pattern, const Graph& target, size_t depth,
             std::vector<NodeId>* map, std::vector<bool>* used,
-            size_t* count, bool count_all) {
+            size_t* count, bool count_all, DeadlineChecker* checker) {
   if (depth == pattern.NodeCount()) {
     ++(*count);
     return !count_all;  // stop at first match unless counting
   }
   for (NodeId t = 0; t < target.NodeCount(); ++t) {
+    if (checker->Check()) return true;  // deadline: abandon the search
     if ((*used)[t]) continue;
     if (pattern.NodeLabel(depth) != target.NodeLabel(t)) continue;
     bool ok = true;
@@ -32,14 +33,16 @@ bool Extend(const Graph& pattern, const Graph& target, size_t depth,
     (*map)[depth] = t;
     (*used)[t] = true;
     bool done = Extend(pattern, target, depth + 1, map, used, count,
-                       count_all);
+                       count_all, checker);
     (*used)[t] = false;
     if (done) return true;
   }
   return false;
 }
 
-size_t Run(const Graph& pattern, const Graph& target, bool count_all) {
+size_t Run(const Graph& pattern, const Graph& target, bool count_all,
+           const Deadline& deadline = Deadline(),
+           bool* deadline_hit = nullptr) {
   if (pattern.NodeCount() > target.NodeCount() ||
       pattern.EdgeCount() > target.EdgeCount()) {
     return 0;
@@ -47,7 +50,9 @@ size_t Run(const Graph& pattern, const Graph& target, bool count_all) {
   std::vector<NodeId> map(pattern.NodeCount(), kInvalidNode);
   std::vector<bool> used(target.NodeCount(), false);
   size_t count = 0;
-  Extend(pattern, target, 0, &map, &used, &count, count_all);
+  DeadlineChecker checker(deadline);
+  Extend(pattern, target, 0, &map, &used, &count, count_all, &checker);
+  if (deadline_hit != nullptr) *deadline_hit = checker.expired();
   return count;
 }
 
@@ -55,6 +60,13 @@ size_t Run(const Graph& pattern, const Graph& target, bool count_all) {
 
 bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target) {
   return Run(pattern, target, /*count_all=*/false) > 0;
+}
+
+bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                                  const Deadline& deadline,
+                                  bool* deadline_hit) {
+  return Run(pattern, target, /*count_all=*/false, deadline, deadline_hit) >
+         0;
 }
 
 bool BruteForceIsomorphic(const Graph& a, const Graph& b) {

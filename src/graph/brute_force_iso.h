@@ -6,11 +6,18 @@
 #define PRAGUE_GRAPH_BRUTE_FORCE_ISO_H_
 
 #include "graph/graph.h"
+#include "util/deadline.h"
 
 namespace prague {
 
 /// \brief Subgraph-isomorphism test by exhaustive injective enumeration.
 bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+/// \brief Deadline-bounded variant: returns false when the enumeration is
+/// cut before finding a match; \p deadline_hit (optional) reports the cut.
+bool BruteForceSubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                                  const Deadline& deadline,
+                                  bool* deadline_hit);
 
 /// \brief Isomorphism test by exhaustive bijection enumeration.
 bool BruteForceIsomorphic(const Graph& a, const Graph& b);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "graph/subgraph_ops.h"
@@ -118,12 +120,45 @@ Result<DfsCode> DfsCodeFromString(const std::string& text) {
       if (comma == std::string::npos || comma > end) {
         return Status::Corruption("DFS code string missing field");
       }
+      std::string token = text.substr(field_pos, comma - field_pos);
       try {
-        fields[f] = std::stol(text.substr(field_pos, comma - field_pos));
-      } catch (...) {
-        return Status::Corruption("DFS code string has non-numeric field");
+        size_t consumed = 0;
+        fields[f] = std::stol(token, &consumed);
+        if (consumed != token.size()) {
+          return Status::Corruption(
+              "DFS code string has trailing junk in field: '" + token + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        return Status::Corruption("DFS code string has non-numeric field: '" +
+                                  token + "'");
+      } catch (const std::out_of_range&) {
+        return Status::Corruption("DFS code string field out of range: '" +
+                                  token + "'");
       }
       field_pos = comma + 1;
+    }
+    // Range checks before the narrowing casts. The vertex-index bound is
+    // structural: a DFS code starts at vertices {0, 1} and each edge
+    // discovers at most one new vertex, so edge i can only reference
+    // indices ≤ i + 1. This also keeps a corrupt index from ballooning
+    // GraphFromDfsCode's label table.
+    const long max_index = static_cast<long>(code.size()) + 1;
+    for (int f = 0; f < 2; ++f) {
+      if (fields[f] < 0 || fields[f] > max_index) {
+        return Status::Corruption(
+            "DFS code vertex index " + std::to_string(fields[f]) +
+            " out of range [0, " + std::to_string(max_index) + "] at edge " +
+            std::to_string(code.size()));
+      }
+    }
+    const long max_label =
+        static_cast<long>(std::numeric_limits<Label>::max());
+    for (int f = 2; f < 5; ++f) {
+      if (fields[f] < 0 || fields[f] > max_label) {
+        return Status::Corruption("DFS code label " +
+                                  std::to_string(fields[f]) +
+                                  " outside the Label range");
+      }
     }
     code.push_back(DfsEdge{static_cast<int>(fields[0]),
                            static_cast<int>(fields[1]),

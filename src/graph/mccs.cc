@@ -12,28 +12,42 @@ namespace {
 
 // Tests the level-k connected subsets of q against g, de-duplicating
 // isomorphic subsets. Returns a witnessing mask, or 0 if none matches.
+// The deadline is checked between subsets and bounds each inner VF2 run;
+// a cut sets *expired and reports "no witness found".
 EdgeMask AnySubsetMatches(const Graph& q,
                           const std::vector<EdgeMask>& subsets,
-                          const Graph& g) {
+                          const Graph& g, const Deadline& deadline,
+                          bool* expired) {
   std::unordered_set<CanonicalCode> tried;
   for (EdgeMask mask : subsets) {
+    if (deadline.CanExpire() && deadline.Expired()) {
+      *expired = true;
+      return 0;
+    }
     ExtractedSubgraph sub = ExtractEdgeSubgraph(q, mask);
     CanonicalCode code = GetCanonicalCode(sub.graph);
     if (!tried.insert(code).second) continue;
-    if (IsSubgraphIsomorphic(sub.graph, g)) return mask;
+    bool cut = false;
+    if (IsSubgraphIsomorphic(sub.graph, g, deadline, &cut)) return mask;
+    if (cut) {
+      *expired = true;
+      return 0;
+    }
   }
   return 0;
 }
 
 }  // namespace
 
-MccsResult ComputeMccs(const Graph& q, const Graph& g) {
+MccsResult ComputeMccs(const Graph& q, const Graph& g,
+                       const Deadline& deadline, bool* truncated) {
   assert(q.EdgeCount() >= 1 && q.EdgeCount() <= kMaxSubsetEdges);
   MccsResult out;
   out.distance = static_cast<int>(q.EdgeCount());
   std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
-  for (size_t k = q.EdgeCount(); k >= 1; --k) {
-    EdgeMask witness = AnySubsetMatches(q, by_size[k], g);
+  bool expired = false;
+  for (size_t k = q.EdgeCount(); k >= 1 && !expired; --k) {
+    EdgeMask witness = AnySubsetMatches(q, by_size[k], g, deadline, &expired);
     if (witness != 0) {
       out.mccs_edges = k;
       out.similarity = static_cast<double>(k) /
@@ -43,10 +57,12 @@ MccsResult ComputeMccs(const Graph& q, const Graph& g) {
       return out;
     }
   }
-  return out;  // no common edge at all
+  if (expired && truncated != nullptr) *truncated = true;
+  return out;  // no common edge at all (or cut before finding one)
 }
 
-bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma) {
+bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma,
+                            const Deadline& deadline, bool* truncated) {
   assert(q.EdgeCount() >= 1 && q.EdgeCount() <= kMaxSubsetEdges);
   if (sigma >= static_cast<int>(q.EdgeCount())) return true;
   std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
@@ -54,13 +70,20 @@ bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma) {
   // One level suffices: if some (needed+j)-subset matches, each of its
   // connected (needed)-sub-subsets also matches, so checking the minimum
   // required level is both sound and complete.
-  return AnySubsetMatches(q, by_size[needed], g) != 0;
+  bool expired = false;
+  bool hit = AnySubsetMatches(q, by_size[needed], g, deadline, &expired) != 0;
+  if (expired && truncated != nullptr) *truncated = true;
+  return hit;
 }
 
-bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level) {
+bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level,
+                           const Deadline& deadline, bool* truncated) {
   assert(level >= 1 && level <= q.EdgeCount());
   std::vector<std::vector<EdgeMask>> by_size = ConnectedEdgeSubsetsBySize(q);
-  return AnySubsetMatches(q, by_size[level], g) != 0;
+  bool expired = false;
+  bool hit = AnySubsetMatches(q, by_size[level], g, deadline, &expired) != 0;
+  if (expired && truncated != nullptr) *truncated = true;
+  return hit;
 }
 
 }  // namespace prague

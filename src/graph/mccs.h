@@ -18,6 +18,7 @@
 
 #include "graph/graph.h"
 #include "graph/subgraph_ops.h"
+#include "util/deadline.h"
 
 namespace prague {
 
@@ -35,18 +36,29 @@ struct MccsResult {
 
 /// \brief Full MCCS between query \p q and data graph \p g.
 ///
-/// Requires q connected with 1 ≤ |q| ≤ kMaxSubsetEdges.
-MccsResult ComputeMccs(const Graph& q, const Graph& g);
+/// Requires q connected with 1 ≤ |q| ≤ kMaxSubsetEdges. With a bounded
+/// \p deadline the search may stop early: the result then reflects only
+/// the levels fully examined (mccs_edges stays 0 if none matched before
+/// the cut) and \p truncated, if non-null, is set.
+MccsResult ComputeMccs(const Graph& q, const Graph& g,
+                       const Deadline& deadline = Deadline(),
+                       bool* truncated = nullptr);
 
 /// \brief Early-exit check: is dist(q, g) ≤ sigma?
 ///
 /// Equivalent to mccs(g, q) ≥ |q| − sigma but stops at the first witness.
-bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma);
+/// A deadline cut reports false ("not proven within budget") and sets
+/// \p truncated.
+bool WithinSubgraphDistance(const Graph& q, const Graph& g, int sigma,
+                            const Deadline& deadline = Deadline(),
+                            bool* truncated = nullptr);
 
 /// \brief Does \p g contain any connected subgraph of \p q with exactly
 /// \p level edges? This is the per-level check SimVerify (Algorithm 5)
-/// performs on Rver(level).
-bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level);
+/// performs on Rver(level). Deadline semantics as WithinSubgraphDistance.
+bool ContainsLevelSubgraph(const Graph& q, const Graph& g, size_t level,
+                           const Deadline& deadline = Deadline(),
+                           bool* truncated = nullptr);
 
 }  // namespace prague
 

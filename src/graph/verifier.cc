@@ -6,10 +6,25 @@
 
 namespace prague {
 
+namespace {
+
+// Shared VF2 launch: runs under the verifier's deadline and accumulates
+// the expansion/cut counters.
+bool BoundedVf2(const Graph& pattern, const Graph& target,
+                const Deadline& deadline, VerifierStats* stats) {
+  ++stats->vf2_calls;
+  bool cut = false;
+  bool found = IsSubgraphIsomorphic(pattern, target, deadline, &cut,
+                                    &stats->nodes_expanded);
+  if (cut) ++stats->deadline_hits;
+  return found;
+}
+
+}  // namespace
+
 bool PlainVerifier::Matches(const Graph& pattern, const Graph& target) {
   ++stats_.checks;
-  ++stats_.vf2_calls;
-  return IsSubgraphIsomorphic(pattern, target);
+  return BoundedVf2(pattern, target, deadline_, &stats_);
 }
 
 FilteringVerifier::Summary FilteringVerifier::Summarize(const Graph& g) {
@@ -47,8 +62,7 @@ bool FilteringVerifier::Matches(const Graph& pattern, const Graph& target) {
     ++stats_.prefilter_hits;
     return false;
   }
-  ++stats_.vf2_calls;
-  return IsSubgraphIsomorphic(pattern, target);
+  return BoundedVf2(pattern, target, deadline_, &stats_);
 }
 
 std::unique_ptr<Verifier> MakeVerifier(const std::string& name) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/deadline.h"
 
 namespace prague {
 
@@ -26,6 +27,8 @@ struct VerifierStats {
   size_t checks = 0;          ///< Matches() calls
   size_t prefilter_hits = 0;  ///< rejected before VF2
   size_t vf2_calls = 0;       ///< VF2 searches actually run
+  size_t nodes_expanded = 0;  ///< VF2 expansion steps across all searches
+  size_t deadline_hits = 0;   ///< VF2 searches cut by the deadline
 };
 
 /// \brief Interface: does \p pattern match inside \p target?
@@ -34,13 +37,20 @@ class Verifier {
   virtual ~Verifier() = default;
 
   /// \brief Subgraph-isomorphism test (label-preserving monomorphism).
+  /// Under an expired deadline this reports false ("no match proven") and
+  /// counts a deadline_hit; callers treat such verdicts as unknown, not as
+  /// rejections.
   virtual bool Matches(const Graph& pattern, const Graph& target) = 0;
+
+  /// \brief Bounds every subsequent Matches() call.
+  void SetDeadline(const Deadline& deadline) { deadline_ = deadline; }
 
   /// \brief Lifetime counters.
   const VerifierStats& stats() const { return stats_; }
 
  protected:
   VerifierStats stats_;
+  Deadline deadline_;
 };
 
 /// \brief Plain VF2, no filtering — the paper's baseline SimVerify.

@@ -59,37 +59,47 @@ bool Vf2Matcher::Feasible(NodeId pattern_node, NodeId target_node) const {
   return true;
 }
 
+void Vf2Matcher::SetDeadline(const Deadline& deadline) {
+  deadline_ = deadline;
+}
+
 bool Vf2Matcher::Recurse(size_t depth,
-                         const std::function<bool(const NodeMapping&)>& fn,
-                         bool* stopped) {
-  if (depth == order_.size()) {
-    if (!fn(map_)) *stopped = true;
-    return true;
-  }
+                         const std::function<bool(const NodeMapping&)>& fn) {
+  if (depth == order_.size()) return fn(map_);
   NodeId p = order_[depth];
   if (anchor_[p] == kInvalidNode) {
     // Root: try every target node.
     for (NodeId t = 0; t < target_.NodeCount(); ++t) {
+      ++nodes_expanded_;
+      if (checker_.Check()) {
+        deadline_hit_ = true;
+        return false;
+      }
       if (target_used_[t] || !Feasible(p, t)) continue;
       map_[p] = t;
       target_used_[t] = true;
-      Recurse(depth + 1, fn, stopped);
+      bool exhausted = Recurse(depth + 1, fn);
       target_used_[t] = false;
       map_[p] = kInvalidNode;
-      if (*stopped) return true;
+      if (!exhausted) return false;
     }
   } else {
     // Candidates: neighbors of the anchor's image.
     NodeId anchor_image = map_[anchor_[p]];
     for (const Adjacency& a : target_.Neighbors(anchor_image)) {
+      ++nodes_expanded_;
+      if (checker_.Check()) {
+        deadline_hit_ = true;
+        return false;
+      }
       NodeId t = a.neighbor;
       if (target_used_[t] || !Feasible(p, t)) continue;
       map_[p] = t;
       target_used_[t] = true;
-      Recurse(depth + 1, fn, stopped);
+      bool exhausted = Recurse(depth + 1, fn);
       target_used_[t] = false;
       map_[p] = kInvalidNode;
-      if (*stopped) return true;
+      if (!exhausted) return false;
     }
   }
   return true;
@@ -117,20 +127,32 @@ size_t Vf2Matcher::Count(size_t limit) {
   return count;
 }
 
-void Vf2Matcher::ForEach(const std::function<bool(const NodeMapping&)>& fn) {
+bool Vf2Matcher::ForEach(const std::function<bool(const NodeMapping&)>& fn) {
   if (pattern_.NodeCount() == 0 ||
       pattern_.NodeCount() > target_.NodeCount() ||
       pattern_.EdgeCount() > target_.EdgeCount()) {
-    return;
+    return true;  // empty search space, trivially exhausted
   }
   std::fill(map_.begin(), map_.end(), kInvalidNode);
   std::fill(target_used_.begin(), target_used_.end(), false);
-  bool stopped = false;
-  Recurse(0, fn, &stopped);
+  deadline_hit_ = false;
+  checker_ = DeadlineChecker(deadline_);
+  return Recurse(0, fn);
 }
 
 bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target) {
   return Vf2Matcher(pattern, target).Exists();
+}
+
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                          const Deadline& deadline, bool* deadline_hit,
+                          size_t* nodes_expanded) {
+  Vf2Matcher matcher(pattern, target);
+  matcher.SetDeadline(deadline);
+  bool found = matcher.Exists();
+  if (deadline_hit != nullptr) *deadline_hit = matcher.deadline_hit();
+  if (nodes_expanded != nullptr) *nodes_expanded += matcher.nodes_expanded();
+  return found;
 }
 
 bool AreIsomorphic(const Graph& a, const Graph& b) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/deadline.h"
 
 namespace prague {
 
@@ -30,6 +31,11 @@ class Vf2Matcher {
   /// \p pattern and \p target must outlive the matcher.
   Vf2Matcher(const Graph& pattern, const Graph& target);
 
+  /// \brief Bounds every subsequent search. An expired deadline makes
+  /// Exists()/Count()/ForEach() stop early with deadline_hit() set; a
+  /// deadline-cut Exists() returns false ("no match proven").
+  void SetDeadline(const Deadline& deadline);
+
   /// \brief True iff at least one subgraph isomorphism exists.
   bool Exists();
 
@@ -37,12 +43,24 @@ class Vf2Matcher {
   size_t Count(size_t limit = SIZE_MAX);
 
   /// \brief Invokes \p fn for each mapping; stop early by returning false.
-  void ForEach(const std::function<bool(const NodeMapping&)>& fn);
+  /// \return true iff the search space was exhausted — false means the
+  /// enumeration was cut short, by the callback or by the deadline
+  /// (deadline_hit() distinguishes the two).
+  bool ForEach(const std::function<bool(const NodeMapping&)>& fn);
+
+  /// \brief True iff the most recent search was cut by the deadline.
+  bool deadline_hit() const { return deadline_hit_; }
+
+  /// \brief Candidate expansion steps tried across all searches on this
+  /// matcher (the unit DeadlineChecker strides over).
+  size_t nodes_expanded() const { return nodes_expanded_; }
 
  private:
   bool Feasible(NodeId pattern_node, NodeId target_node) const;
-  bool Recurse(size_t depth, const std::function<bool(const NodeMapping&)>& fn,
-               bool* stopped);
+  // Returns true iff the subtree below `depth` was exhausted; false
+  // propagates an early stop (callback returned false or deadline expired)
+  // up through both recursive call sites.
+  bool Recurse(size_t depth, const std::function<bool(const NodeMapping&)>& fn);
 
   const Graph& pattern_;
   const Graph& target_;
@@ -55,10 +73,22 @@ class Vf2Matcher {
   std::vector<NodeId> anchor_;
   std::vector<NodeId> map_;          // pattern node -> target node
   std::vector<bool> target_used_;    // target node already mapped
+  Deadline deadline_;
+  DeadlineChecker checker_;
+  bool deadline_hit_ = false;
+  size_t nodes_expanded_ = 0;
 };
 
 /// \brief Convenience: does \p pattern match somewhere inside \p target?
 bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+/// \brief Deadline-bounded containment check. Returns false when the search
+/// is cut before finding a match; \p deadline_hit (optional) reports the
+/// cut and \p nodes_expanded (optional) accumulates expansion steps.
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                          const Deadline& deadline,
+                          bool* deadline_hit = nullptr,
+                          size_t* nodes_expanded = nullptr);
 
 /// \brief Convenience: are the two graphs isomorphic (same sizes + mutual
 /// containment check via size equality and one VF2 run)?

@@ -112,6 +112,7 @@ Result<SimulationResult> SessionSimulator::RunPrague(
   if (!results.ok()) return results.status();
   out.results = std::move(*results);
   out.similarity = out.results.similarity;
+  out.truncated = out.results.truncated;
   out.srt_seconds = out.run_stats.srt_seconds + overflow_total;
   return out;
 }
@@ -172,10 +173,17 @@ Result<SimulationResult> SessionSimulator::RunGBlender(
   }
 
   out.final_candidates = session.candidates().size();
-  Result<QueryResults> results = session.Run(&out.run_stats);
+  // GBlenderSession has no config of its own; apply the same Run() budget
+  // the PRAGUE path gets from PragueConfig so comparisons stay fair.
+  Deadline deadline = (config_.prague.run_deadline_ms > 0
+                           ? Deadline::AfterMillis(config_.prague.run_deadline_ms)
+                           : Deadline())
+                          .WithToken(config_.prague.cancellation);
+  Result<QueryResults> results = session.Run(&out.run_stats, deadline);
   if (!results.ok()) return results.status();
   out.results = std::move(*results);
   out.similarity = false;
+  out.truncated = out.results.truncated;
   out.srt_seconds = out.run_stats.srt_seconds + overflow_total;
   return out;
 }

@@ -85,6 +85,10 @@ struct SimulationResult {
   size_t final_free = 0;
   size_t final_ver = 0;
   bool similarity = false;
+  /// True when the Run() budget (SimulationConfig::prague.run_deadline_ms)
+  /// cut result generation short; `results` is then a prefix-consistent
+  /// subset and `run_stats` records where the cut landed.
+  bool truncated = false;
 };
 
 /// \brief Drives engines through scripted visual sessions.

@@ -1,0 +1,157 @@
+// Cooperative deadlines and cancellation for bounded system response time.
+//
+// PRAGUE's contract is a bounded SRT, but VF2 / MCCS / candidate evaluation
+// are recursive searches whose cost is data-dependent and occasionally
+// pathological. Every long-running loop in the evaluation stack therefore
+// carries a Deadline: a steady-clock expiry, an optional cross-thread
+// CancellationToken, or both. Expiry is detected cooperatively — workers
+// poll, nothing is ever interrupted mid-mutation — so a deadline hit always
+// leaves the engine in a consistent state with whatever partial results were
+// produced before the cut (see docs/ARCHITECTURE.md, "Bounded execution").
+//
+// Polling the clock on every expansion step would dominate tight search
+// loops, so hot paths go through DeadlineChecker, which consults the
+// deadline only every `stride` steps (default 1024 — sub-microsecond work
+// between clock reads, yet orders of magnitude finer than any realistic
+// budget).
+
+#ifndef PRAGUE_UTIL_DEADLINE_H_
+#define PRAGUE_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace prague {
+
+/// \brief Cross-thread stop flag; fire-once until Reset().
+///
+/// A token is owned by the controlling side (e.g. ManagedSession) and
+/// referenced, const, by any number of Deadlines handed to workers. All
+/// accesses are relaxed atomics: the flag carries no data dependency, it
+/// only asks searches to wind down at their next poll.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// \brief Requests cooperative stop; safe from any thread.
+  void RequestStop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  /// \brief True once RequestStop() has been called (until Reset()).
+  bool StopRequested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// \brief Re-arms the token for the next unit of work.
+  void Reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// \brief A point in steady-clock time after which work should stop, plus
+/// an optional cancellation token checked alongside it.
+///
+/// Default-constructed Deadlines are unbounded and token-free: Expired() is
+/// always false and costs two branches, so unbounded callers pay nothing.
+/// Deadlines are small value types — copy them freely into workers; the
+/// token, if any, must outlive every copy.
+class Deadline {
+ public:
+  /// Unbounded, no token: never expires.
+  Deadline() = default;
+
+  /// \brief Never expires (explicit spelling of the default).
+  static Deadline Unbounded() { return Deadline(); }
+
+  /// \brief Expires \p ms milliseconds from now (\p ms <= 0: already
+  /// expired). Callers mapping "0 means no limit" config knobs should test
+  /// the knob themselves and pass Unbounded() — see PragueConfig.
+  static Deadline AfterMillis(int64_t ms) {
+    return At(std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms));
+  }
+
+  /// \brief Expires at \p at.
+  static Deadline At(std::chrono::steady_clock::time_point at) {
+    Deadline d;
+    d.bounded_ = true;
+    d.at_ = at;
+    return d;
+  }
+
+  /// \brief Returns a copy that also expires when \p token fires.
+  /// \p token may be nullptr (no-op) and must outlive the returned value.
+  Deadline WithToken(const CancellationToken* token) const {
+    Deadline d = *this;
+    d.token_ = token;
+    return d;
+  }
+
+  /// \brief True iff there is no time bound (a token may still fire).
+  bool IsUnbounded() const { return !bounded_; }
+  /// \brief True iff neither a time bound nor a token can ever stop work.
+  bool CanExpire() const { return bounded_ || token_ != nullptr; }
+
+  /// \brief True once the time bound has passed or the token has fired.
+  /// Monotone: once expired, a Deadline stays expired (tokens are only
+  /// reset between units of work).
+  bool Expired() const {
+    if (token_ != nullptr && token_->StopRequested()) return true;
+    if (!bounded_) return false;
+    return std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  const CancellationToken* token_ = nullptr;
+  bool bounded_ = false;
+};
+
+/// \brief Amortized deadline polling for tight search loops.
+///
+/// Call Check() once per expansion step; the underlying Deadline is
+/// consulted only every `stride` calls (and the answer is latched — once
+/// expired, every later Check() returns true immediately). A
+/// default-constructed checker never stops and reduces Check() to one
+/// branch, so unconditional placement in hot loops is free.
+class DeadlineChecker {
+ public:
+  /// 1024 steps between clock reads: each step is a candidate expansion
+  /// (roughly a label/degree/adjacency probe), so the slack between the
+  /// budget and the actual stop is microseconds.
+  static constexpr uint32_t kDefaultStride = 1024;
+
+  DeadlineChecker() = default;
+  explicit DeadlineChecker(const Deadline& deadline,
+                           uint32_t stride = kDefaultStride)
+      : deadline_(deadline),
+        stride_(stride == 0 ? 1 : stride),
+        active_(deadline.CanExpire()) {}
+
+  /// \brief Counts one step; true once the deadline has expired.
+  bool Check() {
+    if (!active_) return false;
+    if (expired_) return true;
+    if (++count_ < stride_) return false;
+    count_ = 0;
+    expired_ = deadline_.Expired();
+    return expired_;
+  }
+
+  /// \brief True iff a previous Check() observed expiry.
+  bool expired() const { return expired_; }
+  /// \brief The deadline being enforced.
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  uint32_t stride_ = kDefaultStride;
+  uint32_t count_ = 0;
+  bool active_ = false;
+  bool expired_ = false;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_DEADLINE_H_

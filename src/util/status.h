@@ -27,6 +27,7 @@ class Status {
     kIOError,
     kNotSupported,
     kFailedPrecondition,
+    kDeadlineExceeded,
   };
 
   Status() = default;
@@ -56,6 +57,12 @@ class Status {
   /// \brief Returns a FailedPrecondition error with \p msg.
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  /// \brief Returns a DeadlineExceeded error with \p msg. Used where a
+  /// deadline hit cannot yield a usable partial result (e.g. an aborted
+  /// SPIG build); query paths degrade to truncated results instead.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   /// \brief True iff the operation succeeded.

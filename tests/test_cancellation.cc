@@ -1,0 +1,401 @@
+// Bounded-SRT execution: Run() deadlines and cross-thread cancellation
+// degrade gracefully — prefix-consistent partial results with
+// QueryResults::truncated and a RunStats phase breakdown — while
+// formulation steps abort cleanly (DeadlineExceeded + rollback). The
+// no-deadline paths must stay bit-identical to unbounded sessions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/prague_session.h"
+#include "core/session_manager.h"
+#include "datasets/query_workload.h"
+#include "test_fixtures.h"
+#include "util/deadline.h"
+#include "util/stopwatch.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kS;
+
+// Feeds a query spec into a session (same idiom as test_session.cc).
+template <typename Session>
+void Feed(Session* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    if (!session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+// Triangle + pendant S: exists in the tiny database (g0) but is not a
+// frequent fragment, so Run() must actually verify Rq.
+Graph VerifiedQuery() {
+  return testing::MakeGraph({kC, kC, kC, kS},
+                           {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+// Triangle + pendant N: no exact match anywhere → similarity mode.
+Graph SimilarityQuery() {
+  return testing::MakeGraph({kC, kC, kC, kN},
+                           {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+// A similarity query over the 300-graph AIDS fixture, heavy enough that
+// an unbounded Run() takes visible wall time (MCCS over many candidates).
+const VisualQuerySpec& HeavyAidsQuery() {
+  static const VisualQuerySpec* spec = [] {
+    const auto& fixture = testing::AidsFixture::Get();
+    WorkloadGenerator workload(&fixture.db, 47);
+    for (int mutations = 3; mutations >= 1; --mutations) {
+      Result<VisualQuerySpec> s =
+          workload.SimilarityQuery(8, mutations, "heavy");
+      if (s.ok()) return new VisualQuerySpec(std::move(*s));
+    }
+    std::abort();
+  }();
+  return *spec;
+}
+
+TEST(CancellationTest, ExpiredDeadlineTruncatesExactVerification) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(fixture.snapshot);
+  Graph q = VerifiedQuery();
+  Feed(&session, q, DefaultFormulationSequence(q));
+  ASSERT_FALSE(session.similarity_mode());
+  ASSERT_FALSE(session.exact_candidates().empty());
+
+  RunStats stats;
+  Result<QueryResults> results = session.Run(Deadline::AfterMillis(0), &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->truncated);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.deadline_phase, RunPhase::kExactVerification);
+  // Nothing was decided before the cut, and a truncated exact run must not
+  // silently fall back to similarity search.
+  EXPECT_TRUE(results->exact.empty());
+  EXPECT_FALSE(results->similarity);
+  EXPECT_GE(stats.srt_seconds, 0.0);
+}
+
+TEST(CancellationTest, ExpiredDeadlineTruncatesSimilarityGeneration) {
+  const auto& fixture = testing::TinyFixture::Get();
+  PragueSession session(fixture.snapshot);
+  Graph q = SimilarityQuery();
+  Feed(&session, q, DefaultFormulationSequence(q));
+  ASSERT_TRUE(session.similarity_mode());
+
+  RunStats stats;
+  Result<QueryResults> results = session.Run(Deadline::AfterMillis(0), &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->truncated);
+  EXPECT_EQ(stats.deadline_phase, RunPhase::kSimilarGeneration);
+  EXPECT_TRUE(results->similarity);
+  EXPECT_TRUE(results->similar.empty());
+}
+
+TEST(CancellationTest, UnboundedPathsAreIdentical) {
+  const auto& fixture = testing::TinyFixture::Get();
+  Graph q = VerifiedQuery();
+
+  PragueSession plain(fixture.snapshot);
+  Feed(&plain, q, DefaultFormulationSequence(q));
+  RunStats plain_stats;
+  Result<QueryResults> baseline = plain.Run(&plain_stats);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_FALSE(baseline->truncated);
+  EXPECT_EQ(plain_stats.deadline_phase, RunPhase::kNone);
+  EXPECT_FALSE(baseline->exact.empty());
+
+  // Explicit unbounded deadline: bit-identical.
+  Result<QueryResults> unbounded = plain.Run(Deadline(), nullptr);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_EQ(unbounded->exact, baseline->exact);
+  EXPECT_FALSE(unbounded->truncated);
+
+  // Generous config budget: same results, no truncation.
+  PragueConfig config;
+  config.run_deadline_ms = 60'000;
+  PragueSession budgeted(fixture.snapshot, config);
+  Feed(&budgeted, q, DefaultFormulationSequence(q));
+  Result<QueryResults> within = budgeted.Run(nullptr);
+  ASSERT_TRUE(within.ok());
+  EXPECT_EQ(within->exact, baseline->exact);
+  EXPECT_FALSE(within->truncated);
+}
+
+TEST(CancellationTest, TokenStopsRunAndResetRestoresIt) {
+  const auto& fixture = testing::TinyFixture::Get();
+  CancellationToken token;
+  PragueConfig config;
+  config.cancellation = &token;
+  PragueSession session(fixture.snapshot, config);
+  Graph q = VerifiedQuery();
+  Feed(&session, q, DefaultFormulationSequence(q));
+
+  token.RequestStop();
+  Result<QueryResults> stopped = session.Run(nullptr);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_TRUE(stopped->truncated);
+  EXPECT_TRUE(stopped->exact.empty());
+
+  token.Reset();
+  Result<QueryResults> resumed = session.Run(nullptr);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(resumed->truncated);
+
+  PragueSession reference(fixture.snapshot);
+  Feed(&reference, q, DefaultFormulationSequence(q));
+  Result<QueryResults> expected = reference.Run(nullptr);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(resumed->exact, expected->exact);
+}
+
+TEST(CancellationTest, StoppedTokenAbortsFormulationStepAndRollsBack) {
+  const auto& fixture = testing::TinyFixture::Get();
+  CancellationToken token;
+  PragueConfig config;
+  config.cancellation = &token;
+  PragueSession session(fixture.snapshot, config);
+  NodeId a = session.AddNode(kC);
+  NodeId b = session.AddNode(kC);
+  NodeId c = session.AddNode(kC);
+  ASSERT_TRUE(session.AddEdge(a, b).ok());
+  size_t edges_before = session.query().EdgeCount();
+  size_t log_before = session.action_log().size();
+
+  token.RequestStop();
+  Result<StepReport> aborted = session.AddEdge(b, c);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), Status::Code::kDeadlineExceeded);
+  // The failed action left no trace: same query, same log.
+  EXPECT_EQ(session.query().EdgeCount(), edges_before);
+  EXPECT_EQ(session.action_log().size(), log_before);
+
+  // Re-arm and retry: the step succeeds and the session is equivalent to
+  // one that never saw the abort.
+  token.Reset();
+  ASSERT_TRUE(session.AddEdge(b, c).ok());
+  Result<QueryResults> results = session.Run(nullptr);
+  ASSERT_TRUE(results.ok());
+
+  PragueSession reference(fixture.snapshot);
+  NodeId x = reference.AddNode(kC);
+  NodeId y = reference.AddNode(kC);
+  NodeId z = reference.AddNode(kC);
+  ASSERT_TRUE(reference.AddEdge(x, y).ok());
+  ASSERT_TRUE(reference.AddEdge(y, z).ok());
+  Result<QueryResults> expected = reference.Run(nullptr);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(results->exact, expected->exact);
+  EXPECT_EQ(results->similarity, expected->similarity);
+}
+
+// Bounded runs return a prefix of the unbounded result list (results are
+// decided in a fixed order and generation stops at the first undecided
+// candidate), and a finished bounded run equals the unbounded one.
+TEST(CancellationTest, BoundedResultsArePrefixOfUnbounded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+
+  PragueSession unbounded(fixture.snapshot);
+  Feed(&unbounded, spec.graph, spec.sequence);
+  Result<QueryResults> full = unbounded.Run(nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->truncated);
+
+  for (int64_t budget_ms : {0, 1, 2, 5, 20, 200, 5'000}) {
+    PragueSession bounded(fixture.snapshot);
+    Feed(&bounded, spec.graph, spec.sequence);
+    RunStats stats;
+    Result<QueryResults> part =
+        bounded.Run(budget_ms == 0 ? Deadline::AfterMillis(0)
+                                   : Deadline::AfterMillis(budget_ms),
+                    &stats);
+    ASSERT_TRUE(part.ok());
+    SCOPED_TRACE("budget " + std::to_string(budget_ms) + "ms");
+    if (part->truncated) {
+      EXPECT_NE(stats.deadline_phase, RunPhase::kNone);
+      if (part->similarity == full->similarity) {
+        ASSERT_LE(part->similar.size(), full->similar.size());
+        for (size_t i = 0; i < part->similar.size(); ++i) {
+          EXPECT_EQ(part->similar[i], full->similar[i]);
+        }
+        ASSERT_LE(part->exact.size(), full->exact.size());
+        for (size_t i = 0; i < part->exact.size(); ++i) {
+          EXPECT_EQ(part->exact[i], full->exact[i]);
+        }
+      } else {
+        // The cut landed during exact verification, before the run could
+        // learn that the exact answer set is empty and fall back to
+        // similarity search (Algorithm 1 lines 19-21). The run then has
+        // decided nothing — it must not guess.
+        EXPECT_EQ(stats.deadline_phase, RunPhase::kExactVerification);
+        EXPECT_FALSE(part->similarity);
+        EXPECT_TRUE(part->exact.empty());
+        EXPECT_TRUE(part->similar.empty());
+      }
+    } else {
+      EXPECT_EQ(part->similarity, full->similarity);
+      EXPECT_EQ(part->exact, full->exact);
+      EXPECT_EQ(part->similar, full->similar);
+      EXPECT_EQ(stats.deadline_phase, RunPhase::kNone);
+    }
+  }
+}
+
+// A tight budget on a long query must return promptly — the cooperative
+// polls are per candidate / every-1024 expansions, so the overshoot is
+// bounded by one poll interval, not by the query's unbounded cost.
+TEST(CancellationTest, TightBudgetReturnsPromptly) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+
+  PragueSession unbounded(fixture.snapshot);
+  Feed(&unbounded, spec.graph, spec.sequence);
+  Stopwatch full_timer;
+  ASSERT_TRUE(unbounded.Run(nullptr).ok());
+  double full_seconds = full_timer.ElapsedSeconds();
+
+  PragueSession bounded(fixture.snapshot);
+  Feed(&bounded, spec.graph, spec.sequence);
+  RunStats stats;
+  Stopwatch timer;
+  Result<QueryResults> results =
+      bounded.Run(Deadline::AfterMillis(10), &stats);
+  double bounded_seconds = timer.ElapsedSeconds();
+  ASSERT_TRUE(results.ok());
+  // Generous absolute cap (sanitizer builds are slow); the point is that
+  // the bounded run does not scale with the query's unbounded cost.
+  EXPECT_LT(bounded_seconds, 2.0);
+  // When the query genuinely outruns the budget, the cut must be visible.
+  if (full_seconds > 0.1) {
+    EXPECT_TRUE(results->truncated);
+    EXPECT_NE(stats.deadline_phase, RunPhase::kNone);
+  }
+}
+
+TEST(CancellationTest, ManagedSessionCancelIsObservableAndResettable) {
+  SessionManager manager(DatabaseSnapshot::Make(
+      testing::TinyFixture::Get().db, testing::TinyFixture::Get().indexes));
+  std::shared_ptr<ManagedSession> session = manager.Open();
+  Graph q = VerifiedQuery();
+  session->With(
+      [&](PragueSession& s) { Feed(&s, q, DefaultFormulationSequence(q)); });
+
+  EXPECT_FALSE(session->cancelled());
+  session->Cancel();
+  EXPECT_TRUE(session->cancelled());
+  bool truncated = session->With([](PragueSession& s) {
+    Result<QueryResults> r = s.Run(nullptr);
+    if (!r.ok()) std::abort();
+    return r->truncated;
+  });
+  EXPECT_TRUE(truncated);
+
+  session->ResetCancellation();
+  EXPECT_FALSE(session->cancelled());
+  truncated = session->With([](PragueSession& s) {
+    Result<QueryResults> r = s.Run(nullptr);
+    if (!r.ok()) std::abort();
+    return r->truncated;
+  });
+  EXPECT_FALSE(truncated);
+}
+
+// Cross-thread cancel racing a Run() in flight: the victim must return
+// (promptly, with whatever prefix it had) and nothing may race — this is
+// the test the TSan CI job leans on. Whether the cut lands before the run
+// finishes is timing-dependent, so only termination is asserted.
+TEST(CancellationTest, CancelFromAnotherThreadWhileRunning) {
+  const auto& fixture = testing::AidsFixture::Get();
+  SessionManager manager(
+      DatabaseSnapshot::Make(fixture.db, fixture.indexes));
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+
+  for (int round = 0; round < 3; ++round) {
+    std::shared_ptr<ManagedSession> session = manager.Open();
+    session->With([&](PragueSession& s) {
+      Feed(&s, spec.graph, spec.sequence);
+    });
+    std::thread runner([&] {
+      session->With([](PragueSession& s) {
+        if (!s.Run(nullptr).ok()) std::abort();
+      });
+    });
+    session->Cancel();
+    runner.join();
+    EXPECT_TRUE(session->cancelled());
+    session->ResetCancellation();
+  }
+}
+
+TEST(CancellationTest, ManagerDefaultAndPerSessionBudgets) {
+  const auto& fixture = testing::AidsFixture::Get();
+  SessionManager manager(
+      DatabaseSnapshot::Make(fixture.db, fixture.indexes));
+  EXPECT_EQ(manager.DefaultRunDeadlineMillis(), 0);
+  manager.SetDefaultRunDeadlineMillis(77);
+  EXPECT_EQ(manager.DefaultRunDeadlineMillis(), 77);
+
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+  auto run = [&](ManagedSession& session, RunStats* stats) {
+    return session.With([&](PragueSession& s) {
+      Feed(&s, spec.graph, spec.sequence);
+      Result<QueryResults> r = s.Run(stats);
+      if (!r.ok()) std::abort();
+      return *r;
+    });
+  };
+
+  // Reference cost on this machine (plain unbounded session).
+  PragueSession reference(manager.current());
+  Feed(&reference, spec.graph, spec.sequence);
+  Stopwatch timer;
+  Result<QueryResults> full = reference.Run(nullptr);
+  ASSERT_TRUE(full.ok());
+  double full_seconds = timer.ElapsedSeconds();
+
+  // Per-session override: 0 = unbounded regardless of the default.
+  std::shared_ptr<ManagedSession> open_ended = manager.OpenWithDeadline(0);
+  QueryResults unbounded = run(*open_ended, nullptr);
+  EXPECT_FALSE(unbounded.truncated);
+  EXPECT_EQ(unbounded.similar, full->similar);
+
+  // A 1ms per-session budget must visibly truncate any query whose
+  // unbounded run takes real time (guarded so fast machines stay green).
+  manager.SetDefaultRunDeadlineMillis(1);
+  std::shared_ptr<ManagedSession> tight = manager.Open();
+  RunStats stats;
+  QueryResults bounded = run(*tight, &stats);
+  if (full_seconds > 0.1) {
+    EXPECT_TRUE(bounded.truncated);
+    EXPECT_TRUE(stats.truncated);
+  }
+  // Whatever came back is a prefix of the full list.
+  ASSERT_LE(bounded.similar.size(), full->similar.size());
+  for (size_t i = 0; i < bounded.similar.size(); ++i) {
+    EXPECT_EQ(bounded.similar[i], full->similar[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prague

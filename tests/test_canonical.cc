@@ -88,6 +88,36 @@ TEST(DfsCodeTest, FromStringRejectsGarbage) {
   EXPECT_FALSE(DfsCodeFromString("a,b,c,d,e;").ok());
 }
 
+TEST(DfsCodeTest, FromStringRejectsOutOfRangeFields) {
+  // Negative vertex index / label.
+  EXPECT_EQ(DfsCodeFromString("-1,1,0,0,0;").status().code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(DfsCodeFromString("0,1,0,-5,0;").status().code(),
+            Status::Code::kCorruption);
+  // Vertex index beyond the structural bound (edge i references ≤ i+1):
+  // the first edge may only touch vertices 0 and 1. A huge index would
+  // also balloon GraphFromDfsCode's label table if let through.
+  EXPECT_EQ(DfsCodeFromString("0,2,0,0,0;").status().code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(DfsCodeFromString("0,1000000,0,0,0;").status().code(),
+            Status::Code::kCorruption);
+  // Label beyond the 32-bit Label range (parses as long, must not be
+  // silently truncated by the narrowing cast).
+  EXPECT_EQ(DfsCodeFromString("0,1,0,0,4294967296;").status().code(),
+            Status::Code::kCorruption);
+  // Value overflowing even `long` (std::out_of_range path).
+  EXPECT_EQ(
+      DfsCodeFromString("0,1,0,0,99999999999999999999999999;").status().code(),
+      Status::Code::kCorruption);
+  // Numeric prefix with trailing junk must not silently parse.
+  EXPECT_EQ(DfsCodeFromString("0,1,0,0,7junk;").status().code(),
+            Status::Code::kCorruption);
+  // Second edge may reference vertex 2 (forward growth) but not 3.
+  EXPECT_TRUE(DfsCodeFromString("0,1,0,0,0;1,2,0,0,0;").ok());
+  EXPECT_EQ(DfsCodeFromString("0,1,0,0,0;1,3,0,0,0;").status().code(),
+            Status::Code::kCorruption);
+}
+
 TEST(DfsCodeTest, IsMinimumAcceptsMinimum) {
   Graph g = MakeGraph({kC, kC, kS}, {{0, 1}, {1, 2}});
   EXPECT_TRUE(IsMinimumDfsCode(MinimumDfsCode(g)));

@@ -71,6 +71,104 @@ TEST(Vf2Test, CountHonorsLimit) {
   EXPECT_EQ(Vf2Matcher(pattern, triangle).Count(4), 4u);
 }
 
+// Single-label cycle C_n — a cheap way to build search spaces large
+// enough to outrun DeadlineChecker's stride (deadlines are only consulted
+// every kDefaultStride expansion steps).
+Graph Cycle(size_t n) {
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) b.AddNode(kC);
+  for (size_t i = 0; i < n; ++i) {
+    (void)b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return std::move(b).Build();
+}
+
+TEST(Vf2Test, ForEachReturnsTrueWhenExhausted) {
+  Graph pattern = MakeGraph({kC, kC}, {{0, 1}});
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Vf2Matcher matcher(pattern, triangle);
+  size_t seen = 0;
+  EXPECT_TRUE(matcher.ForEach([&](const NodeMapping&) {
+    ++seen;
+    return true;
+  }));
+  EXPECT_EQ(seen, 6u);
+  EXPECT_FALSE(matcher.deadline_hit());
+  EXPECT_GT(matcher.nodes_expanded(), 0u);
+}
+
+TEST(Vf2Test, ForEachReturnsFalseWhenCallbackStops) {
+  Graph pattern = MakeGraph({kC, kC}, {{0, 1}});
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Vf2Matcher matcher(pattern, triangle);
+  size_t seen = 0;
+  EXPECT_FALSE(matcher.ForEach([&](const NodeMapping&) {
+    ++seen;
+    return false;
+  }));
+  EXPECT_EQ(seen, 1u);
+  // Stopped by the callback, not the deadline.
+  EXPECT_FALSE(matcher.deadline_hit());
+}
+
+TEST(Vf2Test, ForEachEmptySearchSpaceCountsAsExhausted) {
+  // Pattern larger than target: nothing to enumerate, trivially complete.
+  Graph pattern = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}});
+  Graph target = MakeGraph({kC, kC}, {{0, 1}});
+  Vf2Matcher matcher(pattern, target);
+  EXPECT_TRUE(matcher.ForEach([](const NodeMapping&) { return true; }));
+}
+
+TEST(Vf2Test, ExpiredDeadlineCutsEnumeration) {
+  // An edge in C_600 has 1200 mappings (~1800 expansions), comfortably
+  // past the checker stride, so the pre-expired deadline cuts mid-search.
+  Graph pattern = MakeGraph({kC, kC}, {{0, 1}});
+  Graph target = Cycle(600);
+  Vf2Matcher matcher(pattern, target);
+  matcher.SetDeadline(Deadline::AfterMillis(0));
+  size_t seen = 0;
+  EXPECT_FALSE(matcher.ForEach([&](const NodeMapping&) {
+    ++seen;
+    return true;
+  }));
+  EXPECT_TRUE(matcher.deadline_hit());
+  EXPECT_LT(seen, 1200u);
+}
+
+TEST(Vf2Test, DeadlineOverloadReportsCutOnLongRefutation) {
+  // No triangle exists in a cycle; refuting it in C_600 takes thousands of
+  // expansion steps, so the expired deadline trips before exhaustion.
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph target = Cycle(600);
+  bool cut = false;
+  size_t nodes = 0;
+  EXPECT_FALSE(IsSubgraphIsomorphic(triangle, target,
+                                    Deadline::AfterMillis(0), &cut, &nodes));
+  EXPECT_TRUE(cut);
+  EXPECT_GT(nodes, 0u);
+  // Unbounded: same verdict, no cut.
+  cut = false;
+  EXPECT_FALSE(IsSubgraphIsomorphic(triangle, target, Deadline(), &cut));
+  EXPECT_FALSE(cut);
+}
+
+TEST(Vf2Test, CancellationTokenStopsSearch) {
+  Graph triangle = MakeGraph({kC, kC, kC}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph target = Cycle(600);
+  CancellationToken token;
+  token.RequestStop();
+  bool cut = false;
+  EXPECT_FALSE(IsSubgraphIsomorphic(triangle, target,
+                                    Deadline().WithToken(&token), &cut));
+  EXPECT_TRUE(cut);
+  // Reset re-arms the same token.
+  token.Reset();
+  cut = false;
+  EXPECT_FALSE(IsSubgraphIsomorphic(triangle, target,
+                                    Deadline().WithToken(&token), &cut));
+  EXPECT_FALSE(cut);
+}
+
 TEST(Vf2Test, IsomorphismCheck) {
   Graph a = MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}});
   Graph b = MakeGraph({kO, kS, kC}, {{0, 1}, {1, 2}});  // relabeled order

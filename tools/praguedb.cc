@@ -5,11 +5,17 @@
 //   praguedb index <db> <out.idx> [alpha] [beta]
 //   praguedb info  <index.idx>
 //   praguedb query <db> <index.idx> <queries.db> [sigma] [threads]
+//                  [--timeout-ms=N]
 //   praguedb sample <db> <count> <edges> <out.db> [seed]
 //   praguedb append <db> <index.idx> <new.db> <alpha> [out.db out.idx]
 //   praguedb stats <db>
-//   praguedb run   <db> <index.idx> "<pattern>" [sigma] — e.g.
-//                  "(a:C)-(b:C), (b)-(c:S)" (see query/pattern_parser.h)
+//   praguedb run   <db> <index.idx> "<pattern>" [sigma] [--timeout-ms=N]
+//                  — e.g. "(a:C)-(b:C), (b)-(c:S)" (see
+//                  query/pattern_parser.h)
+//
+// `--timeout-ms=N` bounds each Run() to N milliseconds; on expiry the
+// engine returns the prefix of results decided in time and the row/output
+// is marked truncated with the phase the deadline landed in.
 //
 // Databases and query files use the gSpan text format (`t # id / v / e`
 // lines); indexes use the PRAGUE_INDEX format of index_io (v2 carries the
@@ -57,13 +63,33 @@ int Usage() {
       "  praguedb index <db> <out.idx> [alpha=0.1] [beta=4]\n"
       "  praguedb info  <index.idx>\n"
       "  praguedb query <db> <index.idx> <queries.db> [sigma=3] "
-      "[threads=1]  (threads = concurrent sessions)\n"
+      "[threads=1] [--timeout-ms=N]  (threads = concurrent sessions)\n"
       "  praguedb sample <db> <count> <edges> <out.db> [seed]\n"
       "  praguedb append <db> <index.idx> <new.db> <alpha> "
       "[out.db out.idx]\n"
       "  praguedb stats <db>\n"
-      "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain]\n");
+      "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain] "
+      "[--timeout-ms=N]\n");
   return 2;
+}
+
+// Extracts a `--timeout-ms=N` flag from argv (anywhere after the
+// subcommand), compacting the array so positional parsing is unaffected.
+// Returns 0 (unbounded) when absent.
+int64_t ExtractTimeoutMs(int* argc, char** argv) {
+  constexpr const char kFlag[] = "--timeout-ms=";
+  constexpr size_t kFlagLen = sizeof(kFlag) - 1;
+  int64_t timeout_ms = 0;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    if (std::strncmp(argv[r], kFlag, kFlagLen) == 0) {
+      timeout_ms = std::strtoll(argv[r] + kFlagLen, nullptr, 10);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return timeout_ms;
 }
 
 int Fail(const Status& st) {
@@ -209,23 +235,31 @@ void RunOneQuery(const std::shared_ptr<ManagedSession>& session,
       *err = results.status().ToString();
       return;
     }
-    char buf[128];
+    char note[48];
+    if (results->truncated) {
+      std::snprintf(note, sizeof(note), "truncated(%s)",
+                    RunPhaseName(stats.deadline_phase));
+    } else {
+      std::snprintf(note, sizeof(note), "-");
+    }
+    char buf[192];
     if (results->similarity) {
       int best = results->similar.empty() ? -1
                                           : results->similar.front().distance;
-      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f",
+      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f %s",
                     qid, raw.EdgeCount(), "similar", results->similar.size(),
-                    best, stats.srt_seconds * 1000);
+                    best, stats.srt_seconds * 1000, note);
     } else {
-      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f",
+      std::snprintf(buf, sizeof(buf), "%-6u %-4zu %-10s %-8zu %-8d %-10.3f %s",
                     qid, raw.EdgeCount(), "exact", results->exact.size(), 0,
-                    stats.srt_seconds * 1000);
+                    stats.srt_seconds * 1000, note);
     }
     *row = buf;
   });
 }
 
 int CmdQuery(int argc, char** argv) {
+  int64_t timeout_ms = ExtractTimeoutMs(&argc, argv);
   if (argc < 4) return Usage();
   Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
   if (!db.ok()) return Fail(db.status());
@@ -235,6 +269,7 @@ int CmdQuery(int argc, char** argv) {
   Result<GraphDatabase> queries = ReadDatabaseFromFile(argv[3]);
   if (!queries.ok()) return Fail(queries.status());
   PragueConfig config;
+  config.run_deadline_ms = timeout_ms;
   if (argc > 4) config.sigma = std::atoi(argv[4]);
   size_t threads = 1;
   if (argc > 5) threads = std::strtoul(argv[5], nullptr, 10);
@@ -267,8 +302,8 @@ int CmdQuery(int argc, char** argv) {
   for (std::thread& t : pool) t.join();
 
   // Query label names must map onto database label ids.
-  std::printf("%-6s %-4s %-10s %-8s %-8s %-10s\n", "query", "|q|", "mode",
-              "matches", "best_d", "SRT(ms)");
+  std::printf("%-6s %-4s %-10s %-8s %-8s %-10s %s\n", "query", "|q|", "mode",
+              "matches", "best_d", "SRT(ms)", "note");
   for (size_t qid = 0; qid < n; ++qid) {
     if (!errs[qid].empty()) {
       std::fprintf(stderr, "query %zu: %s\n", qid, errs[qid].c_str());
@@ -394,6 +429,7 @@ int CmdStats(int argc, char** argv) {
 // Executes one textual pattern through a PragueSession, edge by edge in
 // the written order — exactly as if drawn in the GUI.
 int CmdRun(int argc, char** argv) {
+  int64_t timeout_ms = ExtractTimeoutMs(&argc, argv);
   if (argc < 4) return Usage();
   Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
   if (!db.ok()) return Fail(db.status());
@@ -403,6 +439,7 @@ int CmdRun(int argc, char** argv) {
       ParsePatternStrict(argv[3], db->labels());
   if (!pattern.ok()) return Fail(pattern.status());
   PragueConfig config;
+  config.run_deadline_ms = timeout_ms;
   bool explain = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
@@ -431,8 +468,15 @@ int CmdRun(int argc, char** argv) {
   Result<QueryResults> results = session.Run(&stats);
   if (!results.ok()) return Fail(results.status());
   std::printf("SRT %.3f ms\n", stats.srt_seconds * 1000);
+  if (results->truncated) {
+    std::printf(
+        "TRUNCATED: deadline hit during %s after %zu search nodes; results "
+        "below are the prefix decided in time\n",
+        RunPhaseName(stats.deadline_phase), stats.nodes_expanded);
+  }
   if (!results->similarity) {
-    std::printf("%zu exact matches:", results->exact.size());
+    std::printf("%zu exact matches%s:", results->exact.size(),
+                results->truncated ? " (partial)" : "");
     size_t shown = 0;
     for (GraphId gid : results->exact) {
       if (++shown > 25) {
@@ -443,8 +487,9 @@ int CmdRun(int argc, char** argv) {
     }
     std::printf("\n");
   } else {
-    std::printf("%zu approximate matches (sigma=%d):\n",
-                results->similar.size(), config.sigma);
+    std::printf("%zu approximate matches%s (sigma=%d):\n",
+                results->similar.size(),
+                results->truncated ? " (partial)" : "", config.sigma);
     size_t shown = 0;
     for (const SimilarMatch& m : results->similar) {
       if (++shown > 25) {
