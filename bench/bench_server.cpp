@@ -1,0 +1,150 @@
+// Wire-protocol session throughput: C concurrent clients each drive whole
+// sessions against one PragueServer over loopback — connect, OPEN,
+// formulate a containment query edge-at-a-time (exactly like the GUI),
+// RUN, CLOSE — measuring sessions/sec and the p50/p95 RUN round-trip
+// latency as seen by the client, i.e. engine SRT plus framing and socket
+// overhead.
+//
+// Sweeps C in {1, 4, 8, 16}. Per-cell records go to BENCH_server.json
+// (override the path with PRAGUE_BENCH_JSON), including how many RUNs the
+// per-session budget truncated — set PRAGUE_BENCH_TIMEOUT_MS to bound
+// every Run() over the wire (default 0 = unbounded, so truncated stays 0).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/session_manager.h"
+#include "server/prague_client.h"
+#include "server/prague_server.h"
+#include "util/stopwatch.h"
+
+using namespace prague;
+using namespace prague::bench;
+
+namespace {
+
+constexpr size_t kSessionsPerClient = 24;
+
+// Run() budget applied to every session over the wire (0 = unbounded).
+int64_t TimeoutMs() {
+  static int64_t ms = [] {
+    const char* env = std::getenv("PRAGUE_BENCH_TIMEOUT_MS");
+    return env != nullptr ? std::strtoll(env, nullptr, 10) : 0LL;
+  }();
+  return ms;
+}
+
+// One whole session over the wire. Returns the RUN round-trip latency in
+// seconds via *run_seconds and whether the run was truncated.
+bool RunOneSession(uint16_t port, const Workbench& bench,
+                   const VisualQuerySpec& spec, double* run_seconds) {
+  PragueClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) std::abort();
+  if (!client.Open(TimeoutMs()).ok()) std::abort();
+  std::vector<uint32_t> handles(spec.graph.NodeCount(), 0);
+  uint32_t next_handle = 1;
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = spec.graph.GetEdge(e);
+    for (NodeId n : {edge.u, edge.v}) {
+      if (handles[n] == 0) handles[n] = next_handle++;
+    }
+    Result<StepReply> step = client.AddEdge(
+        handles[edge.u], bench.db.labels().Name(spec.graph.NodeLabel(edge.u)),
+        handles[edge.v], bench.db.labels().Name(spec.graph.NodeLabel(edge.v)),
+        edge.label);
+    if (!step.ok()) std::abort();
+  }
+  Stopwatch timer;
+  Result<RunReply> run = client.Run();
+  if (!run.ok()) std::abort();
+  *run_seconds = timer.ElapsedSeconds();
+  if (!client.Close().ok()) std::abort();
+  return run->truncated;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  const size_t graphs = AidsGraphCount() / 4;
+  Banner("server", "wire-protocol sessions over loopback, |D| = " +
+                       std::to_string(graphs));
+  Workbench bench = BuildAidsWorkbench(graphs);
+  std::vector<VisualQuerySpec> queries = ContainmentQueries(bench);
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries; aborting\n");
+    return 1;
+  }
+
+  SessionManager manager(bench.snapshot);
+  PragueServerOptions options;
+  options.port = 0;  // ephemeral
+  options.worker_threads = 32;
+  PragueServer server(&manager, options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  BenchJsonWriter json("BENCH_server.json");
+  TablePrinter table({"clients", "sessions", "sessions/s", "p50 RUN (ms)",
+                      "p95 RUN (ms)", "truncated"});
+  for (size_t clients : {1u, 4u, 8u, 16u}) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<size_t> truncated{0};
+    Stopwatch wall;
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (size_t i = 0; i < kSessionsPerClient; ++i) {
+          const VisualQuerySpec& spec =
+              queries[(c * kSessionsPerClient + i) % queries.size()];
+          double run_seconds = 0;
+          if (RunOneSession(server.port(), bench, spec, &run_seconds)) {
+            truncated.fetch_add(1);
+          }
+          latencies[c].push_back(run_seconds);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    double seconds = wall.ElapsedSeconds();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    const size_t sessions = clients * kSessionsPerClient;
+    const double rate = static_cast<double>(sessions) / seconds;
+    const double p50 = Percentile(all, 0.50) * 1000;
+    const double p95 = Percentile(all, 0.95) * 1000;
+    table.AddRow({std::to_string(clients), std::to_string(sessions),
+                  Fmt(rate, 1), Fmt(p50, 3), Fmt(p95, 3),
+                  std::to_string(truncated.load())});
+    json.Add("{\"clients\": " + std::to_string(clients) +
+             ", \"sessions\": " + std::to_string(sessions) +
+             ", \"sessions_per_sec\": " + Fmt(rate, 2) +
+             ", \"run_p50_ms\": " + Fmt(p50, 4) +
+             ", \"run_p95_ms\": " + Fmt(p95, 4) +
+             ", \"timeout_ms\": " + std::to_string(TimeoutMs()) +
+             ", \"truncated\": " + std::to_string(truncated.load()) + "}");
+  }
+  table.Print();
+  std::printf("wrote %s\n", json.path().c_str());
+  server.Stop();
+  return 0;
+}

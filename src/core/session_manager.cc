@@ -1,5 +1,6 @@
 #include "core/session_manager.h"
 
+#include <algorithm>
 #include <iterator>
 #include <string>
 
@@ -91,8 +92,13 @@ SessionManagerStats SessionManager::Stats() const {
     if (std::shared_ptr<ManagedSession> session = weak.lock()) {
       ++stats.open_sessions;
       ++stats.sessions_by_version[session->version()];
+      stats.open_session_infos.push_back({id, session->version()});
     }
   }
+  std::sort(stats.open_session_infos.begin(), stats.open_session_infos.end(),
+            [](const OpenSessionInfo& a, const OpenSessionInfo& b) {
+              return a.id < b.id;
+            });
   return stats;
 }
 

@@ -92,6 +92,15 @@ class ManagedSession {
   PragueSession session_;
 };
 
+/// \brief One live session as reported by Stats(): the manager-assigned
+/// id and the snapshot version it pinned at Open() time.
+struct OpenSessionInfo {
+  uint64_t id = 0;
+  uint64_t version = 0;
+
+  bool operator==(const OpenSessionInfo&) const = default;
+};
+
 /// \brief Point-in-time view of the manager (Stats()).
 struct SessionManagerStats {
   uint64_t current_version = 0;
@@ -101,6 +110,10 @@ struct SessionManagerStats {
   /// Live sessions grouped by the version they pinned — shows how many
   /// readers each retained snapshot is still serving.
   std::map<uint64_t, size_t> sessions_by_version;
+  /// Every live session individually (ascending id) — what an operator
+  /// needs to see which session is holding an old snapshot alive. Also
+  /// served over the wire by the STATS command (src/server/wire.h).
+  std::vector<OpenSessionInfo> open_session_infos;
 };
 
 /// \brief Opens concurrent sessions over a shared, versioned database.

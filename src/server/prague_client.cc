@@ -1,0 +1,134 @@
+#include "server/prague_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prague {
+
+PragueClient::~PragueClient() { Disconnect(); }
+
+Status PragueClient::Connect(const std::string& host, uint16_t port) {
+  if (connected()) {
+    return Status::FailedPrecondition("client already connected");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' (use an IPv4 address or 'localhost')");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError("connect to " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  // Commands are tiny; without TCP_NODELAY, Nagle + delayed ACK holds a
+  // frame sent right behind another (Run then Cancel) in the kernel for
+  // tens of milliseconds.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void PragueClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PragueClient::Send(const WireCommand& command) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return SendFrame(fd_, FrameType::kRequest, FormatCommand(command));
+}
+
+Result<std::string> PragueClient::RoundTrip(const WireCommand& command) {
+  PRAGUE_RETURN_NOT_OK(Send(command));
+  PRAGUE_ASSIGN_OR_RETURN(WireFrame frame, RecvFrame(fd_));
+  if (frame.type != FrameType::kResponse) {
+    return Status::Corruption("expected a response frame");
+  }
+  return std::move(frame.payload);
+}
+
+Result<OpenReply> PragueClient::Open(int64_t timeout_ms) {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kOpen;
+  cmd.timeout_ms = timeout_ms;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  PRAGUE_ASSIGN_OR_RETURN(OpenReply reply, ParseOpenReply(payload));
+  session_id_ = reply.session_id;
+  session_version_ = reply.version;
+  return reply;
+}
+
+Result<StepReply> PragueClient::AddEdge(uint32_t u, const std::string& u_label,
+                                        uint32_t v, const std::string& v_label,
+                                        Label edge_label) {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kAddEdge;
+  cmd.u = u;
+  cmd.u_label = u_label;
+  cmd.v = v;
+  cmd.v_label = v_label;
+  cmd.edge_label = edge_label;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseStepReply(payload);
+}
+
+Result<StepReply> PragueClient::DeleteEdge(uint32_t u, uint32_t v) {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kDeleteEdge;
+  cmd.u = u;
+  cmd.v = v;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseStepReply(payload);
+}
+
+Result<RunReply> PragueClient::Run(uint64_t limit) {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kRun;
+  cmd.limit = limit;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseRunReply(payload);
+}
+
+Status PragueClient::Cancel() {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kCancel;
+  return Send(cmd);  // no reply by design — see wire.h
+}
+
+Result<StatsReply> PragueClient::Stats() {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kStats;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseStatsReply(payload);
+}
+
+Status PragueClient::Close() {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kClose;
+  Result<std::string> payload = RoundTrip(cmd);
+  Disconnect();
+  if (!payload.ok()) return payload.status();
+  return DecodeReplyStatus(*payload);
+}
+
+}  // namespace prague

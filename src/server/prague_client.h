@@ -1,0 +1,86 @@
+// PragueClient — blocking C++ client for the PRAGUE wire protocol.
+//
+// Mirrors the session API one call per command: Connect, Open, AddEdge /
+// DeleteEdge (edge-at-a-time formulation, exactly like the GUI), Run,
+// Stats, Close. Calls are lock-step — each sends one request frame and
+// blocks for its reply — with one exception: Cancel() only *sends* (the
+// server never replies to CANCEL), so it is safe to call from a second
+// thread while the first is blocked inside Run(); the pending Run then
+// returns early with RunReply::truncated set.
+//
+// A client drives one connection and is not otherwise thread-safe: apart
+// from Cancel(), do not call methods concurrently.
+
+#ifndef PRAGUE_SERVER_PRAGUE_CLIENT_H_
+#define PRAGUE_SERVER_PRAGUE_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "server/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// \brief Blocking client for one server connection.
+class PragueClient {
+ public:
+  PragueClient() = default;
+  ~PragueClient();
+
+  PragueClient(const PragueClient&) = delete;
+  PragueClient& operator=(const PragueClient&) = delete;
+
+  /// \brief Connects to \p host:\p port (\p host is an IPv4 address or
+  /// "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+  /// \brief True while the socket is open.
+  bool connected() const { return fd_ >= 0; }
+  /// \brief Drops the connection without the CLOSE handshake.
+  void Disconnect();
+
+  /// \brief OPEN: starts the connection's session. \p timeout_ms >= 0
+  /// sets this session's Run() budget (0 = unbounded); -1 keeps the
+  /// server default.
+  Result<OpenReply> Open(int64_t timeout_ms = -1);
+  /// \brief ADD_EDGE: one formulation step. \p u and \p v are caller-
+  /// chosen node handles; \p u_label / \p v_label are node label names
+  /// from the database dictionary.
+  Result<StepReply> AddEdge(uint32_t u, const std::string& u_label,
+                            uint32_t v, const std::string& v_label,
+                            Label edge_label = 0);
+  /// \brief DELETE_EDGE: removes the edge between two node handles.
+  Result<StepReply> DeleteEdge(uint32_t u, uint32_t v);
+  /// \brief RUN: final results. \p limit caps how many matches the reply
+  /// lists (0 = all; RunReply::total_matches is always the full count).
+  Result<RunReply> Run(uint64_t limit = 0);
+  /// \brief CANCEL: fire-and-forget; cancels a RUN in flight on this
+  /// connection. Callable from another thread while Run() blocks.
+  Status Cancel();
+  /// \brief STATS: manager-wide counters plus open sessions and their
+  /// pinned versions.
+  Result<StatsReply> Stats();
+  /// \brief CLOSE handshake, then drops the connection.
+  Status Close();
+
+  /// \brief Session id / pinned version from the last successful Open().
+  uint64_t session_id() const { return session_id_; }
+  uint64_t session_version() const { return session_version_; }
+
+ private:
+  Status Send(const WireCommand& command);
+  // Send + blocking receive of the one reply frame.
+  Result<std::string> RoundTrip(const WireCommand& command);
+
+  int fd_ = -1;
+  // Guards frame writes so Cancel() can interleave with a blocked Run().
+  std::mutex write_mu_;
+  uint64_t session_id_ = 0;
+  uint64_t session_version_ = 0;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_SERVER_PRAGUE_CLIENT_H_

@@ -1,0 +1,328 @@
+#include "server/prague_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "server/wire.h"
+#include "util/logging.h"
+
+namespace prague {
+
+namespace {
+
+// Edge identity on the wire is the unordered pair of node handles.
+std::pair<uint32_t, uint32_t> EdgeKey(uint32_t u, uint32_t v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+}  // namespace
+
+// Per-connection state. Lives on the handler's stack; the run thread
+// borrows it and is always joined before the handler returns.
+struct PragueServer::Connection {
+  int fd = -1;
+  // Serializes frame writes: the handler thread and the run thread both
+  // send replies.
+  std::mutex write_mu;
+  std::shared_ptr<ManagedSession> session;
+  // Client node handle -> session node, plus the label each handle was
+  // created with (a handle cannot be silently relabeled).
+  std::unordered_map<uint32_t, NodeId> nodes;
+  std::unordered_map<uint32_t, std::string> node_labels;
+  // Unordered handle pair -> formulation id of the edge between them.
+  std::map<std::pair<uint32_t, uint32_t>, FormulationId> edges;
+  std::atomic<bool> run_in_flight{false};
+  std::thread run_thread;
+
+  void SendReply(std::string_view payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    Status st = SendFrame(fd, FrameType::kResponse, payload);
+    if (!st.ok()) {
+      // The client is gone; the handler will notice on its next recv.
+      PRAGUE_LOG(Debug) << "dropping reply: " << st.ToString();
+    }
+  }
+};
+
+PragueServer::PragueServer(SessionManager* manager,
+                           PragueServerOptions options)
+    : manager_(manager), options_(options) {}
+
+PragueServer::~PragueServer() { Stop(); }
+
+Status PragueServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError("bind to port " +
+                                std::to_string(options_.port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status st = Status::IOError(std::string("getsockname: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    Status st = Status::IOError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  size_t threads = options_.worker_threads != 0
+                       ? options_.worker_threads
+                       : std::max<size_t>(8, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<ThreadPool>(threads);
+  connections_accepted_.store(0);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PRAGUE_LOG(Info) << "serving on port " << port_ << " with " << threads
+                   << " connection slots";
+  return Status::OK();
+}
+
+void PragueServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the accept loop, then every parked handler.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Handlers notice the dead sockets, cancel in-flight runs, and drain.
+  pool_->Wait();
+  pool_.reset();
+  PRAGUE_LOG(Info) << "server on port " << port_ << " stopped";
+}
+
+void PragueServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (running_.load()) {
+        PRAGUE_LOG(Warning) << "accept: " << std::strerror(errno);
+      }
+      return;
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_accepted_.fetch_add(1);
+    // Frames are tiny and latency-bound; Nagle + delayed ACK would park
+    // back-to-back commands (e.g. RUN then CANCEL) in the peer's kernel
+    // buffer for tens of milliseconds.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      live_fds_.insert(fd);
+    }
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void PragueServer::ServeConnection(int fd) {
+  Connection conn;
+  conn.fd = fd;
+  for (;;) {
+    Result<WireFrame> frame = RecvFrame(fd);
+    if (!frame.ok()) {
+      if (!IsConnectionClosed(frame.status())) {
+        PRAGUE_LOG(Warning) << "connection dropped: "
+                            << frame.status().ToString();
+      }
+      break;
+    }
+    if (frame->type != FrameType::kRequest) {
+      conn.SendReply(EncodeErrorReply(
+          Status::Corruption("expected a request frame")));
+      break;
+    }
+    Result<WireCommand> cmd = ParseCommand(frame->payload);
+    if (!cmd.ok()) {
+      conn.SendReply(EncodeErrorReply(cmd.status()));
+      continue;
+    }
+    if (!HandleCommand(conn, *cmd)) break;
+  }
+  // Teardown: a run still in flight is cancelled so the join is prompt.
+  if (conn.run_in_flight.load() && conn.session != nullptr) {
+    conn.session->Cancel();
+  }
+  JoinRunThread(conn);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void PragueServer::JoinRunThread(Connection& conn) {
+  if (conn.run_thread.joinable()) conn.run_thread.join();
+}
+
+bool PragueServer::HandleCommand(Connection& conn, const WireCommand& cmd) {
+  // CANCEL is fire-and-forget and valid mid-RUN — that is its purpose.
+  if (cmd.kind == CommandKind::kCancel) {
+    if (conn.run_in_flight.load() && conn.session != nullptr) {
+      conn.session->Cancel();
+    }
+    return true;
+  }
+  if (conn.run_in_flight.load()) {
+    conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
+        "a RUN is in flight on this connection; only CANCEL is accepted")));
+    return true;
+  }
+  // The previous run (if any) has finished; reap its thread.
+  JoinRunThread(conn);
+
+  switch (cmd.kind) {
+    case CommandKind::kOpen: {
+      if (conn.session != nullptr) {
+        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
+            "a session is already open on this connection")));
+        return true;
+      }
+      int64_t budget_ms = cmd.timeout_ms >= 0
+                              ? cmd.timeout_ms
+                              : options_.default_run_deadline_ms;
+      conn.session = budget_ms >= 0 ? manager_->OpenWithDeadline(budget_ms)
+                                    : manager_->Open();
+      conn.SendReply(
+          FormatOpenReply(conn.session->id(), conn.session->version()));
+      return true;
+    }
+    case CommandKind::kAddEdge:
+    case CommandKind::kDeleteEdge: {
+      if (conn.session == nullptr) {
+        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
+            "no session on this connection (send OPEN first)")));
+        return true;
+      }
+      std::string reply;
+      if (cmd.kind == CommandKind::kAddEdge) {
+        reply = conn.session->With([&](PragueSession& s) -> std::string {
+          NodeId endpoints[2];
+          const std::pair<uint32_t, const std::string*> wanted[2] = {
+              {cmd.u, &cmd.u_label}, {cmd.v, &cmd.v_label}};
+          for (int i = 0; i < 2; ++i) {
+            auto [handle, label] = wanted[i];
+            auto it = conn.nodes.find(handle);
+            if (it != conn.nodes.end()) {
+              if (conn.node_labels[handle] != *label) {
+                return EncodeErrorReply(Status::InvalidArgument(
+                    "node handle " + std::to_string(handle) +
+                    " already has label '" + conn.node_labels[handle] +
+                    "'"));
+              }
+              endpoints[i] = it->second;
+            } else {
+              Result<NodeId> added = s.AddNodeByName(*label);
+              if (!added.ok()) return EncodeErrorReply(added.status());
+              conn.nodes[handle] = *added;
+              conn.node_labels[handle] = *label;
+              endpoints[i] = *added;
+            }
+          }
+          Result<StepReport> step =
+              s.AddEdge(endpoints[0], endpoints[1], cmd.edge_label);
+          if (!step.ok()) return EncodeErrorReply(step.status());
+          conn.edges[EdgeKey(cmd.u, cmd.v)] = step->edge;
+          return FormatStepReply(*step);
+        });
+      } else {
+        auto it = conn.edges.find(EdgeKey(cmd.u, cmd.v));
+        if (it == conn.edges.end()) {
+          conn.SendReply(EncodeErrorReply(Status::NotFound(
+              "no edge between node handles " + std::to_string(cmd.u) +
+              " and " + std::to_string(cmd.v))));
+          return true;
+        }
+        FormulationId ell = it->second;
+        reply = conn.session->With([&](PragueSession& s) -> std::string {
+          Result<StepReport> step = s.DeleteEdge(ell);
+          if (!step.ok()) return EncodeErrorReply(step.status());
+          conn.edges.erase(it);
+          return FormatStepReply(*step);
+        });
+      }
+      conn.SendReply(reply);
+      return true;
+    }
+    case CommandKind::kRun: {
+      if (conn.session == nullptr) {
+        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
+            "no session on this connection (send OPEN first)")));
+        return true;
+      }
+      StartRun(conn, cmd.limit);
+      return true;
+    }
+    case CommandKind::kStats: {
+      conn.SendReply(FormatStatsReply(manager_->Stats()));
+      return true;
+    }
+    case CommandKind::kClose: {
+      conn.SendReply("OK bye");
+      return false;
+    }
+    case CommandKind::kCancel:
+      break;  // handled above
+  }
+  return true;
+}
+
+void PragueServer::StartRun(Connection& conn, uint64_t limit) {
+  // Re-arm the token so a stale CANCEL (one that raced the end of the
+  // previous run) cannot poison this run.
+  conn.session->ResetCancellation();
+  conn.run_in_flight.store(true);
+  conn.run_thread = std::thread([&conn, limit] {
+    std::string reply =
+        conn.session->With([&](PragueSession& s) -> std::string {
+          RunStats stats;
+          Result<QueryResults> results = s.Run(&stats);
+          if (!results.ok()) return EncodeErrorReply(results.status());
+          return FormatRunReply(*results, stats, limit);
+        });
+    // Clear the flag before replying so a lock-step client's next command
+    // (sent only after it reads this reply) is never bounced as "busy".
+    conn.run_in_flight.store(false);
+    conn.SendReply(reply);
+  });
+}
+
+}  // namespace prague

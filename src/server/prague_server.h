@@ -1,0 +1,111 @@
+// PragueServer — the network face of the engine.
+//
+// The deployed shape the paper implies: the engine runs in a server
+// process while visual front-ends formulate queries over the network.
+// One TCP connection maps to one ManagedSession from a shared
+// SessionManager, so every concurrency guarantee of the session layer
+// (snapshot pinning, COW publish-while-serving, per-session run budgets,
+// cross-thread cancellation) is exposed end-to-end on the wire.
+//
+// Threading:
+//  - A dedicated accept thread hands each connection to the shared
+//    util/thread_pool; a connection occupies one pool slot for its whole
+//    life (handlers block in recv), so `worker_threads` bounds the number
+//    of concurrently *served* connections — later ones queue in accept
+//    order until a slot frees.
+//  - RUN is the one command executed asynchronously: the handler starts
+//    it on a per-connection run thread and keeps reading the socket, so a
+//    CANCEL frame arriving mid-RUN reaches ManagedSession::Cancel() while
+//    the run is still in flight. Any other command during a RUN is
+//    rejected with FailedPrecondition. The run thread itself writes the
+//    RUN reply (socket writes are serialized per connection).
+//
+// Stop() is graceful: it shuts down the listener and every live
+// connection socket, cancels in-flight runs, and joins everything before
+// returning, so a server object can be destroyed the line after.
+
+#ifndef PRAGUE_SERVER_PRAGUE_SERVER_H_
+#define PRAGUE_SERVER_PRAGUE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "core/session_manager.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+
+/// \brief Server knobs.
+struct PragueServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (port() reports it).
+  uint16_t port = 0;
+  /// Connection-handler pool size; 0 = max(8, hardware_concurrency).
+  size_t worker_threads = 0;
+  /// When >= 0, every OPEN without an explicit timeout gets this Run()
+  /// budget (milliseconds, 0 = unbounded) instead of the manager default.
+  int64_t default_run_deadline_ms = -1;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+/// \brief TCP server exposing a SessionManager over the wire protocol of
+/// server/wire.h. The manager must outlive the server.
+class PragueServer {
+ public:
+  explicit PragueServer(SessionManager* manager,
+                        PragueServerOptions options = PragueServerOptions());
+  ~PragueServer();
+
+  PragueServer(const PragueServer&) = delete;
+  PragueServer& operator=(const PragueServer&) = delete;
+
+  /// \brief Binds, listens, and starts accepting. Fails without side
+  /// effects if the port cannot be bound.
+  Status Start();
+
+  /// \brief Stops accepting, disconnects every client (in-flight runs are
+  /// cancelled), and joins all server threads. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+  /// \brief True between a successful Start() and Stop().
+  bool running() const { return running_.load(); }
+  /// \brief Connections accepted since Start().
+  uint64_t connections_accepted() const { return connections_accepted_.load(); }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // Dispatches one parsed command; returns false when the connection
+  // should close (CLOSE command). Replies are sent inside.
+  bool HandleCommand(Connection& conn, const struct WireCommand& cmd);
+  void StartRun(Connection& conn, uint64_t limit);
+  static void JoinRunThread(Connection& conn);
+
+  SessionManager* manager_;
+  PragueServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Live connection sockets, so Stop() can shut them down to unblock
+  // handlers parked in recv().
+  std::mutex conns_mu_;
+  std::unordered_set<int> live_fds_;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_SERVER_PRAGUE_SERVER_H_

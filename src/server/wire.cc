@@ -1,0 +1,521 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace prague {
+
+namespace {
+
+constexpr char kClosedMessage[] = "connection closed";
+
+// Blocking exact-count read. Returns the bytes actually read (short only
+// on EOF) or an errno-carrying IOError.
+Result<size_t> ReadFully(int fd, uint8_t* buf, size_t count) {
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = ::recv(fd, buf + done, count - done, 0);
+    if (n == 0) break;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+// Splits on runs of spaces; no quoting (label names are dictionary
+// identifiers and never contain whitespace).
+std::vector<std::string_view> Tokenize(std::string_view payload) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < payload.size()) {
+    while (i < payload.size() && payload[i] == ' ') ++i;
+    size_t start = i;
+    while (i < payload.size() && payload[i] != ' ') ++i;
+    if (i > start) tokens.push_back(payload.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Whole-token unsigned parse; anything but [0-9]+ in range is an error.
+template <typename T>
+Result<T> ParseNumber(std::string_view token, const char* what) {
+  T value{};
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(std::string(what) + ": malformed number '" +
+                                   std::string(token) + "'");
+  }
+  return value;
+}
+
+const char* FragmentStatusToken(FragmentStatus status) {
+  switch (status) {
+    case FragmentStatus::kFrequent:
+      return "frequent";
+    case FragmentStatus::kInfrequent:
+      return "infrequent";
+    case FragmentStatus::kNoExactMatch:
+      return "no-exact";
+  }
+  return "?";
+}
+
+Result<FragmentStatus> ParseFragmentStatus(std::string_view token) {
+  if (token == "frequent") return FragmentStatus::kFrequent;
+  if (token == "infrequent") return FragmentStatus::kInfrequent;
+  if (token == "no-exact") return FragmentStatus::kNoExactMatch;
+  return Status::Corruption("unknown fragment status '" + std::string(token) +
+                            "'");
+}
+
+// Looks up `key=` among the tokens of an OK reply and returns the value
+// part; Corruption when absent (replies are machine-generated, so a
+// missing key means a protocol mismatch, not user error).
+Result<std::string_view> ReplyValue(
+    const std::vector<std::string_view>& tokens, std::string_view key) {
+  for (std::string_view token : tokens) {
+    if (token.size() > key.size() && token[key.size()] == '=' &&
+        token.substr(0, key.size()) == key) {
+      return token.substr(key.size() + 1);
+    }
+  }
+  return Status::Corruption("reply is missing '" + std::string(key) + "='");
+}
+
+Result<std::vector<std::string_view>> OkReplyTokens(std::string_view payload) {
+  PRAGUE_RETURN_NOT_OK(DecodeReplyStatus(payload));
+  return Tokenize(payload);
+}
+
+Result<double> ParseMillis(std::string_view token) {
+  // from_chars for doubles is not universally available; strtod needs a
+  // terminated copy. Reply payloads are tiny, so the copy is free.
+  std::string copy(token);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return Status::Corruption("malformed duration '" + copy + "'");
+  }
+  return value;
+}
+
+// Comma-joined list; "-" for empty so every key always has a value token.
+template <typename T, typename Fn>
+std::string JoinList(const std::vector<T>& items, size_t limit, Fn&& render) {
+  if (items.empty()) return "-";
+  std::string out;
+  size_t n = limit == 0 ? items.size() : std::min<size_t>(limit, items.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out += ',';
+    out += render(items[i]);
+  }
+  return out;
+}
+
+// Splits a "-"-or-comma list value into element views.
+std::vector<std::string_view> SplitList(std::string_view value) {
+  std::vector<std::string_view> items;
+  if (value == "-" || value.empty()) return items;
+  size_t i = 0;
+  while (i <= value.size()) {
+    size_t comma = value.find(',', i);
+    if (comma == std::string_view::npos) comma = value.size();
+    items.push_back(value.substr(i, comma - i));
+    i = comma + 1;
+  }
+  return items;
+}
+
+}  // namespace
+
+Status SendFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the wire limit");
+  }
+  FrameHeader header;
+  header.payload_length = static_cast<uint32_t>(payload.size());
+  header.type = static_cast<uint8_t>(type);
+  std::string frame(kFrameHeaderBytes, '\0');
+  EncodeFrameHeader(header, reinterpret_cast<uint8_t*>(frame.data()));
+  frame.append(payload);
+  size_t done = 0;
+  while (done < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-reply must surface as EPIPE,
+    // not kill the server process with SIGPIPE.
+    ssize_t n = ::send(fd, frame.data() + done, frame.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WireFrame> RecvFrame(int fd) {
+  uint8_t header_buf[kFrameHeaderBytes];
+  PRAGUE_ASSIGN_OR_RETURN(size_t got,
+                          ReadFully(fd, header_buf, kFrameHeaderBytes));
+  if (got == 0) return Status::IOError(kClosedMessage);
+  if (got < kFrameHeaderBytes) {
+    return Status::Corruption("connection closed mid frame header");
+  }
+  PRAGUE_ASSIGN_OR_RETURN(FrameHeader header,
+                          DecodeFrameHeader(header_buf, kFrameHeaderBytes));
+  WireFrame frame;
+  switch (header.type) {
+    case static_cast<uint8_t>(FrameType::kRequest):
+      frame.type = FrameType::kRequest;
+      break;
+    case static_cast<uint8_t>(FrameType::kResponse):
+      frame.type = FrameType::kResponse;
+      break;
+    default:
+      return Status::Corruption("unknown frame type byte " +
+                                std::to_string(header.type));
+  }
+  frame.payload.resize(header.payload_length);
+  if (header.payload_length > 0) {
+    PRAGUE_ASSIGN_OR_RETURN(
+        size_t body,
+        ReadFully(fd, reinterpret_cast<uint8_t*>(frame.payload.data()),
+                  header.payload_length));
+    if (body < header.payload_length) {
+      return Status::Corruption("connection closed mid frame payload");
+    }
+  }
+  return frame;
+}
+
+bool IsConnectionClosed(const Status& status) {
+  return status.code() == Status::Code::kIOError &&
+         status.message() == kClosedMessage;
+}
+
+Result<WireCommand> ParseCommand(std::string_view payload) {
+  std::vector<std::string_view> tokens = Tokenize(payload);
+  if (tokens.empty()) return Status::InvalidArgument("empty command");
+  std::string_view verb = tokens[0];
+  WireCommand cmd;
+  size_t expected_min = 1, expected_max = 1;
+  if (verb == "OPEN") {
+    cmd.kind = CommandKind::kOpen;
+    expected_max = 2;
+    if (tokens.size() > 1) {
+      PRAGUE_ASSIGN_OR_RETURN(
+          cmd.timeout_ms, ParseNumber<int64_t>(tokens[1], "OPEN timeout_ms"));
+      if (cmd.timeout_ms < 0) {
+        return Status::InvalidArgument("OPEN timeout_ms must be >= 0");
+      }
+    }
+  } else if (verb == "ADD_EDGE") {
+    cmd.kind = CommandKind::kAddEdge;
+    expected_min = 5;
+    expected_max = 6;
+    if (tokens.size() >= 5) {
+      PRAGUE_ASSIGN_OR_RETURN(cmd.u,
+                              ParseNumber<uint32_t>(tokens[1], "ADD_EDGE u"));
+      cmd.u_label = std::string(tokens[2]);
+      PRAGUE_ASSIGN_OR_RETURN(cmd.v,
+                              ParseNumber<uint32_t>(tokens[3], "ADD_EDGE v"));
+      cmd.v_label = std::string(tokens[4]);
+      if (tokens.size() == 6) {
+        PRAGUE_ASSIGN_OR_RETURN(
+            cmd.edge_label, ParseNumber<Label>(tokens[5], "ADD_EDGE le"));
+      }
+    }
+  } else if (verb == "DELETE_EDGE") {
+    cmd.kind = CommandKind::kDeleteEdge;
+    expected_min = expected_max = 3;
+    if (tokens.size() >= 3) {
+      PRAGUE_ASSIGN_OR_RETURN(
+          cmd.u, ParseNumber<uint32_t>(tokens[1], "DELETE_EDGE u"));
+      PRAGUE_ASSIGN_OR_RETURN(
+          cmd.v, ParseNumber<uint32_t>(tokens[2], "DELETE_EDGE v"));
+    }
+  } else if (verb == "RUN") {
+    cmd.kind = CommandKind::kRun;
+    expected_max = 2;
+    if (tokens.size() > 1) {
+      PRAGUE_ASSIGN_OR_RETURN(cmd.limit,
+                              ParseNumber<uint64_t>(tokens[1], "RUN k"));
+    }
+  } else if (verb == "CANCEL") {
+    cmd.kind = CommandKind::kCancel;
+  } else if (verb == "STATS") {
+    cmd.kind = CommandKind::kStats;
+  } else if (verb == "CLOSE") {
+    cmd.kind = CommandKind::kClose;
+  } else {
+    return Status::InvalidArgument("unknown command '" + std::string(verb) +
+                                   "'");
+  }
+  if (tokens.size() < expected_min || tokens.size() > expected_max) {
+    return Status::InvalidArgument(
+        std::string(verb) + ": expected between " +
+        std::to_string(expected_min - 1) + " and " +
+        std::to_string(expected_max - 1) + " arguments, got " +
+        std::to_string(tokens.size() - 1));
+  }
+  return cmd;
+}
+
+std::string FormatCommand(const WireCommand& command) {
+  switch (command.kind) {
+    case CommandKind::kOpen:
+      return command.timeout_ms >= 0
+                 ? "OPEN " + std::to_string(command.timeout_ms)
+                 : "OPEN";
+    case CommandKind::kAddEdge: {
+      std::string out = "ADD_EDGE " + std::to_string(command.u) + ' ' +
+                        command.u_label + ' ' + std::to_string(command.v) +
+                        ' ' + command.v_label;
+      if (command.edge_label != 0) {
+        out += ' ' + std::to_string(command.edge_label);
+      }
+      return out;
+    }
+    case CommandKind::kDeleteEdge:
+      return "DELETE_EDGE " + std::to_string(command.u) + ' ' +
+             std::to_string(command.v);
+    case CommandKind::kRun:
+      return command.limit > 0 ? "RUN " + std::to_string(command.limit)
+                               : "RUN";
+    case CommandKind::kCancel:
+      return "CANCEL";
+    case CommandKind::kStats:
+      return "STATS";
+    case CommandKind::kClose:
+      return "CLOSE";
+  }
+  return "";
+}
+
+const char* StatusCodeToken(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
+    case Status::Code::kIOError:
+      return "IO_ERROR";
+    case Status::Code::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeErrorReply(const Status& status) {
+  return std::string("ERR ") + StatusCodeToken(status.code()) + ' ' +
+         status.message();
+}
+
+Status DecodeReplyStatus(std::string_view payload) {
+  if (payload.substr(0, 2) == "OK" &&
+      (payload.size() == 2 || payload[2] == ' ')) {
+    return Status::OK();
+  }
+  if (payload.substr(0, 4) != "ERR ") {
+    return Status::Corruption("malformed reply '" +
+                              std::string(payload.substr(0, 64)) + "'");
+  }
+  std::string_view rest = payload.substr(4);
+  size_t space = rest.find(' ');
+  std::string_view token = rest.substr(0, space);
+  std::string message(space == std::string_view::npos
+                          ? std::string_view()
+                          : rest.substr(space + 1));
+  if (token == "INVALID_ARGUMENT") return Status::InvalidArgument(message);
+  if (token == "NOT_FOUND") return Status::NotFound(message);
+  if (token == "CORRUPTION") return Status::Corruption(message);
+  if (token == "IO_ERROR") return Status::IOError(message);
+  if (token == "NOT_SUPPORTED") return Status::NotSupported(message);
+  if (token == "FAILED_PRECONDITION") {
+    return Status::FailedPrecondition(message);
+  }
+  if (token == "DEADLINE_EXCEEDED") return Status::DeadlineExceeded(message);
+  return Status::Corruption("unknown error code '" + std::string(token) +
+                            "' in reply");
+}
+
+std::string FormatOpenReply(uint64_t session_id, uint64_t version) {
+  return "OK session=" + std::to_string(session_id) +
+         " version=" + std::to_string(version);
+}
+
+Result<OpenReply> ParseOpenReply(std::string_view payload) {
+  PRAGUE_ASSIGN_OR_RETURN(auto tokens, OkReplyTokens(payload));
+  OpenReply reply;
+  PRAGUE_ASSIGN_OR_RETURN(auto session, ReplyValue(tokens, "session"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.session_id,
+                          ParseNumber<uint64_t>(session, "session"));
+  PRAGUE_ASSIGN_OR_RETURN(auto version, ReplyValue(tokens, "version"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.version,
+                          ParseNumber<uint64_t>(version, "version"));
+  return reply;
+}
+
+std::string FormatStepReply(const StepReport& report) {
+  return "OK edge=" + std::to_string(report.edge) +
+         " status=" + FragmentStatusToken(report.status) +
+         " sim=" + (report.similarity_mode ? std::string("1") : "0") +
+         " rq=" + std::to_string(report.exact_candidates) +
+         " free=" + std::to_string(report.free_candidates) +
+         " ver=" + std::to_string(report.ver_candidates);
+}
+
+Result<StepReply> ParseStepReply(std::string_view payload) {
+  PRAGUE_ASSIGN_OR_RETURN(auto tokens, OkReplyTokens(payload));
+  StepReply reply;
+  PRAGUE_ASSIGN_OR_RETURN(auto edge, ReplyValue(tokens, "edge"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.edge, ParseNumber<int>(edge, "edge"));
+  PRAGUE_ASSIGN_OR_RETURN(auto status, ReplyValue(tokens, "status"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.status, ParseFragmentStatus(status));
+  PRAGUE_ASSIGN_OR_RETURN(auto sim, ReplyValue(tokens, "sim"));
+  reply.similarity_mode = sim == "1";
+  PRAGUE_ASSIGN_OR_RETURN(auto rq, ReplyValue(tokens, "rq"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.exact_candidates,
+                          ParseNumber<uint64_t>(rq, "rq"));
+  PRAGUE_ASSIGN_OR_RETURN(auto free_v, ReplyValue(tokens, "free"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.free_candidates,
+                          ParseNumber<uint64_t>(free_v, "free"));
+  PRAGUE_ASSIGN_OR_RETURN(auto ver, ReplyValue(tokens, "ver"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.ver_candidates,
+                          ParseNumber<uint64_t>(ver, "ver"));
+  return reply;
+}
+
+std::string FormatRunReply(const QueryResults& results, const RunStats& stats,
+                           uint64_t limit) {
+  char srt[32];
+  std::snprintf(srt, sizeof(srt), "%.3f", stats.srt_seconds * 1000);
+  std::string out = "OK mode=";
+  out += results.similarity ? "similar" : "exact";
+  size_t total =
+      results.similarity ? results.similar.size() : results.exact.size();
+  out += " n=" + std::to_string(total);
+  out += " truncated=";
+  out += results.truncated ? '1' : '0';
+  out += " phase=";
+  out += RunPhaseName(stats.deadline_phase);
+  out += " srt_ms=";
+  out += srt;
+  out += " ids=";
+  if (results.similarity) {
+    out += JoinList(results.similar, limit, [](const SimilarMatch& m) {
+      return std::to_string(m.gid) + '@' + std::to_string(m.distance);
+    });
+  } else {
+    out += JoinList(results.exact, limit,
+                    [](GraphId gid) { return std::to_string(gid); });
+  }
+  return out;
+}
+
+Result<RunReply> ParseRunReply(std::string_view payload) {
+  PRAGUE_ASSIGN_OR_RETURN(auto tokens, OkReplyTokens(payload));
+  RunReply reply;
+  PRAGUE_ASSIGN_OR_RETURN(auto mode, ReplyValue(tokens, "mode"));
+  if (mode != "exact" && mode != "similar") {
+    return Status::Corruption("unknown run mode '" + std::string(mode) + "'");
+  }
+  reply.similarity = mode == "similar";
+  PRAGUE_ASSIGN_OR_RETURN(auto n, ReplyValue(tokens, "n"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.total_matches, ParseNumber<uint64_t>(n, "n"));
+  PRAGUE_ASSIGN_OR_RETURN(auto truncated, ReplyValue(tokens, "truncated"));
+  reply.truncated = truncated == "1";
+  PRAGUE_ASSIGN_OR_RETURN(auto phase, ReplyValue(tokens, "phase"));
+  reply.deadline_phase = std::string(phase);
+  PRAGUE_ASSIGN_OR_RETURN(auto srt, ReplyValue(tokens, "srt_ms"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.srt_ms, ParseMillis(srt));
+  PRAGUE_ASSIGN_OR_RETURN(auto ids, ReplyValue(tokens, "ids"));
+  for (std::string_view item : SplitList(ids)) {
+    if (reply.similarity) {
+      size_t at = item.find('@');
+      if (at == std::string_view::npos) {
+        return Status::Corruption("similar match '" + std::string(item) +
+                                  "' is missing '@distance'");
+      }
+      SimilarMatch match;
+      PRAGUE_ASSIGN_OR_RETURN(
+          match.gid, ParseNumber<GraphId>(item.substr(0, at), "match gid"));
+      PRAGUE_ASSIGN_OR_RETURN(
+          match.distance, ParseNumber<int>(item.substr(at + 1), "distance"));
+      reply.similar.push_back(match);
+    } else {
+      PRAGUE_ASSIGN_OR_RETURN(GraphId gid,
+                              ParseNumber<GraphId>(item, "match gid"));
+      reply.exact.push_back(gid);
+    }
+  }
+  return reply;
+}
+
+std::string FormatStatsReply(const SessionManagerStats& stats) {
+  std::string out = "OK version=" + std::to_string(stats.current_version) +
+                    " open=" + std::to_string(stats.open_sessions) +
+                    " opened=" + std::to_string(stats.sessions_opened) +
+                    " published=" + std::to_string(stats.snapshots_published) +
+                    " sessions=";
+  out += JoinList(stats.open_session_infos, 0,
+                  [](const OpenSessionInfo& info) {
+                    return std::to_string(info.id) + '@' +
+                           std::to_string(info.version);
+                  });
+  return out;
+}
+
+Result<StatsReply> ParseStatsReply(std::string_view payload) {
+  PRAGUE_ASSIGN_OR_RETURN(auto tokens, OkReplyTokens(payload));
+  StatsReply reply;
+  PRAGUE_ASSIGN_OR_RETURN(auto version, ReplyValue(tokens, "version"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.current_version,
+                          ParseNumber<uint64_t>(version, "version"));
+  PRAGUE_ASSIGN_OR_RETURN(auto open, ReplyValue(tokens, "open"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.open_sessions,
+                          ParseNumber<uint64_t>(open, "open"));
+  PRAGUE_ASSIGN_OR_RETURN(auto opened, ReplyValue(tokens, "opened"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.sessions_opened,
+                          ParseNumber<uint64_t>(opened, "opened"));
+  PRAGUE_ASSIGN_OR_RETURN(auto published, ReplyValue(tokens, "published"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.snapshots_published,
+                          ParseNumber<uint64_t>(published, "published"));
+  PRAGUE_ASSIGN_OR_RETURN(auto sessions, ReplyValue(tokens, "sessions"));
+  for (std::string_view item : SplitList(sessions)) {
+    size_t at = item.find('@');
+    if (at == std::string_view::npos) {
+      return Status::Corruption("session entry '" + std::string(item) +
+                                "' is missing '@version'");
+    }
+    uint64_t id = 0, ver = 0;
+    PRAGUE_ASSIGN_OR_RETURN(
+        id, ParseNumber<uint64_t>(item.substr(0, at), "session id"));
+    PRAGUE_ASSIGN_OR_RETURN(
+        ver, ParseNumber<uint64_t>(item.substr(at + 1), "session version"));
+    reply.sessions.emplace_back(id, ver);
+  }
+  return reply;
+}
+
+}  // namespace prague

@@ -1,0 +1,173 @@
+// Wire protocol for the PRAGUE network service (docs/ARCHITECTURE.md,
+// "Wire protocol & server").
+//
+// Transport: length-prefixed frames — the 5-byte header of util/bytes
+// (u32 LE payload length + u8 frame type) followed by the payload. Two
+// frame types exist: requests ('Q') and responses ('R'). Payloads are
+// single-line text, which keeps the protocol greppable in a packet dump
+// while the framing keeps parsing trivial and DoS-bounded.
+//
+// Session lifecycle, one connection = one ManagedSession:
+//
+//   OPEN [timeout_ms]           -> OK session=<id> version=<v>
+//   ADD_EDGE u lu v lv [le]     -> OK edge=<l> status=<s> sim=<0|1>
+//                                  rq=<n> free=<n> ver=<n>
+//   DELETE_EDGE u v             -> same reply shape as ADD_EDGE
+//   RUN [k]                     -> OK mode=<exact|similar> n=<total>
+//                                  truncated=<0|1> phase=<p>
+//                                  srt_ms=<t> ids=<...>
+//   CANCEL                      -> (no reply — see below)
+//   STATS                       -> OK version=<v> open=<n> opened=<n>
+//                                  published=<n> sessions=<id>@<ver>,...
+//   CLOSE                       -> OK bye
+//
+// `u`/`v` are client-chosen node handles; `lu`/`lv` are node label *names*
+// (Panel 2 of the GUI only offers dictionary names, so the server resolves
+// them with AddNodeByName and a typo comes back as a typed NotFound).
+// `le` is a numeric edge label (default 0). `RUN k` caps how many matches
+// are listed in the reply; `n` is always the full count. Errors come back
+// as `ERR <CODE> <message>` and decode to the same Status the server saw.
+//
+// CANCEL is the one intentionally asymmetric command: it is fire-and-
+// forget, carries no reply, and may be sent while a RUN is in flight on
+// the same connection — that is its whole purpose. The in-flight RUN then
+// returns early with truncated=1. Because CANCEL never occupies the reply
+// stream, a client thread can issue it while another thread is blocked
+// waiting for the RUN reply without the two ever racing on a read.
+
+#ifndef PRAGUE_SERVER_WIRE_H_
+#define PRAGUE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/prague_session.h"
+#include "core/results.h"
+#include "core/session_manager.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague {
+
+/// Frame types carried in FrameHeader::type.
+enum class FrameType : uint8_t {
+  kRequest = 0x51,   // 'Q'
+  kResponse = 0x52,  // 'R'
+};
+
+/// \brief One decoded frame.
+struct WireFrame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// \brief Writes one frame to \p fd (blocking, handles short writes).
+Status SendFrame(int fd, FrameType type, std::string_view payload);
+
+/// \brief Reads one frame from \p fd (blocking). A clean close at a frame
+/// boundary returns IOError "connection closed" (see IsConnectionClosed);
+/// EOF mid-frame, an unknown frame type, or an oversized length return
+/// Corruption.
+Result<WireFrame> RecvFrame(int fd);
+
+/// \brief True for the Status RecvFrame returns on an orderly peer close.
+bool IsConnectionClosed(const Status& status);
+
+/// The request verbs.
+enum class CommandKind {
+  kOpen,
+  kAddEdge,
+  kDeleteEdge,
+  kRun,
+  kCancel,
+  kStats,
+  kClose,
+};
+
+/// \brief One parsed request payload.
+struct WireCommand {
+  CommandKind kind = CommandKind::kClose;
+  int64_t timeout_ms = -1;  ///< OPEN: Run() budget; -1 = server default.
+  uint32_t u = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
+  uint32_t v = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
+  std::string u_label;      ///< ADD_EDGE label name of u
+  std::string v_label;      ///< ADD_EDGE label name of v
+  Label edge_label = 0;     ///< ADD_EDGE edge label
+  uint64_t limit = 0;       ///< RUN: max matches listed; 0 = all
+};
+
+/// \brief Parses a request payload. Unknown verbs, missing or trailing
+/// arguments, and malformed numbers are typed InvalidArgument errors.
+Result<WireCommand> ParseCommand(std::string_view payload);
+
+/// \brief Renders \p command as a request payload (client side; inverse
+/// of ParseCommand).
+std::string FormatCommand(const WireCommand& command);
+
+/// \brief Renders an error reply: "ERR <CODE> <message>".
+std::string EncodeErrorReply(const Status& status);
+
+/// \brief Classifies a reply payload: OK replies return OK, "ERR ..."
+/// replies decode back to the original code + message, anything else is
+/// Corruption.
+Status DecodeReplyStatus(std::string_view payload);
+
+/// \brief Stable wire token for a status code (e.g. "NOT_FOUND").
+const char* StatusCodeToken(Status::Code code);
+
+/// \brief OPEN reply.
+struct OpenReply {
+  uint64_t session_id = 0;
+  uint64_t version = 0;
+};
+std::string FormatOpenReply(uint64_t session_id, uint64_t version);
+Result<OpenReply> ParseOpenReply(std::string_view payload);
+
+/// \brief ADD_EDGE / DELETE_EDGE reply — the wire image of a StepReport.
+struct StepReply {
+  int edge = 0;
+  FragmentStatus status = FragmentStatus::kFrequent;
+  bool similarity_mode = false;
+  uint64_t exact_candidates = 0;
+  uint64_t free_candidates = 0;
+  uint64_t ver_candidates = 0;
+};
+std::string FormatStepReply(const StepReport& report);
+Result<StepReply> ParseStepReply(std::string_view payload);
+
+/// \brief RUN reply. Carries the full result counts plus the (possibly
+/// `limit`-capped) match list; `verified` flags of similar matches are not
+/// transmitted.
+struct RunReply {
+  bool similarity = false;
+  uint64_t total_matches = 0;
+  bool truncated = false;
+  std::string deadline_phase = "none";
+  double srt_ms = 0;
+  std::vector<GraphId> exact;
+  std::vector<SimilarMatch> similar;
+};
+std::string FormatRunReply(const QueryResults& results, const RunStats& stats,
+                           uint64_t limit);
+Result<RunReply> ParseRunReply(std::string_view payload);
+
+/// \brief STATS reply — the wire image of SessionManagerStats, including
+/// the open sessions and their pinned versions.
+struct StatsReply {
+  uint64_t current_version = 0;
+  uint64_t open_sessions = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t snapshots_published = 0;
+  /// (session id, pinned version), ascending by id.
+  std::vector<std::pair<uint64_t, uint64_t>> sessions;
+};
+std::string FormatStatsReply(const SessionManagerStats& stats);
+Result<StatsReply> ParseStatsReply(std::string_view payload);
+
+}  // namespace prague
+
+#endif  // PRAGUE_SERVER_WIRE_H_

@@ -21,4 +21,26 @@ std::string HumanBytes(size_t bytes) {
   return buf;
 }
 
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out) {
+  EncodeU32LE(header.payload_length, out);
+  out[4] = header.type;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header: " +
+                              std::to_string(size) + " of " +
+                              std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  FrameHeader header;
+  header.payload_length = DecodeU32LE(data);
+  header.type = data[4];
+  if (header.payload_length > kMaxFramePayload) {
+    return Status::Corruption(
+        "frame payload length " + std::to_string(header.payload_length) +
+        " exceeds the " + std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  return header;
+}
+
 }  // namespace prague

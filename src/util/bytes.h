@@ -1,12 +1,16 @@
 // Byte-size helpers used for index footprint accounting (Table II,
-// Figure 10(a)).
+// Figure 10(a)), plus the fixed-width integer codecs and frame header the
+// network wire format (src/server/wire.h) is built on.
 
 #ifndef PRAGUE_UTIL_BYTES_H_
 #define PRAGUE_UTIL_BYTES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/result.h"
 
 namespace prague {
 
@@ -29,6 +33,48 @@ std::string HumanBytes(size_t bytes);
 inline double ToMegabytes(size_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
+
+/// \brief Writes \p value little-endian into \p out[0..3]. Byte-wise, so
+/// the encoding is identical on every host.
+inline void EncodeU32LE(uint32_t value, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+  out[2] = static_cast<uint8_t>(value >> 16);
+  out[3] = static_cast<uint8_t>(value >> 24);
+}
+
+/// \brief Reads a little-endian uint32 from \p data[0..3].
+inline uint32_t DecodeU32LE(const uint8_t* data) {
+  return static_cast<uint32_t>(data[0]) |
+         static_cast<uint32_t>(data[1]) << 8 |
+         static_cast<uint32_t>(data[2]) << 16 |
+         static_cast<uint32_t>(data[3]) << 24;
+}
+
+/// \brief Header of one wire frame: the payload byte count followed by a
+/// one-byte frame type. Fixed 5-byte encoding (u32 LE length + u8 type).
+struct FrameHeader {
+  uint32_t payload_length = 0;
+  uint8_t type = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+/// Encoded size of a FrameHeader on the wire.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Upper bound on a frame payload. Far above any legitimate command or
+/// response; lengths beyond it are treated as stream corruption so a
+/// garbage header cannot make a reader allocate gigabytes.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+/// \brief Encodes \p header into \p out (kFrameHeaderBytes bytes).
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out);
+
+/// \brief Decodes a frame header from \p data. Corruption when fewer than
+/// kFrameHeaderBytes are available (truncated buffer) or the encoded
+/// length exceeds kMaxFramePayload (oversized / garbage length).
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
 
 }  // namespace prague
 

@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <cstdio>
+
 namespace prague {
 
 namespace {
@@ -34,7 +36,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+LogMessage::~LogMessage() {
+  // Emit the whole line (terminator included) with a single stderr write so
+  // lines from concurrent threads — e.g. the server's connection handlers —
+  // never shear mid-line the way `stream << line << endl` can.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
 
 }  // namespace internal
 

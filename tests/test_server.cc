@@ -1,0 +1,775 @@
+// The network service layer, end to end over real loopback sockets:
+// framing and command grammar, error mapping, and the acceptance property
+// — many concurrent wire clients formulating edge-at-a-time (including
+// DELETE_EDGE and a mid-RUN CANCEL) against one server while a background
+// thread publishes COW appends, with every RUN reply bit-identical to an
+// in-process PragueSession replay on the same pinned snapshot, and
+// deadline-cut runs reporting truncation plus the cut phase.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "datasets/query_workload.h"
+#include "server/prague_client.h"
+#include "server/prague_server.h"
+#include "server/wire.h"
+#include "test_fixtures.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kO;
+using testing::kS;
+
+SnapshotPtr FreshTinySnapshot() {
+  const auto& fixture = testing::TinyFixture::Get();
+  return DatabaseSnapshot::Make(fixture.db, fixture.indexes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Framing over a socketpair.
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+};
+
+TEST(WireFrameTest, RoundTripsBothTypesAndEmptyPayload) {
+  SocketPair pair;
+  ASSERT_TRUE(SendFrame(pair.fds[0], FrameType::kRequest, "RUN 5").ok());
+  ASSERT_TRUE(SendFrame(pair.fds[0], FrameType::kResponse, "").ok());
+  Result<WireFrame> first = RecvFrame(pair.fds[1]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->type, FrameType::kRequest);
+  EXPECT_EQ(first->payload, "RUN 5");
+  Result<WireFrame> second = RecvFrame(pair.fds[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, FrameType::kResponse);
+  EXPECT_TRUE(second->payload.empty());
+}
+
+TEST(WireFrameTest, CleanCloseIsDistinguishedFromMidFrameClose) {
+  {
+    SocketPair pair;
+    ::close(pair.fds[0]);
+    pair.fds[0] = -1;
+    Result<WireFrame> r = RecvFrame(pair.fds[1]);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsConnectionClosed(r.status()));
+  }
+  {
+    SocketPair pair;
+    // Three header bytes, then EOF: a shorn frame, not a clean close.
+    const uint8_t partial[3] = {9, 0, 0};
+    ASSERT_EQ(::send(pair.fds[0], partial, sizeof(partial), 0), 3);
+    ::close(pair.fds[0]);
+    pair.fds[0] = -1;
+    Result<WireFrame> r = RecvFrame(pair.fds[1]);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+    EXPECT_FALSE(IsConnectionClosed(r.status()));
+  }
+}
+
+TEST(WireFrameTest, UnknownTypeByteAndOversizedLengthAreCorruption) {
+  {
+    SocketPair pair;
+    uint8_t header[kFrameHeaderBytes];
+    EncodeFrameHeader({3, 0x7A}, header);  // 'z' is not a frame type
+    ASSERT_EQ(::send(pair.fds[0], header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    Result<WireFrame> r = RecvFrame(pair.fds[1]);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  }
+  {
+    SocketPair pair;
+    uint8_t header[kFrameHeaderBytes];
+    EncodeU32LE(kMaxFramePayload + 1, header);
+    header[4] = static_cast<uint8_t>(FrameType::kRequest);
+    ASSERT_EQ(::send(pair.fds[0], header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    Result<WireFrame> r = RecvFrame(pair.fds[1]);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command grammar.
+
+TEST(WireCommandTest, ParsesEveryVerb) {
+  Result<WireCommand> open = ParseCommand("OPEN 250");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->kind, CommandKind::kOpen);
+  EXPECT_EQ(open->timeout_ms, 250);
+  EXPECT_EQ(ParseCommand("OPEN")->timeout_ms, -1);
+
+  Result<WireCommand> add = ParseCommand("ADD_EDGE 1 C 2 S 7");
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add->kind, CommandKind::kAddEdge);
+  EXPECT_EQ(add->u, 1u);
+  EXPECT_EQ(add->u_label, "C");
+  EXPECT_EQ(add->v, 2u);
+  EXPECT_EQ(add->v_label, "S");
+  EXPECT_EQ(add->edge_label, 7u);
+  EXPECT_EQ(ParseCommand("ADD_EDGE 1 C 2 S")->edge_label, 0u);
+
+  Result<WireCommand> del = ParseCommand("DELETE_EDGE 3 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, CommandKind::kDeleteEdge);
+  EXPECT_EQ(del->u, 3u);
+  EXPECT_EQ(del->v, 1u);
+
+  EXPECT_EQ(ParseCommand("RUN")->limit, 0u);
+  EXPECT_EQ(ParseCommand("RUN 10")->limit, 10u);
+  EXPECT_EQ(ParseCommand("CANCEL")->kind, CommandKind::kCancel);
+  EXPECT_EQ(ParseCommand("STATS")->kind, CommandKind::kStats);
+  EXPECT_EQ(ParseCommand("CLOSE")->kind, CommandKind::kClose);
+}
+
+TEST(WireCommandTest, TypedParseErrors) {
+  for (const char* bad :
+       {"", "FLY", "OPEN x", "OPEN -5", "OPEN 1 2", "ADD_EDGE 1 C 2",
+        "ADD_EDGE u C v S", "ADD_EDGE 1 C 2 S 3 4", "DELETE_EDGE 1",
+        "DELETE_EDGE 1 2 3", "RUN k", "CANCEL now", "STATS 1"}) {
+    Result<WireCommand> r = ParseCommand(bad);
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument) << bad;
+  }
+}
+
+TEST(WireCommandTest, FormatAndParseAreInverse) {
+  WireCommand add;
+  add.kind = CommandKind::kAddEdge;
+  add.u = 4;
+  add.u_label = "C";
+  add.v = 9;
+  add.v_label = "N";
+  add.edge_label = 2;
+  Result<WireCommand> back = ParseCommand(FormatCommand(add));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->u, add.u);
+  EXPECT_EQ(back->v_label, add.v_label);
+  EXPECT_EQ(back->edge_label, add.edge_label);
+}
+
+// ---------------------------------------------------------------------------
+// Reply codecs.
+
+TEST(WireReplyTest, ErrorReplyRoundTripsStatus) {
+  Status original = Status::NotFound("label 'X' is not in the dictionary");
+  Status decoded = DecodeReplyStatus(EncodeErrorReply(original));
+  EXPECT_EQ(decoded, original);
+  EXPECT_TRUE(DecodeReplyStatus("OK bye").ok());
+  EXPECT_EQ(DecodeReplyStatus("gibberish").code(), Status::Code::kCorruption);
+}
+
+TEST(WireReplyTest, StepReplyRoundTrips) {
+  StepReport report;
+  report.edge = 3;
+  report.status = FragmentStatus::kNoExactMatch;
+  report.similarity_mode = true;
+  report.exact_candidates = 0;
+  report.free_candidates = 17;
+  report.ver_candidates = 5;
+  Result<StepReply> reply = ParseStepReply(FormatStepReply(report));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->edge, 3);
+  EXPECT_EQ(reply->status, FragmentStatus::kNoExactMatch);
+  EXPECT_TRUE(reply->similarity_mode);
+  EXPECT_EQ(reply->free_candidates, 17u);
+  EXPECT_EQ(reply->ver_candidates, 5u);
+}
+
+TEST(WireReplyTest, RunReplyRoundTripsExactAndSimilar) {
+  QueryResults exact;
+  exact.exact = {2, 5, 9};
+  RunStats stats;
+  stats.srt_seconds = 0.004;
+  Result<RunReply> r = ParseRunReply(FormatRunReply(exact, stats, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->similarity);
+  EXPECT_EQ(r->total_matches, 3u);
+  EXPECT_EQ(r->exact, (std::vector<GraphId>{2, 5, 9}));
+  EXPECT_FALSE(r->truncated);
+  EXPECT_EQ(r->deadline_phase, "none");
+  EXPECT_NEAR(r->srt_ms, 4.0, 1e-9);
+
+  QueryResults similar;
+  similar.similarity = true;
+  similar.truncated = true;
+  similar.similar = {{4, 1, false}, {7, 2, true}, {1, 3, true}};
+  RunStats cut;
+  cut.deadline_phase = RunPhase::kSimilarGeneration;
+  // limit=2 caps the listed matches; n stays the full count.
+  Result<RunReply> s = ParseRunReply(FormatRunReply(similar, cut, 2));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->similarity);
+  EXPECT_TRUE(s->truncated);
+  EXPECT_EQ(s->deadline_phase, "similar-generation");
+  EXPECT_EQ(s->total_matches, 3u);
+  ASSERT_EQ(s->similar.size(), 2u);
+  EXPECT_EQ(s->similar[0].gid, 4u);
+  EXPECT_EQ(s->similar[0].distance, 1);
+  EXPECT_EQ(s->similar[1].gid, 7u);
+}
+
+TEST(WireReplyTest, EmptyResultListsUseDashPlaceholder) {
+  QueryResults empty;
+  RunStats stats;
+  std::string payload = FormatRunReply(empty, stats, 0);
+  EXPECT_NE(payload.find("ids=-"), std::string::npos);
+  Result<RunReply> r = ParseRunReply(payload);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->exact.empty());
+}
+
+TEST(WireReplyTest, StatsReplyRoundTripsOpenSessions) {
+  SessionManagerStats stats;
+  stats.current_version = 12;
+  stats.open_sessions = 2;
+  stats.sessions_opened = 40;
+  stats.snapshots_published = 12;
+  stats.open_session_infos = {{17, 3}, {39, 12}};
+  Result<StatsReply> reply = ParseStatsReply(FormatStatsReply(stats));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->current_version, 12u);
+  EXPECT_EQ(reply->open_sessions, 2u);
+  EXPECT_EQ(reply->sessions_opened, 40u);
+  EXPECT_EQ(reply->snapshots_published, 12u);
+  ASSERT_EQ(reply->sessions.size(), 2u);
+  EXPECT_EQ(reply->sessions[0], (std::pair<uint64_t, uint64_t>{17, 3}));
+  EXPECT_EQ(reply->sessions[1], (std::pair<uint64_t, uint64_t>{39, 12}));
+}
+
+// ---------------------------------------------------------------------------
+// A live server on loopback.
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manager_ = std::make_unique<SessionManager>(FreshTinySnapshot());
+    PragueServerOptions options;
+    options.port = 0;  // ephemeral
+    options.worker_threads = 12;
+    server_ = std::make_unique<PragueServer>(manager_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  Status ConnectClient(PragueClient* client) {
+    return client->Connect("127.0.0.1", server_->port());
+  }
+
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<PragueServer> server_;
+};
+
+TEST_F(ServerFixture, OpenFormulateRunClose) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  Result<OpenReply> open = client.Open();
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->version, 0u);
+  EXPECT_GT(open->session_id, 0u);
+
+  // The C-S-C path of test_session_manager, over the wire.
+  Result<StepReply> e1 = client.AddEdge(1, "C", 2, "S");
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  Result<StepReply> e2 = client.AddEdge(2, "S", 3, "C");
+  ASSERT_TRUE(e2.ok());
+
+  Result<RunReply> run = client.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->truncated);
+
+  // The same formulation in process on the same pinned snapshot.
+  PragueSession replay(manager_->current());
+  NodeId a = replay.AddNode(kC);
+  NodeId b = replay.AddNode(kS);
+  NodeId c = replay.AddNode(kC);
+  ASSERT_TRUE(replay.AddEdge(a, b).ok());
+  ASSERT_TRUE(replay.AddEdge(b, c).ok());
+  Result<QueryResults> expected = replay.Run(nullptr);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(run->similarity, expected->similarity);
+  EXPECT_EQ(run->exact, expected->exact);
+
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(ServerFixture, ProtocolErrorsAreTyped) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+
+  // Formulating before OPEN.
+  Result<StepReply> early = client.AddEdge(1, "C", 2, "S");
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), Status::Code::kFailedPrecondition);
+  Result<RunReply> early_run = client.Run();
+  ASSERT_FALSE(early_run.ok());
+  EXPECT_EQ(early_run.status().code(), Status::Code::kFailedPrecondition);
+
+  ASSERT_TRUE(client.Open().ok());
+  // Double OPEN.
+  Result<OpenReply> again = client.Open();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), Status::Code::kFailedPrecondition);
+
+  // A label outside the dictionary.
+  Result<StepReply> bad_label = client.AddEdge(1, "C", 2, "Xe");
+  ASSERT_FALSE(bad_label.ok());
+  EXPECT_EQ(bad_label.status().code(), Status::Code::kNotFound);
+
+  // Relabeling an existing handle.
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  Result<StepReply> relabel = client.AddEdge(1, "O", 3, "C");
+  ASSERT_FALSE(relabel.ok());
+  EXPECT_EQ(relabel.status().code(), Status::Code::kInvalidArgument);
+
+  // Deleting an edge that was never added.
+  Result<StepReply> missing = client.DeleteEdge(1, 9);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(ServerFixture, StatsListsOpenSessionsWithPinnedVersions) {
+  PragueClient first, second;
+  ASSERT_TRUE(ConnectClient(&first).ok());
+  ASSERT_TRUE(ConnectClient(&second).ok());
+  ASSERT_TRUE(first.Open().ok());
+
+  // Publish an append between the two opens: the sessions pin different
+  // versions and STATS must show exactly that.
+  ASSERT_TRUE(
+      manager_
+          ->Append({testing::MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}})}, 0.34)
+          .ok());
+  ASSERT_TRUE(second.Open().ok());
+
+  Result<StatsReply> stats = second.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->current_version, 1u);
+  EXPECT_EQ(stats->open_sessions, 2u);
+  ASSERT_EQ(stats->sessions.size(), 2u);
+  EXPECT_EQ(stats->sessions[0],
+            (std::pair<uint64_t, uint64_t>{first.session_id(), 0}));
+  EXPECT_EQ(stats->sessions[1],
+            (std::pair<uint64_t, uint64_t>{second.session_id(), 1}));
+
+  EXPECT_TRUE(first.Close().ok());
+  EXPECT_TRUE(second.Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance test: concurrent wire clients vs in-process replay.
+
+// One scripted formulation step.
+struct WireOp {
+  bool del = false;
+  uint32_t u = 0;
+  const char* u_label = "";
+  uint32_t v = 0;
+  const char* v_label = "";
+};
+
+// Per-client scripts: all share the C-S-C core; variants add similarity
+// pressure (pendant N has no exact match anywhere) and Modify actions.
+std::vector<WireOp> ScriptFor(int client) {
+  std::vector<WireOp> ops = {
+      {false, 1, "C", 2, "S"},
+      {false, 2, "S", 3, "C"},
+  };
+  switch (client % 4) {
+    case 0:
+      break;  // plain exact path
+    case 1:  // add then delete a pendant O (Modify action)
+      ops.push_back({false, 1, "C", 4, "O"});
+      ops.push_back({true, 1, "", 4, ""});
+      break;
+    case 2:  // pendant N: no exact match -> similarity mode
+      ops.push_back({false, 3, "C", 5, "N"});
+      break;
+    case 3:  // triangle then delete one leg
+      ops.push_back({false, 1, "C", 3, "C"});
+      ops.push_back({true, 1, "", 2, ""});
+      break;
+  }
+  return ops;
+}
+
+// Replays a script on an in-process session, mirroring the server's
+// handle bookkeeping (first appearance creates the node, edges tracked by
+// unordered handle pair).
+Result<QueryResults> ReplayScript(const SnapshotPtr& snapshot,
+                                  const std::vector<WireOp>& ops) {
+  PragueSession session(snapshot);
+  std::map<uint32_t, NodeId> nodes;
+  std::map<std::pair<uint32_t, uint32_t>, FormulationId> edges;
+  auto key = [](uint32_t u, uint32_t v) {
+    return std::make_pair(std::min(u, v), std::max(u, v));
+  };
+  for (const WireOp& op : ops) {
+    if (op.del) {
+      Result<StepReport> step = session.DeleteEdge(edges.at(key(op.u, op.v)));
+      if (!step.ok()) return step.status();
+      edges.erase(key(op.u, op.v));
+    } else {
+      for (auto [handle, label] :
+           {std::pair<uint32_t, const char*>{op.u, op.u_label},
+            std::pair<uint32_t, const char*>{op.v, op.v_label}}) {
+        if (nodes.count(handle)) continue;
+        Result<NodeId> id = session.AddNodeByName(label);
+        if (!id.ok()) return id.status();
+        nodes[handle] = *id;
+      }
+      Result<StepReport> step = session.AddEdge(nodes[op.u], nodes[op.v]);
+      if (!step.ok()) return step.status();
+      edges[key(op.u, op.v)] = step->edge;
+    }
+  }
+  return session.Run(nullptr);
+}
+
+TEST_F(ServerFixture, ConcurrentClientsMatchReplayWhileAppenderPublishes) {
+  constexpr int kClients = 8;
+  constexpr int kAppends = 10;
+
+  // Every published snapshot, by version, so each client's RUN can be
+  // replayed on exactly the version its session pinned.
+  std::mutex snapshots_mu;
+  std::map<uint64_t, SnapshotPtr> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mu);
+    snapshots[manager_->current()->version()] = manager_->current();
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<uint64_t> pinned(kClients, 0);
+  std::vector<RunReply> replies(kClients);
+  std::vector<std::string> errors(kClients);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 1);
+  threads.emplace_back([&] {
+    for (int i = 0; i < kAppends; ++i) {
+      auto report = manager_->Append(
+          {testing::MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}})}, 0.34);
+      if (!report.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(snapshots_mu);
+      snapshots[manager_->current()->version()] = manager_->current();
+    }
+  });
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto fail = [&](const Status& st) {
+        errors[i] = st.ToString();
+        failed.store(true);
+      };
+      PragueClient client;
+      if (Status st = ConnectClient(&client); !st.ok()) return fail(st);
+      Result<OpenReply> open = client.Open();
+      if (!open.ok()) return fail(open.status());
+      pinned[i] = open->version;
+      for (const WireOp& op : ScriptFor(i)) {
+        if (op.del) {
+          Result<StepReply> step = client.DeleteEdge(op.u, op.v);
+          if (!step.ok()) return fail(step.status());
+        } else {
+          Result<StepReply> step =
+              client.AddEdge(op.u, op.u_label, op.v, op.v_label);
+          if (!step.ok()) return fail(step.status());
+        }
+      }
+      Result<RunReply> run = client.Run();
+      if (!run.ok()) return fail(run.status());
+      replies[i] = std::move(*run);
+      if (Status st = client.Close(); !st.ok()) return fail(st);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "client " << i << ": " << errors[i];
+  }
+  ASSERT_FALSE(failed.load());
+
+  for (int i = 0; i < kClients; ++i) {
+    SCOPED_TRACE("client " + std::to_string(i) + " pinned version " +
+                 std::to_string(pinned[i]));
+    SnapshotPtr snapshot;
+    {
+      std::lock_guard<std::mutex> lock(snapshots_mu);
+      auto it = snapshots.find(pinned[i]);
+      ASSERT_NE(it, snapshots.end());
+      snapshot = it->second;
+    }
+    Result<QueryResults> expected = ReplayScript(snapshot, ScriptFor(i));
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    EXPECT_FALSE(replies[i].truncated);
+    EXPECT_EQ(replies[i].similarity, expected->similarity);
+    EXPECT_EQ(replies[i].exact, expected->exact);
+    ASSERT_EQ(replies[i].similar.size(), expected->similar.size());
+    for (size_t m = 0; m < expected->similar.size(); ++m) {
+      EXPECT_EQ(replies[i].similar[m].gid, expected->similar[m].gid);
+      EXPECT_EQ(replies[i].similar[m].distance, expected->similar[m].distance);
+    }
+    // Matches stay within the pinned |D|: no appended graph leaks in.
+    for (GraphId gid : replies[i].exact) {
+      EXPECT_LT(gid, snapshot->db().size());
+    }
+  }
+
+  EXPECT_EQ(manager_->Stats().current_version,
+            static_cast<uint64_t>(kAppends));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines over the wire, on a database heavy enough
+// that RUN takes visible wall time (same construction as
+// test_cancellation's HeavyAidsQuery).
+
+// A database built to make RUN genuinely slow: many graphs behind an
+// index mined so shallow (3-edge fragments at 40% support) that it prunes
+// almost nothing, forcing the similarity path to MCCS-verify a huge
+// candidate set. test_cancellation's AidsFixture query finishes in under
+// a millisecond here, which cannot exercise deadlines over the wire.
+struct HeavyWireFixture {
+  GraphDatabase db;
+  MiningResult mined;
+  ActionAwareIndexes indexes;
+  VisualQuerySpec query;
+
+  static const HeavyWireFixture& Get() {
+    static HeavyWireFixture* fixture = [] {
+      auto* f = new HeavyWireFixture();
+      AidsGeneratorConfig config;
+      config.graph_count = 12000;
+      config.seed = 23;
+      f->db = GenerateAidsLikeDatabase(config);
+      MiningConfig mining;
+      mining.min_support_ratio = 0.4;
+      mining.max_fragment_edges = 3;
+      Result<MiningResult> mined = MineFragments(f->db, mining);
+      if (!mined.ok()) std::abort();
+      f->mined = std::move(*mined);
+      A2fConfig a2f;
+      a2f.beta = 2;
+      f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      WorkloadGenerator workload(&f->db, 47);
+      for (auto [edges, mutations] : {std::pair<size_t, int>{12, 3},
+                                      {10, 3},
+                                      {8, 3},
+                                      {8, 2},
+                                      {8, 1}}) {
+        Result<VisualQuerySpec> s =
+            workload.SimilarityQuery(edges, mutations, "heavy");
+        if (s.ok()) {
+          f->query = std::move(*s);
+          return f;
+        }
+      }
+      std::abort();
+    }();
+    return *fixture;
+  }
+};
+
+const VisualQuerySpec& HeavyAidsQuery() { return HeavyWireFixture::Get().query; }
+
+class HeavyServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& fixture = HeavyWireFixture::Get();
+    manager_ = std::make_unique<SessionManager>(
+        DatabaseSnapshot::Borrow(&fixture.db, &fixture.indexes));
+    server_ = std::make_unique<PragueServer>(manager_.get(),
+                                             PragueServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  // Feeds the heavy similarity query over the wire.
+  static Status FeedHeavy(PragueClient* client) {
+    const VisualQuerySpec& spec = HeavyAidsQuery();
+    const auto& labels = HeavyWireFixture::Get().db.labels();
+    std::map<NodeId, uint32_t> handle_of;
+    uint32_t next_handle = 1;
+    for (EdgeId e : spec.sequence) {
+      const Edge& edge = spec.graph.GetEdge(e);
+      for (NodeId n : {edge.u, edge.v}) {
+        if (!handle_of.count(n)) handle_of[n] = next_handle++;
+      }
+      Result<StepReply> step = client->AddEdge(
+          handle_of[edge.u], labels.Name(spec.graph.NodeLabel(edge.u)),
+          handle_of[edge.v], labels.Name(spec.graph.NodeLabel(edge.v)),
+          edge.label);
+      PRAGUE_RETURN_NOT_OK(step.status());
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<PragueServer> server_;
+};
+
+TEST_F(HeavyServerFixture, CancelTruncatesRunInFlight) {
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Open().ok());  // unbounded budget
+  ASSERT_TRUE(FeedHeavy(&client).ok());
+
+  Result<RunReply> run = Status::IOError("never ran");
+  std::atomic<bool> run_sent{false};
+  std::thread runner([&] {
+    run_sent.store(true);
+    run = client.Run();
+  });
+  // Wait until the runner is at the send, give the RUN frame a moment to
+  // reach the server, then cancel from this thread through the same
+  // connection — the wire image of ManagedSession::Cancel. The handler
+  // marks the run in flight before it reads the next frame, so once the
+  // RUN frame is ahead of the CANCEL frame the cancel cannot be dropped,
+  // and the unbounded run takes orders of magnitude longer than the gap.
+  while (!run_sent.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(client.Cancel().ok());
+  runner.join();
+
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->truncated);
+  EXPECT_NE(run->deadline_phase, "none");
+
+  // The session survives the cancellation: a fresh RUN (re-armed token)
+  // completes normally and matches an in-process replay.
+  Result<RunReply> again = client.Run();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(again->truncated);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(HeavyServerFixture, PerSessionDeadlineReportsTruncationAndPhase) {
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Open(1).ok());  // 1 ms Run() budget
+  ASSERT_TRUE(FeedHeavy(&client).ok());
+
+  Result<RunReply> run = client.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->truncated);
+  EXPECT_NE(run->deadline_phase, "none");
+  EXPECT_TRUE(client.Close().ok());
+}
+
+// The PragueClient is lock-step by design, so the only way to race a
+// second command against an in-flight RUN on the same connection is to
+// speak raw frames.
+TEST_F(HeavyServerFixture, CommandsDuringRunAreRejectedExceptCancel) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // The test queues RUN, STATS and CANCEL back to back; Nagle would park
+  // the latter two behind the unacknowledged RUN segment.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto round_trip = [&](const WireCommand& cmd) -> Result<std::string> {
+    PRAGUE_RETURN_NOT_OK(SendFrame(fd, FrameType::kRequest, FormatCommand(cmd)));
+    PRAGUE_ASSIGN_OR_RETURN(WireFrame frame, RecvFrame(fd));
+    return std::move(frame.payload);
+  };
+
+  WireCommand open;
+  open.kind = CommandKind::kOpen;
+  Result<std::string> opened = round_trip(open);
+  ASSERT_TRUE(opened.ok() && DecodeReplyStatus(*opened).ok());
+
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+  const auto& labels = HeavyWireFixture::Get().db.labels();
+  std::map<NodeId, uint32_t> handle_of;
+  uint32_t next_handle = 1;
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = spec.graph.GetEdge(e);
+    for (NodeId n : {edge.u, edge.v}) {
+      if (!handle_of.count(n)) handle_of[n] = next_handle++;
+    }
+    WireCommand add;
+    add.kind = CommandKind::kAddEdge;
+    add.u = handle_of[edge.u];
+    add.u_label = labels.Name(spec.graph.NodeLabel(edge.u));
+    add.v = handle_of[edge.v];
+    add.v_label = labels.Name(spec.graph.NodeLabel(edge.v));
+    add.edge_label = edge.label;
+    Result<std::string> step = round_trip(add);
+    ASSERT_TRUE(step.ok() && DecodeReplyStatus(*step).ok());
+  }
+
+  // RUN without reading its reply, then STATS while the run is in flight,
+  // then CANCEL to end the run. Replies are ordered per connection, so we
+  // must see the STATS rejection first and the (truncated) RUN reply next.
+  WireCommand run;
+  run.kind = CommandKind::kRun;
+  ASSERT_TRUE(SendFrame(fd, FrameType::kRequest, FormatCommand(run)).ok());
+  // No sleep needed: the handler marks the run in flight before reading
+  // the next frame, so a STATS queued right behind RUN is always rejected.
+  WireCommand stats;
+  stats.kind = CommandKind::kStats;
+  ASSERT_TRUE(SendFrame(fd, FrameType::kRequest, FormatCommand(stats)).ok());
+  WireCommand cancel;
+  cancel.kind = CommandKind::kCancel;
+  ASSERT_TRUE(SendFrame(fd, FrameType::kRequest, FormatCommand(cancel)).ok());
+
+  Result<WireFrame> first = RecvFrame(fd);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Status rejection = DecodeReplyStatus(first->payload);
+  ASSERT_FALSE(rejection.ok()) << first->payload;
+  EXPECT_EQ(rejection.code(), Status::Code::kFailedPrecondition);
+
+  Result<WireFrame> second = RecvFrame(fd);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  Result<RunReply> reply = ParseRunReply(second->payload);
+  ASSERT_TRUE(reply.ok()) << second->payload;
+  EXPECT_TRUE(reply->truncated);
+
+  WireCommand close;
+  close.kind = CommandKind::kClose;
+  Result<std::string> bye = round_trip(close);
+  EXPECT_TRUE(bye.ok() && DecodeReplyStatus(*bye).ok());
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace prague

@@ -117,6 +117,12 @@ TEST(SessionManagerTest, StatsTrackSessionsByPinnedVersion) {
   EXPECT_EQ(stats.snapshots_published, 1u);
   EXPECT_EQ(stats.sessions_by_version.at(0), 2u);
   EXPECT_EQ(stats.sessions_by_version.at(1), 1u);
+  // Per-session detail (what the wire STATS command serves): ids in
+  // ascending order, each with its pinned version.
+  ASSERT_EQ(stats.open_session_infos.size(), 3u);
+  EXPECT_EQ(stats.open_session_infos[0], (OpenSessionInfo{s0a->id(), 0}));
+  EXPECT_EQ(stats.open_session_infos[1], (OpenSessionInfo{s0b->id(), 0}));
+  EXPECT_EQ(stats.open_session_infos[2], (OpenSessionInfo{s1->id(), 1}));
 
   // Dropping sessions releases their pins; ids are never reused.
   s0a.reset();
@@ -126,6 +132,8 @@ TEST(SessionManagerTest, StatsTrackSessionsByPinnedVersion) {
   EXPECT_EQ(stats.sessions_by_version.count(0), 0u);
   EXPECT_EQ(stats.sessions_opened, 3u);
   EXPECT_EQ(s1->id(), 3u);
+  ASSERT_EQ(stats.open_session_infos.size(), 1u);
+  EXPECT_EQ(stats.open_session_infos[0], (OpenSessionInfo{s1->id(), 1}));
 }
 
 TEST(SessionManagerTest, RetiredSnapshotFreesWhenLastPinDrops) {

@@ -297,5 +297,52 @@ TEST(BytesTest, ToMegabytes) {
   EXPECT_DOUBLE_EQ(ToMegabytes(1024 * 1024), 1.0);
 }
 
+TEST(BytesTest, U32CodecIsLittleEndian) {
+  uint8_t buf[4];
+  EncodeU32LE(0x0A0B0C0Du, buf);
+  EXPECT_EQ(buf[0], 0x0Du);
+  EXPECT_EQ(buf[1], 0x0Cu);
+  EXPECT_EQ(buf[2], 0x0Bu);
+  EXPECT_EQ(buf[3], 0x0Au);
+  EXPECT_EQ(DecodeU32LE(buf), 0x0A0B0C0Du);
+}
+
+TEST(BytesTest, FrameHeaderRoundTrips) {
+  for (uint32_t length : {0u, 1u, 513u, kMaxFramePayload}) {
+    FrameHeader header{length, 0x51};
+    uint8_t buf[kFrameHeaderBytes];
+    EncodeFrameHeader(header, buf);
+    Result<FrameHeader> back = DecodeFrameHeader(buf, sizeof(buf));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, header);
+  }
+}
+
+TEST(BytesTest, FrameHeaderRejectsTruncatedBuffer) {
+  uint8_t buf[kFrameHeaderBytes];
+  EncodeFrameHeader({12, 0x52}, buf);
+  for (size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    Result<FrameHeader> r = DecodeFrameHeader(buf, n);
+    ASSERT_FALSE(r.ok()) << n;
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  }
+}
+
+TEST(BytesTest, FrameHeaderRejectsOversizedLength) {
+  // A corrupted (or hostile) length prefix must not be believed: anything
+  // past the cap is Corruption, so a reader never allocates from it.
+  uint8_t buf[kFrameHeaderBytes];
+  EncodeFrameHeader({kMaxFramePayload + 1, 0x51}, buf);
+  Result<FrameHeader> r = DecodeFrameHeader(buf, sizeof(buf));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+
+  EncodeU32LE(0xFFFFFFFFu, buf);
+  buf[4] = 0x51;
+  r = DecodeFrameHeader(buf, sizeof(buf));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
 }  // namespace
 }  // namespace prague

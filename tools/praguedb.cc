@@ -12,10 +12,21 @@
 //   praguedb run   <db> <index.idx> "<pattern>" [sigma] [--timeout-ms=N]
 //                  — e.g. "(a:C)-(b:C), (b)-(c:S)" (see
 //                  query/pattern_parser.h)
+//   praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M]
+//                  [--threads=T]
+//                  — session server speaking the wire protocol of
+//                  server/wire.h; one connection = one pinned session
+//   praguedb shell --connect <host:port>
+//                  — interactive (or scripted via piped stdin) client
+//                  for a running server; `help` lists line commands
 //
 // `--timeout-ms=N` bounds each Run() to N milliseconds; on expiry the
 // engine returns the prefix of results decided in time and the row/output
-// is marked truncated with the phase the deadline landed in.
+// is marked truncated with the phase the deadline landed in. For `serve`
+// it is the default per-session run budget (clients can override it per
+// OPEN).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 //
 // Databases and query files use the gSpan text format (`t # id / v / e`
 // lines); indexes use the PRAGUE_INDEX format of index_io (v2 carries the
@@ -26,11 +37,17 @@
 // subcommand publishes a copy-on-write successor snapshot while a pinned
 // session keeps reading the old version.
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -47,12 +64,20 @@
 #include "index/index_maintenance.h"
 #include "core/explain.h"
 #include "query/pattern_parser.h"
+#include "server/prague_client.h"
+#include "server/prague_server.h"
 #include "util/bytes.h"
 #include "util/stopwatch.h"
 
 using namespace prague;
 
 namespace {
+
+// Usage errors (2) are distinguishable from runtime failures (1) so
+// scripts can tell a typo from a broken input file.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
 
 int Usage() {
   std::fprintf(
@@ -69,32 +94,42 @@ int Usage() {
       "[out.db out.idx]\n"
       "  praguedb stats <db>\n"
       "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain] "
-      "[--timeout-ms=N]\n");
-  return 2;
+      "[--timeout-ms=N]\n"
+      "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
+      "[--threads=T]\n"
+      "  praguedb shell --connect <host:port>\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
+  return kExitUsage;
 }
 
-// Extracts a `--timeout-ms=N` flag from argv (anywhere after the
-// subcommand), compacting the array so positional parsing is unaffected.
-// Returns 0 (unbounded) when absent.
-int64_t ExtractTimeoutMs(int* argc, char** argv) {
-  constexpr const char kFlag[] = "--timeout-ms=";
-  constexpr size_t kFlagLen = sizeof(kFlag) - 1;
-  int64_t timeout_ms = 0;
+// Extracts a `--<name>=N` flag from argv (anywhere after the subcommand),
+// compacting the array so positional parsing is unaffected. Returns
+// \p absent when the flag is missing.
+int64_t ExtractInt64Flag(int* argc, char** argv, const char* flag,
+                         int64_t absent) {
+  const size_t flag_len = std::strlen(flag);
+  int64_t value = absent;
   int w = 0;
   for (int r = 0; r < *argc; ++r) {
-    if (std::strncmp(argv[r], kFlag, kFlagLen) == 0) {
-      timeout_ms = std::strtoll(argv[r] + kFlagLen, nullptr, 10);
+    if (std::strncmp(argv[r], flag, flag_len) == 0) {
+      value = std::strtoll(argv[r] + flag_len, nullptr, 10);
     } else {
       argv[w++] = argv[r];
     }
   }
   *argc = w;
-  return timeout_ms;
+  return value;
+}
+
+// `--timeout-ms=N`; 0 (unbounded) when absent.
+int64_t ExtractTimeoutMs(int* argc, char** argv) {
+  return ExtractInt64Flag(argc, argv, "--timeout-ms=", 0);
 }
 
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  return 1;
+  return kExitRuntime;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -511,6 +546,242 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / shell — the network service layer.
+
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+int CmdServe(int argc, char** argv) {
+  int64_t timeout_ms = ExtractTimeoutMs(&argc, argv);
+  int64_t port = ExtractInt64Flag(&argc, argv, "--port=", 7474);
+  int64_t threads = ExtractInt64Flag(&argc, argv, "--threads=", 0);
+  if (argc < 3) return Usage();
+  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  Result<VersionedIndexes> loaded =
+      IndexSerializer::LoadVersionedFromFile(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  SessionManager manager(
+      DatabaseSnapshot::Make(std::move(db.value()),
+                             std::move(loaded.value().indexes),
+                             loaded.value().version));
+  PragueServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.worker_threads = static_cast<size_t>(threads);
+  // --timeout-ms is the default per-session run budget; clients may
+  // override it per OPEN.
+  options.default_run_deadline_ms = timeout_ms > 0 ? timeout_ms : -1;
+  PragueServer server(&manager, options);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("praguedb: serving %zu graphs (snapshot version %llu) on port "
+              "%u; default run budget %s\n",
+              manager.current()->db().size(),
+              static_cast<unsigned long long>(manager.current()->version()),
+              server.port(),
+              timeout_ms > 0 ? (std::to_string(timeout_ms) + " ms").c_str()
+                             : "unbounded");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("praguedb: shutting down (%llu connections served)\n",
+              static_cast<unsigned long long>(server.connections_accepted()));
+  server.Stop();
+  return kExitOk;
+}
+
+const char* FragmentStatusText(FragmentStatus status) {
+  switch (status) {
+    case FragmentStatus::kFrequent:
+      return "frequent";
+    case FragmentStatus::kInfrequent:
+      return "infrequent";
+    case FragmentStatus::kNoExactMatch:
+      return "no exact match";
+  }
+  return "?";
+}
+
+void ShellHelp() {
+  std::printf(
+      "commands:\n"
+      "  open [timeout_ms]          start this connection's session\n"
+      "  edge <u> <lu> <v> <lv> [le] add an edge between node handles\n"
+      "  delete <u> <v>             delete the edge between two handles\n"
+      "  run [k]                    run the query (list at most k matches)\n"
+      "  cancel                     cancel an in-flight run\n"
+      "  stats                      server-wide session statistics\n"
+      "  close                      close the session and disconnect\n"
+      "  quit                       leave the shell (closes politely)\n");
+}
+
+void PrintStep(const StepReply& step) {
+  std::printf("e%-3d %-15s %s |Rq|=%zu |Rfree|=%zu |Rver|=%zu\n", step.edge,
+              FragmentStatusText(step.status),
+              step.similarity_mode ? "sim" : "   ", step.exact_candidates,
+              step.free_candidates, step.ver_candidates);
+}
+
+void PrintRun(const RunReply& run) {
+  if (run.truncated) {
+    std::printf("TRUNCATED during %s — partial results:\n",
+                run.deadline_phase.c_str());
+  }
+  if (run.similarity) {
+    std::printf("%llu approximate matches (SRT %.3f ms)\n",
+                static_cast<unsigned long long>(run.total_matches),
+                run.srt_ms);
+    for (const auto& m : run.similar) {
+      std::printf("  g%-8u distance=%d\n", m.gid, m.distance);
+    }
+  } else {
+    std::printf("%llu exact matches (SRT %.3f ms):",
+                static_cast<unsigned long long>(run.total_matches),
+                run.srt_ms);
+    for (GraphId gid : run.exact) std::printf(" g%u", gid);
+    std::printf("\n");
+  }
+}
+
+void PrintStats(const StatsReply& stats) {
+  std::printf(
+      "version %llu; %llu open sessions (%llu opened all-time); %llu "
+      "snapshots published\n",
+      static_cast<unsigned long long>(stats.current_version),
+      static_cast<unsigned long long>(stats.open_sessions),
+      static_cast<unsigned long long>(stats.sessions_opened),
+      static_cast<unsigned long long>(stats.snapshots_published));
+  for (const auto& [id, version] : stats.sessions) {
+    std::printf("  session %llu pinned at version %llu\n",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(version));
+  }
+}
+
+// One shell line; returns false when the shell should exit.
+bool ShellDispatch(PragueClient& client, const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) return true;  // blank line
+  auto report = [](const Status& st) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  };
+  if (verb == "help") {
+    ShellHelp();
+  } else if (verb == "open") {
+    int64_t ms = -1;
+    in >> ms;
+    Result<OpenReply> open = client.Open(ms);
+    if (!open.ok()) {
+      report(open.status());
+    } else {
+      std::printf("session %llu pinned at snapshot version %llu\n",
+                  static_cast<unsigned long long>(open->session_id),
+                  static_cast<unsigned long long>(open->version));
+    }
+  } else if (verb == "edge") {
+    uint32_t u = 0, v = 0;
+    std::string lu, lv;
+    uint32_t le = 0;
+    if (!(in >> u >> lu >> v >> lv)) {
+      std::fprintf(stderr, "usage: edge <u> <lu> <v> <lv> [le]\n");
+      return true;
+    }
+    in >> le;
+    Result<StepReply> step = client.AddEdge(u, lu, v, lv, le);
+    if (!step.ok()) {
+      report(step.status());
+    } else {
+      PrintStep(*step);
+    }
+  } else if (verb == "delete") {
+    uint32_t u = 0, v = 0;
+    if (!(in >> u >> v)) {
+      std::fprintf(stderr, "usage: delete <u> <v>\n");
+      return true;
+    }
+    Result<StepReply> step = client.DeleteEdge(u, v);
+    if (!step.ok()) {
+      report(step.status());
+    } else {
+      PrintStep(*step);
+    }
+  } else if (verb == "run") {
+    uint64_t k = 0;
+    in >> k;
+    Result<RunReply> run = client.Run(k);
+    if (!run.ok()) {
+      report(run.status());
+    } else {
+      PrintRun(*run);
+    }
+  } else if (verb == "cancel") {
+    if (Status st = client.Cancel(); !st.ok()) report(st);
+  } else if (verb == "stats") {
+    Result<StatsReply> stats = client.Stats();
+    if (!stats.ok()) {
+      report(stats.status());
+    } else {
+      PrintStats(*stats);
+    }
+  } else if (verb == "close") {
+    if (Status st = client.Close(); !st.ok()) report(st);
+    std::printf("bye\n");
+    return false;
+  } else if (verb == "quit" || verb == "exit") {
+    if (client.connected()) client.Close();
+    return false;
+  } else {
+    std::fprintf(stderr, "unknown command '%s' (try 'help')\n", verb.c_str());
+  }
+  return client.connected();
+}
+
+int CmdShell(int argc, char** argv) {
+  std::string target;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      target = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      target = argv[++i];
+    } else if (argv[i][0] != '-') {
+      target = argv[i];
+    }
+  }
+  size_t colon = target.rfind(':');
+  if (target.empty() || colon == std::string::npos) return Usage();
+  std::string host = target.substr(0, colon);
+  int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return Usage();
+
+  PragueClient client;
+  if (Status st = client.Connect(host, static_cast<uint16_t>(port));
+      !st.ok()) {
+    return Fail(st);
+  }
+  const bool interactive = ::isatty(0) != 0;
+  if (interactive) {
+    std::printf("connected to %s — 'help' lists commands\n", target.c_str());
+  }
+  std::string line;
+  for (;;) {
+    if (interactive) {
+      std::printf("prague> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (!ShellDispatch(client, line)) break;
+  }
+  if (client.connected()) client.Close();
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -525,5 +796,7 @@ int main(int argc, char** argv) {
   if (cmd == "append") return CmdAppend(argc - 1, argv + 1);
   if (cmd == "stats") return CmdStats(argc - 1, argv + 1);
   if (cmd == "run") return CmdRun(argc - 1, argv + 1);
+  if (cmd == "serve") return CmdServe(argc - 1, argv + 1);
+  if (cmd == "shell") return CmdShell(argc - 1, argv + 1);
   return Usage();
 }
