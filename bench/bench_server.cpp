@@ -1,9 +1,11 @@
 // Wire-protocol session throughput: C concurrent clients each drive whole
 // sessions against one PragueServer over loopback — connect, OPEN,
 // formulate a containment query edge-at-a-time (exactly like the GUI),
-// RUN, CLOSE — measuring sessions/sec and the p50/p95 RUN round-trip
+// RUN, CLOSE — measuring sessions/sec and the p50/p95/p99 RUN round-trip
 // latency as seen by the client, i.e. engine SRT plus framing and socket
-// overhead.
+// overhead. Each cell also reports the same quantiles estimated from
+// merged per-client obs::Histogram shards, so the drift between the exact
+// percentiles and the log-bucket metric the server exports is visible.
 //
 // Sweeps C in {1, 4, 8, 16}. Per-cell records go to BENCH_server.json
 // (override the path with PRAGUE_BENCH_JSON), including how many RUNs the
@@ -21,6 +23,7 @@
 
 #include "bench_common.h"
 #include "core/session_manager.h"
+#include "obs/metrics.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
 #include "util/stopwatch.h"
@@ -100,9 +103,13 @@ int main() {
 
   BenchJsonWriter json("BENCH_server.json");
   TablePrinter table({"clients", "sessions", "sessions/s", "p50 RUN (ms)",
-                      "p95 RUN (ms)", "truncated"});
+                      "p95 RUN (ms)", "p99 RUN (ms)", "truncated"});
   for (size_t clients : {1u, 4u, 8u, 16u}) {
     std::vector<std::vector<double>> latencies(clients);
+    // Per-client histogram shards (µs), recorded lock-free from each
+    // client thread and merged after the join — the same machinery the
+    // server's prague_server_run_latency_us metric uses.
+    std::vector<obs::Histogram> shards(clients);
     std::atomic<size_t> truncated{0};
     Stopwatch wall;
     std::vector<std::thread> pool;
@@ -117,6 +124,7 @@ int main() {
             truncated.fetch_add(1);
           }
           latencies[c].push_back(run_seconds);
+          shards[c].Record(static_cast<uint64_t>(run_seconds * 1e6 + 0.5));
         }
       });
     }
@@ -128,18 +136,27 @@ int main() {
       all.insert(all.end(), per_client.begin(), per_client.end());
     }
     std::sort(all.begin(), all.end());
+    obs::HistogramSnapshot hist;
+    for (const obs::Histogram& shard : shards) hist.Merge(shard.Snapshot());
     const size_t sessions = clients * kSessionsPerClient;
     const double rate = static_cast<double>(sessions) / seconds;
     const double p50 = Percentile(all, 0.50) * 1000;
     const double p95 = Percentile(all, 0.95) * 1000;
+    const double p99 = Percentile(all, 0.99) * 1000;
     table.AddRow({std::to_string(clients), std::to_string(sessions),
-                  Fmt(rate, 1), Fmt(p50, 3), Fmt(p95, 3),
+                  Fmt(rate, 1), Fmt(p50, 3), Fmt(p95, 3), Fmt(p99, 3),
                   std::to_string(truncated.load())});
     json.Add("{\"clients\": " + std::to_string(clients) +
              ", \"sessions\": " + std::to_string(sessions) +
              ", \"sessions_per_sec\": " + Fmt(rate, 2) +
              ", \"run_p50_ms\": " + Fmt(p50, 4) +
              ", \"run_p95_ms\": " + Fmt(p95, 4) +
+             ", \"run_p99_ms\": " + Fmt(p99, 4) +
+             // Log-bucket estimates from the merged histogram shards, for
+             // comparison against the exact sorted-sample percentiles.
+             ", \"hist_p50_ms\": " + Fmt(hist.Quantile(0.50) / 1000, 4) +
+             ", \"hist_p95_ms\": " + Fmt(hist.Quantile(0.95) / 1000, 4) +
+             ", \"hist_p99_ms\": " + Fmt(hist.Quantile(0.99) / 1000, 4) +
              ", \"timeout_ms\": " + std::to_string(TimeoutMs()) +
              ", \"truncated\": " + std::to_string(truncated.load()) + "}");
   }

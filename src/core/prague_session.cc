@@ -1,10 +1,22 @@
 #include "core/prague_session.h"
 
+#include <cassert>
+#include <cstdint>
 #include <utility>
 
 #include "util/stopwatch.h"
 
 namespace prague {
+
+namespace {
+
+// Histograms store microseconds; round half-up from the double phase time.
+uint64_t ToMicros(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<uint64_t>(seconds * 1e6 + 0.5);
+}
+
+}  // namespace
 
 PragueSession::PragueSession(SnapshotPtr snapshot, const PragueConfig& config)
     : snap_(std::move(snapshot)), config_(config) {}
@@ -34,6 +46,13 @@ IdSet PragueSession::VertexCandidates(const SpigVertex& v) const {
                                 : ExactSubCandidates(v, snap_->indexes());
 }
 
+void PragueSession::RecordSpigBuild(double seconds) {
+  formulation_spig_seconds_ += seconds;
+  obs::EngineMetrics& em = obs::EngineMetrics::Get();
+  em.spig_steps_total->Increment();
+  em.spig_build_us->Record(ToMicros(seconds));
+}
+
 void PragueSession::RefreshCandidates(StepReport* report) {
   Stopwatch timer;
   const SpigVertex* target = TargetVertex();
@@ -51,6 +70,9 @@ void PragueSession::RefreshCandidates(StepReport* report) {
     similar_ = SimilarCandidates();
   }
   report->candidate_seconds = timer.ElapsedSeconds();
+  formulation_candidate_seconds_ += report->candidate_seconds;
+  obs::EngineMetrics::Get().candidate_refresh_us->Record(
+      ToMicros(report->candidate_seconds));
   report->exact_candidates = rq_.size();
   report->similarity_mode = sim_flag_;
   if (target != nullptr && target->frag.IsFrequent()) {
@@ -75,10 +97,14 @@ Result<StepReport> PragueSession::AddEdge(NodeId u, NodeId v,
   Result<const Spig*> spig = spigs_.AddForNewEdge(
       query_, *ell, snap_->indexes(), SpigPool(), StepDeadline());
   if (!spig.ok()) {
+    if (spig.status().code() == Status::Code::kDeadlineExceeded) {
+      obs::EngineMetrics::Get().step_deadline_total->Increment();
+    }
     query_ = std::move(backup);
     return spig.status();
   }
   report.spig_seconds = spig_timer.ElapsedSeconds();
+  RecordSpigBuild(report.spig_seconds);
   RefreshCandidates(&report);
   SessionAction a;
   a.kind = SessionAction::Kind::kAddEdge;
@@ -104,6 +130,7 @@ Result<StepReport> PragueSession::DeleteEdge(FormulationId ell) {
   Stopwatch spig_timer;
   spigs_.RemoveForDeletedEdge(ell);
   report.spig_seconds = spig_timer.ElapsedSeconds();
+  RecordSpigBuild(report.spig_seconds);
   // Algorithm 6 lines 15-18: fall back to exact mode when the reduced
   // query has exact matches again.
   MaybeExitSimilarity();
@@ -155,6 +182,7 @@ Result<StepReport> PragueSession::DeleteEdges(
     log_.push_back(a);
   }
   report.spig_seconds = spig_timer.ElapsedSeconds();
+  RecordSpigBuild(report.spig_seconds);
   MaybeExitSimilarity();
   RefreshCandidates(&report);
   return report;
@@ -173,6 +201,7 @@ Result<StepReport> PragueSession::RelabelNode(NodeId node, Label new_label) {
         spigs_.RefreshForRelabel(query_, affected, snap_->indexes()));
   }
   report.spig_seconds = spig_timer.ElapsedSeconds();
+  RecordSpigBuild(report.spig_seconds);
   MaybeExitSimilarity();
   RefreshCandidates(&report);
   SessionAction a;
@@ -307,6 +336,17 @@ Result<QueryResults> PragueSession::Run(const Deadline& deadline,
     return Status::FailedPrecondition("no query fragment to run");
   }
   Stopwatch timer;
+  obs::RunTrace trace;
+  trace.session_tag = config_.session_tag;
+  trace.snapshot_version = snap_->version();
+  trace.run_ordinal = runs_completed_ + 1;
+  trace.query_edges = query_.EdgeCount();
+  trace.similarity = sim_flag_;
+  // Formulation work happened before Run() (during GUI latency); surface
+  // the cumulative totals so one trace covers the whole episode.
+  trace.spans.push_back({"formulation-spig", formulation_spig_seconds_});
+  trace.spans.push_back(
+      {"formulation-candidates", formulation_candidate_seconds_});
   const Graph& q = query_.CurrentGraph();
   QueryResults results;
   RunStats local;
@@ -328,11 +368,13 @@ Result<QueryResults> PragueSession::Run(const Deadline& deadline,
       local.verified = results.exact.size();
       local.rejected = 0;
     } else {
-      Stopwatch verify_timer;
+      obs::TraceSpan span(&trace, "exact-verification");
       VerificationOutcome outcome;
       results.exact =
           ExactVerification(q, rq_, snap_->db(), pool, deadline, &outcome);
-      local.verification_seconds = verify_timer.ElapsedSeconds();
+      local.verification_seconds = span.Stop();
+      obs::EngineMetrics::Get().exact_verification_us->Record(
+          ToMicros(local.verification_seconds));
       local.verified = results.exact.size();
       local.rejected = outcome.checked - results.exact.size();
       local.nodes_expanded += outcome.nodes_expanded;
@@ -342,20 +384,24 @@ Result<QueryResults> PragueSession::Run(const Deadline& deadline,
       // Algorithm 1 lines 19-21: exact verification came up empty — fall
       // back to similarity search.
       results.similarity = true;
-      Stopwatch cand_timer;
+      obs::TraceSpan cand_span(&trace, "similar-candidates");
       bool cand_cut = false;
       SimilarCandidates cands = SimilarSubCandidates(
           spigs_, query_.EdgeCount(), config_.sigma, snap_->indexes(),
           config_.candidate_memo, deadline, &cand_cut);
-      local.candidate_seconds = cand_timer.ElapsedSeconds();
+      local.candidate_seconds = cand_span.Stop();
+      obs::EngineMetrics::Get().similar_candidates_us->Record(
+          ToMicros(local.candidate_seconds));
       if (cand_cut) mark_cut(RunPhase::kSimilarCandidates);
-      Stopwatch sim_timer;
+      obs::TraceSpan sim_span(&trace, "similar-generation");
       bool gen_cut = false;
       results.similar = SimilarResultsGen(
           q, spigs_, cands, config_.sigma, snap_->db(), nullptr,
           &local.similar, config_.top_k, pool, config_.filtering_verifier,
           deadline, &gen_cut);
-      local.similarity_seconds = sim_timer.ElapsedSeconds();
+      local.similarity_seconds = sim_span.Stop();
+      obs::EngineMetrics::Get().similar_generation_us->Record(
+          ToMicros(local.similarity_seconds));
       if (gen_cut) mark_cut(RunPhase::kSimilarGeneration);
     }
   } else {
@@ -363,17 +409,50 @@ Result<QueryResults> PragueSession::Run(const Deadline& deadline,
     // Distance-0 matches are possible when a deletion restored exact
     // matches while simFlag stayed set.
     const IdSet* exact_rq = rq_.empty() ? nullptr : &rq_;
-    Stopwatch sim_timer;
+    obs::TraceSpan sim_span(&trace, "similar-generation");
     bool gen_cut = false;
     results.similar = SimilarResultsGen(
         q, spigs_, similar_, config_.sigma, snap_->db(), exact_rq,
         &local.similar, config_.top_k, pool, config_.filtering_verifier,
         deadline, &gen_cut);
-    local.similarity_seconds = sim_timer.ElapsedSeconds();
+    local.similarity_seconds = sim_span.Stop();
+    obs::EngineMetrics::Get().similar_generation_us->Record(
+        ToMicros(local.similarity_seconds));
     if (gen_cut) mark_cut(RunPhase::kSimilarGeneration);
   }
   local.nodes_expanded += local.similar.nodes_expanded;
   local.srt_seconds = timer.ElapsedSeconds();
+  // Phase intervals are disjoint sub-intervals of the Run() wall clock, and
+  // Stopwatch truncates to whole microseconds, so a sum of floors can never
+  // exceed the floor of the total — the breakdown always accounts for at
+  // most the SRT. The epsilon only absorbs double-addition rounding.
+  assert(local.candidate_seconds + local.verification_seconds +
+             local.similarity_seconds <=
+         local.srt_seconds + 1e-9);
+  ++runs_completed_;
+  trace.truncated = local.truncated;
+  trace.deadline_phase = RunPhaseName(local.deadline_phase);
+  trace.srt_seconds = local.srt_seconds;
+  trace.result_count =
+      results.similarity ? results.similar.size() : results.exact.size();
+  trace.vf2_calls = local.similar.vf2_calls;
+  trace.nodes_expanded = local.nodes_expanded;
+  trace.candidates_pruned = local.rejected + local.similar.rejected;
+  obs::EngineMetrics& em = obs::EngineMetrics::Get();
+  em.runs_total->Increment();
+  if (local.truncated) em.runs_truncated_total->Increment();
+  em.run_latency_us->Record(ToMicros(local.srt_seconds));
+  em.vf2_calls_total->Increment(trace.vf2_calls);
+  em.nodes_expanded_total->Increment(trace.nodes_expanded);
+  em.candidates_pruned_total->Increment(trace.candidates_pruned);
+  if (config_.run_tally != nullptr) {
+    config_.run_tally->runs.Increment();
+    if (local.truncated) config_.run_tally->truncated.Increment();
+  }
+  last_trace_ = trace;
+  if (config_.trace_ring != nullptr) {
+    config_.trace_ring->Add(std::move(trace));
+  }
   if (stats != nullptr) *stats = local;
   return results;
 }

@@ -22,6 +22,8 @@
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
 #include "index/database_snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace prague {
@@ -73,6 +75,17 @@ struct PragueConfig {
   /// outlive the session; ManagedSession wires its own token here so a
   /// manager-level thread can cancel work in flight.
   const CancellationToken* cancellation = nullptr;
+  /// Optional shared run tally: every completed Run() bumps it, so an
+  /// owner (SessionManager) can report cumulative served/truncated counts
+  /// across sessions, including closed ones. Must outlive the session.
+  obs::RunTally* run_tally = nullptr;
+  /// Optional ring of recent run traces: every completed Run() appends its
+  /// RunTrace. Must outlive the session (ManagedSession keeps the manager's
+  /// ring alive via shared ownership).
+  obs::TraceRing* trace_ring = nullptr;
+  /// Observability label stamped into this session's RunTraces
+  /// (ManagedSession sets its manager-assigned id). Purely diagnostic.
+  uint64_t session_tag = 0;
 };
 
 /// \brief The Status column of Figure 3.
@@ -177,6 +190,11 @@ class PragueSession {
   const SnapshotPtr& snapshot() const { return snap_; }
   /// \brief Version of the pinned snapshot.
   uint64_t version() const { return snap_->version(); }
+  /// \brief Trace of the most recent completed Run() (default-constructed
+  /// until the first Run). Not thread-safe against a concurrent Run().
+  const obs::RunTrace& last_run_trace() const { return last_trace_; }
+  /// \brief Number of Run() calls completed on this session.
+  uint64_t runs_completed() const { return runs_completed_; }
 
  private:
   // Recomputes Rq (and similarity candidates if simFlag) from the SPIG
@@ -198,6 +216,9 @@ class PragueSession {
   Deadline StepDeadline() const;
   // Algorithm 3 for one vertex, memoized or not per config_.
   IdSet VertexCandidates(const SpigVertex& v) const;
+  // Books SPIG build time into the cumulative formulation tally and the
+  // engine-wide histogram.
+  void RecordSpigBuild(double seconds);
 
   SnapshotPtr snap_;
   PragueConfig config_;
@@ -210,6 +231,13 @@ class PragueSession {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> spig_pool_;
   SessionLog log_;
+  obs::RunTrace last_trace_;
+  uint64_t runs_completed_ = 0;
+  // Cumulative formulation-time work (SPIG builds, candidate refreshes)
+  // since the session opened; surfaced as spans on each RunTrace so a
+  // trace shows the whole episode, not just the Run() residual.
+  double formulation_spig_seconds_ = 0;
+  double formulation_candidate_seconds_ = 0;
 };
 
 }  // namespace prague

@@ -35,8 +35,8 @@ int64_t SessionManager::DefaultRunDeadlineMillis() const {
 std::shared_ptr<ManagedSession> SessionManager::Open(
     const PragueConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto session = std::shared_ptr<ManagedSession>(
-      new ManagedSession(next_session_id_++, current_, config));
+  auto session = std::shared_ptr<ManagedSession>(new ManagedSession(
+      next_session_id_++, current_, run_tally_, trace_ring_, config));
   ++sessions_opened_;
   sessions_[session->id()] = session;
   // Lazy prune: drop registry entries whose sessions have closed.
@@ -64,6 +64,7 @@ Status SessionManager::Publish(SnapshotPtr next) {
   }
   current_ = std::move(next);
   ++snapshots_published_;
+  obs::EngineMetrics::Get().snapshots_published_total->Increment();
   return Status::OK();
 }
 
@@ -88,6 +89,8 @@ SessionManagerStats SessionManager::Stats() const {
   stats.current_version = current_->version();
   stats.sessions_opened = sessions_opened_;
   stats.snapshots_published = snapshots_published_;
+  stats.runs_served = run_tally_->runs.Value();
+  stats.runs_truncated = run_tally_->truncated.Value();
   for (const auto& [id, weak] : sessions_) {
     if (std::shared_ptr<ManagedSession> session = weak.lock()) {
       ++stats.open_sessions;

@@ -63,6 +63,8 @@ class ManagedSession {
   /// \brief Whether Cancel() has been requested since the last reset.
   bool cancelled() const { return token_.StopRequested(); }
 
+  ~ManagedSession() { obs::EngineMetrics::Get().sessions_open->Add(-1); }
+
   /// \brief Manager-assigned session id (monotone per manager).
   uint64_t id() const { return id_; }
   /// \brief Version of the snapshot this session pinned at Open() time.
@@ -72,21 +74,39 @@ class ManagedSession {
 
  private:
   friend class SessionManager;
-  ManagedSession(uint64_t id, SnapshotPtr snap, const PragueConfig& config)
-      : id_(id), snap_(std::move(snap)),
-        session_(snap_, WireToken(config, &token_)) {}
+  ManagedSession(uint64_t id, SnapshotPtr snap,
+                 std::shared_ptr<obs::RunTally> tally,
+                 std::shared_ptr<obs::TraceRing> traces,
+                 const PragueConfig& config)
+      : id_(id), snap_(std::move(snap)), tally_(std::move(tally)),
+        traces_(std::move(traces)),
+        session_(snap_, WireConfig(config, &token_, id_, tally_.get(),
+                                   traces_.get())) {
+    obs::EngineMetrics& em = obs::EngineMetrics::Get();
+    em.sessions_opened_total->Increment();
+    em.sessions_open->Add(1);
+  }
 
-  // The session keeps a pointer to token_, so the token must be declared
-  // before session_ (construction order) and the config must be rewired
-  // to point at this instance's token rather than whatever the caller had.
-  static PragueConfig WireToken(PragueConfig config,
-                                const CancellationToken* token) {
+  // The session keeps pointers to token_/tally_/traces_, so those must be
+  // declared before session_ (construction order) and the config must be
+  // rewired to point at this instance's members rather than whatever the
+  // caller had. Shared ownership of the tally and trace ring lets a
+  // session outlive its manager safely.
+  static PragueConfig WireConfig(PragueConfig config,
+                                 const CancellationToken* token, uint64_t id,
+                                 obs::RunTally* tally,
+                                 obs::TraceRing* traces) {
     config.cancellation = token;
+    config.session_tag = id;
+    config.run_tally = tally;
+    config.trace_ring = traces;
     return config;
   }
 
   uint64_t id_;
   SnapshotPtr snap_;
+  std::shared_ptr<obs::RunTally> tally_;
+  std::shared_ptr<obs::TraceRing> traces_;
   std::mutex mu_;
   CancellationToken token_;
   PragueSession session_;
@@ -107,6 +127,11 @@ struct SessionManagerStats {
   size_t open_sessions = 0;
   uint64_t sessions_opened = 0;
   uint64_t snapshots_published = 0;
+  /// Run() calls completed across all sessions this manager ever opened
+  /// (closed sessions included — the shared RunTally outlives them).
+  uint64_t runs_served = 0;
+  /// Of those, runs cut short by a deadline or cancellation.
+  uint64_t runs_truncated = 0;
   /// Live sessions grouped by the version they pinned — shows how many
   /// readers each retained snapshot is still serving.
   std::map<uint64_t, size_t> sessions_by_version;
@@ -159,6 +184,10 @@ class SessionManager {
   /// \brief Counters plus live sessions grouped by pinned version.
   SessionManagerStats Stats() const;
 
+  /// \brief Recent RunTraces across all of this manager's sessions
+  /// (bounded ring; see obs/trace.h).
+  const obs::TraceRing& traces() const { return *trace_ring_; }
+
  private:
   // Snapshot of default_config_ under mu_ (it is mutable via
   // SetDefaultRunDeadlineMillis).
@@ -175,6 +204,12 @@ class SessionManager {
   uint64_t next_session_id_ = 1;
   uint64_t sessions_opened_ = 0;
   uint64_t snapshots_published_ = 0;
+  // Shared with every ManagedSession (shared_ptr) so per-run accounting
+  // and traces survive both session teardown and manager teardown.
+  std::shared_ptr<obs::RunTally> run_tally_ =
+      std::make_shared<obs::RunTally>();
+  std::shared_ptr<obs::TraceRing> trace_ring_ =
+      std::make_shared<obs::TraceRing>();
 
   std::mutex writer_mu_;  // serializes Append()
 };

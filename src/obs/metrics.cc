@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+namespace prague::obs {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(i));
+      // The overflow bucket has no real upper bound; pretend it is one
+      // octave wide so interpolation stays finite.
+      const double upper =
+          i == kHistogramBuckets - 1
+              ? lower * 2
+              : static_cast<double>(Histogram::BucketUpperBound(i));
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(kHistogramBuckets - 2));
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Immortal: metric pointers are cached in static structs and recorded to
+  // from detached-ish threads during shutdown; never destroy the registry.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  RegistrySnapshot snap = Snapshot();
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative buckets up to the last non-empty one; everything after is
+    // equal to the total and captured by the mandatory +Inf bucket.
+    size_t last = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (hist.buckets[i] != 0) last = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= last && i + 1 < kHistogramBuckets &&
+                       hist.count != 0;
+         ++i) {
+      cumulative += hist.buckets[i];
+      out += name + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + '\n';
+    out += name + "_sum " + std::to_string(hist.sum) + '\n';
+    out += name + "_count " + std::to_string(hist.count) + '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+EngineMetrics& EngineMetrics::Get() {
+  static EngineMetrics* metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* m = new EngineMetrics();
+    m->runs_total = reg.GetCounter("prague_engine_runs_total");
+    m->runs_truncated_total =
+        reg.GetCounter("prague_engine_runs_truncated_total");
+    m->step_deadline_total =
+        reg.GetCounter("prague_engine_step_deadline_total");
+    m->spig_steps_total = reg.GetCounter("prague_engine_spig_steps_total");
+    m->vf2_calls_total = reg.GetCounter("prague_engine_vf2_calls_total");
+    m->nodes_expanded_total =
+        reg.GetCounter("prague_engine_nodes_expanded_total");
+    m->candidates_pruned_total =
+        reg.GetCounter("prague_engine_candidates_pruned_total");
+    m->sessions_opened_total =
+        reg.GetCounter("prague_engine_sessions_opened_total");
+    m->snapshots_published_total =
+        reg.GetCounter("prague_engine_snapshots_published_total");
+    m->sessions_open = reg.GetGauge("prague_engine_sessions_open");
+    m->run_latency_us = reg.GetHistogram("prague_engine_run_latency_us");
+    m->exact_verification_us =
+        reg.GetHistogram("prague_engine_exact_verification_us");
+    m->similar_candidates_us =
+        reg.GetHistogram("prague_engine_similar_candidates_us");
+    m->similar_generation_us =
+        reg.GetHistogram("prague_engine_similar_generation_us");
+    m->spig_build_us = reg.GetHistogram("prague_engine_spig_build_us");
+    m->candidate_refresh_us =
+        reg.GetHistogram("prague_engine_candidate_refresh_us");
+    return m;
+  }();
+  return *metrics;
+}
+
+ServerMetrics& ServerMetrics::Get() {
+  static ServerMetrics* metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* m = new ServerMetrics();
+    m->connections_total = reg.GetCounter("prague_server_connections_total");
+    m->frames_total = reg.GetCounter("prague_server_frames_total");
+    m->protocol_errors_total =
+        reg.GetCounter("prague_server_protocol_errors_total");
+    m->runs_truncated_total =
+        reg.GetCounter("prague_server_runs_truncated_total");
+    m->slow_queries_total = reg.GetCounter("prague_server_slow_queries_total");
+    m->cmd_open_total = reg.GetCounter("prague_server_cmd_open_total");
+    m->cmd_add_edge_total = reg.GetCounter("prague_server_cmd_add_edge_total");
+    m->cmd_delete_edge_total =
+        reg.GetCounter("prague_server_cmd_delete_edge_total");
+    m->cmd_run_total = reg.GetCounter("prague_server_cmd_run_total");
+    m->cmd_cancel_total = reg.GetCounter("prague_server_cmd_cancel_total");
+    m->cmd_stats_total = reg.GetCounter("prague_server_cmd_stats_total");
+    m->cmd_metrics_total = reg.GetCounter("prague_server_cmd_metrics_total");
+    m->cmd_close_total = reg.GetCounter("prague_server_cmd_close_total");
+    m->run_latency_us = reg.GetHistogram("prague_server_run_latency_us");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace prague::obs

@@ -1,0 +1,237 @@
+// Engine-wide metrics: lock-free counters/gauges, a log-scale latency
+// histogram, and a process-wide registry with Prometheus-style text
+// exposition.
+//
+// The hot path is the whole design constraint. PRAGUE's pitch is a bounded
+// SRT measured in microseconds-to-milliseconds, so the instrumentation that
+// accounts for it must cost nothing in comparison: recording a sample is a
+// handful of relaxed atomic adds — no locks, no heap allocation, no
+// formatting. Registration (name → metric) takes a mutex, but it happens
+// once per metric at startup; callers cache the returned pointer (metrics
+// live forever in node-stable storage) and never touch the registry again.
+//
+// Reading is the cold side: Snapshot() and RenderPrometheus() walk the
+// registry under its mutex and read every atomic. Because the writers are
+// relaxed, a snapshot is not a single instant — counters may be mutually
+// slightly stale — which is the standard contract for scrape-based metrics.
+
+#ifndef PRAGUE_OBS_METRICS_H_
+#define PRAGUE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace prague::obs {
+
+/// \brief Monotone event count. All operations are relaxed atomics — safe
+/// from any thread, free of locks and allocations.
+class Counter {
+ public:
+  /// \brief Adds \p n (default 1).
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// \brief Current count.
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// \brief Zeroes the count (tests and bench resets only — Prometheus
+  /// counters are otherwise monotone).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed level (open sessions, queue depth).
+class Gauge {
+ public:
+  /// \brief Adds \p delta (may be negative).
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// \brief Sets the level outright.
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// \brief Current level.
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed bucket count shared by Histogram and HistogramSnapshot. Bucket 0
+/// holds exact zeros; bucket i (1 ≤ i ≤ 38) holds [2^(i-1), 2^i); the last
+/// bucket is the overflow for values ≥ 2^38 — in microseconds that is
+/// ≈ 76 hours, far beyond any latency this engine can produce.
+inline constexpr size_t kHistogramBuckets = 40;
+
+/// \brief Point-in-time copy of a histogram: plain integers, mergeable,
+/// with quantile extraction. Merging shard snapshots is exact — bucket
+/// counts and sums add — so N thread-local histograms merged equal one
+/// histogram fed the same samples (the property tests pin this down).
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;  ///< total samples (= sum of buckets)
+  uint64_t sum = 0;    ///< sum of recorded values
+
+  bool operator==(const HistogramSnapshot&) const = default;
+
+  /// \brief Adds \p other into this snapshot.
+  void Merge(const HistogramSnapshot& other);
+
+  /// \brief Value at quantile \p q in [0, 1] (0.5 = p50), linearly
+  /// interpolated inside the containing bucket. 0 when empty. Log-scale
+  /// buckets bound the relative error by the bucket width (a factor of 2).
+  double Quantile(double q) const;
+
+  /// \brief Mean of the recorded values (exact — the sum is exact).
+  double Mean() const;
+};
+
+/// \brief Lock-free fixed-bucket log-scale histogram for latencies.
+///
+/// Record() is two relaxed fetch_adds on a power-of-two bucket index —
+/// no locks, no allocation, no floating point. Units are whatever the
+/// caller records; the engine uses microseconds (`*_us` metric names).
+class Histogram {
+ public:
+  /// \brief Records one sample. Safe from any thread.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// \brief Copies the current state (see the relaxed-snapshot caveat in
+  /// the file comment).
+  HistogramSnapshot Snapshot() const;
+
+  /// \brief Zeroes all buckets (tests and bench resets only).
+  void Reset();
+
+  /// \brief Bucket index for \p value: 0 for 0, else bit_width clamped to
+  /// the overflow bucket.
+  static size_t BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    size_t w = static_cast<size_t>(std::bit_width(value));
+    return w < kHistogramBuckets - 1 ? w : kHistogramBuckets - 1;
+  }
+
+  /// \brief Inclusive upper bound of bucket \p i ("le" label); the
+  /// overflow bucket has none (rendered as +Inf).
+  static uint64_t BucketUpperBound(size_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+  }
+  /// \brief Inclusive lower bound of bucket \p i.
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Shared per-run tally a session owner (SessionManager) wires into
+/// PragueConfig so cumulative run counts survive session teardown — the
+/// manager's weak registry forgets closed sessions, this does not.
+struct RunTally {
+  Counter runs;       ///< Run() calls completed
+  Counter truncated;  ///< of those, cut short by a deadline/cancel
+};
+
+/// \brief Full registry state (cold-path read model).
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// \brief Process-wide metric registry. Get*() registers on first use and
+/// returns a stable pointer (metrics are never destroyed or moved); cache
+/// it and record through it lock-free. Counter, gauge, and histogram names
+/// are separate namespaces, but use distinct names anyway — Prometheus
+/// exposition requires it.
+class MetricsRegistry {
+ public:
+  /// \brief The process-wide instance (immortal).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// \brief Copies every metric's current value.
+  RegistrySnapshot Snapshot() const;
+
+  /// \brief Prometheus text exposition: `# TYPE` lines, counter/gauge
+  /// samples, and cumulative `_bucket{le="..."}`/`_sum`/`_count` series
+  /// per histogram. Ends with a newline.
+  std::string RenderPrometheus() const;
+
+  /// \brief Zeroes every registered metric, keeping registrations (so
+  /// cached pointers stay valid). Tests only — the process-wide registry
+  /// accumulates across test cases otherwise.
+  void Reset();
+
+ private:
+  // std::map keeps node addresses stable across inserts and renders in
+  // sorted order; unique_ptr pins each metric's address for cached raw
+  // pointers. less<> enables string_view lookups without a temporary.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// \brief Cached pointers to the engine-side metrics (sessions, runs,
+/// SPIG/candidate/verification phases). One registry lookup per process.
+struct EngineMetrics {
+  Counter* runs_total;
+  Counter* runs_truncated_total;
+  Counter* step_deadline_total;      ///< formulation steps aborted by budget
+  Counter* spig_steps_total;         ///< SPIG build/maintenance steps
+  Counter* vf2_calls_total;
+  Counter* nodes_expanded_total;
+  Counter* candidates_pruned_total;  ///< candidates rejected by verification
+  Counter* sessions_opened_total;
+  Counter* snapshots_published_total;
+  Gauge* sessions_open;
+  Histogram* run_latency_us;
+  Histogram* exact_verification_us;
+  Histogram* similar_candidates_us;
+  Histogram* similar_generation_us;
+  Histogram* spig_build_us;
+  Histogram* candidate_refresh_us;
+
+  static EngineMetrics& Get();
+};
+
+/// \brief Cached pointers to the server-side metrics (connections, frames,
+/// per-command counts, RUN round-trip latency).
+struct ServerMetrics {
+  Counter* connections_total;
+  Counter* frames_total;
+  Counter* protocol_errors_total;
+  Counter* runs_truncated_total;
+  Counter* slow_queries_total;
+  Counter* cmd_open_total;
+  Counter* cmd_add_edge_total;
+  Counter* cmd_delete_edge_total;
+  Counter* cmd_run_total;
+  Counter* cmd_cancel_total;
+  Counter* cmd_stats_total;
+  Counter* cmd_metrics_total;
+  Counter* cmd_close_total;
+  Histogram* run_latency_us;  ///< RUN as timed by the server run thread
+
+  static ServerMetrics& Get();
+};
+
+}  // namespace prague::obs
+
+#endif  // PRAGUE_OBS_METRICS_H_

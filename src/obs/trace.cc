@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace prague::obs {
+
+std::string RunTrace::ToString() const {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "run#%llu session=%llu version=%llu |q|=%zu mode=%s "
+                "results=%zu srt_ms=%.3f truncated=%d phase=%s vf2=%llu "
+                "nodes=%llu pruned=%llu spans=[",
+                static_cast<unsigned long long>(run_ordinal),
+                static_cast<unsigned long long>(session_tag),
+                static_cast<unsigned long long>(snapshot_version),
+                query_edges, similarity ? "similar" : "exact", result_count,
+                srt_seconds * 1000, truncated ? 1 : 0, deadline_phase,
+                static_cast<unsigned long long>(vf2_calls),
+                static_cast<unsigned long long>(nodes_expanded),
+                static_cast<unsigned long long>(candidates_pruned));
+  std::string out = head;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    char span[96];
+    std::snprintf(span, sizeof(span), "%s%s=%.3fms", i ? "," : "",
+                  spans[i].name, spans[i].seconds * 1000);
+    out += span;
+  }
+  out += ']';
+  return out;
+}
+
+void TraceRing::Add(RunTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++added_;
+}
+
+std::vector<RunTrace> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RunTrace> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring is full, next_ points at the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+}  // namespace prague::obs

@@ -122,6 +122,13 @@ Result<StatsReply> PragueClient::Stats() {
   return ParseStatsReply(payload);
 }
 
+Result<std::string> PragueClient::Metrics() {
+  WireCommand cmd;
+  cmd.kind = CommandKind::kMetrics;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseMetricsReply(payload);
+}
+
 Status PragueClient::Close() {
   WireCommand cmd;
   cmd.kind = CommandKind::kClose;

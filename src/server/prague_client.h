@@ -62,6 +62,8 @@ class PragueClient {
   /// \brief STATS: manager-wide counters plus open sessions and their
   /// pinned versions.
   Result<StatsReply> Stats();
+  /// \brief METRICS: the server's full Prometheus text exposition.
+  Result<std::string> Metrics();
   /// \brief CLOSE handshake, then drops the connection.
   Status Close();
 

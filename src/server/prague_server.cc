@@ -13,8 +13,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace prague {
 
@@ -23,6 +26,30 @@ namespace {
 // Edge identity on the wire is the unordered pair of node handles.
 std::pair<uint32_t, uint32_t> EdgeKey(uint32_t u, uint32_t v) {
   return {std::min(u, v), std::max(u, v)};
+}
+
+// Per-command frame counter (obs/metrics.h).
+obs::Counter* CommandCounter(CommandKind kind) {
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+  switch (kind) {
+    case CommandKind::kOpen:
+      return sm.cmd_open_total;
+    case CommandKind::kAddEdge:
+      return sm.cmd_add_edge_total;
+    case CommandKind::kDeleteEdge:
+      return sm.cmd_delete_edge_total;
+    case CommandKind::kRun:
+      return sm.cmd_run_total;
+    case CommandKind::kCancel:
+      return sm.cmd_cancel_total;
+    case CommandKind::kStats:
+      return sm.cmd_stats_total;
+    case CommandKind::kMetrics:
+      return sm.cmd_metrics_total;
+    case CommandKind::kClose:
+      return sm.cmd_close_total;
+  }
+  return sm.cmd_close_total;
 }
 
 }  // namespace
@@ -140,6 +167,7 @@ void PragueServer::AcceptLoop() {
       return;
     }
     connections_accepted_.fetch_add(1);
+    obs::ServerMetrics::Get().connections_total->Increment();
     // Frames are tiny and latency-bound; Nagle + delayed ACK would park
     // back-to-back commands (e.g. RUN then CANCEL) in the peer's kernel
     // buffer for tens of milliseconds.
@@ -154,27 +182,33 @@ void PragueServer::AcceptLoop() {
 }
 
 void PragueServer::ServeConnection(int fd) {
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
   Connection conn;
   conn.fd = fd;
   for (;;) {
     Result<WireFrame> frame = RecvFrame(fd);
     if (!frame.ok()) {
       if (!IsConnectionClosed(frame.status())) {
+        sm.protocol_errors_total->Increment();
         PRAGUE_LOG(Warning) << "connection dropped: "
                             << frame.status().ToString();
       }
       break;
     }
+    sm.frames_total->Increment();
     if (frame->type != FrameType::kRequest) {
+      sm.protocol_errors_total->Increment();
       conn.SendReply(EncodeErrorReply(
           Status::Corruption("expected a request frame")));
       break;
     }
     Result<WireCommand> cmd = ParseCommand(frame->payload);
     if (!cmd.ok()) {
+      sm.protocol_errors_total->Increment();
       conn.SendReply(EncodeErrorReply(cmd.status()));
       continue;
     }
+    CommandCounter(cmd->kind)->Increment();
     if (!HandleCommand(conn, *cmd)) break;
   }
   // Teardown: a run still in flight is cancelled so the join is prompt.
@@ -295,6 +329,11 @@ bool PragueServer::HandleCommand(Connection& conn, const WireCommand& cmd) {
       conn.SendReply(FormatStatsReply(manager_->Stats()));
       return true;
     }
+    case CommandKind::kMetrics: {
+      conn.SendReply(FormatMetricsReply(
+          obs::MetricsRegistry::Global().RenderPrometheus()));
+      return true;
+    }
     case CommandKind::kClose: {
       conn.SendReply("OK bye");
       return false;
@@ -310,14 +349,32 @@ void PragueServer::StartRun(Connection& conn, uint64_t limit) {
   // previous run) cannot poison this run.
   conn.session->ResetCancellation();
   conn.run_in_flight.store(true);
-  conn.run_thread = std::thread([&conn, limit] {
+  // `this` is safe here: ServeConnection joins the run thread before it
+  // returns, and Stop() drains the handler pool before the server dies.
+  conn.run_thread = std::thread([this, &conn, limit] {
+    obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+    Stopwatch timer;
+    obs::RunTrace trace;
+    bool ran = false;
     std::string reply =
         conn.session->With([&](PragueSession& s) -> std::string {
           RunStats stats;
           Result<QueryResults> results = s.Run(&stats);
           if (!results.ok()) return EncodeErrorReply(results.status());
+          trace = s.last_run_trace();
+          ran = true;
           return FormatRunReply(*results, stats, limit);
         });
+    double elapsed_ms = timer.ElapsedMillis();
+    sm.run_latency_us->Record(
+        static_cast<uint64_t>(elapsed_ms * 1000 + 0.5));
+    if (ran && trace.truncated) sm.runs_truncated_total->Increment();
+    if (ran && options_.slow_query_ms >= 0 &&
+        elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
+      sm.slow_queries_total->Increment();
+      PRAGUE_LOG(Warning) << "slow query (" << elapsed_ms
+                          << " ms): " << trace.ToString();
+    }
     // Clear the flag before replying so a lock-step client's next command
     // (sent only after it reads this reply) is never bounced as "busy".
     conn.run_in_flight.store(false);

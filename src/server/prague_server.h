@@ -51,6 +51,10 @@ struct PragueServerOptions {
   int64_t default_run_deadline_ms = -1;
   /// listen(2) backlog.
   int backlog = 64;
+  /// When >= 0, a RUN whose round trip takes at least this many
+  /// milliseconds logs its full RunTrace at Warning level (slow-query
+  /// log). 0 logs every run; -1 (default) disables the log.
+  int64_t slow_query_ms = -1;
 };
 
 /// \brief TCP server exposing a SessionManager over the wire protocol of

@@ -257,6 +257,8 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
     cmd.kind = CommandKind::kCancel;
   } else if (verb == "STATS") {
     cmd.kind = CommandKind::kStats;
+  } else if (verb == "METRICS") {
+    cmd.kind = CommandKind::kMetrics;
   } else if (verb == "CLOSE") {
     cmd.kind = CommandKind::kClose;
   } else {
@@ -298,6 +300,8 @@ std::string FormatCommand(const WireCommand& command) {
       return "CANCEL";
     case CommandKind::kStats:
       return "STATS";
+    case CommandKind::kMetrics:
+      return "METRICS";
     case CommandKind::kClose:
       return "CLOSE";
   }
@@ -477,6 +481,8 @@ std::string FormatStatsReply(const SessionManagerStats& stats) {
                     " open=" + std::to_string(stats.open_sessions) +
                     " opened=" + std::to_string(stats.sessions_opened) +
                     " published=" + std::to_string(stats.snapshots_published) +
+                    " runs=" + std::to_string(stats.runs_served) +
+                    " truncated=" + std::to_string(stats.runs_truncated) +
                     " sessions=";
   out += JoinList(stats.open_session_infos, 0,
                   [](const OpenSessionInfo& info) {
@@ -501,6 +507,12 @@ Result<StatsReply> ParseStatsReply(std::string_view payload) {
   PRAGUE_ASSIGN_OR_RETURN(auto published, ReplyValue(tokens, "published"));
   PRAGUE_ASSIGN_OR_RETURN(reply.snapshots_published,
                           ParseNumber<uint64_t>(published, "published"));
+  PRAGUE_ASSIGN_OR_RETURN(auto runs, ReplyValue(tokens, "runs"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.runs_served,
+                          ParseNumber<uint64_t>(runs, "runs"));
+  PRAGUE_ASSIGN_OR_RETURN(auto truncated, ReplyValue(tokens, "truncated"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.runs_truncated,
+                          ParseNumber<uint64_t>(truncated, "truncated"));
   PRAGUE_ASSIGN_OR_RETURN(auto sessions, ReplyValue(tokens, "sessions"));
   for (std::string_view item : SplitList(sessions)) {
     size_t at = item.find('@');
@@ -516,6 +528,29 @@ Result<StatsReply> ParseStatsReply(std::string_view payload) {
     reply.sessions.emplace_back(id, ver);
   }
   return reply;
+}
+
+std::string FormatMetricsReply(const std::string& prometheus_text) {
+  std::string out = "OK metrics";
+  if (!prometheus_text.empty()) {
+    out += '\n';
+    out += prometheus_text;
+  }
+  return out;
+}
+
+Result<std::string> ParseMetricsReply(std::string_view payload) {
+  PRAGUE_RETURN_NOT_OK(DecodeReplyStatus(payload));
+  constexpr std::string_view kPrefix = "OK metrics";
+  if (payload.substr(0, kPrefix.size()) != kPrefix) {
+    return Status::Corruption("malformed METRICS reply");
+  }
+  std::string_view rest = payload.substr(kPrefix.size());
+  if (rest.empty()) return std::string();
+  if (rest.front() != '\n') {
+    return Status::Corruption("malformed METRICS reply");
+  }
+  return std::string(rest.substr(1));
 }
 
 }  // namespace prague

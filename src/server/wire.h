@@ -18,7 +18,9 @@
 //                                  srt_ms=<t> ids=<...>
 //   CANCEL                      -> (no reply — see below)
 //   STATS                       -> OK version=<v> open=<n> opened=<n>
-//                                  published=<n> sessions=<id>@<ver>,...
+//                                  published=<n> runs=<n> truncated=<n>
+//                                  sessions=<id>@<ver>,...
+//   METRICS                     -> OK metrics\n<Prometheus text>
 //   CLOSE                       -> OK bye
 //
 // `u`/`v` are client-chosen node handles; `lu`/`lv` are node label *names*
@@ -85,6 +87,7 @@ enum class CommandKind {
   kRun,
   kCancel,
   kStats,
+  kMetrics,
   kClose,
 };
 
@@ -162,11 +165,20 @@ struct StatsReply {
   uint64_t open_sessions = 0;
   uint64_t sessions_opened = 0;
   uint64_t snapshots_published = 0;
+  uint64_t runs_served = 0;     ///< Run() calls completed, all sessions ever
+  uint64_t runs_truncated = 0;  ///< of those, cut by a deadline/cancel
   /// (session id, pinned version), ascending by id.
   std::vector<std::pair<uint64_t, uint64_t>> sessions;
 };
 std::string FormatStatsReply(const SessionManagerStats& stats);
 Result<StatsReply> ParseStatsReply(std::string_view payload);
+
+/// \brief METRICS reply: "OK metrics" on the first line, then the
+/// registry's Prometheus text exposition verbatim. The payload is the one
+/// multi-line reply in the protocol; the frame length makes that safe.
+std::string FormatMetricsReply(const std::string& prometheus_text);
+/// \brief Extracts the Prometheus text from a METRICS reply.
+Result<std::string> ParseMetricsReply(std::string_view payload);
 
 }  // namespace prague
 

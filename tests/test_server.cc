@@ -16,7 +16,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
+#include <sstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -148,6 +150,7 @@ TEST(WireCommandTest, ParsesEveryVerb) {
   EXPECT_EQ(ParseCommand("RUN 10")->limit, 10u);
   EXPECT_EQ(ParseCommand("CANCEL")->kind, CommandKind::kCancel);
   EXPECT_EQ(ParseCommand("STATS")->kind, CommandKind::kStats);
+  EXPECT_EQ(ParseCommand("METRICS")->kind, CommandKind::kMetrics);
   EXPECT_EQ(ParseCommand("CLOSE")->kind, CommandKind::kClose);
 }
 
@@ -155,7 +158,8 @@ TEST(WireCommandTest, TypedParseErrors) {
   for (const char* bad :
        {"", "FLY", "OPEN x", "OPEN -5", "OPEN 1 2", "ADD_EDGE 1 C 2",
         "ADD_EDGE u C v S", "ADD_EDGE 1 C 2 S 3 4", "DELETE_EDGE 1",
-        "DELETE_EDGE 1 2 3", "RUN k", "CANCEL now", "STATS 1"}) {
+        "DELETE_EDGE 1 2 3", "RUN k", "CANCEL now", "STATS 1",
+        "METRICS 1"}) {
     Result<WireCommand> r = ParseCommand(bad);
     ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
     EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument) << bad;
@@ -254,6 +258,8 @@ TEST(WireReplyTest, StatsReplyRoundTripsOpenSessions) {
   stats.open_sessions = 2;
   stats.sessions_opened = 40;
   stats.snapshots_published = 12;
+  stats.runs_served = 321;
+  stats.runs_truncated = 9;
   stats.open_session_infos = {{17, 3}, {39, 12}};
   Result<StatsReply> reply = ParseStatsReply(FormatStatsReply(stats));
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
@@ -261,9 +267,29 @@ TEST(WireReplyTest, StatsReplyRoundTripsOpenSessions) {
   EXPECT_EQ(reply->open_sessions, 2u);
   EXPECT_EQ(reply->sessions_opened, 40u);
   EXPECT_EQ(reply->snapshots_published, 12u);
+  EXPECT_EQ(reply->runs_served, 321u);
+  EXPECT_EQ(reply->runs_truncated, 9u);
   ASSERT_EQ(reply->sessions.size(), 2u);
   EXPECT_EQ(reply->sessions[0], (std::pair<uint64_t, uint64_t>{17, 3}));
   EXPECT_EQ(reply->sessions[1], (std::pair<uint64_t, uint64_t>{39, 12}));
+}
+
+TEST(WireReplyTest, MetricsReplyRoundTripsPrometheusText) {
+  const std::string text =
+      "# TYPE prague_server_frames_total counter\n"
+      "prague_server_frames_total 42\n";
+  Result<std::string> back = ParseMetricsReply(FormatMetricsReply(text));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, text);
+
+  // An empty exposition is legal (no metrics registered yet).
+  Result<std::string> empty = ParseMetricsReply(FormatMetricsReply(""));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(ParseMetricsReply("OK metricsgarbage").ok());
+  EXPECT_EQ(ParseMetricsReply("ERR NOT_FOUND boom").status().code(),
+            Status::Code::kNotFound);
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +411,62 @@ TEST_F(ServerFixture, StatsListsOpenSessionsWithPinnedVersions) {
 
   EXPECT_TRUE(first.Close().ok());
   EXPECT_TRUE(second.Close().ok());
+}
+
+// Value of the sample named exactly \p name in a Prometheus text block;
+// -1 when absent.
+double PrometheusSample(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > name.size() &&
+        line.compare(0, name.size(), name) == 0 &&
+        line[name.size()] == ' ') {
+      return std::strtod(line.c_str() + name.size() + 1, nullptr);
+    }
+  }
+  return -1.0;
+}
+
+TEST_F(ServerFixture, MetricsCountRunFramesExactly) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+
+  // METRICS needs no open session. The registry is process-wide and other
+  // tests in this binary also serve RUNs, so assert on the delta.
+  Result<std::string> before_text = client.Metrics();
+  ASSERT_TRUE(before_text.ok()) << before_text.status().ToString();
+  double before =
+      PrometheusSample(*before_text, "prague_server_run_latency_us_count");
+  ASSERT_GE(before, 0.0) << "RUN latency histogram not in exposition:\n"
+                         << *before_text;
+
+  ASSERT_TRUE(client.Open().ok());
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  constexpr int kRuns = 5;
+  for (int i = 0; i < kRuns; ++i) {
+    ASSERT_TRUE(client.Run().ok());
+  }
+
+  Result<std::string> after_text = client.Metrics();
+  ASSERT_TRUE(after_text.ok()) << after_text.status().ToString();
+  double after =
+      PrometheusSample(*after_text, "prague_server_run_latency_us_count");
+  // The acceptance property: one histogram sample per RUN frame issued.
+  EXPECT_EQ(after - before, kRuns);
+  EXPECT_GE(PrometheusSample(*after_text, "prague_server_cmd_run_total"),
+            static_cast<double>(kRuns));
+  EXPECT_GT(PrometheusSample(*after_text, "prague_server_frames_total"), 0.0);
+  EXPECT_GE(PrometheusSample(*after_text, "prague_engine_runs_total"),
+            static_cast<double>(kRuns));
+
+  // STATS carries the cumulative run tally for this server's manager.
+  Result<StatsReply> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->runs_served, static_cast<uint64_t>(kRuns));
+  EXPECT_EQ(stats->runs_truncated, 0u);
+
+  EXPECT_TRUE(client.Close().ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+# Asserts that `praguedb serve` rejects an unknown flag with exit code 2
+# (usage error) and prints the usage text on stderr — the contract scripts
+# rely on to tell a typo from a runtime failure. Run via
+#   cmake -DPRAGUEDB=<binary> -P check_usage_exit.cmake
+
+if(NOT DEFINED PRAGUEDB)
+  message(FATAL_ERROR "pass -DPRAGUEDB=<path to praguedb>")
+endif()
+
+# Positional args are present (and deliberately nonexistent files) so the
+# failure must come from flag validation, which runs before any file I/O.
+execute_process(
+  COMMAND ${PRAGUEDB} serve nonexistent.db nonexistent.idx
+          --definitely-not-a-flag
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR
+    "expected exit code 2 (usage error), got '${exit_code}'\n"
+    "stdout: ${out}\nstderr: ${err}")
+endif()
+
+if(NOT err MATCHES "unknown flag '--definitely-not-a-flag'")
+  message(FATAL_ERROR "stderr does not name the rejected flag:\n${err}")
+endif()
+
+if(NOT err MATCHES "usage:")
+  message(FATAL_ERROR "stderr does not contain the usage text:\n${err}")
+endif()

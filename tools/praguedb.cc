@@ -13,9 +13,11 @@
 //                  — e.g. "(a:C)-(b:C), (b)-(c:S)" (see
 //                  query/pattern_parser.h)
 //   praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M]
-//                  [--threads=T]
+//                  [--threads=T] [--slow-query-ms=S]
 //                  — session server speaking the wire protocol of
-//                  server/wire.h; one connection = one pinned session
+//                  server/wire.h; one connection = one pinned session.
+//                  --slow-query-ms logs the full RunTrace of any RUN
+//                  taking at least S ms (see docs/OBSERVABILITY.md)
 //   praguedb shell --connect <host:port>
 //                  — interactive (or scripted via piped stdin) client
 //                  for a running server; `help` lists line commands
@@ -96,7 +98,7 @@ int Usage() {
       "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain] "
       "[--timeout-ms=N]\n"
       "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
-      "[--threads=T]\n"
+      "[--threads=T] [--slow-query-ms=S]\n"
       "  praguedb shell --connect <host:port>\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
@@ -557,6 +559,16 @@ int CmdServe(int argc, char** argv) {
   int64_t timeout_ms = ExtractTimeoutMs(&argc, argv);
   int64_t port = ExtractInt64Flag(&argc, argv, "--port=", 7474);
   int64_t threads = ExtractInt64Flag(&argc, argv, "--threads=", 0);
+  int64_t slow_query_ms = ExtractInt64Flag(&argc, argv, "--slow-query-ms=", -1);
+  // Every known flag has been extracted; anything dash-prefixed left over
+  // is a typo. Reject it before touching the data files so the mistake
+  // surfaces as a usage error, not a runtime one.
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "serve: unknown flag '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
   if (argc < 3) return Usage();
   Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
   if (!db.ok()) return Fail(db.status());
@@ -574,15 +586,18 @@ int CmdServe(int argc, char** argv) {
   // --timeout-ms is the default per-session run budget; clients may
   // override it per OPEN.
   options.default_run_deadline_ms = timeout_ms > 0 ? timeout_ms : -1;
+  options.slow_query_ms = slow_query_ms;
   PragueServer server(&manager, options);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::string budget = timeout_ms > 0 ? std::to_string(timeout_ms) + " ms"
+                                      : "unbounded";
+  std::string slow_log =
+      slow_query_ms >= 0 ? std::to_string(slow_query_ms) + " ms" : "off";
   std::printf("praguedb: serving %zu graphs (snapshot version %llu) on port "
-              "%u; default run budget %s\n",
+              "%u; default run budget %s; slow-query log %s\n",
               manager.current()->db().size(),
               static_cast<unsigned long long>(manager.current()->version()),
-              server.port(),
-              timeout_ms > 0 ? (std::to_string(timeout_ms) + " ms").c_str()
-                             : "unbounded");
+              server.port(), budget.c_str(), slow_log.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
@@ -617,6 +632,7 @@ void ShellHelp() {
       "  run [k]                    run the query (list at most k matches)\n"
       "  cancel                     cancel an in-flight run\n"
       "  stats                      server-wide session statistics\n"
+      "  metrics                    server Prometheus metrics dump\n"
       "  close                      close the session and disconnect\n"
       "  quit                       leave the shell (closes politely)\n");
 }
@@ -652,11 +668,13 @@ void PrintRun(const RunReply& run) {
 void PrintStats(const StatsReply& stats) {
   std::printf(
       "version %llu; %llu open sessions (%llu opened all-time); %llu "
-      "snapshots published\n",
+      "snapshots published; %llu runs served (%llu truncated)\n",
       static_cast<unsigned long long>(stats.current_version),
       static_cast<unsigned long long>(stats.open_sessions),
       static_cast<unsigned long long>(stats.sessions_opened),
-      static_cast<unsigned long long>(stats.snapshots_published));
+      static_cast<unsigned long long>(stats.snapshots_published),
+      static_cast<unsigned long long>(stats.runs_served),
+      static_cast<unsigned long long>(stats.runs_truncated));
   for (const auto& [id, version] : stats.sessions) {
     std::printf("  session %llu pinned at version %llu\n",
                 static_cast<unsigned long long>(id),
@@ -729,6 +747,13 @@ bool ShellDispatch(PragueClient& client, const std::string& line) {
       report(stats.status());
     } else {
       PrintStats(*stats);
+    }
+  } else if (verb == "metrics") {
+    Result<std::string> metrics = client.Metrics();
+    if (!metrics.ok()) {
+      report(metrics.status());
+    } else {
+      std::printf("%s", metrics->c_str());
     }
   } else if (verb == "close") {
     if (Status st = client.Close(); !st.ok()) report(st);
