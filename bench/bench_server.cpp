@@ -1,16 +1,31 @@
-// Wire-protocol session throughput: C concurrent clients each drive whole
-// sessions against one PragueServer over loopback — connect, OPEN,
-// formulate a containment query edge-at-a-time (exactly like the GUI),
-// RUN, CLOSE — measuring sessions/sec and the p50/p95/p99 RUN round-trip
-// latency as seen by the client, i.e. engine SRT plus framing and socket
-// overhead. Each cell also reports the same quantiles estimated from
-// merged per-client obs::Histogram shards, so the drift between the exact
-// percentiles and the log-bucket metric the server exports is visible.
+// Wire-protocol session throughput against the event-loop reactor server.
 //
-// Sweeps C in {1, 4, 8, 16}. Per-cell records go to BENCH_server.json
-// (override the path with PRAGUE_BENCH_JSON), including how many RUNs the
-// per-session budget truncated — set PRAGUE_BENCH_TIMEOUT_MS to bound
-// every Run() over the wire (default 0 = unbounded, so truncated stays 0).
+// Phase 1 — session sweep: C concurrent clients each drive whole sessions
+// over loopback — connect, OPEN, formulate a containment query
+// edge-at-a-time, then `depth` pipelined RUNs (depth 1 = the lock-step
+// protocol of the old blocking server), CLOSE — measuring sessions/sec,
+// runs/sec, and the p50/p95/p99 RUN latency two ways per cell:
+//   * client round trip: StartRun send to WaitRun return, i.e. engine SRT
+//     plus framing, socket, queueing and pipelining overhead;
+//   * server histogram: the delta of the prague_server_run_latency_us
+//     histogram across the cell, i.e. the RUN body as timed on the
+//     executor pool. Under the reactor this stays flat as C grows — the
+//     acceptance property — while the client round trip degrades only
+//     with genuine CPU contention (all C clients share these cores).
+//
+// Phase 2 — connection sweep: up to 10k connections each OPEN a session
+// and stay connected while one probe client runs lock-step sessions
+// through the crowd; reports connect/open errors (must be 0) and the
+// probe's RUN percentiles. The crowd is sharded across forked child
+// processes because the per-process fd limit must cover both socket ends
+// when client and server share a process.
+//
+// Per-cell records go to BENCH_server.json (override the path with
+// PRAGUE_BENCH_JSON). PRAGUE_BENCH_TIMEOUT_MS bounds every Run() over the
+// wire (default 0 = unbounded, so truncated stays 0).
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -44,10 +59,12 @@ int64_t TimeoutMs() {
   return ms;
 }
 
-// One whole session over the wire. Returns the RUN round-trip latency in
-// seconds via *run_seconds and whether the run was truncated.
-bool RunOneSession(uint16_t port, const Workbench& bench,
-                   const VisualQuerySpec& spec, double* run_seconds) {
+// One whole session over the wire: formulate, then `depth` pipelined RUNs.
+// Appends one client round-trip latency (seconds) per run to *run_seconds
+// and returns how many of them came back truncated.
+size_t RunOneSession(uint16_t port, const Workbench& bench,
+                     const VisualQuerySpec& spec, size_t depth,
+                     std::vector<double>* run_seconds) {
   PragueClient client;
   if (!client.Connect("127.0.0.1", port).ok()) std::abort();
   if (!client.Open(TimeoutMs()).ok()) std::abort();
@@ -64,18 +81,242 @@ bool RunOneSession(uint16_t port, const Workbench& bench,
         edge.label);
     if (!step.ok()) std::abort();
   }
+  size_t truncated = 0;
   Stopwatch timer;
-  Result<RunReply> run = client.Run();
-  if (!run.ok()) std::abort();
-  *run_seconds = timer.ElapsedSeconds();
+  if (depth <= 1) {
+    // Lock-step, byte-identical to the pre-reactor protocol.
+    Result<RunReply> run = client.Run();
+    if (!run.ok()) std::abort();
+    run_seconds->push_back(timer.ElapsedSeconds());
+    if (run->truncated) ++truncated;
+  } else {
+    std::vector<uint64_t> ids(depth, 0);
+    std::vector<double> issued(depth, 0);
+    for (size_t i = 0; i < depth; ++i) {
+      Result<uint64_t> id = client.StartRun();
+      if (!id.ok()) std::abort();
+      ids[i] = *id;
+      issued[i] = timer.ElapsedSeconds();
+    }
+    for (size_t i = 0; i < depth; ++i) {
+      Result<RunReply> run = client.WaitRun(ids[i]);
+      if (!run.ok()) std::abort();
+      run_seconds->push_back(timer.ElapsedSeconds() - issued[i]);
+      if (run->truncated) ++truncated;
+    }
+  }
   if (!client.Close().ok()) std::abort();
-  return run->truncated;
+  return truncated;
 }
 
 double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0;
   size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
+}
+
+// after - before, bucket by bucket: the histogram samples recorded during
+// one bench cell, free of everything the process did before it.
+obs::HistogramSnapshot DiffSnapshot(const obs::HistogramSnapshot& before,
+                                    const obs::HistogramSnapshot& after) {
+  obs::HistogramSnapshot delta;
+  for (size_t i = 0; i < delta.buckets.size(); ++i) {
+    delta.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  delta.count = after.count - before.count;
+  delta.sum = after.sum - before.sum;
+  return delta;
+}
+
+void SessionSweep(PragueServer& server, const Workbench& bench,
+                  const std::vector<VisualQuerySpec>& queries,
+                  BenchJsonWriter& json) {
+  TablePrinter table({"clients", "depth", "runs", "sessions/s", "runs/s",
+                      "p50 RTT (ms)", "p95 RTT (ms)", "p99 RTT (ms)",
+                      "srv p95 (µs)", "truncated"});
+  for (size_t clients : {1u, 4u, 8u, 16u, 64u}) {
+    for (size_t depth : {1u, 8u}) {
+      std::vector<std::vector<double>> latencies(clients);
+      std::atomic<size_t> truncated{0};
+      const obs::HistogramSnapshot before =
+          obs::ServerMetrics::Get().run_latency_us->Snapshot();
+      Stopwatch wall;
+      std::vector<std::thread> pool;
+      pool.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          for (size_t i = 0; i < kSessionsPerClient; ++i) {
+            const VisualQuerySpec& spec =
+                queries[(c * kSessionsPerClient + i) % queries.size()];
+            truncated.fetch_add(RunOneSession(server.port(), bench, spec,
+                                              depth, &latencies[c]));
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      const double seconds = wall.ElapsedSeconds();
+      const obs::HistogramSnapshot server_hist = DiffSnapshot(
+          before, obs::ServerMetrics::Get().run_latency_us->Snapshot());
+
+      std::vector<double> all;
+      for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(all.begin(), all.end());
+      const size_t sessions = clients * kSessionsPerClient;
+      const size_t runs = sessions * depth;
+      const double session_rate = static_cast<double>(sessions) / seconds;
+      const double run_rate = static_cast<double>(runs) / seconds;
+      const double p50 = Percentile(all, 0.50) * 1000;
+      const double p95 = Percentile(all, 0.95) * 1000;
+      const double p99 = Percentile(all, 0.99) * 1000;
+      table.AddRow({std::to_string(clients), std::to_string(depth),
+                    std::to_string(runs), Fmt(session_rate, 1),
+                    Fmt(run_rate, 1), Fmt(p50, 3), Fmt(p95, 3), Fmt(p99, 3),
+                    Fmt(server_hist.Quantile(0.95), 1),
+                    std::to_string(truncated.load())});
+      json.Add("{\"phase\": \"sessions\", \"clients\": " +
+               std::to_string(clients) +
+               ", \"depth\": " + std::to_string(depth) +
+               ", \"sessions\": " + std::to_string(sessions) +
+               ", \"runs\": " + std::to_string(runs) +
+               ", \"sessions_per_sec\": " + Fmt(session_rate, 2) +
+               ", \"runs_per_sec\": " + Fmt(run_rate, 2) +
+               ", \"run_p50_ms\": " + Fmt(p50, 4) +
+               ", \"run_p95_ms\": " + Fmt(p95, 4) +
+               ", \"run_p99_ms\": " + Fmt(p99, 4) +
+               // The executor-pool view of the same runs, from the
+               // prague_server_run_latency_us delta across this cell.
+               ", \"server_p50_us\": " + Fmt(server_hist.Quantile(0.50), 2) +
+               ", \"server_p95_us\": " + Fmt(server_hist.Quantile(0.95), 2) +
+               ", \"server_p99_us\": " + Fmt(server_hist.Quantile(0.99), 2) +
+               ", \"timeout_ms\": " + std::to_string(TimeoutMs()) +
+               ", \"truncated\": " + std::to_string(truncated.load()) + "}");
+    }
+  }
+  table.Print();
+}
+
+// One crowd child: holds `count` open sessions until told to let go. The
+// fd limit is per process, so sharding the crowd across forked children
+// lets the sweep reach 10k connections even though this process may not
+// hold 2×10k descriptors itself (server end + client end). Reports a
+// uint32 connect/open error count on `status_fd` once ramped, waits for
+// one byte on `go_fd`, closes everything, then reports a uint32 close
+// error count and exits.
+void CrowdChild(uint16_t port, size_t count, int status_fd, int go_fd) {
+  std::vector<std::unique_ptr<PragueClient>> crowd;
+  crowd.reserve(count);
+  uint32_t errors = 0;
+  for (size_t i = 0; i < count; ++i) {
+    auto client = std::make_unique<PragueClient>();
+    if (!client->Connect("127.0.0.1", port).ok() ||
+        !client->Open(TimeoutMs()).ok()) {
+      ++errors;
+      continue;
+    }
+    crowd.push_back(std::move(client));
+  }
+  if (::write(status_fd, &errors, sizeof(errors)) != sizeof(errors)) _exit(2);
+  char go = 0;
+  if (::read(go_fd, &go, 1) != 1) _exit(2);
+  errors = 0;
+  for (auto& client : crowd) {
+    if (!client->Close().ok()) ++errors;
+  }
+  if (::write(status_fd, &errors, sizeof(errors)) != sizeof(errors)) _exit(2);
+  _exit(0);
+}
+
+void ConnectionSweep(PragueServer& server, const Workbench& bench,
+                     const std::vector<VisualQuerySpec>& queries,
+                     BenchJsonWriter& json) {
+  constexpr size_t kPerChild = 2500;
+  TablePrinter table({"connections", "errors", "open (s)", "probe p50 (ms)",
+                      "probe p95 (ms)"});
+  for (size_t n : {1000u, 10000u}) {
+    const size_t children = (n + kPerChild - 1) / kPerChild;
+    std::vector<pid_t> pids;
+    std::vector<int> status_fds, go_fds;
+    size_t errors = 0;
+    bool fork_failed = false;
+    Stopwatch ramp;
+    for (size_t k = 0; k < children && !fork_failed; ++k) {
+      const size_t count = std::min(kPerChild, n - k * kPerChild);
+      int status_pipe[2], go_pipe[2];
+      if (::pipe(status_pipe) != 0 || ::pipe(go_pipe) != 0) {
+        fork_failed = true;
+        break;
+      }
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        fork_failed = true;
+        break;
+      }
+      if (pid == 0) {
+        ::close(status_pipe[0]);
+        ::close(go_pipe[1]);
+        CrowdChild(server.port(), count, status_pipe[1], go_pipe[0]);
+      }
+      ::close(status_pipe[1]);
+      ::close(go_pipe[0]);
+      pids.push_back(pid);
+      status_fds.push_back(status_pipe[0]);
+      go_fds.push_back(go_pipe[1]);
+    }
+    if (fork_failed) {
+      std::fprintf(stderr, "connection sweep: fork failed, skipping\n");
+      for (int fd : status_fds) ::close(fd);
+      for (int fd : go_fds) ::close(fd);
+      for (pid_t pid : pids) ::waitpid(pid, nullptr, 0);
+      return;
+    }
+    for (int fd : status_fds) {
+      uint32_t child_errors = ~0u;
+      if (::read(fd, &child_errors, sizeof(child_errors)) !=
+          sizeof(child_errors)) {
+        child_errors = 1;
+      }
+      errors += child_errors;
+    }
+    const double ramp_seconds = ramp.ElapsedSeconds();
+
+    // One probe client runs lock-step sessions through the crowd.
+    constexpr size_t kProbeSessions = 50;
+    std::vector<double> probe;
+    probe.reserve(kProbeSessions);
+    for (size_t i = 0; i < kProbeSessions; ++i) {
+      RunOneSession(server.port(), bench, queries[i % queries.size()], 1,
+                    &probe);
+    }
+    std::sort(probe.begin(), probe.end());
+    const double p50 = Percentile(probe, 0.50) * 1000;
+    const double p95 = Percentile(probe, 0.95) * 1000;
+
+    for (size_t k = 0; k < pids.size(); ++k) {
+      char go = 1;
+      if (::write(go_fds[k], &go, 1) != 1) ++errors;
+      uint32_t child_errors = 0;
+      if (::read(status_fds[k], &child_errors, sizeof(child_errors)) !=
+          sizeof(child_errors)) {
+        child_errors = 1;
+      }
+      errors += child_errors;
+      int status = 0;
+      ::waitpid(pids[k], &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++errors;
+      ::close(status_fds[k]);
+      ::close(go_fds[k]);
+    }
+    table.AddRow({std::to_string(n), std::to_string(errors),
+                  Fmt(ramp_seconds, 2), Fmt(p50, 3), Fmt(p95, 3)});
+    json.Add("{\"phase\": \"connections\", \"connections\": " +
+             std::to_string(n) + ", \"errors\": " + std::to_string(errors) +
+             ", \"ramp_seconds\": " + Fmt(ramp_seconds, 3) +
+             ", \"probe_p50_ms\": " + Fmt(p50, 4) +
+             ", \"probe_p95_ms\": " + Fmt(p95, 4) + "}");
+  }
+  table.Print();
 }
 
 }  // namespace
@@ -93,8 +334,7 @@ int main() {
 
   SessionManager manager(bench.snapshot);
   PragueServerOptions options;
-  options.port = 0;  // ephemeral
-  options.worker_threads = 32;
+  options.port = 0;  // ephemeral; thread counts default to the hardware
   PragueServer server(&manager, options);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
@@ -102,65 +342,8 @@ int main() {
   }
 
   BenchJsonWriter json("BENCH_server.json");
-  TablePrinter table({"clients", "sessions", "sessions/s", "p50 RUN (ms)",
-                      "p95 RUN (ms)", "p99 RUN (ms)", "truncated"});
-  for (size_t clients : {1u, 4u, 8u, 16u}) {
-    std::vector<std::vector<double>> latencies(clients);
-    // Per-client histogram shards (µs), recorded lock-free from each
-    // client thread and merged after the join — the same machinery the
-    // server's prague_server_run_latency_us metric uses.
-    std::vector<obs::Histogram> shards(clients);
-    std::atomic<size_t> truncated{0};
-    Stopwatch wall;
-    std::vector<std::thread> pool;
-    pool.reserve(clients);
-    for (size_t c = 0; c < clients; ++c) {
-      pool.emplace_back([&, c] {
-        for (size_t i = 0; i < kSessionsPerClient; ++i) {
-          const VisualQuerySpec& spec =
-              queries[(c * kSessionsPerClient + i) % queries.size()];
-          double run_seconds = 0;
-          if (RunOneSession(server.port(), bench, spec, &run_seconds)) {
-            truncated.fetch_add(1);
-          }
-          latencies[c].push_back(run_seconds);
-          shards[c].Record(static_cast<uint64_t>(run_seconds * 1e6 + 0.5));
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-    double seconds = wall.ElapsedSeconds();
-
-    std::vector<double> all;
-    for (const auto& per_client : latencies) {
-      all.insert(all.end(), per_client.begin(), per_client.end());
-    }
-    std::sort(all.begin(), all.end());
-    obs::HistogramSnapshot hist;
-    for (const obs::Histogram& shard : shards) hist.Merge(shard.Snapshot());
-    const size_t sessions = clients * kSessionsPerClient;
-    const double rate = static_cast<double>(sessions) / seconds;
-    const double p50 = Percentile(all, 0.50) * 1000;
-    const double p95 = Percentile(all, 0.95) * 1000;
-    const double p99 = Percentile(all, 0.99) * 1000;
-    table.AddRow({std::to_string(clients), std::to_string(sessions),
-                  Fmt(rate, 1), Fmt(p50, 3), Fmt(p95, 3), Fmt(p99, 3),
-                  std::to_string(truncated.load())});
-    json.Add("{\"clients\": " + std::to_string(clients) +
-             ", \"sessions\": " + std::to_string(sessions) +
-             ", \"sessions_per_sec\": " + Fmt(rate, 2) +
-             ", \"run_p50_ms\": " + Fmt(p50, 4) +
-             ", \"run_p95_ms\": " + Fmt(p95, 4) +
-             ", \"run_p99_ms\": " + Fmt(p99, 4) +
-             // Log-bucket estimates from the merged histogram shards, for
-             // comparison against the exact sorted-sample percentiles.
-             ", \"hist_p50_ms\": " + Fmt(hist.Quantile(0.50) / 1000, 4) +
-             ", \"hist_p95_ms\": " + Fmt(hist.Quantile(0.95) / 1000, 4) +
-             ", \"hist_p99_ms\": " + Fmt(hist.Quantile(0.99) / 1000, 4) +
-             ", \"timeout_ms\": " + std::to_string(TimeoutMs()) +
-             ", \"truncated\": " + std::to_string(truncated.load()) + "}");
-  }
-  table.Print();
+  SessionSweep(server, bench, queries, json);
+  ConnectionSweep(server, bench, queries, json);
   std::printf("wrote %s\n", json.path().c_str());
   server.Stop();
   return 0;

@@ -183,6 +183,11 @@ class PragueSession {
   bool similarity_mode() const { return sim_flag_; }
   /// \brief σ in effect.
   int sigma() const { return config_.sigma; }
+  /// \brief Full engine config in effect (as wired by the owner — e.g.
+  /// ManagedSession points cancellation/tally/trace fields at its own
+  /// members). Lets a caller spin up sibling sessions with identical
+  /// behavior, as the server's BATCH_RUN does for each batch member.
+  const PragueConfig& config() const { return config_; }
   /// \brief Every visual action applied so far (crash recovery / replay;
   /// see core/session_log.h). Only successful actions are recorded.
   const SessionLog& action_log() const { return log_; }

@@ -199,16 +199,25 @@ ServerMetrics& ServerMetrics::Get() {
     m->runs_truncated_total =
         reg.GetCounter("prague_server_runs_truncated_total");
     m->slow_queries_total = reg.GetCounter("prague_server_slow_queries_total");
+    m->event_loop_wakeups_total =
+        reg.GetCounter("prague_server_event_loop_wakeups_total");
     m->cmd_open_total = reg.GetCounter("prague_server_cmd_open_total");
     m->cmd_add_edge_total = reg.GetCounter("prague_server_cmd_add_edge_total");
     m->cmd_delete_edge_total =
         reg.GetCounter("prague_server_cmd_delete_edge_total");
     m->cmd_run_total = reg.GetCounter("prague_server_cmd_run_total");
+    m->cmd_batch_run_total =
+        reg.GetCounter("prague_server_cmd_batch_run_total");
     m->cmd_cancel_total = reg.GetCounter("prague_server_cmd_cancel_total");
     m->cmd_stats_total = reg.GetCounter("prague_server_cmd_stats_total");
     m->cmd_metrics_total = reg.GetCounter("prague_server_cmd_metrics_total");
     m->cmd_close_total = reg.GetCounter("prague_server_cmd_close_total");
+    m->connections_open = reg.GetGauge("prague_server_connections_open");
     m->run_latency_us = reg.GetHistogram("prague_server_run_latency_us");
+    m->write_queue_depth =
+        reg.GetHistogram("prague_server_write_queue_depth");
+    m->batch_size = reg.GetHistogram("prague_server_batch_size");
+    m->batch_latency_us = reg.GetHistogram("prague_server_batch_latency_us");
     return m;
   }();
   return *metrics;

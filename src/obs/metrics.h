@@ -212,22 +212,30 @@ struct EngineMetrics {
 };
 
 /// \brief Cached pointers to the server-side metrics (connections, frames,
-/// per-command counts, RUN round-trip latency).
+/// per-command counts, RUN execution latency, reactor internals).
 struct ServerMetrics {
   Counter* connections_total;
   Counter* frames_total;
   Counter* protocol_errors_total;
   Counter* runs_truncated_total;
   Counter* slow_queries_total;
+  Counter* event_loop_wakeups_total;  ///< eventfd wakeups across all loops
   Counter* cmd_open_total;
   Counter* cmd_add_edge_total;
   Counter* cmd_delete_edge_total;
   Counter* cmd_run_total;
+  Counter* cmd_batch_run_total;
   Counter* cmd_cancel_total;
   Counter* cmd_stats_total;
   Counter* cmd_metrics_total;
   Counter* cmd_close_total;
-  Histogram* run_latency_us;  ///< RUN as timed by the server run thread
+  Gauge* connections_open;    ///< currently connected clients
+  Histogram* run_latency_us;  ///< RUN body as timed on the executor pool
+  /// Outbound frames queued per reply send (0 = written inline without
+  /// ever touching the queue — the healthy fast path).
+  Histogram* write_queue_depth;
+  Histogram* batch_size;        ///< members per BATCH_RUN frame
+  Histogram* batch_latency_us;  ///< whole-batch execution on the pool
 
   static ServerMetrics& Get();
 };

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace prague {
 
@@ -41,6 +42,14 @@ Status PragueClient::Connect(const std::string& host, uint16_t port) {
   // tens of milliseconds.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  {
+    std::lock_guard<std::mutex> lock(demux_mu_);
+    reader_active_ = false;
+    outstanding_.clear();
+    ready_.clear();
+    stream_error_ = Status::OK();
+    next_request_id_ = 0;
+  }
   fd_ = fd;
   return Status::OK();
 }
@@ -58,13 +67,89 @@ Status PragueClient::Send(const WireCommand& command) {
   return SendFrame(fd_, FrameType::kRequest, FormatCommand(command));
 }
 
-Result<std::string> PragueClient::RoundTrip(const WireCommand& command) {
-  PRAGUE_RETURN_NOT_OK(Send(command));
-  PRAGUE_ASSIGN_OR_RETURN(WireFrame frame, RecvFrame(fd_));
-  if (frame.type != FrameType::kResponse) {
-    return Status::Corruption("expected a response frame");
+void PragueClient::RegisterOutstanding(uint64_t id) {
+  std::lock_guard<std::mutex> lock(demux_mu_);
+  outstanding_.insert(id);
+}
+
+uint64_t PragueClient::NextRequestId() {
+  std::lock_guard<std::mutex> lock(demux_mu_);
+  return ++next_request_id_;
+}
+
+Result<std::string> PragueClient::WaitReply(uint64_t id) {
+  std::unique_lock<std::mutex> lock(demux_mu_);
+  for (;;) {
+    auto it = ready_.find(id);
+    if (it != ready_.end()) {
+      std::string payload = std::move(it->second);
+      ready_.erase(it);
+      outstanding_.erase(id);
+      return payload;
+    }
+    if (!stream_error_.ok()) {
+      outstanding_.erase(id);
+      return stream_error_;
+    }
+    if (reader_active_) {
+      // Someone else is on the socket; they will park our reply (or the
+      // stream error) and notify.
+      demux_cv_.wait(lock);
+      continue;
+    }
+    // Take the reader lease and read one frame unlocked.
+    reader_active_ = true;
+    lock.unlock();
+    Result<WireFrame> frame = RecvFrame(fd_);
+    Status err = Status::OK();
+    uint64_t got_id = 0;
+    std::string payload;
+    if (!frame.ok()) {
+      err = frame.status();
+    } else if (frame->type != FrameType::kResponse) {
+      err = Status::Corruption("expected a response frame");
+    } else {
+      Result<std::pair<uint64_t, std::string_view>> split =
+          SplitFrameId(frame->payload);
+      if (!split.ok()) {
+        err = split.status();
+      } else {
+        got_id = split->first;
+        payload = std::string(split->second);
+      }
+    }
+    lock.lock();
+    reader_active_ = false;
+    if (err.ok() && outstanding_.find(got_id) == outstanding_.end()) {
+      // The peer broke the pairing rules: a well-formed reply arrived for
+      // a request that was never issued (or was already answered). The
+      // bytes are fine, so this is a ProtocolError, not Corruption — and
+      // the stream is out of sync, so it poisons the connection.
+      err = Status::ProtocolError(
+          (got_id != 0 ? "reply carries request id " + std::to_string(got_id)
+                       : std::string("reply carries no request id")) +
+          " but no such request is outstanding");
+    }
+    if (!err.ok()) {
+      stream_error_ = err;
+      demux_cv_.notify_all();
+      continue;  // the loop head returns stream_error_
+    }
+    ready_[got_id] = std::move(payload);
+    demux_cv_.notify_all();
+    // Loop: the parked reply may be ours.
   }
-  return std::move(frame.payload);
+}
+
+Result<std::string> PragueClient::RoundTrip(const WireCommand& command) {
+  RegisterOutstanding(command.request_id);
+  Status st = Send(command);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(demux_mu_);
+    outstanding_.erase(command.request_id);
+    return st;
+  }
+  return WaitReply(command.request_id);
 }
 
 Result<OpenReply> PragueClient::Open(int64_t timeout_ms) {
@@ -113,6 +198,69 @@ Status PragueClient::Cancel() {
   WireCommand cmd;
   cmd.kind = CommandKind::kCancel;
   return Send(cmd);  // no reply by design — see wire.h
+}
+
+Result<uint64_t> PragueClient::StartRun(uint64_t limit) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  WireCommand cmd;
+  cmd.kind = CommandKind::kRun;
+  cmd.limit = limit;
+  cmd.request_id = NextRequestId();
+  RegisterOutstanding(cmd.request_id);
+  Status st = Send(cmd);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(demux_mu_);
+    outstanding_.erase(cmd.request_id);
+    return st;
+  }
+  return cmd.request_id;
+}
+
+Result<RunReply> PragueClient::WaitRun(uint64_t id) {
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, WaitReply(id));
+  return ParseRunReply(payload);
+}
+
+Status PragueClient::CancelRun(uint64_t id) {
+  if (id == 0) return Status::InvalidArgument("request id must be >= 1");
+  WireCommand cmd;
+  cmd.kind = CommandKind::kCancel;
+  cmd.cancel_id = id;
+  return Send(cmd);  // no reply by design — see wire.h
+}
+
+Result<uint64_t> PragueClient::StartBatchRun(
+    const std::vector<std::string>& patterns, uint64_t limit) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  if (patterns.empty() || patterns.size() > kMaxBatchPatterns) {
+    return Status::InvalidArgument(
+        "BATCH_RUN takes between 1 and " + std::to_string(kMaxBatchPatterns) +
+        " patterns, got " + std::to_string(patterns.size()));
+  }
+  WireCommand cmd;
+  cmd.kind = CommandKind::kBatchRun;
+  cmd.limit = limit;
+  cmd.batch_patterns = patterns;
+  cmd.request_id = NextRequestId();
+  RegisterOutstanding(cmd.request_id);
+  Status st = Send(cmd);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(demux_mu_);
+    outstanding_.erase(cmd.request_id);
+    return st;
+  }
+  return cmd.request_id;
+}
+
+Result<BatchRunReply> PragueClient::WaitBatchRun(uint64_t id) {
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, WaitReply(id));
+  return ParseBatchRunReply(payload);
+}
+
+Result<BatchRunReply> PragueClient::BatchRun(
+    const std::vector<std::string>& patterns, uint64_t limit) {
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t id, StartBatchRun(patterns, limit));
+  return WaitBatchRun(id);
 }
 
 Result<StatsReply> PragueClient::Stats() {

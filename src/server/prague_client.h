@@ -1,22 +1,39 @@
-// PragueClient — blocking C++ client for the PRAGUE wire protocol.
+// PragueClient — C++ client for the PRAGUE wire protocol.
 //
 // Mirrors the session API one call per command: Connect, Open, AddEdge /
 // DeleteEdge (edge-at-a-time formulation, exactly like the GUI), Run,
-// Stats, Close. Calls are lock-step — each sends one request frame and
-// blocks for its reply — with one exception: Cancel() only *sends* (the
-// server never replies to CANCEL), so it is safe to call from a second
-// thread while the first is blocked inside Run(); the pending Run then
-// returns early with RunReply::truncated set.
+// Stats, Close. The plain calls are lock-step — each sends one request
+// frame and blocks for its reply — with one exception: Cancel() only
+// *sends* (the server never replies to CANCEL), so it is safe to call
+// from a second thread while the first is blocked inside Run(); the
+// pending Run then returns early with RunReply::truncated set.
 //
-// A client drives one connection and is not otherwise thread-safe: apart
-// from Cancel(), do not call methods concurrently.
+// Pipelining. StartRun / StartBatchRun tag the request with a fresh
+// request id (see server/wire.h) and return immediately; several may be
+// in flight at once, and WaitRun / WaitBatchRun collect the replies in
+// any order. Internally a single demultiplexer pairs reply frames with
+// outstanding ids: whichever waiter is first to need a frame reads the
+// socket and parks replies for the others ("reader lease"), so there is
+// no background thread and a purely lock-step client costs exactly what
+// it did before. A reply frame that matches no outstanding request is a
+// protocol violation and poisons the connection with a typed
+// Status::ProtocolError (not Corruption — the bytes are fine, the peer
+// broke the pairing rules).
+//
+// A client drives one connection. Waiters on *different* request ids may
+// block concurrently, and Cancel()/CancelRun() may be called from any
+// thread; apart from that, do not call methods concurrently.
 
 #ifndef PRAGUE_SERVER_PRAGUE_CLIENT_H_
 #define PRAGUE_SERVER_PRAGUE_CLIENT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "server/wire.h"
 #include "util/result.h"
@@ -24,7 +41,7 @@
 
 namespace prague {
 
-/// \brief Blocking client for one server connection.
+/// \brief Client for one server connection.
 class PragueClient {
  public:
   PragueClient() = default;
@@ -53,10 +70,11 @@ class PragueClient {
                             Label edge_label = 0);
   /// \brief DELETE_EDGE: removes the edge between two node handles.
   Result<StepReply> DeleteEdge(uint32_t u, uint32_t v);
-  /// \brief RUN: final results. \p limit caps how many matches the reply
-  /// lists (0 = all; RunReply::total_matches is always the full count).
+  /// \brief RUN: final results, lock-step. \p limit caps how many matches
+  /// the reply lists (0 = all; RunReply::total_matches is always the full
+  /// count).
   Result<RunReply> Run(uint64_t limit = 0);
-  /// \brief CANCEL: fire-and-forget; cancels a RUN in flight on this
+  /// \brief CANCEL: fire-and-forget; cancels everything in flight on this
   /// connection. Callable from another thread while Run() blocks.
   Status Cancel();
   /// \brief STATS: manager-wide counters plus open sessions and their
@@ -67,18 +85,62 @@ class PragueClient {
   /// \brief CLOSE handshake, then drops the connection.
   Status Close();
 
+  // ---- pipelined runs ----
+
+  /// \brief Sends an id-tagged RUN and returns its request id without
+  /// waiting; pair with WaitRun. Several may be in flight at once (the
+  /// server caps the depth — see PragueServerOptions::max_pipelined_runs).
+  Result<uint64_t> StartRun(uint64_t limit = 0);
+  /// \brief Blocks for the reply to StartRun(\p id). Ids may be awaited
+  /// in any order, including from different threads.
+  Result<RunReply> WaitRun(uint64_t id);
+  /// \brief CANCEL <id>: fire-and-forget cancellation of one specific
+  /// pipelined run (active or still queued). Callable from any thread.
+  Status CancelRun(uint64_t id);
+
+  /// \brief Sends an id-tagged BATCH_RUN of \p patterns (textual pattern
+  /// syntax, one member each — see query/pattern_parser.h) and returns
+  /// its request id; pair with WaitBatchRun.
+  Result<uint64_t> StartBatchRun(const std::vector<std::string>& patterns,
+                                 uint64_t limit = 0);
+  /// \brief Blocks for the reply to StartBatchRun(\p id).
+  Result<BatchRunReply> WaitBatchRun(uint64_t id);
+  /// \brief StartBatchRun + WaitBatchRun in one blocking call.
+  Result<BatchRunReply> BatchRun(const std::vector<std::string>& patterns,
+                                 uint64_t limit = 0);
+
   /// \brief Session id / pinned version from the last successful Open().
   uint64_t session_id() const { return session_id_; }
   uint64_t session_version() const { return session_version_; }
 
  private:
   Status Send(const WireCommand& command);
-  // Send + blocking receive of the one reply frame.
+  // Send + demuxed receive of the one reply for command.request_id.
   Result<std::string> RoundTrip(const WireCommand& command);
+  // Registers `id` as outstanding (under demux_mu_).
+  void RegisterOutstanding(uint64_t id);
+  // Blocks until the reply tagged `id` arrives (or the stream dies),
+  // reading the socket itself when no other waiter currently does.
+  Result<std::string> WaitReply(uint64_t id);
+  // Allocates a fresh nonzero request id.
+  uint64_t NextRequestId();
 
   int fd_ = -1;
   // Guards frame writes so Cancel() can interleave with a blocked Run().
   std::mutex write_mu_;
+
+  // Reply demultiplexer. `reader_active_` is the reader lease: at most
+  // one waiter reads the socket at a time, parking replies for others in
+  // `ready_`. `stream_error_` is sticky — once the stream is broken every
+  // current and future wait fails with it.
+  std::mutex demux_mu_;
+  std::condition_variable demux_cv_;
+  bool reader_active_ = false;
+  std::set<uint64_t> outstanding_;
+  std::map<uint64_t, std::string> ready_;
+  Status stream_error_ = Status::OK();
+  uint64_t next_request_id_ = 0;
+
   uint64_t session_id_ = 0;
   uint64_t session_version_ = 0;
 };

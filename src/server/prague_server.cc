@@ -3,19 +3,28 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/pattern_parser.h"
 #include "server/wire.h"
+#include "util/bytes.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -40,6 +49,8 @@ obs::Counter* CommandCounter(CommandKind kind) {
       return sm.cmd_delete_edge_total;
     case CommandKind::kRun:
       return sm.cmd_run_total;
+    case CommandKind::kBatchRun:
+      return sm.cmd_batch_run_total;
     case CommandKind::kCancel:
       return sm.cmd_cancel_total;
     case CommandKind::kStats:
@@ -54,13 +65,27 @@ obs::Counter* CommandCounter(CommandKind kind) {
 
 }  // namespace
 
-// Per-connection state. Lives on the handler's stack; the run thread
-// borrows it and is always joined before the handler returns.
-struct PragueServer::Connection {
-  int fd = -1;
-  // Serializes frame writes: the handler thread and the run thread both
-  // send replies.
+// Per-connection state, shared between the owning event loop (read/session
+// state) and executor-pool tasks (run tickets, reply writes). Lifetime is
+// by shared_ptr: the loop's registry and any in-flight pool task each hold
+// one, so the struct outlives the socket.
+struct PragueServer::Connection
+    : public std::enable_shared_from_this<PragueServer::Connection> {
+  PragueServer* server = nullptr;
+  EventLoop* loop = nullptr;
+
+  // ---- write side; write_mu guards everything in this block, including
+  // fd teardown, so a pool thread mid-send can never race a close().
   std::mutex write_mu;
+  int fd = -1;
+  bool closed = false;            // fd is gone; drop further replies
+  bool want_write = false;        // EPOLLOUT armed (or arm requested)
+  bool close_after_flush = false; // CLOSE acked; close once outq drains
+  std::deque<std::string> outq;   // encoded frames; front may be partial
+
+  // ---- read + session state: owning loop thread only.
+  std::string inbuf;
+  bool draining = false;  // CLOSE seen; ignore any further inbound frames
   std::shared_ptr<ManagedSession> session;
   // Client node handle -> session node, plus the label each handle was
   // created with (a handle cannot be silently relabeled).
@@ -68,18 +93,453 @@ struct PragueServer::Connection {
   std::unordered_map<uint32_t, std::string> node_labels;
   // Unordered handle pair -> formulation id of the edge between them.
   std::map<std::pair<uint32_t, uint32_t>, FormulationId> edges;
-  std::atomic<bool> run_in_flight{false};
-  std::thread run_thread;
 
-  void SendReply(std::string_view payload) {
-    std::lock_guard<std::mutex> lock(write_mu);
-    Status st = SendFrame(fd, FrameType::kResponse, payload);
-    if (!st.ok()) {
-      // The client is gone; the handler will notice on its next recv.
-      PRAGUE_LOG(Debug) << "dropping reply: " << st.ToString();
+  // ---- run pipeline; run_mu guards the ticket structures and serializes
+  // cancellation against ticket claim, which is what makes CANCEL-by-id
+  // race-free: a ticket is marked cancelled and, iff it is the active one,
+  // the session token is tripped — both under the same lock the worker
+  // holds while it resets the token and claims the next ticket.
+  struct RunTicket {
+    explicit RunTicket(WireCommand c) : cmd(std::move(c)) {}
+    WireCommand cmd;
+    bool cancelled = false;
+  };
+  std::mutex run_mu;
+  std::deque<std::shared_ptr<RunTicket>> run_queue;
+  std::unordered_map<uint64_t, std::shared_ptr<RunTicket>> inflight;
+  std::shared_ptr<RunTicket> active_run;
+  bool run_task_active = false;
+
+  // Sends one response frame from any thread. Fast path: when the queue
+  // is empty the frame is written straight to the (non-blocking) socket;
+  // whatever does not fit is queued and the owning loop is asked to arm
+  // EPOLLOUT. Per-connection frame order is preserved either way.
+  void SendReply(std::string payload);
+};
+
+
+// One reactor thread: an epoll instance multiplexing its share of the
+// connections, plus an eventfd other threads use to hand it work (new
+// connections from the acceptor, EPOLLOUT arm requests from pool threads).
+// Loop 0 additionally owns the listening socket.
+class PragueServer::EventLoop {
+ public:
+  EventLoop(PragueServer* server, size_t index)
+      : server_(server), index_(index) {}
+
+  ~EventLoop() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Status::IOError(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+    }
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return Status::IOError(std::string("epoll_ctl(wake): ") +
+                             std::strerror(errno));
+    }
+    if (index_ == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.fd = server_->listen_fd_;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_->listen_fd_, &lev) <
+          0) {
+        return Status::IOError(std::string("epoll_ctl(listen): ") +
+                               std::strerror(errno));
+      }
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void RequestStop() {
+    stop_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Hands a freshly accepted connection to this loop (any thread).
+  void Adopt(std::shared_ptr<Connection> conn) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_adopt_.push_back(std::move(conn));
+    }
+    Wake();
+  }
+
+  // Asks this loop to arm EPOLLOUT for a connection whose reply did not
+  // fit in the socket buffer (any thread).
+  void RequestWriteArm(std::shared_ptr<Connection> conn) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_write_.push_back(std::move(conn));
+    }
+    Wake();
+  }
+
+  // Tears a connection down: closes the socket (under write_mu, so no
+  // pool thread can be mid-send), unregisters it, and cancels its run
+  // pipeline so in-flight pool work drains promptly. Loop thread only.
+  void CloseConnection(const std::shared_ptr<Connection>& conn) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->closed) return;
+      conn->closed = true;
+      fd = conn->fd;
+      conn->fd = -1;
+      conn->outq.clear();
+    }
+    conn->draining = true;
+    if (fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      conns_.erase(fd);
+      ::close(fd);
+    }
+    obs::ServerMetrics::Get().connections_open->Add(-1);
+    {
+      std::lock_guard<std::mutex> lock(conn->run_mu);
+      for (auto& ticket : conn->run_queue) ticket->cancelled = true;
+      if (conn->active_run != nullptr) conn->active_run->cancelled = true;
+      if (conn->session != nullptr && conn->run_task_active) {
+        conn->session->Cancel();
+      }
     }
   }
+
+ private:
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  void Loop() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    while (!stop_.load(std::memory_order_acquire)) {
+      int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        PRAGUE_LOG(Warning) << "epoll_wait: " << std::strerror(errno);
+        break;
+      }
+      for (int i = 0; i < n && !stop_.load(std::memory_order_acquire); ++i) {
+        int fd = events[i].data.fd;
+        uint32_t mask = events[i].events;
+        if (fd == wake_fd_) {
+          DrainWake();
+          ProcessPending();
+          continue;
+        }
+        if (index_ == 0 && fd == server_->listen_fd_) {
+          HandleAccept();
+          continue;
+        }
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed earlier in this batch
+        std::shared_ptr<Connection> conn = it->second;
+        if (mask & (EPOLLHUP | EPOLLERR)) {
+          CloseConnection(conn);
+          continue;
+        }
+        if (mask & EPOLLOUT) HandleWritable(conn);
+        if (mask & EPOLLIN) HandleReadable(conn);
+      }
+    }
+    // Teardown: every connection this loop owns (or was about to own)
+    // goes down, cancelling in-flight runs as it does.
+    std::vector<std::shared_ptr<Connection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending.swap(pending_adopt_);
+      pending_write_.clear();
+    }
+    for (const auto& conn : pending) CloseConnection(conn);
+    std::vector<std::shared_ptr<Connection>> live;
+    live.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) live.push_back(conn);
+    for (const auto& conn : live) CloseConnection(conn);
+    conns_.clear();
+  }
+
+  void DrainWake() {
+    uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+    obs::ServerMetrics::Get().event_loop_wakeups_total->Increment();
+  }
+
+  void ProcessPending() {
+    std::vector<std::shared_ptr<Connection>> adopt, arm;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      adopt.swap(pending_adopt_);
+      arm.swap(pending_write_);
+    }
+    for (auto& conn : adopt) Register(std::move(conn));
+    for (const auto& conn : arm) ArmWrite(conn);
+  }
+
+  void Register(std::shared_ptr<Connection> conn) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+      PRAGUE_LOG(Warning) << "epoll_ctl(add conn): " << std::strerror(errno);
+      CloseConnection(conn);
+      return;
+    }
+    int fd = conn->fd;
+    conns_[fd] = std::move(conn);
+  }
+
+  void ArmWrite(const std::shared_ptr<Connection>& conn) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->closed || !conn->want_write) return;
+      fd = conn->fd;
+    }
+    if (conns_.find(fd) == conns_.end()) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void HandleAccept() {
+    for (;;) {
+      int fd = ::accept4(server_->listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (server_->running_.load()) {
+          PRAGUE_LOG(Warning) << "accept: " << std::strerror(errno);
+        }
+        return;
+      }
+      if (!server_->running_.load()) {
+        ::close(fd);
+        return;
+      }
+      server_->connections_accepted_.fetch_add(1);
+      obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+      sm.connections_total->Increment();
+      sm.connections_open->Add(1);
+      // Frames are tiny and latency-bound; Nagle + delayed ACK would park
+      // back-to-back commands (e.g. RUN then CANCEL) in the peer's kernel
+      // buffer for tens of milliseconds.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Connection>();
+      conn->server = server_;
+      conn->fd = fd;
+      size_t target_index = server_->next_loop_.fetch_add(1) %
+                            server_->loops_.size();
+      EventLoop* target = server_->loops_[target_index].get();
+      conn->loop = target;
+      if (target == this) {
+        Register(std::move(conn));
+      } else {
+        target->Adopt(std::move(conn));
+      }
+    }
+  }
+
+  void HandleReadable(const std::shared_ptr<Connection>& conn) {
+    obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+    bool eof = false;
+    char buf[16384];
+    for (;;) {
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->inbuf.append(buf, static_cast<size_t>(n));
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      PRAGUE_LOG(Warning) << "connection dropped: recv: "
+                          << std::strerror(errno);
+      CloseConnection(conn);
+      return;
+    }
+    size_t pos = 0;
+    while (!conn->draining && conn->fd >= 0) {
+      size_t avail = conn->inbuf.size() - pos;
+      if (avail < kFrameHeaderBytes) break;
+      Result<FrameHeader> header = DecodeFrameHeader(
+          reinterpret_cast<const uint8_t*>(conn->inbuf.data()) + pos, avail);
+      if (!header.ok()) {
+        sm.protocol_errors_total->Increment();
+        conn->SendReply(EncodeErrorReply(header.status()));
+        CloseConnection(conn);
+        return;
+      }
+      if (avail < kFrameHeaderBytes + header->payload_length) break;
+      sm.frames_total->Increment();
+      if (header->type != static_cast<uint8_t>(FrameType::kRequest)) {
+        sm.protocol_errors_total->Increment();
+        Status st =
+            header->type == static_cast<uint8_t>(FrameType::kResponse)
+                ? Status::Corruption("expected a request frame")
+                : Status::Corruption("unknown frame type byte " +
+                                     std::to_string(header->type));
+        conn->SendReply(EncodeErrorReply(st));
+        CloseConnection(conn);
+        return;
+      }
+      std::string_view payload(conn->inbuf.data() + pos + kFrameHeaderBytes,
+                               header->payload_length);
+      pos += kFrameHeaderBytes + header->payload_length;
+      server_->DispatchFrame(conn, payload);
+    }
+    if (conn->fd >= 0 && pos > 0) conn->inbuf.erase(0, pos);
+    if (eof && conn->fd >= 0) {
+      if (!conn->inbuf.empty() && !conn->draining) {
+        sm.protocol_errors_total->Increment();
+        PRAGUE_LOG(Warning)
+            << "connection dropped: connection closed mid frame";
+      }
+      CloseConnection(conn);
+    }
+  }
+
+  void HandleWritable(const std::shared_ptr<Connection>& conn) {
+    bool fatal = false, disarm = false, close_now = false;
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->closed) return;
+      fd = conn->fd;
+      bool blocked = false;
+      while (!conn->outq.empty() && !fatal && !blocked) {
+        std::string& frame = conn->outq.front();
+        size_t off = 0;
+        while (off < frame.size()) {
+          ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+          if (n >= 0) {
+            off += static_cast<size_t>(n);
+            continue;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            blocked = true;
+            break;
+          }
+          fatal = true;
+          break;
+        }
+        if (off == frame.size()) {
+          conn->outq.pop_front();
+        } else if (off > 0) {
+          frame.erase(0, off);
+        }
+      }
+      if (!fatal && conn->outq.empty()) {
+        conn->want_write = false;
+        disarm = true;
+        close_now = conn->close_after_flush;
+      }
+    }
+    if (fatal) {
+      CloseConnection(conn);
+      return;
+    }
+    if (close_now) {
+      CloseConnection(conn);
+      return;
+    }
+    if (disarm) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+  }
+
+  PragueServer* server_;
+  size_t index_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_adopt_;
+  std::vector<std::shared_ptr<Connection>> pending_write_;
+  // fd -> connection; loop thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
 };
+
+void PragueServer::Connection::SendReply(std::string payload) {
+  if (payload.size() > kMaxFramePayload) {
+    PRAGUE_LOG(Debug) << "dropping oversized reply (" << payload.size()
+                      << " bytes)";
+    return;
+  }
+  FrameHeader header;
+  header.payload_length = static_cast<uint32_t>(payload.size());
+  header.type = static_cast<uint8_t>(FrameType::kResponse);
+  std::string frame(kFrameHeaderBytes, '\0');
+  EncodeFrameHeader(header, reinterpret_cast<uint8_t*>(frame.data()));
+  frame += payload;
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed) return;
+    if (outq.empty() && !want_write) {
+      size_t off = 0;
+      while (off < frame.size()) {
+        ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n >= 0) {
+          off += static_cast<size_t>(n);
+          continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        // The client is gone; the loop will notice on its next poll.
+        PRAGUE_LOG(Debug) << "dropping reply: send: " << std::strerror(errno);
+        return;
+      }
+      if (off < frame.size()) {
+        frame.erase(0, off);
+        outq.push_back(std::move(frame));
+      }
+    } else {
+      outq.push_back(std::move(frame));
+    }
+    obs::ServerMetrics::Get().write_queue_depth->Record(outq.size());
+    if (!outq.empty() && !want_write) {
+      want_write = true;
+      arm = true;
+    }
+  }
+  if (arm) loop->RequestWriteArm(shared_from_this());
+}
 
 PragueServer::PragueServer(SessionManager* manager,
                            PragueServerOptions options)
@@ -91,7 +551,7 @@ Status PragueServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server already running");
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
@@ -123,263 +583,402 @@ Status PragueServer::Start() {
   }
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
-  size_t threads = options_.worker_threads != 0
-                       ? options_.worker_threads
-                       : std::max<size_t>(8, std::thread::hardware_concurrency());
-  pool_ = std::make_unique<ThreadPool>(threads);
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t workers = options_.worker_threads != 0 ? options_.worker_threads
+                                                : std::max<size_t>(2, hw);
+  size_t nloops = options_.event_loop_threads != 0
+                      ? options_.event_loop_threads
+                      : std::clamp<size_t>(hw / 4, 1, 4);
+  loops_.clear();
+  for (size_t i = 0; i < nloops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(this, i));
+  }
+  for (auto& loop : loops_) {
+    if (Status st = loop->Init(); !st.ok()) {
+      loops_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
   connections_accepted_.store(0);
+  next_loop_.store(0);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  PRAGUE_LOG(Info) << "serving on port " << port_ << " with " << threads
-                   << " connection slots";
+  for (auto& loop : loops_) loop->StartThread();
+  PRAGUE_LOG(Info) << "serving on port " << port_ << " with " << nloops
+                   << " event loop(s) and " << workers << " query workers";
   return Status::OK();
 }
 
 void PragueServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Wake the accept loop, then every parked handler.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& loop : loops_) loop->RequestStop();
+  // Each loop closes its connections on the way out, cancelling in-flight
+  // runs, so the pool drains promptly.
+  for (auto& loop : loops_) loop->Join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  // Handlers notice the dead sockets, cancel in-flight runs, and drain.
-  pool_->Wait();
-  pool_.reset();
+  if (pool_ != nullptr) {
+    pool_->Wait();
+    pool_.reset();
+  }
+  loops_.clear();
   PRAGUE_LOG(Info) << "server on port " << port_ << " stopped";
 }
 
-void PragueServer::AcceptLoop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (running_.load()) {
-        PRAGUE_LOG(Warning) << "accept: " << std::strerror(errno);
-      }
-      return;
-    }
-    if (!running_.load()) {
-      ::close(fd);
-      return;
-    }
-    connections_accepted_.fetch_add(1);
-    obs::ServerMetrics::Get().connections_total->Increment();
-    // Frames are tiny and latency-bound; Nagle + delayed ACK would park
-    // back-to-back commands (e.g. RUN then CANCEL) in the peer's kernel
-    // buffer for tens of milliseconds.
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      live_fds_.insert(fd);
-    }
-    pool_->Submit([this, fd] { ServeConnection(fd); });
-  }
-}
-
-void PragueServer::ServeConnection(int fd) {
+void PragueServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                                 std::string_view payload) {
   obs::ServerMetrics& sm = obs::ServerMetrics::Get();
-  Connection conn;
-  conn.fd = fd;
-  for (;;) {
-    Result<WireFrame> frame = RecvFrame(fd);
-    if (!frame.ok()) {
-      if (!IsConnectionClosed(frame.status())) {
-        sm.protocol_errors_total->Increment();
-        PRAGUE_LOG(Warning) << "connection dropped: "
-                            << frame.status().ToString();
-      }
-      break;
-    }
-    sm.frames_total->Increment();
-    if (frame->type != FrameType::kRequest) {
-      sm.protocol_errors_total->Increment();
-      conn.SendReply(EncodeErrorReply(
-          Status::Corruption("expected a request frame")));
-      break;
-    }
-    Result<WireCommand> cmd = ParseCommand(frame->payload);
-    if (!cmd.ok()) {
-      sm.protocol_errors_total->Increment();
-      conn.SendReply(EncodeErrorReply(cmd.status()));
-      continue;
-    }
-    CommandCounter(cmd->kind)->Increment();
-    if (!HandleCommand(conn, *cmd)) break;
+  Result<std::pair<uint64_t, std::string_view>> split = SplitFrameId(payload);
+  if (!split.ok()) {
+    sm.protocol_errors_total->Increment();
+    conn->SendReply(EncodeErrorReply(split.status()));
+    return;
   }
-  // Teardown: a run still in flight is cancelled so the join is prompt.
-  if (conn.run_in_flight.load() && conn.session != nullptr) {
-    conn.session->Cancel();
+  Result<WireCommand> cmd = ParseCommand(payload);
+  if (!cmd.ok()) {
+    sm.protocol_errors_total->Increment();
+    conn->SendReply(PrependFrameId(split->first,
+                                   EncodeErrorReply(cmd.status())));
+    return;
   }
-  JoinRunThread(conn);
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    live_fds_.erase(fd);
-  }
-  ::close(fd);
+  CommandCounter(cmd->kind)->Increment();
+  HandleCommand(conn, *cmd);
 }
 
-void PragueServer::JoinRunThread(Connection& conn) {
-  if (conn.run_thread.joinable()) conn.run_thread.join();
+void PragueServer::HandleCancel(const std::shared_ptr<Connection>& conn,
+                                const WireCommand& cmd) {
+  std::lock_guard<std::mutex> lock(conn->run_mu);
+  if (conn->session == nullptr) return;
+  if (cmd.cancel_id == 0) {
+    for (auto& ticket : conn->run_queue) ticket->cancelled = true;
+    if (conn->active_run != nullptr) {
+      conn->active_run->cancelled = true;
+      conn->session->Cancel();
+    }
+    return;
+  }
+  auto it = conn->inflight.find(cmd.cancel_id);
+  if (it == conn->inflight.end()) return;  // already done — fire and forget
+  it->second->cancelled = true;
+  if (conn->active_run == it->second) conn->session->Cancel();
 }
 
-bool PragueServer::HandleCommand(Connection& conn, const WireCommand& cmd) {
+void PragueServer::HandleCommand(const std::shared_ptr<Connection>& conn,
+                                 const WireCommand& cmd) {
   // CANCEL is fire-and-forget and valid mid-RUN — that is its purpose.
   if (cmd.kind == CommandKind::kCancel) {
-    if (conn.run_in_flight.load() && conn.session != nullptr) {
-      conn.session->Cancel();
+    HandleCancel(conn, cmd);
+    return;
+  }
+  bool busy;
+  {
+    std::lock_guard<std::mutex> lock(conn->run_mu);
+    busy = conn->run_task_active || !conn->run_queue.empty();
+  }
+  if (busy) {
+    // Pipelining: further id-carrying runs may pile up behind the one in
+    // flight; everything else keeps the pre-reactor lock-step contract.
+    if ((cmd.kind == CommandKind::kRun ||
+         cmd.kind == CommandKind::kBatchRun) &&
+        cmd.request_id != 0) {
+      EnqueueRun(conn, cmd);
+      return;
     }
-    return true;
+    conn->SendReply(PrependFrameId(
+        cmd.request_id,
+        EncodeErrorReply(Status::FailedPrecondition(
+            "a RUN is in flight on this connection; only CANCEL and "
+            "id-carrying RUN/BATCH_RUN are accepted"))));
+    return;
   }
-  if (conn.run_in_flight.load()) {
-    conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
-        "a RUN is in flight on this connection; only CANCEL is accepted")));
-    return true;
-  }
-  // The previous run (if any) has finished; reap its thread.
-  JoinRunThread(conn);
 
   switch (cmd.kind) {
     case CommandKind::kOpen: {
-      if (conn.session != nullptr) {
-        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
-            "a session is already open on this connection")));
-        return true;
+      if (conn->session != nullptr) {
+        conn->SendReply(PrependFrameId(
+            cmd.request_id,
+            EncodeErrorReply(Status::FailedPrecondition(
+                "a session is already open on this connection"))));
+        return;
       }
       int64_t budget_ms = cmd.timeout_ms >= 0
                               ? cmd.timeout_ms
                               : options_.default_run_deadline_ms;
-      conn.session = budget_ms >= 0 ? manager_->OpenWithDeadline(budget_ms)
-                                    : manager_->Open();
-      conn.SendReply(
-          FormatOpenReply(conn.session->id(), conn.session->version()));
-      return true;
+      conn->session = budget_ms >= 0 ? manager_->OpenWithDeadline(budget_ms)
+                                     : manager_->Open();
+      conn->SendReply(PrependFrameId(
+          cmd.request_id,
+          FormatOpenReply(conn->session->id(), conn->session->version())));
+      return;
     }
     case CommandKind::kAddEdge:
     case CommandKind::kDeleteEdge: {
-      if (conn.session == nullptr) {
-        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
-            "no session on this connection (send OPEN first)")));
-        return true;
+      if (conn->session == nullptr) {
+        conn->SendReply(PrependFrameId(
+            cmd.request_id,
+            EncodeErrorReply(Status::FailedPrecondition(
+                "no session on this connection (send OPEN first)"))));
+        return;
       }
       std::string reply;
       if (cmd.kind == CommandKind::kAddEdge) {
-        reply = conn.session->With([&](PragueSession& s) -> std::string {
+        reply = conn->session->With([&](PragueSession& s) -> std::string {
           NodeId endpoints[2];
           const std::pair<uint32_t, const std::string*> wanted[2] = {
               {cmd.u, &cmd.u_label}, {cmd.v, &cmd.v_label}};
           for (int i = 0; i < 2; ++i) {
             auto [handle, label] = wanted[i];
-            auto it = conn.nodes.find(handle);
-            if (it != conn.nodes.end()) {
-              if (conn.node_labels[handle] != *label) {
+            auto it = conn->nodes.find(handle);
+            if (it != conn->nodes.end()) {
+              if (conn->node_labels[handle] != *label) {
                 return EncodeErrorReply(Status::InvalidArgument(
                     "node handle " + std::to_string(handle) +
-                    " already has label '" + conn.node_labels[handle] +
+                    " already has label '" + conn->node_labels[handle] +
                     "'"));
               }
               endpoints[i] = it->second;
             } else {
               Result<NodeId> added = s.AddNodeByName(*label);
               if (!added.ok()) return EncodeErrorReply(added.status());
-              conn.nodes[handle] = *added;
-              conn.node_labels[handle] = *label;
+              conn->nodes[handle] = *added;
+              conn->node_labels[handle] = *label;
               endpoints[i] = *added;
             }
           }
           Result<StepReport> step =
               s.AddEdge(endpoints[0], endpoints[1], cmd.edge_label);
           if (!step.ok()) return EncodeErrorReply(step.status());
-          conn.edges[EdgeKey(cmd.u, cmd.v)] = step->edge;
+          conn->edges[EdgeKey(cmd.u, cmd.v)] = step->edge;
           return FormatStepReply(*step);
         });
       } else {
-        auto it = conn.edges.find(EdgeKey(cmd.u, cmd.v));
-        if (it == conn.edges.end()) {
-          conn.SendReply(EncodeErrorReply(Status::NotFound(
-              "no edge between node handles " + std::to_string(cmd.u) +
-              " and " + std::to_string(cmd.v))));
-          return true;
+        auto it = conn->edges.find(EdgeKey(cmd.u, cmd.v));
+        if (it == conn->edges.end()) {
+          conn->SendReply(PrependFrameId(
+              cmd.request_id,
+              EncodeErrorReply(Status::NotFound(
+                  "no edge between node handles " + std::to_string(cmd.u) +
+                  " and " + std::to_string(cmd.v)))));
+          return;
         }
         FormulationId ell = it->second;
-        reply = conn.session->With([&](PragueSession& s) -> std::string {
+        reply = conn->session->With([&](PragueSession& s) -> std::string {
           Result<StepReport> step = s.DeleteEdge(ell);
           if (!step.ok()) return EncodeErrorReply(step.status());
-          conn.edges.erase(it);
+          conn->edges.erase(it);
           return FormatStepReply(*step);
         });
       }
-      conn.SendReply(reply);
-      return true;
+      conn->SendReply(PrependFrameId(cmd.request_id, std::move(reply)));
+      return;
     }
-    case CommandKind::kRun: {
-      if (conn.session == nullptr) {
-        conn.SendReply(EncodeErrorReply(Status::FailedPrecondition(
-            "no session on this connection (send OPEN first)")));
-        return true;
-      }
-      StartRun(conn, cmd.limit);
-      return true;
+    case CommandKind::kRun:
+    case CommandKind::kBatchRun: {
+      EnqueueRun(conn, cmd);
+      return;
     }
     case CommandKind::kStats: {
-      conn.SendReply(FormatStatsReply(manager_->Stats()));
-      return true;
+      conn->SendReply(PrependFrameId(cmd.request_id,
+                                     FormatStatsReply(manager_->Stats())));
+      return;
     }
     case CommandKind::kMetrics: {
-      conn.SendReply(FormatMetricsReply(
-          obs::MetricsRegistry::Global().RenderPrometheus()));
-      return true;
+      conn->SendReply(PrependFrameId(
+          cmd.request_id,
+          FormatMetricsReply(
+              obs::MetricsRegistry::Global().RenderPrometheus())));
+      return;
     }
     case CommandKind::kClose: {
-      conn.SendReply("OK bye");
-      return false;
+      conn->SendReply(PrependFrameId(cmd.request_id, "OK bye"));
+      conn->draining = true;
+      bool close_now = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (conn->outq.empty()) {
+          close_now = true;
+        } else {
+          conn->close_after_flush = true;
+        }
+      }
+      if (close_now) conn->loop->CloseConnection(conn);
+      return;
     }
     case CommandKind::kCancel:
-      break;  // handled above
+      return;  // handled above
   }
-  return true;
 }
 
-void PragueServer::StartRun(Connection& conn, uint64_t limit) {
-  // Re-arm the token so a stale CANCEL (one that raced the end of the
-  // previous run) cannot poison this run.
-  conn.session->ResetCancellation();
-  conn.run_in_flight.store(true);
-  // `this` is safe here: ServeConnection joins the run thread before it
-  // returns, and Stop() drains the handler pool before the server dies.
-  conn.run_thread = std::thread([this, &conn, limit] {
-    obs::ServerMetrics& sm = obs::ServerMetrics::Get();
-    Stopwatch timer;
-    obs::RunTrace trace;
-    bool ran = false;
-    std::string reply =
-        conn.session->With([&](PragueSession& s) -> std::string {
-          RunStats stats;
-          Result<QueryResults> results = s.Run(&stats);
-          if (!results.ok()) return EncodeErrorReply(results.status());
-          trace = s.last_run_trace();
-          ran = true;
-          return FormatRunReply(*results, stats, limit);
-        });
-    double elapsed_ms = timer.ElapsedMillis();
-    sm.run_latency_us->Record(
-        static_cast<uint64_t>(elapsed_ms * 1000 + 0.5));
-    if (ran && trace.truncated) sm.runs_truncated_total->Increment();
-    if (ran && options_.slow_query_ms >= 0 &&
-        elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
-      sm.slow_queries_total->Increment();
-      PRAGUE_LOG(Warning) << "slow query (" << elapsed_ms
-                          << " ms): " << trace.ToString();
+void PragueServer::EnqueueRun(const std::shared_ptr<Connection>& conn,
+                              const WireCommand& cmd) {
+  if (conn->session == nullptr) {
+    conn->SendReply(PrependFrameId(
+        cmd.request_id,
+        EncodeErrorReply(Status::FailedPrecondition(
+            "no session on this connection (send OPEN first)"))));
+    return;
+  }
+  Status reject = Status::OK();
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->run_mu);
+    if (cmd.request_id != 0 &&
+        conn->inflight.find(cmd.request_id) != conn->inflight.end()) {
+      reject = Status::ProtocolError(
+          "request id " + std::to_string(cmd.request_id) +
+          " is already in flight on this connection");
+    } else if (cmd.request_id != 0 &&
+               conn->inflight.size() >= options_.max_pipelined_runs) {
+      reject = Status::FailedPrecondition(
+          "pipeline is full (" + std::to_string(options_.max_pipelined_runs) +
+          " runs in flight)");
+    } else {
+      auto ticket = std::make_shared<Connection::RunTicket>(cmd);
+      conn->run_queue.push_back(ticket);
+      if (cmd.request_id != 0) conn->inflight[cmd.request_id] = ticket;
+      if (!conn->run_task_active) {
+        conn->run_task_active = true;
+        spawn = true;
+      }
     }
-    // Clear the flag before replying so a lock-step client's next command
-    // (sent only after it reads this reply) is never bounced as "busy".
-    conn.run_in_flight.store(false);
-    conn.SendReply(reply);
+  }
+  if (!reject.ok()) {
+    if (reject.code() == Status::Code::kProtocolError) {
+      obs::ServerMetrics::Get().protocol_errors_total->Increment();
+    }
+    conn->SendReply(PrependFrameId(cmd.request_id, EncodeErrorReply(reject)));
+    return;
+  }
+  if (spawn) {
+    std::shared_ptr<Connection> c = conn;
+    pool_->Submit([this, c] { RunWorker(c); });
+  }
+}
+
+void PragueServer::RunWorker(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::shared_ptr<Connection::RunTicket> ticket;
+    {
+      std::lock_guard<std::mutex> lock(conn->run_mu);
+      if (conn->run_queue.empty()) {
+        conn->run_task_active = false;
+        return;
+      }
+      ticket = conn->run_queue.front();
+      conn->run_queue.pop_front();
+      conn->active_run = ticket;
+      // Re-arm the token so a stale CANCEL (one that raced the end of the
+      // previous run) cannot poison this run; then apply any cancellation
+      // that targeted this ticket while it was still queued. Both under
+      // run_mu, the same lock HandleCancel trips the token under.
+      conn->session->ResetCancellation();
+      if (ticket->cancelled) conn->session->Cancel();
+    }
+    std::string reply = ticket->cmd.kind == CommandKind::kRun
+                            ? ExecuteRun(*conn, ticket->cmd)
+                            : ExecuteBatchRun(*conn, ticket->cmd);
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(conn->run_mu);
+      conn->active_run = nullptr;
+      if (ticket->cmd.request_id != 0) {
+        conn->inflight.erase(ticket->cmd.request_id);
+      }
+      done = conn->run_queue.empty();
+      // Clear the flag before replying so a lock-step client's next
+      // command (sent only after it reads this reply) is never bounced as
+      // "busy". A pipelined client may enqueue again the instant the flag
+      // drops; the fresh pool task and this one only overlap on the
+      // thread-safe reply write below.
+      if (done) conn->run_task_active = false;
+    }
+    conn->SendReply(
+        PrependFrameId(ticket->cmd.request_id, std::move(reply)));
+    if (done) return;
+  }
+}
+
+std::string PragueServer::ExecuteRun(Connection& conn,
+                                     const WireCommand& cmd) {
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+  Stopwatch timer;
+  obs::RunTrace trace;
+  bool ran = false;
+  std::string reply =
+      conn.session->With([&](PragueSession& s) -> std::string {
+        RunStats stats;
+        Result<QueryResults> results = s.Run(&stats);
+        if (!results.ok()) return EncodeErrorReply(results.status());
+        trace = s.last_run_trace();
+        ran = true;
+        return FormatRunReply(*results, stats, cmd.limit);
+      });
+  double elapsed_ms = timer.ElapsedMillis();
+  sm.run_latency_us->Record(static_cast<uint64_t>(elapsed_ms * 1000 + 0.5));
+  if (ran && trace.truncated) sm.runs_truncated_total->Increment();
+  if (ran && options_.slow_query_ms >= 0 &&
+      elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
+    sm.slow_queries_total->Increment();
+    PRAGUE_LOG(Warning) << "slow query (" << elapsed_ms
+                        << " ms): " << trace.ToString();
+  }
+  return reply;
+}
+
+std::string PragueServer::ExecuteBatchRun(Connection& conn,
+                                          const WireCommand& cmd) {
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
+  Stopwatch timer;
+  sm.batch_size->Record(cmd.batch_patterns.size());
+  std::vector<std::string> members;
+  members.reserve(cmd.batch_patterns.size());
+  conn.session->With([&](PragueSession& s) {
+    // Each member formulates and runs on a fresh engine session pinned to
+    // this connection's snapshot, inheriting the session's config — so the
+    // run budget, σ, and crucially the cancellation token all apply: a
+    // CANCEL truncates the member in flight and fails the rest fast.
+    const PragueConfig config = s.config();
+    const LabelDictionary& labels = s.snapshot()->labels();
+    for (const std::string& text : cmd.batch_patterns) {
+      Result<ParsedPattern> parsed = ParsePatternStrict(text, labels);
+      if (!parsed.ok()) {
+        members.push_back(EncodeErrorReply(parsed.status()));
+        continue;
+      }
+      PragueSession member(s.snapshot(), config);
+      std::vector<NodeId> ids;
+      ids.reserve(parsed->graph.NodeCount());
+      for (NodeId n = 0; n < parsed->graph.NodeCount(); ++n) {
+        ids.push_back(member.AddNode(parsed->graph.NodeLabel(n)));
+      }
+      Status failed = Status::OK();
+      for (EdgeId e : parsed->sequence) {
+        const Edge& edge = parsed->graph.GetEdge(e);
+        Result<StepReport> step =
+            member.AddEdge(ids[edge.u], ids[edge.v], edge.label);
+        if (!step.ok()) {
+          failed = step.status();
+          break;
+        }
+      }
+      if (!failed.ok()) {
+        members.push_back(EncodeErrorReply(failed));
+        continue;
+      }
+      RunStats stats;
+      Result<QueryResults> results = member.Run(&stats);
+      members.push_back(results.ok()
+                            ? FormatRunReply(*results, stats, cmd.limit)
+                            : EncodeErrorReply(results.status()));
+    }
   });
+  sm.batch_latency_us->Record(
+      static_cast<uint64_t>(timer.ElapsedMillis() * 1000 + 0.5));
+  return FormatBatchRunReply(members);
 }
 
 }  // namespace prague

@@ -7,22 +7,35 @@
 // (snapshot pinning, COW publish-while-serving, per-session run budgets,
 // cross-thread cancellation) is exposed end-to-end on the wire.
 //
-// Threading:
-//  - A dedicated accept thread hands each connection to the shared
-//    util/thread_pool; a connection occupies one pool slot for its whole
-//    life (handlers block in recv), so `worker_threads` bounds the number
-//    of concurrently *served* connections — later ones queue in accept
-//    order until a slot frees.
-//  - RUN is the one command executed asynchronously: the handler starts
-//    it on a per-connection run thread and keeps reading the socket, so a
-//    CANCEL frame arriving mid-RUN reaches ManagedSession::Cancel() while
-//    the run is still in flight. Any other command during a RUN is
-//    rejected with FailedPrecondition. The run thread itself writes the
-//    RUN reply (socket writes are serialized per connection).
+// Threading — an epoll reactor, not thread-per-connection:
+//  - A small fixed set of event-loop threads (`event_loop_threads`) owns
+//    all sockets. Every socket is non-blocking; each loop multiplexes its
+//    share of connections with epoll, doing the framing, parsing, and all
+//    cheap command handling (OPEN, ADD_EDGE, STATS, ...) inline. A
+//    connection is assigned to one loop for life (round-robin at accept),
+//    so per-connection read state needs no locking. Loop 0 also owns the
+//    listening socket.
+//  - RUN and BATCH_RUN bodies — the only work whose cost is data-
+//    dependent — execute on the shared `util/thread_pool`, never on a
+//    loop. A slow query therefore cannot stall framing or another
+//    connection's commands; `worker_threads` bounds concurrent query
+//    execution, not concurrent connections. Per connection, queued runs
+//    execute one at a time in arrival order (the session is serialized
+//    anyway), each connection using at most one pool slot at a time.
+//  - Replies may be written from a loop thread or a pool thread. Each
+//    connection has a write queue: a reply is sent inline when the queue
+//    is empty and the socket accepts it; otherwise it is queued and the
+//    owning loop arms EPOLLOUT (via an eventfd wakeup) and flushes as the
+//    socket drains. Frame order per connection is preserved.
+//  - Pipelining: id-carrying RUN/BATCH_RUN frames (see server/wire.h) may
+//    pile up while earlier ones execute; CANCEL — optionally CANCEL <id>
+//    — is handled on the loop thread and so reaches an executing run
+//    mid-flight. All other commands during an in-flight run are rejected
+//    with FailedPrecondition, exactly like the pre-reactor server.
 //
-// Stop() is graceful: it shuts down the listener and every live
-// connection socket, cancels in-flight runs, and joins everything before
-// returning, so a server object can be destroyed the line after.
+// Stop() is graceful: it stops the loops, disconnects every client
+// (in-flight runs are cancelled), and joins everything before returning,
+// so a server object can be destroyed the line after.
 
 #ifndef PRAGUE_SERVER_PRAGUE_SERVER_H_
 #define PRAGUE_SERVER_PRAGUE_SERVER_H_
@@ -30,9 +43,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <unordered_set>
+#include <string>
+#include <vector>
 
 #include "core/session_manager.h"
 #include "util/status.h"
@@ -40,21 +52,30 @@
 
 namespace prague {
 
+struct WireCommand;
+
 /// \brief Server knobs.
 struct PragueServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (port() reports it).
   uint16_t port = 0;
-  /// Connection-handler pool size; 0 = max(8, hardware_concurrency).
+  /// Query-executor pool size (RUN / BATCH_RUN bodies only);
+  /// 0 = max(2, hardware_concurrency).
   size_t worker_threads = 0;
+  /// Event-loop (reactor) threads owning the sockets;
+  /// 0 = clamp(hardware_concurrency / 4, 1, 4).
+  size_t event_loop_threads = 0;
   /// When >= 0, every OPEN without an explicit timeout gets this Run()
   /// budget (milliseconds, 0 = unbounded) instead of the manager default.
   int64_t default_run_deadline_ms = -1;
   /// listen(2) backlog.
-  int backlog = 64;
-  /// When >= 0, a RUN whose round trip takes at least this many
+  int backlog = 256;
+  /// When >= 0, a RUN whose execution takes at least this many
   /// milliseconds logs its full RunTrace at Warning level (slow-query
   /// log). 0 logs every run; -1 (default) disables the log.
   int64_t slow_query_ms = -1;
+  /// Cap on id-carrying runs in flight per connection (queued + active);
+  /// frames beyond it are rejected with FailedPrecondition.
+  size_t max_pipelined_runs = 64;
 };
 
 /// \brief TCP server exposing a SessionManager over the wire protocol of
@@ -68,11 +89,11 @@ class PragueServer {
   PragueServer(const PragueServer&) = delete;
   PragueServer& operator=(const PragueServer&) = delete;
 
-  /// \brief Binds, listens, and starts accepting. Fails without side
+  /// \brief Binds, listens, and starts the reactor. Fails without side
   /// effects if the port cannot be bound.
   Status Start();
 
-  /// \brief Stops accepting, disconnects every client (in-flight runs are
+  /// \brief Stops the loops, disconnects every client (in-flight runs are
   /// cancelled), and joins all server threads. Idempotent.
   void Stop();
 
@@ -85,14 +106,22 @@ class PragueServer {
 
  private:
   struct Connection;
+  class EventLoop;
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  // Dispatches one parsed command; returns false when the connection
-  // should close (CLOSE command). Replies are sent inside.
-  bool HandleCommand(Connection& conn, const struct WireCommand& cmd);
-  void StartRun(Connection& conn, uint64_t limit);
-  static void JoinRunThread(Connection& conn);
+  // Frame dispatch and command handling, all on the connection's loop
+  // thread (except run bodies — see RunWorker).
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     std::string_view payload);
+  void HandleCommand(const std::shared_ptr<Connection>& conn,
+                     const WireCommand& cmd);
+  void HandleCancel(const std::shared_ptr<Connection>& conn,
+                    const WireCommand& cmd);
+  void EnqueueRun(const std::shared_ptr<Connection>& conn,
+                  const WireCommand& cmd);
+  // Pool task: drains the connection's run queue one ticket at a time.
+  void RunWorker(std::shared_ptr<Connection> conn);
+  std::string ExecuteRun(Connection& conn, const WireCommand& cmd);
+  std::string ExecuteBatchRun(Connection& conn, const WireCommand& cmd);
 
   SessionManager* manager_;
   PragueServerOptions options_;
@@ -101,13 +130,9 @@ class PragueServer {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_accepted_{0};
-  std::thread accept_thread_;
+  std::atomic<size_t> next_loop_{0};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
   std::unique_ptr<ThreadPool> pool_;
-
-  // Live connection sockets, so Stop() can shut them down to unblock
-  // handlers parked in recv().
-  std::mutex conns_mu_;
-  std::unordered_set<int> live_fds_;
 };
 
 }  // namespace prague

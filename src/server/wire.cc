@@ -205,11 +205,46 @@ bool IsConnectionClosed(const Status& status) {
          status.message() == kClosedMessage;
 }
 
+Result<std::pair<uint64_t, std::string_view>> SplitFrameId(
+    std::string_view payload) {
+  if (payload.empty() || payload.front() != '#') {
+    return std::pair<uint64_t, std::string_view>{0, payload};
+  }
+  size_t space = payload.find(' ');
+  std::string_view token =
+      payload.substr(0, space == std::string_view::npos ? payload.size()
+                                                        : space);
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t id,
+                          ParseNumber<uint64_t>(token.substr(1), "frame id"));
+  if (id == 0) return Status::InvalidArgument("frame id must be >= 1");
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view()
+                                      : payload.substr(space + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  return std::pair<uint64_t, std::string_view>{id, rest};
+}
+
+std::string PrependFrameId(uint64_t id, std::string payload) {
+  if (id == 0) return payload;
+  return '#' + std::to_string(id) + ' ' + std::move(payload);
+}
+
 Result<WireCommand> ParseCommand(std::string_view payload) {
-  std::vector<std::string_view> tokens = Tokenize(payload);
+  PRAGUE_ASSIGN_OR_RETURN(auto id_split, SplitFrameId(payload));
+  std::string_view rest = id_split.second;
+  // Only BATCH_RUN carries a multi-line payload; peel the command line off
+  // and keep the remainder for its pattern list.
+  size_t newline = rest.find('\n');
+  std::string_view first_line =
+      newline == std::string_view::npos ? rest : rest.substr(0, newline);
+  std::string_view extra_lines =
+      newline == std::string_view::npos ? std::string_view()
+                                        : rest.substr(newline + 1);
+  std::vector<std::string_view> tokens = Tokenize(first_line);
   if (tokens.empty()) return Status::InvalidArgument("empty command");
   std::string_view verb = tokens[0];
   WireCommand cmd;
+  cmd.request_id = id_split.first;
   size_t expected_min = 1, expected_max = 1;
   if (verb == "OPEN") {
     cmd.kind = CommandKind::kOpen;
@@ -253,8 +288,52 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
       PRAGUE_ASSIGN_OR_RETURN(cmd.limit,
                               ParseNumber<uint64_t>(tokens[1], "RUN k"));
     }
+  } else if (verb == "BATCH_RUN") {
+    cmd.kind = CommandKind::kBatchRun;
+    expected_min = 2;
+    expected_max = 3;
+    if (tokens.size() >= 2) {
+      PRAGUE_ASSIGN_OR_RETURN(uint64_t n,
+                              ParseNumber<uint64_t>(tokens[1], "BATCH_RUN n"));
+      if (n < 1 || n > kMaxBatchPatterns) {
+        return Status::InvalidArgument(
+            "BATCH_RUN n must be in [1, " +
+            std::to_string(kMaxBatchPatterns) + "], got " + std::to_string(n));
+      }
+      if (tokens.size() == 3) {
+        PRAGUE_ASSIGN_OR_RETURN(
+            cmd.limit, ParseNumber<uint64_t>(tokens[2], "BATCH_RUN k"));
+      }
+      // The n lines after the command line are the member patterns.
+      std::string_view lines = extra_lines;
+      while (!lines.empty()) {
+        size_t eol = lines.find('\n');
+        std::string_view line =
+            eol == std::string_view::npos ? lines : lines.substr(0, eol);
+        if (line.empty()) {
+          return Status::InvalidArgument("BATCH_RUN: empty pattern line");
+        }
+        cmd.batch_patterns.emplace_back(line);
+        lines = eol == std::string_view::npos ? std::string_view()
+                                              : lines.substr(eol + 1);
+      }
+      if (cmd.batch_patterns.size() != n) {
+        return Status::InvalidArgument(
+            "BATCH_RUN: header says " + std::to_string(n) + " patterns, got " +
+            std::to_string(cmd.batch_patterns.size()) + " lines");
+      }
+    }
   } else if (verb == "CANCEL") {
     cmd.kind = CommandKind::kCancel;
+    expected_max = 2;
+    if (tokens.size() > 1) {
+      PRAGUE_ASSIGN_OR_RETURN(cmd.cancel_id,
+                              ParseNumber<uint64_t>(tokens[1], "CANCEL id"));
+      if (cmd.cancel_id == 0) {
+        return Status::InvalidArgument(
+            "CANCEL id must be >= 1 (omit the id to cancel everything)");
+      }
+    }
   } else if (verb == "STATS") {
     cmd.kind = CommandKind::kStats;
   } else if (verb == "METRICS") {
@@ -272,40 +351,64 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
         std::to_string(expected_max - 1) + " arguments, got " +
         std::to_string(tokens.size() - 1));
   }
+  if (newline != std::string_view::npos &&
+      cmd.kind != CommandKind::kBatchRun) {
+    return Status::InvalidArgument(std::string(verb) +
+                                   ": unexpected multi-line payload");
+  }
   return cmd;
 }
 
 std::string FormatCommand(const WireCommand& command) {
+  std::string body;
   switch (command.kind) {
     case CommandKind::kOpen:
-      return command.timeout_ms >= 0
+      body = command.timeout_ms >= 0
                  ? "OPEN " + std::to_string(command.timeout_ms)
                  : "OPEN";
+      break;
     case CommandKind::kAddEdge: {
-      std::string out = "ADD_EDGE " + std::to_string(command.u) + ' ' +
-                        command.u_label + ' ' + std::to_string(command.v) +
-                        ' ' + command.v_label;
+      body = "ADD_EDGE " + std::to_string(command.u) + ' ' +
+             command.u_label + ' ' + std::to_string(command.v) + ' ' +
+             command.v_label;
       if (command.edge_label != 0) {
-        out += ' ' + std::to_string(command.edge_label);
+        body += ' ' + std::to_string(command.edge_label);
       }
-      return out;
+      break;
     }
     case CommandKind::kDeleteEdge:
-      return "DELETE_EDGE " + std::to_string(command.u) + ' ' +
+      body = "DELETE_EDGE " + std::to_string(command.u) + ' ' +
              std::to_string(command.v);
+      break;
     case CommandKind::kRun:
-      return command.limit > 0 ? "RUN " + std::to_string(command.limit)
+      body = command.limit > 0 ? "RUN " + std::to_string(command.limit)
                                : "RUN";
+      break;
+    case CommandKind::kBatchRun: {
+      body = "BATCH_RUN " + std::to_string(command.batch_patterns.size());
+      if (command.limit > 0) body += ' ' + std::to_string(command.limit);
+      for (const std::string& pattern : command.batch_patterns) {
+        body += '\n';
+        body += pattern;
+      }
+      break;
+    }
     case CommandKind::kCancel:
-      return "CANCEL";
+      body = command.cancel_id > 0
+                 ? "CANCEL " + std::to_string(command.cancel_id)
+                 : "CANCEL";
+      break;
     case CommandKind::kStats:
-      return "STATS";
+      body = "STATS";
+      break;
     case CommandKind::kMetrics:
-      return "METRICS";
+      body = "METRICS";
+      break;
     case CommandKind::kClose:
-      return "CLOSE";
+      body = "CLOSE";
+      break;
   }
-  return "";
+  return PrependFrameId(command.request_id, std::move(body));
 }
 
 const char* StatusCodeToken(Status::Code code) {
@@ -326,6 +429,8 @@ const char* StatusCodeToken(Status::Code code) {
       return "FAILED_PRECONDITION";
     case Status::Code::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case Status::Code::kProtocolError:
+      return "PROTOCOL_ERROR";
   }
   return "UNKNOWN";
 }
@@ -359,6 +464,7 @@ Status DecodeReplyStatus(std::string_view payload) {
     return Status::FailedPrecondition(message);
   }
   if (token == "DEADLINE_EXCEEDED") return Status::DeadlineExceeded(message);
+  if (token == "PROTOCOL_ERROR") return Status::ProtocolError(message);
   return Status::Corruption("unknown error code '" + std::string(token) +
                             "' in reply");
 }
@@ -472,6 +578,51 @@ Result<RunReply> ParseRunReply(std::string_view payload) {
                               ParseNumber<GraphId>(item, "match gid"));
       reply.exact.push_back(gid);
     }
+  }
+  return reply;
+}
+
+std::string FormatBatchRunReply(
+    const std::vector<std::string>& member_payloads) {
+  std::string out = "OK batch n=" + std::to_string(member_payloads.size());
+  for (const std::string& member : member_payloads) {
+    out += '\n';
+    out += member;
+  }
+  return out;
+}
+
+Result<BatchRunReply> ParseBatchRunReply(std::string_view payload) {
+  // A whole-batch rejection ("ERR ...") decodes to its status; per-member
+  // failures live on the member lines and decode individually below.
+  size_t newline = payload.find('\n');
+  std::string_view first_line =
+      newline == std::string_view::npos ? payload : payload.substr(0, newline);
+  PRAGUE_RETURN_NOT_OK(DecodeReplyStatus(first_line));
+  std::vector<std::string_view> tokens = Tokenize(first_line);
+  if (tokens.size() < 2 || tokens[1] != "batch") {
+    return Status::Corruption("malformed BATCH_RUN reply");
+  }
+  PRAGUE_ASSIGN_OR_RETURN(auto n_value, ReplyValue(tokens, "n"));
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t n, ParseNumber<uint64_t>(n_value, "n"));
+  BatchRunReply reply;
+  std::string_view lines = newline == std::string_view::npos
+                               ? std::string_view()
+                               : payload.substr(newline + 1);
+  while (!lines.empty()) {
+    size_t eol = lines.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? lines : lines.substr(0, eol);
+    // ParseRunReply decodes an ERR member line to its error Status, which
+    // is exactly the Result the member slot should hold.
+    reply.members.push_back(ParseRunReply(line));
+    lines = eol == std::string_view::npos ? std::string_view()
+                                          : lines.substr(eol + 1);
+  }
+  if (reply.members.size() != n) {
+    return Status::Corruption(
+        "BATCH_RUN reply says n=" + std::to_string(n) + " but carries " +
+        std::to_string(reply.members.size()) + " member lines");
   }
   return reply;
 }

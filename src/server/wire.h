@@ -16,7 +16,8 @@
 //   RUN [k]                     -> OK mode=<exact|similar> n=<total>
 //                                  truncated=<0|1> phase=<p>
 //                                  srt_ms=<t> ids=<...>
-//   CANCEL                      -> (no reply — see below)
+//   BATCH_RUN n [k]\n<p1>\n...  -> OK batch n=<n>\n<member reply lines>
+//   CANCEL [id]                 -> (no reply — see below)
 //   STATS                       -> OK version=<v> open=<n> opened=<n>
 //                                  published=<n> runs=<n> truncated=<n>
 //                                  sessions=<id>@<ver>,...
@@ -30,12 +31,39 @@
 // are listed in the reply; `n` is always the full count. Errors come back
 // as `ERR <CODE> <message>` and decode to the same Status the server saw.
 //
+// Request ids and pipelining. Any request payload may start with an
+// optional `#<id>` token (id >= 1, client-chosen, unique among that
+// connection's in-flight requests): `#7 RUN 10`. The reply to an
+// id-carrying request echoes the same prefix (`#7 OK mode=...`,
+// `#7 ERR ...`); id-less requests get id-less replies, byte-identical to
+// the pre-id protocol. Ids exist so RUN/BATCH_RUN can be *pipelined*:
+// a connection may have several id-carrying runs in flight at once, their
+// replies return in completion order (not send order), and the id is what
+// lets the client pair them up again. Everything else stays lock-step:
+// while any run is in flight, only CANCEL and further id-carrying
+// RUN/BATCH_RUN frames are accepted; other commands are rejected with
+// FailedPrecondition exactly as before.
+//
+// BATCH_RUN amortizes framing and session dispatch across a burst of
+// queries. Its payload is multi-line: the first line is the command
+// (`BATCH_RUN <n> [k]`), followed by exactly n lines, each one visual
+// query in the textual pattern syntax of query/pattern_parser.h. Each
+// member is formulated and run on a fresh engine session pinned to the
+// connection session's snapshot and config; the reply carries one line
+// per member — a standard RUN reply payload, or an ERR payload for
+// members that failed to parse/formulate. Members run under the session's
+// run budget individually; a CANCEL lands on the member in flight and
+// fails the rest fast, so a batch never outlives a cancellation by more
+// than one member.
+//
 // CANCEL is the one intentionally asymmetric command: it is fire-and-
 // forget, carries no reply, and may be sent while a RUN is in flight on
 // the same connection — that is its whole purpose. The in-flight RUN then
-// returns early with truncated=1. Because CANCEL never occupies the reply
-// stream, a client thread can issue it while another thread is blocked
-// waiting for the RUN reply without the two ever racing on a read.
+// returns early with truncated=1. `CANCEL <id>` cancels only the run with
+// that request id (whether active or still queued); bare CANCEL cancels
+// everything in flight on the connection. Because CANCEL never occupies
+// the reply stream, a client thread can issue it while another thread is
+// blocked waiting for a RUN reply without the two ever racing on a read.
 
 #ifndef PRAGUE_SERVER_WIRE_H_
 #define PRAGUE_SERVER_WIRE_H_
@@ -85,23 +113,43 @@ enum class CommandKind {
   kAddEdge,
   kDeleteEdge,
   kRun,
+  kBatchRun,
   kCancel,
   kStats,
   kMetrics,
   kClose,
 };
 
+/// Upper bound on BATCH_RUN members; a batch is one frame, so this caps
+/// how much parse/formulate work a single frame can demand.
+inline constexpr size_t kMaxBatchPatterns = 256;
+
 /// \brief One parsed request payload.
 struct WireCommand {
   CommandKind kind = CommandKind::kClose;
+  /// Optional `#<id>` frame prefix; 0 = absent (lock-step request).
+  uint64_t request_id = 0;
   int64_t timeout_ms = -1;  ///< OPEN: Run() budget; -1 = server default.
   uint32_t u = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
   uint32_t v = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
   std::string u_label;      ///< ADD_EDGE label name of u
   std::string v_label;      ///< ADD_EDGE label name of v
   Label edge_label = 0;     ///< ADD_EDGE edge label
-  uint64_t limit = 0;       ///< RUN: max matches listed; 0 = all
+  uint64_t limit = 0;       ///< RUN / BATCH_RUN: max matches listed; 0 = all
+  uint64_t cancel_id = 0;   ///< CANCEL: run to cancel; 0 = all in flight
+  /// BATCH_RUN: one pattern text (query/pattern_parser.h) per member.
+  std::vector<std::string> batch_patterns;
 };
+
+/// \brief Splits the optional `#<id>` prefix off a request or reply
+/// payload. Returns {id, rest} with id = 0 when there is no prefix; a
+/// present-but-malformed id (`#`, `#0`, `#12x`) is InvalidArgument.
+Result<std::pair<uint64_t, std::string_view>> SplitFrameId(
+    std::string_view payload);
+
+/// \brief Prepends the `#<id> ` prefix to a payload; returns \p payload
+/// unchanged when \p id is 0.
+std::string PrependFrameId(uint64_t id, std::string payload);
 
 /// \brief Parses a request payload. Unknown verbs, missing or trailing
 /// arguments, and malformed numbers are typed InvalidArgument errors.
@@ -157,6 +205,18 @@ struct RunReply {
 std::string FormatRunReply(const QueryResults& results, const RunStats& stats,
                            uint64_t limit);
 Result<RunReply> ParseRunReply(std::string_view payload);
+
+/// \brief BATCH_RUN reply: one entry per member, in request order. A
+/// member whose formulation or run failed decodes to its error Status;
+/// successful members decode to full RunReplys.
+struct BatchRunReply {
+  std::vector<Result<RunReply>> members;
+};
+/// \brief Renders "OK batch n=<n>" plus one member reply payload per line.
+/// Each element of \p member_payloads must itself be a RUN reply or ERR
+/// payload (single-line).
+std::string FormatBatchRunReply(const std::vector<std::string>& member_payloads);
+Result<BatchRunReply> ParseBatchRunReply(std::string_view payload);
 
 /// \brief STATS reply — the wire image of SessionManagerStats, including
 /// the open sessions and their pinned versions.

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ class Status {
     kNotSupported,
     kFailedPrecondition,
     kDeadlineExceeded,
+    kProtocolError,
   };
 
   Status() = default;
@@ -63,6 +64,13 @@ class Status {
   /// SPIG build); query paths degrade to truncated results instead.
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// \brief Returns a ProtocolError with \p msg. Raised when a peer on the
+  /// wire speaks the protocol wrong — e.g. a reply frame arrives for a
+  /// request id that was never issued — as opposed to Corruption, which is
+  /// reserved for byte-level damage (bad framing, unparseable payloads).
+  static Status ProtocolError(std::string msg) {
+    return Status(Code::kProtocolError, std::move(msg));
   }
 
   /// \brief True iff the operation succeeded.

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -181,6 +182,77 @@ TEST(WireCommandTest, FormatAndParseAreInverse) {
   EXPECT_EQ(back->edge_label, add.edge_label);
 }
 
+TEST(WireCommandTest, RequestIdPrefixParses) {
+  Result<WireCommand> run = ParseCommand("#7 RUN 10");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->kind, CommandKind::kRun);
+  EXPECT_EQ(run->request_id, 7u);
+  EXPECT_EQ(run->limit, 10u);
+  EXPECT_EQ(ParseCommand("RUN")->request_id, 0u);
+
+  Result<WireCommand> cancel = ParseCommand("CANCEL 12");
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->kind, CommandKind::kCancel);
+  EXPECT_EQ(cancel->cancel_id, 12u);
+  EXPECT_EQ(ParseCommand("CANCEL")->cancel_id, 0u);
+
+  // Format/parse inverse with the id prefix on.
+  WireCommand tagged;
+  tagged.kind = CommandKind::kRun;
+  tagged.request_id = 41;
+  tagged.limit = 3;
+  Result<WireCommand> back = ParseCommand(FormatCommand(tagged));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, 41u);
+  EXPECT_EQ(back->limit, 3u);
+}
+
+TEST(WireCommandTest, MalformedRequestIdsAreTypedErrors) {
+  // Ids must be positive decimal integers; 0 is the reserved "no id".
+  for (const char* bad : {"#", "# RUN", "#0 RUN", "#12x RUN", "#-3 RUN",
+                          "#99999999999999999999999 RUN"}) {
+    Result<WireCommand> r = ParseCommand(bad);
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument) << bad;
+  }
+  EXPECT_EQ(ParseCommand("CANCEL 0").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseCommand("CANCEL 1 2").status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(WireCommandTest, BatchRunParsesPatternsAndLimits) {
+  Result<WireCommand> batch =
+      ParseCommand("#3 BATCH_RUN 2 5\n(a:C)-(b:S)\n(a:C)-(b:S), (b)-(c:C)");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->kind, CommandKind::kBatchRun);
+  EXPECT_EQ(batch->request_id, 3u);
+  EXPECT_EQ(batch->limit, 5u);
+  ASSERT_EQ(batch->batch_patterns.size(), 2u);
+  EXPECT_EQ(batch->batch_patterns[0], "(a:C)-(b:S)");
+  EXPECT_EQ(batch->batch_patterns[1], "(a:C)-(b:S), (b)-(c:C)");
+
+  // Member-count mismatch, zero members, over the cap, an empty member
+  // line, and a stray newline on a single-line verb.
+  for (const char* bad :
+       {"BATCH_RUN 2\n(a:C)-(b:S)", "BATCH_RUN 0", "BATCH_RUN 10000",
+        "BATCH_RUN 2\n(a:C)-(b:S)\n", "RUN\n(a:C)-(b:S)"}) {
+    Result<WireCommand> r = ParseCommand(bad);
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument) << bad;
+  }
+
+  // Format/parse inverse, id prefix included.
+  WireCommand cmd;
+  cmd.kind = CommandKind::kBatchRun;
+  cmd.request_id = 9;
+  cmd.batch_patterns = {"(a:C)-(b:S)", "(x:O)-(y:N)"};
+  Result<WireCommand> back = ParseCommand(FormatCommand(cmd));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->request_id, 9u);
+  EXPECT_EQ(back->batch_patterns, cmd.batch_patterns);
+}
+
 // ---------------------------------------------------------------------------
 // Reply codecs.
 
@@ -292,6 +364,41 @@ TEST(WireReplyTest, MetricsReplyRoundTripsPrometheusText) {
             Status::Code::kNotFound);
 }
 
+TEST(WireReplyTest, BatchRunReplyRoundTripsMixedMembers) {
+  QueryResults exact;
+  exact.exact = {1, 4};
+  RunStats stats;
+  std::vector<std::string> members = {
+      FormatRunReply(exact, stats, 0),
+      EncodeErrorReply(Status::InvalidArgument("bad pattern")),
+  };
+  Result<BatchRunReply> reply =
+      ParseBatchRunReply(FormatBatchRunReply(members));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->members.size(), 2u);
+  ASSERT_TRUE(reply->members[0].ok());
+  EXPECT_EQ(reply->members[0]->exact, (std::vector<GraphId>{1, 4}));
+  ASSERT_FALSE(reply->members[1].ok());
+  EXPECT_EQ(reply->members[1].status().code(),
+            Status::Code::kInvalidArgument);
+
+  // A member-count mismatch is Corruption; a whole-batch error decodes to
+  // its own status.
+  EXPECT_EQ(ParseBatchRunReply("OK batch n=2\n" + members[0]).status().code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(ParseBatchRunReply("ERR FAILED_PRECONDITION no session")
+                .status()
+                .code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST(WireReplyTest, ProtocolErrorTokenRoundTrips) {
+  Status original = Status::ProtocolError("request id 3 already in flight");
+  std::string payload = EncodeErrorReply(original);
+  EXPECT_NE(payload.find("PROTOCOL_ERROR"), std::string::npos);
+  EXPECT_EQ(DecodeReplyStatus(payload), original);
+}
+
 // ---------------------------------------------------------------------------
 // A live server on loopback.
 
@@ -313,6 +420,41 @@ class ServerFixture : public ::testing::Test {
 
   std::unique_ptr<SessionManager> manager_;
   std::unique_ptr<PragueServer> server_;
+};
+
+// Raw-frame loopback connection, for tests that need to speak frames the
+// PragueClient would never emit (explicit ids, duplicates, malformed ids).
+struct RawConn {
+  int fd = -1;
+  explicit RawConn(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  Status SendPayload(const std::string& payload) {
+    return SendFrame(fd, FrameType::kRequest, payload);
+  }
+  Result<std::string> Recv() {
+    PRAGUE_ASSIGN_OR_RETURN(WireFrame frame, RecvFrame(fd));
+    return std::move(frame.payload);
+  }
+  Result<std::string> RoundTrip(const std::string& payload) {
+    PRAGUE_RETURN_NOT_OK(SendPayload(payload));
+    return Recv();
+  }
 };
 
 TEST_F(ServerFixture, OpenFormulateRunClose) {
@@ -467,6 +609,226 @@ TEST_F(ServerFixture, MetricsCountRunFramesExactly) {
   EXPECT_EQ(stats->runs_truncated, 0u);
 
   EXPECT_TRUE(client.Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Request ids, pipelining and BATCH_RUN against a live server.
+
+TEST_F(ServerFixture, RequestIdsAreEchoedOnOkAndErrReplies) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+
+  Result<std::string> open = conn.RoundTrip("#5 OPEN");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  Result<std::pair<uint64_t, std::string_view>> open_split =
+      SplitFrameId(*open);
+  ASSERT_TRUE(open_split.ok());
+  EXPECT_EQ(open_split->first, 5u);
+  EXPECT_TRUE(ParseOpenReply(open_split->second).ok()) << *open;
+
+  // Errors echo the id too, so a pipelining client can pair them.
+  Result<std::string> err = conn.RoundTrip("#6 RUN extra junk");
+  ASSERT_TRUE(err.ok());
+  Result<std::pair<uint64_t, std::string_view>> err_split =
+      SplitFrameId(*err);
+  ASSERT_TRUE(err_split.ok());
+  EXPECT_EQ(err_split->first, 6u);
+  EXPECT_EQ(DecodeReplyStatus(err_split->second).code(),
+            Status::Code::kInvalidArgument);
+
+  // A malformed id cannot be echoed: the reply is id-less and typed, and
+  // the connection survives.
+  for (const char* bad : {"#0 RUN", "#12x RUN"}) {
+    Result<std::string> reply = conn.RoundTrip(bad);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_NE(reply->front(), '#') << *reply;
+    EXPECT_EQ(DecodeReplyStatus(*reply).code(),
+              Status::Code::kInvalidArgument)
+        << *reply;
+  }
+
+  // Id-less requests still get byte-identical id-less replies.
+  Result<std::string> bye = conn.RoundTrip("CLOSE");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(*bye, "OK bye");
+}
+
+TEST_F(ServerFixture, RawPipelinedRunRepliesCarryTheirIds) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  Result<std::string> opened = conn.RoundTrip("OPEN");
+  ASSERT_TRUE(opened.ok() && DecodeReplyStatus(*opened).ok());
+  Result<std::string> added = conn.RoundTrip("ADD_EDGE 1 C 2 S");
+  ASSERT_TRUE(added.ok() && DecodeReplyStatus(*added).ok());
+
+  // Two id-tagged RUNs in flight back to back; both replies must parse
+  // and carry their request ids.
+  ASSERT_TRUE(conn.SendPayload("#1 RUN").ok());
+  ASSERT_TRUE(conn.SendPayload("#2 RUN 1").ok());
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2; ++i) {
+    Result<std::string> reply = conn.Recv();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    Result<std::pair<uint64_t, std::string_view>> split =
+        SplitFrameId(*reply);
+    ASSERT_TRUE(split.ok());
+    seen.insert(split->first);
+    EXPECT_TRUE(ParseRunReply(split->second).ok()) << *reply;
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{1, 2}));
+}
+
+TEST_F(ServerFixture, PipelinedRunsAwaitedOutOfOrder) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  ASSERT_TRUE(client.Open().ok());
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  Result<RunReply> expected = client.Run();
+  ASSERT_TRUE(expected.ok());
+
+  Result<uint64_t> id1 = client.StartRun();
+  Result<uint64_t> id2 = client.StartRun();
+  Result<uint64_t> id3 = client.StartRun();
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  Result<RunReply> r3 = client.WaitRun(*id3);
+  Result<RunReply> r1 = client.WaitRun(*id1);
+  Result<RunReply> r2 = client.WaitRun(*id2);
+  for (Result<RunReply>* r : {&r1, &r2, &r3}) {
+    ASSERT_TRUE(r->ok()) << r->status().ToString();
+    EXPECT_EQ((*r)->exact, expected->exact);
+    EXPECT_FALSE((*r)->truncated);
+  }
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(ServerFixture, BatchRunMixesExactSimilarAndFailedMembers) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+
+  // BATCH_RUN needs an open session; without one it is refused whole.
+  std::vector<std::string> patterns = {
+      "(a:C)-(b:S), (b)-(c:C)",          // exact C-S-C path
+      "(a:C)-(b:S), (b)-(c:C), (c)-(d:N)",  // pendant N -> similarity
+      "(a:C)-(b:",                       // does not parse
+  };
+  Result<BatchRunReply> refused = client.BatchRun(patterns);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kFailedPrecondition);
+
+  ASSERT_TRUE(client.Open().ok());
+  Result<BatchRunReply> reply = client.BatchRun(patterns);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->members.size(), 3u);
+
+  ASSERT_TRUE(reply->members[0].ok())
+      << reply->members[0].status().ToString();
+  EXPECT_FALSE(reply->members[0]->similarity);
+  ASSERT_TRUE(reply->members[1].ok())
+      << reply->members[1].status().ToString();
+  EXPECT_TRUE(reply->members[1]->similarity);
+  ASSERT_FALSE(reply->members[2].ok());
+
+  // The exact member matches the same formulation replayed in process on
+  // the session's pinned snapshot.
+  PragueSession replay(manager_->current());
+  NodeId a = replay.AddNode(kC);
+  NodeId b = replay.AddNode(kS);
+  NodeId c = replay.AddNode(kC);
+  ASSERT_TRUE(replay.AddEdge(a, b).ok());
+  ASSERT_TRUE(replay.AddEdge(b, c).ok());
+  Result<QueryResults> expected = replay.Run(nullptr);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(reply->members[0]->exact, expected->exact);
+
+  // The batch counters moved.
+  Result<std::string> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(PrometheusSample(*metrics, "prague_server_cmd_batch_run_total"),
+            0.0);
+  EXPECT_GT(PrometheusSample(*metrics, "prague_server_batch_size_count"),
+            0.0);
+  EXPECT_GT(
+      PrometheusSample(*metrics, "prague_server_batch_latency_us_count"),
+      0.0);
+
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST(PragueClientTest, UnmatchedReplyIdIsProtocolError) {
+  // An impostor server that answers the first request with a reply tagged
+  // by a request id the client never issued.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  std::thread impostor([&] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    Result<WireFrame> request = RecvFrame(fd);
+    if (request.ok()) {
+      Status ignored =
+          SendFrame(fd, FrameType::kResponse, "#42 OK session=1 version=0");
+      (void)ignored;
+    }
+    ::close(fd);
+  });
+
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  Result<OpenReply> open = client.Open();
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), Status::Code::kProtocolError);
+  // The violation poisons the connection: later calls fail the same way.
+  Result<StatsReply> stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), Status::Code::kProtocolError);
+  impostor.join();
+  ::close(listener);
+}
+
+TEST_F(ServerFixture, HundredsOfConcurrentConnectionsServeLockstep) {
+  // Several hundred sockets held open simultaneously, each running a full
+  // OPEN -> ADD_EDGE -> RUN -> CLOSE conversation while all the others
+  // stay connected. The CI reactor-stress job raises the count via the
+  // environment.
+  size_t conns = 300;
+  if (const char* env = std::getenv("PRAGUE_STRESS_CONNECTIONS")) {
+    conns = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  std::vector<PragueClient> clients(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    ASSERT_TRUE(ConnectClient(&clients[i]).ok()) << "connect " << i;
+    Result<OpenReply> open = clients[i].Open();
+    ASSERT_TRUE(open.ok()) << i << ": " << open.status().ToString();
+  }
+  Result<StatsReply> stats = clients[0].Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->open_sessions, conns);
+
+  // The connections gauge tracks the live count.
+  Result<std::string> metrics = clients[0].Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(PrometheusSample(*metrics, "prague_server_connections_open"),
+            static_cast<double>(conns));
+
+  for (size_t i = 0; i < conns; ++i) {
+    ASSERT_TRUE(clients[i].AddEdge(1, "C", 2, "S").ok()) << i;
+    Result<RunReply> run = clients[i].Run();
+    ASSERT_TRUE(run.ok()) << i << ": " << run.status().ToString();
+    EXPECT_FALSE(run->truncated) << i;
+  }
+  for (size_t i = 0; i < conns; ++i) {
+    EXPECT_TRUE(clients[i].Close().ok()) << i;
+  }
+  EXPECT_GE(server_->connections_accepted(), conns);
 }
 
 // ---------------------------------------------------------------------------
@@ -851,6 +1213,138 @@ TEST_F(HeavyServerFixture, CommandsDuringRunAreRejectedExceptCancel) {
   Result<std::string> bye = round_trip(close);
   EXPECT_TRUE(bye.ok() && DecodeReplyStatus(*bye).ok());
   ::close(fd);
+}
+
+// The ISSUE acceptance property: CANCEL of one specific pipelined RUN by
+// request id lands mid-run — that run comes back truncated while the run
+// pipelined behind it completes untouched.
+TEST_F(HeavyServerFixture, CancelByIdTruncatesOnlyThatPipelinedRun) {
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Open().ok());  // unbounded budget
+  ASSERT_TRUE(FeedHeavy(&client).ok());
+
+  Result<uint64_t> first = client.StartRun();
+  Result<uint64_t> second = client.StartRun();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Frames are ordered per connection, so by the time the CANCEL frame is
+  // dispatched the first RUN is in flight (active or queued); the
+  // unbounded heavy run takes orders of magnitude longer than this gap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(client.CancelRun(*first).ok());
+
+  Result<RunReply> r1 = client.WaitRun(*first);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1->truncated);
+  EXPECT_NE(r1->deadline_phase, "none");
+
+  // The run behind it re-arms the token and completes normally.
+  Result<RunReply> r2 = client.WaitRun(*second);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2->truncated);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(HeavyServerFixture, DuplicateInFlightRequestIdIsProtocolError) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  Result<std::string> opened = conn.RoundTrip("OPEN");
+  ASSERT_TRUE(opened.ok() && DecodeReplyStatus(*opened).ok());
+
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+  const auto& labels = HeavyWireFixture::Get().db.labels();
+  std::map<NodeId, uint32_t> handle_of;
+  uint32_t next_handle = 1;
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = spec.graph.GetEdge(e);
+    for (NodeId n : {edge.u, edge.v}) {
+      if (!handle_of.count(n)) handle_of[n] = next_handle++;
+    }
+    WireCommand add;
+    add.kind = CommandKind::kAddEdge;
+    add.u = handle_of[edge.u];
+    add.u_label = labels.Name(spec.graph.NodeLabel(edge.u));
+    add.v = handle_of[edge.v];
+    add.v_label = labels.Name(spec.graph.NodeLabel(edge.v));
+    add.edge_label = edge.label;
+    Result<std::string> step = conn.RoundTrip(FormatCommand(add));
+    ASSERT_TRUE(step.ok() && DecodeReplyStatus(*step).ok());
+  }
+
+  // Same id twice while the first is still running, then CANCEL it by id
+  // to end the test quickly. The duplicate is rejected immediately with a
+  // typed PROTOCOL_ERROR carrying the id; the real run replies after.
+  ASSERT_TRUE(conn.SendPayload("#4 RUN").ok());
+  ASSERT_TRUE(conn.SendPayload("#4 RUN").ok());
+  ASSERT_TRUE(conn.SendPayload("CANCEL 4").ok());
+
+  Result<std::string> rejection = conn.Recv();
+  ASSERT_TRUE(rejection.ok()) << rejection.status().ToString();
+  Result<std::pair<uint64_t, std::string_view>> rej_split =
+      SplitFrameId(*rejection);
+  ASSERT_TRUE(rej_split.ok());
+  EXPECT_EQ(rej_split->first, 4u);
+  EXPECT_EQ(DecodeReplyStatus(rej_split->second).code(),
+            Status::Code::kProtocolError)
+      << *rejection;
+
+  Result<std::string> reply = conn.Recv();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  Result<std::pair<uint64_t, std::string_view>> run_split =
+      SplitFrameId(*reply);
+  ASSERT_TRUE(run_split.ok());
+  EXPECT_EQ(run_split->first, 4u);
+  Result<RunReply> run = ParseRunReply(run_split->second);
+  ASSERT_TRUE(run.ok()) << *reply;
+  EXPECT_TRUE(run->truncated);
+
+  Result<std::string> bye = conn.RoundTrip("CLOSE");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_TRUE(DecodeReplyStatus(*bye).ok());
+}
+
+TEST_F(HeavyServerFixture, BatchRunMembersHonorTheSessionBudget) {
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Open(1).ok());  // 1 ms Run() budget per member
+
+  // Render the heavy query in pattern syntax, in formulation order, with
+  // each node labeled exactly once.
+  const VisualQuerySpec& spec = HeavyAidsQuery();
+  const auto& labels = HeavyWireFixture::Get().db.labels();
+  std::set<NodeId> declared;
+  auto node_ref = [&](NodeId n) {
+    std::string out = "(n" + std::to_string(n);
+    if (declared.insert(n).second) {
+      out += ':';
+      out += labels.Name(spec.graph.NodeLabel(n));
+    }
+    out += ')';
+    return out;
+  };
+  std::string heavy_pattern;
+  for (EdgeId e : spec.sequence) {
+    const Edge& edge = spec.graph.GetEdge(e);
+    if (!heavy_pattern.empty()) heavy_pattern += ", ";
+    heavy_pattern += node_ref(edge.u);
+    heavy_pattern += edge.label != 0
+                         ? "-[" + std::to_string(edge.label) + "]-"
+                         : "-";
+    heavy_pattern += node_ref(edge.v);
+  }
+
+  std::vector<std::string> patterns = {heavy_pattern, "(a:NoSuchLabel)-(b:C)"};
+  Result<BatchRunReply> reply = client.BatchRun(patterns);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->members.size(), 2u);
+  ASSERT_TRUE(reply->members[0].ok())
+      << reply->members[0].status().ToString();
+  // The 1 ms session budget cuts the heavy member.
+  EXPECT_TRUE(reply->members[0]->truncated);
+  // The unknown label fails only its member, not the batch.
+  EXPECT_FALSE(reply->members[1].ok());
+  EXPECT_TRUE(client.Close().ok());
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ int Usage() {
       "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain] "
       "[--timeout-ms=N]\n"
       "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
-      "[--threads=T] [--slow-query-ms=S]\n"
+      "[--threads=T] [--event-loop-threads=E] [--slow-query-ms=S]\n"
       "  praguedb shell --connect <host:port>\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
@@ -559,6 +559,8 @@ int CmdServe(int argc, char** argv) {
   int64_t timeout_ms = ExtractTimeoutMs(&argc, argv);
   int64_t port = ExtractInt64Flag(&argc, argv, "--port=", 7474);
   int64_t threads = ExtractInt64Flag(&argc, argv, "--threads=", 0);
+  int64_t event_loop_threads =
+      ExtractInt64Flag(&argc, argv, "--event-loop-threads=", 0);
   int64_t slow_query_ms = ExtractInt64Flag(&argc, argv, "--slow-query-ms=", -1);
   // Every known flag has been extracted; anything dash-prefixed left over
   // is a typo. Reject it before touching the data files so the mistake
@@ -583,6 +585,7 @@ int CmdServe(int argc, char** argv) {
   PragueServerOptions options;
   options.port = static_cast<uint16_t>(port);
   options.worker_threads = static_cast<size_t>(threads);
+  options.event_loop_threads = static_cast<size_t>(event_loop_threads);
   // --timeout-ms is the default per-session run budget; clients may
   // override it per OPEN.
   options.default_run_deadline_ms = timeout_ms > 0 ? timeout_ms : -1;
@@ -630,7 +633,9 @@ void ShellHelp() {
       "  edge <u> <lu> <v> <lv> [le] add an edge between node handles\n"
       "  delete <u> <v>             delete the edge between two handles\n"
       "  run [k]                    run the query (list at most k matches)\n"
-      "  cancel                     cancel an in-flight run\n"
+      "  batch <p1> ; <p2> ; ...    BATCH_RUN: one member per ';'-separated\n"
+      "                             pattern (pattern syntax of `praguedb run`)\n"
+      "  cancel [id]                cancel an in-flight run (by request id)\n"
       "  stats                      server-wide session statistics\n"
       "  metrics                    server Prometheus metrics dump\n"
       "  close                      close the session and disconnect\n"
@@ -739,8 +744,59 @@ bool ShellDispatch(PragueClient& client, const std::string& line) {
     } else {
       PrintRun(*run);
     }
+  } else if (verb == "batch") {
+    // Everything after the verb is a ';'-separated list of patterns.
+    std::string rest;
+    std::getline(in, rest);
+    std::vector<std::string> patterns;
+    size_t start = 0;
+    while (start <= rest.size()) {
+      size_t semi = rest.find(';', start);
+      std::string pattern = rest.substr(
+          start, semi == std::string::npos ? std::string::npos : semi - start);
+      const char* ws = " \t";
+      size_t first = pattern.find_first_not_of(ws);
+      if (first != std::string::npos) {
+        patterns.push_back(
+            pattern.substr(first, pattern.find_last_not_of(ws) - first + 1));
+      }
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+    if (patterns.empty()) {
+      std::fprintf(stderr, "usage: batch <pattern> [; <pattern> ...]\n");
+      return true;
+    }
+    Result<uint64_t> id = client.StartBatchRun(patterns);
+    if (!id.ok()) {
+      report(id.status());
+      return client.connected();
+    }
+    Result<BatchRunReply> reply = client.WaitBatchRun(*id);
+    if (!reply.ok()) {
+      // The server echoes the request id on ERR replies; surface it so a
+      // failure is attributable when several requests are in flight.
+      std::fprintf(stderr, "error: request #%llu: %s\n",
+                   static_cast<unsigned long long>(*id),
+                   reply.status().ToString().c_str());
+      return client.connected();
+    }
+    for (size_t i = 0; i < reply->members.size(); ++i) {
+      std::printf("[%zu] %s\n", i, patterns[i].c_str());
+      if (reply->members[i].ok()) {
+        PrintRun(*reply->members[i]);
+      } else {
+        std::fprintf(stderr, "  error: %s\n",
+                     reply->members[i].status().ToString().c_str());
+      }
+    }
   } else if (verb == "cancel") {
-    if (Status st = client.Cancel(); !st.ok()) report(st);
+    uint64_t id = 0;
+    if (in >> id) {
+      if (Status st = client.CancelRun(id); !st.ok()) report(st);
+    } else {
+      if (Status st = client.Cancel(); !st.ok()) report(st);
+    }
   } else if (verb == "stats") {
     Result<StatsReply> stats = client.Stats();
     if (!stats.ok()) {
