@@ -197,6 +197,85 @@ void SessionSweep(PragueServer& server, const Workbench& bench,
   table.Print();
 }
 
+// Phase 3 — shard sweep: the same wire sessions against servers whose
+// SessionManager runs shard-parallel execution (praguedb serve --shards=N),
+// crossed with client counts. Similarity queries dominate here — their
+// Run() is the expensive phase the scatter/gather accelerates — and the
+// speedup column is this cell's p50 against the shards=1 cell at the same
+// client count. Results are bit-identical across shard counts (the
+// determinism property of core/shard_exec.h), so the sweep measures pure
+// latency, not answer drift.
+void ShardSweep(const Workbench& bench,
+                const std::vector<VisualQuerySpec>& queries,
+                BenchJsonWriter& json) {
+  constexpr size_t kShardSessionsPerClient = 6;
+  TablePrinter table({"shards", "clients", "runs", "runs/s", "p50 RTT (ms)",
+                      "p95 RTT (ms)", "speedup p50"});
+  std::vector<std::pair<size_t, double>> baseline_p50;  // clients → shards=1
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    PragueConfig config;
+    config.shards = shards;
+    SessionManager manager(bench.snapshot, config);
+    PragueServerOptions options;
+    options.port = 0;
+    PragueServer server(&manager, options);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "shard sweep: %s\n", st.ToString().c_str());
+      return;
+    }
+    for (size_t clients : {1u, 8u}) {
+      std::vector<std::vector<double>> latencies(clients);
+      std::atomic<size_t> truncated{0};
+      Stopwatch wall;
+      std::vector<std::thread> pool;
+      pool.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          for (size_t i = 0; i < kShardSessionsPerClient; ++i) {
+            const VisualQuerySpec& spec =
+                queries[(c * kShardSessionsPerClient + i) % queries.size()];
+            truncated.fetch_add(RunOneSession(server.port(), bench, spec,
+                                              /*depth=*/1, &latencies[c]));
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      const double seconds = wall.ElapsedSeconds();
+      std::vector<double> all;
+      for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(all.begin(), all.end());
+      const size_t runs = clients * kShardSessionsPerClient;
+      const double run_rate = static_cast<double>(runs) / seconds;
+      const double p50 = Percentile(all, 0.50) * 1000;
+      const double p95 = Percentile(all, 0.95) * 1000;
+      double speedup = 1.0;
+      if (shards == 1) {
+        baseline_p50.emplace_back(clients, p50);
+      } else {
+        for (const auto& [base_clients, base_p50] : baseline_p50) {
+          if (base_clients == clients && p50 > 0) speedup = base_p50 / p50;
+        }
+      }
+      table.AddRow({std::to_string(shards), std::to_string(clients),
+                    std::to_string(runs), Fmt(run_rate, 1), Fmt(p50, 3),
+                    Fmt(p95, 3), Fmt(speedup, 2)});
+      json.Add("{\"phase\": \"shards\", \"shards\": " +
+               std::to_string(shards) +
+               ", \"clients\": " + std::to_string(clients) +
+               ", \"runs\": " + std::to_string(runs) +
+               ", \"runs_per_sec\": " + Fmt(run_rate, 2) +
+               ", \"run_p50_ms\": " + Fmt(p50, 4) +
+               ", \"run_p95_ms\": " + Fmt(p95, 4) +
+               ", \"speedup_p50\": " + Fmt(speedup, 3) +
+               ", \"truncated\": " + std::to_string(truncated.load()) + "}");
+    }
+    server.Stop();
+  }
+  table.Print();
+}
+
 // One crowd child: holds `count` open sessions until told to let go. The
 // fd limit is per process, so sharding the crowd across forked children
 // lets the sweep reach 10k connections even though this process may not
@@ -344,7 +423,14 @@ int main() {
   BenchJsonWriter json("BENCH_server.json");
   SessionSweep(server, bench, queries, json);
   ConnectionSweep(server, bench, queries, json);
-  std::printf("wrote %s\n", json.path().c_str());
   server.Stop();
+
+  // Shard sweep runs its own servers (one per shard count) over the heavy
+  // similarity workload, where the scattered Run() phases dominate.
+  std::vector<VisualQuerySpec> similarity = AidsQueries(bench);
+  if (!similarity.empty()) {
+    ShardSweep(bench, similarity, json);
+  }
+  std::printf("wrote %s\n", json.path().c_str());
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "graph/graph_database.h"
 #include "index/action_aware_index.h"
 #include "index/database_snapshot.h"
+#include "index/sharded_snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/result.h"
@@ -86,6 +87,21 @@ struct PragueConfig {
   /// Observability label stamped into this session's RunTraces
   /// (ManagedSession sets its manager-assigned id). Purely diagnostic.
   uint64_t session_tag = 0;
+  /// Number of graph-id shards Run() scatters its phases across (1 =
+  /// classic single-threaded phases). Results are bit-identical to
+  /// shards=1 — the partition only changes who computes what. The session
+  /// builds its own ShardedSnapshot/pool lazily unless the owner wires
+  /// shared ones below.
+  size_t shards = 1;
+  /// Pre-built partitioned view of the pinned snapshot (SessionManager
+  /// wires the shared one so sessions don't each re-slice the indexes).
+  /// Used only when it covers the session's snapshot; shared ownership
+  /// keeps it valid for sessions that outlive the owner.
+  std::shared_ptr<const ShardedSnapshot> sharded_snapshot;
+  /// Pool the per-shard tasks run on, shared across sessions (each run
+  /// waits only on its own TaskGroup). Null with shards > 1 makes the
+  /// session create its own pool sized to the shard count.
+  std::shared_ptr<ThreadPool> shard_pool;
 };
 
 /// \brief The Status column of Figure 3.
@@ -215,6 +231,10 @@ class PragueSession {
   // Pool for SPIG construction (resolved spig_threads > 1), reusing the
   // verification pool when the sizes agree. Null means build sequentially.
   ThreadPool* SpigPool();
+  // How this run scatters: the config's shared view/pool when wired (and
+  // covering the pinned snapshot), else lazily built session-local ones.
+  // Inactive plan (view == nullptr) when config_.shards <= 1.
+  ShardPlan ResolveShardPlan();
   // Config-derived budgets (unbounded when the knob is 0), carrying the
   // config's cancellation token.
   Deadline RunDeadline() const;
@@ -235,6 +255,9 @@ class PragueSession {
   bool sim_flag_ = false;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> spig_pool_;
+  // Lazily built when config_.shards > 1 without a wired view/pool.
+  ShardedSnapshot::Ptr own_sharded_;
+  std::shared_ptr<ThreadPool> own_shard_pool_;
   SessionLog log_;
   obs::RunTrace last_trace_;
   uint64_t runs_completed_ = 0;

@@ -139,7 +139,8 @@ std::vector<SimilarMatch> SimilarResultsGen(
     const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
     int sigma, const GraphDatabase& db, const IdSet* exact_rq,
     SimilarGenStats* stats, size_t top_k, ThreadPool* pool,
-    bool filtering_verifier, const Deadline& deadline, bool* truncated) {
+    bool filtering_verifier, const Deadline& deadline, bool* truncated,
+    SimilarGenCut* cut_pos) {
   std::unique_ptr<Verifier> verifier =
       MakeVerifier(filtering_verifier ? "filtering" : "plain");
   verifier->SetDeadline(deadline);
@@ -148,8 +149,9 @@ std::vector<SimilarMatch> SimilarResultsGen(
   IdSet seen;
   int qsize = static_cast<int>(q.EdgeCount());
   auto full = [&]() { return top_k != 0 && results.size() >= top_k; };
-  auto cut = [&]() {
+  auto cut = [&](int at_distance, bool in_ver) {
     if (truncated != nullptr) *truncated = true;
+    if (cut_pos != nullptr) *cut_pos = SimilarGenCut{at_distance, in_ver};
     return results;
   };
 
@@ -166,13 +168,13 @@ std::vector<SimilarMatch> SimilarResultsGen(
       seen.Insert(gid);
       if (stats != nullptr) ++stats->verified;
     }
-    if (exact_outcome.truncated) return cut();
+    if (exact_outcome.truncated) return cut(0, true);
   }
 
   int lowest = std::max(1, qsize - sigma);
   for (int level = qsize - 1; level >= lowest && !full(); --level) {
-    if (bounded && deadline.Expired()) return cut();
     int distance = qsize - level;
+    if (bounded && deadline.Expired()) return cut(distance, false);
     auto free_it = cands.free.find(level);
     if (free_it != cands.free.end()) {
       for (GraphId gid : free_it->second.Subtract(seen)) {
@@ -234,7 +236,7 @@ std::vector<SimilarMatch> SimilarResultsGen(
           }
           for (size_t i = 0; i < ids.size(); ++i) {
             if (full()) return results;
-            if (!decided[i]) return cut();
+            if (!decided[i]) return cut(distance, true);
             if (verdict[i]) {
               results.push_back(SimilarMatch{ids[i], distance, true});
               seen.Insert(ids[i]);
@@ -246,7 +248,7 @@ std::vector<SimilarMatch> SimilarResultsGen(
         } else {
           for (GraphId gid : ids) {
             if (full()) return results;
-            if (bounded && deadline.Expired()) return cut();
+            if (bounded && deadline.Expired()) return cut(distance, true);
             if (SimVerify(fragments, db.graph(gid), stats,
                           verifier.get())) {
               results.push_back(SimilarMatch{gid, distance, true});
@@ -254,7 +256,7 @@ std::vector<SimilarMatch> SimilarResultsGen(
               if (stats != nullptr) ++stats->verified;
             } else if (bounded && deadline.Expired()) {
               // Verdict unknown — the deadline cut the search mid-check.
-              return cut();
+              return cut(distance, true);
             } else if (stats != nullptr) {
               ++stats->rejected;
             }

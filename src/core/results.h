@@ -85,6 +85,25 @@ struct RunStats {
   RunPhase deadline_phase = RunPhase::kNone;  ///< where the cut landed
 };
 
+/// \brief Where a truncated SimilarResultsGen stopped, in the canonical
+/// bucket order the output follows: distance ascending; within one
+/// distance, verification-free (Rfree) matches before verified (Rver)
+/// ones. Every bucket strictly before the cut was emitted in full; within
+/// the cut bucket the returned matches are the emitted prefix. This is
+/// what lets a sharded run merge per-shard truncations into one globally
+/// prefix-consistent result (core/shard_exec.h).
+struct SimilarGenCut {
+  int distance = 0;     ///< distance of the bucket the cut landed in
+  bool in_ver = false;  ///< cut in the Rver half (after all Rfree matches)
+
+  bool operator==(const SimilarGenCut&) const = default;
+  /// \brief Canonical bucket order.
+  bool operator<(const SimilarGenCut& o) const {
+    return distance != o.distance ? distance < o.distance
+                                  : in_ver < o.in_ver;
+  }
+};
+
 /// \brief How a (possibly deadline-bounded) verification scan ended.
 struct VerificationOutcome {
   /// True when the deadline cut the scan; the returned matches are then
@@ -120,13 +139,14 @@ std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
 /// \p deadline generation stops at the first undecided candidate — because
 /// results are produced in non-decreasing distance order, what is returned
 /// is a prefix of the unbounded result list — and \p truncated (optional)
-/// reports the cut.
+/// reports the cut, with \p cut_pos (optional) recording which bucket it
+/// landed in.
 std::vector<SimilarMatch> SimilarResultsGen(
     const Graph& q, const SpigSet& spigs, const SimilarCandidates& cands,
     int sigma, const GraphDatabase& db, const IdSet* exact_rq,
     SimilarGenStats* stats, size_t top_k = 0, ThreadPool* pool = nullptr,
     bool filtering_verifier = false, const Deadline& deadline = Deadline(),
-    bool* truncated = nullptr);
+    bool* truncated = nullptr, SimilarGenCut* cut_pos = nullptr);
 
 }  // namespace prague
 

@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <iterator>
 #include <string>
+#include <thread>
 
 namespace prague {
 
 SessionManager::SessionManager(SnapshotPtr initial,
                                PragueConfig default_config)
-    : default_config_(default_config), current_(std::move(initial)) {}
+    : default_config_(default_config), current_(std::move(initial)) {
+  if (default_config_.shards > 1) {
+    sharded_ = ShardedSnapshot::Make(current_, default_config_.shards);
+    size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+    shard_pool_ = std::make_shared<ThreadPool>(
+        std::min(sharded_->shard_count(), hw));
+  }
+}
 
 PragueConfig SessionManager::DefaultConfig() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -35,8 +43,16 @@ int64_t SessionManager::DefaultRunDeadlineMillis() const {
 std::shared_ptr<ManagedSession> SessionManager::Open(
     const PragueConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
+  PragueConfig wired = config;
+  // Hand the shared view/pool to the session when they fit its config;
+  // otherwise the session builds its own lazily (ResolveShardPlan).
+  if (sharded_ != nullptr && wired.shards == sharded_->shard_count() &&
+      sharded_->Covers(*current_)) {
+    wired.sharded_snapshot = sharded_;
+    wired.shard_pool = shard_pool_;
+  }
   auto session = std::shared_ptr<ManagedSession>(new ManagedSession(
-      next_session_id_++, current_, run_tally_, trace_ring_, config));
+      next_session_id_++, current_, run_tally_, trace_ring_, wired));
   ++sessions_opened_;
   sessions_[session->id()] = session;
   // Lazy prune: drop registry entries whose sessions have closed.
@@ -52,6 +68,10 @@ SnapshotPtr SessionManager::current() const {
 }
 
 Status SessionManager::Publish(SnapshotPtr next) {
+  return PublishInternal(std::move(next), /*cow_successor=*/false);
+}
+
+Status SessionManager::PublishInternal(SnapshotPtr next, bool cow_successor) {
   if (next == nullptr) {
     return Status::InvalidArgument("cannot publish a null snapshot");
   }
@@ -61,6 +81,14 @@ Status SessionManager::Publish(SnapshotPtr next) {
         "stale publish: version " + std::to_string(next->version()) +
         " does not exceed current version " +
         std::to_string(current_->version()));
+  }
+  if (sharded_ != nullptr) {
+    // Only Append()'s output is a proven COW successor whose interior
+    // shards can be reused; an arbitrary published snapshot gets a fresh
+    // partition. Sessions pinning the old view are unaffected either way.
+    sharded_ = cow_successor && sharded_->Covers(*current_)
+                   ? ShardedSnapshot::Append(sharded_, next)
+                   : ShardedSnapshot::Make(next, default_config_.shards);
   }
   current_ = std::move(next);
   ++snapshots_published_;
@@ -79,7 +107,8 @@ Result<MaintenanceReport> SessionManager::Append(
   Result<SnapshotAppendResult> appended =
       AppendGraphs(*base, std::move(graphs), alpha, graph_labels);
   if (!appended.ok()) return appended.status();
-  PRAGUE_RETURN_NOT_OK(Publish(appended.value().snapshot));
+  PRAGUE_RETURN_NOT_OK(
+      PublishInternal(appended.value().snapshot, /*cow_successor=*/true));
   return appended.value().report;
 }
 
@@ -87,6 +116,7 @@ SessionManagerStats SessionManager::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionManagerStats stats;
   stats.current_version = current_->version();
+  stats.shards = sharded_ != nullptr ? sharded_->shard_count() : 1;
   stats.sessions_opened = sessions_opened_;
   stats.snapshots_published = snapshots_published_;
   stats.runs_served = run_tally_->runs.Value();

@@ -1,0 +1,250 @@
+#include "core/shard_exec.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+
+namespace {
+
+uint64_t ToMicros(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<uint64_t>(seconds * 1e6 + 0.5);
+}
+
+// One scatter's worth of shard metrics: task count, balance of the
+// per-shard task times, and the gather/merge cost.
+void RecordScatterMetrics(const std::vector<double>& shard_seconds,
+                          double merge_seconds) {
+  obs::EngineMetrics& em = obs::EngineMetrics::Get();
+  em.shard_runs_total->Increment();
+  em.shard_tasks_total->Increment(shard_seconds.size());
+  double max_s = 0;
+  double sum_s = 0;
+  for (double s : shard_seconds) {
+    max_s = std::max(max_s, s);
+    sum_s += s;
+  }
+  double mean_s = sum_s / static_cast<double>(shard_seconds.size());
+  double ratio = mean_s > 0 ? max_s / mean_s : 1.0;
+  em.shard_imbalance_x100->Record(static_cast<uint64_t>(ratio * 100 + 0.5));
+  em.shard_merge_us->Record(ToMicros(merge_seconds));
+}
+
+void AppendShardSpans(obs::RunTrace* trace, const char* name,
+                      const std::vector<double>& shard_seconds) {
+  if (trace == nullptr) return;
+  for (size_t s = 0; s < shard_seconds.size(); ++s) {
+    trace->spans.push_back({name, shard_seconds[s], static_cast<int>(s)});
+  }
+}
+
+}  // namespace
+
+std::vector<GraphId> ShardedExactVerification(
+    const Graph& q, const IdSet& rq, const GraphDatabase& db,
+    const ShardPlan& plan, const Deadline& deadline,
+    VerificationOutcome* outcome, obs::RunTrace* trace, Status* error) {
+  const size_t count = plan.shard_count();
+  std::vector<std::vector<GraphId>> matches(count);
+  std::vector<VerificationOutcome> outcomes(count);
+  std::vector<double> seconds(count);
+  {
+    TaskGroup group(plan.pool);
+    for (size_t s = 0; s < count; ++s) {
+      group.Submit([&, s] {
+        Stopwatch timer;
+        // Sequential scan per shard (the scatter is the parallelism);
+        // candidates are visited in ascending id order within the range.
+        IdSet rq_s = plan.view->shard(s).Restrict(rq);
+        matches[s] =
+            ExactVerification(q, rq_s, db, nullptr, deadline, &outcomes[s]);
+        seconds[s] = timer.ElapsedSeconds();
+      });
+    }
+    Status st = group.WaitAll();
+    if (!st.ok() && error != nullptr) *error = st;
+  }
+  Stopwatch merge_timer;
+  VerificationOutcome merged;
+  std::vector<GraphId> out;
+  // Shard ranges are contiguous and ascending, so concatenation in shard
+  // order is ascending graph-id order — what the sequential scan emits.
+  // Truncation: everything after the first truncated shard would come
+  // after that shard's undecided candidate in the sequential order, so it
+  // is dropped (prefix consistency). Counters stop there too, keeping
+  // rejected = checked − |matches| well-defined for the caller.
+  for (size_t s = 0; s < count; ++s) {
+    out.insert(out.end(), matches[s].begin(), matches[s].end());
+    merged.checked += outcomes[s].checked;
+    merged.nodes_expanded += outcomes[s].nodes_expanded;
+    if (outcomes[s].truncated) {
+      merged.truncated = true;
+      break;
+    }
+  }
+  if (outcome != nullptr) *outcome = merged;
+  AppendShardSpans(trace, "shard-exact-verification", seconds);
+  RecordScatterMetrics(seconds, merge_timer.ElapsedSeconds());
+  return out;
+}
+
+std::vector<SimilarMatch> MergeShardSimilar(
+    const std::vector<ShardSimilarPartial>& partials, size_t top_k,
+    SimilarGenStats* stats, bool* truncated, RunPhase* cut_phase) {
+  const size_t count = partials.size();
+  // Earliest cut in bucket order; ties broken by shard ordinal (within
+  // one bucket, contributions are ordered by shard).
+  bool have_cut = false;
+  SimilarGenCut min_cut;
+  size_t cut_shard = 0;
+  RunPhase phase = RunPhase::kNone;
+  for (size_t s = 0; s < count; ++s) {
+    if (!partials[s].truncated) continue;
+    if (!have_cut || partials[s].cut < min_cut) {
+      have_cut = true;
+      min_cut = partials[s].cut;
+      cut_shard = s;
+      phase = partials[s].cut_phase;
+    }
+  }
+  if (stats != nullptr) {
+    // All shards' work is real work even when the merge drops matches past
+    // the stop point — verification that ran, ran.
+    for (const ShardSimilarPartial& p : partials) {
+      stats->verification_free += p.stats.verification_free;
+      stats->verified += p.stats.verified;
+      stats->rejected += p.stats.rejected;
+      stats->vf2_calls += p.stats.vf2_calls;
+      stats->nodes_expanded += p.stats.nodes_expanded;
+    }
+  }
+  auto mark_cut = [&]() {
+    if (truncated != nullptr) *truncated = true;
+    if (cut_phase != nullptr && *cut_phase == RunPhase::kNone) {
+      *cut_phase = phase;
+    }
+  };
+  std::vector<SimilarMatch> out;
+  std::vector<size_t> pos(count, 0);
+  auto bucket_of = [](const SimilarMatch& m) {
+    return SimilarGenCut{m.distance, m.verified};
+  };
+  auto full = [&]() { return top_k != 0 && out.size() >= top_k; };
+  for (;;) {
+    if (full()) return out;  // reached k before any cut — not truncated
+    // Smallest bucket among the remaining shard heads.
+    bool any = false;
+    SimilarGenCut bucket;
+    for (size_t s = 0; s < count; ++s) {
+      if (pos[s] >= partials[s].matches.size()) continue;
+      SimilarGenCut b = bucket_of(partials[s].matches[pos[s]]);
+      if (!any || b < bucket) {
+        bucket = b;
+        any = true;
+      }
+    }
+    if (!any) break;
+    if (have_cut && min_cut < bucket) {
+      // The cut bucket itself is exhausted; everything from here on would
+      // follow the undecided candidate in sequential order.
+      mark_cut();
+      return out;
+    }
+    for (size_t s = 0; s < count; ++s) {
+      if (have_cut && bucket == min_cut && s > cut_shard) {
+        // In the cut bucket, shards after the cut shard come after its
+        // missing (undecided) candidates — drop them and stop.
+        mark_cut();
+        return out;
+      }
+      std::vector<size_t>::value_type& p = pos[s];
+      const std::vector<SimilarMatch>& m = partials[s].matches;
+      while (p < m.size() && bucket_of(m[p]) == bucket) {
+        if (full()) return out;
+        out.push_back(m[p]);
+        ++p;
+      }
+    }
+  }
+  if (have_cut) mark_cut();
+  return out;
+}
+
+std::vector<SimilarMatch> ShardedSimilarRun(
+    const Graph& q, const SpigSet& spigs,
+    const SimilarCandidates* formulation_cands, int sigma,
+    const GraphDatabase& db, const IdSet* exact_rq, SimilarGenStats* stats,
+    size_t top_k, bool filtering_verifier, const Deadline& deadline,
+    const ShardPlan& plan, bool* truncated, RunPhase* cut_phase,
+    obs::RunTrace* trace, Status* error) {
+  const size_t count = plan.shard_count();
+  const int qsize = static_cast<int>(q.EdgeCount());
+  std::vector<ShardSimilarPartial> partials(count);
+  std::vector<double> seconds(count);
+  {
+    TaskGroup group(plan.pool);
+    for (size_t s = 0; s < count; ++s) {
+      group.Submit([&, s] {
+        Stopwatch timer;
+        ShardSimilarPartial& p = partials[s];
+        const IndexShard& shard = plan.view->shard(s);
+        // Candidate state stays shard-local until the merge: derive (or
+        // restrict) against this shard's slices, then generate
+        // immediately, all in one task.
+        bool cand_cut = false;
+        SimilarCandidates cands =
+            formulation_cands != nullptr
+                ? formulation_cands->Restrict(shard.begin(), shard.end())
+                : SimilarSubCandidates(spigs, q.EdgeCount(), sigma, shard,
+                                       deadline, &cand_cut);
+        IdSet exact_slice;
+        const IdSet* exact_ptr = nullptr;
+        if (exact_rq != nullptr) {
+          exact_slice = shard.Restrict(*exact_rq);
+          exact_ptr = &exact_slice;
+        }
+        bool gen_cut = false;
+        SimilarGenCut gen_cut_pos;
+        p.matches = SimilarResultsGen(
+            q, spigs, cands, sigma, db, exact_ptr, &p.stats, top_k,
+            /*pool=*/nullptr, filtering_verifier, deadline, &gen_cut,
+            &gen_cut_pos);
+        if (cand_cut) {
+          // First underived bucket: the Algorithm-4 walk stops at level
+          // boundaries, so derived levels are a prefix q−1 … m and the
+          // first missing bucket is (qsize − m + 1, free).
+          int min_level = cands.free.empty() ? qsize : cands.free.begin()->first;
+          SimilarGenCut derive_cut{qsize - min_level + 1, false};
+          p.truncated = true;
+          if (gen_cut && gen_cut_pos < derive_cut) {
+            p.cut = gen_cut_pos;
+            p.cut_phase = RunPhase::kSimilarGeneration;
+          } else {
+            p.cut = derive_cut;
+            p.cut_phase = RunPhase::kSimilarCandidates;
+          }
+        } else if (gen_cut) {
+          p.truncated = true;
+          p.cut = gen_cut_pos;
+          p.cut_phase = RunPhase::kSimilarGeneration;
+        }
+        p.seconds = timer.ElapsedSeconds();
+        seconds[s] = p.seconds;
+      });
+    }
+    Status st = group.WaitAll();
+    if (!st.ok() && error != nullptr) *error = st;
+  }
+  Stopwatch merge_timer;
+  std::vector<SimilarMatch> out =
+      MergeShardSimilar(partials, top_k, stats, truncated, cut_phase);
+  AppendShardSpans(trace, "shard-similar", seconds);
+  RecordScatterMetrics(seconds, merge_timer.ElapsedSeconds());
+  return out;
+}
+
+}  // namespace prague

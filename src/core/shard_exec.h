@@ -1,0 +1,101 @@
+// Shard-parallel RUN phases: scatter per-shard work over a ShardedSnapshot
+// on a (shared) thread pool, gather per-shard partial results, and merge
+// them into exactly what the single-threaded path would have produced.
+//
+// The merge discipline is the HistogramSnapshot one — partial results
+// combine exactly, never approximately:
+//  - Exact verification scans shard ranges independently; concatenating
+//    the per-shard match lists in shard order IS ascending graph-id order,
+//    because shards own contiguous disjoint ranges.
+//  - Similarity generation emits per shard in the canonical bucket order
+//    (distance ascending; Rfree before Rver within a distance); the merge
+//    walks buckets in that order and concatenates shard contributions in
+//    shard order within each bucket — ascending graph id again.
+//  - Truncation stays prefix-consistent: each truncated shard reports the
+//    bucket its cut landed in (SimilarGenCut); the merge emits everything
+//    strictly before the earliest cut, plus — within the cut bucket — the
+//    contributions of shards before the cut shard and the cut shard's own
+//    emitted prefix, then stops. That is a prefix of the unbounded merged
+//    order, exactly like a sequential cut.
+//
+// Deadlines/cancellation propagate into every shard task (the same
+// Deadline object is polled from all of them — it is const and
+// thread-safe), so one CANCEL reaches all shards of a run mid-flight.
+
+#ifndef PRAGUE_CORE_SHARD_EXEC_H_
+#define PRAGUE_CORE_SHARD_EXEC_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/results.h"
+#include "core/spig.h"
+#include "graph/graph_database.h"
+#include "index/sharded_snapshot.h"
+#include "obs/trace.h"
+#include "util/deadline.h"
+#include "util/id_set.h"
+
+namespace prague {
+
+/// \brief One shard's contribution to a similarity run.
+struct ShardSimilarPartial {
+  /// Matches in the shard's own canonical order (bucket order; ascending
+  /// gid within a bucket).
+  std::vector<SimilarMatch> matches;
+  SimilarGenStats stats;
+  bool truncated = false;
+  /// Bucket the cut landed in (valid when truncated). Everything the
+  /// shard emitted strictly before this bucket is complete; its matches
+  /// inside the bucket are the emitted prefix.
+  SimilarGenCut cut;
+  /// Phase the cut landed in: kSimilarCandidates when the per-shard
+  /// Algorithm-4 walk was cut (the cut bucket is then the first underived
+  /// level), kSimilarGeneration for a generation cut.
+  RunPhase cut_phase = RunPhase::kNone;
+  /// Task wall time (feeds the imbalance metric).
+  double seconds = 0;
+};
+
+/// \brief Merges per-shard similarity partials into the global result.
+/// Pure function of its inputs — exposed so the determinism property tests
+/// can drive it directly. \p stats sums the work of every shard (matches
+/// the merge drops were still verified); \p truncated/\p cut_phase report
+/// the earliest cut when one exists.
+std::vector<SimilarMatch> MergeShardSimilar(
+    const std::vector<ShardSimilarPartial>& partials, size_t top_k,
+    SimilarGenStats* stats, bool* truncated, RunPhase* cut_phase);
+
+/// \brief ExactVerification scattered over \p plan's shards: per shard a
+/// sequential scan of rq ∩ shard-range, gathered in shard (= graph-id)
+/// order with prefix-consistent truncation at the first truncated shard.
+/// Bit-identical to ExactVerification(q, rq, ...) when nothing truncates.
+/// Appends per-shard "shard-exact-verification" spans to \p trace. A task
+/// failure (escaped exception, captured by the TaskGroup) is reported
+/// through \p error; the caller should treat the results as unusable.
+std::vector<GraphId> ShardedExactVerification(
+    const Graph& q, const IdSet& rq, const GraphDatabase& db,
+    const ShardPlan& plan, const Deadline& deadline,
+    VerificationOutcome* outcome, obs::RunTrace* trace = nullptr,
+    Status* error = nullptr);
+
+/// \brief The similarity path scattered over \p plan's shards. Each shard
+/// task derives its candidates from its own index slices (Algorithm 4 on
+/// the shard — or restricts \p formulation_cands when non-null, the
+/// simFlag warm path) and immediately generates its matches against the
+/// shard's slice of \p exact_rq, keeping candidate state shard-local until
+/// the final merge. Results are bit-identical to the unsharded
+/// SimilarSubCandidates + SimilarResultsGen composition; truncation is
+/// merged prefix-consistently (see MergeShardSimilar). Appends per-shard
+/// "shard-similar" spans to \p trace.
+std::vector<SimilarMatch> ShardedSimilarRun(
+    const Graph& q, const SpigSet& spigs,
+    const SimilarCandidates* formulation_cands, int sigma,
+    const GraphDatabase& db, const IdSet* exact_rq, SimilarGenStats* stats,
+    size_t top_k, bool filtering_verifier, const Deadline& deadline,
+    const ShardPlan& plan, bool* truncated, RunPhase* cut_phase,
+    obs::RunTrace* trace = nullptr, Status* error = nullptr);
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_SHARD_EXEC_H_

@@ -1,0 +1,63 @@
+#include "index/sharded_snapshot.h"
+
+#include <algorithm>
+
+namespace prague {
+
+IndexShard::IndexShard(const DatabaseSnapshot& base, GraphId begin,
+                       GraphId end, size_t ordinal)
+    : begin_(begin), end_(end), ordinal_(ordinal) {
+  const A2FIndex& a2f = base.indexes().a2f;
+  const A2IIndex& a2i = base.indexes().a2i;
+  a2f_.reserve(a2f.VertexCount());
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    a2f_.push_back(a2f.FsgIds(id).Slice(begin, end));
+  }
+  a2i_.reserve(a2i.EntryCount());
+  for (A2iId id = 0; id < a2i.EntryCount(); ++id) {
+    a2i_.push_back(a2i.FsgIds(id).Slice(begin, end));
+  }
+}
+
+ShardedSnapshot::Ptr ShardedSnapshot::Make(SnapshotPtr base, size_t shards) {
+  const size_t n = base->db().size();
+  const size_t count = std::max<size_t>(1, std::min(shards, std::max<size_t>(1, n)));
+  auto view = std::shared_ptr<ShardedSnapshot>(new ShardedSnapshot());
+  view->base_ = std::move(base);
+  view->shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Even split: shard i owns [i*n/count, (i+1)*n/count).
+    GraphId begin = static_cast<GraphId>(i * n / count);
+    GraphId end = static_cast<GraphId>((i + 1) * n / count);
+    view->shards_.push_back(std::shared_ptr<const IndexShard>(
+        new IndexShard(*view->base_, begin, end, i)));
+  }
+  return view;
+}
+
+ShardedSnapshot::Ptr ShardedSnapshot::Append(const Ptr& prior,
+                                             SnapshotPtr next) {
+  const size_t count = prior->shard_count();
+  const size_t old_size = prior->base()->db().size();
+  const size_t new_size = next->db().size();
+  const GraphId last_begin = prior->shard(count - 1).begin();
+  const bool pure_extension = new_size >= old_size;
+  const bool last_too_fat =
+      count > 1 && (new_size - last_begin) * count > 2 * new_size;
+  if (!pure_extension || last_too_fat) return Make(std::move(next), count);
+
+  auto view = std::shared_ptr<ShardedSnapshot>(new ShardedSnapshot());
+  view->base_ = std::move(next);
+  view->shards_.reserve(count);
+  // Interior ranges end at or below old_size; appends only add ids >=
+  // old_size to FSG sets, so those slices are byte-for-byte unchanged and
+  // the shard objects can be shared with the prior view.
+  for (size_t i = 0; i + 1 < count; ++i) {
+    view->shards_.push_back(prior->shard_ptr(i));
+  }
+  view->shards_.push_back(std::shared_ptr<const IndexShard>(new IndexShard(
+      *view->base_, last_begin, static_cast<GraphId>(new_size), count - 1)));
+  return view;
+}
+
+}  // namespace prague

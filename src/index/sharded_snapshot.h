@@ -1,0 +1,136 @@
+// ShardedSnapshot: a partitioned view over one DatabaseSnapshot.
+//
+// PRAGUE's database is a set of independent data graphs, so every
+// expensive RUN phase — Algorithm-4 candidate derivation, exact
+// verification, MCCS similarity — partitions cleanly by graph id. A
+// ShardedSnapshot splits the id space [0, |D|) into N contiguous ranges
+// (shards); each shard owns a slice of every A2F/A2I FSG id set restricted
+// to its range, so a shard task resolves candidates against its slice
+// without touching (or locking) another shard's ids. The union of the
+// slices is exactly the global set, which is what makes scatter/gather
+// results bit-identical to the single-threaded path (core/shard_exec.h).
+//
+// Copy-on-write across versions: slicing reuses the base set's buffer
+// whenever the whole set falls inside one shard (IdSet::Slice), and
+// Append() reuses interior shard objects wholesale. The latter is sound
+// because COW AppendGraphs (index/index_maintenance.h) never changes which
+// fragments are indexed and only extends FSG sets with ids >= the old
+// database size — interior ranges end at or below the old size, so their
+// slices cannot have changed. Publish-while-querying therefore keeps
+// working per shard: sessions pin the sharded view matching their pinned
+// snapshot and never observe a successor's slices.
+
+#ifndef PRAGUE_INDEX_SHARDED_SNAPSHOT_H_
+#define PRAGUE_INDEX_SHARDED_SNAPSHOT_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "index/database_snapshot.h"
+#include "util/id_set.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+
+/// \brief One contiguous graph-id range of a ShardedSnapshot plus its
+/// A2F/A2I index slices. Immutable after construction.
+class IndexShard {
+ public:
+  /// \brief First graph id owned by this shard.
+  GraphId begin() const { return begin_; }
+  /// \brief One past the last graph id owned by this shard.
+  GraphId end() const { return end_; }
+  /// \brief Number of graph ids in the range.
+  size_t size() const { return end_ - begin_; }
+  /// \brief Ordinal of this shard within its view.
+  size_t ordinal() const { return ordinal_; }
+
+  /// \brief FSG ids of A2F vertex \p id restricted to this shard's range.
+  const IdSet& A2fFsgIds(A2fId id) const { return a2f_[id]; }
+  /// \brief FSG ids of A2I entry \p id restricted to this shard's range.
+  const IdSet& A2iFsgIds(A2iId id) const { return a2i_[id]; }
+
+  /// \brief \p set ∩ [begin, end) — restriction of an arbitrary id set to
+  /// this shard.
+  IdSet Restrict(const IdSet& set) const { return set.Slice(begin_, end_); }
+
+ private:
+  friend class ShardedSnapshot;
+  IndexShard(const DatabaseSnapshot& base, GraphId begin, GraphId end,
+             size_t ordinal);
+
+  GraphId begin_ = 0;
+  GraphId end_ = 0;
+  size_t ordinal_ = 0;
+  std::vector<IdSet> a2f_;  // indexed by A2fId
+  std::vector<IdSet> a2i_;  // indexed by A2iId
+};
+
+/// \brief Immutable N-way partition of one DatabaseSnapshot by graph id.
+/// Shards are held by shared_ptr so successor views can share unchanged
+/// ones structurally (the COW-preserving append).
+class ShardedSnapshot {
+ public:
+  using Ptr = std::shared_ptr<const ShardedSnapshot>;
+
+  /// \brief Partitions \p base into \p shards near-equal contiguous
+  /// ranges. The count is clamped to [1, |D|] so every shard is non-empty
+  /// (an empty database yields one empty shard).
+  static Ptr Make(SnapshotPtr base, size_t shards);
+
+  /// \brief View of \p next (a COW-append successor of \p prior's base)
+  /// that reuses every interior shard of \p prior unchanged and rebuilds
+  /// only the last shard over its extended range. Falls back to a full
+  /// Make() — same shard count, fresh boundaries — when the append is not
+  /// a pure extension or the last shard has grown past twice the mean
+  /// (unbounded skew would defeat the parallelism the view exists for).
+  static Ptr Append(const Ptr& prior, SnapshotPtr next);
+
+  /// \brief The underlying snapshot.
+  const SnapshotPtr& base() const { return base_; }
+  /// \brief Version of the underlying snapshot.
+  uint64_t version() const { return base_->version(); }
+  /// \brief Number of shards (>= 1).
+  size_t shard_count() const { return shards_.size(); }
+  /// \brief Shard by ordinal.
+  const IndexShard& shard(size_t i) const { return *shards_[i]; }
+  /// \brief Shared handle to a shard — exposed so tests can prove the
+  /// append path reuses interior shards structurally.
+  const std::shared_ptr<const IndexShard>& shard_ptr(size_t i) const {
+    return shards_[i];
+  }
+
+  /// \brief True iff this view partitions exactly \p snap (pointer
+  /// identity — sessions pin snapshots by shared_ptr).
+  bool Covers(const DatabaseSnapshot& snap) const {
+    return base_.get() == &snap;
+  }
+
+  ShardedSnapshot(const ShardedSnapshot&) = delete;
+  ShardedSnapshot& operator=(const ShardedSnapshot&) = delete;
+
+ private:
+  ShardedSnapshot() = default;
+
+  SnapshotPtr base_;
+  std::vector<std::shared_ptr<const IndexShard>> shards_;
+};
+
+/// \brief How one Run() scatters: which partitioned view to use and which
+/// pool the per-shard tasks execute on. Plain pointers — the session that
+/// builds the plan owns (or pins) both for the duration of the run.
+struct ShardPlan {
+  const ShardedSnapshot* view = nullptr;
+  ThreadPool* pool = nullptr;
+
+  /// \brief Shards the plan scatters over (1 when unsharded).
+  size_t shard_count() const { return view == nullptr ? 1 : view->shard_count(); }
+  /// \brief True iff Run() should scatter: more than one shard and a pool
+  /// to put the tasks on.
+  bool active() const { return view != nullptr && view->shard_count() > 1; }
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_INDEX_SHARDED_SNAPSHOT_H_

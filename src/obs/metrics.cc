@@ -183,6 +183,11 @@ EngineMetrics& EngineMetrics::Get() {
     m->spig_build_us = reg.GetHistogram("prague_engine_spig_build_us");
     m->candidate_refresh_us =
         reg.GetHistogram("prague_engine_candidate_refresh_us");
+    m->shard_runs_total = reg.GetCounter("prague_engine_shard_runs_total");
+    m->shard_tasks_total = reg.GetCounter("prague_engine_shard_tasks_total");
+    m->shard_imbalance_x100 =
+        reg.GetHistogram("prague_engine_shard_imbalance_x100");
+    m->shard_merge_us = reg.GetHistogram("prague_engine_shard_merge_us");
     return m;
   }();
   return *metrics;

@@ -207,6 +207,15 @@ struct EngineMetrics {
   Histogram* similar_generation_us;
   Histogram* spig_build_us;
   Histogram* candidate_refresh_us;
+  // Shard-parallel execution (core/shard_exec.h): scatter/gather phases of
+  // runs on a partitioned snapshot.
+  Counter* shard_runs_total;   ///< scatter/gather phases executed
+  Counter* shard_tasks_total;  ///< per-shard tasks those phases spawned
+  /// max/mean per-shard task time of one scatter, ×100 (100 = perfectly
+  /// balanced). Persistent skew here means the contiguous partition no
+  /// longer matches where the candidates live.
+  Histogram* shard_imbalance_x100;
+  Histogram* shard_merge_us;   ///< gather/merge time per scatter
 
   static EngineMetrics& Get();
 };

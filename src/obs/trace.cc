@@ -22,8 +22,13 @@ std::string RunTrace::ToString() const {
   std::string out = head;
   for (size_t i = 0; i < spans.size(); ++i) {
     char span[96];
-    std::snprintf(span, sizeof(span), "%s%s=%.3fms", i ? "," : "",
-                  spans[i].name, spans[i].seconds * 1000);
+    if (spans[i].shard >= 0) {
+      std::snprintf(span, sizeof(span), "%s%s#%d=%.3fms", i ? "," : "",
+                    spans[i].name, spans[i].shard, spans[i].seconds * 1000);
+    } else {
+      std::snprintf(span, sizeof(span), "%s%s=%.3fms", i ? "," : "",
+                    spans[i].name, spans[i].seconds * 1000);
+    }
     out += span;
   }
   out += ']';

@@ -31,6 +31,10 @@ namespace prague::obs {
 struct SpanRecord {
   const char* name = "";
   double seconds = 0;
+  /// Shard ordinal for per-shard phase spans of a sharded run; -1 for the
+  /// ordinary whole-run spans. Kept as a field (not baked into the name)
+  /// because names must stay literals.
+  int shard = -1;
 
   bool operator==(const SpanRecord&) const = default;
 };

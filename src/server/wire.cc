@@ -634,6 +634,7 @@ std::string FormatStatsReply(const SessionManagerStats& stats) {
                     " published=" + std::to_string(stats.snapshots_published) +
                     " runs=" + std::to_string(stats.runs_served) +
                     " truncated=" + std::to_string(stats.runs_truncated) +
+                    " shards=" + std::to_string(stats.shards) +
                     " sessions=";
   out += JoinList(stats.open_session_infos, 0,
                   [](const OpenSessionInfo& info) {
@@ -664,6 +665,13 @@ Result<StatsReply> ParseStatsReply(std::string_view payload) {
   PRAGUE_ASSIGN_OR_RETURN(auto truncated, ReplyValue(tokens, "truncated"));
   PRAGUE_ASSIGN_OR_RETURN(reply.runs_truncated,
                           ParseNumber<uint64_t>(truncated, "truncated"));
+  // shards= is tolerated as absent so a current client can still read a
+  // pre-sharding server's reply.
+  if (Result<std::string_view> shards = ReplyValue(tokens, "shards");
+      shards.ok()) {
+    PRAGUE_ASSIGN_OR_RETURN(reply.shards,
+                            ParseNumber<uint64_t>(*shards, "shards"));
+  }
   PRAGUE_ASSIGN_OR_RETURN(auto sessions, ReplyValue(tokens, "sessions"));
   for (std::string_view item : SplitList(sessions)) {
     size_t at = item.find('@');

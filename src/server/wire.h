@@ -20,7 +20,7 @@
 //   CANCEL [id]                 -> (no reply — see below)
 //   STATS                       -> OK version=<v> open=<n> opened=<n>
 //                                  published=<n> runs=<n> truncated=<n>
-//                                  sessions=<id>@<ver>,...
+//                                  shards=<n> sessions=<id>@<ver>,...
 //   METRICS                     -> OK metrics\n<Prometheus text>
 //   CLOSE                       -> OK bye
 //
@@ -227,6 +227,7 @@ struct StatsReply {
   uint64_t snapshots_published = 0;
   uint64_t runs_served = 0;     ///< Run() calls completed, all sessions ever
   uint64_t runs_truncated = 0;  ///< of those, cut by a deadline/cancel
+  uint64_t shards = 1;          ///< shard count of the server's current view
   /// (session id, pinned version), ascending by id.
   std::vector<std::pair<uint64_t, uint64_t>> sessions;
 };

@@ -204,6 +204,16 @@ bool IdSet::IsSubsetOf(const IdSet& other) const {
   return std::includes(other.begin(), other.end(), begin(), end());
 }
 
+IdSet IdSet::Slice(GraphId begin, GraphId end) const {
+  if (empty() || begin >= end) return IdSet();
+  const std::vector<GraphId>& v = ids();
+  if (v.front() >= begin && v.back() < end) return *this;  // shares buffer
+  auto lo = std::lower_bound(v.begin(), v.end(), begin);
+  auto hi = std::lower_bound(lo, v.end(), end);
+  if (lo == hi) return IdSet();
+  return FromSorted(std::vector<GraphId>(lo, hi));
+}
+
 std::string IdSet::ToString() const {
   const std::vector<GraphId>& v = ids();
   std::string out = "{";

@@ -89,6 +89,13 @@ class IdSet {
   /// \brief True iff this ⊆ other.
   bool IsSubsetOf(const IdSet& other) const;
 
+  /// \brief The subset of ids in the half-open range [\p begin, \p end).
+  /// When every id already lies in the range the result shares this set's
+  /// buffer (no copy), which is what keeps sharded index slices cheap: a
+  /// typical FSG set is concentrated in few shards, so most slices either
+  /// alias the original or come out empty.
+  IdSet Slice(GraphId begin, GraphId end) const;
+
   const_iterator begin() const { return ids().begin(); }
   const_iterator end() const { return ids().end(); }
 

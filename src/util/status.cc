@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "DeadlineExceeded";
     case Status::Code::kProtocolError:
       return "ProtocolError";
+    case Status::Code::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

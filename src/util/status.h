@@ -29,6 +29,7 @@ class Status {
     kFailedPrecondition,
     kDeadlineExceeded,
     kProtocolError,
+    kInternal,
   };
 
   Status() = default;
@@ -71,6 +72,12 @@ class Status {
   /// reserved for byte-level damage (bad framing, unparseable payloads).
   static Status ProtocolError(std::string msg) {
     return Status(Code::kProtocolError, std::move(msg));
+  }
+  /// \brief Returns an Internal error with \p msg. Raised when an
+  /// invariant the library itself maintains breaks — e.g. an exception
+  /// escaping a pool task — as opposed to errors caused by inputs.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
   }
 
   /// \brief True iff the operation succeeded.

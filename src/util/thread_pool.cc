@@ -66,11 +66,44 @@ void ThreadPool::ParallelFor(size_t count, size_t min_chunk,
   }
   size_t chunks = std::min(workers * 4, (count + min_chunk - 1) / min_chunk);
   size_t per_chunk = (count + chunks - 1) / chunks;
+  TaskGroup group(this);
   for (size_t begin = 0; begin < count; begin += per_chunk) {
     size_t end = std::min(count, begin + per_chunk);
-    Submit([fn, begin, end] { fn(begin, end); });
+    group.Submit([&fn, begin, end] { fn(begin, end); });
   }
-  Wait();
+  group.WaitAll();
+}
+
+void TaskGroup::RunTask(const std::function<void()>& task) {
+  Status error;
+  try {
+    task();
+  } catch (const std::exception& e) {
+    error = Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    error = Status::Internal("task threw a non-std exception");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error.ok() && first_error_.ok()) first_error_ = std::move(error);
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  if (pool_ == nullptr) {
+    RunTask(task);
+    return;
+  }
+  pool_->Submit([this, task = std::move(task)] { RunTask(task); });
+}
+
+Status TaskGroup::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  return first_error_;
 }
 
 }  // namespace prague

@@ -137,6 +137,8 @@ TEST(MaintenanceTest, SessionsStaySoundAfterMaintenance) {
   extra.push_back(testing::MakeGraph({kC, kS, kO}, {{0, 1}, {1, 2}}));
   ASSERT_TRUE(AppendGraphs(&f.db, extra, &f.indexes, f.alpha).ok());
 
+  // Deliberately a fresh borrow, not a shared fixture snapshot: f was
+  // mutated in place above, so the session must pin the post-append state.
   PragueSession session(DatabaseSnapshot::Borrow(&f.db, &f.indexes));
   Graph q = testing::MakeGraph({kC, kC, kC, kS},
                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}});

@@ -34,6 +34,19 @@ using testing::kS;
 struct Walkthrough {
   GraphDatabase db;
   ActionAwareIndexes indexes;
+  /// Borrowed once over the immortal static instance; every test's
+  /// sessions pin this one snapshot instead of re-borrowing (Borrow gives
+  /// no lifetime protection, so one audited borrow site beats many).
+  SnapshotPtr snapshot;
+
+  static const Walkthrough& Get() {
+    static Walkthrough* cached = [] {
+      auto* w = new Walkthrough(Build());
+      w->snapshot = DatabaseSnapshot::Borrow(&w->db, &w->indexes);
+      return w;
+    }();
+    return *cached;
+  }
 
   static Walkthrough Build() {
     Walkthrough w;
@@ -65,8 +78,8 @@ struct Walkthrough {
 };
 
 TEST(PaperWalkthroughTest, Figure3StatusSequence) {
-  Walkthrough w = Walkthrough::Build();
-  PragueSession session(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
+  const Walkthrough& w = Walkthrough::Get();
+  PragueSession session(w.snapshot);
 
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
@@ -137,8 +150,8 @@ TEST(PaperWalkthroughTest, Figure3StatusSequence) {
 }
 
 TEST(PaperWalkthroughTest, TakingTheSuggestionRestoresExactMode) {
-  Walkthrough w = Walkthrough::Build();
-  PragueSession session(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
+  const Walkthrough& w = Walkthrough::Get();
+  PragueSession session(w.snapshot);
   NodeId a = session.AddNode(kC);
   NodeId b = session.AddNode(kC);
   NodeId c = session.AddNode(kC);
@@ -169,9 +182,9 @@ TEST(PaperWalkthroughTest, TakingTheSuggestionRestoresExactMode) {
 TEST(PaperWalkthroughTest, SequenceTwoGivesSameCandidates) {
   // Figure 3's Sequence 2 draws the same query in a different order; the
   // SPIG sets differ but candidates must not (Section V-B).
-  Walkthrough w = Walkthrough::Build();
+  const Walkthrough& w = Walkthrough::Get();
   auto formulate = [&](const std::vector<std::pair<int, int>>& edges) {
-    auto session = std::make_unique<PragueSession>(DatabaseSnapshot::Borrow(&w.db, &w.indexes));
+    auto session = std::make_unique<PragueSession>(w.snapshot);
     std::vector<Label> labels = {kC, kC, kC, kS, kS, kS};
     std::vector<NodeId> ids;
     for (Label l : labels) ids.push_back(session->AddNode(l));

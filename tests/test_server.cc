@@ -1011,6 +1011,9 @@ struct HeavyWireFixture {
   MiningResult mined;
   ActionAwareIndexes indexes;
   VisualQuerySpec query;
+  /// Version-0 snapshot over db/indexes, borrowed once at fixture build
+  /// time (immortal static) — tests share it instead of re-borrowing.
+  SnapshotPtr snapshot;
 
   static const HeavyWireFixture& Get() {
     static HeavyWireFixture* fixture = [] {
@@ -1028,6 +1031,7 @@ struct HeavyWireFixture {
       A2fConfig a2f;
       a2f.beta = 2;
       f->indexes = BuildActionAwareIndexes(f->mined, a2f);
+      f->snapshot = DatabaseSnapshot::Borrow(&f->db, &f->indexes);
       WorkloadGenerator workload(&f->db, 47);
       for (auto [edges, mutations] : {std::pair<size_t, int>{12, 3},
                                       {10, 3},
@@ -1053,8 +1057,7 @@ class HeavyServerFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     const auto& fixture = HeavyWireFixture::Get();
-    manager_ = std::make_unique<SessionManager>(
-        DatabaseSnapshot::Borrow(&fixture.db, &fixture.indexes));
+    manager_ = std::make_unique<SessionManager>(fixture.snapshot);
     server_ = std::make_unique<PragueServer>(manager_.get(),
                                              PragueServerOptions{});
     ASSERT_TRUE(server_->Start().ok());

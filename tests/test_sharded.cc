@@ -1,0 +1,531 @@
+// Shard-parallel execution: a ShardedSnapshot partitions one snapshot by
+// graph id, Run() scatters per-shard work and gathers merged results that
+// must be BIT-IDENTICAL to the single-shard path — including under
+// deadlines and cancellation (prefix-consistent truncation) — and the
+// COW-preserving append reuses interior shards structurally.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gblender.h"
+#include "core/prague_session.h"
+#include "core/session_manager.h"
+#include "core/shard_exec.h"
+#include "datasets/query_workload.h"
+#include "index/index_maintenance.h"
+#include "index/sharded_snapshot.h"
+#include "test_fixtures.h"
+#include "util/deadline.h"
+#include "util/thread_pool.h"
+
+namespace prague {
+namespace {
+
+using testing::kC;
+using testing::kN;
+using testing::kS;
+
+// Feeds a query spec into a session (same idiom as test_session.cc).
+template <typename Session>
+void Feed(Session* session, const Graph& q,
+          const std::vector<EdgeId>& sequence) {
+  std::map<NodeId, NodeId> node_map;
+  auto user_node = [&](NodeId n) {
+    auto it = node_map.find(n);
+    if (it != node_map.end()) return it->second;
+    NodeId u = session->AddNode(q.NodeLabel(n));
+    node_map.emplace(n, u);
+    return u;
+  };
+  for (EdgeId e : sequence) {
+    const Edge& edge = q.GetEdge(e);
+    if (!session->AddEdge(user_node(edge.u), user_node(edge.v), edge.label)
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+// An exact-mode (containment) query and a similarity query over the
+// 300-graph AIDS fixture; both heavy enough to touch many shards.
+const VisualQuerySpec& ExactAidsQuery() {
+  static const VisualQuerySpec* spec = [] {
+    const auto& fixture = testing::AidsFixture::Get();
+    WorkloadGenerator workload(&fixture.db, 53);
+    for (size_t edges : {7, 6, 5, 4}) {
+      Result<VisualQuerySpec> s = workload.ContainmentQuery(edges, "exact");
+      if (s.ok()) return new VisualQuerySpec(std::move(*s));
+    }
+    std::abort();
+  }();
+  return *spec;
+}
+
+const VisualQuerySpec& SimilarAidsQuery() {
+  static const VisualQuerySpec* spec = [] {
+    const auto& fixture = testing::AidsFixture::Get();
+    WorkloadGenerator workload(&fixture.db, 47);
+    for (int mutations = 3; mutations >= 1; --mutations) {
+      Result<VisualQuerySpec> s =
+          workload.SimilarityQuery(8, mutations, "sharded");
+      if (s.ok()) return new VisualQuerySpec(std::move(*s));
+    }
+    std::abort();
+  }();
+  return *spec;
+}
+
+const size_t kShardCounts[] = {2, 4, 7};
+
+// ---------------------------------------------------------------------------
+// ShardedSnapshot: partitioning and the COW-preserving append.
+
+TEST(ShardedSnapshotTest, PartitionIsContiguousAndExhaustive) {
+  const auto& fixture = testing::AidsFixture::Get();
+  for (size_t shards : kShardCounts) {
+    ShardedSnapshot::Ptr view = ShardedSnapshot::Make(fixture.snapshot, shards);
+    ASSERT_EQ(view->shard_count(), shards);
+    GraphId expect_begin = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      const IndexShard& shard = view->shard(s);
+      EXPECT_EQ(shard.ordinal(), s);
+      EXPECT_EQ(shard.begin(), expect_begin);
+      EXPECT_GT(shard.end(), shard.begin());  // clamped: never empty
+      expect_begin = shard.end();
+    }
+    EXPECT_EQ(expect_begin, static_cast<GraphId>(fixture.db.size()));
+  }
+}
+
+TEST(ShardedSnapshotTest, ShardCountIsClamped) {
+  const auto& tiny = testing::TinyFixture::Get();
+  EXPECT_EQ(ShardedSnapshot::Make(tiny.snapshot, 0)->shard_count(), 1u);
+  // More shards than graphs: clamp to |D| so every shard is non-empty.
+  EXPECT_LE(ShardedSnapshot::Make(tiny.snapshot, 1000)->shard_count(),
+            tiny.db.size());
+}
+
+TEST(ShardedSnapshotTest, SlicesPartitionEveryIndexedSet) {
+  const auto& fixture = testing::AidsFixture::Get();
+  ShardedSnapshot::Ptr view = ShardedSnapshot::Make(fixture.snapshot, 4);
+  // Union of the per-shard A2F slices must reassemble the global FSG set;
+  // the shards' ranges are disjoint so UnionWith in shard order is exactly
+  // concatenation.
+  for (A2fId id = 0; id < fixture.indexes.a2f.VertexCount(); ++id) {
+    IdSet reassembled;
+    for (size_t s = 0; s < view->shard_count(); ++s) {
+      reassembled.UnionWith(view->shard(s).A2fFsgIds(id));
+    }
+    ASSERT_EQ(reassembled, fixture.indexes.a2f.FsgIds(id)) << "a2f id " << id;
+  }
+  for (A2iId id = 0; id < fixture.indexes.a2i.EntryCount(); ++id) {
+    IdSet reassembled;
+    for (size_t s = 0; s < view->shard_count(); ++s) {
+      reassembled.UnionWith(view->shard(s).A2iFsgIds(id));
+    }
+    ASSERT_EQ(reassembled, fixture.indexes.a2i.FsgIds(id)) << "a2i id " << id;
+  }
+}
+
+TEST(ShardedSnapshotTest, AppendReusesInteriorShardsStructurally) {
+  const auto& tiny = testing::TinyFixture::Get();
+  ShardedSnapshot::Ptr prior = ShardedSnapshot::Make(tiny.snapshot, 3);
+  ASSERT_EQ(prior->shard_count(), 3u);
+  std::vector<Graph> extra = {
+      testing::MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}})};
+  Result<SnapshotAppendResult> appended =
+      AppendGraphs(*tiny.snapshot, extra, /*alpha=*/0.34);
+  ASSERT_TRUE(appended.ok());
+  ShardedSnapshot::Ptr next =
+      ShardedSnapshot::Append(prior, appended->snapshot);
+  ASSERT_EQ(next->shard_count(), 3u);
+  // Interior shards are the SAME objects (structural sharing), because a
+  // COW append only adds ids >= the old database size.
+  EXPECT_EQ(next->shard_ptr(0), prior->shard_ptr(0));
+  EXPECT_EQ(next->shard_ptr(1), prior->shard_ptr(1));
+  // The last shard was rebuilt over its extended range.
+  EXPECT_NE(next->shard_ptr(2), prior->shard_ptr(2));
+  EXPECT_EQ(next->shard(2).end(),
+            static_cast<GraphId>(appended->snapshot->db().size()));
+  // The old view still partitions the OLD snapshot — publish-while-
+  // querying: a session pinning `prior` never sees the appended ids.
+  EXPECT_EQ(prior->shard(2).end(), static_cast<GraphId>(tiny.db.size()));
+}
+
+// ---------------------------------------------------------------------------
+// MergeShardSimilar: the pure merge, driven directly.
+
+ShardSimilarPartial MakePartial(std::vector<SimilarMatch> matches) {
+  ShardSimilarPartial p;
+  p.matches = std::move(matches);
+  return p;
+}
+
+TEST(ShardMergeTest, ConcatenatesBucketsInShardOrder) {
+  // Bucket order: distance ascending, free (verified=false) before ver.
+  std::vector<ShardSimilarPartial> partials;
+  partials.push_back(MakePartial({{0, 1, false}, {2, 1, true}, {4, 2, false}}));
+  partials.push_back(MakePartial({{7, 1, false}, {9, 2, false}}));
+  bool truncated = false;
+  RunPhase phase = RunPhase::kNone;
+  SimilarGenStats stats;
+  std::vector<SimilarMatch> merged =
+      MergeShardSimilar(partials, /*top_k=*/0, &stats, &truncated, &phase);
+  std::vector<SimilarMatch> expected = {
+      {0, 1, false}, {7, 1, false}, {2, 1, true}, {4, 2, false}, {9, 2, false}};
+  EXPECT_EQ(merged, expected);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(phase, RunPhase::kNone);
+}
+
+TEST(ShardMergeTest, StopsAtEarliestCutBucket) {
+  // Shard 0 was cut inside bucket (2, free): the merge may emit everything
+  // strictly before that bucket, plus shard 0's own prefix of it, and must
+  // drop later shards' contributions to the cut bucket.
+  std::vector<ShardSimilarPartial> partials;
+  partials.push_back(MakePartial({{0, 1, false}, {4, 2, false}}));
+  partials[0].truncated = true;
+  partials[0].cut = SimilarGenCut{2, false};
+  partials[0].cut_phase = RunPhase::kSimilarGeneration;
+  partials.push_back(
+      MakePartial({{7, 1, false}, {8, 2, false}, {9, 2, true}}));
+  bool truncated = false;
+  RunPhase phase = RunPhase::kNone;
+  std::vector<SimilarMatch> merged =
+      MergeShardSimilar(partials, 0, nullptr, &truncated, &phase);
+  std::vector<SimilarMatch> expected = {
+      {0, 1, false}, {7, 1, false}, {4, 2, false}};
+  EXPECT_EQ(merged, expected);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(phase, RunPhase::kSimilarGeneration);
+}
+
+TEST(ShardMergeTest, TopKBeforeCutIsNotTruncated) {
+  // Full-wins rule: reaching k before the cut bucket means the caller gets
+  // the same answer an untruncated run would have produced.
+  std::vector<ShardSimilarPartial> partials;
+  partials.push_back(MakePartial({{0, 1, false}, {1, 1, false}}));
+  partials[0].truncated = true;
+  partials[0].cut = SimilarGenCut{3, false};
+  partials[0].cut_phase = RunPhase::kSimilarGeneration;
+  bool truncated = false;
+  RunPhase phase = RunPhase::kNone;
+  std::vector<SimilarMatch> merged =
+      MergeShardSimilar(partials, /*top_k=*/2, nullptr, &truncated, &phase);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(phase, RunPhase::kNone);
+}
+
+TEST(ShardMergeTest, SumsStatsAcrossAllShards) {
+  std::vector<ShardSimilarPartial> partials(3);
+  for (size_t s = 0; s < partials.size(); ++s) {
+    partials[s].stats.verified = 1;
+    partials[s].stats.rejected = 2;
+    partials[s].stats.verification_free = 3;
+    partials[s].stats.vf2_calls = 4;
+    partials[s].stats.nodes_expanded = 5;
+  }
+  SimilarGenStats stats;
+  MergeShardSimilar(partials, 0, &stats, nullptr, nullptr);
+  EXPECT_EQ(stats.verified, 3u);
+  EXPECT_EQ(stats.rejected, 6u);
+  EXPECT_EQ(stats.verification_free, 9u);
+  EXPECT_EQ(stats.vf2_calls, 12u);
+  EXPECT_EQ(stats.nodes_expanded, 15u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: shards=N is bit-identical to shards=1.
+
+PragueConfig ShardedConfig(size_t shards) {
+  PragueConfig config;
+  config.shards = shards;
+  return config;
+}
+
+void ExpectSameResults(const QueryResults& got, const QueryResults& want) {
+  EXPECT_EQ(got.similarity, want.similarity);
+  EXPECT_EQ(got.truncated, want.truncated);
+  EXPECT_EQ(got.exact, want.exact);
+  EXPECT_EQ(got.similar, want.similar);
+}
+
+TEST(ShardDeterminismTest, ExactRunMatchesUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = ExactAidsQuery();
+  PragueSession baseline(fixture.snapshot);
+  Feed(&baseline, spec.graph, spec.sequence);
+  Result<QueryResults> want = baseline.Run(nullptr);
+  ASSERT_TRUE(want.ok());
+  for (size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    PragueSession session(fixture.snapshot, ShardedConfig(shards));
+    Feed(&session, spec.graph, spec.sequence);
+    RunStats stats;
+    Result<QueryResults> got = session.Run(&stats);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*got, *want);
+    // SRT invariant: the phase breakdown never exceeds the wall clock.
+    EXPECT_LE(stats.candidate_seconds + stats.verification_seconds +
+                  stats.similarity_seconds,
+              stats.srt_seconds + 1e-9);
+  }
+}
+
+TEST(ShardDeterminismTest, SimilarityRunMatchesUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = SimilarAidsQuery();
+  PragueSession baseline(fixture.snapshot);
+  Feed(&baseline, spec.graph, spec.sequence);
+  Result<QueryResults> want = baseline.Run(nullptr);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(want->similarity);
+  for (size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    PragueSession session(fixture.snapshot, ShardedConfig(shards));
+    Feed(&session, spec.graph, spec.sequence);
+    RunStats stats;
+    Result<QueryResults> got = session.Run(&stats);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*got, *want);
+    EXPECT_LE(stats.candidate_seconds + stats.verification_seconds +
+                  stats.similarity_seconds,
+              stats.srt_seconds + 1e-9);
+    // The trace carries one per-shard span per shard task of each
+    // scattered phase (this query runs exact verification, finds nothing,
+    // and falls back to similarity — two scatters), plus the ordinary
+    // whole-run spans.
+    const obs::RunTrace& trace = session.last_run_trace();
+    std::map<std::string, size_t> shard_spans;
+    for (const obs::SpanRecord& span : trace.spans) {
+      if (span.shard >= 0) ++shard_spans[span.name];
+    }
+    EXPECT_FALSE(shard_spans.empty());
+    for (const auto& [name, count] : shard_spans) {
+      EXPECT_EQ(count, shards) << name;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, TopKMatchesUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = SimilarAidsQuery();
+  for (size_t top_k : {1u, 5u, 20u}) {
+    PragueConfig base_config;
+    base_config.top_k = top_k;
+    PragueSession baseline(fixture.snapshot, base_config);
+    Feed(&baseline, spec.graph, spec.sequence);
+    Result<QueryResults> want = baseline.Run(nullptr);
+    ASSERT_TRUE(want.ok());
+    for (size_t shards : kShardCounts) {
+      SCOPED_TRACE("top_k " + std::to_string(top_k) + " shards " +
+                   std::to_string(shards));
+      PragueConfig config = ShardedConfig(shards);
+      config.top_k = top_k;
+      PragueSession session(fixture.snapshot, config);
+      Feed(&session, spec.graph, spec.sequence);
+      Result<QueryResults> got = session.Run(nullptr);
+      ASSERT_TRUE(got.ok());
+      ExpectSameResults(*got, *want);
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, PreExpiredDeadlineMatchesUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  for (const VisualQuerySpec* spec : {&ExactAidsQuery(), &SimilarAidsQuery()}) {
+    PragueSession baseline(fixture.snapshot);
+    Feed(&baseline, spec->graph, spec->sequence);
+    RunStats want_stats;
+    Result<QueryResults> want =
+        baseline.Run(Deadline::AfterMillis(0), &want_stats);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(want->truncated);
+    for (size_t shards : kShardCounts) {
+      SCOPED_TRACE("shards " + std::to_string(shards));
+      PragueSession session(fixture.snapshot, ShardedConfig(shards));
+      Feed(&session, spec->graph, spec->sequence);
+      RunStats stats;
+      Result<QueryResults> got =
+          session.Run(Deadline::AfterMillis(0), &stats);
+      ASSERT_TRUE(got.ok());
+      ExpectSameResults(*got, *want);
+      EXPECT_EQ(stats.deadline_phase, want_stats.deadline_phase);
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, PreFiredCancelMatchesUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = SimilarAidsQuery();
+  // Formulation steps poll the config token too, so the pre-fired token is
+  // injected only at Run() time, via the deadline.
+  CancellationToken fired;
+  fired.RequestStop();
+  PragueSession reference(fixture.snapshot);
+  Feed(&reference, spec.graph, spec.sequence);
+  Result<QueryResults> want =
+      reference.Run(Deadline().WithToken(&fired), nullptr);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(want->truncated);
+  for (size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    PragueSession sharded(fixture.snapshot, ShardedConfig(shards));
+    Feed(&sharded, spec.graph, spec.sequence);
+    Result<QueryResults> got =
+        sharded.Run(Deadline().WithToken(&fired), nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResults(*got, *want);
+  }
+}
+
+TEST(ShardDeterminismTest, MidRunCancelYieldsPrefixOfUnbounded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = SimilarAidsQuery();
+  PragueSession unbounded(fixture.snapshot);
+  Feed(&unbounded, spec.graph, spec.sequence);
+  Result<QueryResults> full = unbounded.Run(nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->truncated);
+
+  for (size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    CancellationToken token;
+    PragueSession session(fixture.snapshot, ShardedConfig(shards));
+    Feed(&session, spec.graph, spec.sequence);
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      token.RequestStop();
+    });
+    Result<QueryResults> part =
+        session.Run(Deadline().WithToken(&token), nullptr);
+    canceller.join();
+    ASSERT_TRUE(part.ok());
+    // Whether or not the cancel landed in time, the output must be a
+    // prefix of the unbounded merged order.
+    ASSERT_LE(part->similar.size(), full->similar.size());
+    for (size_t i = 0; i < part->similar.size(); ++i) {
+      EXPECT_EQ(part->similar[i], full->similar[i]);
+    }
+    if (!part->truncated) {
+      EXPECT_EQ(part->similar, full->similar);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GBLENDER under the same substrate: sharded refinement and verification
+// stay bit-identical (the fair-baseline requirement).
+
+TEST(ShardedGBlenderTest, CandidatesAndRunMatchUnsharded) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = ExactAidsQuery();
+  auto pool = std::make_shared<ThreadPool>(4);
+  for (size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    GBlenderSession plain(fixture.snapshot);
+    GBlenderSession sharded(fixture.snapshot,
+                            ShardedSnapshot::Make(fixture.snapshot, shards),
+                            pool);
+    std::map<NodeId, NodeId> plain_map, sharded_map;
+    auto add_edge = [&](GBlenderSession* session,
+                        std::map<NodeId, NodeId>* node_map, const Edge& edge) {
+      auto user_node = [&](NodeId n) {
+        auto it = node_map->find(n);
+        if (it != node_map->end()) return it->second;
+        NodeId u = session->AddNode(spec.graph.NodeLabel(n));
+        node_map->emplace(n, u);
+        return u;
+      };
+      return session->AddEdge(user_node(edge.u), user_node(edge.v),
+                              edge.label);
+    };
+    for (EdgeId e : spec.sequence) {
+      const Edge& edge = spec.graph.GetEdge(e);
+      ASSERT_TRUE(add_edge(&plain, &plain_map, edge).ok());
+      ASSERT_TRUE(add_edge(&sharded, &sharded_map, edge).ok());
+      // Every step's refined Rq must agree, not just the final one.
+      ASSERT_EQ(sharded.candidates(), plain.candidates());
+    }
+    Result<QueryResults> want = plain.Run();
+    Result<QueryResults> got = sharded.Run();
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->exact, want->exact);
+    EXPECT_EQ(got->truncated, want->truncated);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager: shared view/pool, concurrent append, STATS exposure.
+
+TEST(ShardedSessionManagerTest, SharedViewServesIdenticalResults) {
+  const auto& fixture = testing::AidsFixture::Get();
+  const VisualQuerySpec& spec = SimilarAidsQuery();
+  SessionManager plain(fixture.snapshot);
+  SessionManager sharded(fixture.snapshot, ShardedConfig(4));
+  EXPECT_EQ(plain.Stats().shards, 1u);
+  EXPECT_EQ(sharded.Stats().shards, 4u);
+  auto run = [&](SessionManager* manager) {
+    auto session = manager->Open();
+    return session->With([&](PragueSession& s) {
+      Feed(&s, spec.graph, spec.sequence);
+      return s.Run(nullptr);
+    });
+  };
+  Result<QueryResults> want = run(&plain);
+  Result<QueryResults> got = run(&sharded);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectSameResults(*got, *want);
+}
+
+TEST(ShardedSessionManagerTest, PublishWhileQueryingKeepsOldSessionsStable) {
+  const auto& tiny = testing::TinyFixture::Get();
+  SessionManager manager(tiny.snapshot, ShardedConfig(3));
+  auto old_session = manager.Open();
+  Graph q = testing::MakeGraph({kC, kC, kC, kS},
+                               {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  Result<QueryResults> before = old_session->With([&](PragueSession& s) {
+    Feed(&s, q, DefaultFormulationSequence(q));
+    return s.Run(nullptr);
+  });
+  ASSERT_TRUE(before.ok());
+
+  // Concurrent appends race the old session's repeated runs; the pinned
+  // view must keep answering from the old partition.
+  std::thread appender([&] {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<Graph> extra = {
+          testing::MakeGraph({kC, kC, kN}, {{0, 1}, {1, 2}})};
+      EXPECT_TRUE(manager.Append(std::move(extra), /*alpha=*/0.34).ok());
+    }
+  });
+  for (int round = 0; round < 8; ++round) {
+    Result<QueryResults> during =
+        old_session->With([](PragueSession& s) { return s.Run(nullptr); });
+    ASSERT_TRUE(during.ok());
+    EXPECT_EQ(during->exact, before->exact);
+  }
+  appender.join();
+  EXPECT_EQ(manager.Stats().shards, 3u);
+  EXPECT_EQ(manager.current()->version(), 4u);
+
+  // A session opened now pins the appended snapshot, still sharded.
+  auto fresh = manager.Open();
+  Result<QueryResults> after = fresh->With([&](PragueSession& s) {
+    Feed(&s, q, DefaultFormulationSequence(q));
+    return s.Run(nullptr);
+  });
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->exact, before->exact);  // appended graphs don't match q
+}
+
+}  // namespace
+}  // namespace prague

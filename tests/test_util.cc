@@ -3,13 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "util/bytes.h"
 #include "util/id_set.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace prague {
 namespace {
@@ -245,6 +248,81 @@ TEST(IdSetPropertyTest, IntersectManyIgnoresNullsAndHandlesEmpty) {
   IdSet empty;
   EXPECT_TRUE(IdSet::IntersectMany({&a, &empty, &b}).empty());
   EXPECT_EQ(IdSet::IntersectMany({&a}).ids(), a.ids());
+}
+
+TEST(IdSetPropertyTest, SliceMatchesFilter) {
+  Rng rng(91);
+  for (int round = 0; round < 20; ++round) {
+    IdSet set(RandomIds(&rng, rng.Below(200), 400));
+    GraphId a = static_cast<GraphId>(rng.Below(450));
+    GraphId b = static_cast<GraphId>(rng.Below(450));
+    if (a > b) std::swap(a, b);
+    std::vector<GraphId> expected;
+    for (GraphId id : set) {
+      if (id >= a && id < b) expected.push_back(id);
+    }
+    EXPECT_EQ(set.Slice(a, b).ids(), expected);
+  }
+}
+
+TEST(IdSetPropertyTest, SliceSharesBufferWhenFullyContained) {
+  IdSet set({10, 11, 40});
+  IdSet whole = set.Slice(0, 100);
+  EXPECT_TRUE(whole.SharesStorageWith(set));
+  // A strict sub-range copies.
+  IdSet part = set.Slice(11, 100);
+  EXPECT_FALSE(part.SharesStorageWith(set));
+  EXPECT_EQ(part.ids(), (std::vector<GraphId>{11, 40}));
+  // Degenerate ranges are empty.
+  EXPECT_TRUE(set.Slice(50, 40).empty());
+  EXPECT_TRUE(set.Slice(12, 12).empty());
+  EXPECT_TRUE(IdSet().Slice(0, 100).empty());
+}
+
+TEST(TaskGroupTest, WaitsOnlyOnItsOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i) {
+      group.Submit([&] { ran.fetch_add(1); });
+    }
+    EXPECT_TRUE(group.WaitAll().ok());
+    EXPECT_EQ(ran.load(), 64);
+  }
+  // Two groups on one shared pool do not entangle: each WaitAll() returns
+  // once its own tasks are done, regardless of the other group's backlog.
+  TaskGroup a(&pool);
+  TaskGroup b(&pool);
+  std::atomic<int> a_ran{0}, b_ran{0};
+  for (int i = 0; i < 16; ++i) {
+    a.Submit([&] { a_ran.fetch_add(1); });
+    b.Submit([&] { b_ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(a.WaitAll().ok());
+  EXPECT_EQ(a_ran.load(), 16);
+  EXPECT_TRUE(b.WaitAll().ok());
+  EXPECT_EQ(b_ran.load(), 16);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  int ran = 0;
+  TaskGroup group(nullptr);
+  group.Submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // already executed, not deferred
+  EXPECT_TRUE(group.WaitAll().ok());
+}
+
+TEST(TaskGroupTest, CapturesFirstExceptionAsInternalStatus) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Submit([] { throw std::runtime_error("boom"); });
+  group.Submit([] {});
+  Status st = group.WaitAll();
+  EXPECT_EQ(st.code(), Status::Code::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  // WaitAll is idempotent and keeps reporting the captured error.
+  EXPECT_EQ(group.WaitAll().code(), Status::Code::kInternal);
 }
 
 TEST(RngTest, Deterministic) {

@@ -98,7 +98,8 @@ int Usage() {
       "  praguedb run   <db> <index.idx> \"<pattern>\" [sigma] [--explain] "
       "[--timeout-ms=N]\n"
       "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
-      "[--threads=T] [--event-loop-threads=E] [--slow-query-ms=S]\n"
+      "[--threads=T] [--event-loop-threads=E] [--slow-query-ms=S] "
+      "[--shards=N]\n"
       "  praguedb shell --connect <host:port>\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
@@ -562,6 +563,9 @@ int CmdServe(int argc, char** argv) {
   int64_t event_loop_threads =
       ExtractInt64Flag(&argc, argv, "--event-loop-threads=", 0);
   int64_t slow_query_ms = ExtractInt64Flag(&argc, argv, "--slow-query-ms=", -1);
+  // --shards=N partitions the snapshot so every RUN scatters its phases
+  // across N graph-id shards; results stay identical to --shards=1.
+  int64_t shards = ExtractInt64Flag(&argc, argv, "--shards=", 1);
   // Every known flag has been extracted; anything dash-prefixed left over
   // is a typo. Reject it before touching the data files so the mistake
   // surfaces as a usage error, not a runtime one.
@@ -578,10 +582,13 @@ int CmdServe(int argc, char** argv) {
       IndexSerializer::LoadVersionedFromFile(argv[2]);
   if (!loaded.ok()) return Fail(loaded.status());
 
+  PragueConfig default_config;
+  default_config.shards = shards > 1 ? static_cast<size_t>(shards) : 1;
   SessionManager manager(
       DatabaseSnapshot::Make(std::move(db.value()),
                              std::move(loaded.value().indexes),
-                             loaded.value().version));
+                             loaded.value().version),
+      default_config);
   PragueServerOptions options;
   options.port = static_cast<uint16_t>(port);
   options.worker_threads = static_cast<size_t>(threads);
@@ -597,10 +604,11 @@ int CmdServe(int argc, char** argv) {
   std::string slow_log =
       slow_query_ms >= 0 ? std::to_string(slow_query_ms) + " ms" : "off";
   std::printf("praguedb: serving %zu graphs (snapshot version %llu) on port "
-              "%u; default run budget %s; slow-query log %s\n",
+              "%u; default run budget %s; slow-query log %s; shards %zu\n",
               manager.current()->db().size(),
               static_cast<unsigned long long>(manager.current()->version()),
-              server.port(), budget.c_str(), slow_log.c_str());
+              server.port(), budget.c_str(), slow_log.c_str(),
+              manager.Stats().shards);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
