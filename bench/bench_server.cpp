@@ -20,6 +20,9 @@
 // processes because the per-process fd limit must cover both socket ends
 // when client and server share a process.
 //
+// Phases 3 (shard sweep) and 4 (hostile-tenant sweep) carry their own
+// block comments below.
+//
 // Per-cell records go to BENCH_server.json (override the path with
 // PRAGUE_BENCH_JSON). PRAGUE_BENCH_TIMEOUT_MS bounds every Run() over the
 // wire (default 0 = unbounded, so truncated stays 0).
@@ -29,6 +32,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -59,15 +63,9 @@ int64_t TimeoutMs() {
   return ms;
 }
 
-// One whole session over the wire: formulate, then `depth` pipelined RUNs.
-// Appends one client round-trip latency (seconds) per run to *run_seconds
-// and returns how many of them came back truncated.
-size_t RunOneSession(uint16_t port, const Workbench& bench,
-                     const VisualQuerySpec& spec, size_t depth,
-                     std::vector<double>* run_seconds) {
-  PragueClient client;
-  if (!client.Connect("127.0.0.1", port).ok()) std::abort();
-  if (!client.Open(TimeoutMs()).ok()) std::abort();
+// Formulates `spec` edge-at-a-time on an open session; aborts on error.
+void FeedQuery(PragueClient& client, const Workbench& bench,
+               const VisualQuerySpec& spec) {
   std::vector<uint32_t> handles(spec.graph.NodeCount(), 0);
   uint32_t next_handle = 1;
   for (EdgeId e : spec.sequence) {
@@ -81,6 +79,18 @@ size_t RunOneSession(uint16_t port, const Workbench& bench,
         edge.label);
     if (!step.ok()) std::abort();
   }
+}
+
+// One whole session over the wire: formulate, then `depth` pipelined RUNs.
+// Appends one client round-trip latency (seconds) per run to *run_seconds
+// and returns how many of them came back truncated.
+size_t RunOneSession(uint16_t port, const Workbench& bench,
+                     const VisualQuerySpec& spec, size_t depth,
+                     std::vector<double>* run_seconds) {
+  PragueClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) std::abort();
+  if (!client.Open(TimeoutMs()).ok()) std::abort();
+  FeedQuery(client, bench, spec);
   size_t truncated = 0;
   Stopwatch timer;
   if (depth <= 1) {
@@ -398,6 +408,114 @@ void ConnectionSweep(PragueServer& server, const Workbench& bench,
   table.Print();
 }
 
+// Phase 4 — hostile-tenant sweep: one well-behaved probe tenant runs
+// lock-step containment sessions while four flooder threads on a shared
+// "hostile" tenant hammer heavy similarity RUNs. Three cells on a
+// 4-worker server: the probe alone (baseline), the flood with admission
+// control off (the probe queues behind hostile bodies on the executor
+// pool), and the flood against `--tenant-rate 2` (the hostile bucket
+// drains after its burst and nearly every flood RUN is shed BUSY, so the
+// probe's percentiles return to the baseline). The flooder deliberately
+// ignores the advertised retry-after and retries every 1 ms — bounded
+// only so the flood threads do not monopolise the cores the probe is
+// measured on.
+void HostileSweep(const Workbench& bench,
+                  const std::vector<VisualQuerySpec>& probe_queries,
+                  const std::vector<VisualQuerySpec>& hostile_queries,
+                  BenchJsonWriter& json) {
+  constexpr size_t kVictimSessions = 40;
+  constexpr size_t kHostileThreads = 4;
+  struct Cell {
+    const char* name;
+    bool flood;
+    bool admission;
+  };
+  const Cell cells[] = {{"alone", false, false},
+                        {"flood, admission off", true, false},
+                        {"flood, admission on", true, true}};
+  TablePrinter table({"cell", "probe p50 (ms)", "probe p95 (ms)",
+                      "hostile runs", "hostile BUSY"});
+  for (const Cell& cell : cells) {
+    SessionManager manager(bench.snapshot);
+    PragueServerOptions options;
+    options.port = 0;
+    options.worker_threads = 4;
+    if (cell.admission) {
+      options.tenant_rate = 2.0;  // burst 4, then 2 admits/s per tenant
+      options.max_runs_per_conn = 8;
+      options.max_queued_bytes = 1 << 20;
+    }
+    PragueServer server(&manager, options);
+    if (Status st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "hostile sweep: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> hostile_runs{0};
+    std::atomic<uint64_t> hostile_busy{0};
+    std::vector<std::thread> flood;
+    if (cell.flood) {
+      flood.reserve(kHostileThreads);
+      for (size_t h = 0; h < kHostileThreads; ++h) {
+        flood.emplace_back([&, h] {
+          PragueClient client;
+          if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+          if (!client.Open(TimeoutMs(), "hostile").ok()) return;
+          FeedQuery(client, bench,
+                    hostile_queries[h % hostile_queries.size()]);
+          while (!stop.load(std::memory_order_relaxed)) {
+            Result<RunReply> run = client.Run();
+            if (run.ok()) {
+              hostile_runs.fetch_add(1, std::memory_order_relaxed);
+            } else if (IsBusy(run.status())) {
+              hostile_busy.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            } else {
+              return;  // dropped by the server; the cell carries on
+            }
+          }
+          client.Close();
+        });
+      }
+      // Let the flood ramp (and, with admission on, burn its burst)
+      // before the probe starts measuring.
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    // The probe stays anonymous: each session is its own tenant with a
+    // fresh default bucket, the well-behaved-client shape the admission
+    // defaults are sized for.
+    std::vector<double> victim;
+    victim.reserve(kVictimSessions);
+    for (size_t i = 0; i < kVictimSessions; ++i) {
+      RunOneSession(server.port(), bench,
+                    probe_queries[i % probe_queries.size()], /*depth=*/1,
+                    &victim);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : flood) t.join();
+    server.Stop();
+    std::sort(victim.begin(), victim.end());
+    const double p50 = Percentile(victim, 0.50) * 1000;
+    const double p95 = Percentile(victim, 0.95) * 1000;
+    table.AddRow({cell.name, Fmt(p50, 3), Fmt(p95, 3),
+                  std::to_string(hostile_runs.load()),
+                  std::to_string(hostile_busy.load())});
+    json.Add(std::string("{\"phase\": \"hostile\", \"cell\": \"") +
+             cell.name + "\", \"flood\": " + (cell.flood ? "true" : "false") +
+             ", \"admission\": " + (cell.admission ? "true" : "false") +
+             ", \"tenant_rate\": " + Fmt(cell.admission ? 2.0 : 0.0, 1) +
+             ", \"probe_sessions\": " + std::to_string(kVictimSessions) +
+             ", \"probe_p50_ms\": " + Fmt(p50, 4) +
+             ", \"probe_p95_ms\": " + Fmt(p95, 4) +
+             ", \"hostile_threads\": " +
+             std::to_string(cell.flood ? kHostileThreads : 0) +
+             ", \"hostile_runs\": " + std::to_string(hostile_runs.load()) +
+             ", \"hostile_busy\": " + std::to_string(hostile_busy.load()) +
+             "}");
+  }
+  table.Print();
+}
+
 }  // namespace
 
 int main() {
@@ -431,6 +549,11 @@ int main() {
   if (!similarity.empty()) {
     ShardSweep(bench, similarity, json);
   }
+
+  // Hostile-tenant sweep (own servers): probe latency alone, under a
+  // hostile flood, and under the same flood with admission control on.
+  HostileSweep(bench, queries, similarity.empty() ? queries : similarity,
+               json);
   std::printf("wrote %s\n", json.path().c_str());
   return 0;
 }

@@ -1,0 +1,164 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prague {
+
+namespace {
+
+// Retry hint when a quota (not the bucket) is full: the caller cannot know
+// when a slot frees, so suggest a short, fixed backoff. Long enough to
+// matter against a tight loop, short enough not to hurt a polite client.
+constexpr int64_t kQuotaRetryMs = 20;
+
+}  // namespace
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kRate:
+      return "rate";
+    case ShedReason::kConcurrency:
+      return "concurrency";
+    case ShedReason::kSessions:
+      return "sessions";
+    case ShedReason::kBytes:
+      return "bytes";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+void AdmissionController::Configure(const AdmissionOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+}
+
+AdmissionOptions AdmissionController::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+double AdmissionController::RefillLocked(
+    Tenant& tenant, std::chrono::steady_clock::time_point now) const {
+  const double capacity = options_.tenant_burst > 0
+                              ? options_.tenant_burst
+                              : std::max(2 * options_.tenant_rate, 4.0);
+  if (!tenant.bucket_started) {
+    // A new tenant starts with a full bucket: the burst allowance is the
+    // whole point of a bucket over a plain interval limiter.
+    tenant.tokens = capacity;
+    tenant.refilled_at = now;
+    tenant.bucket_started = true;
+    return capacity;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - tenant.refilled_at).count();
+  if (elapsed > 0) {
+    tenant.tokens =
+        std::min(capacity, tenant.tokens + elapsed * options_.tenant_rate);
+    tenant.refilled_at = now;
+  }
+  return capacity;
+}
+
+void AdmissionController::MaybeEraseLocked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  if (t.sessions != 0 || t.runs != 0 || t.queued_bytes != 0) return;
+  // Only forget a tenant whose bucket is full again: a forgotten tenant
+  // restarts with a full bucket, so erasing a drained one would let a
+  // reconnect-spamming client reset its own rate limit.
+  if (t.bucket_started && options_.tenant_rate > 0) {
+    const double capacity =
+        RefillLocked(t, std::chrono::steady_clock::now());
+    if (t.tokens < capacity) return;
+  }
+  tenants_.erase(it);
+}
+
+AdmissionDecision AdmissionController::AdmitSession(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  if (options_.max_sessions > 0 && t.sessions >= options_.max_sessions) {
+    ++sessions_shed_;
+    MaybeEraseLocked(tenant);
+    return {false, ShedReason::kSessions, kQuotaRetryMs};
+  }
+  ++t.sessions;
+  return {};
+}
+
+void AdmissionController::OnSessionClosed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.sessions == 0) return;
+  --it->second.sessions;
+  MaybeEraseLocked(tenant);
+}
+
+AdmissionDecision AdmissionController::AdmitRun(const std::string& tenant,
+                                                size_t cost_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  AdmissionDecision decision;
+  if (options_.max_concurrent_runs > 0 &&
+      t.runs >= options_.max_concurrent_runs) {
+    decision = {false, ShedReason::kConcurrency, kQuotaRetryMs};
+  } else if (options_.max_queued_bytes > 0 &&
+             t.queued_bytes + cost_bytes > options_.max_queued_bytes) {
+    decision = {false, ShedReason::kBytes, kQuotaRetryMs};
+  } else if (options_.tenant_rate > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    RefillLocked(t, now);
+    if (t.tokens < 1.0) {
+      // Time until the bucket holds one whole token again.
+      const double deficit_seconds =
+          (1.0 - t.tokens) / options_.tenant_rate;
+      decision = {false, ShedReason::kRate,
+                  std::max<int64_t>(
+                      1, static_cast<int64_t>(
+                             std::ceil(deficit_seconds * 1000)))};
+    } else {
+      t.tokens -= 1.0;
+    }
+  }
+  if (!decision.admitted) {
+    ++runs_shed_;
+    MaybeEraseLocked(tenant);
+    return decision;
+  }
+  ++t.runs;
+  t.queued_bytes += cost_bytes;
+  ++runs_admitted_;
+  return decision;
+}
+
+void AdmissionController::OnRunFinished(const std::string& tenant,
+                                        size_t cost_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  if (t.runs > 0) --t.runs;
+  t.queued_bytes -= std::min(t.queued_bytes, cost_bytes);
+  MaybeEraseLocked(tenant);
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats stats;
+  stats.runs_admitted = runs_admitted_;
+  stats.runs_shed = runs_shed_;
+  stats.sessions_shed = sessions_shed_;
+  stats.tenants = tenants_.size();
+  return stats;
+}
+
+}  // namespace prague

@@ -1,0 +1,149 @@
+// AdmissionController — per-tenant quotas and token-bucket rate limiting
+// for the serving path.
+//
+// PRAGUE's contract is a bounded system response time per query, but the
+// bound is meaningless if one hostile connection can monopolize the shared
+// executor pool and starve every other session. The controller groups
+// connections into *tenants* (a client-chosen group name on OPEN; the
+// default is one tenant per connection) and enforces, per tenant:
+//
+//   * a token-bucket RUN admission rate (`tenant_rate` runs/sec with a
+//     burst allowance), so a flooding client exhausts its own bucket
+//     instead of the pool;
+//   * a max-concurrent-RUN quota (`max_concurrent_runs`), bounding how
+//     many of the pool's slots one tenant can hold at once;
+//   * a session-count quota (`max_sessions`);
+//   * an aggregate pending-work byte cap (`max_queued_bytes`), bounding
+//     the memory a tenant's queued-but-not-yet-executed run bodies pin.
+//
+// A request over any limit is *shed*, not queued: the decision carries a
+// retry-after hint the server turns into a typed `BUSY <retry-after-ms>`
+// wire reply, so clients back off instead of piling on. Decisions are O(1)
+// under one mutex; the serving path calls this once per RUN admission,
+// which is noise next to a query body.
+//
+// The controller lives inside SessionManager (the layer that already
+// owns cross-connection accounting) so every embedding of the engine —
+// server, tools, tests — shares one enforcement point.
+
+#ifndef PRAGUE_CORE_ADMISSION_H_
+#define PRAGUE_CORE_ADMISSION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace prague {
+
+/// \brief Per-tenant limits; 0 always means "unlimited" so a
+/// default-constructed options struct admits everything.
+struct AdmissionOptions {
+  /// RUN admissions per second per tenant (token-bucket refill rate).
+  double tenant_rate = 0;
+  /// Bucket capacity (burst allowance); 0 derives max(2 * tenant_rate, 4).
+  double tenant_burst = 0;
+  /// Queued + executing RUN/BATCH_RUN bodies per tenant.
+  size_t max_concurrent_runs = 0;
+  /// Open sessions per tenant.
+  size_t max_sessions = 0;
+  /// Aggregate bytes of pending (admitted, not yet finished) run bodies
+  /// per tenant.
+  size_t max_queued_bytes = 0;
+
+  /// \brief True iff every limit is 0 — admission is a no-op.
+  bool Unlimited() const {
+    return tenant_rate <= 0 && max_concurrent_runs == 0 && max_sessions == 0 &&
+           max_queued_bytes == 0;
+  }
+};
+
+/// \brief Why a request was shed (AdmissionDecision::reason).
+enum class ShedReason {
+  kNone,         ///< admitted
+  kRate,         ///< token bucket empty
+  kConcurrency,  ///< max_concurrent_runs reached
+  kSessions,     ///< max_sessions reached
+  kBytes,        ///< max_queued_bytes reached
+};
+
+/// \brief Stable lowercase token for a shed reason ("rate", ...).
+const char* ShedReasonName(ShedReason reason);
+
+/// \brief Outcome of one admission check.
+struct AdmissionDecision {
+  bool admitted = true;
+  ShedReason reason = ShedReason::kNone;
+  /// Hint for the BUSY reply: how long until a retry is likely to be
+  /// admitted (>= 1 whenever admitted is false).
+  int64_t retry_after_ms = 0;
+};
+
+/// \brief Point-in-time admission counters (SessionManagerStats).
+struct AdmissionStats {
+  uint64_t runs_admitted = 0;
+  uint64_t runs_shed = 0;
+  uint64_t sessions_shed = 0;
+  size_t tenants = 0;  ///< tenants currently tracked
+};
+
+/// \brief Thread-safe per-tenant admission state. All methods may be
+/// called from any thread.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// \brief Replaces the limits. Existing tenant buckets keep their
+  /// levels; new limits apply from the next decision.
+  void Configure(const AdmissionOptions& options);
+  /// \brief The active limits.
+  AdmissionOptions options() const;
+
+  /// \brief Accounts a new session for \p tenant; not admitted when the
+  /// tenant's session quota is full.
+  AdmissionDecision AdmitSession(const std::string& tenant);
+  /// \brief Releases a session slot (call once per admitted session).
+  void OnSessionClosed(const std::string& tenant);
+
+  /// \brief Admits or sheds one RUN/BATCH_RUN body of \p cost_bytes.
+  /// Admission consumes a token and reserves the concurrency slot and
+  /// bytes until OnRunFinished.
+  AdmissionDecision AdmitRun(const std::string& tenant, size_t cost_bytes);
+  /// \brief Releases the slot and bytes AdmitRun reserved (call once per
+  /// admitted run, after its reply is produced).
+  void OnRunFinished(const std::string& tenant, size_t cost_bytes);
+
+  /// \brief Cumulative counters plus the live tenant count.
+  AdmissionStats Stats() const;
+
+ private:
+  struct Tenant {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point refilled_at{};
+    bool bucket_started = false;
+    size_t sessions = 0;
+    size_t runs = 0;
+    size_t queued_bytes = 0;
+  };
+
+  // Refills tenant's bucket to now and returns the configured capacity.
+  double RefillLocked(Tenant& tenant,
+                      std::chrono::steady_clock::time_point now) const;
+  // Drops tenants with no sessions, runs, bytes, and a full bucket — a
+  // tenant that reconnects later starts fresh anyway.
+  void MaybeEraseLocked(const std::string& tenant);
+
+  mutable std::mutex mu_;
+  AdmissionOptions options_;
+  std::unordered_map<std::string, Tenant> tenants_;
+  uint64_t runs_admitted_ = 0;
+  uint64_t runs_shed_ = 0;
+  uint64_t sessions_shed_ = 0;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_CORE_ADMISSION_H_

@@ -121,6 +121,9 @@ SessionManagerStats SessionManager::Stats() const {
   stats.snapshots_published = snapshots_published_;
   stats.runs_served = run_tally_->runs.Value();
   stats.runs_truncated = run_tally_->truncated.Value();
+  const AdmissionStats admission = admission_.Stats();
+  stats.runs_shed = admission.runs_shed;
+  stats.tenants = admission.tenants;
   for (const auto& [id, weak] : sessions_) {
     if (std::shared_ptr<ManagedSession> session = weak.lock()) {
       ++stats.open_sessions;

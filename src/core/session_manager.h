@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/prague_session.h"
 #include "index/database_snapshot.h"
 #include "index/index_maintenance.h"
@@ -135,6 +136,10 @@ struct SessionManagerStats {
   uint64_t runs_served = 0;
   /// Of those, runs cut short by a deadline or cancellation.
   uint64_t runs_truncated = 0;
+  /// Runs shed by admission control (BUSY on the wire) instead of queued.
+  uint64_t runs_shed = 0;
+  /// Tenants (connection groups) the admission controller is tracking.
+  size_t tenants = 0;
   /// Live sessions grouped by the version they pinned — shows how many
   /// readers each retained snapshot is still serving.
   std::map<uint64_t, size_t> sessions_by_version;
@@ -191,6 +196,17 @@ class SessionManager {
   /// \brief Counters plus live sessions grouped by pinned version.
   SessionManagerStats Stats() const;
 
+  /// \brief Sets the per-tenant admission limits (see core/admission.h).
+  /// Default-constructed options admit everything. Safe to call while
+  /// serving; new limits apply from the next decision.
+  void ConfigureAdmission(const AdmissionOptions& options) {
+    admission_.Configure(options);
+  }
+  /// \brief The admission controller the serving path consults before a
+  /// run body reaches any pool. Always present; unlimited unless
+  /// ConfigureAdmission was called.
+  AdmissionController& admission() { return admission_; }
+
   /// \brief Recent RunTraces across all of this manager's sessions
   /// (bounded ring; see obs/trace.h).
   const obs::TraceRing& traces() const { return *trace_ring_; }
@@ -229,6 +245,9 @@ class SessionManager {
       std::make_shared<obs::RunTally>();
   std::shared_ptr<obs::TraceRing> trace_ring_ =
       std::make_shared<obs::TraceRing>();
+  // Per-tenant quotas and rate limits; internally synchronized, so it sits
+  // outside mu_ and a shed decision never contends with Open()/Publish().
+  AdmissionController admission_;
 
   std::mutex writer_mu_;  // serializes Append()
 };

@@ -217,10 +217,18 @@ ServerMetrics& ServerMetrics::Get() {
     m->cmd_stats_total = reg.GetCounter("prague_server_cmd_stats_total");
     m->cmd_metrics_total = reg.GetCounter("prague_server_cmd_metrics_total");
     m->cmd_close_total = reg.GetCounter("prague_server_cmd_close_total");
+    m->admission_admitted_total =
+        reg.GetCounter("prague_server_admission_admitted_total");
+    m->admission_shed_total =
+        reg.GetCounter("prague_server_admission_shed_total");
+    m->accepts_shed_total = reg.GetCounter("prague_server_accepts_shed_total");
+    m->write_queue_drops_total =
+        reg.GetCounter("prague_server_write_queue_drops_total");
     m->connections_open = reg.GetGauge("prague_server_connections_open");
     m->run_latency_us = reg.GetHistogram("prague_server_run_latency_us");
     m->write_queue_depth =
         reg.GetHistogram("prague_server_write_queue_depth");
+    m->sched_queue_depth = reg.GetHistogram("prague_server_sched_queue_depth");
     m->batch_size = reg.GetHistogram("prague_server_batch_size");
     m->batch_latency_us = reg.GetHistogram("prague_server_batch_latency_us");
     return m;

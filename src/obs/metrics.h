@@ -238,11 +238,21 @@ struct ServerMetrics {
   Counter* cmd_stats_total;
   Counter* cmd_metrics_total;
   Counter* cmd_close_total;
+  /// Admission control & load shedding (core/admission.h).
+  Counter* admission_admitted_total;  ///< RUN bodies admitted to the pool
+  Counter* admission_shed_total;      ///< requests (OPEN or RUN) refused BUSY
+  Counter* accepts_shed_total;        ///< connections drained under EMFILE
+  /// Connections closed because a slow reader let its outbound queue
+  /// exceed the configured byte cap.
+  Counter* write_queue_drops_total;
   Gauge* connections_open;    ///< currently connected clients
   Histogram* run_latency_us;  ///< RUN body as timed on the executor pool
   /// Outbound frames queued per reply send (0 = written inline without
   /// ever touching the queue — the healthy fast path).
   Histogram* write_queue_depth;
+  /// Runs waiting in the deadline scheduler at each admission (depth seen
+  /// by an arriving run; persistent growth = saturation).
+  Histogram* sched_queue_depth;
   Histogram* batch_size;        ///< members per BATCH_RUN frame
   Histogram* batch_latency_us;  ///< whole-batch execution on the pool
 

@@ -152,10 +152,12 @@ Result<std::string> PragueClient::RoundTrip(const WireCommand& command) {
   return WaitReply(command.request_id);
 }
 
-Result<OpenReply> PragueClient::Open(int64_t timeout_ms) {
+Result<OpenReply> PragueClient::Open(int64_t timeout_ms,
+                                     const std::string& tenant) {
   WireCommand cmd;
   cmd.kind = CommandKind::kOpen;
   cmd.timeout_ms = timeout_ms;
+  cmd.tenant = tenant;
   PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
   PRAGUE_ASSIGN_OR_RETURN(OpenReply reply, ParseOpenReply(payload));
   session_id_ = reply.session_id;

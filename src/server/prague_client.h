@@ -60,8 +60,12 @@ class PragueClient {
 
   /// \brief OPEN: starts the connection's session. \p timeout_ms >= 0
   /// sets this session's Run() budget (0 = unbounded); -1 keeps the
-  /// server default.
-  Result<OpenReply> Open(int64_t timeout_ms = -1);
+  /// server default. \p tenant names the admission group this connection
+  /// joins for quota/rate purposes (server/wire.h); empty keeps the
+  /// default of one tenant per connection. A server over quota answers
+  /// with Status::Busy (IsBusy / BusyRetryAfterMillis).
+  Result<OpenReply> Open(int64_t timeout_ms = -1,
+                         const std::string& tenant = std::string());
   /// \brief ADD_EDGE: one formulation step. \p u and \p v are caller-
   /// chosen node handles; \p u_label / \p v_label are node label names
   /// from the database dictionary.

@@ -1,6 +1,7 @@
 #include "server/prague_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -10,6 +11,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -63,6 +65,30 @@ obs::Counter* CommandCounter(CommandKind kind) {
   return sm.cmd_close_total;
 }
 
+// Scheduler key for a run admitted now under a session budget of
+// `budget_ms` (<= 0 = unbounded). Saturates instead of overflowing so a
+// huge budget sorts as unbounded rather than wrapping into the past.
+std::chrono::steady_clock::time_point RunDeadlineKey(int64_t budget_ms) {
+  using Clock = std::chrono::steady_clock;
+  if (budget_ms <= 0) return Clock::time_point::max();
+  const auto now = Clock::now();
+  const auto headroom = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::time_point::max() - now);
+  if (budget_ms >= headroom.count()) return Clock::time_point::max();
+  return now + std::chrono::milliseconds(budget_ms);
+}
+
+// Admission cost of a run body: the bytes the server must hold while the
+// run is queued or executing. Patterns dominate; the constant covers the
+// ticket bookkeeping itself.
+size_t RunCostBytes(const WireCommand& cmd) {
+  size_t cost = 64;
+  for (const std::string& pattern : cmd.batch_patterns) {
+    cost += pattern.size();
+  }
+  return cost;
+}
+
 }  // namespace
 
 // Per-connection state, shared between the owning event loop (read/session
@@ -82,11 +108,21 @@ struct PragueServer::Connection
   bool want_write = false;        // EPOLLOUT armed (or arm requested)
   bool close_after_flush = false; // CLOSE acked; close once outq drains
   std::deque<std::string> outq;   // encoded frames; front may be partial
+  size_t outq_bytes = 0;          // sum of outq frame bytes (cap enforcement)
+  bool overflowed = false;        // outq cap tripped; connection is doomed
 
   // ---- read + session state: owning loop thread only.
   std::string inbuf;
   bool draining = false;  // CLOSE seen; ignore any further inbound frames
   std::shared_ptr<ManagedSession> session;
+  // Admission group this connection's OPEN joined ("conn-<n>" when the
+  // client named none) and whether AdmitSession succeeded (so the slot is
+  // released exactly once at close).
+  std::string tenant;
+  bool session_admitted = false;
+  // Effective Run() budget of the session (ms; <= 0 = unbounded), kept
+  // here so the scheduler can derive each run's deadline key.
+  int64_t run_budget_ms = 0;
   // Client node handle -> session node, plus the label each handle was
   // created with (a handle cannot be silently relabeled).
   std::unordered_map<uint32_t, NodeId> nodes;
@@ -103,12 +139,28 @@ struct PragueServer::Connection
     explicit RunTicket(WireCommand c) : cmd(std::move(c)) {}
     WireCommand cmd;
     bool cancelled = false;
+    // Deadline key (admission time + session budget; max() = unbounded)
+    // and the admission reservation to release in OnRunFinished.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    size_t cost_bytes = 0;
+    std::string tenant;
   };
   std::mutex run_mu;
   std::deque<std::shared_ptr<RunTicket>> run_queue;
   std::unordered_map<uint64_t, std::shared_ptr<RunTicket>> inflight;
   std::shared_ptr<RunTicket> active_run;
-  bool run_task_active = false;
+  bool run_task_active = false;  // a scheduler worker is executing this conn
+  bool sched_queued = false;     // conn is sitting in the server's ready_
+
+  // The earliest deadline among queued tickets (call under run_mu with a
+  // non-empty queue) — the key this connection competes with in the
+  // scheduler's ready queue.
+  std::chrono::steady_clock::time_point EarliestQueuedDeadline() const {
+    auto key = std::chrono::steady_clock::time_point::max();
+    for (const auto& ticket : run_queue) key = std::min(key, ticket->deadline);
+    return key;
+  }
 
   // Sends one response frame from any thread. Fast path: when the queue
   // is empty the frame is written straight to the (non-blocking) socket;
@@ -206,6 +258,7 @@ class PragueServer::EventLoop {
       fd = conn->fd;
       conn->fd = -1;
       conn->outq.clear();
+      conn->outq_bytes = 0;
     }
     conn->draining = true;
     if (fd >= 0) {
@@ -221,6 +274,12 @@ class PragueServer::EventLoop {
       if (conn->session != nullptr && conn->run_task_active) {
         conn->session->Cancel();
       }
+    }
+    // Release the tenant's session slot exactly once (guarded by the
+    // closed flag flip above — CloseConnection is loop-thread-only).
+    if (conn->session_admitted) {
+      conn->session_admitted = false;
+      server_->manager_->admission().OnSessionClosed(conn->tenant);
     }
   }
 
@@ -324,6 +383,36 @@ class PragueServer::EventLoop {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
   }
 
+  // accept(2) hit EMFILE/ENFILE. Simply returning would busy-spin: the
+  // listen fd is level-triggered, so the still-pending connection re-fires
+  // epoll_wait immediately, forever, pinning a core and flooding the log.
+  // Instead, briefly close the spare descriptor the server holds for
+  // exactly this moment, use the freed slot to accept-and-close one
+  // pending connection (the peer sees a clean EOF, not a hang), and
+  // re-arm the spare. Returns true when one connection was drained and
+  // the backlog may hold more.
+  bool ShedAccept() {
+    if (server_->spare_fd_ < 0) return false;
+    ::close(server_->spare_fd_);
+    server_->spare_fd_ = -1;
+    int victim = ::accept4(server_->listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    bool drained = victim >= 0;
+    if (drained) ::close(victim);
+    server_->spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    if (drained) {
+      obs::ServerMetrics::Get().accepts_shed_total->Increment();
+      // Bounded logging: power-of-two sheds only, so a connect storm
+      // cannot turn into a log storm.
+      uint64_t n = ++sheds_;
+      if ((n & (n - 1)) == 0) {
+        PRAGUE_LOG(Warning) << "out of file descriptors; shed pending "
+                            << "connection (" << n << " total)";
+      }
+    }
+    return drained;
+  }
+
   void HandleAccept() {
     for (;;) {
       int fd = ::accept4(server_->listen_fd_, nullptr, nullptr,
@@ -331,6 +420,10 @@ class PragueServer::EventLoop {
       if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE) {
+          if (ShedAccept()) continue;  // keep draining the backlog
+          return;
+        }
         if (server_->running_.load()) {
           PRAGUE_LOG(Warning) << "accept: " << std::strerror(errno);
         }
@@ -454,8 +547,10 @@ class PragueServer::EventLoop {
           break;
         }
         if (off == frame.size()) {
+          conn->outq_bytes -= frame.size();
           conn->outq.pop_front();
         } else if (off > 0) {
+          conn->outq_bytes -= off;
           frame.erase(0, off);
         }
       }
@@ -490,6 +585,7 @@ class PragueServer::EventLoop {
   std::mutex pending_mu_;
   std::vector<std::shared_ptr<Connection>> pending_adopt_;
   std::vector<std::shared_ptr<Connection>> pending_write_;
+  uint64_t sheds_ = 0;  // accept sheds on this loop (loop 0 only; logging)
   // fd -> connection; loop thread only.
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
 };
@@ -509,7 +605,7 @@ void PragueServer::Connection::SendReply(std::string payload) {
   bool arm = false;
   {
     std::lock_guard<std::mutex> lock(write_mu);
-    if (closed) return;
+    if (closed || overflowed) return;
     if (outq.empty() && !want_write) {
       size_t off = 0;
       while (off < frame.size()) {
@@ -527,12 +623,46 @@ void PragueServer::Connection::SendReply(std::string payload) {
       }
       if (off < frame.size()) {
         frame.erase(0, off);
+        outq_bytes += frame.size();
         outq.push_back(std::move(frame));
       }
     } else {
+      outq_bytes += frame.size();
       outq.push_back(std::move(frame));
     }
     obs::ServerMetrics::Get().write_queue_depth->Record(outq.size());
+    const size_t cap = server->options_.max_outbound_bytes;
+    if (cap > 0 && outq_bytes > cap) {
+      // A reader this slow is never catching up: unbounded queueing here
+      // is how a STATS/METRICS-spamming client that never reads would run
+      // the server out of memory. Keep the (possibly partially written)
+      // front frame for stream integrity, drop the rest, append one typed
+      // error so the peer learns why, and close once it flushes.
+      overflowed = true;
+      size_t dropped = outq.size() > 1 ? outq.size() - 1 : 0;
+      while (outq.size() > 1) {
+        outq_bytes -= outq.back().size();
+        outq.pop_back();
+      }
+      Status reason = Status::FailedPrecondition(
+          "outbound queue exceeded " + std::to_string(cap) +
+          " bytes (slow reader); closing");
+      std::string err_payload = EncodeErrorReply(reason);
+      FrameHeader err_header;
+      err_header.payload_length = static_cast<uint32_t>(err_payload.size());
+      err_header.type = static_cast<uint8_t>(FrameType::kResponse);
+      std::string err_frame(kFrameHeaderBytes, '\0');
+      EncodeFrameHeader(err_header,
+                        reinterpret_cast<uint8_t*>(err_frame.data()));
+      err_frame += err_payload;
+      outq_bytes += err_frame.size();
+      outq.push_back(std::move(err_frame));
+      close_after_flush = true;
+      obs::ServerMetrics::Get().write_queue_drops_total->Increment();
+      PRAGUE_LOG(Warning) << "dropping slow reader: " << dropped
+                          << " queued replies over the "
+                          << cap << "-byte outbound cap";
+    }
     if (!outq.empty() && !want_write) {
       want_write = true;
       arm = true;
@@ -602,6 +732,17 @@ Status PragueServer::Start() {
     }
   }
   pool_ = std::make_unique<ThreadPool>(workers);
+  sched_worker_limit_ = workers;
+  // The reserve descriptor HandleAccept releases to drain-and-close
+  // pending connections under EMFILE. Failure to open it is survivable
+  // (shedding just degrades to the old busy loop), so it is not fatal.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  AdmissionOptions admission;
+  admission.tenant_rate = options_.tenant_rate;
+  admission.max_concurrent_runs = options_.max_runs_per_conn;
+  admission.max_queued_bytes = options_.max_queued_bytes;
+  admission.max_sessions = options_.max_sessions_per_tenant;
+  manager_->ConfigureAdmission(admission);
   connections_accepted_.store(0);
   next_loop_.store(0);
   running_.store(true);
@@ -626,6 +767,10 @@ void PragueServer::Stop() {
     pool_.reset();
   }
   loops_.clear();
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
   PRAGUE_LOG(Info) << "server on port " << port_ << " stopped";
 }
 
@@ -705,11 +850,30 @@ void PragueServer::HandleCommand(const std::shared_ptr<Connection>& conn,
                 "a session is already open on this connection"))));
         return;
       }
+      std::string tenant =
+          !cmd.tenant.empty()
+              ? cmd.tenant
+              : "conn-" + std::to_string(anon_tenants_.fetch_add(1) + 1);
+      AdmissionDecision admit = manager_->admission().AdmitSession(tenant);
+      if (!admit.admitted) {
+        obs::ServerMetrics::Get().admission_shed_total->Increment();
+        conn->SendReply(PrependFrameId(
+            cmd.request_id, FormatBusyReply(admit.retry_after_ms)));
+        return;
+      }
+      conn->tenant = std::move(tenant);
+      conn->session_admitted = true;
       int64_t budget_ms = cmd.timeout_ms >= 0
                               ? cmd.timeout_ms
                               : options_.default_run_deadline_ms;
       conn->session = budget_ms >= 0 ? manager_->OpenWithDeadline(budget_ms)
                                      : manager_->Open();
+      // Effective budget for the deadline scheduler: an explicit or
+      // server-default budget, else whatever the manager default is
+      // (0 = unbounded either way).
+      conn->run_budget_ms = budget_ms >= 0
+                                ? budget_ms
+                                : manager_->DefaultRunDeadlineMillis();
       conn->SendReply(PrependFrameId(
           cmd.request_id,
           FormatOpenReply(conn->session->id(), conn->session->version())));
@@ -822,8 +986,11 @@ void PragueServer::EnqueueRun(const std::shared_ptr<Connection>& conn,
             "no session on this connection (send OPEN first)"))));
     return;
   }
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
   Status reject = Status::OK();
-  bool spawn = false;
+  bool schedule = false;
+  std::chrono::steady_clock::time_point key;
+  int64_t retry_after_ms = 0;
   {
     std::lock_guard<std::mutex> lock(conn->run_mu);
     if (cmd.request_id != 0 &&
@@ -837,68 +1004,132 @@ void PragueServer::EnqueueRun(const std::shared_ptr<Connection>& conn,
           "pipeline is full (" + std::to_string(options_.max_pipelined_runs) +
           " runs in flight)");
     } else {
-      auto ticket = std::make_shared<Connection::RunTicket>(cmd);
-      conn->run_queue.push_back(ticket);
-      if (cmd.request_id != 0) conn->inflight[cmd.request_id] = ticket;
-      if (!conn->run_task_active) {
-        conn->run_task_active = true;
-        spawn = true;
+      // Admission last, after the free rejections: a duplicate id or a
+      // full pipeline must not drain the tenant's bucket.
+      const size_t cost = RunCostBytes(cmd);
+      AdmissionDecision admit =
+          manager_->admission().AdmitRun(conn->tenant, cost);
+      if (!admit.admitted) {
+        retry_after_ms = admit.retry_after_ms;
+      } else {
+        sm.admission_admitted_total->Increment();
+        auto ticket = std::make_shared<Connection::RunTicket>(cmd);
+        ticket->deadline = RunDeadlineKey(conn->run_budget_ms);
+        ticket->cost_bytes = cost;
+        ticket->tenant = conn->tenant;
+        conn->run_queue.push_back(ticket);
+        if (cmd.request_id != 0) conn->inflight[cmd.request_id] = ticket;
+        // Hand the connection to the scheduler unless it is already in
+        // the ready queue or a worker is on it (the worker re-queues it).
+        if (!conn->run_task_active && !conn->sched_queued) {
+          conn->sched_queued = true;
+          key = conn->EarliestQueuedDeadline();
+          schedule = true;
+        }
       }
     }
   }
+  if (retry_after_ms > 0) {
+    sm.admission_shed_total->Increment();
+    conn->SendReply(
+        PrependFrameId(cmd.request_id, FormatBusyReply(retry_after_ms)));
+    return;
+  }
   if (!reject.ok()) {
     if (reject.code() == Status::Code::kProtocolError) {
-      obs::ServerMetrics::Get().protocol_errors_total->Increment();
+      sm.protocol_errors_total->Increment();
     }
     conn->SendReply(PrependFrameId(cmd.request_id, EncodeErrorReply(reject)));
     return;
   }
-  if (spawn) {
-    std::shared_ptr<Connection> c = conn;
-    pool_->Submit([this, c] { RunWorker(c); });
-  }
+  if (schedule) ScheduleConnection(conn, key);
 }
 
-void PragueServer::RunWorker(std::shared_ptr<Connection> conn) {
+void PragueServer::ScheduleConnection(
+    const std::shared_ptr<Connection>& conn,
+    std::chrono::steady_clock::time_point key) {
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    ready_.Push(key, conn);
+    obs::ServerMetrics::Get().sched_queue_depth->Record(ready_.size());
+    if (sched_workers_ < sched_worker_limit_) {
+      ++sched_workers_;
+      spawn = true;
+    }
+  }
+  // A surplus worker (the queue drained before it ran) just exits, so
+  // over-spawning is harmless; under-spawning would strand work.
+  if (spawn) pool_->Submit([this] { SchedulerWorker(); });
+}
+
+void PragueServer::SchedulerWorker() {
   for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      if (ready_.empty()) {
+        --sched_workers_;
+        return;
+      }
+      conn = ready_.Pop();
+    }
     std::shared_ptr<Connection::RunTicket> ticket;
     {
       std::lock_guard<std::mutex> lock(conn->run_mu);
-      if (conn->run_queue.empty()) {
-        conn->run_task_active = false;
-        return;
+      conn->sched_queued = false;
+      // run_task_active cannot be set here — a connection is inserted
+      // into ready_ only when both flags are clear, and the executing
+      // worker re-inserts only after clearing it.
+      if (!conn->run_queue.empty() && conn->session != nullptr) {
+        // Earliest-deadline ticket first, not FIFO: within one
+        // connection's pipeline the tightest budget runs next, matching
+        // the cross-connection policy.
+        auto best = conn->run_queue.begin();
+        for (auto it = std::next(best); it != conn->run_queue.end(); ++it) {
+          if ((*it)->deadline < (*best)->deadline) best = it;
+        }
+        ticket = *best;
+        conn->run_queue.erase(best);
+        conn->run_task_active = true;
+        conn->active_run = ticket;
+        // Re-arm the token so a stale CANCEL (one that raced the end of
+        // the previous run) cannot poison this run; then apply any
+        // cancellation that targeted this ticket while it was still
+        // queued. Both under run_mu, the same lock HandleCancel trips
+        // the token under.
+        conn->session->ResetCancellation();
+        if (ticket->cancelled) conn->session->Cancel();
       }
-      ticket = conn->run_queue.front();
-      conn->run_queue.pop_front();
-      conn->active_run = ticket;
-      // Re-arm the token so a stale CANCEL (one that raced the end of the
-      // previous run) cannot poison this run; then apply any cancellation
-      // that targeted this ticket while it was still queued. Both under
-      // run_mu, the same lock HandleCancel trips the token under.
-      conn->session->ResetCancellation();
-      if (ticket->cancelled) conn->session->Cancel();
     }
+    if (ticket == nullptr) continue;
     std::string reply = ticket->cmd.kind == CommandKind::kRun
                             ? ExecuteRun(*conn, ticket->cmd)
                             : ExecuteBatchRun(*conn, ticket->cmd);
-    bool done;
+    bool requeue = false;
+    std::chrono::steady_clock::time_point key;
     {
       std::lock_guard<std::mutex> lock(conn->run_mu);
       conn->active_run = nullptr;
       if (ticket->cmd.request_id != 0) {
         conn->inflight.erase(ticket->cmd.request_id);
       }
-      done = conn->run_queue.empty();
       // Clear the flag before replying so a lock-step client's next
       // command (sent only after it reads this reply) is never bounced as
       // "busy". A pipelined client may enqueue again the instant the flag
-      // drops; the fresh pool task and this one only overlap on the
-      // thread-safe reply write below.
-      if (done) conn->run_task_active = false;
+      // drops; its insertion and this worker's re-insertion are mutually
+      // exclusive via sched_queued under this same lock.
+      conn->run_task_active = false;
+      if (!conn->run_queue.empty() && !conn->sched_queued) {
+        conn->sched_queued = true;
+        key = conn->EarliestQueuedDeadline();
+        requeue = true;
+      }
     }
     conn->SendReply(
         PrependFrameId(ticket->cmd.request_id, std::move(reply)));
-    if (done) return;
+    manager_->admission().OnRunFinished(ticket->tenant, ticket->cost_bytes);
+    if (requeue) ScheduleConnection(conn, key);
   }
 }
 

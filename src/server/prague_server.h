@@ -20,8 +20,17 @@
 //    loop. A slow query therefore cannot stall framing or another
 //    connection's commands; `worker_threads` bounds concurrent query
 //    execution, not concurrent connections. Per connection, queued runs
-//    execute one at a time in arrival order (the session is serialized
-//    anyway), each connection using at most one pool slot at a time.
+//    execute one at a time (the session is serialized anyway), each
+//    connection using at most one pool slot at a time. *Across*
+//    connections, queued runs are dispatched deadline-aware, not FIFO:
+//    a server-wide scheduler (util/deadline_queue.h) always starts the
+//    run whose session budget expires soonest, so tight-budget queries
+//    are not parked behind unbounded ones.
+//  - Admission control (core/admission.h): before a RUN/BATCH_RUN body is
+//    queued at all, the tenant named on OPEN (`tenant=<name>`; default one
+//    tenant per connection) must pass its token-bucket rate, concurrency,
+//    and pending-bytes quotas. A request over quota is answered with the
+//    typed `BUSY <retry-after-ms>` reply and consumes nothing.
 //  - Replies may be written from a loop thread or a pool thread. Each
 //    connection has a write queue: a reply is sent inline when the queue
 //    is empty and the socket accepts it; otherwise it is queued and the
@@ -47,6 +56,7 @@
 #include <vector>
 
 #include "core/session_manager.h"
+#include "util/deadline_queue.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -76,6 +86,21 @@ struct PragueServerOptions {
   /// Cap on id-carrying runs in flight per connection (queued + active);
   /// frames beyond it are rejected with FailedPrecondition.
   size_t max_pipelined_runs = 64;
+
+  // ---- Admission control & load shedding (core/admission.h). All 0 =
+  // off; over-quota requests are answered `BUSY <retry-after-ms>`.
+  /// Token-bucket RUN admissions per second per tenant.
+  double tenant_rate = 0;
+  /// Queued + executing RUN/BATCH_RUN bodies per tenant.
+  size_t max_runs_per_conn = 0;
+  /// Aggregate bytes of admitted-but-unfinished run payloads per tenant.
+  size_t max_queued_bytes = 0;
+  /// Open sessions per tenant.
+  size_t max_sessions_per_tenant = 0;
+  /// Bytes queued toward one slow-reading client before the server drops
+  /// the connection (a reply stream the peer never drains would otherwise
+  /// grow without bound); 0 = unlimited.
+  size_t max_outbound_bytes = 64ull << 20;
 };
 
 /// \brief TCP server exposing a SessionManager over the wire protocol of
@@ -118,8 +143,14 @@ class PragueServer {
                     const WireCommand& cmd);
   void EnqueueRun(const std::shared_ptr<Connection>& conn,
                   const WireCommand& cmd);
-  // Pool task: drains the connection's run queue one ticket at a time.
-  void RunWorker(std::shared_ptr<Connection> conn);
+  // Pool task: repeatedly pops the connection whose queued run has the
+  // earliest deadline and executes that run. Several may be live at once
+  // (up to the pool size); each connection is executed by at most one.
+  void SchedulerWorker();
+  // Under sched_mu_: inserts conn keyed by its earliest queued deadline
+  // and spawns a worker when below the limit.
+  void ScheduleConnection(const std::shared_ptr<Connection>& conn,
+                          std::chrono::steady_clock::time_point key);
   std::string ExecuteRun(Connection& conn, const WireCommand& cmd);
   std::string ExecuteBatchRun(Connection& conn, const WireCommand& cmd);
 
@@ -128,11 +159,25 @@ class PragueServer {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  // Held open so HandleAccept can always free one descriptor to drain-and-
+  // close pending connections when accept(2) hits EMFILE/ENFILE.
+  int spare_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<size_t> next_loop_{0};
+  // Names the per-connection default tenants ("conn-<n>").
+  std::atomic<uint64_t> anon_tenants_{0};
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // ---- run scheduler; sched_mu_ guards the ready queue and the worker
+  // census. A connection appears at most once in ready_ (Connection::
+  // sched_queued, under its run_mu) so one slow connection cannot occupy
+  // two pool slots.
+  std::mutex sched_mu_;
+  DeadlineQueue<std::shared_ptr<Connection>> ready_;
+  size_t sched_workers_ = 0;
+  size_t sched_worker_limit_ = 1;
 };
 
 }  // namespace prague

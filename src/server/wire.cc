@@ -248,13 +248,30 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
   size_t expected_min = 1, expected_max = 1;
   if (verb == "OPEN") {
     cmd.kind = CommandKind::kOpen;
-    expected_max = 2;
-    if (tokens.size() > 1) {
+    expected_max = 3;
+    bool saw_timeout = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      constexpr std::string_view kTenantKey = "tenant=";
+      if (tokens[i].substr(0, kTenantKey.size()) == kTenantKey) {
+        std::string_view name = tokens[i].substr(kTenantKey.size());
+        if (name.empty()) {
+          return Status::InvalidArgument("OPEN tenant= name must be non-empty");
+        }
+        if (!cmd.tenant.empty()) {
+          return Status::InvalidArgument("OPEN: duplicate tenant= token");
+        }
+        cmd.tenant = std::string(name);
+        continue;
+      }
+      if (saw_timeout) {
+        return Status::InvalidArgument("OPEN: duplicate timeout_ms token");
+      }
       PRAGUE_ASSIGN_OR_RETURN(
-          cmd.timeout_ms, ParseNumber<int64_t>(tokens[1], "OPEN timeout_ms"));
+          cmd.timeout_ms, ParseNumber<int64_t>(tokens[i], "OPEN timeout_ms"));
       if (cmd.timeout_ms < 0) {
         return Status::InvalidArgument("OPEN timeout_ms must be >= 0");
       }
+      saw_timeout = true;
     }
   } else if (verb == "ADD_EDGE") {
     cmd.kind = CommandKind::kAddEdge;
@@ -366,6 +383,7 @@ std::string FormatCommand(const WireCommand& command) {
       body = command.timeout_ms >= 0
                  ? "OPEN " + std::to_string(command.timeout_ms)
                  : "OPEN";
+      if (!command.tenant.empty()) body += " tenant=" + command.tenant;
       break;
     case CommandKind::kAddEdge: {
       body = "ADD_EDGE " + std::to_string(command.u) + ' ' +
@@ -431,8 +449,32 @@ const char* StatusCodeToken(Status::Code code) {
       return "DEADLINE_EXCEEDED";
     case Status::Code::kProtocolError:
       return "PROTOCOL_ERROR";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kBusy:
+      return "BUSY";
   }
   return "UNKNOWN";
+}
+
+std::string FormatBusyReply(int64_t retry_after_ms) {
+  return "BUSY " + std::to_string(retry_after_ms);
+}
+
+bool IsBusy(const Status& status) {
+  return status.code() == Status::Code::kBusy;
+}
+
+int64_t BusyRetryAfterMillis(const Status& status) {
+  constexpr std::string_view kKey = "retry_after_ms=";
+  const std::string& message = status.message();
+  size_t at = message.find(kKey);
+  if (at == std::string::npos) return -1;
+  std::string_view value = std::string_view(message).substr(at + kKey.size());
+  size_t end = value.find(' ');
+  if (end != std::string_view::npos) value = value.substr(0, end);
+  Result<int64_t> parsed = ParseNumber<int64_t>(value, "retry_after_ms");
+  return parsed.ok() ? *parsed : -1;
 }
 
 std::string EncodeErrorReply(const Status& status) {
@@ -444,6 +486,17 @@ Status DecodeReplyStatus(std::string_view payload) {
   if (payload.substr(0, 2) == "OK" &&
       (payload.size() == 2 || payload[2] == ' ')) {
     return Status::OK();
+  }
+  // Load-shed reply: "BUSY <retry-after-ms>". Not an ERR — shedding is
+  // flow control — but it still decodes to a typed Status so every
+  // client-side Parse*Reply surfaces it uniformly.
+  if (payload.substr(0, 4) == "BUSY" &&
+      (payload.size() == 4 || payload[4] == ' ')) {
+    std::string message = "shed by admission control";
+    if (payload.size() > 5) {
+      message += "; retry_after_ms=" + std::string(payload.substr(5));
+    }
+    return Status::Busy(std::move(message));
   }
   if (payload.substr(0, 4) != "ERR ") {
     return Status::Corruption("malformed reply '" +
@@ -465,6 +518,8 @@ Status DecodeReplyStatus(std::string_view payload) {
   }
   if (token == "DEADLINE_EXCEEDED") return Status::DeadlineExceeded(message);
   if (token == "PROTOCOL_ERROR") return Status::ProtocolError(message);
+  if (token == "INTERNAL") return Status::Internal(message);
+  if (token == "BUSY") return Status::Busy(message);
   return Status::Corruption("unknown error code '" + std::string(token) +
                             "' in reply");
 }
@@ -635,6 +690,8 @@ std::string FormatStatsReply(const SessionManagerStats& stats) {
                     " runs=" + std::to_string(stats.runs_served) +
                     " truncated=" + std::to_string(stats.runs_truncated) +
                     " shards=" + std::to_string(stats.shards) +
+                    " shed=" + std::to_string(stats.runs_shed) +
+                    " tenants=" + std::to_string(stats.tenants) +
                     " sessions=";
   out += JoinList(stats.open_session_infos, 0,
                   [](const OpenSessionInfo& info) {
@@ -665,12 +722,21 @@ Result<StatsReply> ParseStatsReply(std::string_view payload) {
   PRAGUE_ASSIGN_OR_RETURN(auto truncated, ReplyValue(tokens, "truncated"));
   PRAGUE_ASSIGN_OR_RETURN(reply.runs_truncated,
                           ParseNumber<uint64_t>(truncated, "truncated"));
-  // shards= is tolerated as absent so a current client can still read a
-  // pre-sharding server's reply.
+  // shards=, shed=, and tenants= are tolerated as absent so a current
+  // client can still read an older server's reply.
   if (Result<std::string_view> shards = ReplyValue(tokens, "shards");
       shards.ok()) {
     PRAGUE_ASSIGN_OR_RETURN(reply.shards,
                             ParseNumber<uint64_t>(*shards, "shards"));
+  }
+  if (Result<std::string_view> shed = ReplyValue(tokens, "shed"); shed.ok()) {
+    PRAGUE_ASSIGN_OR_RETURN(reply.runs_shed,
+                            ParseNumber<uint64_t>(*shed, "shed"));
+  }
+  if (Result<std::string_view> tenants = ReplyValue(tokens, "tenants");
+      tenants.ok()) {
+    PRAGUE_ASSIGN_OR_RETURN(reply.tenants,
+                            ParseNumber<uint64_t>(*tenants, "tenants"));
   }
   PRAGUE_ASSIGN_OR_RETURN(auto sessions, ReplyValue(tokens, "sessions"));
   for (std::string_view item : SplitList(sessions)) {

@@ -9,7 +9,8 @@
 //
 // Session lifecycle, one connection = one ManagedSession:
 //
-//   OPEN [timeout_ms]           -> OK session=<id> version=<v>
+//   OPEN [timeout_ms] [tenant=<name>]
+//                               -> OK session=<id> version=<v>
 //   ADD_EDGE u lu v lv [le]     -> OK edge=<l> status=<s> sim=<0|1>
 //                                  rq=<n> free=<n> ver=<n>
 //   DELETE_EDGE u v             -> same reply shape as ADD_EDGE
@@ -20,7 +21,8 @@
 //   CANCEL [id]                 -> (no reply — see below)
 //   STATS                       -> OK version=<v> open=<n> opened=<n>
 //                                  published=<n> runs=<n> truncated=<n>
-//                                  shards=<n> sessions=<id>@<ver>,...
+//                                  shards=<n> shed=<n> tenants=<n>
+//                                  sessions=<id>@<ver>,...
 //   METRICS                     -> OK metrics\n<Prometheus text>
 //   CLOSE                       -> OK bye
 //
@@ -30,6 +32,17 @@
 // `le` is a numeric edge label (default 0). `RUN k` caps how many matches
 // are listed in the reply; `n` is always the full count. Errors come back
 // as `ERR <CODE> <message>` and decode to the same Status the server saw.
+//
+// Admission control and load shedding. OPEN's optional `tenant=<name>`
+// token groups connections into a *tenant* for per-tenant quotas and
+// rate limits (core/admission.h); without it every connection is its own
+// tenant. When a request is shed — the tenant is over quota or the server
+// is saturated — the reply is `BUSY <retry-after-ms>` (with the usual
+// `#<id>` echo when the request carried one), not an ERR: shedding is
+// flow control, not failure. It decodes to Status::Busy, and the
+// retry-after hint tells a polite client how long to back off before the
+// request is likely to be admitted. A shed request consumes no pool slot
+// and queues nothing.
 //
 // Request ids and pipelining. Any request payload may start with an
 // optional `#<id>` token (id >= 1, client-chosen, unique among that
@@ -130,6 +143,7 @@ struct WireCommand {
   /// Optional `#<id>` frame prefix; 0 = absent (lock-step request).
   uint64_t request_id = 0;
   int64_t timeout_ms = -1;  ///< OPEN: Run() budget; -1 = server default.
+  std::string tenant;       ///< OPEN: admission group; "" = per-connection.
   uint32_t u = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
   uint32_t v = 0;           ///< ADD_EDGE / DELETE_EDGE node handle
   std::string u_label;      ///< ADD_EDGE label name of u
@@ -169,6 +183,17 @@ Status DecodeReplyStatus(std::string_view payload);
 
 /// \brief Stable wire token for a status code (e.g. "NOT_FOUND").
 const char* StatusCodeToken(Status::Code code);
+
+/// \brief Renders a load-shed reply: "BUSY <retry-after-ms>". Decodes to
+/// Status::Busy via DecodeReplyStatus.
+std::string FormatBusyReply(int64_t retry_after_ms);
+
+/// \brief True when \p status is a load-shed (BUSY) reply.
+bool IsBusy(const Status& status);
+
+/// \brief Extracts the retry-after hint (milliseconds) from a decoded
+/// BUSY status; -1 when the hint is absent or malformed.
+int64_t BusyRetryAfterMillis(const Status& status);
 
 /// \brief OPEN reply.
 struct OpenReply {
@@ -228,6 +253,8 @@ struct StatsReply {
   uint64_t runs_served = 0;     ///< Run() calls completed, all sessions ever
   uint64_t runs_truncated = 0;  ///< of those, cut by a deadline/cancel
   uint64_t shards = 1;          ///< shard count of the server's current view
+  uint64_t runs_shed = 0;       ///< runs refused with BUSY by admission
+  uint64_t tenants = 0;         ///< tenants the admission controller tracks
   /// (session id, pinned version), ascending by id.
   std::vector<std::pair<uint64_t, uint64_t>> sessions;
 };

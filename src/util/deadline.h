@@ -67,9 +67,19 @@ class Deadline {
   /// \brief Expires \p ms milliseconds from now (\p ms <= 0: already
   /// expired). Callers mapping "0 means no limit" config knobs should test
   /// the knob themselves and pass Unbounded() — see PragueConfig.
+  ///
+  /// Budgets too large to represent saturate to the far-future
+  /// time_point::max() instead of overflowing: `now + milliseconds(ms)`
+  /// wraps negative for wire-supplied budgets near INT64_MAX, which would
+  /// silently turn "effectively unbounded" into "already expired".
   static Deadline AfterMillis(int64_t ms) {
-    return At(std::chrono::steady_clock::now() +
-              std::chrono::milliseconds(ms));
+    const auto now = std::chrono::steady_clock::now();
+    const auto headroom = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::time_point::max() - now);
+    if (ms >= headroom.count()) {
+      return At(std::chrono::steady_clock::time_point::max());
+    }
+    return At(now + std::chrono::milliseconds(ms));
   }
 
   /// \brief Expires at \p at.

@@ -1,0 +1,80 @@
+// DeadlineQueue — the scheduler queue behind deadline-aware dispatch.
+//
+// A min-priority queue keyed by an absolute steady-clock deadline with a
+// monotone sequence number as the tie-break, so equal deadlines pop in
+// insertion order (FIFO among peers) and the order is deterministic. The
+// server's run scheduler uses it to serve queued runs
+// shortest-remaining-budget-first across connections: a run whose budget
+// expires soonest is the one with the least slack, so it goes first —
+// the response-time-bounded scheduling discipline PRAGUE's SRT contract
+// implies. Unbounded runs carry time_point::max() and naturally yield to
+// every bounded one.
+//
+// Not thread-safe by design: it is a data structure, not a channel. The
+// owner (PragueServer's scheduler, a test) brings its own mutex, which it
+// already holds to maintain the state adjacent to the queue.
+
+#ifndef PRAGUE_UTIL_DEADLINE_QUEUE_H_
+#define PRAGUE_UTIL_DEADLINE_QUEUE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace prague {
+
+/// \brief Min-heap of T keyed by (deadline, insertion sequence).
+template <typename T>
+class DeadlineQueue {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// The key for work with no time bound; sorts after every real deadline.
+  static constexpr TimePoint Unbounded() { return TimePoint::max(); }
+
+  /// \brief Inserts \p value with absolute deadline \p key.
+  void Push(TimePoint key, T value) {
+    heap_.push(Entry{key, next_seq_++, std::move(value)});
+  }
+
+  /// \brief True iff no entries are queued.
+  bool empty() const { return heap_.empty(); }
+  /// \brief Number of queued entries.
+  size_t size() const { return heap_.size(); }
+
+  /// \brief The earliest queued deadline (call only when !empty()).
+  TimePoint earliest() const { return heap_.top().key; }
+
+  /// \brief Removes and returns the entry with the earliest deadline;
+  /// equal deadlines pop in insertion order. Call only when !empty().
+  T Pop() {
+    // top() is const-ref; the value is moved out via const_cast, which is
+    // safe because pop() immediately destroys the moved-from shell.
+    T value = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return value;
+  }
+
+ private:
+  struct Entry {
+    TimePoint key;
+    uint64_t seq;
+    T value;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace prague
+
+#endif  // PRAGUE_UTIL_DEADLINE_QUEUE_H_

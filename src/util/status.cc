@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "ProtocolError";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ class Status {
     kDeadlineExceeded,
     kProtocolError,
     kInternal,
+    kBusy,
   };
 
   Status() = default;
@@ -78,6 +79,14 @@ class Status {
   /// escaping a pool task — as opposed to errors caused by inputs.
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  /// \brief Returns a Busy error with \p msg. Raised when admission
+  /// control sheds work — a tenant is over quota or the server is
+  /// saturated — so the request was never attempted. Unlike every other
+  /// code, Busy means "retry later" rather than "this request is wrong";
+  /// on the wire it carries a retry-after hint (see server/wire.h).
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
   }
 
   /// \brief True iff the operation succeeded.

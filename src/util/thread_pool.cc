@@ -59,6 +59,9 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t count, size_t min_chunk,
                              const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
+  // min_chunk == 0 would make the chunk-count division below UB; a zero
+  // minimum can only mean "no lower bound", which 1 expresses safely.
+  if (min_chunk == 0) min_chunk = 1;
   size_t workers = size();
   if (workers <= 1 || count <= min_chunk) {
     fn(0, count);

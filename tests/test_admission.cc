@@ -1,0 +1,158 @@
+// AdmissionController in isolation: quota accounting, token-bucket
+// behaviour, per-tenant independence, and the tenant-forgetting rule.
+// Everything here is timing-free — rates are chosen so low (one token per
+// 1000+ seconds) that no refill can land inside a test run, so the tests
+// hold under any scheduler and under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include "core/admission.h"
+
+namespace prague {
+namespace {
+
+TEST(AdmissionTest, DefaultOptionsAdmitEverything) {
+  AdmissionController admission;
+  EXPECT_TRUE(admission.options().Unlimited());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(admission.AdmitSession("t").admitted);
+    EXPECT_TRUE(admission.AdmitRun("t", 1 << 20).admitted);
+  }
+  const AdmissionStats stats = admission.Stats();
+  EXPECT_EQ(stats.runs_shed, 0u);
+  EXPECT_EQ(stats.sessions_shed, 0u);
+  EXPECT_EQ(stats.runs_admitted, 100u);
+}
+
+TEST(AdmissionTest, SessionQuotaShedsAndReleases) {
+  AdmissionOptions options;
+  options.max_sessions = 2;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitSession("a").admitted);
+  EXPECT_TRUE(admission.AdmitSession("a").admitted);
+  const AdmissionDecision shed = admission.AdmitSession("a");
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, ShedReason::kSessions);
+  EXPECT_GE(shed.retry_after_ms, 1);
+  // Another tenant's quota is its own.
+  EXPECT_TRUE(admission.AdmitSession("b").admitted);
+  // Closing a session frees the slot.
+  admission.OnSessionClosed("a");
+  EXPECT_TRUE(admission.AdmitSession("a").admitted);
+  EXPECT_EQ(admission.Stats().sessions_shed, 1u);
+}
+
+TEST(AdmissionTest, ConcurrencyQuotaReservesUntilRunFinished) {
+  AdmissionOptions options;
+  options.max_concurrent_runs = 2;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitRun("t", 10).admitted);
+  EXPECT_TRUE(admission.AdmitRun("t", 10).admitted);
+  const AdmissionDecision shed = admission.AdmitRun("t", 10);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, ShedReason::kConcurrency);
+  EXPECT_GE(shed.retry_after_ms, 1);
+  admission.OnRunFinished("t", 10);
+  EXPECT_TRUE(admission.AdmitRun("t", 10).admitted);
+  const AdmissionStats stats = admission.Stats();
+  EXPECT_EQ(stats.runs_admitted, 3u);
+  EXPECT_EQ(stats.runs_shed, 1u);
+}
+
+TEST(AdmissionTest, QueuedBytesQuotaCountsPendingBodies) {
+  AdmissionOptions options;
+  options.max_queued_bytes = 100;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitRun("t", 60).admitted);
+  const AdmissionDecision shed = admission.AdmitRun("t", 60);  // 120 > 100
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, ShedReason::kBytes);
+  // Landing exactly on the cap is still admitted...
+  EXPECT_TRUE(admission.AdmitRun("t", 40).admitted);
+  // ...and finishing a run returns its bytes.
+  admission.OnRunFinished("t", 60);
+  EXPECT_TRUE(admission.AdmitRun("t", 60).admitted);
+}
+
+TEST(AdmissionTest, TokenBucketShedsAfterBurstWithRetryHint) {
+  AdmissionOptions options;
+  options.tenant_rate = 0.001;  // one token per 1000 s: no refill in-test
+  options.tenant_burst = 2;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitRun("t", 1).admitted);
+  EXPECT_TRUE(admission.AdmitRun("t", 1).admitted);
+  const AdmissionDecision shed = admission.AdmitRun("t", 1);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, ShedReason::kRate);
+  // The hint is the time to the next whole token: about 1000 s here.
+  EXPECT_GE(shed.retry_after_ms, 1);
+  EXPECT_LE(shed.retry_after_ms, 1000 * 1000);
+  // Each tenant owns its own bucket.
+  EXPECT_TRUE(admission.AdmitRun("u", 1).admitted);
+}
+
+TEST(AdmissionTest, BurstDefaultsToAtLeastFour) {
+  AdmissionOptions options;
+  options.tenant_rate = 0.001;  // derived burst: max(2 * rate, 4) = 4
+  AdmissionController admission(options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(admission.AdmitRun("t", 1).admitted) << i;
+  }
+  EXPECT_FALSE(admission.AdmitRun("t", 1).admitted);
+}
+
+TEST(AdmissionTest, DrainedBucketSurvivesDisconnect) {
+  // The reconnect exploit: drain the bucket, drop every session, come
+  // back under the same tenant name. The drained bucket must persist —
+  // only a tenant whose bucket has refilled to capacity is forgotten.
+  AdmissionOptions options;
+  options.tenant_rate = 0.001;
+  options.max_sessions = 4;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitSession("t").admitted);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(admission.AdmitRun("t", 1).admitted) << i;
+    admission.OnRunFinished("t", 1);
+  }
+  EXPECT_FALSE(admission.AdmitRun("t", 1).admitted);
+  admission.OnSessionClosed("t");  // no sessions, runs, or bytes left...
+  EXPECT_EQ(admission.Stats().tenants, 1u);  // ...but still tracked
+  EXPECT_TRUE(admission.AdmitSession("t").admitted);
+  EXPECT_FALSE(admission.AdmitRun("t", 1).admitted);  // still drained
+}
+
+TEST(AdmissionTest, IdleTenantWithFullBucketIsForgotten) {
+  // Without rate limiting there is nothing to protect, so an idle tenant
+  // leaves no state behind (the map stays bounded by live tenants).
+  AdmissionOptions options;
+  options.max_sessions = 2;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.AdmitSession("t").admitted);
+  EXPECT_EQ(admission.Stats().tenants, 1u);
+  admission.OnSessionClosed("t");
+  EXPECT_EQ(admission.Stats().tenants, 0u);
+}
+
+TEST(AdmissionTest, ConfigureAppliesNewLimitsToNextDecision) {
+  AdmissionController admission;
+  EXPECT_TRUE(admission.AdmitRun("t", 1).admitted);  // unlimited
+  AdmissionOptions options;
+  options.max_concurrent_runs = 1;
+  admission.Configure(options);
+  EXPECT_EQ(admission.options().max_concurrent_runs, 1u);
+  // The run admitted before Configure still holds its slot.
+  EXPECT_FALSE(admission.AdmitRun("t", 1).admitted);
+  admission.OnRunFinished("t", 1);
+  EXPECT_TRUE(admission.AdmitRun("t", 1).admitted);
+}
+
+TEST(AdmissionTest, ShedReasonNamesAreStable) {
+  EXPECT_STREQ(ShedReasonName(ShedReason::kNone), "none");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kRate), "rate");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kConcurrency), "concurrency");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kSessions), "sessions");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kBytes), "bytes");
+}
+
+}  // namespace
+}  // namespace prague

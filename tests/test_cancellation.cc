@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <thread>
@@ -73,6 +74,18 @@ const VisualQuerySpec& HeavyAidsQuery() {
     std::abort();
   }();
   return *spec;
+}
+
+TEST(CancellationTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // `now + milliseconds(INT64_MAX)` wraps steady-clock arithmetic
+  // negative; AfterMillis saturates to the far future instead, so a huge
+  // wire-supplied budget means "effectively unbounded", never "already
+  // expired".
+  Deadline huge = Deadline::AfterMillis(std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(huge.IsUnbounded());  // bounded, just at the far future
+  EXPECT_FALSE(huge.Expired());
+  // The near edge is unchanged: a zero budget is already expired.
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
 }
 
 TEST(CancellationTest, ExpiredDeadlineTruncatesExactVerification) {

@@ -55,6 +55,19 @@ TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
   for (int t : touched) EXPECT_EQ(t, 1);
 }
 
+TEST(ThreadPoolTest, ParallelForZeroMinChunkCoversRange) {
+  // min_chunk = 0 used to divide by zero when sizing chunks; it now
+  // behaves exactly like min_chunk = 1.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(64);
+  pool.ParallelFor(64, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << i;
+  }
+}
+
 TEST(ThreadPoolTest, AtLeastOneWorker) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);

@@ -9,10 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
+
+#include <cerrno>
+#include <limits>
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +35,7 @@
 
 #include "core/session_manager.h"
 #include "datasets/query_workload.h"
+#include "obs/metrics.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
 #include "server/wire.h"
@@ -426,9 +433,15 @@ class ServerFixture : public ::testing::Test {
 // PragueClient would never emit (explicit ids, duplicates, malformed ids).
 struct RawConn {
   int fd = -1;
-  explicit RawConn(uint16_t port) {
+  // rcvbuf > 0 pins SO_RCVBUF before connect (disabling receive-buffer
+  // autotuning), so a deliberately-slow reader cannot have megabytes of
+  // replies absorbed by the kernel on its behalf.
+  explicit RawConn(uint16_t port, int rcvbuf = 0) {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -1348,6 +1361,435 @@ TEST_F(HeavyServerFixture, BatchRunMembersHonorTheSessionBudget) {
   // The unknown label fails only its member, not the batch.
   EXPECT_FALSE(reply->members[1].ok());
   EXPECT_TRUE(client.Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control & load shedding: wire grammar, the BUSY codec, and the
+// quotas end to end over loopback.
+
+TEST(WireCommandTest, OpenTenantParses) {
+  Result<WireCommand> open = ParseCommand("OPEN tenant=alpha");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->kind, CommandKind::kOpen);
+  EXPECT_EQ(open->timeout_ms, -1);
+  EXPECT_EQ(open->tenant, "alpha");
+
+  Result<WireCommand> both = ParseCommand("OPEN 250 tenant=team-7");
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both->timeout_ms, 250);
+  EXPECT_EQ(both->tenant, "team-7");
+
+  // Token order does not matter.
+  Result<WireCommand> swapped = ParseCommand("OPEN tenant=team-7 250");
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped->timeout_ms, 250);
+  EXPECT_EQ(swapped->tenant, "team-7");
+
+  // Format/parse inverse with both fields on.
+  WireCommand cmd;
+  cmd.kind = CommandKind::kOpen;
+  cmd.timeout_ms = 30;
+  cmd.tenant = "blue";
+  Result<WireCommand> back = ParseCommand(FormatCommand(cmd));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->timeout_ms, 30);
+  EXPECT_EQ(back->tenant, "blue");
+}
+
+TEST(WireCommandTest, OpenTenantTypedParseErrors) {
+  for (const char* bad :
+       {"OPEN tenant=", "OPEN tenant=a tenant=b", "OPEN 1 2",
+        "OPEN 1 tenant=a 2", "OPEN -7 tenant=a"}) {
+    Result<WireCommand> r = ParseCommand(bad);
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument) << bad;
+  }
+}
+
+TEST(WireReplyTest, BusyReplyDecodesToTypedStatus) {
+  const std::string payload = FormatBusyReply(150);
+  EXPECT_EQ(payload, "BUSY 150");
+  Status shed = DecodeReplyStatus(payload);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(IsBusy(shed)) << shed.ToString();
+  EXPECT_EQ(BusyRetryAfterMillis(shed), 150);
+
+  // Id-tagged BUSY replies split like any other reply.
+  const std::string tagged = "#9 " + FormatBusyReply(20);
+  Result<std::pair<uint64_t, std::string_view>> split = SplitFrameId(tagged);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->first, 9u);
+  EXPECT_TRUE(IsBusy(DecodeReplyStatus(split->second)));
+
+  // A bare BUSY decodes Busy with no usable hint.
+  Status bare = DecodeReplyStatus("BUSY");
+  EXPECT_TRUE(IsBusy(bare));
+  EXPECT_EQ(BusyRetryAfterMillis(bare), -1);
+  EXPECT_FALSE(IsBusy(Status::OK()));
+  EXPECT_EQ(BusyRetryAfterMillis(Status::Busy("no hint")), -1);
+  // BUSY must be a whole token, not a prefix.
+  EXPECT_EQ(DecodeReplyStatus("BUSYX").code(), Status::Code::kCorruption);
+}
+
+TEST(WireReplyTest, InternalAndBusyErrorTokensRoundTrip) {
+  const Status internal = Status::Internal("invariant violated");
+  const std::string internal_payload = EncodeErrorReply(internal);
+  EXPECT_NE(internal_payload.find("INTERNAL"), std::string::npos);
+  EXPECT_EQ(DecodeReplyStatus(internal_payload), internal);
+
+  const Status busy = Status::Busy("bucket empty; retry_after_ms=40");
+  const Status decoded = DecodeReplyStatus(EncodeErrorReply(busy));
+  EXPECT_TRUE(IsBusy(decoded)) << decoded.ToString();
+  EXPECT_EQ(BusyRetryAfterMillis(decoded), 40);
+}
+
+TEST(WireReplyTest, StatsReplyCarriesShedAndTenants) {
+  SessionManagerStats stats;
+  stats.current_version = 2;
+  stats.runs_shed = 7;
+  stats.tenants = 3;
+  Result<StatsReply> reply = ParseStatsReply(FormatStatsReply(stats));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->runs_shed, 7u);
+  EXPECT_EQ(reply->tenants, 3u);
+
+  // A payload from a pre-admission server (no shed=/tenants= tokens)
+  // still parses; the fields default to zero.
+  std::string legacy = FormatStatsReply(stats);
+  for (const std::string key : {" shed=7", " tenants=3"}) {
+    const size_t at = legacy.find(key);
+    ASSERT_NE(at, std::string::npos) << legacy;
+    legacy.erase(at, key.size());
+  }
+  Result<StatsReply> old = ParseStatsReply(legacy);
+  ASSERT_TRUE(old.ok()) << old.status().ToString();
+  EXPECT_EQ(old->runs_shed, 0u);
+  EXPECT_EQ(old->tenants, 0u);
+}
+
+// Server fixture with caller-chosen options (the stock ServerFixture runs
+// with admission off, as production defaults do).
+class AdmissionFixture : public ::testing::Test {
+ protected:
+  void StartServer(PragueServerOptions options) {
+    manager_ = std::make_unique<SessionManager>(FreshTinySnapshot());
+    options.port = 0;  // ephemeral
+    if (options.worker_threads == 0) options.worker_threads = 4;
+    server_ = std::make_unique<PragueServer>(manager_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+  Status ConnectClient(PragueClient* client) {
+    return client->Connect("127.0.0.1", server_->port());
+  }
+
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<PragueServer> server_;
+};
+
+TEST_F(AdmissionFixture, TenantRateLimitShedsRunsWithRetryAfter) {
+  PragueServerOptions options;
+  // Derived burst max(2 * rate, 4) = 4, then one token per 1000 seconds:
+  // no refill can land inside the test.
+  options.tenant_rate = 0.001;
+  StartServer(options);
+
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  ASSERT_TRUE(client.Open(-1, "hog").ok());
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  for (int i = 0; i < 4; ++i) {
+    Result<RunReply> r = client.Run();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+  }
+  Result<RunReply> shed = client.Run();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(IsBusy(shed.status())) << shed.status().ToString();
+  EXPECT_GE(BusyRetryAfterMillis(shed.status()), 1);
+
+  // Shedding is flow control, not an error: the connection and its session
+  // survive, and STATS reports the shed and the tracked tenant.
+  Result<StatsReply> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->runs_shed, 1u);
+  EXPECT_GE(stats->tenants, 1u);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(AdmissionFixture, SessionQuotaShedsSecondConnection) {
+  PragueServerOptions options;
+  options.max_sessions_per_tenant = 1;
+  StartServer(options);
+
+  PragueClient first;
+  ASSERT_TRUE(ConnectClient(&first).ok());
+  ASSERT_TRUE(first.Open(-1, "team").ok());
+
+  PragueClient second;
+  ASSERT_TRUE(ConnectClient(&second).ok());
+  Result<OpenReply> refused = second.Open(-1, "team");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(IsBusy(refused.status())) << refused.status().ToString();
+  EXPECT_GE(BusyRetryAfterMillis(refused.status()), 1);
+
+  // The shed connection is still usable: a different tenant fits.
+  Result<OpenReply> other = second.Open(-1, "other");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_TRUE(second.Close().ok());
+
+  // Closing the first session frees the slot. The release happens on the
+  // server's connection teardown, which the CLOSE reply slightly precedes,
+  // so honor the BUSY contract and retry briefly.
+  EXPECT_TRUE(first.Close().ok());
+  PragueClient third;
+  ASSERT_TRUE(ConnectClient(&third).ok());
+  Result<OpenReply> reopened = third.Open(-1, "team");
+  for (int attempt = 0; attempt < 200 && !reopened.ok(); ++attempt) {
+    ASSERT_TRUE(IsBusy(reopened.status())) << reopened.status().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    reopened = third.Open(-1, "team");
+  }
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(third.Close().ok());
+}
+
+TEST_F(AdmissionFixture, HostileTenantDoesNotStarveWellBehavedTenant) {
+  PragueServerOptions options;
+  options.tenant_rate = 0.001;  // burst of 4 per tenant
+  StartServer(options);
+
+  // The hostile tenant floods runs; only its burst is admitted.
+  PragueClient hostile;
+  ASSERT_TRUE(ConnectClient(&hostile).ok());
+  ASSERT_TRUE(hostile.Open(-1, "flood").ok());
+  ASSERT_TRUE(hostile.AddEdge(1, "C", 2, "S").ok());
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 12; ++i) {
+    Result<RunReply> r = hostile.Run();
+    if (r.ok()) {
+      ++admitted;
+    } else {
+      ASSERT_TRUE(IsBusy(r.status())) << r.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 8);
+
+  // The well-behaved tenant runs as if the flood never happened: its own
+  // bucket, its own quota.
+  PragueClient victim;
+  ASSERT_TRUE(ConnectClient(&victim).ok());
+  ASSERT_TRUE(victim.Open(-1, "victim").ok());
+  ASSERT_TRUE(victim.AddEdge(1, "C", 2, "S").ok());
+  for (int i = 0; i < 3; ++i) {
+    Result<RunReply> r = victim.Run();
+    EXPECT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+  }
+  EXPECT_TRUE(hostile.Close().ok());
+  EXPECT_TRUE(victim.Close().ok());
+}
+
+TEST_F(AdmissionFixture, AnonymousConnectionsGetTheirOwnTenants) {
+  PragueServerOptions options;
+  options.tenant_rate = 0.001;
+  StartServer(options);
+
+  PragueClient a;
+  PragueClient b;
+  ASSERT_TRUE(ConnectClient(&a).ok());
+  ASSERT_TRUE(ConnectClient(&b).ok());
+  ASSERT_TRUE(a.Open().ok());
+  ASSERT_TRUE(b.Open().ok());
+  ASSERT_TRUE(a.AddEdge(1, "C", 2, "S").ok());
+  ASSERT_TRUE(b.AddEdge(1, "C", 2, "S").ok());
+
+  // Draining a's bucket leaves b untouched: every unnamed connection is
+  // its own tenant.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(a.Run().ok()) << i;
+  Result<RunReply> shed = a.Run();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(IsBusy(shed.status())) << shed.status().ToString();
+  EXPECT_TRUE(b.Run().ok());
+  EXPECT_TRUE(a.Close().ok());
+  EXPECT_TRUE(b.Close().ok());
+}
+
+TEST_F(AdmissionFixture, PipelinedShedEchoesRequestId) {
+  PragueServerOptions options;
+  options.tenant_rate = 0.001;
+  StartServer(options);
+
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  ASSERT_TRUE(client.Open(-1, "pipeline").ok());
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    Result<uint64_t> id = client.StartRun();
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  // The first four fit the burst; the fifth is shed at enqueue, and its
+  // BUSY reply carries that request id, so the demultiplexer pairs it
+  // correctly while the admitted runs complete unharmed.
+  for (int i = 0; i < 4; ++i) {
+    Result<RunReply> r = client.WaitRun(ids[i]);
+    EXPECT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+  }
+  Result<RunReply> shed = client.WaitRun(ids[4]);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(IsBusy(shed.status())) << shed.status().ToString();
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(AdmissionFixture, AcceptShedsCleanlyOnFdExhaustion) {
+  StartServer(PragueServerOptions{});
+  PragueClient before;
+  ASSERT_TRUE(ConnectClient(&before).ok());
+  ASSERT_TRUE(before.Open().ok());
+
+  obs::Counter* sheds = obs::ServerMetrics::Get().accepts_shed_total;
+  const uint64_t sheds_before = sheds->Value();
+
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  tight.rlim_cur = std::min<rlim_t>(512, old_limit.rlim_max);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Hoard every free descriptor slot below the lowered limit...
+  std::vector<int> hoard;
+  for (;;) {
+    int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) {
+      ASSERT_EQ(errno, EMFILE);
+      break;
+    }
+    hoard.push_back(fd);
+  }
+  ASSERT_FALSE(hoard.empty());
+  // ...then free exactly one for the victim's client-side socket. The TCP
+  // handshake completes in the kernel regardless, but the server-side
+  // accept(2) has no descriptor left and hits EMFILE.
+  ::close(hoard.back());
+  hoard.pop_back();
+
+  int victim = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(victim, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(victim, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // The spare-descriptor path drains the pending connection and closes it
+  // instead of busy-spinning the accept loop: the victim sees a clean EOF
+  // (a timeout here would mean the connection was left parked in the
+  // backlog forever).
+  timeval timeout{10, 0};
+  ::setsockopt(victim, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char byte = 0;
+  EXPECT_EQ(::recv(victim, &byte, 1, 0), 0);
+  ::close(victim);
+
+  for (int fd : hoard) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+
+  EXPECT_GT(sheds->Value(), sheds_before);
+  // The crunch harmed nobody already connected...
+  EXPECT_TRUE(before.Stats().ok());
+  // ...and new connections are accepted again once descriptors return.
+  PragueClient after;
+  ASSERT_TRUE(ConnectClient(&after).ok());
+  EXPECT_TRUE(after.Open().ok());
+  EXPECT_TRUE(after.Close().ok());
+  EXPECT_TRUE(before.Close().ok());
+}
+
+TEST_F(AdmissionFixture, SlowReaderOutboundQueueCapClosesConnection) {
+  PragueServerOptions options;
+  options.max_outbound_bytes = 64 * 1024;
+  StartServer(options);
+
+  obs::Counter* drops = obs::ServerMetrics::Get().write_queue_drops_total;
+  const uint64_t drops_before = drops->Value();
+
+  // Pin a tiny receive buffer: with autotuning the kernel would grow the
+  // client's window to tens of megabytes and absorb the whole backlog.
+  RawConn conn(server_->port(), /*rcvbuf=*/16 * 1024);
+  ASSERT_GE(conn.fd, 0);
+  timeval timeout{30, 0};
+  ::setsockopt(conn.fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  Result<std::string> opened = conn.RoundTrip("OPEN");
+  ASSERT_TRUE(opened.ok() && DecodeReplyStatus(*opened).ok());
+
+  // Request far more reply bytes than the cap plus the server-side kernel
+  // send buffer, without reading any of it. Each METRICS reply is the full
+  // Prometheus exposition (kilobytes).
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(conn.SendPayload("METRICS").ok()) << i;
+  }
+
+  // Stay slow: do not read until the server has given up on us. The reply
+  // volume exceeds the kernel's absorption many times over, so the
+  // overflow is guaranteed once the server works through the requests.
+  for (int i = 0; i < 1000 && drops->Value() == drops_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(drops->Value(), drops_before);
+
+  // Drain: some OK replies that were in flight, then the typed error the
+  // server queued when it gave up on us, then EOF.
+  bool saw_typed_error = false;
+  for (;;) {
+    Result<WireFrame> frame = RecvFrame(conn.fd);
+    if (!frame.ok()) {
+      EXPECT_TRUE(IsConnectionClosed(frame.status()))
+          << frame.status().ToString();
+      break;
+    }
+    const Status status = DecodeReplyStatus(frame->payload);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition)
+          << frame->payload;
+      saw_typed_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_typed_error);
+  EXPECT_GT(drops->Value(), drops_before);
+}
+
+TEST_F(ServerFixture, HugeOpenTimeoutIsEffectivelyUnbounded) {
+  PragueClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  Result<OpenReply> open = client.Open(std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  Result<RunReply> run = client.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The budget saturates to the far future instead of wrapping negative
+  // (which used to make every run "already expired", hence truncated).
+  EXPECT_FALSE(run->truncated);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(ServerFixture, NegativeOpenTimeoutIsATypedWireError) {
+  RawConn conn(server_->port());
+  ASSERT_GE(conn.fd, 0);
+  Result<std::string> reply = conn.RoundTrip("OPEN -5");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const Status status = DecodeReplyStatus(*reply);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  // The rejection did not open a session: a well-formed OPEN still works.
+  Result<std::string> good = conn.RoundTrip("OPEN");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(DecodeReplyStatus(*good).ok());
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
 #include "util/bytes.h"
+#include "util/deadline_queue.h"
 #include "util/id_set.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -420,6 +423,58 @@ TEST(BytesTest, FrameHeaderRejectsOversizedLength) {
   r = DecodeFrameHeader(buf, sizeof(buf));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StatusTest, BusyIsItsOwnCode) {
+  Status busy = Status::Busy("shed by admission control");
+  EXPECT_FALSE(busy.ok());
+  EXPECT_EQ(busy.code(), Status::Code::kBusy);
+  EXPECT_NE(busy.ToString().find("shed"), std::string::npos);
+}
+
+TEST(DeadlineQueueTest, PopsInDeadlineOrder) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point base = Clock::now();
+  DeadlineQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  queue.Push(base + std::chrono::milliseconds(30), 3);
+  queue.Push(base + std::chrono::milliseconds(10), 1);
+  queue.Push(base + std::chrono::milliseconds(20), 2);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.earliest(), base + std::chrono::milliseconds(10));
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(DeadlineQueueTest, EqualDeadlinesPopFifo) {
+  const auto when = std::chrono::steady_clock::now();
+  DeadlineQueue<int> queue;
+  for (int i = 0; i < 8; ++i) queue.Push(when, i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.Pop(), i);
+}
+
+TEST(DeadlineQueueTest, UnboundedYieldsToEveryRealDeadline) {
+  const auto soon =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3600);
+  DeadlineQueue<int> queue;
+  queue.Push(DeadlineQueue<int>::Unbounded(), 99);
+  queue.Push(soon, 1);
+  queue.Push(DeadlineQueue<int>::Unbounded(), 100);
+  EXPECT_EQ(queue.Pop(), 1);
+  // Unbounded entries tie-break FIFO among themselves.
+  EXPECT_EQ(queue.Pop(), 99);
+  EXPECT_EQ(queue.Pop(), 100);
+}
+
+TEST(DeadlineQueueTest, MovesValuesOut) {
+  DeadlineQueue<std::unique_ptr<int>> queue;
+  queue.Push(DeadlineQueue<std::unique_ptr<int>>::Unbounded(),
+             std::make_unique<int>(7));
+  std::unique_ptr<int> out = queue.Pop();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
 }
 
 }  // namespace

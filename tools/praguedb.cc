@@ -99,7 +99,10 @@ int Usage() {
       "[--timeout-ms=N]\n"
       "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
       "[--threads=T] [--event-loop-threads=E] [--slow-query-ms=S] "
-      "[--shards=N]\n"
+      "[--shards=N] [--tenant-rate=R] [--max-runs-per-conn=N] "
+      "[--max-queued-bytes=B]\n"
+      "        (admission control: R runs/sec, N concurrent runs, B pending\n"
+      "         bytes per tenant; over-quota requests get BUSY, not queued)\n"
       "  praguedb shell --connect <host:port>\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
@@ -128,6 +131,23 @@ int64_t ExtractInt64Flag(int* argc, char** argv, const char* flag,
 // `--timeout-ms=N`; 0 (unbounded) when absent.
 int64_t ExtractTimeoutMs(int* argc, char** argv) {
   return ExtractInt64Flag(argc, argv, "--timeout-ms=", 0);
+}
+
+// ExtractInt64Flag for fractional values (e.g. --tenant-rate=0.5).
+double ExtractDoubleFlag(int* argc, char** argv, const char* flag,
+                         double absent) {
+  const size_t flag_len = std::strlen(flag);
+  double value = absent;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    if (std::strncmp(argv[r], flag, flag_len) == 0) {
+      value = std::strtod(argv[r] + flag_len, nullptr);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return value;
 }
 
 int Fail(const Status& st) {
@@ -566,6 +586,12 @@ int CmdServe(int argc, char** argv) {
   // --shards=N partitions the snapshot so every RUN scatters its phases
   // across N graph-id shards; results stay identical to --shards=1.
   int64_t shards = ExtractInt64Flag(&argc, argv, "--shards=", 1);
+  // Admission control (core/admission.h): all default off.
+  double tenant_rate = ExtractDoubleFlag(&argc, argv, "--tenant-rate=", 0);
+  int64_t max_runs_per_conn =
+      ExtractInt64Flag(&argc, argv, "--max-runs-per-conn=", 0);
+  int64_t max_queued_bytes =
+      ExtractInt64Flag(&argc, argv, "--max-queued-bytes=", 0);
   // Every known flag has been extracted; anything dash-prefixed left over
   // is a typo. Reject it before touching the data files so the mistake
   // surfaces as a usage error, not a runtime one.
@@ -597,6 +623,11 @@ int CmdServe(int argc, char** argv) {
   // override it per OPEN.
   options.default_run_deadline_ms = timeout_ms > 0 ? timeout_ms : -1;
   options.slow_query_ms = slow_query_ms;
+  options.tenant_rate = tenant_rate > 0 ? tenant_rate : 0;
+  options.max_runs_per_conn =
+      max_runs_per_conn > 0 ? static_cast<size_t>(max_runs_per_conn) : 0;
+  options.max_queued_bytes =
+      max_queued_bytes > 0 ? static_cast<size_t>(max_queued_bytes) : 0;
   PragueServer server(&manager, options);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
   std::string budget = timeout_ms > 0 ? std::to_string(timeout_ms) + " ms"
@@ -681,13 +712,16 @@ void PrintRun(const RunReply& run) {
 void PrintStats(const StatsReply& stats) {
   std::printf(
       "version %llu; %llu open sessions (%llu opened all-time); %llu "
-      "snapshots published; %llu runs served (%llu truncated)\n",
+      "snapshots published; %llu runs served (%llu truncated, %llu shed); "
+      "%llu tenants tracked\n",
       static_cast<unsigned long long>(stats.current_version),
       static_cast<unsigned long long>(stats.open_sessions),
       static_cast<unsigned long long>(stats.sessions_opened),
       static_cast<unsigned long long>(stats.snapshots_published),
       static_cast<unsigned long long>(stats.runs_served),
-      static_cast<unsigned long long>(stats.runs_truncated));
+      static_cast<unsigned long long>(stats.runs_truncated),
+      static_cast<unsigned long long>(stats.runs_shed),
+      static_cast<unsigned long long>(stats.tenants));
   for (const auto& [id, version] : stats.sessions) {
     std::printf("  session %llu pinned at version %llu\n",
                 static_cast<unsigned long long>(id),
