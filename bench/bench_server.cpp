@@ -20,8 +20,9 @@
 // processes because the per-process fd limit must cover both socket ends
 // when client and server share a process.
 //
-// Phases 3 (shard sweep) and 4 (hostile-tenant sweep) carry their own
-// block comments below.
+// Phases 3 (shard sweep), 4 (hostile-tenant sweep), and 5 (durability
+// sweep: fsync on/off × group-commit concurrency against a --data-dir
+// server) carry their own block comments below.
 //
 // Per-cell records go to BENCH_server.json (override the path with
 // PRAGUE_BENCH_JSON). PRAGUE_BENCH_TIMEOUT_MS bounds every Run() over the
@@ -45,6 +46,8 @@
 #include "obs/metrics.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
+#include "storage/fs_util.h"
+#include "storage/storage_engine.h"
 #include "util/stopwatch.h"
 
 using namespace prague;
@@ -516,6 +519,232 @@ void HostileSweep(const Workbench& bench,
   table.Print();
 }
 
+// Phase 5 — durability sweep: APPEND throughput and latency against a
+// --data-dir server, fsync on/off crossed with concurrent appender
+// clients. Every APPEND is acknowledged only after its WAL record is
+// durable (log-then-publish), so with fsync on the cell price is the
+// fsync — and the appends/fsync column shows group commit amortizing it
+// as concurrency grows (concurrent appenders share one leader fsync).
+// With fsync off the WAL is buffered writes only: the latency floor, at
+// the cost of the newest appends on crash. Each cell ends with the two
+// restart numbers the storage engine exists for: reopen with the cell's
+// WAL tail (replay is O(tail)) and reopen after a checkpoint (O(1) mmap,
+// no replay). σ-crossing repair is pinned off (reclassify=0) so cells
+// measure durability overhead, not index maintenance variance.
+void DurabilitySweep(const Workbench& bench, BenchJsonWriter& json) {
+  constexpr size_t kAppendsPerClient = 8;
+  const char* kPatterns[] = {
+      "(a:C)-(b:C), (b)-(c:O)",
+      "(a:C)-(b:N), (b)-(c:C)",
+      "(a:C)-(b:S)",
+      "(a:O)-(b:C), (b)-(c:C), (c)-(a)",
+  };
+  const std::string dir = "/tmp/prague_bench_durability_" +
+                          std::to_string(static_cast<unsigned long>(getpid()));
+  TablePrinter table({"fsync", "clients", "appends", "appends/s",
+                      "p50 (ms)", "p95 (ms)", "appends/fsync",
+                      "replay open (ms)", "ckpt open (ms)"});
+  for (bool sync : {true, false}) {
+    for (size_t clients : {1u, 4u, 16u}) {
+      // A fresh data directory per cell: sweep leftovers, re-bootstrap.
+      if (Result<std::vector<std::string>> files = storage::ListDir(dir);
+          files.ok()) {
+        for (const std::string& f : *files) {
+          (void)storage::RemoveFile(storage::JoinPath(dir, f));
+        }
+      }
+      storage::StorageOptions sopts;
+      sopts.sync = sync;
+      Result<std::unique_ptr<storage::StorageEngine>> boot =
+          storage::StorageEngine::Bootstrap(dir, *bench.snapshot, bench.alpha,
+                                            sopts);
+      if (!boot.ok()) {
+        std::fprintf(stderr, "durability sweep: %s\n",
+                     boot.status().ToString().c_str());
+        return;
+      }
+      std::shared_ptr<storage::StorageEngine> engine = std::move(*boot);
+      SessionManager manager(engine->recovered().snapshot);
+      manager.AttachStorage(engine);
+      PragueServerOptions options;
+      options.port = 0;
+      PragueServer server(&manager, options);
+      if (Status st = server.Start(); !st.ok()) {
+        std::fprintf(stderr, "durability sweep: %s\n", st.ToString().c_str());
+        return;
+      }
+
+      const storage::StorageStats before = engine->Stats();
+      std::vector<std::vector<double>> latencies(clients);
+      Stopwatch wall;
+      std::vector<std::thread> pool;
+      pool.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          PragueClient client;
+          if (!client.Connect("127.0.0.1", server.port()).ok()) std::abort();
+          if (!client.Open(TimeoutMs()).ok()) std::abort();
+          for (size_t i = 0; i < kAppendsPerClient; ++i) {
+            const size_t which = (c * kAppendsPerClient + i) %
+                                 (sizeof(kPatterns) / sizeof(kPatterns[0]));
+            Stopwatch one;
+            Result<AppendReply> reply =
+                client.Append({kPatterns[which]}, /*alpha=*/-1,
+                              /*reclassify=*/0);
+            if (!reply.ok()) std::abort();
+            latencies[c].push_back(one.ElapsedSeconds());
+          }
+          if (!client.Close().ok()) std::abort();
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      const double seconds = wall.ElapsedSeconds();
+      const storage::StorageStats after = engine->Stats();
+      server.Stop();
+
+      std::vector<double> all;
+      for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(all.begin(), all.end());
+      const size_t appends = clients * kAppendsPerClient;
+      const double rate = static_cast<double>(appends) / seconds;
+      const double p50 = Percentile(all, 0.50) * 1000;
+      const double p95 = Percentile(all, 0.95) * 1000;
+      const uint64_t syncs = after.wal_syncs - before.wal_syncs;
+      const double per_fsync =
+          syncs > 0 ? static_cast<double>(appends) / static_cast<double>(syncs)
+                    : 0.0;
+
+      // Restart with the cell's WAL tail: replay is O(appends logged).
+      engine.reset();  // release the directory before reopening
+      Stopwatch replay_open;
+      Result<std::unique_ptr<storage::StorageEngine>> reopened =
+          storage::StorageEngine::Open(dir, sopts);
+      const double replay_ms = replay_open.ElapsedSeconds() * 1000;
+      if (!reopened.ok()) {
+        std::fprintf(stderr, "durability sweep reopen: %s\n",
+                     reopened.status().ToString().c_str());
+        return;
+      }
+      const uint64_t replayed = (*reopened)->Stats().recovery_replayed_records;
+
+      // Checkpoint, then restart again: the O(1) mmap path, zero replay.
+      Status ckpt = (*reopened)->Checkpoint(*(*reopened)->recovered().snapshot,
+                                            bench.alpha);
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "durability sweep checkpoint: %s\n",
+                     ckpt.ToString().c_str());
+        return;
+      }
+      reopened->reset();
+      Stopwatch ckpt_open;
+      Result<std::unique_ptr<storage::StorageEngine>> fast =
+          storage::StorageEngine::Open(dir, sopts);
+      const double ckpt_ms = ckpt_open.ElapsedSeconds() * 1000;
+      if (!fast.ok() || (*fast)->Stats().recovery_replayed_records != 0) {
+        std::fprintf(stderr, "durability sweep: checkpointed open replayed\n");
+        return;
+      }
+
+      table.AddRow({sync ? "on" : "off", std::to_string(clients),
+                    std::to_string(appends), Fmt(rate, 1), Fmt(p50, 3),
+                    Fmt(p95, 3), Fmt(per_fsync, 1), Fmt(replay_ms, 2),
+                    Fmt(ckpt_ms, 2)});
+      json.Add(std::string("{\"phase\": \"durability\", \"fsync\": ") +
+               (sync ? "true" : "false") +
+               ", \"clients\": " + std::to_string(clients) +
+               ", \"appends\": " + std::to_string(appends) +
+               ", \"appends_per_sec\": " + Fmt(rate, 2) +
+               ", \"append_p50_ms\": " + Fmt(p50, 4) +
+               ", \"append_p95_ms\": " + Fmt(p95, 4) +
+               ", \"wal_appends\": " +
+               std::to_string(after.wal_appends - before.wal_appends) +
+               ", \"wal_syncs\": " + std::to_string(syncs) +
+               ", \"appends_per_fsync\": " + Fmt(per_fsync, 2) +
+               ", \"wal_bytes\": " + std::to_string(after.wal_bytes) +
+               ", \"replay_open_ms\": " + Fmt(replay_ms, 3) +
+               ", \"replayed_records\": " + std::to_string(replayed) +
+               ", \"checkpoint_open_ms\": " + Fmt(ckpt_ms, 3) + "}");
+    }
+  }
+  // Leave no bench litter behind.
+  if (Result<std::vector<std::string>> files = storage::ListDir(dir);
+      files.ok()) {
+    for (const std::string& f : *files) {
+      (void)storage::RemoveFile(storage::JoinPath(dir, f));
+    }
+  }
+  table.Print();
+
+  // Raw WAL group commit: the server path above serializes appends on the
+  // SessionManager writer lock (one fsync each), so the leader/follower
+  // fsync sharing only shows where it lives — concurrent WalWriter::Append
+  // calls. N threads race records into one log; the records/fsync column
+  // is the amortization factor pipelined mutations would enjoy.
+  constexpr size_t kRecordsPerThread = 64;
+  const std::string payload(4096, 'x');
+  TablePrinter wal_table({"threads", "records", "records/s", "p50 (ms)",
+                          "records/fsync"});
+  for (size_t threads : {1u, 4u, 16u}) {
+    const std::string wal_path = dir + ".wal";
+    (void)storage::RemoveFile(wal_path);
+    storage::WalWriterOptions wopts;
+    wopts.sync = true;
+    Result<std::unique_ptr<storage::WalWriter>> writer =
+        storage::WalWriter::Open(wal_path, 0, wopts);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "wal sweep: %s\n",
+                   writer.status().ToString().c_str());
+      return;
+    }
+    std::vector<std::vector<double>> latencies(threads);
+    Stopwatch wall;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (size_t i = 0; i < kRecordsPerThread; ++i) {
+          Stopwatch one;
+          if (!(*writer)
+                   ->Append(storage::WalRecordType::kAppendGraphs, payload)
+                   .ok()) {
+            std::abort();
+          }
+          latencies[t].push_back(one.ElapsedSeconds());
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double seconds = wall.ElapsedSeconds();
+    const size_t records = threads * kRecordsPerThread;
+    const double rate = static_cast<double>(records) / seconds;
+    std::vector<double> all;
+    for (const auto& per_thread : latencies) {
+      all.insert(all.end(), per_thread.begin(), per_thread.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double p50 = Percentile(all, 0.50) * 1000;
+    const uint64_t syncs = (*writer)->syncs();
+    const double per_fsync =
+        syncs > 0 ? static_cast<double>(records) / static_cast<double>(syncs)
+                  : 0.0;
+    wal_table.AddRow({std::to_string(threads), std::to_string(records),
+                      Fmt(rate, 1), Fmt(p50, 3), Fmt(per_fsync, 1)});
+    json.Add("{\"phase\": \"wal_group_commit\", \"threads\": " +
+             std::to_string(threads) +
+             ", \"records\": " + std::to_string(records) +
+             ", \"payload_bytes\": " + std::to_string(payload.size()) +
+             ", \"records_per_sec\": " + Fmt(rate, 2) +
+             ", \"append_p50_ms\": " + Fmt(p50, 4) +
+             ", \"wal_syncs\": " + std::to_string(syncs) +
+             ", \"records_per_fsync\": " + Fmt(per_fsync, 2) + "}");
+    writer->reset();
+    (void)storage::RemoveFile(wal_path);
+  }
+  wal_table.Print();
+}
+
 }  // namespace
 
 int main() {
@@ -554,6 +783,10 @@ int main() {
   // hostile flood, and under the same flood with admission control on.
   HostileSweep(bench, queries, similarity.empty() ? queries : similarity,
                json);
+
+  // Durability sweep (own --data-dir servers): APPEND latency with fsync
+  // on/off, group-commit amortization, and the two restart paths.
+  DurabilitySweep(bench, json);
   std::printf("wrote %s\n", json.path().c_str());
   return 0;
 }

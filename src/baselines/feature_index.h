@@ -41,7 +41,7 @@ class FeatureIndex {
   std::optional<uint32_t> Lookup(const CanonicalCode& code) const;
   /// \brief FSG ids of a feature.
   const IdSet& FsgIds(uint32_t id) const { return fsg_ids_[id]; }
-  /// \brief Per-graph embedding counts, parallel to FsgIds(id).ids().
+  /// \brief Per-graph embedding counts, parallel to FsgIds(id).span().
   /// Grafil/SIGMA's count-based bounds consume these.
   const std::vector<uint32_t>& Counts(uint32_t id) const {
     return counts_[id];

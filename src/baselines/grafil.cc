@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <span>
 #include <map>
 #include <vector>
 
@@ -95,7 +96,7 @@ IdSet GrafilLikeEngine::Filter(const Graph& q, int sigma,
   // indexed per-graph embedding count.
   std::vector<int> hits(db_->size(), 0);
   for (const auto& [fid, f] : features) {
-    const std::vector<GraphId>& gids = index_->FsgIds(fid).ids();
+    std::span<const GraphId> gids = index_->FsgIds(fid).span();
     const std::vector<uint32_t>& counts = index_->Counts(fid);
     for (size_t i = 0; i < gids.size(); ++i) {
       hits[gids[i]] += std::min<int>(f.multiplicity,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <span>
 #include <map>
 #include <vector>
 
@@ -103,7 +104,7 @@ IdSet SigmaLikeEngine::Filter(const Graph& q, int sigma,
   }
   std::vector<int> hits(db_->size(), 0);
   for (size_t i = 0; i < fids.size(); ++i) {
-    const std::vector<GraphId>& gids = index_->FsgIds(fids[i]).ids();
+    std::span<const GraphId> gids = index_->FsgIds(fids[i]).span();
     const std::vector<uint32_t>& counts = index_->Counts(fids[i]);
     int cq = static_cast<int>(occurrences[fids[i]].size());
     for (size_t j = 0; j < gids.size(); ++j) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <span>
 #include <unordered_set>
 
 #include "graph/verifier.h"
@@ -29,7 +30,7 @@ std::vector<GraphId> ExactVerification(const Graph& q, const IdSet& rq,
                                        ThreadPool* pool,
                                        const Deadline& deadline,
                                        VerificationOutcome* outcome) {
-  const std::vector<GraphId>& ids = rq.ids();
+  std::span<const GraphId> ids = rq.span();
   const bool bounded = deadline.CanExpire();
   VerificationOutcome local;
   std::vector<GraphId> out;
@@ -190,7 +191,7 @@ std::vector<SimilarMatch> SimilarResultsGen(
       if (!pending.empty()) {
         std::vector<const Graph*> fragments =
             DistinctLevelFragments(spigs, level);
-        const std::vector<GraphId>& ids = pending.ids();
+        std::span<const GraphId> ids = pending.span();
         if (pool != nullptr && pool->size() > 1 && ids.size() > 16) {
           // Parallel MCCS checks; appended in id order afterwards so the
           // output matches the sequential path exactly. decided[i] == 0

@@ -97,19 +97,74 @@ Status SessionManager::PublishInternal(SnapshotPtr next, bool cow_successor) {
 }
 
 Result<MaintenanceReport> SessionManager::Append(
-    std::vector<Graph> graphs, double alpha,
+    std::vector<Graph> graphs, const MaintenanceOptions& options,
     const LabelDictionary* graph_labels) {
   // One writer at a time: without this, two concurrent appends would both
   // build successors of the same base and the second publish would lose
   // the first one's graphs.
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   SnapshotPtr base = current();
+
+  // Durable mode captures the batch for the WAL before the graphs are
+  // consumed. Node labels travel as names so replay re-interns them
+  // deterministically whatever dictionary it starts from.
+  storage::AppendPayload payload;
+  if (storage_ != nullptr) {
+    payload.options = options;
+    payload.label_names =
+        (graph_labels != nullptr ? *graph_labels : base->labels()).names();
+    payload.graphs = graphs;
+  }
+
   Result<SnapshotAppendResult> appended =
-      AppendGraphs(*base, std::move(graphs), alpha, graph_labels);
+      AppendGraphs(*base, std::move(graphs), options, graph_labels);
   if (!appended.ok()) return appended.status();
+
+  if (storage_ != nullptr) {
+    // Log-then-publish: the record must be durable before any session can
+    // observe the successor. A failure here leaves the published state
+    // unchanged — the caller sees the error, nothing was acknowledged.
+    payload.to_version = appended.value().report.to_version;
+    PRAGUE_RETURN_NOT_OK(storage_->LogAppend(payload));
+    last_append_alpha_ = options.alpha;
+  }
+
   PRAGUE_RETURN_NOT_OK(
       PublishInternal(appended.value().snapshot, /*cow_successor=*/true));
   return appended.value().report;
+}
+
+Result<MaintenanceReport> SessionManager::Append(
+    std::vector<Graph> graphs, double alpha,
+    const LabelDictionary* graph_labels) {
+  MaintenanceOptions options;
+  options.alpha = alpha;
+  return Append(std::move(graphs), options, graph_labels);
+}
+
+void SessionManager::AttachStorage(
+    std::shared_ptr<storage::StorageEngine> engine) {
+  // Lock order everywhere is writer_mu_ → mu_ (Append takes writer_mu_
+  // then reads current() under mu_). storage_ is read under either lock,
+  // so the write holds both.
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_ = std::move(engine);
+  if (storage_ != nullptr) {
+    // Until the first append, checkpoints re-record the α the persisted
+    // index was built with.
+    last_append_alpha_ = storage_->recovered().manifest.alpha;
+  }
+}
+
+Status SessionManager::Checkpoint() {
+  // writer_mu_ keeps a concurrent Append from publishing a version newer
+  // than the one we checkpoint while the rotation is mid-flight.
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no storage engine attached");
+  }
+  return storage_->Checkpoint(*current(), last_append_alpha_);
 }
 
 SessionManagerStats SessionManager::Stats() const {
@@ -124,6 +179,12 @@ SessionManagerStats SessionManager::Stats() const {
   const AdmissionStats admission = admission_.Stats();
   stats.runs_shed = admission.runs_shed;
   stats.tenants = admission.tenants;
+  if (storage_ != nullptr) {
+    const storage::StorageStats durability = storage_->Stats();
+    stats.durable = true;
+    stats.wal_bytes = durability.wal_bytes;
+    stats.last_checkpoint_version = durability.last_checkpoint_version;
+  }
   for (const auto& [id, weak] : sessions_) {
     if (std::shared_ptr<ManagedSession> session = weak.lock()) {
       ++stats.open_sessions;

@@ -35,6 +35,7 @@
 #include "core/prague_session.h"
 #include "index/database_snapshot.h"
 #include "index/index_maintenance.h"
+#include "storage/storage_engine.h"
 #include "util/result.h"
 
 namespace prague {
@@ -140,6 +141,12 @@ struct SessionManagerStats {
   uint64_t runs_shed = 0;
   /// Tenants (connection groups) the admission controller is tracking.
   size_t tenants = 0;
+  /// True when a StorageEngine is attached (durable mode).
+  bool durable = false;
+  /// WAL bytes accumulated since the last checkpoint (0 when not durable).
+  uint64_t wal_bytes = 0;
+  /// Snapshot version of the live segment (0 when not durable).
+  uint64_t last_checkpoint_version = 0;
   /// Live sessions grouped by the version they pinned — shows how many
   /// readers each retained snapshot is still serving.
   std::map<uint64_t, size_t> sessions_by_version;
@@ -189,9 +196,34 @@ class SessionManager {
   /// concurrent Append() calls; never blocks Open() or running sessions
   /// for the duration of the index update. See index_maintenance.h for
   /// \p graph_labels.
+  ///
+  /// With a StorageEngine attached the append is log-then-publish: the
+  /// WAL record is fsync-durable before the successor becomes visible, so
+  /// a crash never loses an acknowledged append (a record written but not
+  /// yet published simply replays on recovery).
+  Result<MaintenanceReport> Append(std::vector<Graph> graphs,
+                                   const MaintenanceOptions& options,
+                                   const LabelDictionary* graph_labels =
+                                       nullptr);
+
+  /// \brief Detection-only convenience overload (no reclassification).
   Result<MaintenanceReport> Append(std::vector<Graph> graphs, double alpha,
                                    const LabelDictionary* graph_labels =
                                        nullptr);
+
+  /// \brief Makes this manager durable: appends log to \p engine's WAL
+  /// before publishing. Call once, before serving (typically with the
+  /// snapshot recovered from the same engine as \p initial).
+  void AttachStorage(std::shared_ptr<storage::StorageEngine> engine);
+  /// \brief The attached engine, or null when running in-memory.
+  const std::shared_ptr<storage::StorageEngine>& storage() const {
+    return storage_;
+  }
+
+  /// \brief Checkpoints the current snapshot into the attached engine
+  /// (new segment, truncated WAL). InvalidArgument when no engine is
+  /// attached. Serialized against Append().
+  Status Checkpoint();
 
   /// \brief Counters plus live sessions grouped by pinned version.
   SessionManagerStats Stats() const;
@@ -249,7 +281,14 @@ class SessionManager {
   // outside mu_ and a shed decision never contends with Open()/Publish().
   AdmissionController admission_;
 
-  std::mutex writer_mu_;  // serializes Append()
+  // Durable mode. Set once by AttachStorage before serving; the engine is
+  // internally synchronized, and writer_mu_ already serializes the
+  // log-then-publish sequence. last_append_alpha_ (guarded by writer_mu_)
+  // is the α recorded in the manifest at the next Checkpoint().
+  std::shared_ptr<storage::StorageEngine> storage_;
+  double last_append_alpha_ = 0.1;
+
+  std::mutex writer_mu_;  // serializes Append() and Checkpoint()
 };
 
 }  // namespace prague

@@ -30,6 +30,10 @@
 
 namespace prague {
 
+namespace storage {
+class SegmentIO;
+}  // namespace storage
+
 /// Identifier of a vertex in the A2F index (the paper's a2fId).
 using A2fId = uint32_t;
 
@@ -119,6 +123,7 @@ class A2FIndex {
   size_t beta_ = 8;
 
   friend class IndexSerializer;
+  friend class storage::SegmentIO;
 };
 
 }  // namespace prague

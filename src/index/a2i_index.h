@@ -20,6 +20,10 @@
 
 namespace prague {
 
+namespace storage {
+class SegmentIO;
+}  // namespace storage
+
 /// Identifier of an entry in the A2I index (the paper's a2iId).
 using A2iId = uint32_t;
 
@@ -65,6 +69,7 @@ class A2IIndex {
   std::unordered_map<CanonicalCode, A2iId> by_code_;
 
   friend class IndexSerializer;
+  friend class storage::SegmentIO;
 };
 
 }  // namespace prague

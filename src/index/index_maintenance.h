@@ -7,13 +7,29 @@
 // pruning (a fragment can only occur in the new graph if all of its
 // one-edge-smaller subfragments do).
 //
-// What it cannot do incrementally is change the fragment *sets*: as |D|
-// grows the min-support threshold moves, so some indexed frequent
-// fragments may fall below it and some DIFs may rise above it (and brand
-// new fragments may become frequent). The maintainer detects and reports
-// this drift so callers can schedule a full re-mine; until then the
-// indexes remain *sound* (every id set is exact; candidate generation
-// stays a superset of the truth) but their pruning power slowly decays.
+// Changing the fragment *sets* is the harder problem: as |D| grows the
+// min-support threshold σ moves, so some indexed frequent fragments fall
+// below it, some DIFs rise above it, and brand new fragments may become
+// frequent. Two modes handle this:
+//
+//  - Detection only (the default, and the historical behavior): the
+//    maintainer reports the drift so callers can schedule a full re-mine;
+//    until then the indexes remain *sound* (every id set is exact;
+//    candidate generation stays a superset of the truth) but their pruning
+//    power slowly decays.
+//
+//  - Reclassification (MaintenanceOptions::reclassify): the σ-crossing is
+//    repaired in place. Fragments whose support fell below the new σ are
+//    demoted out of the A2F (becoming DIFs when every maximal subgraph
+//    stays frequent); DIFs whose support rose to σ are promoted into the
+//    A2F; and a *localized* re-mine grows the promoted fragments one edge
+//    at a time — enumerating embeddings only inside the graphs of the
+//    parent's FSG set — to discover fragments that became frequent without
+//    ever having been indexed. Appends only raise supports, so every
+//    classification change is reachable from a promoted DIF (upward) or a
+//    demotion sweep (downward); no global re-mine is needed. The result is
+//    the same fragment population an offline re-mine would classify, with
+//    identical exact id sets (tests/test_maintenance.cc pins this down).
 
 #ifndef PRAGUE_INDEX_INDEX_MAINTENANCE_H_
 #define PRAGUE_INDEX_INDEX_MAINTENANCE_H_
@@ -28,6 +44,20 @@
 
 namespace prague {
 
+/// \brief How one AppendGraphs call maintains the indexes.
+struct MaintenanceOptions {
+  /// α — the mining ratio the indexes were built with (recomputes the
+  /// threshold σ = max(1, ⌈α·|D|⌉) after the append).
+  double alpha = 0.1;
+  /// Growth cap for localized re-mining (mirrors
+  /// MiningConfig::max_fragment_edges); fragments beyond this size are
+  /// never grown.
+  size_t max_fragment_edges = 10;
+  /// Repair σ-crossings in place (see the file comment) instead of only
+  /// reporting them.
+  bool reclassify = false;
+};
+
 /// \brief What one AppendGraphs call did.
 struct MaintenanceReport {
   size_t graphs_added = 0;
@@ -41,8 +71,17 @@ struct MaintenanceReport {
   size_t probes = 0;
   /// Probes skipped because a subfragment was already absent.
   size_t pruned_probes = 0;
-  /// True when any classification drifted — schedule a re-mine.
+  /// True when any classification drifted — schedule a re-mine. Always
+  /// false after a reclassifying append (the drift was repaired).
   bool remine_recommended = false;
+  /// True when the reclassification delta path ran and repaired a drift.
+  bool reclassified = false;
+  /// DIFs promoted into the A2F by reclassification.
+  size_t promoted_fragments = 0;
+  /// A2F vertices demoted out by reclassification (σ rose past them).
+  size_t demoted_fragments = 0;
+  /// Previously unindexed fragments the localized re-mine found frequent.
+  size_t discovered_fragments = 0;
   /// Snapshot version the append started from (0 for the in-place API).
   uint64_t from_version = 0;
   /// Snapshot version the append published (0 for the in-place API).
@@ -51,9 +90,14 @@ struct MaintenanceReport {
 
 /// \brief Appends \p graphs to \p db and updates \p indexes in place.
 ///
-/// \p alpha is the mining ratio the indexes were built with (used to
-/// recompute the threshold and detect drift). Graphs must be connected
-/// and non-empty. On error nothing is modified.
+/// Graphs must be connected and non-empty. On error nothing is modified.
+Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
+                                       std::vector<Graph> graphs,
+                                       ActionAwareIndexes* indexes,
+                                       const MaintenanceOptions& options);
+
+/// \brief Detection-only overload (no reclassification): the historical
+/// API, kept for callers that schedule full re-mines themselves.
 Result<MaintenanceReport> AppendGraphs(GraphDatabase* db,
                                        std::vector<Graph> graphs,
                                        ActionAwareIndexes* indexes,
@@ -76,6 +120,12 @@ struct SnapshotAppendResult {
 /// successor's dictionary (edge labels are passed through unchanged, as
 /// praguedb's graph files share one edge-label space). When null the
 /// graphs must already use \p base's label ids.
+Result<SnapshotAppendResult> AppendGraphs(
+    const DatabaseSnapshot& base, std::vector<Graph> graphs,
+    const MaintenanceOptions& options,
+    const LabelDictionary* graph_labels = nullptr);
+
+/// \brief Detection-only COW overload (no reclassification).
 Result<SnapshotAppendResult> AppendGraphs(
     const DatabaseSnapshot& base, std::vector<Graph> graphs, double alpha,
     const LabelDictionary* graph_labels = nullptr);

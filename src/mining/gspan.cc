@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <cmath>
 #include <deque>
 #include <map>
@@ -81,7 +82,7 @@ IdSet GidsOf(const std::vector<const Pdfs*>& projections) {
 std::vector<uint32_t> CountsOf(const std::vector<const Pdfs*>& projections,
                                const IdSet& gids) {
   std::vector<uint32_t> counts(gids.size(), 0);
-  const std::vector<GraphId>& ids = gids.ids();
+  std::span<const GraphId> ids = gids.span();
   for (const Pdfs* p : projections) {
     auto it = std::lower_bound(ids.begin(), ids.end(), p->gid);
     counts[static_cast<size_t>(it - ids.begin())]++;
@@ -280,7 +281,7 @@ class Miner {
 }  // namespace
 
 uint32_t MinedFragment::EmbeddingCount(GraphId gid) const {
-  const std::vector<GraphId>& ids = fsg_ids.ids();
+  std::span<const GraphId> ids = fsg_ids.span();
   auto it = std::lower_bound(ids.begin(), ids.end(), gid);
   if (it == ids.end() || *it != gid) return 0;
   size_t pos = static_cast<size_t>(it - ids.begin());

@@ -40,7 +40,7 @@ struct MinedFragment {
   Graph graph;
   CanonicalCode code;
   IdSet fsg_ids;
-  /// Embedding count per containing graph, parallel to fsg_ids.ids().
+  /// Embedding count per containing graph, parallel to fsg_ids.span().
   /// (Feature-count filters — Grafil/SIGMA — need these.)
   std::vector<uint32_t> embedding_counts;
 

@@ -213,6 +213,7 @@ ServerMetrics& ServerMetrics::Get() {
     m->cmd_run_total = reg.GetCounter("prague_server_cmd_run_total");
     m->cmd_batch_run_total =
         reg.GetCounter("prague_server_cmd_batch_run_total");
+    m->cmd_append_total = reg.GetCounter("prague_server_cmd_append_total");
     m->cmd_cancel_total = reg.GetCounter("prague_server_cmd_cancel_total");
     m->cmd_stats_total = reg.GetCounter("prague_server_cmd_stats_total");
     m->cmd_metrics_total = reg.GetCounter("prague_server_cmd_metrics_total");

@@ -234,6 +234,7 @@ struct ServerMetrics {
   Counter* cmd_delete_edge_total;
   Counter* cmd_run_total;
   Counter* cmd_batch_run_total;
+  Counter* cmd_append_total;
   Counter* cmd_cancel_total;
   Counter* cmd_stats_total;
   Counter* cmd_metrics_total;

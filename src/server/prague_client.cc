@@ -265,6 +265,23 @@ Result<BatchRunReply> PragueClient::BatchRun(
   return WaitBatchRun(id);
 }
 
+Result<AppendReply> PragueClient::Append(
+    const std::vector<std::string>& patterns, double alpha, int reclassify) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  if (patterns.empty() || patterns.size() > kMaxBatchPatterns) {
+    return Status::InvalidArgument(
+        "APPEND takes between 1 and " + std::to_string(kMaxBatchPatterns) +
+        " graphs, got " + std::to_string(patterns.size()));
+  }
+  WireCommand cmd;
+  cmd.kind = CommandKind::kAppend;
+  cmd.batch_patterns = patterns;
+  cmd.append_alpha = alpha;
+  cmd.append_reclassify = reclassify;
+  PRAGUE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(cmd));
+  return ParseAppendReply(payload);
+}
+
 Result<StatsReply> PragueClient::Stats() {
   WireCommand cmd;
   cmd.kind = CommandKind::kStats;

@@ -113,6 +113,16 @@ class PragueClient {
   Result<BatchRunReply> BatchRun(const std::vector<std::string>& patterns,
                                  uint64_t limit = 0);
 
+  /// \brief APPEND: durably adds a batch of data graphs (textual pattern
+  /// syntax — new label names are allowed and interned server-side). The
+  /// reply arrives only after the batch is WAL-durable on a `--data-dir`
+  /// server and the successor snapshot is published. \p alpha > 0
+  /// overrides the server's mining ratio for this batch; \p reclassify
+  /// 0/1 overrides its σ-crossing repair default (-1 keeps either
+  /// default). Lock-step, like Run().
+  Result<AppendReply> Append(const std::vector<std::string>& patterns,
+                             double alpha = -1, int reclassify = -1);
+
   /// \brief Session id / pinned version from the last successful Open().
   uint64_t session_id() const { return session_id_; }
   uint64_t session_version() const { return session_version_; }

@@ -53,6 +53,8 @@ obs::Counter* CommandCounter(CommandKind kind) {
       return sm.cmd_run_total;
     case CommandKind::kBatchRun:
       return sm.cmd_batch_run_total;
+    case CommandKind::kAppend:
+      return sm.cmd_append_total;
     case CommandKind::kCancel:
       return sm.cmd_cancel_total;
     case CommandKind::kStats:
@@ -941,7 +943,11 @@ void PragueServer::HandleCommand(const std::shared_ptr<Connection>& conn,
       return;
     }
     case CommandKind::kRun:
-    case CommandKind::kBatchRun: {
+    case CommandKind::kBatchRun:
+    // APPEND rides the run queue: its body (index maintenance + WAL
+    // fsync) must not block the event loop, and queueing it keeps the
+    // one-reply-in-flight contract for lock-step clients.
+    case CommandKind::kAppend: {
       EnqueueRun(conn, cmd);
       return;
     }
@@ -1103,9 +1109,18 @@ void PragueServer::SchedulerWorker() {
       }
     }
     if (ticket == nullptr) continue;
-    std::string reply = ticket->cmd.kind == CommandKind::kRun
-                            ? ExecuteRun(*conn, ticket->cmd)
-                            : ExecuteBatchRun(*conn, ticket->cmd);
+    std::string reply;
+    switch (ticket->cmd.kind) {
+      case CommandKind::kRun:
+        reply = ExecuteRun(*conn, ticket->cmd);
+        break;
+      case CommandKind::kBatchRun:
+        reply = ExecuteBatchRun(*conn, ticket->cmd);
+        break;
+      default:
+        reply = ExecuteAppend(*conn, ticket->cmd);
+        break;
+    }
     bool requeue = false;
     std::chrono::steady_clock::time_point key;
     {
@@ -1210,6 +1225,32 @@ std::string PragueServer::ExecuteBatchRun(Connection& conn,
   sm.batch_latency_us->Record(
       static_cast<uint64_t>(timer.ElapsedMillis() * 1000 + 0.5));
   return FormatBatchRunReply(members);
+}
+
+std::string PragueServer::ExecuteAppend(Connection& conn,
+                                        const WireCommand& cmd) {
+  (void)conn;
+  MaintenanceOptions options;
+  options.alpha =
+      cmd.append_alpha > 0 ? cmd.append_alpha : options_.default_append_alpha;
+  options.reclassify = cmd.append_reclassify >= 0
+                           ? cmd.append_reclassify != 0
+                           : options_.append_reclassify;
+  // APPEND graphs may introduce labels the snapshot has never seen, so the
+  // batch parses against a private dictionary that Append() merges into the
+  // successor snapshot (ParsePatternStrict would reject them).
+  LabelDictionary batch_labels;
+  std::vector<Graph> graphs;
+  graphs.reserve(cmd.batch_patterns.size());
+  for (const std::string& text : cmd.batch_patterns) {
+    Result<ParsedPattern> parsed = ParsePattern(text, &batch_labels);
+    if (!parsed.ok()) return EncodeErrorReply(parsed.status());
+    graphs.push_back(std::move(parsed->graph));
+  }
+  Result<MaintenanceReport> report =
+      manager_->Append(std::move(graphs), options, &batch_labels);
+  if (!report.ok()) return EncodeErrorReply(report.status());
+  return FormatAppendReply(*report);
 }
 
 }  // namespace prague

@@ -86,6 +86,12 @@ struct PragueServerOptions {
   /// Cap on id-carrying runs in flight per connection (queued + active);
   /// frames beyond it are rejected with FailedPrecondition.
   size_t max_pipelined_runs = 64;
+  /// Mining ratio α applied to APPEND commands without an alpha= token
+  /// (the σ-recomputation after each durable append).
+  double default_append_alpha = 0.1;
+  /// Whether APPEND repairs σ-crossings in place (index_maintenance.h
+  /// reclassification) when the command has no reclassify= token.
+  bool append_reclassify = true;
 
   // ---- Admission control & load shedding (core/admission.h). All 0 =
   // off; over-quota requests are answered `BUSY <retry-after-ms>`.
@@ -153,6 +159,7 @@ class PragueServer {
                           std::chrono::steady_clock::time_point key);
   std::string ExecuteRun(Connection& conn, const WireCommand& cmd);
   std::string ExecuteBatchRun(Connection& conn, const WireCommand& cmd);
+  std::string ExecuteAppend(Connection& conn, const WireCommand& cmd);
 
   SessionManager* manager_;
   PragueServerOptions options_;

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace prague {
@@ -340,6 +341,63 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
             std::to_string(cmd.batch_patterns.size()) + " lines");
       }
     }
+  } else if (verb == "APPEND") {
+    cmd.kind = CommandKind::kAppend;
+    expected_min = 2;
+    expected_max = 4;
+    if (tokens.size() >= 2) {
+      PRAGUE_ASSIGN_OR_RETURN(uint64_t n,
+                              ParseNumber<uint64_t>(tokens[1], "APPEND n"));
+      if (n < 1 || n > kMaxBatchPatterns) {
+        return Status::InvalidArgument(
+            "APPEND n must be in [1, " + std::to_string(kMaxBatchPatterns) +
+            "], got " + std::to_string(n));
+      }
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        constexpr std::string_view kAlphaKey = "alpha=";
+        constexpr std::string_view kReclassifyKey = "reclassify=";
+        if (tokens[i].substr(0, kAlphaKey.size()) == kAlphaKey) {
+          std::string text(tokens[i].substr(kAlphaKey.size()));
+          char* end = nullptr;
+          cmd.append_alpha = std::strtod(text.c_str(), &end);
+          if (end != text.c_str() + text.size() || text.empty() ||
+              !(cmd.append_alpha > 0) || cmd.append_alpha > 1) {
+            return Status::InvalidArgument("APPEND alpha= must be in (0, 1]");
+          }
+        } else if (tokens[i].substr(0, kReclassifyKey.size()) ==
+                   kReclassifyKey) {
+          std::string_view value = tokens[i].substr(kReclassifyKey.size());
+          if (value == "0") {
+            cmd.append_reclassify = 0;
+          } else if (value == "1") {
+            cmd.append_reclassify = 1;
+          } else {
+            return Status::InvalidArgument("APPEND reclassify= must be 0 or 1");
+          }
+        } else {
+          return Status::InvalidArgument("APPEND: unknown token '" +
+                                         std::string(tokens[i]) + "'");
+        }
+      }
+      // The n lines after the command line are the data graphs.
+      std::string_view lines = extra_lines;
+      while (!lines.empty()) {
+        size_t eol = lines.find('\n');
+        std::string_view line =
+            eol == std::string_view::npos ? lines : lines.substr(0, eol);
+        if (line.empty()) {
+          return Status::InvalidArgument("APPEND: empty graph line");
+        }
+        cmd.batch_patterns.emplace_back(line);
+        lines = eol == std::string_view::npos ? std::string_view()
+                                              : lines.substr(eol + 1);
+      }
+      if (cmd.batch_patterns.size() != n) {
+        return Status::InvalidArgument(
+            "APPEND: header says " + std::to_string(n) + " graphs, got " +
+            std::to_string(cmd.batch_patterns.size()) + " lines");
+      }
+    }
   } else if (verb == "CANCEL") {
     cmd.kind = CommandKind::kCancel;
     expected_max = 2;
@@ -369,7 +427,8 @@ Result<WireCommand> ParseCommand(std::string_view payload) {
         std::to_string(tokens.size() - 1));
   }
   if (newline != std::string_view::npos &&
-      cmd.kind != CommandKind::kBatchRun) {
+      cmd.kind != CommandKind::kBatchRun &&
+      cmd.kind != CommandKind::kAppend) {
     return Status::InvalidArgument(std::string(verb) +
                                    ": unexpected multi-line payload");
   }
@@ -416,6 +475,24 @@ std::string FormatCommand(const WireCommand& command) {
                  ? "CANCEL " + std::to_string(command.cancel_id)
                  : "CANCEL";
       break;
+    case CommandKind::kAppend: {
+      body = "APPEND " + std::to_string(command.batch_patterns.size());
+      if (command.append_alpha > 0) {
+        char alpha[64];
+        std::snprintf(alpha, sizeof(alpha), "%.17g", command.append_alpha);
+        body += " alpha=";
+        body += alpha;
+      }
+      if (command.append_reclassify >= 0) {
+        body += " reclassify=";
+        body += command.append_reclassify ? '1' : '0';
+      }
+      for (const std::string& pattern : command.batch_patterns) {
+        body += '\n';
+        body += pattern;
+      }
+      break;
+    }
     case CommandKind::kStats:
       body = "STATS";
       break;
@@ -682,6 +759,45 @@ Result<BatchRunReply> ParseBatchRunReply(std::string_view payload) {
   return reply;
 }
 
+std::string FormatAppendReply(const MaintenanceReport& report) {
+  return "OK version=" + std::to_string(report.to_version) +
+         " added=" + std::to_string(report.graphs_added) +
+         " sigma=" + std::to_string(report.new_min_support) +
+         " reclassified=" + (report.reclassified ? "1" : "0") +
+         " promoted=" + std::to_string(report.promoted_fragments) +
+         " demoted=" + std::to_string(report.demoted_fragments) +
+         " discovered=" + std::to_string(report.discovered_fragments);
+}
+
+Result<AppendReply> ParseAppendReply(std::string_view payload) {
+  PRAGUE_ASSIGN_OR_RETURN(auto tokens, OkReplyTokens(payload));
+  AppendReply reply;
+  PRAGUE_ASSIGN_OR_RETURN(auto version, ReplyValue(tokens, "version"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.version,
+                          ParseNumber<uint64_t>(version, "version"));
+  PRAGUE_ASSIGN_OR_RETURN(auto added, ReplyValue(tokens, "added"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.added, ParseNumber<uint64_t>(added, "added"));
+  PRAGUE_ASSIGN_OR_RETURN(auto sigma, ReplyValue(tokens, "sigma"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.min_support,
+                          ParseNumber<uint64_t>(sigma, "sigma"));
+  PRAGUE_ASSIGN_OR_RETURN(auto reclassified,
+                          ReplyValue(tokens, "reclassified"));
+  if (reclassified != "0" && reclassified != "1") {
+    return Status::Corruption("reclassified= must be 0 or 1");
+  }
+  reply.reclassified = reclassified == "1";
+  PRAGUE_ASSIGN_OR_RETURN(auto promoted, ReplyValue(tokens, "promoted"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.promoted,
+                          ParseNumber<uint64_t>(promoted, "promoted"));
+  PRAGUE_ASSIGN_OR_RETURN(auto demoted, ReplyValue(tokens, "demoted"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.demoted,
+                          ParseNumber<uint64_t>(demoted, "demoted"));
+  PRAGUE_ASSIGN_OR_RETURN(auto discovered, ReplyValue(tokens, "discovered"));
+  PRAGUE_ASSIGN_OR_RETURN(reply.discovered,
+                          ParseNumber<uint64_t>(discovered, "discovered"));
+  return reply;
+}
+
 std::string FormatStatsReply(const SessionManagerStats& stats) {
   std::string out = "OK version=" + std::to_string(stats.current_version) +
                     " open=" + std::to_string(stats.open_sessions) +
@@ -691,8 +807,14 @@ std::string FormatStatsReply(const SessionManagerStats& stats) {
                     " truncated=" + std::to_string(stats.runs_truncated) +
                     " shards=" + std::to_string(stats.shards) +
                     " shed=" + std::to_string(stats.runs_shed) +
-                    " tenants=" + std::to_string(stats.tenants) +
-                    " sessions=";
+                    " tenants=" + std::to_string(stats.tenants);
+  // Durability tokens appear only on durable servers, keeping in-memory
+  // payloads byte-identical to the legacy grammar.
+  if (stats.durable) {
+    out += " wal_bytes=" + std::to_string(stats.wal_bytes) +
+           " last_checkpoint=" + std::to_string(stats.last_checkpoint_version);
+  }
+  out += " sessions=";
   out += JoinList(stats.open_session_infos, 0,
                   [](const OpenSessionInfo& info) {
                     return std::to_string(info.id) + '@' +
@@ -737,6 +859,19 @@ Result<StatsReply> ParseStatsReply(std::string_view payload) {
       tenants.ok()) {
     PRAGUE_ASSIGN_OR_RETURN(reply.tenants,
                             ParseNumber<uint64_t>(*tenants, "tenants"));
+  }
+  // wal_bytes=/last_checkpoint= appear only on durable servers; their
+  // absence (legacy or in-memory payloads) parses as durable=false.
+  if (Result<std::string_view> wal = ReplyValue(tokens, "wal_bytes");
+      wal.ok()) {
+    reply.durable = true;
+    PRAGUE_ASSIGN_OR_RETURN(reply.wal_bytes,
+                            ParseNumber<uint64_t>(*wal, "wal_bytes"));
+    PRAGUE_ASSIGN_OR_RETURN(auto checkpoint,
+                            ReplyValue(tokens, "last_checkpoint"));
+    PRAGUE_ASSIGN_OR_RETURN(
+        reply.last_checkpoint_version,
+        ParseNumber<uint64_t>(checkpoint, "last_checkpoint"));
   }
   PRAGUE_ASSIGN_OR_RETURN(auto sessions, ReplyValue(tokens, "sessions"));
   for (std::string_view item : SplitList(sessions)) {

@@ -19,9 +19,14 @@
 //                                  srt_ms=<t> ids=<...>
 //   BATCH_RUN n [k]\n<p1>\n...  -> OK batch n=<n>\n<member reply lines>
 //   CANCEL [id]                 -> (no reply — see below)
+//   APPEND n [alpha=<a>] [reclassify=<0|1>]\n<g1>\n...
+//                               -> OK version=<v> added=<n> sigma=<s>
+//                                  reclassified=<0|1> promoted=<n>
+//                                  demoted=<n> discovered=<n>
 //   STATS                       -> OK version=<v> open=<n> opened=<n>
 //                                  published=<n> runs=<n> truncated=<n>
 //                                  shards=<n> shed=<n> tenants=<n>
+//                                  [wal_bytes=<n> last_checkpoint=<v>]
 //                                  sessions=<id>@<ver>,...
 //   METRICS                     -> OK metrics\n<Prometheus text>
 //   CLOSE                       -> OK bye
@@ -68,6 +73,24 @@
 // run budget individually; a CANCEL lands on the member in flight and
 // fails the rest fast, so a batch never outlives a cancellation by more
 // than one member.
+//
+// APPEND is the durable mutation verb: each of the n lines after the
+// command line is one data graph in the textual pattern syntax of
+// query/pattern_parser.h (new label names are allowed — they are interned
+// into the published successor's dictionary). The whole batch is one
+// atomic append: one WAL record, one successor snapshot, one version.
+// The reply is sent only after the record is durable (when the server
+// runs with a data directory and fsync on), so an acknowledged APPEND
+// survives a crash. `alpha=` overrides the server's mining ratio for the
+// σ-recomputation; `reclassify=` overrides whether σ-crossings are
+// repaired in place (the server default) or merely detected. Sessions
+// opened before the append keep their pinned snapshot; the new version is
+// visible to sessions opened afterwards — STATS shows both.
+//
+// STATS on a durable server also reports `wal_bytes=` (WAL growth since
+// the last checkpoint) and `last_checkpoint=` (the segment's version);
+// both tokens are absent on an in-memory server and parsers tolerate
+// that, so legacy payloads still parse.
 //
 // CANCEL is the one intentionally asymmetric command: it is fire-and-
 // forget, carries no reply, and may be sent while a RUN is in flight on
@@ -128,6 +151,7 @@ enum class CommandKind {
   kRun,
   kBatchRun,
   kCancel,
+  kAppend,
   kStats,
   kMetrics,
   kClose,
@@ -151,8 +175,11 @@ struct WireCommand {
   Label edge_label = 0;     ///< ADD_EDGE edge label
   uint64_t limit = 0;       ///< RUN / BATCH_RUN: max matches listed; 0 = all
   uint64_t cancel_id = 0;   ///< CANCEL: run to cancel; 0 = all in flight
-  /// BATCH_RUN: one pattern text (query/pattern_parser.h) per member.
+  /// BATCH_RUN / APPEND: one pattern text (query/pattern_parser.h) per
+  /// member (queries for BATCH_RUN, data graphs for APPEND).
   std::vector<std::string> batch_patterns;
+  double append_alpha = -1;   ///< APPEND: mining ratio; < 0 = server default
+  int append_reclassify = -1; ///< APPEND: 0/1 override; -1 = server default
 };
 
 /// \brief Splits the optional `#<id>` prefix off a request or reply
@@ -243,6 +270,19 @@ struct BatchRunReply {
 std::string FormatBatchRunReply(const std::vector<std::string>& member_payloads);
 Result<BatchRunReply> ParseBatchRunReply(std::string_view payload);
 
+/// \brief APPEND reply — the wire image of a MaintenanceReport.
+struct AppendReply {
+  uint64_t version = 0;        ///< snapshot version the append published
+  uint64_t added = 0;          ///< graphs appended
+  uint64_t min_support = 0;    ///< σ after the append
+  bool reclassified = false;   ///< σ-crossings repaired in place
+  uint64_t promoted = 0;       ///< DIFs promoted into the A2F
+  uint64_t demoted = 0;        ///< A2F vertices demoted out
+  uint64_t discovered = 0;     ///< newly frequent fragments found
+};
+std::string FormatAppendReply(const MaintenanceReport& report);
+Result<AppendReply> ParseAppendReply(std::string_view payload);
+
 /// \brief STATS reply — the wire image of SessionManagerStats, including
 /// the open sessions and their pinned versions.
 struct StatsReply {
@@ -255,6 +295,9 @@ struct StatsReply {
   uint64_t shards = 1;          ///< shard count of the server's current view
   uint64_t runs_shed = 0;       ///< runs refused with BUSY by admission
   uint64_t tenants = 0;         ///< tenants the admission controller tracks
+  bool durable = false;         ///< wal_bytes=/last_checkpoint= present
+  uint64_t wal_bytes = 0;       ///< WAL bytes since the last checkpoint
+  uint64_t last_checkpoint_version = 0;  ///< live segment's version
   /// (session id, pinned version), ascending by id.
   std::vector<std::pair<uint64_t, uint64_t>> sessions;
 };

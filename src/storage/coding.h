@@ -1,0 +1,104 @@
+// Little-endian byte codecs for the on-disk format (docs/STORAGE.md).
+//
+// Extends the fixed-width integer idiom of util/bytes.h (EncodeU32LE /
+// DecodeU32LE) with the wider types and the length-prefixed strings the
+// WAL payloads and segment metadata blocks need. Every encode is byte-wise
+// little-endian, so files are portable across hosts; every decode is
+// bounds-checked and returns Corruption instead of reading past the end —
+// a truncated or bit-flipped block can never walk the reader out of its
+// buffer.
+
+#ifndef PRAGUE_STORAGE_CODING_H_
+#define PRAGUE_STORAGE_CODING_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace prague::storage {
+
+/// \brief Appends fixed-width little-endian values to a growing buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    uint8_t buf[4];
+    EncodeU32LE(v, buf);
+    out_.append(reinterpret_cast<const char*>(buf), 4);
+  }
+  void PutU64(uint64_t v) {
+    PutU32(static_cast<uint32_t>(v));
+    PutU32(static_cast<uint32_t>(v >> 32));
+  }
+  /// \brief IEEE-754 bits, little-endian (doubles round-trip exactly).
+  void PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+  /// \brief u32 length followed by the raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  /// \brief Raw bytes, no length prefix (caller frames them).
+  void PutRaw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& buffer() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// \brief Bounds-checked reader over an encoded buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    if (data_.size() - pos_ < 1) return Truncated("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (data_.size() - pos_ < 4) return Truncated("u32");
+    uint32_t v =
+        DecodeU32LE(reinterpret_cast<const uint8_t*>(data_.data()) + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t lo, U32());
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t hi, U32());
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+  Result<double> Double() {
+    PRAGUE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    return std::bit_cast<double>(bits);
+  }
+  Result<std::string_view> String() {
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (data_.size() - pos_ < n) return Truncated("string");
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated encoding reading ") +
+                              what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_CODING_H_

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// WAL record and segment block in the on-disk format (docs/STORAGE.md).
+//
+// CRC32C rather than plain CRC32 for the same reason LevelDB/RocksDB chose
+// it: better error-detection properties for short records, and hardware
+// support (SSE4.2 / ARMv8) when someone later wants it. This is the
+// portable table-driven (slicing-by-8) software implementation — storage
+// checksums are computed once per fsync'd record, nowhere near a query
+// hot path.
+
+#ifndef PRAGUE_STORAGE_CRC32C_H_
+#define PRAGUE_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prague::storage {
+
+/// \brief Extends \p crc (a previous Crc32c result, or 0) with \p n bytes.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+/// \brief CRC32C of one buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return ExtendCrc32c(0, data, n);
+}
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_CRC32C_H_

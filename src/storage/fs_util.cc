@@ -1,0 +1,148 @@
+#include "storage/fs_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prague::storage {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  // Create each prefix in turn; EEXIST at any level is fine.
+  for (size_t i = 1; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError(dir + " is not a directory");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + " does not exist");
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) st = Errno("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+Status WriteFileDurable(const std::string& dir, const std::string& name,
+                        const std::string& contents) {
+  const std::string tmp_path = JoinPath(dir, name + ".tmp");
+  const std::string final_path = JoinPath(dir, name);
+  int fd = ::open(tmp_path.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", tmp_path);
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write", tmp_path);
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync", tmp_path);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) return Errno("close", tmp_path);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status st = Errno("rename", tmp_path);
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  return SyncDir(dir);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound(path + " does not exist");
+    return Errno("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat(JoinPath(dir, name).c_str(), &st) == 0 &&
+        S_ISREG(st.st_mode)) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace prague::storage

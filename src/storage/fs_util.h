@@ -1,0 +1,51 @@
+// Small POSIX filesystem helpers shared by the storage engine: durable
+// whole-file writes (write-temp, fsync, rename, fsync-directory), reads,
+// and directory maintenance. Centralized here so every caller gets the
+// same crash-safety discipline — a file named by the manifest is only ever
+// observed complete or absent, never half-written.
+
+#ifndef PRAGUE_STORAGE_FS_UTIL_H_
+#define PRAGUE_STORAGE_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague::storage {
+
+/// \brief Joins \p dir and \p name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+/// \brief True iff \p path exists (any file type).
+bool PathExists(const std::string& path);
+
+/// \brief Creates \p dir (and parents) if absent.
+Status EnsureDir(const std::string& dir);
+
+/// \brief Reads the whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// \brief Durably replaces dir/name: writes dir/name.tmp, fsyncs it,
+/// renames over dir/name, and fsyncs the directory so the rename itself
+/// survives a crash. The destination is never observable half-written.
+Status WriteFileDurable(const std::string& dir, const std::string& name,
+                        const std::string& contents);
+
+/// \brief fsyncs a directory (making renames/creates/unlinks durable).
+Status SyncDir(const std::string& dir);
+
+/// \brief Removes a file; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+/// \brief Size of a regular file in bytes (NotFound when absent).
+Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief Names of regular files directly inside \p dir (no recursion).
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_FS_UTIL_H_

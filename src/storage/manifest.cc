@@ -1,0 +1,82 @@
+#include "storage/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+
+namespace prague::storage {
+
+namespace {
+
+// %.17g round-trips every double exactly (and stays human-readable).
+std::string FormatAlpha(double alpha) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", alpha);
+  return buf;
+}
+
+}  // namespace
+
+Status SaveManifest(const std::string& dir, const Manifest& manifest) {
+  std::string body;
+  body += "PRAGUE_MANIFEST " + std::to_string(manifest.format_version) + "\n";
+  body += "version " + std::to_string(manifest.snapshot_version) + "\n";
+  body += "alpha " + FormatAlpha(manifest.alpha) + "\n";
+  body += "segment " + manifest.segment_file + "\n";
+  body += "wal " + manifest.wal_file + "\n";
+  body += "crc " + std::to_string(Crc32c(body.data(), body.size())) + "\n";
+  return WriteFileDurable(dir, kManifestFileName, body);
+}
+
+Result<Manifest> LoadManifest(const std::string& dir) {
+  Result<std::string> contents =
+      ReadFile(JoinPath(dir, kManifestFileName));
+  if (!contents.ok()) return contents.status();
+  const std::string& text = contents.value();
+
+  // The CRC line seals everything before it.
+  size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos || (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::Corruption("manifest missing crc line");
+  }
+  uint32_t stored_crc = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %" SCNu32, &stored_crc) != 1) {
+    return Status::Corruption("manifest has malformed crc line");
+  }
+  if (Crc32c(text.data(), crc_pos) != stored_crc) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+
+  std::istringstream in(text.substr(0, crc_pos));
+  Manifest m;
+  std::string tag;
+  if (!(in >> tag >> m.format_version) || tag != "PRAGUE_MANIFEST") {
+    return Status::Corruption("bad manifest header");
+  }
+  if (m.format_version != 1) {
+    return Status::NotSupported("manifest format version " +
+                                std::to_string(m.format_version));
+  }
+  if (!(in >> tag >> m.snapshot_version) || tag != "version") {
+    return Status::Corruption("bad manifest version line");
+  }
+  if (!(in >> tag >> m.alpha) || tag != "alpha") {
+    return Status::Corruption("bad manifest alpha line");
+  }
+  if (!(in >> tag >> m.segment_file) || tag != "segment") {
+    return Status::Corruption("bad manifest segment line");
+  }
+  if (!(in >> tag >> m.wal_file) || tag != "wal") {
+    return Status::Corruption("bad manifest wal line");
+  }
+  if (m.segment_file.find('/') != std::string::npos ||
+      m.wal_file.find('/') != std::string::npos) {
+    return Status::Corruption("manifest file names must be relative");
+  }
+  return m;
+}
+
+}  // namespace prague::storage

@@ -1,0 +1,62 @@
+// Manifest: the one file naming the live on-disk state of a data
+// directory — which segment holds the checkpointed snapshot, which WAL
+// file carries the tail, and the snapshot version the segment was written
+// at (the WAL watermark: replay applies only records past it).
+//
+// The manifest is the atomicity point of the checkpoint protocol
+// (docs/STORAGE.md): it is replaced with write-temp + fsync + rename +
+// fsync-directory, so a reader observes either the old state or the new
+// state, never a mix. Files not named by the current manifest are garbage
+// from an interrupted checkpoint and are swept on open.
+//
+// Text format (one token pair per line, CRC-sealed):
+//
+//   PRAGUE_MANIFEST 1
+//   version <snapshot version of the segment>
+//   alpha <mining ratio the index was built with>
+//   segment <file name>
+//   wal <file name>
+//   crc <crc32c of everything above>
+
+#ifndef PRAGUE_STORAGE_MANIFEST_H_
+#define PRAGUE_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague::storage {
+
+/// File name of the manifest inside a data directory.
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// \brief The live-state record of one data directory.
+struct Manifest {
+  /// On-disk format version (bumped only on incompatible layout changes).
+  uint64_t format_version = 1;
+  /// Snapshot version stored in the segment — the WAL watermark.
+  uint64_t snapshot_version = 0;
+  /// Mining ratio α the persisted index was built with.
+  double alpha = 0.1;
+  /// Segment file name (relative to the data directory).
+  std::string segment_file;
+  /// WAL file name (relative to the data directory).
+  std::string wal_file;
+
+  bool operator==(const Manifest&) const = default;
+};
+
+/// \brief Loads and validates the manifest of \p dir. NotFound when the
+/// directory has never been initialized; Corruption on CRC or format
+/// damage (a half-written manifest is impossible by construction, so
+/// damage means real corruption, not a crash artifact).
+Result<Manifest> LoadManifest(const std::string& dir);
+
+/// \brief Atomically replaces the manifest of \p dir.
+Status SaveManifest(const std::string& dir, const Manifest& manifest);
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_MANIFEST_H_

@@ -1,0 +1,158 @@
+#include "storage/recovery.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "storage/coding.h"
+#include "storage/fs_util.h"
+#include "storage/wal.h"
+#include "util/logging.h"
+
+namespace prague::storage {
+
+namespace {
+
+obs::Counter* RecoveryReplayedRecords() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "prague_storage_recovery_replayed_records");
+  return c;
+}
+
+}  // namespace
+
+std::string EncodeAppendPayload(const AppendPayload& payload) {
+  ByteWriter out;
+  out.PutU64(payload.to_version);
+  out.PutDouble(payload.options.alpha);
+  out.PutU64(payload.options.max_fragment_edges);
+  out.PutU8(payload.options.reclassify ? 1 : 0);
+  out.PutU32(static_cast<uint32_t>(payload.label_names.size()));
+  for (const std::string& name : payload.label_names) out.PutString(name);
+  out.PutU32(static_cast<uint32_t>(payload.graphs.size()));
+  for (const Graph& g : payload.graphs) {
+    out.PutU32(static_cast<uint32_t>(g.NodeCount()));
+    for (Label l : g.node_labels()) out.PutU32(l);
+    out.PutU32(static_cast<uint32_t>(g.EdgeCount()));
+    for (const Edge& e : g.edges()) {
+      out.PutU32(e.u);
+      out.PutU32(e.v);
+      out.PutU32(e.label);
+    }
+  }
+  return std::move(out).Take();
+}
+
+Result<AppendPayload> DecodeAppendPayload(std::string_view bytes) {
+  ByteReader in(bytes);
+  AppendPayload payload;
+  PRAGUE_ASSIGN_OR_RETURN(payload.to_version, in.U64());
+  PRAGUE_ASSIGN_OR_RETURN(payload.options.alpha, in.Double());
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t max_edges, in.U64());
+  payload.options.max_fragment_edges = max_edges;
+  PRAGUE_ASSIGN_OR_RETURN(uint8_t reclassify, in.U8());
+  payload.options.reclassify = reclassify != 0;
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t label_count, in.U32());
+  payload.label_names.reserve(label_count);
+  for (uint32_t i = 0; i < label_count; ++i) {
+    PRAGUE_ASSIGN_OR_RETURN(std::string_view name, in.String());
+    payload.label_names.emplace_back(name);
+  }
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t graph_count, in.U32());
+  payload.graphs.reserve(graph_count);
+  for (uint32_t gi = 0; gi < graph_count; ++gi) {
+    GraphBuilder b;
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t node_count, in.U32());
+    for (uint32_t n = 0; n < node_count; ++n) {
+      PRAGUE_ASSIGN_OR_RETURN(Label label, in.U32());
+      if (label >= label_count) {
+        return Status::Corruption("append payload: node label out of range");
+      }
+      b.AddNode(label);
+    }
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t edge_count, in.U32());
+    for (uint32_t e = 0; e < edge_count; ++e) {
+      PRAGUE_ASSIGN_OR_RETURN(uint32_t u, in.U32());
+      PRAGUE_ASSIGN_OR_RETURN(uint32_t v, in.U32());
+      PRAGUE_ASSIGN_OR_RETURN(Label label, in.U32());
+      if (u >= node_count || v >= node_count) {
+        return Status::Corruption("append payload: edge endpoint out of range");
+      }
+      Result<EdgeId> added = b.AddEdge(u, v, label);
+      if (!added.ok()) {
+        return Status::Corruption("append payload: " +
+                                  added.status().message());
+      }
+    }
+    payload.graphs.push_back(std::move(b).Build());
+  }
+  if (!in.exhausted()) {
+    return Status::Corruption("append payload: trailing bytes");
+  }
+  return payload;
+}
+
+Result<RecoveredState> Recover(const std::string& dir,
+                               const RecoveryOptions& options) {
+  RecoveredState state;
+  PRAGUE_ASSIGN_OR_RETURN(state.manifest, LoadManifest(dir));
+
+  SegmentReadOptions seg_options;
+  seg_options.verify_postings_crc = options.verify_postings_crc;
+  PRAGUE_ASSIGN_OR_RETURN(
+      OpenedSegment segment,
+      OpenSegment(JoinPath(dir, state.manifest.segment_file), seg_options));
+  if (segment.snapshot->version() != state.manifest.snapshot_version) {
+    return Status::Corruption(
+        "segment version " + std::to_string(segment.snapshot->version()) +
+        " disagrees with manifest version " +
+        std::to_string(state.manifest.snapshot_version));
+  }
+  state.snapshot = std::move(segment.snapshot);
+  state.mapping = std::move(segment.mapping);
+  state.posting_bytes = segment.posting_bytes;
+
+  const std::string wal_path = JoinPath(dir, state.manifest.wal_file);
+  Result<WalReadResult> wal = ReadWal(wal_path);
+  if (!wal.ok()) {
+    // A missing WAL file means a crash landed between segment publication
+    // and WAL creation — the checkpoint protocol orders WAL creation
+    // before the manifest rename, so this is genuine damage.
+    return wal.status();
+  }
+  state.wal_valid_bytes = wal->valid_bytes;
+  state.wal_tail_dropped = wal->tail_dropped;
+  if (wal->tail_dropped) {
+    PRAGUE_LOG(Warning) << wal->tail_warning;
+  }
+
+  for (const WalRecord& record : wal->records) {
+    if (record.type != WalRecordType::kAppendGraphs) {
+      return Status::Corruption("WAL record of unknown type " +
+                                std::to_string(static_cast<int>(record.type)));
+    }
+    PRAGUE_ASSIGN_OR_RETURN(AppendPayload payload,
+                            DecodeAppendPayload(record.payload));
+    const uint64_t current = state.snapshot->version();
+    if (payload.to_version <= current) continue;  // already in the segment
+    if (payload.to_version != current + 1) {
+      return Status::Corruption(
+          "WAL gap: next record produces version " +
+          std::to_string(payload.to_version) + " but snapshot is at " +
+          std::to_string(current));
+    }
+    LabelDictionary batch_labels;
+    for (const std::string& name : payload.label_names) {
+      batch_labels.Intern(name);
+    }
+    PRAGUE_ASSIGN_OR_RETURN(
+        SnapshotAppendResult applied,
+        AppendGraphs(*state.snapshot, std::move(payload.graphs),
+                     payload.options, &batch_labels));
+    state.snapshot = std::move(applied.snapshot);
+    ++state.replayed_records;
+    RecoveryReplayedRecords()->Increment();
+  }
+  return state;
+}
+
+}  // namespace prague::storage

@@ -1,0 +1,88 @@
+// Crash recovery: rebuild the latest acknowledged state of a data
+// directory from its manifest, segment, and WAL tail.
+//
+// Recovery = mmap the manifest's segment (O(metadata) — no re-mining, no
+// posting copy) + replay the WAL records past the segment's snapshot
+// version through the same incremental AppendGraphs path the live server
+// uses. Because every WAL record carries the version it produced, replay
+// is idempotent: records at or below the segment version are skipped, a
+// gap in the sequence is corruption (the WAL and segment disagree about
+// history), and the final snapshot version equals the last record's.
+//
+// This header also defines the kAppendGraphs WAL payload codec. Node
+// labels travel as *names* (re-interned on replay in encounter order), so
+// a replayed append produces bit-identical label ids to the original run
+// regardless of what the live dictionary looked like when the record was
+// written; edge labels are raw ids sharing one global space (praguedb's
+// file convention).
+
+#ifndef PRAGUE_STORAGE_RECOVERY_H_
+#define PRAGUE_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/database_snapshot.h"
+#include "index/index_maintenance.h"
+#include "storage/manifest.h"
+#include "storage/segment.h"
+#include "util/result.h"
+
+namespace prague::storage {
+
+/// \brief Decoded form of one kAppendGraphs WAL record.
+struct AppendPayload {
+  /// Snapshot version this append produced (the replay watermark).
+  uint64_t to_version = 0;
+  /// Maintenance options the original append ran with; replay uses the
+  /// same ones so the replayed indexes are bit-identical.
+  MaintenanceOptions options;
+  /// Node-label names, dense in the ids the graphs below use.
+  std::vector<std::string> label_names;
+  /// The appended graphs (node labels index label_names).
+  std::vector<Graph> graphs;
+};
+
+/// \brief Serializes an append batch into a WAL payload.
+std::string EncodeAppendPayload(const AppendPayload& payload);
+
+/// \brief Decodes a kAppendGraphs payload (Corruption on damage).
+Result<AppendPayload> DecodeAppendPayload(std::string_view bytes);
+
+/// \brief Options for Recover.
+struct RecoveryOptions {
+  /// Forwarded to OpenSegment (full posting-region checksum scan).
+  bool verify_postings_crc = false;
+};
+
+/// \brief The state a data directory recovered to.
+struct RecoveredState {
+  /// Latest durable snapshot: segment state plus every replayed append.
+  SnapshotPtr snapshot;
+  /// The mapping the segment-resident id-sets borrow from.
+  std::shared_ptr<MappedSegment> mapping;
+  /// Bytes of the segment's zero-copy posting region.
+  uint64_t posting_bytes = 0;
+  /// The manifest that was recovered against.
+  Manifest manifest;
+  /// Byte length of the WAL's valid prefix (a torn tail is excluded and
+  /// truncated away by the next WalWriter::Open).
+  uint64_t wal_valid_bytes = 0;
+  /// WAL records actually applied (skipped duplicates not counted).
+  size_t replayed_records = 0;
+  /// True when a torn/corrupt WAL tail was detected and dropped.
+  bool wal_tail_dropped = false;
+};
+
+/// \brief Recovers \p dir: loads the manifest, maps the segment, replays
+/// the WAL tail. NotFound when the directory was never bootstrapped.
+Result<RecoveredState> Recover(const std::string& dir,
+                               const RecoveryOptions& options = {});
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_RECOVERY_H_

@@ -1,0 +1,372 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "graph/dfs_code.h"
+#include "index/a2f_index.h"
+#include "index/a2i_index.h"
+#include "index/action_aware_index.h"
+#include "storage/coding.h"
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+#include "util/bytes.h"
+
+namespace prague::storage {
+
+// The posting region is reinterpreted in place as GraphId (u32) values, so
+// the on-disk little-endian format is only directly mappable on
+// little-endian hosts. Fail the build loudly elsewhere rather than
+// corrupting silently.
+static_assert(std::endian::native == std::endian::little,
+              "segment mmap fast path requires a little-endian host");
+static_assert(sizeof(GraphId) == 4, "posting region assumes 32-bit ids");
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+uint64_t DecodeU64LE(const uint8_t* p) {
+  return static_cast<uint64_t>(DecodeU32LE(p)) |
+         (static_cast<uint64_t>(DecodeU32LE(p + 4)) << 32);
+}
+
+// An element range within the posting region.
+struct PostingRef {
+  uint64_t start = 0;
+  uint64_t count = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<MappedSegment>> MappedSegment::Map(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("segment " + path);
+    return Errno("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kSegmentHeaderBytes) {
+    ::close(fd);
+    return Status::Corruption("segment " + path + " shorter than header (" +
+                              std::to_string(size) + " bytes)");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive on its own.
+  if (base == MAP_FAILED) return Errno("mmap", path);
+  return std::shared_ptr<MappedSegment>(new MappedSegment(base, size));
+}
+
+MappedSegment::~MappedSegment() { ::munmap(base_, size_); }
+
+// Private-member access point (befriended by A2FIndex / A2IIndex).
+class SegmentIO {
+ public:
+  static Status Encode(const DatabaseSnapshot& snapshot, std::string* blob);
+  static Result<OpenedSegment> Decode(std::shared_ptr<MappedSegment> mapping,
+                                      const std::string& path,
+                                      const SegmentReadOptions& options);
+};
+
+Status SegmentIO::Encode(const DatabaseSnapshot& snapshot, std::string* blob) {
+  const GraphDatabase& db = snapshot.db();
+  const ActionAwareIndexes& indexes = snapshot.indexes();
+  const A2FIndex& a2f = indexes.a2f;
+  const A2IIndex& a2i = indexes.a2i;
+
+  // Postings are gathered in metadata-encounter order; every reference is
+  // an element (not byte) range.
+  std::vector<GraphId> postings;
+  auto add_postings = [&postings](const IdSet& set) {
+    PostingRef ref{postings.size(), set.size()};
+    std::span<const GraphId> ids = set.span();
+    postings.insert(postings.end(), ids.begin(), ids.end());
+    return ref;
+  };
+
+  ByteWriter meta;
+  meta.PutU64(snapshot.version());
+  meta.PutU64(indexes.min_support);
+  meta.PutU64(a2f.beta());
+
+  const LabelDictionary& labels = db.labels();
+  meta.PutU32(static_cast<uint32_t>(labels.size()));
+  for (const std::string& name : labels.names()) meta.PutString(name);
+
+  meta.PutU32(static_cast<uint32_t>(db.size()));
+  for (GraphId gid = 0; gid < db.size(); ++gid) {
+    const Graph& g = db.graph(gid);
+    meta.PutU32(static_cast<uint32_t>(g.NodeCount()));
+    for (Label l : g.node_labels()) meta.PutU32(l);
+    meta.PutU32(static_cast<uint32_t>(g.EdgeCount()));
+    for (const Edge& e : g.edges()) {
+      meta.PutU32(e.u);
+      meta.PutU32(e.v);
+      meta.PutU32(e.label);
+    }
+  }
+
+  meta.PutU32(static_cast<uint32_t>(a2f.VertexCount()));
+  for (const A2fVertex& v : a2f.vertices_) {
+    meta.PutString(v.code);
+    meta.PutU8(v.in_mf ? 1 : 0);
+    PostingRef fsg = add_postings(v.fsg_ids);
+    meta.PutU64(fsg.start);
+    meta.PutU64(fsg.count);
+    PostingRef del = add_postings(v.del_ids);
+    meta.PutU64(del.start);
+    meta.PutU64(del.count);
+    meta.PutU32(static_cast<uint32_t>(v.parents.size()));
+    for (A2fId p : v.parents) meta.PutU32(p);
+    meta.PutU32(static_cast<uint32_t>(v.children.size()));
+    for (A2fId c : v.children) meta.PutU32(c);
+  }
+
+  meta.PutU32(static_cast<uint32_t>(a2f.clusters_.size()));
+  for (const FragmentCluster& c : a2f.clusters_) {
+    meta.PutU32(c.root);
+    meta.PutU32(static_cast<uint32_t>(c.members.size()));
+    for (A2fId m : c.members) meta.PutU32(m);
+  }
+
+  meta.PutU32(static_cast<uint32_t>(a2i.EntryCount()));
+  for (const A2iEntry& e : a2i.entries_) {
+    meta.PutString(e.code);
+    PostingRef fsg = add_postings(e.fsg_ids);
+    meta.PutU64(fsg.start);
+    meta.PutU64(fsg.count);
+  }
+
+  const std::string& meta_bytes = meta.buffer();
+  uint64_t postings_offset = kSegmentHeaderBytes + meta_bytes.size();
+  postings_offset = (postings_offset + 3) & ~uint64_t{3};
+
+  ByteWriter postings_writer;
+  for (GraphId id : postings) postings_writer.PutU32(id);
+  const std::string& posting_bytes = postings_writer.buffer();
+
+  std::string& out = *blob;
+  out.clear();
+  out.reserve(postings_offset + posting_bytes.size());
+  out.append(kSegmentMagic, sizeof(kSegmentMagic));
+  ByteWriter header;
+  header.PutU64(meta_bytes.size());
+  header.PutU64(postings_offset);
+  header.PutU64(postings.size());
+  header.PutU32(Crc32c(meta_bytes.data(), meta_bytes.size()));
+  header.PutU32(Crc32c(posting_bytes.data(), posting_bytes.size()));
+  out.append(header.buffer());
+  out.append(meta_bytes);
+  out.resize(postings_offset, '\0');  // alignment padding
+  out.append(posting_bytes);
+  return Status::OK();
+}
+
+Result<OpenedSegment> SegmentIO::Decode(std::shared_ptr<MappedSegment> mapping,
+                                        const std::string& path,
+                                        const SegmentReadOptions& options) {
+  const uint8_t* base = mapping->data();
+  const size_t size = mapping->size();
+  auto corrupt = [&path](const std::string& why) {
+    return Status::Corruption("segment " + path + ": " + why);
+  };
+
+  if (std::memcmp(base, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  const uint64_t meta_size = DecodeU64LE(base + 8);
+  const uint64_t postings_offset = DecodeU64LE(base + 16);
+  const uint64_t postings_count = DecodeU64LE(base + 24);
+  const uint32_t meta_crc = DecodeU32LE(base + 32);
+  const uint32_t postings_crc = DecodeU32LE(base + 36);
+
+  if (meta_size > size - kSegmentHeaderBytes) {
+    return corrupt("metadata block exceeds file");
+  }
+  if (postings_offset % 4 != 0 ||
+      postings_offset < kSegmentHeaderBytes + meta_size ||
+      postings_offset > size) {
+    return corrupt("bad posting region offset");
+  }
+  if (postings_count > (size - postings_offset) / sizeof(GraphId)) {
+    return corrupt("posting region exceeds file");
+  }
+
+  const uint8_t* meta_bytes = base + kSegmentHeaderBytes;
+  if (Crc32c(meta_bytes, meta_size) != meta_crc) {
+    return corrupt("metadata checksum mismatch");
+  }
+  const uint8_t* posting_base = base + postings_offset;
+  if (options.verify_postings_crc &&
+      Crc32c(posting_base, postings_count * sizeof(GraphId)) != postings_crc) {
+    return corrupt("posting region checksum mismatch");
+  }
+  const GraphId* posting_ids = reinterpret_cast<const GraphId*>(posting_base);
+
+  ByteReader in(std::string_view(reinterpret_cast<const char*>(meta_bytes),
+                                 meta_size));
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t version, in.U64());
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t min_support, in.U64());
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t beta, in.U64());
+
+  GraphDatabase db;
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t label_count, in.U32());
+  for (uint32_t i = 0; i < label_count; ++i) {
+    PRAGUE_ASSIGN_OR_RETURN(std::string_view name, in.String());
+    // Interning in stored order reproduces the stored dense ids exactly.
+    Label id = db.mutable_labels()->Intern(std::string(name));
+    if (id != i) return corrupt("duplicate label name in dictionary");
+  }
+
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t graph_count, in.U32());
+  for (uint32_t gi = 0; gi < graph_count; ++gi) {
+    GraphBuilder b;
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t node_count, in.U32());
+    for (uint32_t n = 0; n < node_count; ++n) {
+      PRAGUE_ASSIGN_OR_RETURN(Label label, in.U32());
+      if (label >= label_count) return corrupt("node label out of range");
+      b.AddNode(label);
+    }
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t edge_count, in.U32());
+    for (uint32_t e = 0; e < edge_count; ++e) {
+      PRAGUE_ASSIGN_OR_RETURN(uint32_t u, in.U32());
+      PRAGUE_ASSIGN_OR_RETURN(uint32_t v, in.U32());
+      PRAGUE_ASSIGN_OR_RETURN(Label label, in.U32());
+      if (u >= node_count || v >= node_count) {
+        return corrupt("edge endpoint out of range");
+      }
+      Result<EdgeId> added = b.AddEdge(u, v, label);
+      if (!added.ok()) return corrupt(added.status().message());
+    }
+    db.Add(std::move(b).Build());
+  }
+
+  auto borrow = [&](uint64_t start, uint64_t count) -> Result<IdSet> {
+    if (start > postings_count || count > postings_count - start) {
+      return corrupt("posting reference out of range");
+    }
+    return IdSet::Borrow(posting_ids + start, count, mapping);
+  };
+  auto read_ref_set = [&](IdSet* out) -> Status {
+    PRAGUE_ASSIGN_OR_RETURN(uint64_t start, in.U64());
+    PRAGUE_ASSIGN_OR_RETURN(uint64_t count, in.U64());
+    PRAGUE_ASSIGN_OR_RETURN(*out, borrow(start, count));
+    return Status::OK();
+  };
+
+  ActionAwareIndexes indexes;
+  indexes.min_support = min_support;
+  A2FIndex& a2f = indexes.a2f;
+  a2f.beta_ = beta;
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t vertex_count, in.U32());
+  a2f.vertices_.resize(vertex_count);
+  a2f.mf_count_ = 0;
+  for (A2fId id = 0; id < vertex_count; ++id) {
+    A2fVertex& v = a2f.vertices_[id];
+    PRAGUE_ASSIGN_OR_RETURN(std::string_view code, in.String());
+    v.code.assign(code);
+    Result<DfsCode> dfs = DfsCodeFromString(v.code);
+    if (!dfs.ok()) return corrupt("bad A2F code: " + dfs.status().message());
+    v.fragment = GraphFromDfsCode(*dfs);
+    PRAGUE_ASSIGN_OR_RETURN(uint8_t in_mf, in.U8());
+    v.in_mf = in_mf != 0;
+    if (v.in_mf) ++a2f.mf_count_;
+    // Both the full set and the delId set point straight into the mapping;
+    // nothing is reconstructed (that would defeat the zero-copy open).
+    PRAGUE_RETURN_NOT_OK(read_ref_set(&v.fsg_ids));
+    PRAGUE_RETURN_NOT_OK(read_ref_set(&v.del_ids));
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t parent_count, in.U32());
+    v.parents.resize(parent_count);
+    for (uint32_t p = 0; p < parent_count; ++p) {
+      PRAGUE_ASSIGN_OR_RETURN(v.parents[p], in.U32());
+      if (v.parents[p] >= vertex_count) return corrupt("parent out of range");
+    }
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t child_count, in.U32());
+    v.children.resize(child_count);
+    for (uint32_t c = 0; c < child_count; ++c) {
+      PRAGUE_ASSIGN_OR_RETURN(v.children[c], in.U32());
+      if (v.children[c] >= vertex_count) return corrupt("child out of range");
+    }
+    a2f.by_code_.emplace(v.code, id);
+  }
+
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t cluster_count, in.U32());
+  a2f.clusters_.resize(cluster_count);
+  for (FragmentCluster& c : a2f.clusters_) {
+    PRAGUE_ASSIGN_OR_RETURN(c.root, in.U32());
+    if (c.root >= vertex_count) return corrupt("cluster root out of range");
+    PRAGUE_ASSIGN_OR_RETURN(uint32_t member_count, in.U32());
+    c.members.resize(member_count);
+    for (uint32_t m = 0; m < member_count; ++m) {
+      PRAGUE_ASSIGN_OR_RETURN(c.members[m], in.U32());
+      if (c.members[m] >= vertex_count) {
+        return corrupt("cluster member out of range");
+      }
+    }
+  }
+  // MF leaf → cluster lists are derived, not stored (same as index_io).
+  for (uint32_t cid = 0; cid < a2f.clusters_.size(); ++cid) {
+    A2fId root = a2f.clusters_[cid].root;
+    for (A2fId parent : a2f.vertices_[root].parents) {
+      if (a2f.vertices_[parent].size() == beta) {
+        a2f.leaf_clusters_[parent].push_back(cid);
+      }
+    }
+  }
+
+  A2IIndex& a2i = indexes.a2i;
+  PRAGUE_ASSIGN_OR_RETURN(uint32_t entry_count, in.U32());
+  a2i.entries_.resize(entry_count);
+  for (A2iId id = 0; id < entry_count; ++id) {
+    A2iEntry& e = a2i.entries_[id];
+    PRAGUE_ASSIGN_OR_RETURN(std::string_view code, in.String());
+    e.code.assign(code);
+    Result<DfsCode> dfs = DfsCodeFromString(e.code);
+    if (!dfs.ok()) return corrupt("bad A2I code: " + dfs.status().message());
+    e.fragment = GraphFromDfsCode(*dfs);
+    PRAGUE_RETURN_NOT_OK(read_ref_set(&e.fsg_ids));
+    a2i.by_code_.emplace(e.code, id);
+  }
+  if (!in.exhausted()) return corrupt("trailing bytes in metadata block");
+
+  OpenedSegment out;
+  out.file_bytes = size;
+  out.posting_bytes = postings_count * sizeof(GraphId);
+  out.snapshot =
+      DatabaseSnapshot::Make(std::move(db), std::move(indexes), version);
+  out.mapping = std::move(mapping);
+  return out;
+}
+
+Status WriteSegment(const DatabaseSnapshot& snapshot, const std::string& dir,
+                    const std::string& file_name) {
+  std::string blob;
+  PRAGUE_RETURN_NOT_OK(SegmentIO::Encode(snapshot, &blob));
+  return WriteFileDurable(dir, file_name, blob);
+}
+
+Result<OpenedSegment> OpenSegment(const std::string& path,
+                                  const SegmentReadOptions& options) {
+  PRAGUE_ASSIGN_OR_RETURN(std::shared_ptr<MappedSegment> mapping,
+                          MappedSegment::Map(path));
+  return SegmentIO::Decode(std::move(mapping), path, options);
+}
+
+}  // namespace prague::storage

@@ -1,0 +1,98 @@
+// Mmap-able segment store: one immutable file holding a full checkpointed
+// snapshot — the data graphs, the label dictionary, and both action-aware
+// indexes — in a layout whose posting lists IdSet can view zero-copy.
+//
+// Layout (all integers little-endian; docs/STORAGE.md has the grammar):
+//
+//   [0..8)    magic "PRSEGV1\n"
+//   [8..16)   u64 meta_size            — byte length of the metadata block
+//   [16..24)  u64 postings_offset      — 4-aligned file offset of postings
+//   [24..32)  u64 postings_count      — number of u32 graph ids that follow
+//   [32..36)  u32 meta_crc             — crc32c of the metadata block
+//   [36..40)  u32 postings_crc         — crc32c of the posting region
+//   [40..40+meta_size)      metadata block (coding.h encodings)
+//   [postings_offset..)     u32 posting region: every fsgId/delId list,
+//                           concatenated; metadata refers to (start, count)
+//                           element ranges within it
+//
+// Opening a segment decodes the metadata (graphs, DAG structure, codes)
+// onto the heap but leaves every posting list where it lies: the loader
+// hands out IdSet::Borrow views over the mapping, pinned alive by the
+// shared MappedSegment, so restart cost is O(metadata), independent of
+// total posting volume — the paged region faults in on demand as queries
+// touch it.
+
+#ifndef PRAGUE_STORAGE_SEGMENT_H_
+#define PRAGUE_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/database_snapshot.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague::storage {
+
+/// Magic bytes opening every segment file.
+inline constexpr char kSegmentMagic[8] = {'P', 'R', 'S', 'E',
+                                          'G', 'V', '1', '\n'};
+/// Fixed header size preceding the metadata block.
+inline constexpr size_t kSegmentHeaderBytes = 40;
+
+/// \brief RAII holder of one read-only file mapping. Borrowed IdSets keep
+/// it alive through their owner handle, so the mapping persists as long as
+/// any snapshot (or copied id-set) still references it.
+class MappedSegment {
+ public:
+  /// \brief Maps \p path read-only.
+  static Result<std::shared_ptr<MappedSegment>> Map(const std::string& path);
+
+  ~MappedSegment();
+  MappedSegment(const MappedSegment&) = delete;
+  MappedSegment& operator=(const MappedSegment&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(base_); }
+  size_t size() const { return size_; }
+
+ private:
+  MappedSegment(void* base, size_t size) : base_(base), size_(size) {}
+
+  void* base_;
+  size_t size_;
+};
+
+/// \brief Options for OpenSegment.
+struct SegmentReadOptions {
+  /// Verify the posting-region checksum on open. This scans the whole
+  /// region (defeating O(1) restart), so it is off by default; the header
+  /// and metadata checksums are always verified. Turn on for fsck-style
+  /// integrity checks and corruption tests.
+  bool verify_postings_crc = false;
+};
+
+/// \brief An opened segment: the reconstructed snapshot plus the mapping
+/// its id-sets borrow from.
+struct OpenedSegment {
+  SnapshotPtr snapshot;
+  std::shared_ptr<MappedSegment> mapping;
+  /// Total file size in bytes.
+  uint64_t file_bytes = 0;
+  /// Bytes of the zero-copy posting region.
+  uint64_t posting_bytes = 0;
+};
+
+/// \brief Serializes \p snapshot into \p dir/\p file_name durably
+/// (write-temp + fsync + rename + fsync-directory).
+Status WriteSegment(const DatabaseSnapshot& snapshot, const std::string& dir,
+                    const std::string& file_name);
+
+/// \brief Maps and decodes a segment file. The returned snapshot's fsgId
+/// and delId lists are zero-copy views over the mapping.
+Result<OpenedSegment> OpenSegment(const std::string& path,
+                                  const SegmentReadOptions& options = {});
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_SEGMENT_H_

@@ -1,0 +1,199 @@
+#include "storage/storage_engine.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/fs_util.h"
+#include "util/logging.h"
+
+namespace prague::storage {
+
+namespace {
+
+std::string SegmentFileName(uint64_t version) {
+  return "seg-" + std::to_string(version) + ".prseg";
+}
+
+std::string WalFileName(uint64_t version) {
+  return "wal-" + std::to_string(version) + ".log";
+}
+
+obs::Gauge* WalBytesGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("prague_storage_wal_bytes");
+  return g;
+}
+
+obs::Gauge* SegmentBytesGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("prague_storage_segment_bytes");
+  return g;
+}
+
+obs::Histogram* CheckpointDurationUs() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "prague_storage_checkpoint_duration_us");
+  return h;
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(std::string dir, StorageOptions options,
+                             RecoveredState recovered, Manifest manifest,
+                             std::unique_ptr<WalWriter> wal,
+                             uint64_t segment_bytes, uint64_t posting_bytes)
+    : dir_(std::move(dir)),
+      options_(options),
+      recovered_(std::move(recovered)),
+      manifest_(std::move(manifest)),
+      wal_(std::move(wal)),
+      segment_bytes_(segment_bytes),
+      posting_bytes_(posting_bytes) {
+  WalBytesGauge()->Set(static_cast<int64_t>(wal_->bytes()));
+  SegmentBytesGauge()->Set(static_cast<int64_t>(segment_bytes_));
+}
+
+bool StorageEngine::Exists(const std::string& dir) {
+  return PathExists(JoinPath(dir, kManifestFileName));
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Bootstrap(
+    const std::string& dir, const DatabaseSnapshot& initial, double alpha,
+    const StorageOptions& options) {
+  PRAGUE_RETURN_NOT_OK(EnsureDir(dir));
+  if (Exists(dir)) {
+    return Status::InvalidArgument(dir + " is already a data directory");
+  }
+  Manifest manifest;
+  manifest.snapshot_version = initial.version();
+  manifest.alpha = alpha;
+  manifest.segment_file = SegmentFileName(initial.version());
+  manifest.wal_file = WalFileName(initial.version());
+  PRAGUE_RETURN_NOT_OK(WriteSegment(initial, dir, manifest.segment_file));
+  PRAGUE_RETURN_NOT_OK(WriteFileDurable(dir, manifest.wal_file, ""));
+  PRAGUE_RETURN_NOT_OK(SaveManifest(dir, manifest));
+  // Open (rather than assembling state by hand) so bootstrap also proves
+  // the directory round-trips.
+  return Open(dir, options);
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& dir, const StorageOptions& options) {
+  RecoveryOptions recovery_options;
+  recovery_options.verify_postings_crc = options.verify_postings_crc;
+  PRAGUE_ASSIGN_OR_RETURN(RecoveredState recovered,
+                          Recover(dir, recovery_options));
+  Manifest manifest = recovered.manifest;
+
+  WalWriterOptions wal_options;
+  wal_options.sync = options.sync;
+  PRAGUE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(JoinPath(dir, manifest.wal_file),
+                      recovered.wal_valid_bytes, wal_options));
+
+  PRAGUE_ASSIGN_OR_RETURN(uint64_t segment_bytes,
+                          FileSize(JoinPath(dir, manifest.segment_file)));
+  const uint64_t posting_bytes = recovered.posting_bytes;
+
+  SweepOrphans(dir, manifest);
+  return std::unique_ptr<StorageEngine>(new StorageEngine(
+      dir, options, std::move(recovered), std::move(manifest), std::move(wal),
+      segment_bytes, posting_bytes));
+}
+
+void StorageEngine::SweepOrphans(const std::string& dir,
+                                 const Manifest& manifest) {
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return;  // best effort
+  for (const std::string& name : *names) {
+    if (name == kManifestFileName || name == manifest.segment_file ||
+        name == manifest.wal_file) {
+      continue;
+    }
+    PRAGUE_LOG(Warning) << "storage: sweeping orphaned file " << name
+                        << " (interrupted checkpoint)";
+    (void)RemoveFile(JoinPath(dir, name));
+  }
+}
+
+Status StorageEngine::LogAppend(const AppendPayload& payload) {
+  const std::string bytes = EncodeAppendPayload(payload);
+  std::shared_lock<std::shared_mutex> lock(rotate_mu_);
+  PRAGUE_RETURN_NOT_OK(wal_->Append(WalRecordType::kAppendGraphs, bytes));
+  WalBytesGauge()->Set(static_cast<int64_t>(wal_->bytes()));
+  return Status::OK();
+}
+
+Status StorageEngine::SyncWal() {
+  std::shared_lock<std::shared_mutex> lock(rotate_mu_);
+  return wal_->Sync();
+}
+
+Status StorageEngine::Checkpoint(const DatabaseSnapshot& snapshot,
+                                 double alpha) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::shared_mutex> lock(rotate_mu_);
+  if (snapshot.version() <= manifest_.snapshot_version) {
+    return Status::OK();  // already durable in a segment
+  }
+  Manifest next;
+  next.snapshot_version = snapshot.version();
+  next.alpha = alpha;
+  next.segment_file = SegmentFileName(snapshot.version());
+  next.wal_file = WalFileName(snapshot.version());
+
+  // 1. New segment, durable under its final name.
+  PRAGUE_RETURN_NOT_OK(WriteSegment(snapshot, dir_, next.segment_file));
+  // 2. Fresh empty WAL for the post-checkpoint tail. It must exist before
+  //    the manifest names it: a crash right after the manifest rename must
+  //    find an (empty) WAL, not a missing file.
+  PRAGUE_RETURN_NOT_OK(WriteFileDurable(dir_, next.wal_file, ""));
+  // 3. Commit point: atomically repoint the manifest.
+  PRAGUE_RETURN_NOT_OK(SaveManifest(dir_, next));
+  // 4. Swing the writer to the new WAL. Appends waiting on rotate_mu_
+  //    resume against it; records in the old WAL are all ≤ the new
+  //    watermark by construction (the caller checkpoints its newest
+  //    published snapshot).
+  WalWriterOptions wal_options;
+  wal_options.sync = options_.sync;
+  PRAGUE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(JoinPath(dir_, next.wal_file), 0, wal_options));
+  const Manifest old = manifest_;
+  wal_ = std::move(wal);
+  manifest_ = next;
+  PRAGUE_ASSIGN_OR_RETURN(segment_bytes_,
+                          FileSize(JoinPath(dir_, next.segment_file)));
+  // 5. The superseded files are garbage now; removal is best-effort (the
+  //    open-time sweep catches anything a crash leaves behind).
+  (void)RemoveFile(JoinPath(dir_, old.segment_file));
+  (void)RemoveFile(JoinPath(dir_, old.wal_file));
+
+  WalBytesGauge()->Set(0);
+  SegmentBytesGauge()->Set(static_cast<int64_t>(segment_bytes_));
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  CheckpointDurationUs()->Record(static_cast<uint64_t>(us));
+  return Status::OK();
+}
+
+StorageStats StorageEngine::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(rotate_mu_);
+  StorageStats stats;
+  stats.wal_bytes = wal_->bytes();
+  stats.wal_appends = wal_->appends();
+  stats.wal_syncs = wal_->syncs();
+  stats.segment_bytes = segment_bytes_;
+  stats.posting_bytes = posting_bytes_;
+  stats.last_checkpoint_version = manifest_.snapshot_version;
+  stats.recovery_replayed_records = recovered_.replayed_records;
+  stats.wal_tail_dropped = recovered_.wal_tail_dropped;
+  return stats;
+}
+
+}  // namespace prague::storage

@@ -1,0 +1,132 @@
+// StorageEngine: the durable face of one data directory.
+//
+// The engine owns the directory's manifest, its current WAL writer, and
+// the mapping of the checkpointed segment. The write path is
+// log-then-publish: SessionManager::Append builds the successor snapshot,
+// calls LogAppend (which returns only after the record is fsync-durable —
+// group commit batches concurrent callers under one fsync), and only then
+// publishes the successor to sessions. A crash at any point therefore
+// loses no acknowledged append: either the record is in the WAL and
+// replays on open, or the append was never acknowledged.
+//
+// Checkpoint(snapshot) bounds recovery time: it writes a fresh segment at
+// the snapshot's version, starts an empty WAL, atomically repoints the
+// manifest, and deletes the superseded files. The manifest rename is the
+// commit point; files a crash strands outside the manifest are swept on
+// the next Open. See docs/STORAGE.md for the full protocol and its
+// crash-window analysis.
+
+#ifndef PRAGUE_STORAGE_STORAGE_ENGINE_H_
+#define PRAGUE_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "index/database_snapshot.h"
+#include "storage/manifest.h"
+#include "storage/recovery.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague::storage {
+
+/// \brief Durability knobs.
+struct StorageOptions {
+  /// fsync the WAL before acknowledging each append. Turning this off
+  /// trades crash-durability of the newest appends for latency (the
+  /// bench_server durability sweep measures the gap).
+  bool sync = true;
+  /// Verify posting-region checksums when opening segments.
+  bool verify_postings_crc = false;
+};
+
+/// \brief Point-in-time durability statistics.
+struct StorageStats {
+  uint64_t wal_bytes = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t posting_bytes = 0;
+  /// Snapshot version of the live segment (the WAL watermark).
+  uint64_t last_checkpoint_version = 0;
+  /// WAL records replayed when this engine opened.
+  uint64_t recovery_replayed_records = 0;
+  /// True when open dropped a torn WAL tail.
+  bool wal_tail_dropped = false;
+};
+
+/// \brief One open data directory. Thread-safe: LogAppend may be called
+/// from many threads (they share fsyncs); Checkpoint serializes against
+/// appends internally.
+class StorageEngine {
+ public:
+  /// \brief True iff \p dir has been bootstrapped (manifest present).
+  static bool Exists(const std::string& dir);
+
+  /// \brief Initializes an empty data directory from \p initial: writes
+  /// its segment, an empty WAL, and the manifest, then opens the result.
+  /// Fails if \p dir is already bootstrapped.
+  static Result<std::unique_ptr<StorageEngine>> Bootstrap(
+      const std::string& dir, const DatabaseSnapshot& initial, double alpha,
+      const StorageOptions& options = {});
+
+  /// \brief Opens an existing data directory: maps the segment, replays
+  /// the WAL tail (recover()), sweeps orphaned files.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, const StorageOptions& options = {});
+
+  /// \brief The state recovered at open time (snapshot, replay counts).
+  /// The engine does not track snapshots published after open; callers
+  /// (SessionManager) own the live chain.
+  const RecoveredState& recovered() const { return recovered_; }
+
+  /// \brief Durably logs one append batch. Returns once the record is on
+  /// stable storage (options.sync) or buffered (otherwise). Safe to call
+  /// concurrently; concurrent callers share fsyncs (group commit).
+  Status LogAppend(const AppendPayload& payload);
+
+  /// \brief Forces all buffered WAL records to stable storage.
+  Status SyncWal();
+
+  /// \brief Checkpoints \p snapshot: new segment + fresh WAL + manifest
+  /// repoint + old-file removal. \p alpha is recorded in the manifest (the
+  /// mining ratio the snapshot's indexes were built with). No-op when the
+  /// snapshot version is already checkpointed.
+  Status Checkpoint(const DatabaseSnapshot& snapshot, double alpha);
+
+  /// \brief Current durability statistics.
+  StorageStats Stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  StorageEngine(std::string dir, StorageOptions options,
+                RecoveredState recovered, Manifest manifest,
+                std::unique_ptr<WalWriter> wal, uint64_t segment_bytes,
+                uint64_t posting_bytes);
+
+  /// Removes every regular file the manifest does not name (interrupted
+  /// checkpoints strand segments/WALs/temp files; the sweep is safe at any
+  /// time because the manifest is the only source of truth).
+  static void SweepOrphans(const std::string& dir, const Manifest& manifest);
+
+  const std::string dir_;
+  const StorageOptions options_;
+  const RecoveredState recovered_;
+
+  /// Shared: LogAppend/Stats use the current WAL writer. Unique:
+  /// Checkpoint swaps writer + manifest.
+  mutable std::shared_mutex rotate_mu_;
+  Manifest manifest_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t segment_bytes_ = 0;
+  uint64_t posting_bytes_ = 0;
+};
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_STORAGE_ENGINE_H_

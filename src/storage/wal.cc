@@ -1,0 +1,205 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+#include "util/bytes.h"
+#include "obs/metrics.h"
+
+namespace prague::storage {
+
+namespace {
+
+// u32 length + u8 type + u32 crc.
+constexpr size_t kRecordHeaderBytes = 9;
+
+// Far above any legitimate append batch; lengths beyond it are treated as
+// corruption so a garbage header cannot make recovery allocate gigabytes.
+constexpr uint32_t kMaxWalPayload = 256u << 20;  // 256 MiB
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+obs::Counter* WalAppendsTotal() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("prague_storage_wal_appends_total");
+  return c;
+}
+
+obs::Histogram* WalFsyncUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("prague_storage_wal_fsync_us");
+  return h;
+}
+
+}  // namespace
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = contents.value();
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+
+  WalReadResult out;
+  size_t pos = 0;
+  auto drop_tail = [&](const std::string& why) {
+    out.tail_dropped = true;
+    out.tail_warning = "WAL " + path + ": dropped invalid tail at offset " +
+                       std::to_string(pos) + " (" + why + "); " +
+                       std::to_string(out.records.size()) +
+                       " valid records precede it";
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeaderBytes) {
+      drop_tail("torn record header");
+      break;
+    }
+    const uint32_t len = DecodeU32LE(bytes + pos);
+    const uint8_t type = bytes[pos + 4];
+    const uint32_t stored_crc = DecodeU32LE(bytes + pos + 5);
+    if (len > kMaxWalPayload) {
+      drop_tail("implausible record length " + std::to_string(len));
+      break;
+    }
+    if (data.size() - pos - kRecordHeaderBytes < len) {
+      drop_tail("torn record payload");
+      break;
+    }
+    const uint8_t* payload = bytes + pos + kRecordHeaderBytes;
+    uint32_t crc = ExtendCrc32c(0, &type, 1);
+    crc = ExtendCrc32c(crc, payload, len);
+    if (crc != stored_crc) {
+      drop_tail("checksum mismatch");
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(reinterpret_cast<const char*>(payload), len);
+    out.records.push_back(std::move(record));
+    pos += kRecordHeaderBytes + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t valid_bytes,
+                                                   WalWriterOptions options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  // Physically remove any torn tail ReadWal detected, then position at
+  // the end of the valid prefix.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    Status st = Errno("ftruncate", path);
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status st = Errno("lseek", path);
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, valid_bytes, options));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view payload) {
+  if (payload.size() > kMaxWalPayload) {
+    return Status::InvalidArgument("WAL payload exceeds " +
+                                   std::to_string(kMaxWalPayload) + " bytes");
+  }
+  // Encode the whole record contiguously so it lands in one write(2).
+  std::string record;
+  record.resize(kRecordHeaderBytes + payload.size());
+  uint8_t* out = reinterpret_cast<uint8_t*>(record.data());
+  EncodeU32LE(static_cast<uint32_t>(payload.size()), out);
+  out[4] = static_cast<uint8_t>(type);
+  uint32_t crc = ExtendCrc32c(0, out + 4, 1);
+  crc = ExtendCrc32c(crc, payload.data(), payload.size());
+  EncodeU32LE(crc, out + 5);
+  std::memcpy(out + kRecordHeaderBytes, payload.data(), payload.size());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sync_error_.ok()) return sync_error_;
+  size_t off = 0;
+  while (off < record.size()) {
+    ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", "wal");
+    }
+    off += static_cast<size_t>(n);
+  }
+  written_ += record.size();
+  ++appends_;
+  WalAppendsTotal()->Increment();
+  if (!options_.sync) return Status::OK();
+  return SyncUpTo(written_, &lock);
+}
+
+Status WalWriter::SyncUpTo(uint64_t target,
+                           std::unique_lock<std::mutex>* lock) {
+  while (durable_ < target) {
+    if (!sync_error_.ok()) return sync_error_;
+    if (!sync_in_flight_) {
+      // Become the leader: one fsync covers every record written so far,
+      // including followers that arrived while we were queued.
+      sync_in_flight_ = true;
+      const uint64_t cover = written_;
+      lock->unlock();
+      const auto start = std::chrono::steady_clock::now();
+      const bool failed = ::fsync(fd_) != 0;
+      const int saved_errno = errno;
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      WalFsyncUs()->Record(static_cast<uint64_t>(us));
+      lock->lock();
+      sync_in_flight_ = false;
+      if (failed) {
+        sync_error_ = Status::IOError(std::string("fsync wal: ") +
+                                      std::strerror(saved_errno));
+      } else {
+        durable_ = cover;
+        ++syncs_;
+      }
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(*lock);
+    }
+  }
+  return sync_error_;
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sync_error_.ok()) return sync_error_;
+  return SyncUpTo(written_, &lock);
+}
+
+uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t WalWriter::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+uint64_t WalWriter::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+}  // namespace prague::storage

@@ -1,0 +1,127 @@
+// Write-ahead log: the durability point of every database mutation.
+//
+// A mutation is acknowledged only after its WAL record is on disk
+// (written + fsync'd); the COW snapshot publish happens strictly after.
+// Crash at any point then loses nothing acknowledged: recovery replays
+// the log tail over the last checkpointed segment (storage/recovery.h).
+//
+// Record format (little-endian, framing per util/bytes idiom):
+//
+//   u32 payload_length | u8 type | u32 crc32c(type ‖ payload) | payload
+//
+// The CRC covers the type byte and the payload, so a bit flip anywhere in
+// a record — or a torn final write — is detected. A reader stops at the
+// first invalid record and reports how many valid bytes precede it; the
+// writer truncates the torn tail before appending again, which keeps "the
+// log prefix up to the last valid record" the single source of truth.
+//
+// Group commit: concurrent Append() calls are serialized for the write(2)
+// but share fsyncs leader/follower-style — the first appender into the
+// sync window fsyncs once for every record written by then; the others
+// wait until the leader's fsync covers their offset. Pipelined mutations
+// therefore amortize the fsync instead of paying one each.
+
+#ifndef PRAGUE_STORAGE_WAL_H_
+#define PRAGUE_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prague::storage {
+
+/// \brief Type tag of one WAL record.
+enum class WalRecordType : uint8_t {
+  /// One AppendGraphs batch (payload encoded by storage_engine.cc).
+  kAppendGraphs = 1,
+};
+
+/// \brief One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAppendGraphs;
+  std::string payload;
+};
+
+/// \brief Everything a full WAL read yields, including tail damage.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes of the valid record prefix (the truncate point when damaged).
+  uint64_t valid_bytes = 0;
+  /// True when a torn or corrupt tail was detected (and dropped).
+  bool tail_dropped = false;
+  /// Human-readable description of the dropped tail (empty when clean).
+  std::string tail_warning;
+};
+
+/// \brief Reads every valid record of the log at \p path. A torn or
+/// bit-flipped tail is not an error: reading stops at the last valid
+/// record and the result describes what was dropped. A missing file is
+/// NotFound; any other read failure is IOError.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// \brief Writer options.
+struct WalWriterOptions {
+  /// fsync records before acknowledging (group-committed). Off trades
+  /// durability-to-power-loss for speed — the bench sweep quantifies it.
+  bool sync = true;
+};
+
+/// \brief Appends checksummed records to one log file. Thread-safe.
+class WalWriter {
+ public:
+  /// \brief Opens \p path for appending, first truncating it to
+  /// \p valid_bytes (from ReadWal) so a torn tail from a previous crash is
+  /// physically removed before new records land after it.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t valid_bytes,
+                                                 WalWriterOptions options);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// \brief Appends one record; returns once it is durable (sync on) or
+  /// written (sync off).
+  Status Append(WalRecordType type, std::string_view payload);
+
+  /// \brief Forces an fsync of everything written so far.
+  Status Sync();
+
+  /// \brief Bytes in the log (valid prefix + records appended here).
+  uint64_t bytes() const;
+  /// \brief Records appended through this writer.
+  uint64_t appends() const;
+  /// \brief fsync(2) calls issued (group commit makes this ≤ appends).
+  uint64_t syncs() const;
+
+ private:
+  WalWriter(int fd, uint64_t size, WalWriterOptions options)
+      : options_(options), fd_(fd), written_(size), durable_(size) {}
+
+  // Waits until `target` is durable, becoming the fsync leader when no
+  // sync is in flight. mu_ held on entry and exit.
+  Status SyncUpTo(uint64_t target, std::unique_lock<std::mutex>* lock);
+
+  const WalWriterOptions options_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  uint64_t written_ = 0;   // bytes written to the fd
+  uint64_t durable_ = 0;   // bytes covered by a completed fsync
+  bool sync_in_flight_ = false;
+  Status sync_error_;      // sticky: a failed fsync poisons the writer
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace prague::storage
+
+#endif  // PRAGUE_STORAGE_WAL_H_

@@ -13,15 +13,10 @@ std::vector<GraphId>& ScratchBuffer() {
   return scratch;
 }
 
-const std::vector<GraphId>& EmptyVec() {
-  static const std::vector<GraphId> empty;
-  return empty;
-}
-
 // Galloping intersection: for each id of the small side, exponential
 // search forward through the large side from the previous match position.
-void GallopIntersect(const std::vector<GraphId>& small,
-                     const std::vector<GraphId>& large,
+void GallopIntersect(std::span<const GraphId> small,
+                     std::span<const GraphId> large,
                      std::vector<GraphId>* out) {
   const size_t n = large.size();
   size_t pos = 0;
@@ -45,14 +40,13 @@ void GallopIntersect(const std::vector<GraphId>& small,
   }
 }
 
-// Intersection of two sorted vectors into `out` (cleared first), picking
+// Intersection of two sorted ranges into `out` (cleared first), picking
 // merge vs gallop by size ratio.
-void IntersectInto(const std::vector<GraphId>& a,
-                   const std::vector<GraphId>& b,
+void IntersectInto(std::span<const GraphId> a, std::span<const GraphId> b,
                    std::vector<GraphId>* out) {
   out->clear();
-  const std::vector<GraphId>& small = a.size() <= b.size() ? a : b;
-  const std::vector<GraphId>& large = a.size() <= b.size() ? b : a;
+  std::span<const GraphId> small = a.size() <= b.size() ? a : b;
+  std::span<const GraphId> large = a.size() <= b.size() ? b : a;
   if (small.empty()) return;
   out->reserve(small.size());
   if (large.size() / small.size() >= IdSet::kGallopRatio) {
@@ -84,12 +78,25 @@ IdSet IdSet::FromSorted(std::vector<GraphId> ids) {
   return out;
 }
 
-const std::vector<GraphId>& IdSet::ids() const {
-  return data_ ? *data_ : EmptyVec();
+IdSet IdSet::Borrow(const GraphId* data, size_t count,
+                    std::shared_ptr<const void> owner) {
+  IdSet out;
+  if (count > 0) {
+    out.ext_ = data;
+    out.ext_size_ = count;
+    out.ext_owner_ = std::move(owner);
+  }
+  return out;
 }
 
 std::vector<GraphId>& IdSet::Mutable() {
-  if (!data_) {
+  if (ext_ != nullptr) {
+    // Detach the borrowed view onto the heap; drop the keepalive.
+    data_ = std::make_shared<std::vector<GraphId>>(ext_, ext_ + ext_size_);
+    ext_ = nullptr;
+    ext_size_ = 0;
+    ext_owner_.reset();
+  } else if (!data_) {
     data_ = std::make_shared<std::vector<GraphId>>();
   } else if (data_.use_count() > 1) {
     data_ = std::make_shared<std::vector<GraphId>>(*data_);
@@ -98,6 +105,11 @@ std::vector<GraphId>& IdSet::Mutable() {
 }
 
 void IdSet::AdoptScratch(std::vector<GraphId>* scratch) {
+  if (ext_ != nullptr) {
+    ext_ = nullptr;
+    ext_size_ = 0;
+    ext_owner_.reset();
+  }
   if (scratch->empty()) {
     data_.reset();
   } else if (data_ && data_.use_count() == 1) {
@@ -115,8 +127,7 @@ IdSet IdSet::Universe(GraphId n) {
 }
 
 bool IdSet::Contains(GraphId id) const {
-  const std::vector<GraphId>& v = ids();
-  return std::binary_search(v.begin(), v.end(), id);
+  return std::binary_search(begin(), end(), id);
 }
 
 void IdSet::Insert(GraphId id) {
@@ -134,7 +145,7 @@ void IdSet::Erase(GraphId id) {
 
 IdSet IdSet::Intersect(const IdSet& other) const {
   std::vector<GraphId> out;
-  IntersectInto(ids(), other.ids(), &out);
+  IntersectInto(span(), other.span(), &out);
   return FromSorted(std::move(out));
 }
 
@@ -159,14 +170,14 @@ IdSet IdSet::Subtract(const IdSet& other) const {
 
 void IdSet::IntersectWith(const IdSet& other) {
   std::vector<GraphId>& scratch = ScratchBuffer();
-  IntersectInto(ids(), other.ids(), &scratch);
+  IntersectInto(span(), other.span(), &scratch);
   AdoptScratch(&scratch);
 }
 
 void IdSet::UnionWith(const IdSet& other) {
   if (other.empty()) return;
   if (empty()) {
-    data_ = other.data_;  // structural share
+    *this = other;  // structural share (heap or borrowed)
     return;
   }
   std::vector<GraphId>& scratch = ScratchBuffer();
@@ -204,22 +215,31 @@ bool IdSet::IsSubsetOf(const IdSet& other) const {
   return std::includes(other.begin(), other.end(), begin(), end());
 }
 
-IdSet IdSet::Slice(GraphId begin, GraphId end) const {
-  if (empty() || begin >= end) return IdSet();
-  const std::vector<GraphId>& v = ids();
-  if (v.front() >= begin && v.back() < end) return *this;  // shares buffer
-  auto lo = std::lower_bound(v.begin(), v.end(), begin);
-  auto hi = std::lower_bound(lo, v.end(), end);
+IdSet IdSet::Slice(GraphId begin_id, GraphId end_id) const {
+  if (empty() || begin_id >= end_id) return IdSet();
+  const GraphId* first = data();
+  const GraphId* last = first + size();
+  if (*first >= begin_id && *(last - 1) < end_id) return *this;  // shares
+  const GraphId* lo = std::lower_bound(first, last, begin_id);
+  const GraphId* hi = std::lower_bound(lo, last, end_id);
   if (lo == hi) return IdSet();
+  if (ext_ != nullptr) {
+    // Borrowed sub-span over the same owner — still zero-copy.
+    return Borrow(lo, static_cast<size_t>(hi - lo), ext_owner_);
+  }
   return FromSorted(std::vector<GraphId>(lo, hi));
 }
 
+bool IdSet::operator==(const IdSet& other) const {
+  return SharesStorageWith(other) ||
+         (size() == other.size() && std::equal(begin(), end(), other.begin()));
+}
+
 std::string IdSet::ToString() const {
-  const std::vector<GraphId>& v = ids();
   std::string out = "{";
-  for (size_t i = 0; i < v.size(); ++i) {
+  for (size_t i = 0; i < size(); ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string(v[i]);
+    out += std::to_string((*this)[i]);
   }
   out += "}";
   return out;

@@ -17,6 +17,14 @@
 // the sets the appended graphs actually touch get new storage. Mutating
 // one IdSet object from two threads is a data race exactly as it was with
 // the plain vector; concurrent reads of copies sharing a buffer are safe.
+//
+// A second, borrowed representation backs the persistent index segments
+// (src/storage/segment.h): Borrow() wraps a sorted id array owned by
+// someone else — in production an mmap'ed posting-list region — plus a
+// keepalive handle pinning that owner. A borrowed set is read-only until
+// the first mutation, which detaches it onto the heap exactly like a COW
+// copy, so index maintenance works identically on loaded and built
+// indexes while an unmodified restart never copies a posting list.
 
 #ifndef PRAGUE_UTIL_ID_SET_H_
 #define PRAGUE_UTIL_ID_SET_H_
@@ -25,6 +33,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,7 +45,7 @@ using GraphId = uint32_t;
 /// \brief Sorted, duplicate-free set of GraphIds.
 class IdSet {
  public:
-  using const_iterator = std::vector<GraphId>::const_iterator;
+  using const_iterator = const GraphId*;
 
   IdSet() = default;
   /// \brief Builds from arbitrary ids; sorts and de-duplicates.
@@ -45,6 +54,14 @@ class IdSet {
 
   /// \brief The universe {0, 1, ..., n-1}.
   static IdSet Universe(GraphId n);
+
+  /// \brief Wraps \p count sorted, duplicate-free ids owned by someone
+  /// else (an mmap'ed segment, an arena) without copying. \p owner is held
+  /// for the set's lifetime — and the lifetime of every copy — so the
+  /// storage cannot be unmapped while a reader holds a view. The first
+  /// mutation detaches onto the heap.
+  static IdSet Borrow(const GraphId* data, size_t count,
+                      std::shared_ptr<const void> owner);
 
   /// Size ratio (larger/smaller) above which intersections gallop through
   /// the larger side instead of merging linearly. Galloping is
@@ -59,9 +76,9 @@ class IdSet {
   static IdSet IntersectMany(std::vector<const IdSet*> sets);
 
   /// \brief Number of ids in the set.
-  size_t size() const { return data_ ? data_->size() : 0; }
+  size_t size() const { return data_ ? data_->size() : ext_size_; }
   /// \brief True iff the set is empty.
-  bool empty() const { return data_ == nullptr || data_->empty(); }
+  bool empty() const { return size() == 0; }
   /// \brief Membership test (binary search).
   bool Contains(GraphId id) const;
 
@@ -70,7 +87,12 @@ class IdSet {
   /// \brief Removes one id if present.
   void Erase(GraphId id);
   /// \brief Removes all ids.
-  void Clear() { data_.reset(); }
+  void Clear() {
+    data_.reset();
+    ext_ = nullptr;
+    ext_size_ = 0;
+    ext_owner_.reset();
+  }
 
   /// \brief Set intersection.
   IdSet Intersect(const IdSet& other) const;
@@ -93,47 +115,65 @@ class IdSet {
   /// When every id already lies in the range the result shares this set's
   /// buffer (no copy), which is what keeps sharded index slices cheap: a
   /// typical FSG set is concentrated in few shards, so most slices either
-  /// alias the original or come out empty.
+  /// alias the original or come out empty. Slicing a borrowed set yields a
+  /// borrowed sub-span sharing the same owner — also no copy.
   IdSet Slice(GraphId begin, GraphId end) const;
 
-  const_iterator begin() const { return ids().begin(); }
-  const_iterator end() const { return ids().end(); }
+  /// \brief Pointer to the first id (null only when empty).
+  const GraphId* data() const { return data_ ? data_->data() : ext_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size(); }
+  /// \brief Element access (no bounds check). Requires i < size().
+  GraphId operator[](size_t i) const { return data()[i]; }
 
-  /// \brief Read-only view of the underlying sorted vector. Copies of an
-  /// unmodified IdSet return the *same* vector (structural sharing).
-  const std::vector<GraphId>& ids() const;
+  /// \brief Read-only view of the sorted ids. Copies of an unmodified
+  /// IdSet view the *same* storage (structural sharing).
+  std::span<const GraphId> span() const { return {data(), size()}; }
 
-  /// \brief True iff this and \p other share one underlying buffer (both
-  /// empty counts as shared). Exposed so snapshot tests can prove
-  /// copy-on-write sharing.
+  /// \brief Materialized copy of the ids (tests and diagnostics).
+  std::vector<GraphId> ToVector() const { return {begin(), end()}; }
+
+  /// \brief True iff the ids live in externally owned storage (an mmap'ed
+  /// segment) rather than on this set's heap.
+  bool borrowed() const { return ext_ != nullptr; }
+
+  /// \brief True iff this and \p other view one underlying buffer (both
+  /// empty counts as shared). Exposed so snapshot and segment tests can
+  /// prove copy-on-write / zero-copy sharing.
   bool SharesStorageWith(const IdSet& other) const {
-    return data_ == other.data_;
+    return data() == other.data() && size() == other.size();
   }
 
-  /// \brief Approximate heap footprint in bytes (for index sizing).
+  /// \brief Approximate storage footprint in bytes (for index sizing).
+  /// Borrowed sets report their mapped extent — the bytes are real, they
+  /// just live in the page cache instead of the heap.
   size_t ByteSize() const {
-    return data_ ? data_->capacity() * sizeof(GraphId) : 0;
+    return data_ ? data_->capacity() * sizeof(GraphId)
+                 : ext_size_ * sizeof(GraphId);
   }
 
   /// \brief Renders "{1, 2, 5}" for diagnostics.
   std::string ToString() const;
 
-  bool operator==(const IdSet& other) const {
-    return data_ == other.data_ || ids() == other.ids();
-  }
+  bool operator==(const IdSet& other) const;
   bool operator!=(const IdSet& other) const { return !(*this == other); }
 
  private:
   // Wraps an already sorted, duplicate-free vector without re-sorting.
   static IdSet FromSorted(std::vector<GraphId> ids);
-  // Sole-owner buffer for mutation: allocates when empty, clones when
-  // shared.
+  // Sole-owner heap buffer for mutation: allocates when empty, clones when
+  // shared, detaches (copies) when borrowed.
   std::vector<GraphId>& Mutable();
   // Replaces the contents with `scratch` (swapping capacity back into the
   // per-thread scratch buffer when this is the sole owner).
   void AdoptScratch(std::vector<GraphId>* scratch);
 
-  std::shared_ptr<std::vector<GraphId>> data_;  // null = empty
+  // Exactly one representation is active: data_ (heap, COW) or ext_
+  // (borrowed). Both null/empty = the empty set.
+  std::shared_ptr<std::vector<GraphId>> data_;  // null = not heap-backed
+  const GraphId* ext_ = nullptr;                // borrowed storage
+  size_t ext_size_ = 0;
+  std::shared_ptr<const void> ext_owner_;  // pins the borrowed storage
 };
 
 }  // namespace prague

@@ -9,6 +9,7 @@
 #include "core/prague_session.h"
 #include "index/index_maintenance.h"
 #include "test_fixtures.h"
+#include "test_storage_util.h"
 
 namespace prague {
 namespace {
@@ -206,6 +207,36 @@ TEST(MaintenanceTest, MatchesRebuiltIndexOnSharedFragments) {
     ++compared;
   }
   EXPECT_GT(compared, 0u);
+}
+
+TEST(MaintenanceTest, ReclassifyMatchesOfflineRemineAcrossSigmaCrossings) {
+  // The incremental delta path with reclassification on must land on the
+  // same index population as throwing the database away and re-mining from
+  // scratch at every step — including steps where σ = ⌈α·N⌉ moves and
+  // fragments cross it in both directions. Vertex numbering legitimately
+  // differs between the two constructions, so the comparison is code-keyed
+  // (same fragments, same exact id sets, same MF/DF split).
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  for (uint64_t v = 1; v <= 8; ++v) {
+    Result<SnapshotAppendResult> next =
+        AppendGraphs(*snapshot, testing::BatchForVersion(v),
+                     testing::StorageMaintenanceOptions());
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    snapshot = next->snapshot;
+
+    MiningConfig mining;
+    mining.min_support_ratio = testing::kStorageAlpha;
+    mining.max_fragment_edges = testing::kStorageMaxEdges;
+    A2fConfig a2f;
+    a2f.beta = testing::kStorageBeta;
+    Result<MiningResult> mined = MineFragments(snapshot->db(), mining);
+    ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+    ActionAwareIndexes offline = BuildActionAwareIndexes(*mined, a2f);
+    testing::ExpectIndexesEquivalent(snapshot->indexes(), offline);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged from the offline re-mine at version " << v;
+    }
+  }
 }
 
 }  // namespace

@@ -205,7 +205,7 @@ TEST_P(IdSetModelTest, MatchesStdSetReference) {
         std::vector<GraphId> want;
         std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
                               std::back_inserter(want));
-        ASSERT_EQ(got.ids(), want);
+        ASSERT_EQ(got.ToVector(), want);
         break;
       }
       case 4: {
@@ -213,7 +213,7 @@ TEST_P(IdSetModelTest, MatchesStdSetReference) {
         std::vector<GraphId> want;
         std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
                        std::back_inserter(want));
-        ASSERT_EQ(got.ids(), want);
+        ASSERT_EQ(got.ToVector(), want);
         break;
       }
       case 5: {
@@ -221,7 +221,7 @@ TEST_P(IdSetModelTest, MatchesStdSetReference) {
         std::vector<GraphId> want;
         std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
                             std::back_inserter(want));
-        ASSERT_EQ(got.ids(), want);
+        ASSERT_EQ(got.ToVector(), want);
         break;
       }
     }

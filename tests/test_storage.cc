@@ -1,0 +1,632 @@
+// Durable storage engine: WAL framing and corruption handling, segment
+// round-trips with zero-copy posting views, manifest atomicity, and the
+// engine-level bootstrap / recover / checkpoint protocol.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "index/index_maintenance.h"
+#include "storage/crc32c.h"
+#include "storage/fs_util.h"
+#include "storage/manifest.h"
+#include "storage/recovery.h"
+#include "storage/segment.h"
+#include "storage/storage_engine.h"
+#include "storage/wal.h"
+#include "test_fixtures.h"
+#include "test_storage_util.h"
+
+namespace prague {
+namespace {
+
+using storage::AppendPayload;
+using storage::JoinPath;
+using storage::Manifest;
+using storage::ReadWal;
+using storage::RecoveredState;
+using storage::StorageEngine;
+using storage::StorageOptions;
+using storage::StorageStats;
+using storage::WalReadResult;
+using storage::WalRecordType;
+using storage::WalWriter;
+using storage::WalWriterOptions;
+using testing::kC;
+using testing::kN;
+using testing::kS;
+
+// Fresh empty directory under the gtest temp root, unique per test.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/prague_storage_" + name;
+  // Clear leftovers from a previous run of the same test.
+  Result<std::vector<std::string>> files = storage::ListDir(dir);
+  if (files.ok()) {
+    for (const std::string& f : *files) {
+      (void)storage::RemoveFile(JoinPath(dir, f));
+    }
+  }
+  if (!storage::EnsureDir(dir).ok()) std::abort();
+  return dir;
+}
+
+// Flips one bit of the file at `path`, at byte `offset` (from the start
+// when >= 0, from the end when negative).
+void FlipBit(const std::string& path, int64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t pos = offset >= 0 ? ::lseek(fd, offset, SEEK_SET)
+                          : ::lseek(fd, offset, SEEK_END);
+  ASSERT_GE(pos, 0);
+  unsigned char byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, pos), 1);
+  byte ^= 0x40;
+  ASSERT_EQ(::pwrite(fd, &byte, 1, pos), 1);
+  ::close(fd);
+}
+
+void TruncateFile(const std::string& path, uint64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B.4).
+  EXPECT_EQ(storage::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+
+TEST(WalTest, AppendReadRoundTrip) {
+  std::string path = JoinPath(FreshDir("wal_roundtrip"), "wal.log");
+  {
+    Result<std::unique_ptr<WalWriter>> wal =
+        WalWriter::Open(path, 0, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "first").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "third").ok());
+    EXPECT_EQ((*wal)->appends(), 3u);
+    EXPECT_GE((*wal)->syncs(), 1u);
+  }
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->tail_dropped);
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].payload, "first");
+  EXPECT_EQ(read->records[1].payload, "");
+  EXPECT_EQ(read->records[2].payload, "third");
+  Result<uint64_t> size = storage::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(read->valid_bytes, *size);
+}
+
+TEST(WalTest, ReopenContinuesAfterValidPrefix) {
+  std::string path = JoinPath(FreshDir("wal_reopen"), "wal.log");
+  {
+    auto wal = WalWriter::Open(path, 0, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "one").ok());
+  }
+  Result<WalReadResult> first = ReadWal(path);
+  ASSERT_TRUE(first.ok());
+  {
+    auto wal = WalWriter::Open(path, first->valid_bytes, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "two").ok());
+  }
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].payload, "two");
+}
+
+TEST(WalTest, TornTailDroppedWithWarning) {
+  std::string path = JoinPath(FreshDir("wal_torn"), "wal.log");
+  uint64_t two_records = 0;
+  {
+    auto wal = WalWriter::Open(path, 0, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "keep-1").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "keep-2").ok());
+    two_records = (*wal)->bytes();
+    ASSERT_TRUE(
+        (*wal)->Append(WalRecordType::kAppendGraphs, "torn-away").ok());
+  }
+  // Tear the final record mid-payload, as a crash mid-write(2) would.
+  TruncateFile(path, two_records + 11);
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->tail_dropped);
+  EXPECT_FALSE(read->tail_warning.empty());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].payload, "keep-2");
+  EXPECT_EQ(read->valid_bytes, two_records);
+
+  // Reopening at the valid prefix physically removes the torn bytes.
+  auto wal = WalWriter::Open(path, read->valid_bytes, WalWriterOptions{});
+  ASSERT_TRUE(wal.ok());
+  Result<uint64_t> size = storage::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, two_records);
+}
+
+TEST(WalTest, BitFlipInTailRecordDropsOnlyTheTail) {
+  std::string path = JoinPath(FreshDir("wal_flip"), "wal.log");
+  uint64_t prefix = 0;
+  {
+    auto wal = WalWriter::Open(path, 0, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "survives").ok());
+    prefix = (*wal)->bytes();
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "flipped").ok());
+  }
+  FlipBit(path, -2);  // inside the last record's payload
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->tail_dropped);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "survives");
+  EXPECT_EQ(read->valid_bytes, prefix);
+}
+
+TEST(WalTest, BitFlipInFirstRecordDropsEverything) {
+  std::string path = JoinPath(FreshDir("wal_flip_first"), "wal.log");
+  {
+    auto wal = WalWriter::Open(path, 0, WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "aaaa").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kAppendGraphs, "bbbb").ok());
+  }
+  constexpr int64_t kWalRecordHeaderBytes = 9;  // u32 len | u8 type | u32 crc
+  FlipBit(path, kWalRecordHeaderBytes + 1);  // first payload
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->tail_dropped);
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0u);
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  Result<WalReadResult> read = ReadWal(FreshDir("wal_missing") + "/absent");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kNotFound);
+}
+
+TEST(WalTest, ConcurrentAppendsShareFsyncs) {
+  std::string path = JoinPath(FreshDir("wal_group"), "wal.log");
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 25;
+  auto wal = WalWriter::Open(path, 0, WalWriterOptions{});
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::thread> threads;
+  std::atomic<size_t> failures{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::string payload =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        if (!(*wal)->Append(WalRecordType::kAppendGraphs, payload).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ((*wal)->appends(), kThreads * kPerThread);
+  // Group commit: every append is durable, yet leaders batch fsyncs.
+  EXPECT_LE((*wal)->syncs(), (*wal)->appends());
+  Result<WalReadResult> read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), kThreads * kPerThread);
+  EXPECT_FALSE(read->tail_dropped);
+}
+
+// ---------------------------------------------------------------------------
+// Append payload codec
+
+TEST(AppendPayloadTest, RoundTrip) {
+  AppendPayload payload;
+  payload.to_version = 7;
+  payload.options = testing::StorageMaintenanceOptions();
+  payload.label_names = {"C", "S", "O", "N"};
+  payload.graphs.push_back(
+      testing::MakeGraph({kC, kS, kN}, {{0, 1}, {1, 2}}));
+  payload.graphs.push_back(testing::MakeGraph({kC, kC}, {{0, 1}}));
+
+  std::string blob = storage::EncodeAppendPayload(payload);
+  Result<AppendPayload> decoded = storage::DecodeAppendPayload(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->to_version, 7u);
+  EXPECT_DOUBLE_EQ(decoded->options.alpha, payload.options.alpha);
+  EXPECT_EQ(decoded->options.max_fragment_edges,
+            payload.options.max_fragment_edges);
+  EXPECT_EQ(decoded->options.reclassify, payload.options.reclassify);
+  EXPECT_EQ(decoded->label_names, payload.label_names);
+  ASSERT_EQ(decoded->graphs.size(), 2u);
+  EXPECT_EQ(decoded->graphs[0].NodeCount(), 3u);
+  EXPECT_EQ(decoded->graphs[0].EdgeCount(), 2u);
+  EXPECT_EQ(decoded->graphs[0].NodeLabel(1), kS);
+  EXPECT_EQ(decoded->graphs[1].EdgeCount(), 1u);
+}
+
+TEST(AppendPayloadTest, RejectsTruncationAndTrailingBytes) {
+  AppendPayload payload;
+  payload.to_version = 1;
+  payload.label_names = {"C"};
+  payload.graphs.push_back(testing::MakeGraph({kC, kC}, {{0, 1}}));
+  std::string blob = storage::EncodeAppendPayload(payload);
+  EXPECT_FALSE(
+      storage::DecodeAppendPayload(blob.substr(0, blob.size() - 1)).ok());
+  EXPECT_FALSE(storage::DecodeAppendPayload(blob + "x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+
+TEST(SegmentTest, RoundTripIsBitIdentical) {
+  std::string dir = FreshDir("segment_roundtrip");
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  ASSERT_TRUE(storage::WriteSegment(*snapshot, dir, "seg.prseg").ok());
+
+  Result<storage::OpenedSegment> opened =
+      storage::OpenSegment(JoinPath(dir, "seg.prseg"));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  testing::ExpectSnapshotsIdentical(*opened->snapshot, *snapshot);
+  EXPECT_GT(opened->posting_bytes, 0u);
+  EXPECT_GT(opened->file_bytes, opened->posting_bytes);
+}
+
+TEST(SegmentTest, PostingListsAreZeroCopyViewsIntoTheMapping) {
+  std::string dir = FreshDir("segment_zerocopy");
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  ASSERT_TRUE(storage::WriteSegment(*snapshot, dir, "seg.prseg").ok());
+
+  SnapshotPtr keep;
+  {
+    Result<storage::OpenedSegment> opened =
+        storage::OpenSegment(JoinPath(dir, "seg.prseg"));
+    ASSERT_TRUE(opened.ok());
+    const uint8_t* base = opened->mapping->data();
+    const uint8_t* end = base + opened->mapping->size();
+    const A2FIndex& a2f = opened->snapshot->indexes().a2f;
+    ASSERT_GT(a2f.VertexCount(), 0u);
+    size_t borrowed_nonempty = 0;
+    for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+      const A2fVertex& v = a2f.vertex(id);
+      for (const IdSet* set : {&v.fsg_ids, &v.del_ids}) {
+        if (set->size() == 0) continue;
+        ++borrowed_nonempty;
+        EXPECT_TRUE(set->borrowed()) << "A2F " << id;
+        const uint8_t* data = reinterpret_cast<const uint8_t*>(set->begin());
+        EXPECT_GE(data, base) << "A2F " << id;
+        EXPECT_LE(reinterpret_cast<const uint8_t*>(set->end()), end)
+            << "A2F " << id;
+      }
+    }
+    EXPECT_GT(borrowed_nonempty, 0u);
+    keep = opened->snapshot;
+  }
+  // The OpenedSegment handle is gone; the snapshot's borrowed sets must
+  // keep the mapping alive on their own.
+  EXPECT_GT(keep->indexes().a2f.VertexCount(), 0u);
+  EXPECT_EQ(keep->indexes().a2f.FsgIds(0).size(),
+            snapshot->indexes().a2f.FsgIds(0).size());
+}
+
+TEST(SegmentTest, MetaCorruptionIsDetected) {
+  std::string dir = FreshDir("segment_meta_corrupt");
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  ASSERT_TRUE(storage::WriteSegment(*snapshot, dir, "seg.prseg").ok());
+  std::string path = JoinPath(dir, "seg.prseg");
+  FlipBit(path, storage::kSegmentHeaderBytes + 3);
+  Result<storage::OpenedSegment> opened = storage::OpenSegment(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SegmentTest, PostingCorruptionIsDetectedWhenVerifying) {
+  std::string dir = FreshDir("segment_post_corrupt");
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  ASSERT_TRUE(storage::WriteSegment(*snapshot, dir, "seg.prseg").ok());
+  std::string path = JoinPath(dir, "seg.prseg");
+  FlipBit(path, -3);  // posting region sits at the end of the file
+  storage::SegmentReadOptions verify;
+  verify.verify_postings_crc = true;
+  Result<storage::OpenedSegment> opened = storage::OpenSegment(path, verify);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SegmentTest, TruncationIsDetected) {
+  std::string dir = FreshDir("segment_truncate");
+  SnapshotPtr snapshot = testing::MakeTinySnapshot();
+  ASSERT_TRUE(storage::WriteSegment(*snapshot, dir, "seg.prseg").ok());
+  std::string path = JoinPath(dir, "seg.prseg");
+  Result<uint64_t> size = storage::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  TruncateFile(path, *size / 2);
+  EXPECT_FALSE(storage::OpenSegment(path).ok());
+  TruncateFile(path, storage::kSegmentHeaderBytes - 1);
+  EXPECT_FALSE(storage::OpenSegment(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+TEST(ManifestTest, SaveLoadRoundTrip) {
+  std::string dir = FreshDir("manifest_roundtrip");
+  Manifest manifest;
+  manifest.snapshot_version = 12;
+  manifest.alpha = 0.25;
+  manifest.segment_file = "seg-12.prseg";
+  manifest.wal_file = "wal-12.log";
+  ASSERT_TRUE(storage::SaveManifest(dir, manifest).ok());
+  Result<Manifest> loaded = storage::LoadManifest(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, manifest);
+}
+
+TEST(ManifestTest, MissingIsNotFoundCorruptIsCorruption) {
+  std::string dir = FreshDir("manifest_corrupt");
+  Result<Manifest> missing = storage::LoadManifest(dir);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+
+  Manifest manifest;
+  manifest.segment_file = "seg-0.prseg";
+  manifest.wal_file = "wal-0.log";
+  ASSERT_TRUE(storage::SaveManifest(dir, manifest).ok());
+  FlipBit(JoinPath(dir, storage::kManifestFileName), 20);
+  Result<Manifest> corrupt = storage::LoadManifest(dir);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), Status::Code::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Storage engine
+
+// One engine append: encodes `graphs` as the payload advancing to
+// `to_version` using the tiny fixture's label names.
+AppendPayload PayloadFor(uint64_t to_version, std::vector<Graph> graphs) {
+  AppendPayload payload;
+  payload.to_version = to_version;
+  payload.options = testing::StorageMaintenanceOptions();
+  payload.label_names = {"C", "S", "O", "N"};
+  payload.graphs = std::move(graphs);
+  return payload;
+}
+
+TEST(StorageEngineTest, BootstrapThenOpenIsIdentity) {
+  std::string dir = FreshDir("engine_bootstrap");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  EXPECT_FALSE(StorageEngine::Exists(dir));
+  Result<std::unique_ptr<StorageEngine>> engine =
+      StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(StorageEngine::Exists(dir));
+  testing::ExpectSnapshotsIdentical(*(*engine)->recovered().snapshot,
+                                    *initial);
+  // Bootstrapping an initialized directory must fail, not overwrite.
+  EXPECT_FALSE(
+      StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha).ok());
+
+  engine->reset();
+  Result<std::unique_ptr<StorageEngine>> reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const RecoveredState& state = (*reopened)->recovered();
+  EXPECT_EQ(state.replayed_records, 0u);  // O(1) restart: nothing to replay
+  EXPECT_FALSE(state.wal_tail_dropped);
+  testing::ExpectSnapshotsIdentical(*state.snapshot, *initial);
+}
+
+TEST(StorageEngineTest, LoggedAppendsReplayOnOpen) {
+  std::string dir = FreshDir("engine_replay");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  {
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(
+        (*engine)->LogAppend(PayloadFor(1, testing::BatchForVersion(1))).ok());
+    ASSERT_TRUE(
+        (*engine)->LogAppend(PayloadFor(2, testing::BatchForVersion(2))).ok());
+    EXPECT_GT((*engine)->Stats().wal_bytes, 0u);
+  }
+  // Crash-equivalent: the engine is gone, only the files remain. Open
+  // must replay both records through the maintenance delta path and land
+  // on the same snapshot the oracle reaches by applying the same batches.
+  Result<std::unique_ptr<StorageEngine>> reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const RecoveredState& state = (*reopened)->recovered();
+  EXPECT_EQ(state.replayed_records, 2u);
+  EXPECT_EQ(state.snapshot->version(), 2u);
+
+  SnapshotPtr oracle = initial;
+  for (uint64_t v = 1; v <= 2; ++v) {
+    Result<SnapshotAppendResult> next =
+        AppendGraphs(*oracle, testing::BatchForVersion(v),
+                     testing::StorageMaintenanceOptions());
+    ASSERT_TRUE(next.ok());
+    oracle = next->snapshot;
+  }
+  testing::ExpectSnapshotsIdentical(*state.snapshot, *oracle);
+}
+
+TEST(StorageEngineTest, CheckpointTruncatesWalAndSurvivesReopen) {
+  std::string dir = FreshDir("engine_checkpoint");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  {
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(
+        (*engine)->LogAppend(PayloadFor(1, testing::BatchForVersion(1))).ok());
+  }
+  Result<std::unique_ptr<StorageEngine>> engine = StorageEngine::Open(dir);
+  ASSERT_TRUE(engine.ok());
+  SnapshotPtr recovered = (*engine)->recovered().snapshot;
+  ASSERT_EQ(recovered->version(), 1u);
+  ASSERT_TRUE(
+      (*engine)->Checkpoint(*recovered, testing::kStorageAlpha).ok());
+  StorageStats stats = (*engine)->Stats();
+  EXPECT_EQ(stats.last_checkpoint_version, 1u);
+  EXPECT_EQ(stats.wal_bytes, 0u);
+  // Superseded files are gone; only the live pair plus manifest remain.
+  Result<std::vector<std::string>> files = storage::ListDir(dir);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 3u);
+  engine->reset();
+
+  Result<std::unique_ptr<StorageEngine>> reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovered().replayed_records, 0u);
+  testing::ExpectSnapshotsIdentical(*(*reopened)->recovered().snapshot,
+                                    *recovered);
+}
+
+TEST(StorageEngineTest, SweepsOrphansOnOpen) {
+  std::string dir = FreshDir("engine_orphans");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  {
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+    ASSERT_TRUE(engine.ok());
+  }
+  // Strand files an interrupted checkpoint could leave behind.
+  for (const char* name : {"seg-99.prseg", "wal-99.log", "MANIFEST.tmp"}) {
+    ASSERT_TRUE(storage::WriteFileDurable(dir, name, "stranded").ok());
+  }
+  Result<std::unique_ptr<StorageEngine>> engine = StorageEngine::Open(dir);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(storage::PathExists(JoinPath(dir, "seg-99.prseg")));
+  EXPECT_FALSE(storage::PathExists(JoinPath(dir, "wal-99.log")));
+  EXPECT_FALSE(storage::PathExists(JoinPath(dir, "MANIFEST.tmp")));
+  EXPECT_TRUE(storage::PathExists(JoinPath(dir, "seg-0.prseg")));
+}
+
+TEST(StorageEngineTest, TornWalTailSurfacesInStats) {
+  std::string dir = FreshDir("engine_torn");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  std::string wal_path;
+  {
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(
+        (*engine)->LogAppend(PayloadFor(1, testing::BatchForVersion(1))).ok());
+    wal_path = JoinPath(dir, "wal-0.log");
+  }
+  // A torn second record: header promises more bytes than exist.
+  {
+    int fd = ::open(wal_path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    const char torn[] = "\xff\xff\x00\x00\x01garbage";
+    ASSERT_GT(::write(fd, torn, sizeof(torn)), 0);
+    ::close(fd);
+  }
+  Result<std::unique_ptr<StorageEngine>> engine = StorageEngine::Open(dir);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE((*engine)->Stats().wal_tail_dropped);
+  EXPECT_EQ((*engine)->recovered().replayed_records, 1u);
+  EXPECT_EQ((*engine)->recovered().snapshot->version(), 1u);
+}
+
+TEST(StorageEngineTest, VersionGapInWalIsCorruption) {
+  std::string dir = FreshDir("engine_gap");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  {
+    Result<std::unique_ptr<StorageEngine>> engine =
+        StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+    ASSERT_TRUE(engine.ok());
+    // to_version 3 over a version-0 segment: versions 1 and 2 are missing.
+    ASSERT_TRUE(
+        (*engine)->LogAppend(PayloadFor(3, testing::BatchForVersion(3))).ok());
+  }
+  Result<std::unique_ptr<StorageEngine>> engine = StorageEngine::Open(dir);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), Status::Code::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager integration (log-then-publish)
+
+TEST(DurableSessionManagerTest, AppendsRecoverBitIdentically) {
+  std::string dir = FreshDir("manager_durable");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  Result<std::unique_ptr<StorageEngine>> boot =
+      StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+  ASSERT_TRUE(boot.ok());
+  std::shared_ptr<StorageEngine> engine = std::move(*boot);
+
+  SessionManager manager(engine->recovered().snapshot);
+  manager.AttachStorage(engine);
+  SnapshotPtr published;
+  for (uint64_t v = 1; v <= 3; ++v) {
+    Result<MaintenanceReport> report = manager.Append(
+        testing::BatchForVersion(v), testing::StorageMaintenanceOptions());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->to_version, v);
+  }
+  published = manager.current();
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_TRUE(stats.durable);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_EQ(stats.last_checkpoint_version, 0u);
+
+  // Reopen the directory cold: the recovered snapshot must equal the one
+  // the manager published, index bit for index bit.
+  engine.reset();
+  Result<std::unique_ptr<StorageEngine>> reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovered().replayed_records, 3u);
+  testing::ExpectSnapshotsIdentical(*(*reopened)->recovered().snapshot,
+                                    *published);
+}
+
+TEST(DurableSessionManagerTest, CheckpointMakesRestartReplayFree) {
+  std::string dir = FreshDir("manager_checkpoint");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  Result<std::unique_ptr<StorageEngine>> boot =
+      StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+  ASSERT_TRUE(boot.ok());
+  std::shared_ptr<StorageEngine> engine = std::move(*boot);
+  SessionManager manager(engine->recovered().snapshot);
+  manager.AttachStorage(engine);
+  ASSERT_TRUE(manager
+                  .Append(testing::BatchForVersion(1),
+                          testing::StorageMaintenanceOptions())
+                  .ok());
+  ASSERT_TRUE(manager.Checkpoint().ok());
+  EXPECT_EQ(manager.Stats().last_checkpoint_version, 1u);
+  EXPECT_EQ(manager.Stats().wal_bytes, 0u);
+  SnapshotPtr published = manager.current();
+
+  engine.reset();
+  Result<std::unique_ptr<StorageEngine>> reopened = StorageEngine::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovered().replayed_records, 0u);
+  testing::ExpectSnapshotsIdentical(*(*reopened)->recovered().snapshot,
+                                    *published);
+}
+
+TEST(DurableSessionManagerTest, CheckpointWithoutEngineFails) {
+  SessionManager manager(testing::MakeTinySnapshot());
+  EXPECT_FALSE(manager.Checkpoint().ok());
+  EXPECT_FALSE(manager.Stats().durable);
+}
+
+}  // namespace
+}  // namespace prague

@@ -1,0 +1,170 @@
+// Shared helpers for the storage-engine tests: a tiny indexed snapshot,
+// deterministic append batches (shared by the crash-torture child and its
+// in-memory oracle), and index/snapshot equality assertions.
+
+#ifndef PRAGUE_TESTS_TEST_STORAGE_UTIL_H_
+#define PRAGUE_TESTS_TEST_STORAGE_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index/database_snapshot.h"
+#include "index/index_maintenance.h"
+#include "mining/gspan.h"
+#include "test_fixtures.h"
+
+namespace prague::testing {
+
+/// α / β / growth cap shared by every storage test so incremental replays
+/// and offline oracles agree on σ.
+inline constexpr double kStorageAlpha = 0.34;
+inline constexpr size_t kStorageBeta = 2;
+inline constexpr size_t kStorageMaxEdges = 6;
+
+inline MaintenanceOptions StorageMaintenanceOptions() {
+  MaintenanceOptions options;
+  options.alpha = kStorageAlpha;
+  options.max_fragment_edges = kStorageMaxEdges;
+  options.reclassify = true;
+  return options;
+}
+
+/// The tiny fixture mined and indexed, as an owning snapshot at version 0.
+inline SnapshotPtr MakeTinySnapshot() {
+  GraphDatabase db = TinyDatabase();
+  MiningConfig mining;
+  mining.min_support_ratio = kStorageAlpha;
+  mining.max_fragment_edges = kStorageMaxEdges;
+  A2fConfig a2f;
+  a2f.beta = kStorageBeta;
+  Result<MiningResult> mined = MineFragments(db, mining);
+  if (!mined.ok()) std::abort();
+  ActionAwareIndexes indexes = BuildActionAwareIndexes(*mined, a2f);
+  return DatabaseSnapshot::Make(std::move(db), std::move(indexes), 0);
+}
+
+/// Deterministic append batch for snapshot version \p v (pure function —
+/// the torture child and the parent's oracle must generate identical
+/// batches). Cycles through shapes that exercise new labels, σ-crossing
+/// support growth, and plain containment updates.
+inline std::vector<Graph> BatchForVersion(uint64_t v) {
+  std::vector<Graph> batch;
+  switch (v % 4) {
+    case 0:
+      batch.push_back(MakeGraph({kC, kC, kC, kS},
+                                {{0, 1}, {1, 2}, {0, 2}, {0, 3}}));
+      break;
+    case 1:
+      batch.push_back(MakeGraph({kN, kC, kN}, {{0, 1}, {1, 2}}));
+      batch.push_back(MakeGraph({kC, kS, kC}, {{0, 1}, {1, 2}}));
+      break;
+    case 2:
+      batch.push_back(MakeGraph({kC, kS, kO, kC},
+                                {{0, 1}, {1, 2}, {2, 3}, {0, 3}}));
+      break;
+    default:
+      batch.push_back(MakeGraph({kO, kO, kC}, {{0, 1}, {1, 2}}));
+      break;
+  }
+  return batch;
+}
+
+/// Per-code image of an A2F index: code → (exact id set, MF membership).
+inline std::map<CanonicalCode, std::pair<std::vector<GraphId>, bool>>
+A2fByCode(const A2FIndex& a2f) {
+  std::map<CanonicalCode, std::pair<std::vector<GraphId>, bool>> out;
+  for (A2fId id = 0; id < a2f.VertexCount(); ++id) {
+    const A2fVertex& v = a2f.vertex(id);
+    out[v.code] = {{v.fsg_ids.begin(), v.fsg_ids.end()}, v.in_mf};
+  }
+  return out;
+}
+
+/// Per-code image of an A2I index: code → exact id set.
+inline std::map<CanonicalCode, std::vector<GraphId>> A2iByCode(
+    const A2IIndex& a2i) {
+  std::map<CanonicalCode, std::vector<GraphId>> out;
+  for (A2iId d = 0; d < a2i.EntryCount(); ++d) {
+    const A2iEntry& e = a2i.entry(d);
+    out[e.code] = {e.fsg_ids.begin(), e.fsg_ids.end()};
+  }
+  return out;
+}
+
+/// Asserts two index pairs carry the same fragment population with
+/// bit-identical exact id sets (code-keyed, so vertex numbering may
+/// differ — e.g. incremental reclassification vs an offline re-mine).
+inline void ExpectIndexesEquivalent(const ActionAwareIndexes& got,
+                                    const ActionAwareIndexes& want) {
+  EXPECT_EQ(got.min_support, want.min_support);
+  EXPECT_EQ(got.a2f.beta(), want.a2f.beta());
+  EXPECT_EQ(A2fByCode(got.a2f), A2fByCode(want.a2f));
+  EXPECT_EQ(A2iByCode(got.a2i), A2iByCode(want.a2i));
+}
+
+/// Asserts \p got is structurally identical to \p want, per vertex id:
+/// fragment codes, fsg/del id sets, DAG edges, MF split, and clusters.
+/// This is the strict form — valid when both sides were produced by the
+/// same construction order (serialization round-trips, WAL replay vs the
+/// oracle applying the same appends).
+inline void ExpectIndexesIdentical(const ActionAwareIndexes& got,
+                                   const ActionAwareIndexes& want) {
+  EXPECT_EQ(got.min_support, want.min_support);
+  ASSERT_EQ(got.a2f.VertexCount(), want.a2f.VertexCount());
+  EXPECT_EQ(got.a2f.MfVertexCount(), want.a2f.MfVertexCount());
+  EXPECT_EQ(got.a2f.beta(), want.a2f.beta());
+  for (A2fId id = 0; id < want.a2f.VertexCount(); ++id) {
+    const A2fVertex& g = got.a2f.vertex(id);
+    const A2fVertex& w = want.a2f.vertex(id);
+    EXPECT_EQ(g.code, w.code) << "A2F " << id;
+    EXPECT_EQ(g.fsg_ids, w.fsg_ids) << "A2F " << id;
+    EXPECT_EQ(g.del_ids, w.del_ids) << "A2F " << id;
+    EXPECT_EQ(g.parents, w.parents) << "A2F " << id;
+    EXPECT_EQ(g.children, w.children) << "A2F " << id;
+    EXPECT_EQ(g.in_mf, w.in_mf) << "A2F " << id;
+  }
+  ASSERT_EQ(got.a2f.clusters().size(), want.a2f.clusters().size());
+  for (size_t c = 0; c < want.a2f.clusters().size(); ++c) {
+    EXPECT_EQ(got.a2f.clusters()[c].root, want.a2f.clusters()[c].root);
+    EXPECT_EQ(got.a2f.clusters()[c].members, want.a2f.clusters()[c].members);
+  }
+  ASSERT_EQ(got.a2i.EntryCount(), want.a2i.EntryCount());
+  for (A2iId d = 0; d < want.a2i.EntryCount(); ++d) {
+    EXPECT_EQ(got.a2i.entry(d).code, want.a2i.entry(d).code) << "A2I " << d;
+    EXPECT_EQ(got.a2i.entry(d).fsg_ids, want.a2i.entry(d).fsg_ids)
+        << "A2I " << d;
+  }
+}
+
+/// Asserts two snapshots are bit-identical: version, label dictionary,
+/// every graph, and both indexes (strict form).
+inline void ExpectSnapshotsIdentical(const DatabaseSnapshot& got,
+                                     const DatabaseSnapshot& want) {
+  EXPECT_EQ(got.version(), want.version());
+  EXPECT_EQ(got.labels().names(), want.labels().names());
+  ASSERT_EQ(got.db().size(), want.db().size());
+  for (GraphId gid = 0; gid < want.db().size(); ++gid) {
+    const Graph& g = got.db().graph(gid);
+    const Graph& w = want.db().graph(gid);
+    ASSERT_EQ(g.NodeCount(), w.NodeCount()) << "g" << gid;
+    ASSERT_EQ(g.EdgeCount(), w.EdgeCount()) << "g" << gid;
+    for (NodeId n = 0; n < w.NodeCount(); ++n) {
+      EXPECT_EQ(g.NodeLabel(n), w.NodeLabel(n)) << "g" << gid << " n" << n;
+    }
+    for (EdgeId e = 0; e < w.EdgeCount(); ++e) {
+      EXPECT_EQ(g.GetEdge(e).u, w.GetEdge(e).u) << "g" << gid << " e" << e;
+      EXPECT_EQ(g.GetEdge(e).v, w.GetEdge(e).v) << "g" << gid << " e" << e;
+      EXPECT_EQ(g.GetEdge(e).label, w.GetEdge(e).label)
+          << "g" << gid << " e" << e;
+    }
+  }
+  ExpectIndexesIdentical(got.indexes(), want.indexes());
+}
+
+}  // namespace prague::testing
+
+#endif  // PRAGUE_TESTS_TEST_STORAGE_UTIL_H_

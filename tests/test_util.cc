@@ -64,12 +64,12 @@ TEST(ResultTest, MoveOut) {
 TEST(IdSetTest, ConstructorSortsAndDedupes) {
   IdSet s({5, 1, 3, 1, 5});
   EXPECT_EQ(s.size(), 3u);
-  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 3, 5}));
+  EXPECT_EQ(s.ToVector(), (std::vector<GraphId>{1, 3, 5}));
 }
 
 TEST(IdSetTest, Universe) {
   IdSet s = IdSet::Universe(4);
-  EXPECT_EQ(s.ids(), (std::vector<GraphId>{0, 1, 2, 3}));
+  EXPECT_EQ(s.ToVector(), (std::vector<GraphId>{0, 1, 2, 3}));
 }
 
 TEST(IdSetTest, Contains) {
@@ -82,32 +82,32 @@ TEST(IdSetTest, InsertKeepsOrder) {
   IdSet s({1, 5});
   s.Insert(3);
   s.Insert(3);  // idempotent
-  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 3, 5}));
+  EXPECT_EQ(s.ToVector(), (std::vector<GraphId>{1, 3, 5}));
 }
 
 TEST(IdSetTest, Erase) {
   IdSet s({1, 3, 5});
   s.Erase(3);
   s.Erase(99);  // no-op
-  EXPECT_EQ(s.ids(), (std::vector<GraphId>{1, 5}));
+  EXPECT_EQ(s.ToVector(), (std::vector<GraphId>{1, 5}));
 }
 
 TEST(IdSetTest, SetAlgebra) {
   IdSet a({1, 2, 3, 4});
   IdSet b({3, 4, 5});
-  EXPECT_EQ(a.Intersect(b).ids(), (std::vector<GraphId>{3, 4}));
-  EXPECT_EQ(a.Union(b).ids(), (std::vector<GraphId>{1, 2, 3, 4, 5}));
-  EXPECT_EQ(a.Subtract(b).ids(), (std::vector<GraphId>{1, 2}));
+  EXPECT_EQ(a.Intersect(b).ToVector(), (std::vector<GraphId>{3, 4}));
+  EXPECT_EQ(a.Union(b).ToVector(), (std::vector<GraphId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.Subtract(b).ToVector(), (std::vector<GraphId>{1, 2}));
 }
 
 TEST(IdSetTest, InPlaceAlgebra) {
   IdSet a({1, 2, 3});
   a.IntersectWith(IdSet({2, 3, 4}));
-  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 3}));
+  EXPECT_EQ(a.ToVector(), (std::vector<GraphId>{2, 3}));
   a.UnionWith(IdSet({9}));
-  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 3, 9}));
+  EXPECT_EQ(a.ToVector(), (std::vector<GraphId>{2, 3, 9}));
   a.SubtractWith(IdSet({3}));
-  EXPECT_EQ(a.ids(), (std::vector<GraphId>{2, 9}));
+  EXPECT_EQ(a.ToVector(), (std::vector<GraphId>{2, 9}));
 }
 
 TEST(IdSetTest, SubsetOf) {
@@ -144,7 +144,7 @@ std::vector<GraphId> RandomIds(Rng* rng, size_t count, GraphId universe) {
 }
 
 std::set<GraphId> AsSet(const IdSet& s) {
-  return std::set<GraphId>(s.ids().begin(), s.ids().end());
+  return std::set<GraphId>(s.begin(), s.end());
 }
 
 void CheckAlgebraAgainstReference(const IdSet& a, const IdSet& b) {
@@ -157,20 +157,20 @@ void CheckAlgebraAgainstReference(const IdSet& a, const IdSet& b) {
   std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
                       std::back_inserter(want_diff));
 
-  EXPECT_EQ(a.Intersect(b).ids(), want_inter);
-  EXPECT_EQ(b.Intersect(a).ids(), want_inter);  // commutes across paths
-  EXPECT_EQ(a.Union(b).ids(), want_union);
-  EXPECT_EQ(a.Subtract(b).ids(), want_diff);
+  EXPECT_EQ(a.Intersect(b).ToVector(), want_inter);
+  EXPECT_EQ(b.Intersect(a).ToVector(), want_inter);  // commutes across paths
+  EXPECT_EQ(a.Union(b).ToVector(), want_union);
+  EXPECT_EQ(a.Subtract(b).ToVector(), want_diff);
 
   IdSet in_place = a;
   in_place.IntersectWith(b);
-  EXPECT_EQ(in_place.ids(), want_inter);
+  EXPECT_EQ(in_place.ToVector(), want_inter);
   in_place = a;
   in_place.UnionWith(b);
-  EXPECT_EQ(in_place.ids(), want_union);
+  EXPECT_EQ(in_place.ToVector(), want_union);
   in_place = a;
   in_place.SubtractWith(b);
-  EXPECT_EQ(in_place.ids(), want_diff);
+  EXPECT_EQ(in_place.ToVector(), want_diff);
 }
 
 TEST(IdSetPropertyTest, BalancedRoundsMatchReferenceModel) {
@@ -213,15 +213,15 @@ TEST(IdSetPropertyTest, GallopEdgeCases) {
   EXPECT_TRUE(before.Intersect(high_ids).empty());
   // Exact hits at both ends of the large side.
   IdSet ends({0, 511});
-  EXPECT_EQ(ends.Intersect(big).ids(), (std::vector<GraphId>{0, 511}));
+  EXPECT_EQ(ends.Intersect(big).ToVector(), (std::vector<GraphId>{0, 511}));
 }
 
 TEST(IdSetPropertyTest, SelfAliasingInPlaceOps) {
   IdSet a({1, 2, 3});
   a.IntersectWith(a);
-  EXPECT_EQ(a.ids(), (std::vector<GraphId>{1, 2, 3}));
+  EXPECT_EQ(a.ToVector(), (std::vector<GraphId>{1, 2, 3}));
   a.UnionWith(a);
-  EXPECT_EQ(a.ids(), (std::vector<GraphId>{1, 2, 3}));
+  EXPECT_EQ(a.ToVector(), (std::vector<GraphId>{1, 2, 3}));
   a.SubtractWith(a);
   EXPECT_TRUE(a.empty());
 }
@@ -244,13 +244,13 @@ TEST(IdSetPropertyTest, IntersectManyMatchesPairwiseFolds) {
 
 TEST(IdSetPropertyTest, IntersectManyIgnoresNullsAndHandlesEmpty) {
   IdSet a({1, 2, 3}), b({2, 3, 4});
-  EXPECT_EQ(IdSet::IntersectMany({&a, nullptr, &b}).ids(),
+  EXPECT_EQ(IdSet::IntersectMany({&a, nullptr, &b}).ToVector(),
             (std::vector<GraphId>{2, 3}));
   EXPECT_TRUE(IdSet::IntersectMany({}).empty());
   EXPECT_TRUE(IdSet::IntersectMany({nullptr}).empty());
   IdSet empty;
   EXPECT_TRUE(IdSet::IntersectMany({&a, &empty, &b}).empty());
-  EXPECT_EQ(IdSet::IntersectMany({&a}).ids(), a.ids());
+  EXPECT_EQ(IdSet::IntersectMany({&a}).ToVector(), a.ToVector());
 }
 
 TEST(IdSetPropertyTest, SliceMatchesFilter) {
@@ -264,7 +264,7 @@ TEST(IdSetPropertyTest, SliceMatchesFilter) {
     for (GraphId id : set) {
       if (id >= a && id < b) expected.push_back(id);
     }
-    EXPECT_EQ(set.Slice(a, b).ids(), expected);
+    EXPECT_EQ(set.Slice(a, b).ToVector(), expected);
   }
 }
 
@@ -275,7 +275,7 @@ TEST(IdSetPropertyTest, SliceSharesBufferWhenFullyContained) {
   // A strict sub-range copies.
   IdSet part = set.Slice(11, 100);
   EXPECT_FALSE(part.SharesStorageWith(set));
-  EXPECT_EQ(part.ids(), (std::vector<GraphId>{11, 40}));
+  EXPECT_EQ(part.ToVector(), (std::vector<GraphId>{11, 40}));
   // Degenerate ranges are empty.
   EXPECT_TRUE(set.Slice(50, 40).empty());
   EXPECT_TRUE(set.Slice(12, 12).empty());

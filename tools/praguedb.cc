@@ -18,6 +18,17 @@
 //                  server/wire.h; one connection = one pinned session.
 //                  --slow-query-ms logs the full RunTrace of any RUN
 //                  taking at least S ms (see docs/OBSERVABILITY.md)
+//   praguedb serve --data-dir=<dir> [<db> <index.idx>] [--fsync=0|1]
+//                  — durable server (storage/storage_engine.h): an
+//                  existing data dir is opened in O(1) (mmap the
+//                  checkpointed segment, replay the WAL tail); a fresh
+//                  one is bootstrapped from <db> <index.idx>. APPEND
+//                  batches are WAL-fsync'd before they are acknowledged
+//                  (--fsync=0 trades that for latency).
+//   praguedb compact <dir>
+//                  — checkpoint a data dir offline: fold the WAL tail
+//                  into a fresh segment and truncate the log, so the
+//                  next open replays nothing.
 //   praguedb shell --connect <host:port>
 //                  — interactive (or scripted via piped stdin) client
 //                  for a running server; `help` lists line commands
@@ -68,6 +79,7 @@
 #include "query/pattern_parser.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
+#include "storage/storage_engine.h"
 #include "util/bytes.h"
 #include "util/stopwatch.h"
 
@@ -103,6 +115,11 @@ int Usage() {
       "[--max-queued-bytes=B]\n"
       "        (admission control: R runs/sec, N concurrent runs, B pending\n"
       "         bytes per tenant; over-quota requests get BUSY, not queued)\n"
+      "  praguedb serve --data-dir=<dir> [<db> <index.idx>] [--fsync=0|1] "
+      "[--append-alpha=A] [serve flags]\n"
+      "        (durable server: opens an existing data dir — or bootstraps\n"
+      "         one from <db> <index.idx> — and WAL-logs APPEND batches)\n"
+      "  praguedb compact <dir>\n"
       "  praguedb shell --connect <host:port>\n"
       "\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n");
@@ -142,6 +159,22 @@ double ExtractDoubleFlag(int* argc, char** argv, const char* flag,
   for (int r = 0; r < *argc; ++r) {
     if (std::strncmp(argv[r], flag, flag_len) == 0) {
       value = std::strtod(argv[r] + flag_len, nullptr);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return value;
+}
+
+// ExtractInt64Flag for string values (e.g. --data-dir=/var/prague).
+std::string ExtractStringFlag(int* argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  std::string value;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    if (std::strncmp(argv[r], flag, flag_len) == 0) {
+      value = argv[r] + flag_len;
     } else {
       argv[w++] = argv[r];
     }
@@ -586,6 +619,10 @@ int CmdServe(int argc, char** argv) {
   // --shards=N partitions the snapshot so every RUN scatters its phases
   // across N graph-id shards; results stay identical to --shards=1.
   int64_t shards = ExtractInt64Flag(&argc, argv, "--shards=", 1);
+  // Durable mode (storage/storage_engine.h).
+  std::string data_dir = ExtractStringFlag(&argc, argv, "--data-dir=");
+  int64_t fsync_wal = ExtractInt64Flag(&argc, argv, "--fsync=", 1);
+  double append_alpha = ExtractDoubleFlag(&argc, argv, "--append-alpha=", 0.1);
   // Admission control (core/admission.h): all default off.
   double tenant_rate = ExtractDoubleFlag(&argc, argv, "--tenant-rate=", 0);
   int64_t max_runs_per_conn =
@@ -601,20 +638,65 @@ int CmdServe(int argc, char** argv) {
       return Usage();
     }
   }
-  if (argc < 3) return Usage();
-  Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
-  if (!db.ok()) return Fail(db.status());
-  Result<VersionedIndexes> loaded =
-      IndexSerializer::LoadVersionedFromFile(argv[2]);
-  if (!loaded.ok()) return Fail(loaded.status());
+
+  storage::StorageOptions storage_options;
+  storage_options.sync = fsync_wal != 0;
+  std::shared_ptr<storage::StorageEngine> engine;
+  SnapshotPtr snapshot;
+  if (!data_dir.empty() && storage::StorageEngine::Exists(data_dir)) {
+    // An existing data dir is self-contained: O(1) open (mmap the
+    // checkpointed segment) + WAL-tail replay. Positional <db> <index.idx>
+    // would be silently shadowed, so reject the combination outright.
+    if (argc > 1) {
+      std::fprintf(stderr,
+                   "serve: %s is already bootstrapped; omit <db> <index.idx>\n",
+                   data_dir.c_str());
+      return Usage();
+    }
+    Stopwatch open_timer;
+    Result<std::unique_ptr<storage::StorageEngine>> opened =
+        storage::StorageEngine::Open(data_dir, storage_options);
+    if (!opened.ok()) return Fail(opened.status());
+    engine = std::move(opened.value());
+    snapshot = engine->recovered().snapshot;
+    const storage::StorageStats st = engine->Stats();
+    std::printf(
+        "praguedb: opened %s in %.1f ms (segment %llu bytes, %llu WAL "
+        "records replayed%s)\n",
+        data_dir.c_str(), open_timer.ElapsedSeconds() * 1000,
+        static_cast<unsigned long long>(st.segment_bytes),
+        static_cast<unsigned long long>(st.recovery_replayed_records),
+        st.wal_tail_dropped ? ", torn tail dropped" : "");
+  } else {
+    if (argc < 3) return Usage();
+    Result<GraphDatabase> db = ReadDatabaseFromFile(argv[1]);
+    if (!db.ok()) return Fail(db.status());
+    Result<VersionedIndexes> loaded =
+        IndexSerializer::LoadVersionedFromFile(argv[2]);
+    if (!loaded.ok()) return Fail(loaded.status());
+    snapshot = DatabaseSnapshot::Make(std::move(db.value()),
+                                      std::move(loaded.value().indexes),
+                                      loaded.value().version);
+    if (!data_dir.empty()) {
+      Result<std::unique_ptr<storage::StorageEngine>> boot =
+          storage::StorageEngine::Bootstrap(data_dir, *snapshot, append_alpha,
+                                            storage_options);
+      if (!boot.ok()) return Fail(boot.status());
+      engine = std::move(boot.value());
+      // Serve the snapshot the engine round-tripped through its own
+      // segment, not the in-memory original — what recovery would load.
+      snapshot = engine->recovered().snapshot;
+      std::printf("praguedb: bootstrapped %s (segment %llu bytes)\n",
+                  data_dir.c_str(),
+                  static_cast<unsigned long long>(
+                      engine->Stats().segment_bytes));
+    }
+  }
 
   PragueConfig default_config;
   default_config.shards = shards > 1 ? static_cast<size_t>(shards) : 1;
-  SessionManager manager(
-      DatabaseSnapshot::Make(std::move(db.value()),
-                             std::move(loaded.value().indexes),
-                             loaded.value().version),
-      default_config);
+  SessionManager manager(snapshot, default_config);
+  if (engine) manager.AttachStorage(engine);
   PragueServerOptions options;
   options.port = static_cast<uint16_t>(port);
   options.worker_threads = static_cast<size_t>(threads);
@@ -623,6 +705,7 @@ int CmdServe(int argc, char** argv) {
   // override it per OPEN.
   options.default_run_deadline_ms = timeout_ms > 0 ? timeout_ms : -1;
   options.slow_query_ms = slow_query_ms;
+  options.default_append_alpha = append_alpha;
   options.tenant_rate = tenant_rate > 0 ? tenant_rate : 0;
   options.max_runs_per_conn =
       max_runs_per_conn > 0 ? static_cast<size_t>(max_runs_per_conn) : 0;
@@ -635,11 +718,13 @@ int CmdServe(int argc, char** argv) {
   std::string slow_log =
       slow_query_ms >= 0 ? std::to_string(slow_query_ms) + " ms" : "off";
   std::printf("praguedb: serving %zu graphs (snapshot version %llu) on port "
-              "%u; default run budget %s; slow-query log %s; shards %zu\n",
+              "%u; default run budget %s; slow-query log %s; shards %zu; "
+              "durability %s\n",
               manager.current()->db().size(),
               static_cast<unsigned long long>(manager.current()->version()),
               server.port(), budget.c_str(), slow_log.c_str(),
-              manager.Stats().shards);
+              manager.Stats().shards,
+              engine ? (storage_options.sync ? "wal+fsync" : "wal") : "none");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
@@ -650,6 +735,59 @@ int CmdServe(int argc, char** argv) {
   std::printf("praguedb: shutting down (%llu connections served)\n",
               static_cast<unsigned long long>(server.connections_accepted()));
   server.Stop();
+  if (engine) {
+    // Fold the WAL tail into a fresh segment so the next open replays
+    // nothing. Best-effort: the WAL alone already makes restart correct.
+    if (Status st = manager.Checkpoint(); !st.ok()) {
+      std::fprintf(stderr, "praguedb: final checkpoint failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  return kExitOk;
+}
+
+// Offline checkpoint: open the data dir (replaying the WAL tail through
+// the index-maintenance delta path) and fold the result into a fresh
+// segment, so the next open is pure mmap.
+int CmdCompact(int argc, char** argv) {
+  int64_t verify = ExtractInt64Flag(&argc, argv, "--verify-postings-crc=", 0);
+  if (argc < 2) return Usage();
+  const std::string dir = argv[1];
+  if (!storage::StorageEngine::Exists(dir)) {
+    return Fail(Status::NotFound(dir + " has no manifest"));
+  }
+  storage::StorageOptions options;
+  options.verify_postings_crc = verify != 0;
+  Stopwatch timer;
+  Result<std::unique_ptr<storage::StorageEngine>> opened =
+      storage::StorageEngine::Open(dir, options);
+  if (!opened.ok()) return Fail(opened.status());
+  storage::StorageEngine& engine = **opened;
+  const storage::StorageStats before = engine.Stats();
+  const storage::RecoveredState& recovered = engine.recovered();
+  if (Status st = engine.Checkpoint(*recovered.snapshot,
+                                    recovered.manifest.alpha);
+      !st.ok()) {
+    return Fail(st);
+  }
+  const storage::StorageStats after = engine.Stats();
+  if (before.last_checkpoint_version == after.last_checkpoint_version) {
+    std::printf("%s: already compact at version %llu (%llu segment bytes)\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(after.last_checkpoint_version),
+                static_cast<unsigned long long>(after.segment_bytes));
+  } else {
+    std::printf(
+        "%s: compacted version %llu -> %llu in %.2fs (%llu WAL records "
+        "folded, %llu WAL bytes truncated, segment %llu bytes)\n",
+        dir.c_str(),
+        static_cast<unsigned long long>(before.last_checkpoint_version),
+        static_cast<unsigned long long>(after.last_checkpoint_version),
+        timer.ElapsedSeconds(),
+        static_cast<unsigned long long>(before.recovery_replayed_records),
+        static_cast<unsigned long long>(before.wal_bytes),
+        static_cast<unsigned long long>(after.segment_bytes));
+  }
   return kExitOk;
 }
 
@@ -674,6 +812,8 @@ void ShellHelp() {
       "  run [k]                    run the query (list at most k matches)\n"
       "  batch <p1> ; <p2> ; ...    BATCH_RUN: one member per ';'-separated\n"
       "                             pattern (pattern syntax of `praguedb run`)\n"
+      "  append <g1> ; <g2> ; ...   APPEND: durably add data graphs (same\n"
+      "                             syntax; new label names are allowed)\n"
       "  cancel [id]                cancel an in-flight run (by request id)\n"
       "  stats                      server-wide session statistics\n"
       "  metrics                    server Prometheus metrics dump\n"
@@ -722,11 +862,40 @@ void PrintStats(const StatsReply& stats) {
       static_cast<unsigned long long>(stats.runs_truncated),
       static_cast<unsigned long long>(stats.runs_shed),
       static_cast<unsigned long long>(stats.tenants));
+  if (stats.durable) {
+    std::printf("durable: %llu WAL bytes since checkpoint at version %llu\n",
+                static_cast<unsigned long long>(stats.wal_bytes),
+                static_cast<unsigned long long>(
+                    stats.last_checkpoint_version));
+  }
   for (const auto& [id, version] : stats.sessions) {
     std::printf("  session %llu pinned at version %llu\n",
                 static_cast<unsigned long long>(id),
                 static_cast<unsigned long long>(version));
   }
+}
+
+// The remainder of a shell line as ';'-separated, whitespace-trimmed
+// patterns (shared by `batch` and `append`).
+std::vector<std::string> SplitShellPatterns(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  std::vector<std::string> patterns;
+  size_t start = 0;
+  while (start <= rest.size()) {
+    size_t semi = rest.find(';', start);
+    std::string pattern = rest.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    const char* ws = " \t";
+    size_t first = pattern.find_first_not_of(ws);
+    if (first != std::string::npos) {
+      patterns.push_back(
+          pattern.substr(first, pattern.find_last_not_of(ws) - first + 1));
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return patterns;
 }
 
 // One shell line; returns false when the shell should exit.
@@ -788,23 +957,7 @@ bool ShellDispatch(PragueClient& client, const std::string& line) {
     }
   } else if (verb == "batch") {
     // Everything after the verb is a ';'-separated list of patterns.
-    std::string rest;
-    std::getline(in, rest);
-    std::vector<std::string> patterns;
-    size_t start = 0;
-    while (start <= rest.size()) {
-      size_t semi = rest.find(';', start);
-      std::string pattern = rest.substr(
-          start, semi == std::string::npos ? std::string::npos : semi - start);
-      const char* ws = " \t";
-      size_t first = pattern.find_first_not_of(ws);
-      if (first != std::string::npos) {
-        patterns.push_back(
-            pattern.substr(first, pattern.find_last_not_of(ws) - first + 1));
-      }
-      if (semi == std::string::npos) break;
-      start = semi + 1;
-    }
+    std::vector<std::string> patterns = SplitShellPatterns(in);
     if (patterns.empty()) {
       std::fprintf(stderr, "usage: batch <pattern> [; <pattern> ...]\n");
       return true;
@@ -831,6 +984,27 @@ bool ShellDispatch(PragueClient& client, const std::string& line) {
         std::fprintf(stderr, "  error: %s\n",
                      reply->members[i].status().ToString().c_str());
       }
+    }
+  } else if (verb == "append") {
+    std::vector<std::string> patterns = SplitShellPatterns(in);
+    if (patterns.empty()) {
+      std::fprintf(stderr, "usage: append <graph> [; <graph> ...]\n");
+      return true;
+    }
+    Result<AppendReply> reply = client.Append(patterns);
+    if (!reply.ok()) {
+      report(reply.status());
+    } else {
+      std::printf(
+          "appended %llu graphs -> version %llu (sigma %llu%s; "
+          "+%llu promoted, -%llu demoted, %llu discovered)\n",
+          static_cast<unsigned long long>(reply->added),
+          static_cast<unsigned long long>(reply->version),
+          static_cast<unsigned long long>(reply->min_support),
+          reply->reclassified ? ", reclassified" : "",
+          static_cast<unsigned long long>(reply->promoted),
+          static_cast<unsigned long long>(reply->demoted),
+          static_cast<unsigned long long>(reply->discovered));
     }
   } else if (verb == "cancel") {
     uint64_t id = 0;
@@ -920,6 +1094,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc - 1, argv + 1);
   if (cmd == "run") return CmdRun(argc - 1, argv + 1);
   if (cmd == "serve") return CmdServe(argc - 1, argv + 1);
+  if (cmd == "compact") return CmdCompact(argc - 1, argv + 1);
   if (cmd == "shell") return CmdShell(argc - 1, argv + 1);
   return Usage();
 }
