@@ -28,6 +28,9 @@
 // PRAGUE_BENCH_JSON). PRAGUE_BENCH_TIMEOUT_MS bounds every Run() over the
 // wire (default 0 = unbounded, so truncated stays 0).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -43,7 +46,9 @@
 
 #include "bench_common.h"
 #include "core/session_manager.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
 #include "storage/fs_util.h"
@@ -745,6 +750,129 @@ void DurabilitySweep(const Workbench& bench, BenchJsonWriter& json) {
   wal_table.Print();
 }
 
+// Phase 6 — observability overhead: the identical RUN workload against a
+// server with the operator plane off, then on (watchdog + HTTP exporter
+// with a 10 Hz scraper hammering GET /metrics for the whole cell, i.e. a
+// Prometheus hitting the default scrape interval ×1000). The acceptance
+// property is that the scraped column's RUN percentiles match the quiet
+// column: rendering happens from a registry snapshot on the exporter
+// thread, so the query path never pays for a scrape.
+void ObservabilitySweep(const Workbench& bench,
+                        const std::vector<VisualQuerySpec>& queries,
+                        BenchJsonWriter& json) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kDepth = 8;
+  // Enough sessions that each cell runs for a couple of seconds — the
+  // 10 Hz scraper must land tens of scrapes inside the measured window.
+  constexpr size_t kObsSessionsPerClient = 8 * kSessionsPerClient;
+  TablePrinter table({"scraper", "runs", "runs/s", "p50 RTT (ms)",
+                      "p95 RTT (ms)", "scrapes", "render p95 (µs)"});
+  for (bool scraped : {false, true}) {
+    SessionManager manager(bench.snapshot);
+    obs::Watchdog watchdog;
+    watchdog.set_trace_ring(&manager.mutable_traces());
+    PragueServerOptions options;
+    options.port = 0;
+    options.watchdog = &watchdog;
+    PragueServer server(&manager, options);
+    if (!server.Start().ok()) std::abort();
+    watchdog.Start();
+
+    std::unique_ptr<obs::HttpExporter> exporter;
+    std::atomic<bool> stop_scraper{false};
+    std::atomic<size_t> scrapes{0};
+    std::thread scraper;
+    const obs::HistogramSnapshot render_before =
+        obs::MetricsRegistry::Global()
+            .GetHistogram("prague_http_scrape_render_us")
+            ->Snapshot();
+    if (scraped) {
+      exporter = std::make_unique<obs::HttpExporter>();
+      if (!exporter->Start().ok()) std::abort();
+      scraper = std::thread([&] {
+        while (!stop_scraper.load()) {
+          // A raw scrape exactly like the lifecycle tests do it.
+          int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+          if (fd >= 0) {
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_port = htons(exporter->port());
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0) {
+              const char request[] =
+                  "GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: "
+                  "close\r\n\r\n";
+              (void)!::send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL);
+              char buf[16384];
+              while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+              }
+              scrapes.fetch_add(1);
+            }
+            ::close(fd);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
+
+    std::vector<std::vector<double>> latencies(kClients);
+    std::atomic<size_t> truncated{0};
+    Stopwatch wall;
+    std::vector<std::thread> pool;
+    pool.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      pool.emplace_back([&, c] {
+        for (size_t i = 0; i < kObsSessionsPerClient; ++i) {
+          const VisualQuerySpec& spec =
+              queries[(c * kObsSessionsPerClient + i) % queries.size()];
+          truncated.fetch_add(RunOneSession(server.port(), bench, spec,
+                                            kDepth, &latencies[c]));
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double seconds = wall.ElapsedSeconds();
+
+    stop_scraper.store(true);
+    if (scraper.joinable()) scraper.join();
+    const obs::HistogramSnapshot render = DiffSnapshot(
+        render_before, obs::MetricsRegistry::Global()
+                           .GetHistogram("prague_http_scrape_render_us")
+                           ->Snapshot());
+    if (exporter) exporter->Stop();
+    server.Stop();
+    watchdog.Stop();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    const size_t runs = kClients * kObsSessionsPerClient * kDepth;
+    const double run_rate = static_cast<double>(runs) / seconds;
+    const double p50 = Percentile(all, 0.50) * 1000;
+    const double p95 = Percentile(all, 0.95) * 1000;
+    table.AddRow({scraped ? "10 Hz" : "off", std::to_string(runs),
+                  Fmt(run_rate, 1), Fmt(p50, 3), Fmt(p95, 3),
+                  std::to_string(scrapes.load()),
+                  Fmt(render.Quantile(0.95), 1)});
+    json.Add(std::string("{\"phase\": \"observability\", \"scraper\": ") +
+             (scraped ? "true" : "false") +
+             ", \"clients\": " + std::to_string(kClients) +
+             ", \"depth\": " + std::to_string(kDepth) +
+             ", \"runs\": " + std::to_string(runs) +
+             ", \"runs_per_sec\": " + Fmt(run_rate, 2) +
+             ", \"run_p50_ms\": " + Fmt(p50, 4) +
+             ", \"run_p95_ms\": " + Fmt(p95, 4) +
+             ", \"scrapes\": " + std::to_string(scrapes.load()) +
+             ", \"scrape_render_p50_us\": " + Fmt(render.Quantile(0.50), 2) +
+             ", \"scrape_render_p95_us\": " + Fmt(render.Quantile(0.95), 2) +
+             ", \"truncated\": " + std::to_string(truncated.load()) + "}");
+  }
+  table.Print();
+}
+
 }  // namespace
 
 int main() {
@@ -787,6 +915,10 @@ int main() {
   // Durability sweep (own --data-dir servers): APPEND latency with fsync
   // on/off, group-commit amortization, and the two restart paths.
   DurabilitySweep(bench, json);
+
+  // Observability sweep (own servers): the same RUN workload with the
+  // operator plane off vs scraped at 10 Hz.
+  ObservabilitySweep(bench, queries, json);
   std::printf("wrote %s\n", json.path().c_str());
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
 namespace prague {
 
 namespace {
@@ -88,6 +91,8 @@ AdmissionDecision AdmissionController::AdmitSession(
   Tenant& t = tenants_[tenant];
   if (options_.max_sessions > 0 && t.sessions >= options_.max_sessions) {
     ++sessions_shed_;
+    obs::ServerMetrics::Get().tenant_shed_total->WithLabel(tenant)
+        ->Increment();
     MaybeEraseLocked(tenant);
     return {false, ShedReason::kSessions, kQuotaRetryMs};
   }
@@ -129,14 +134,22 @@ AdmissionDecision AdmissionController::AdmitRun(const std::string& tenant,
       t.tokens -= 1.0;
     }
   }
+  // Tenants come and go (the map above forgets idle ones), so the labeled
+  // series is looked up per decision rather than cached in the Tenant.
+  // WithLabel bounds cardinality: past the family cap all tenants share
+  // the "other" series. Lock order is mu_ -> family mutex; nothing calls
+  // back into the controller from obs, so there is no inversion.
+  obs::ServerMetrics& sm = obs::ServerMetrics::Get();
   if (!decision.admitted) {
     ++runs_shed_;
+    sm.tenant_shed_total->WithLabel(tenant)->Increment();
     MaybeEraseLocked(tenant);
     return decision;
   }
   ++t.runs;
   t.queued_bytes += cost_bytes;
   ++runs_admitted_;
+  sm.tenant_admitted_total->WithLabel(tenant)->Increment();
   return decision;
 }
 

@@ -242,6 +242,9 @@ class SessionManager {
   /// \brief Recent RunTraces across all of this manager's sessions
   /// (bounded ring; see obs/trace.h).
   const obs::TraceRing& traces() const { return *trace_ring_; }
+  /// \brief Mutable ring, for embedders that add synthetic traces (the
+  /// stall watchdog's incident records land here).
+  obs::TraceRing& mutable_traces() { return *trace_ring_; }
 
  private:
   // Snapshot of default_config_ under mu_ (it is mutable via

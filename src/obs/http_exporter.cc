@@ -1,0 +1,404 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace prague::obs {
+
+namespace {
+
+constexpr std::string_view kCrlfCrlf = "\r\n\r\n";
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed\r\n";
+    case 503:
+      return "HTTP/1.1 503 Service Unavailable\r\n";
+    default:
+      return "HTTP/1.1 400 Bad Request\r\n";
+  }
+}
+
+std::string MakeResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive) {
+  std::string out = StatusLine(code);
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Case-insensitive "Connection: close" scan over the header block.
+bool WantsClose(std::string_view headers) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    if (line.size() >= 11) {
+      std::string lower;
+      lower.reserve(line.size());
+      for (char c : line) {
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (lower.rfind("connection:", 0) == 0 &&
+          lower.find("close") != std::string::npos) {
+        return true;
+      }
+    }
+    pos = eol + 2;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Per-connection state; owned by the exporter loop thread only (the
+// exporter has exactly one thread, so no locking anywhere).
+struct HttpExporter::Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;   // unwritten response bytes
+  bool want_write = false;
+  bool close_after_flush = false;
+};
+
+HttpExporter::HttpExporter(HttpExporterOptions options,
+                           HttpExporterHooks hooks)
+    : options_(options), hooks_(std::move(hooks)) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  requests_total_ = reg.GetCounter("prague_http_requests_total");
+  request_errors_total_ = reg.GetCounter("prague_http_request_errors_total");
+  scrape_render_us_ = reg.GetHistogram("prague_http_scrape_render_us");
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("exporter already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError("bind http port " +
+                                std::to_string(options_.port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status st = Status::IOError(std::string("getsockname: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    Status st = Status::IOError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status st = Status::IOError(std::string("epoll/eventfd: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  PRAGUE_SLOG(Info)
+          .Field("port", static_cast<uint64_t>(port_))
+      << "metrics exporter serving /metrics /healthz /readyz /statusz "
+         "/tracez";
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void HttpExporter::Loop() {
+  constexpr int kMaxEvents = 32;
+  epoll_event events[kMaxEvents];
+  std::unordered_map<int, Conn> conns;
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PRAGUE_SLOG_EVERY(Warning, 1.0, 4)
+              .Field("errno", std::strerror(errno))
+          << "exporter epoll_wait failed";
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t buf;
+        while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept(conns);
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) {
+        // Raced a close earlier in this batch; nothing to do.
+        epoll_event dummy{};
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &dummy);
+        continue;
+      }
+      bool keep = true;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        keep = false;
+      } else {
+        if (keep && (mask & EPOLLOUT)) keep = HandleWritable(it->second);
+        if (keep && (mask & EPOLLIN)) keep = HandleReadable(it->second);
+      }
+      if (!keep) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns.erase(it);
+      }
+    }
+  }
+  for (auto& [fd, conn] : conns) ::close(fd);
+}
+
+void HttpExporter::HandleAccept(std::unordered_map<int, Conn>& conns) {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error; epoll will re-fire
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conns.emplace(fd, std::move(conn));
+  }
+}
+
+bool HttpExporter::HandleReadable(Conn& conn) {
+  char buf[8192];
+  for (;;) {
+    ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (conn.in.size() > options_.max_request_bytes) {
+        request_errors_total_->Increment();
+        return false;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  return ServeBuffered(conn);
+}
+
+bool HttpExporter::ServeBuffered(Conn& conn) {
+  for (;;) {
+    size_t end = conn.in.find(kCrlfCrlf);
+    if (end == std::string::npos) break;  // request incomplete
+    std::string_view head(conn.in.data(), end);
+    size_t line_end = head.find("\r\n");
+    std::string_view request_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    std::string_view headers =
+        line_end == std::string_view::npos ? std::string_view()
+                                           : head.substr(line_end + 2);
+
+    // "GET /path HTTP/1.1"
+    size_t sp1 = request_line.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos
+                     ? std::string_view::npos
+                     : request_line.find(' ', sp1 + 1);
+    std::string method(sp1 == std::string_view::npos
+                           ? request_line
+                           : request_line.substr(0, sp1));
+    std::string target(sp2 == std::string_view::npos
+                           ? std::string_view()
+                           : request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    std::string version(sp2 == std::string_view::npos
+                            ? std::string_view()
+                            : request_line.substr(sp2 + 1));
+    // Drop query strings; the endpoints take no parameters.
+    if (size_t q = target.find('?'); q != std::string::npos) {
+      target.resize(q);
+    }
+    const bool keep_alive =
+        version == "HTTP/1.1" && !WantsClose(headers);
+
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    requests_total_->Increment();
+    std::string response;
+    if (method != "GET") {
+      request_errors_total_->Increment();
+      response = MakeResponse(405, "text/plain; charset=utf-8",
+                              "only GET is supported\n", keep_alive);
+    } else {
+      response = BuildResponse(target, keep_alive);
+    }
+    conn.in.erase(0, end + kCrlfCrlf.size());
+    conn.out += response;
+    if (!keep_alive) {
+      conn.close_after_flush = true;
+      conn.in.clear();
+      break;
+    }
+  }
+  return FlushOut(conn);
+}
+
+std::string HttpExporter::BuildResponse(const std::string& path,
+                                        bool keep_alive) {
+  if (path == "/metrics") {
+    Stopwatch timer;
+    RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+    std::string body = RenderPrometheusText(snap);
+    scrape_render_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    return MakeResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                        body, keep_alive);
+  }
+  if (path == "/healthz") {
+    return MakeResponse(200, "text/plain; charset=utf-8", "ok\n",
+                        keep_alive);
+  }
+  if (path == "/readyz") {
+    const bool ready = !hooks_.ready || hooks_.ready();
+    return ready ? MakeResponse(200, "text/plain; charset=utf-8", "ready\n",
+                                keep_alive)
+                 : MakeResponse(503, "text/plain; charset=utf-8",
+                                "unavailable\n", keep_alive);
+  }
+  if (path == "/statusz") {
+    std::string body =
+        hooks_.statusz_json ? hooks_.statusz_json() : std::string("{}");
+    body += '\n';
+    return MakeResponse(200, "application/json", body, keep_alive);
+  }
+  if (path == "/tracez") {
+    std::string body = "{\"traces\":[";
+    if (hooks_.traces) {
+      std::vector<RunTrace> traces = hooks_.traces();
+      for (size_t i = 0; i < traces.size(); ++i) {
+        if (i) body += ',';
+        body += traces[i].ToJson();
+      }
+    }
+    body += "]}\n";
+    return MakeResponse(200, "application/json", body, keep_alive);
+  }
+  request_errors_total_->Increment();
+  return MakeResponse(404, "text/plain; charset=utf-8",
+                      "not found; try /metrics /healthz /readyz /statusz "
+                      "/tracez\n",
+                      keep_alive);
+}
+
+bool HttpExporter::FlushOut(Conn& conn) {
+  while (!conn.out.empty()) {
+    ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        UpdateEpollOut(conn);
+      }
+      return true;  // wait for EPOLLOUT
+    }
+    return false;  // peer is gone
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateEpollOut(conn);
+  }
+  return !conn.close_after_flush;
+}
+
+bool HttpExporter::HandleWritable(Conn& conn) { return FlushOut(conn); }
+
+void HttpExporter::UpdateEpollOut(Conn& conn) {
+  epoll_event ev{};
+  ev.events = conn.want_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+}  // namespace prague::obs

@@ -1,0 +1,123 @@
+// Embedded HTTP/1.1 metrics exporter — the operator plane's front door.
+//
+// A deliberately minimal HTTP server on its own epoll loop + thread
+// (mirroring the reactor's non-blocking socket / write-queue idiom, one
+// loop is plenty for scrape traffic), so Prometheus, kubelet probes, and
+// curl can reach the process without speaking the PRAGUE wire protocol:
+//
+//   GET /metrics  Prometheus text exposition (text/plain; version=0.0.4),
+//                 rendered from a registry snapshot on the exporter
+//                 thread — never on an event loop, never under load.
+//   GET /healthz  liveness: 200 "ok" while the exporter thread serves.
+//   GET /readyz   readiness hook: 200 "ready" / 503 "unavailable".
+//   GET /statusz  JSON process status supplied by the embedder.
+//   GET /tracez   JSON dump of recent RunTraces (the bounded TraceRing).
+//
+// The exporter holds no engine references itself; the embedder wires
+// std::function hooks, so it composes with any combination of
+// SessionManager / PragueServer / StorageEngine (tools/praguedb.cc wires
+// all three for `serve --http-port=N`).
+//
+// Scope: GET only, no TLS, no chunked bodies, requests capped at a few KB.
+// This is an operator sidecar endpoint, not a general web server.
+
+#ifndef PRAGUE_OBS_HTTP_EXPORTER_H_
+#define PRAGUE_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace prague::obs {
+
+struct HttpExporterOptions {
+  /// TCP port; 0 picks an ephemeral port (port() reports it).
+  uint16_t port = 0;
+  /// listen(2) backlog. Scrapers are few; keep it small.
+  int backlog = 16;
+  /// Read cap per request; a peer exceeding it is disconnected.
+  size_t max_request_bytes = 8192;
+};
+
+/// \brief Embedder-supplied data sources. Every hook may be null; the
+/// endpoint then serves a safe default (ready, "{}", empty trace list).
+/// Hooks run on the exporter thread and must be thread-safe.
+struct HttpExporterHooks {
+  /// /readyz: true once the process can serve queries (snapshot
+  /// published, storage recovered, not in global shed).
+  std::function<bool()> ready;
+  /// /statusz: one JSON object (version, uptime, sessions, WAL, ...).
+  std::function<std::string()> statusz_json;
+  /// /tracez: recent run traces, oldest first.
+  std::function<std::vector<RunTrace>()> traces;
+};
+
+/// \brief The exporter. Start() spawns the serving thread; Stop() joins
+/// it and closes every connection. Safe to construct without starting.
+class HttpExporter {
+ public:
+  explicit HttpExporter(HttpExporterOptions options = {},
+                        HttpExporterHooks hooks = {});
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// \brief Binds, listens, and starts the exporter thread. Fails without
+  /// side effects if the port cannot be bound.
+  Status Start();
+
+  /// \brief Stops the thread and closes all sockets. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// \brief Requests served since Start() (any endpoint, including 404s).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+
+  void Loop();
+  void HandleAccept(std::unordered_map<int, Conn>& conns);
+  // Reads from \p conn; true to keep the connection, false to drop it.
+  bool HandleReadable(Conn& conn);
+  bool HandleWritable(Conn& conn);
+  bool FlushOut(Conn& conn);
+  void UpdateEpollOut(Conn& conn);
+  // Serves every complete request sitting in conn.in; false = close.
+  bool ServeBuffered(Conn& conn);
+  std::string BuildResponse(const std::string& path, bool keep_alive);
+
+  HttpExporterOptions options_;
+  HttpExporterHooks hooks_;
+
+  Counter* requests_total_;       // prague_http_requests_total
+  Counter* request_errors_total_; // prague_http_request_errors_total
+  Histogram* scrape_render_us_;   // prague_http_scrape_render_us
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace prague::obs
+
+#endif  // PRAGUE_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,132 @@
+#include "obs/labels.h"
+
+namespace prague::obs {
+
+namespace {
+
+// Shared interning policy: find-or-insert under the family mutex, falling
+// back to the overflow metric once max_series values exist. A literal
+// "other" value also lands on the overflow metric so the exposition never
+// carries two series with the same label.
+template <typename Metric>
+Metric* FindOrIntern(
+    std::map<std::string, std::unique_ptr<Metric>, std::less<>>& series,
+    size_t max_series, bool& overflowed, Metric& other,
+    std::string_view value) {
+  if (value == kOverflowLabelValue) {
+    overflowed = true;
+    return &other;
+  }
+  auto it = series.find(value);
+  if (it != series.end()) return it->second.get();
+  if (series.size() >= max_series) {
+    overflowed = true;
+    return &other;
+  }
+  return series.emplace(std::string(value), std::make_unique<Metric>())
+      .first->second.get();
+}
+
+}  // namespace
+
+LabeledCounter::LabeledCounter(std::string label_key, size_t max_series)
+    : label_key_(std::move(label_key)),
+      max_series_(max_series == 0 ? 1 : max_series) {}
+
+Counter* LabeledCounter::WithLabel(std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrIntern(series_, max_series_, overflowed_, other_, value);
+}
+
+std::vector<std::pair<std::string, uint64_t>> LabeledCounter::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(series_.size() + 1);
+  for (const auto& [value, counter] : series_) {
+    out.emplace_back(value, counter->Value());
+  }
+  if (overflowed_) out.emplace_back(kOverflowLabelValue, other_.Value());
+  return out;
+}
+
+void LabeledCounter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [value, counter] : series_) counter->Reset();
+  other_.Reset();
+}
+
+LabeledGauge::LabeledGauge(std::string label_key, size_t max_series)
+    : label_key_(std::move(label_key)),
+      max_series_(max_series == 0 ? 1 : max_series) {}
+
+Gauge* LabeledGauge::WithLabel(std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrIntern(series_, max_series_, overflowed_, other_, value);
+}
+
+std::vector<std::pair<std::string, int64_t>> LabeledGauge::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(series_.size() + 1);
+  for (const auto& [value, gauge] : series_) {
+    out.emplace_back(value, gauge->Value());
+  }
+  if (overflowed_) out.emplace_back(kOverflowLabelValue, other_.Value());
+  return out;
+}
+
+void LabeledGauge::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [value, gauge] : series_) gauge->Reset();
+  other_.Reset();
+}
+
+LabeledHistogram::LabeledHistogram(std::string label_key, size_t max_series)
+    : label_key_(std::move(label_key)),
+      max_series_(max_series == 0 ? 1 : max_series) {}
+
+Histogram* LabeledHistogram::WithLabel(std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrIntern(series_, max_series_, overflowed_, other_, value);
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+LabeledHistogram::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(series_.size() + 1);
+  for (const auto& [value, histogram] : series_) {
+    out.emplace_back(value, histogram->Snapshot());
+  }
+  if (overflowed_) out.emplace_back(kOverflowLabelValue, other_.Snapshot());
+  return out;
+}
+
+void LabeledHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [value, histogram] : series_) histogram->Reset();
+  other_.Reset();
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace prague::obs

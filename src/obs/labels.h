@@ -1,0 +1,111 @@
+// Labeled metric families: a metric name broken out over a small set of
+// label values — `prague_server_tenant_shed_total{tenant="acme"}` — with
+// *bounded cardinality*.
+//
+// Prometheus dies by a thousand series, so a family never materializes more
+// than `max_series` distinct label values: the first K values observed get
+// their own series (the "interned" set — callers cache the returned
+// Counter*/Histogram* per value and record lock-free thereafter), and every
+// later value shares one overflow series labeled `other`. For tenants this
+// is the right trade: the big co-tenants an operator alerts on arrive
+// first and early, the long anonymous tail aggregates.
+//
+// Recording costs are the same relaxed atomics as the unlabeled metrics;
+// WithLabel() takes the family mutex and is meant to be called once per
+// label value (at tenant admission / session open), not per sample.
+
+#ifndef PRAGUE_OBS_LABELS_H_
+#define PRAGUE_OBS_LABELS_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace prague::obs {
+
+/// Default per-family series bound (distinct label values before `other`).
+inline constexpr size_t kDefaultMaxLabelSeries = 16;
+
+/// Label value every post-bound value maps onto.
+inline constexpr const char kOverflowLabelValue[] = "other";
+
+/// \brief Counter family keyed by one label.
+class LabeledCounter {
+ public:
+  LabeledCounter(std::string label_key, size_t max_series);
+
+  /// \brief The counter for \p value, interning it if the family still has
+  /// room; the shared `other` counter once full. The pointer is stable —
+  /// cache it and Increment() lock-free.
+  Counter* WithLabel(std::string_view value);
+
+  const std::string& label_key() const { return label_key_; }
+
+  /// \brief (label value, count) pairs, sorted by value; `other` included
+  /// only once the family has overflowed.
+  std::vector<std::pair<std::string, uint64_t>> Series() const;
+
+  /// \brief Zeroes every series (tests/bench only; keeps interning).
+  void Reset();
+
+ private:
+  const std::string label_key_;
+  const size_t max_series_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> series_;
+  bool overflowed_ = false;
+  Counter other_;
+};
+
+/// \brief Gauge family keyed by one label.
+class LabeledGauge {
+ public:
+  LabeledGauge(std::string label_key, size_t max_series);
+
+  Gauge* WithLabel(std::string_view value);
+  const std::string& label_key() const { return label_key_; }
+  std::vector<std::pair<std::string, int64_t>> Series() const;
+  void Reset();
+
+ private:
+  const std::string label_key_;
+  const size_t max_series_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> series_;
+  bool overflowed_ = false;
+  Gauge other_;
+};
+
+/// \brief Histogram family keyed by one label.
+class LabeledHistogram {
+ public:
+  LabeledHistogram(std::string label_key, size_t max_series);
+
+  Histogram* WithLabel(std::string_view value);
+  const std::string& label_key() const { return label_key_; }
+  std::vector<std::pair<std::string, HistogramSnapshot>> Series() const;
+  void Reset();
+
+ private:
+  const std::string label_key_;
+  const size_t max_series_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> series_;
+  bool overflowed_ = false;
+  Histogram other_;
+};
+
+/// \brief Escapes a label value for Prometheus exposition (backslash,
+/// double quote, newline).
+std::string EscapeLabelValue(std::string_view value);
+
+}  // namespace prague::obs
+
+#endif  // PRAGUE_OBS_LABELS_H_

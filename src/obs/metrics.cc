@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include "obs/labels.h"
+#include "util/logging.h"
+
 namespace prague::obs {
 
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
@@ -59,10 +62,20 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Immortal: metric pointers are cached in static structs and recorded to
   // from detached-ish threads during shutdown; never destroy the registry.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* reg = new MetricsRegistry();
+    // Logging lives below obs in the link order, so its suppressed-line
+    // count surfaces through a callback instead of an owned Counter.
+    reg->RegisterCallbackCounter("prague_log_suppressed_total",
+                                 &SuppressedLogCount);
+    return reg;
+  }();
   return *registry;
 }
 
@@ -95,6 +108,62 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+LabeledCounter* MetricsRegistry::GetLabeledCounter(std::string_view name,
+                                                   std::string_view label_key,
+                                                   size_t max_series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = labeled_counters_.find(name);
+  if (it == labeled_counters_.end()) {
+    it = labeled_counters_
+             .emplace(std::string(name),
+                      std::make_unique<LabeledCounter>(std::string(label_key),
+                                                       max_series))
+             .first;
+  }
+  return it->second.get();
+}
+
+LabeledGauge* MetricsRegistry::GetLabeledGauge(std::string_view name,
+                                               std::string_view label_key,
+                                               size_t max_series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = labeled_gauges_.find(name);
+  if (it == labeled_gauges_.end()) {
+    it = labeled_gauges_
+             .emplace(std::string(name),
+                      std::make_unique<LabeledGauge>(std::string(label_key),
+                                                     max_series))
+             .first;
+  }
+  return it->second.get();
+}
+
+LabeledHistogram* MetricsRegistry::GetLabeledHistogram(
+    std::string_view name, std::string_view label_key, size_t max_series) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = labeled_histograms_.find(name);
+  if (it == labeled_histograms_.end()) {
+    it = labeled_histograms_
+             .emplace(std::string(name), std::make_unique<LabeledHistogram>(
+                                             std::string(label_key),
+                                             max_series))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterCallbackCounter(std::string_view name,
+                                              std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_counters_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
+                                            std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_.insert_or_assign(std::string(name), std::move(fn));
+}
+
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
@@ -107,43 +176,103 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms[name] = histogram->Snapshot();
   }
+  for (const auto& [name, fn] : callback_counters_) {
+    snap.counters[name] = fn();
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    snap.gauges[name] = fn();
+  }
+  for (const auto& [name, family] : labeled_counters_) {
+    snap.labeled_counters[name] = {family->label_key(), family->Series()};
+  }
+  for (const auto& [name, family] : labeled_gauges_) {
+    snap.labeled_gauges[name] = {family->label_key(), family->Series()};
+  }
+  for (const auto& [name, family] : labeled_histograms_) {
+    snap.labeled_histograms[name] = {family->label_key(), family->Series()};
+  }
   return snap;
 }
 
-std::string MetricsRegistry::RenderPrometheus() const {
-  RegistrySnapshot snap = Snapshot();
+namespace {
+
+// Histogram samples for one (possibly labeled) series. `labels` is either
+// empty or a pre-rendered `tenant="acme"` fragment; the `le` label always
+// comes last.
+void AppendHistogramSeries(std::string& out, const std::string& name,
+                           const std::string& labels,
+                           const HistogramSnapshot& hist) {
+  // Cumulative buckets up to the last non-empty one; everything after is
+  // equal to the total and captured by the mandatory +Inf bucket.
+  size_t last = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (hist.buckets[i] != 0) last = i;
+  }
+  const std::string prefix =
+      labels.empty() ? "{le=\"" : '{' + labels + ",le=\"";
+  uint64_t cumulative = 0;
+  for (size_t i = 0;
+       i <= last && i + 1 < kHistogramBuckets && hist.count != 0; ++i) {
+    cumulative += hist.buckets[i];
+    out += name + "_bucket" + prefix +
+           std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+           std::to_string(cumulative) + '\n';
+  }
+  out += name + "_bucket" + prefix + "+Inf\"} " +
+         std::to_string(hist.count) + '\n';
+  const std::string suffix =
+      labels.empty() ? std::string(" ") : '{' + labels + "} ";
+  out += name + "_sum" + suffix + std::to_string(hist.sum) + '\n';
+  out += name + "_count" + suffix + std::to_string(hist.count) + '\n';
+}
+
+std::string LabelFragment(const std::string& key, const std::string& value) {
+  return key + "=\"" + EscapeLabelValue(value) + '"';
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const RegistrySnapshot& snap) {
   std::string out;
   out.reserve(4096);
   for (const auto& [name, value] : snap.counters) {
     out += "# TYPE " + name + " counter\n";
     out += name + ' ' + std::to_string(value) + '\n';
   }
+  for (const auto& [name, family] : snap.labeled_counters) {
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [value, count] : family.series) {
+      out += name + '{' + LabelFragment(family.label_key, value) + "} " +
+             std::to_string(count) + '\n';
+    }
+  }
   for (const auto& [name, value] : snap.gauges) {
     out += "# TYPE " + name + " gauge\n";
     out += name + ' ' + std::to_string(value) + '\n';
   }
+  for (const auto& [name, family] : snap.labeled_gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [value, level] : family.series) {
+      out += name + '{' + LabelFragment(family.label_key, value) + "} " +
+             std::to_string(level) + '\n';
+    }
+  }
   for (const auto& [name, hist] : snap.histograms) {
     out += "# TYPE " + name + " histogram\n";
-    // Cumulative buckets up to the last non-empty one; everything after is
-    // equal to the total and captured by the mandatory +Inf bucket.
-    size_t last = 0;
-    for (size_t i = 0; i < kHistogramBuckets; ++i) {
-      if (hist.buckets[i] != 0) last = i;
+    AppendHistogramSeries(out, name, "", hist);
+  }
+  for (const auto& [name, family] : snap.labeled_histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [value, hist] : family.series) {
+      AppendHistogramSeries(out, name,
+                            LabelFragment(family.label_key, value), hist);
     }
-    uint64_t cumulative = 0;
-    for (size_t i = 0; i <= last && i + 1 < kHistogramBuckets &&
-                       hist.count != 0;
-         ++i) {
-      cumulative += hist.buckets[i];
-      out += name + "_bucket{le=\"" +
-             std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
-             std::to_string(cumulative) + '\n';
-    }
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + '\n';
-    out += name + "_sum " + std::to_string(hist.sum) + '\n';
-    out += name + "_count " + std::to_string(hist.count) + '\n';
   }
   return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  return RenderPrometheusText(Snapshot());
 }
 
 void MetricsRegistry::Reset() {
@@ -151,6 +280,9 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, family] : labeled_counters_) family->Reset();
+  for (auto& [name, family] : labeled_gauges_) family->Reset();
+  for (auto& [name, family] : labeled_histograms_) family->Reset();
 }
 
 EngineMetrics& EngineMetrics::Get() {
@@ -232,6 +364,14 @@ ServerMetrics& ServerMetrics::Get() {
     m->sched_queue_depth = reg.GetHistogram("prague_server_sched_queue_depth");
     m->batch_size = reg.GetHistogram("prague_server_batch_size");
     m->batch_latency_us = reg.GetHistogram("prague_server_batch_latency_us");
+    m->tenant_admitted_total = reg.GetLabeledCounter(
+        "prague_server_tenant_admitted_total", "tenant");
+    m->tenant_shed_total =
+        reg.GetLabeledCounter("prague_server_tenant_shed_total", "tenant");
+    m->tenant_truncated_total = reg.GetLabeledCounter(
+        "prague_server_tenant_runs_truncated_total", "tenant");
+    m->tenant_run_latency_us = reg.GetLabeledHistogram(
+        "prague_server_tenant_run_latency_us", "tenant");
     return m;
   }();
   return *metrics;

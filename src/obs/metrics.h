@@ -23,13 +23,20 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace prague::obs {
+
+class LabeledCounter;    // obs/labels.h
+class LabeledGauge;      // obs/labels.h
+class LabeledHistogram;  // obs/labels.h
 
 /// \brief Monotone event count. All operations are relaxed atomics — safe
 /// from any thread, free of locks and allocations.
@@ -144,12 +151,37 @@ struct RunTally {
   Counter truncated;  ///< of those, cut short by a deadline/cancel
 };
 
-/// \brief Full registry state (cold-path read model).
+/// \brief Full registry state (cold-path read model). Labeled families
+/// carry their label key plus the (value, state) series observed so far;
+/// callback metrics are folded into the plain counter/gauge maps.
 struct RegistrySnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+
+  struct LabeledCounterState {
+    std::string label_key;
+    std::vector<std::pair<std::string, uint64_t>> series;
+  };
+  struct LabeledGaugeState {
+    std::string label_key;
+    std::vector<std::pair<std::string, int64_t>> series;
+  };
+  struct LabeledHistogramState {
+    std::string label_key;
+    std::vector<std::pair<std::string, HistogramSnapshot>> series;
+  };
+  std::map<std::string, LabeledCounterState> labeled_counters;
+  std::map<std::string, LabeledGaugeState> labeled_gauges;
+  std::map<std::string, LabeledHistogramState> labeled_histograms;
 };
+
+/// \brief Prometheus text exposition of \p snap: `# TYPE` lines followed by
+/// that metric's samples (labeled series grouped under one TYPE line,
+/// histograms as cumulative `_bucket{le="..."}`/`_sum`/`_count`). Pure
+/// formatting — callers take the snapshot wherever cheap (an event-loop
+/// thread) and render wherever idle (a pool task, the exporter thread).
+std::string RenderPrometheusText(const RegistrySnapshot& snap);
 
 /// \brief Process-wide metric registry. Get*() registers on first use and
 /// returns a stable pointer (metrics are never destroyed or moved); cache
@@ -158,12 +190,39 @@ struct RegistrySnapshot {
 /// exposition requires it.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   /// \brief The process-wide instance (immortal).
   static MetricsRegistry& Global();
 
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+
+  /// Labeled families (obs/labels.h): one metric name broken out over a
+  /// bounded set of label values. \p max_series is fixed at registration;
+  /// later calls with the same name return the existing family.
+  LabeledCounter* GetLabeledCounter(std::string_view name,
+                                    std::string_view label_key,
+                                    size_t max_series = 16);
+  LabeledGauge* GetLabeledGauge(std::string_view name,
+                                std::string_view label_key,
+                                size_t max_series = 16);
+  LabeledHistogram* GetLabeledHistogram(std::string_view name,
+                                        std::string_view label_key,
+                                        size_t max_series = 16);
+
+  /// \brief Registers a counter/gauge whose value is computed at Snapshot()
+  /// time by \p fn. For values owned by layers the registry cannot link
+  /// against (e.g. the logging rate limiters in util). \p fn must be
+  /// thread-safe and cheap; it is called under the registry mutex.
+  void RegisterCallbackCounter(std::string_view name,
+                               std::function<uint64_t()> fn);
+  void RegisterCallbackGauge(std::string_view name,
+                             std::function<int64_t()> fn);
 
   /// \brief Copies every metric's current value.
   RegistrySnapshot Snapshot() const;
@@ -174,7 +233,8 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
   /// \brief Zeroes every registered metric, keeping registrations (so
-  /// cached pointers stay valid). Tests only — the process-wide registry
+  /// cached pointers stay valid). Callback metrics are skipped — their
+  /// owners hold the state. Tests only — the process-wide registry
   /// accumulates across test cases otherwise.
   void Reset();
 
@@ -186,6 +246,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LabeledCounter>, std::less<>>
+      labeled_counters_;
+  std::map<std::string, std::unique_ptr<LabeledGauge>, std::less<>>
+      labeled_gauges_;
+  std::map<std::string, std::unique_ptr<LabeledHistogram>, std::less<>>
+      labeled_histograms_;
+  std::map<std::string, std::function<uint64_t()>, std::less<>>
+      callback_counters_;
+  std::map<std::string, std::function<int64_t()>, std::less<>>
+      callback_gauges_;
 };
 
 /// \brief Cached pointers to the engine-side metrics (sessions, runs,
@@ -256,6 +326,14 @@ struct ServerMetrics {
   Histogram* sched_queue_depth;
   Histogram* batch_size;        ///< members per BATCH_RUN frame
   Histogram* batch_latency_us;  ///< whole-batch execution on the pool
+  /// Per-tenant breakouts (`{tenant="..."}` families, obs/labels.h) with
+  /// bounded cardinality: the first K tenants observed keep their own
+  /// series, the rest share `other`. Populated by AdmissionController
+  /// (admitted/shed) and the server RUN path (latency/truncated).
+  LabeledCounter* tenant_admitted_total;
+  LabeledCounter* tenant_shed_total;
+  LabeledCounter* tenant_truncated_total;
+  LabeledHistogram* tenant_run_latency_us;
 
   static ServerMetrics& Get();
 };

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/logging.h"
+
 namespace prague::obs {
 
 std::string RunTrace::ToString() const {
@@ -32,6 +34,42 @@ std::string RunTrace::ToString() const {
     out += span;
   }
   out += ']';
+  return out;
+}
+
+std::string RunTrace::ToJson() const {
+  char head[320];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"run\":%llu,\"session\":%llu,\"version\":%llu,\"query_edges\":%zu,"
+      "\"mode\":\"%s\",\"results\":%zu,\"srt_ms\":%.3f,\"truncated\":%s,"
+      "\"vf2\":%llu,\"nodes\":%llu,\"pruned\":%llu",
+      static_cast<unsigned long long>(run_ordinal),
+      static_cast<unsigned long long>(session_tag),
+      static_cast<unsigned long long>(snapshot_version), query_edges,
+      similarity ? "similar" : "exact", result_count, srt_seconds * 1000,
+      truncated ? "true" : "false", static_cast<unsigned long long>(vf2_calls),
+      static_cast<unsigned long long>(nodes_expanded),
+      static_cast<unsigned long long>(candidates_pruned));
+  std::string out = head;
+  out += ",\"phase\":\"";
+  AppendJsonEscaped(out, deadline_phase);
+  out += "\",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, spans[i].name);
+    char tail[64];
+    if (spans[i].shard >= 0) {
+      std::snprintf(tail, sizeof(tail), "\",\"ms\":%.3f,\"shard\":%d}",
+                    spans[i].seconds * 1000, spans[i].shard);
+    } else {
+      std::snprintf(tail, sizeof(tail), "\",\"ms\":%.3f}",
+                    spans[i].seconds * 1000);
+    }
+    out += tail;
+  }
+  out += "]}";
   return out;
 }
 

@@ -60,6 +60,10 @@ struct RunTrace {
 
   /// \brief Single greppable line for the slow-query log.
   std::string ToString() const;
+
+  /// \brief One JSON object (no trailing newline) for the HTTP `/tracez`
+  /// endpoint: the same fields as ToString() plus the span array.
+  std::string ToJson() const;
 };
 
 /// \brief RAII phase timer: times its scope and appends a SpanRecord to

@@ -1,0 +1,174 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/labels.h"
+#include "util/logging.h"
+
+namespace prague::obs {
+
+namespace {
+
+int64_t MonotonicNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void WatchdogHeartbeat::Beat() {
+  last_beat_us_.store(owner_->NowUs(), std::memory_order_relaxed);
+}
+
+WatchdogHeartbeat::WatchdogHeartbeat(Watchdog* owner, std::string label,
+                                     std::function<void()> wake)
+    : owner_(owner), label_(std::move(label)), wake_(std::move(wake)) {
+  last_beat_us_.store(owner_->NowUs(), std::memory_order_relaxed);
+}
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(std::move(options)) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  stalls_total_ = reg.GetCounter("prague_watchdog_stalls_total");
+  ticks_total_ = reg.GetCounter("prague_watchdog_ticks_total");
+  active_runs_ = reg.GetGauge("prague_watchdog_active_runs");
+  loop_lag_ = reg.GetLabeledGauge("prague_server_event_loop_lag_us", "loop");
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+int64_t Watchdog::NowUs() const {
+  return options_.now_us ? options_.now_us() : MonotonicNowUs();
+}
+
+WatchdogHeartbeat* Watchdog::RegisterHeartbeat(std::string label,
+                                               std::function<void()> wake) {
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeats_.push_back(std::unique_ptr<WatchdogHeartbeat>(
+      new WatchdogHeartbeat(this, std::move(label), std::move(wake))));
+  return heartbeats_.back().get();
+}
+
+void Watchdog::UnregisterHeartbeat(WatchdogHeartbeat* heartbeat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = heartbeats_.begin(); it != heartbeats_.end(); ++it) {
+    if (it->get() == heartbeat) {
+      heartbeats_.erase(it);
+      return;
+    }
+  }
+}
+
+uint64_t Watchdog::OnRunStarted(std::string_view tenant, int64_t budget_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  runs_.emplace(token,
+                RunWatch{std::string(tenant), NowUs(), budget_ms, false});
+  active_runs_->Set(static_cast<int64_t>(runs_.size()));
+  return token;
+}
+
+void Watchdog::OnRunFinished(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.erase(token);
+  active_runs_->Set(static_cast<int64_t>(runs_.size()));
+}
+
+size_t Watchdog::active_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+void Watchdog::Tick() {
+  const int64_t now = NowUs();
+  ticks_total_->Increment();
+
+  // Wake functions run outside mu_ — a wake that synchronously beats (or a
+  // loop draining its eventfd and calling back into the watchdog) must not
+  // deadlock against the registry lock. Copied, not referenced, so a
+  // concurrent UnregisterHeartbeat cannot free them mid-invoke.
+  std::vector<std::function<void()>> wakes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& hb : heartbeats_) {
+      const int64_t beat = hb->last_beat_us_.load(std::memory_order_relaxed);
+      const int64_t lag = now > beat ? now - beat : 0;
+      hb->last_lag_us_.store(lag, std::memory_order_relaxed);
+      loop_lag_->WithLabel(hb->label())->Set(lag);
+      if (lag > options_.heartbeat_stall_us) {
+        if (!hb->stalled_) {
+          hb->stalled_ = true;
+          stalls_total_->Increment();
+          PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+                  .Field("kind", "event-loop")
+                  .Field("loop", hb->label())
+                  .Field("lag_ms", static_cast<double>(lag) / 1000.0)
+              << "watchdog: thread stopped beating";
+        }
+      } else {
+        hb->stalled_ = false;
+      }
+      if (hb->wake_) wakes.push_back(hb->wake_);
+    }
+
+    for (auto& [token, watch] : runs_) {
+      if (watch.flagged || watch.budget_ms <= 0) continue;
+      int64_t limit_us = static_cast<int64_t>(
+          static_cast<double>(watch.budget_ms) * 1000.0 *
+          options_.stall_budget_multiple);
+      if (limit_us < options_.min_run_stall_us) {
+        limit_us = options_.min_run_stall_us;
+      }
+      const int64_t elapsed = now - watch.started_us;
+      if (elapsed <= limit_us) continue;
+      watch.flagged = true;
+      stalls_total_->Increment();
+      PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+              .Field("kind", "long-run")
+              .Field("tenant", watch.tenant)
+              .Field("budget_ms", watch.budget_ms)
+              .Field("elapsed_ms", static_cast<double>(elapsed) / 1000.0)
+          << "watchdog: run exceeded its deadline budget";
+      if (trace_ring_ != nullptr) {
+        RunTrace trace;
+        trace.deadline_phase = "watchdog-stall";
+        trace.truncated = true;
+        trace.srt_seconds = static_cast<double>(elapsed) / 1e6;
+        trace_ring_->Add(std::move(trace));
+      }
+    }
+  }
+  for (auto& wake : wakes) wake();
+}
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+      if (stop_) break;
+      lock.unlock();
+      Tick();
+      lock.lock();
+    }
+  });
+}
+
+void Watchdog::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  to_join.join();
+}
+
+}  // namespace prague::obs

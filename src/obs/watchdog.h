@@ -1,0 +1,156 @@
+// Stall watchdog: one background thread that (a) measures event-loop
+// responsiveness and (b) flags runs that have escaped their deadline
+// budget.
+//
+// Event loops park in epoll_wait with no timeout, so a passive "when did
+// it last wake?" check would read an idle loop as wedged. The watchdog is
+// therefore active: each tick it first reads every registered heartbeat's
+// lag (now − last Beat()), publishes it as
+// `prague_server_event_loop_lag_us{loop="i"}`, then *pings* the loop's
+// eventfd. A healthy loop beats within one tick, so steady-state lag ≈ the
+// tick interval; a loop stuck in a handler (or a deadlocked callback)
+// shows monotonically growing lag and, past `heartbeat_stall_us`, one
+// stall incident.
+//
+// The long-run detector watches runs between OnRunStarted/OnRunFinished.
+// Deadline enforcement inside the engine is cooperative — a run that stops
+// polling its CancellationToken stops being bounded — so a run alive past
+// `stall_budget_multiple ×` its budget is an incident: one increment of
+// `prague_watchdog_stalls_total`, one rate-limited structured log line,
+// and one synthetic RunTrace in the trace ring. Each incident fires once.
+//
+// The clock is injectable (`now_us`) so tests drive stalls
+// deterministically with Tick(); production uses the monotonic clock and
+// Start()'s thread.
+
+#ifndef PRAGUE_OBS_WATCHDOG_H_
+#define PRAGUE_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prague::obs {
+
+class Watchdog;
+
+/// \brief One monitored thread's liveness signal. Beat() is one relaxed
+/// store — call it at the top of every loop iteration.
+class WatchdogHeartbeat {
+ public:
+  void Beat();
+
+  const std::string& label() const { return label_; }
+  /// \brief Lag at the last completed tick, microseconds.
+  int64_t last_lag_us() const {
+    return last_lag_us_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Watchdog;
+  WatchdogHeartbeat(Watchdog* owner, std::string label,
+                    std::function<void()> wake);
+
+  Watchdog* owner_;
+  std::string label_;
+  std::function<void()> wake_;  // pings the thread so it can beat; may be null
+  std::atomic<int64_t> last_beat_us_;
+  std::atomic<int64_t> last_lag_us_{0};
+  bool stalled_ = false;  // guarded by Watchdog::mu_
+};
+
+struct WatchdogOptions {
+  /// Tick period of the watchdog thread.
+  int64_t interval_ms = 250;
+  /// A run is an incident once alive longer than this multiple of its
+  /// deadline budget. Runs with no budget (<= 0) are never flagged — the
+  /// operator asked for unbounded work.
+  double stall_budget_multiple = 4.0;
+  /// Floor below which a run is never flagged, so multiplied-out tiny
+  /// budgets don't flap on scheduler jitter.
+  int64_t min_run_stall_us = 10'000;
+  /// A heartbeat older than this is a stalled thread.
+  int64_t heartbeat_stall_us = 2'000'000;
+  /// Injectable clock (microseconds, monotonic). Null = steady_clock.
+  std::function<int64_t()> now_us;
+};
+
+/// \brief The watchdog. Thread-safe; one instance per server process.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// \brief Registers a monitored thread. \p wake (may be null) is called
+  /// every tick after the lag read so parked threads get a chance to beat.
+  /// The returned pointer stays valid until Unregister/destruction.
+  WatchdogHeartbeat* RegisterHeartbeat(std::string label,
+                                       std::function<void()> wake);
+  /// \brief Drops \p heartbeat; its wake function is never called again.
+  void UnregisterHeartbeat(WatchdogHeartbeat* heartbeat);
+
+  /// \brief Begins watching a run. Returns a token for OnRunFinished.
+  uint64_t OnRunStarted(std::string_view tenant, int64_t budget_ms);
+  void OnRunFinished(uint64_t token);
+
+  /// \brief Synthetic stall traces are added here when set (not owned).
+  void set_trace_ring(TraceRing* ring) { trace_ring_ = ring; }
+
+  /// \brief Starts/stops the background tick thread. Idempotent.
+  void Start();
+  void Stop();
+
+  /// \brief One synchronous tick (what the thread does every interval).
+  /// Exposed so tests with a fake clock drive stalls deterministically.
+  void Tick();
+
+  /// \brief Current time per the configured clock.
+  int64_t NowUs() const;
+
+  size_t active_runs() const;
+  uint64_t stalls() const { return stalls_total_->Value(); }
+
+ private:
+  struct RunWatch {
+    std::string tenant;
+    int64_t started_us = 0;
+    int64_t budget_ms = 0;
+    bool flagged = false;
+  };
+
+  const WatchdogOptions options_;
+
+  Counter* stalls_total_;   // prague_watchdog_stalls_total
+  Counter* ticks_total_;    // prague_watchdog_ticks_total
+  Gauge* active_runs_;      // prague_watchdog_active_runs
+  LabeledGauge* loop_lag_;  // prague_server_event_loop_lag_us{loop=...}
+
+  mutable std::mutex mu_;
+  std::list<std::unique_ptr<WatchdogHeartbeat>> heartbeats_;
+  std::map<uint64_t, RunWatch> runs_;
+  uint64_t next_token_ = 1;
+  TraceRing* trace_ring_ = nullptr;
+
+  std::mutex thread_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace prague::obs
+
+#endif  // PRAGUE_OBS_WATCHDOG_H_

@@ -22,8 +22,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "query/pattern_parser.h"
 #include "server/wire.h"
 #include "util/bytes.h"
@@ -122,6 +124,10 @@ struct PragueServer::Connection
   // released exactly once at close).
   std::string tenant;
   bool session_admitted = false;
+  // Per-tenant series, interned once at OPEN (bounded cardinality: past
+  // the family cap every tenant shares the "other" series).
+  obs::Histogram* tenant_run_latency = nullptr;
+  obs::Counter* tenant_runs_truncated = nullptr;
   // Effective Run() budget of the session (ms; <= 0 = unbounded), kept
   // here so the scheduler can derive each run's deadline key.
   int64_t run_budget_ms = 0;
@@ -220,6 +226,24 @@ class PragueServer::EventLoop {
     thread_ = std::thread([this] { Loop(); });
   }
 
+  // Registers this loop with the watchdog. The wake pings our eventfd so
+  // a loop parked in epoll_wait (infinite timeout) still beats every tick.
+  void AttachWatchdog(obs::Watchdog* watchdog) {
+    watchdog_ = watchdog;
+    heartbeat_ = watchdog->RegisterHeartbeat(
+        "loop-" + std::to_string(index_), [this] { Wake(); });
+  }
+
+  // Must run after Join(): once unregistered the wake lambda (which
+  // captures `this`) is never invoked again, making ~EventLoop safe.
+  void DetachWatchdog() {
+    if (watchdog_ != nullptr && heartbeat_ != nullptr) {
+      watchdog_->UnregisterHeartbeat(heartbeat_);
+    }
+    watchdog_ = nullptr;
+    heartbeat_ = nullptr;
+  }
+
   void RequestStop() {
     stop_.store(true, std::memory_order_release);
     Wake();
@@ -295,10 +319,14 @@ class PragueServer::EventLoop {
     constexpr int kMaxEvents = 128;
     epoll_event events[kMaxEvents];
     while (!stop_.load(std::memory_order_acquire)) {
+      if (heartbeat_ != nullptr) heartbeat_->Beat();
       int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
       if (n < 0) {
         if (errno == EINTR) continue;
-        PRAGUE_LOG(Warning) << "epoll_wait: " << std::strerror(errno);
+        PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+                .Field("loop", static_cast<uint64_t>(index_))
+                .Field("errno", std::strerror(errno))
+            << "epoll_wait failed; stopping event loop";
         break;
       }
       for (int i = 0; i < n && !stop_.load(std::memory_order_acquire); ++i) {
@@ -363,7 +391,9 @@ class PragueServer::EventLoop {
     ev.events = EPOLLIN;
     ev.data.fd = conn->fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
-      PRAGUE_LOG(Warning) << "epoll_ctl(add conn): " << std::strerror(errno);
+      PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+              .Field("errno", std::strerror(errno))
+          << "epoll_ctl(add conn) failed; dropping connection";
       CloseConnection(conn);
       return;
     }
@@ -408,8 +438,8 @@ class PragueServer::EventLoop {
       // cannot turn into a log storm.
       uint64_t n = ++sheds_;
       if ((n & (n - 1)) == 0) {
-        PRAGUE_LOG(Warning) << "out of file descriptors; shed pending "
-                            << "connection (" << n << " total)";
+        PRAGUE_SLOG(Warning).Field("total_shed", n)
+            << "out of file descriptors; shed pending connection";
       }
     }
     return drained;
@@ -427,7 +457,9 @@ class PragueServer::EventLoop {
           return;
         }
         if (server_->running_.load()) {
-          PRAGUE_LOG(Warning) << "accept: " << std::strerror(errno);
+          PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+                  .Field("errno", std::strerror(errno))
+              << "accept failed";
         }
         return;
       }
@@ -476,8 +508,9 @@ class PragueServer::EventLoop {
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      PRAGUE_LOG(Warning) << "connection dropped: recv: "
-                          << std::strerror(errno);
+      PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+              .Field("errno", std::strerror(errno))
+          << "connection dropped: recv failed";
       CloseConnection(conn);
       return;
     }
@@ -515,8 +548,10 @@ class PragueServer::EventLoop {
     if (eof && conn->fd >= 0) {
       if (!conn->inbuf.empty() && !conn->draining) {
         sm.protocol_errors_total->Increment();
-        PRAGUE_LOG(Warning)
-            << "connection dropped: connection closed mid frame";
+        PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+                .Field("buffered_bytes",
+                       static_cast<uint64_t>(conn->inbuf.size()))
+            << "connection dropped: closed mid frame";
       }
       CloseConnection(conn);
     }
@@ -584,6 +619,8 @@ class PragueServer::EventLoop {
   int wake_fd_ = -1;
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  obs::Watchdog* watchdog_ = nullptr;
+  obs::WatchdogHeartbeat* heartbeat_ = nullptr;
   std::mutex pending_mu_;
   std::vector<std::shared_ptr<Connection>> pending_adopt_;
   std::vector<std::shared_ptr<Connection>> pending_write_;
@@ -661,9 +698,10 @@ void PragueServer::Connection::SendReply(std::string payload) {
       outq.push_back(std::move(err_frame));
       close_after_flush = true;
       obs::ServerMetrics::Get().write_queue_drops_total->Increment();
-      PRAGUE_LOG(Warning) << "dropping slow reader: " << dropped
-                          << " queued replies over the "
-                          << cap << "-byte outbound cap";
+      PRAGUE_SLOG_EVERY(Warning, 2.0, 8)
+              .Field("dropped_replies", static_cast<uint64_t>(dropped))
+              .Field("cap_bytes", static_cast<uint64_t>(cap))
+          << "dropping slow reader over the outbound cap";
     }
     if (!outq.empty() && !want_write) {
       want_write = true;
@@ -748,7 +786,12 @@ Status PragueServer::Start() {
   connections_accepted_.store(0);
   next_loop_.store(0);
   running_.store(true);
-  for (auto& loop : loops_) loop->StartThread();
+  for (auto& loop : loops_) {
+    if (options_.watchdog != nullptr) {
+      loop->AttachWatchdog(options_.watchdog);
+    }
+    loop->StartThread();
+  }
   PRAGUE_LOG(Info) << "serving on port " << port_ << " with " << nloops
                    << " event loop(s) and " << workers << " query workers";
   return Status::OK();
@@ -760,6 +803,9 @@ void PragueServer::Stop() {
   // Each loop closes its connections on the way out, cancelling in-flight
   // runs, so the pool drains promptly.
   for (auto& loop : loops_) loop->Join();
+  // After Join the loops no longer beat; unregister before destroying them
+  // so a concurrent watchdog tick cannot ping a dead loop's eventfd.
+  for (auto& loop : loops_) loop->DetachWatchdog();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -865,6 +911,13 @@ void PragueServer::HandleCommand(const std::shared_ptr<Connection>& conn,
       }
       conn->tenant = std::move(tenant);
       conn->session_admitted = true;
+      {
+        obs::ServerMetrics& smx = obs::ServerMetrics::Get();
+        conn->tenant_run_latency =
+            smx.tenant_run_latency_us->WithLabel(conn->tenant);
+        conn->tenant_runs_truncated =
+            smx.tenant_truncated_total->WithLabel(conn->tenant);
+      }
       int64_t budget_ms = cmd.timeout_ms >= 0
                               ? cmd.timeout_ms
                               : options_.default_run_deadline_ms;
@@ -957,10 +1010,15 @@ void PragueServer::HandleCommand(const std::shared_ptr<Connection>& conn,
       return;
     }
     case CommandKind::kMetrics: {
-      conn->SendReply(PrependFrameId(
-          cmd.request_id,
-          FormatMetricsReply(
-              obs::MetricsRegistry::Global().RenderPrometheus())));
+      // Snapshot + render on the pool, not here: this handler runs on an
+      // event-loop thread, and the exposition walks the whole registry
+      // under its mutex — milliseconds at high series counts, which would
+      // stall framing for every connection this loop owns.
+      pool_->Submit([conn, id = cmd.request_id] {
+        conn->SendReply(PrependFrameId(
+            id, FormatMetricsReply(obs::RenderPrometheusText(
+                    obs::MetricsRegistry::Global().Snapshot()))));
+      });
       return;
     }
     case CommandKind::kClose: {
@@ -1109,6 +1167,11 @@ void PragueServer::SchedulerWorker() {
       }
     }
     if (ticket == nullptr) continue;
+    obs::Watchdog* watchdog = options_.watchdog;
+    const uint64_t watch_token =
+        watchdog != nullptr
+            ? watchdog->OnRunStarted(ticket->tenant, conn->run_budget_ms)
+            : 0;
     std::string reply;
     switch (ticket->cmd.kind) {
       case CommandKind::kRun:
@@ -1121,6 +1184,7 @@ void PragueServer::SchedulerWorker() {
         reply = ExecuteAppend(*conn, ticket->cmd);
         break;
     }
+    if (watchdog != nullptr) watchdog->OnRunFinished(watch_token);
     bool requeue = false;
     std::chrono::steady_clock::time_point key;
     {
@@ -1164,13 +1228,24 @@ std::string PragueServer::ExecuteRun(Connection& conn,
         return FormatRunReply(*results, stats, cmd.limit);
       });
   double elapsed_ms = timer.ElapsedMillis();
-  sm.run_latency_us->Record(static_cast<uint64_t>(elapsed_ms * 1000 + 0.5));
-  if (ran && trace.truncated) sm.runs_truncated_total->Increment();
+  const auto elapsed_us = static_cast<uint64_t>(elapsed_ms * 1000 + 0.5);
+  sm.run_latency_us->Record(elapsed_us);
+  if (conn.tenant_run_latency != nullptr) {
+    conn.tenant_run_latency->Record(elapsed_us);
+  }
+  if (ran && trace.truncated) {
+    sm.runs_truncated_total->Increment();
+    if (conn.tenant_runs_truncated != nullptr) {
+      conn.tenant_runs_truncated->Increment();
+    }
+  }
   if (ran && options_.slow_query_ms >= 0 &&
       elapsed_ms >= static_cast<double>(options_.slow_query_ms)) {
     sm.slow_queries_total->Increment();
-    PRAGUE_LOG(Warning) << "slow query (" << elapsed_ms
-                        << " ms): " << trace.ToString();
+    PRAGUE_SLOG(Warning)
+            .Field("tenant", conn.tenant)
+            .Field("elapsed_ms", elapsed_ms)
+        << "slow query: " << trace.ToString();
   }
   return reply;
 }

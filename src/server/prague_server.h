@@ -62,6 +62,11 @@
 
 namespace prague {
 
+namespace obs {
+class Watchdog;
+class WatchdogHeartbeat;
+}  // namespace obs
+
 struct WireCommand;
 
 /// \brief Server knobs.
@@ -107,6 +112,12 @@ struct PragueServerOptions {
   /// the connection (a reply stream the peer never drains would otherwise
   /// grow without bound); 0 = unlimited.
   size_t max_outbound_bytes = 64ull << 20;
+
+  /// Optional stall watchdog (obs/watchdog.h, not owned). When set, every
+  /// event loop registers a heartbeat and every RUN/BATCH_RUN/APPEND body
+  /// is watched against its deadline budget. The watchdog must outlive
+  /// the server (stop the server, or at least call its Stop(), first).
+  obs::Watchdog* watchdog = nullptr;
 };
 
 /// \brief TCP server exposing a SessionManager over the wire protocol of

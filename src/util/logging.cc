@@ -1,13 +1,91 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdio>
 
 namespace prague {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
 
-const char* LevelName(LogLevel level) {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+std::atomic<LogSink> g_sink{nullptr};
+std::atomic<uint64_t> g_suppressed{0};
+
+int64_t MonotonicNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Text-format values containing whitespace, quotes, '=' or control bytes
+// get quoted so one line stays machine-splittable on spaces.
+bool NeedsTextQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EmitLine(const std::string& line) {
+  if (LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(line);
+    return;
+  }
+  // One write for the whole line (terminator included) so lines from
+  // concurrent threads — e.g. the server's connection handlers — never
+  // shear mid-line the way `stream << line << endl` can.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseLogFormat(std::string_view name, LogFormat* out) {
+  if (name == "text") {
+    *out = LogFormat::kText;
+  } else if (name == "json") {
+    *out = LogFormat::kJson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -20,30 +98,186 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+uint64_t SuppressedLogCount() {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view in) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  AppendJsonEscaped(out, in);
+  return out;
+}
+
+LogRateLimiter::LogRateLimiter(double per_sec, double burst)
+    : per_sec_(per_sec), burst_(burst < 1 ? 1 : burst), tokens_(burst_) {}
+
+bool LogRateLimiter::Allow(int64_t now_us) {
+  if (per_sec_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_us_ != 0 && now_us > last_us_) {
+    tokens_ += static_cast<double>(now_us - last_us_) * 1e-6 * per_sec_;
+    if (tokens_ > burst_) tokens_ = burst_;
+  }
+  last_us_ = now_us;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool LogRateLimiter::AllowNow() {
+  const bool ok = Allow(MonotonicNowUs());
+  if (!ok) internal::CountSuppressedLog();
+  return ok;
+}
+
+uint64_t LogRateLimiter::suppressed() const {
+  return suppressed_.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
+void CountSuppressedLog() {
+  g_suppressed.fetch_add(1, std::memory_order_relaxed);
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
+    : level_(level), basename_(file), line_(line) {
   for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') basename_ = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage& LogMessage::Field(std::string_view key, std::string_view value) {
+  fields_.push_back({std::string(key), std::string(value), false});
+  return *this;
+}
+
+LogMessage& LogMessage::Field(std::string_view key, bool value) {
+  fields_.push_back({std::string(key), value ? "true" : "false", true});
+  return *this;
+}
+
+LogMessage& LogMessage::Field(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.push_back({std::string(key), buf, true});
+  return *this;
+}
+
+LogMessage& LogMessage::Field(std::string_view key, long long value) {
+  fields_.push_back({std::string(key), std::to_string(value), true});
+  return *this;
+}
+
+LogMessage& LogMessage::Field(std::string_view key, unsigned long long value) {
+  fields_.push_back({std::string(key), std::to_string(value), true});
+  return *this;
 }
 
 LogMessage::~LogMessage() {
-  // Emit the whole line (terminator included) with a single stderr write so
-  // lines from concurrent threads — e.g. the server's connection handlers —
-  // never shear mid-line the way `stream << line << endl` can.
-  stream_ << '\n';
-  const std::string line = stream_.str();
-  std::fwrite(line.data(), 1, line.size(), stderr);
-  std::fflush(stderr);
+  const std::string msg = stream_.str();
+  std::string line;
+  line.reserve(msg.size() + 64 + fields_.size() * 24);
+  if (GetLogFormat() == LogFormat::kJson) {
+    line += "{\"level\":\"";
+    line += LogLevelName(level_);
+    line += "\",\"src\":\"";
+    AppendJsonEscaped(line, basename_);
+    line += ':';
+    line += std::to_string(line_);
+    line += "\",\"msg\":\"";
+    AppendJsonEscaped(line, msg);
+    line += '"';
+    for (const FieldRecord& f : fields_) {
+      line += ",\"";
+      AppendJsonEscaped(line, f.key);
+      line += "\":";
+      if (f.json_raw) {
+        line += f.value;
+      } else {
+        line += '"';
+        AppendJsonEscaped(line, f.value);
+        line += '"';
+      }
+    }
+    line += "}\n";
+  } else {
+    line += '[';
+    line += LogLevelName(level_);
+    line += ' ';
+    line += basename_;
+    line += ':';
+    line += std::to_string(line_);
+    line += "] ";
+    line += msg;
+    for (const FieldRecord& f : fields_) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (!f.json_raw && NeedsTextQuoting(f.value)) {
+        line += '"';
+        for (char c : f.value) {
+          if (c == '"' || c == '\\') {
+            line += '\\';
+            line += c;
+          } else if (c == '\n') {
+            line += "\\n";
+          } else if (c == '\t') {
+            line += "\\t";
+          } else if (static_cast<unsigned char>(c) < 0x20) {
+            line += '?';  // other control bytes: keep the line one line
+          } else {
+            line += c;
+          }
+        }
+        line += '"';
+      } else {
+        line += f.value;
+      }
+    }
+    line += '\n';
+  }
+  EmitLine(line);
 }
 
 }  // namespace internal

@@ -1,45 +1,199 @@
-// Minimal leveled logging to stderr. Benchmarks and examples use this for
-// progress lines; the core library itself logs nothing on success paths.
+// Leveled, structured logging to stderr (or a test sink).
+//
+// Two front-ends share one back-end:
+//
+//   PRAGUE_LOG(Warning) << "free-form text";            // stream style
+//   PRAGUE_SLOG(Warning).Field("tenant", t) << "shed";  // structured style
+//   PRAGUE_SLOG_EVERY(Warning, 2.0, 8).Field(...) ...   // + rate limited
+//
+// Fields are typed key=value pairs rendered either as `key=value` suffixes
+// (text format) or as top-level JSON members (--log-format=json). A whole
+// line is always emitted with one write so concurrent threads never shear
+// output mid-line.
+//
+// PRAGUE_SLOG_EVERY applies a per-call-site token bucket: at most `per_sec`
+// lines per second with a burst allowance, so a hostile client hammering a
+// Warning path (bad frames, recv errors) cannot turn logging into an I/O
+// stall. Suppressed lines are counted process-wide (SuppressedLogCount(),
+// exported as `prague_log_suppressed_total`).
 
 #ifndef PRAGUE_UTIL_LOGGING_H_
 #define PRAGUE_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace prague {
 
 /// Severity of a log line.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// Output encoding of a log line.
+enum class LogFormat {
+  kText = 0,  ///< `[WARN file:line] message key=value`
+  kJson = 1,  ///< `{"level":"WARN","src":"file:line","msg":"...","key":...}`
+};
+
 /// \brief Global log threshold; lines below it are discarded.
 LogLevel GetLogLevel();
 /// \brief Sets the global log threshold.
 void SetLogLevel(LogLevel level);
 
+/// \brief Global output format (default text).
+LogFormat GetLogFormat();
+void SetLogFormat(LogFormat format);
+
+/// \brief Parses "debug"/"info"/"warning"/"error" (case-sensitive).
+/// Returns false on anything else, leaving \p out untouched.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+/// \brief Parses "text"/"json".
+bool ParseLogFormat(std::string_view name, LogFormat* out);
+
+/// \brief Upper-case short name ("WARN") used in both formats.
+const char* LogLevelName(LogLevel level);
+
+/// \brief Redirects finished log lines (newline included) to \p sink for
+/// tests; null restores stderr. The sink must be callable from any thread.
+using LogSink = void (*)(std::string_view line);
+void SetLogSink(LogSink sink);
+
+/// \brief Lines dropped by PRAGUE_SLOG_EVERY rate limiters, process-wide.
+/// Exported by the metrics registry as `prague_log_suppressed_total`.
+uint64_t SuppressedLogCount();
+
+/// \brief Appends \p in to \p out with JSON string escaping (quotes,
+/// backslash, control characters). Exposed for tests and other JSON
+/// emitters (trace dumps, /statusz).
+void AppendJsonEscaped(std::string& out, std::string_view in);
+/// \brief Convenience wrapper returning the escaped string.
+std::string JsonEscape(std::string_view in);
+
+/// \brief Token bucket for one log call site. Allow(now_us) is a pure
+/// deterministic function of the supplied clock — tests drive it with a
+/// fake clock — while AllowNow() reads the monotonic clock and counts
+/// refusals into SuppressedLogCount(). Thread-safe.
+class LogRateLimiter {
+ public:
+  /// \p per_sec tokens accrue per second up to \p burst. per_sec <= 0
+  /// disables the limiter (everything allowed).
+  LogRateLimiter(double per_sec, double burst);
+
+  /// \brief Takes one token at time \p now_us; true when the line may log.
+  bool Allow(int64_t now_us);
+  /// \brief Allow(monotonic now); counts a refusal as a suppressed line.
+  bool AllowNow();
+
+  /// \brief Lines this limiter refused (for tests; the process-wide total
+  /// is SuppressedLogCount()).
+  uint64_t suppressed() const;
+
+ private:
+  const double per_sec_;
+  const double burst_;
+  mutable std::mutex mu_;
+  double tokens_;        // guarded by mu_
+  int64_t last_us_ = 0;  // guarded by mu_; 0 = never refilled
+  std::atomic<uint64_t> suppressed_{0};
+};
+
 namespace internal {
+
+/// \brief Counts one suppressed line (macro plumbing).
+void CountSuppressedLog();
 
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
   ~LogMessage();
 
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  /// Typed fields. Keys should be bare identifiers ([a-z0-9_]); values are
+  /// escaped as needed per format.
+  LogMessage& Field(std::string_view key, std::string_view value);
+  LogMessage& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value == nullptr ? "" : value));
+  }
+  LogMessage& Field(std::string_view key, const std::string& value) {
+    return Field(key, std::string_view(value));
+  }
+  LogMessage& Field(std::string_view key, bool value);
+  LogMessage& Field(std::string_view key, double value);
+  LogMessage& Field(std::string_view key, long long value);
+  LogMessage& Field(std::string_view key, unsigned long long value);
+  LogMessage& Field(std::string_view key, int value) {
+    return Field(key, static_cast<long long>(value));
+  }
+  LogMessage& Field(std::string_view key, unsigned value) {
+    return Field(key, static_cast<unsigned long long>(value));
+  }
+  LogMessage& Field(std::string_view key, long value) {
+    return Field(key, static_cast<long long>(value));
+  }
+  LogMessage& Field(std::string_view key, unsigned long value) {
+    return Field(key, static_cast<unsigned long long>(value));
+  }
+
+  /// Free-form message body (stream style).
   std::ostream& stream() { return stream_; }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
 
  private:
+  struct FieldRecord {
+    std::string key;
+    std::string value;  // pre-rendered
+    bool json_raw;      // value is already a JSON literal (number/bool)
+  };
+
   LogLevel level_;
+  const char* basename_;
+  int line_;
   std::ostringstream stream_;
+  std::vector<FieldRecord> fields_;
 };
 
 }  // namespace internal
 
+#define PRAGUE_LOG_INTERNAL_MESSAGE(level)                        \
+  ::prague::internal::LogMessage(::prague::LogLevel::k##level,    \
+                                 __FILE__, __LINE__)
+
+/// Stream-style logging (back-compat): PRAGUE_LOG(Info) << "text";
 #define PRAGUE_LOG(level)                                              \
   if (::prague::LogLevel::k##level < ::prague::GetLogLevel()) {        \
   } else                                                               \
-    ::prague::internal::LogMessage(::prague::LogLevel::k##level,       \
-                                   __FILE__, __LINE__)                 \
-        .stream()
+    PRAGUE_LOG_INTERNAL_MESSAGE(level).stream()
+
+/// Structured logging: PRAGUE_SLOG(Warning).Field("k", v) << "message";
+#define PRAGUE_SLOG(level)                                             \
+  if (::prague::LogLevel::k##level < ::prague::GetLogLevel()) {        \
+  } else                                                               \
+    PRAGUE_LOG_INTERNAL_MESSAGE(level)
+
+/// Structured logging with a per-call-site token bucket: at most
+/// \p per_sec lines/second (burst \p burst) from this source location;
+/// refused lines increment `prague_log_suppressed_total` and cost one
+/// atomic op — no formatting, no I/O.
+#define PRAGUE_SLOG_EVERY(level, per_sec, burst)                       \
+  if (::prague::LogLevel::k##level < ::prague::GetLogLevel()) {        \
+  } else if ([]() {                                                    \
+               static ::prague::LogRateLimiter prague_rl_((per_sec),   \
+                                                          (burst));    \
+               return !prague_rl_.AllowNow();                          \
+             }()) {                                                    \
+  } else                                                               \
+    PRAGUE_LOG_INTERNAL_MESSAGE(level)
 
 }  // namespace prague
 

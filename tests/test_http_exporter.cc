@@ -1,0 +1,341 @@
+// The embedded HTTP exporter (obs/http_exporter.h), exercised with raw
+// sockets the way curl / Prometheus / a kubelet would: the full operator
+// lifecycle (start -> open/run traffic -> durable append -> checkpoint ->
+// shutdown) with every endpoint answering at each stage, plus protocol
+// edges — keep-alive, Connection: close, 404/405, readiness flips, and
+// the oversized-request guillotine.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "server/prague_client.h"
+#include "server/prague_server.h"
+#include "storage/fs_util.h"
+#include "storage/storage_engine.h"
+#include "test_fixtures.h"
+#include "test_storage_util.h"
+
+namespace prague {
+namespace {
+
+using storage::JoinPath;
+using storage::StorageEngine;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/prague_http_" + name;
+  Result<std::vector<std::string>> files = storage::ListDir(dir);
+  if (files.ok()) {
+    for (const std::string& f : *files) {
+      (void)storage::RemoveFile(JoinPath(dir, f));
+    }
+  }
+  if (!storage::EnsureDir(dir).ok()) std::abort();
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal blocking HTTP client: one fd, hand-written request lines.
+
+int ConnectTo(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << strerror(errno);
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RecvUntilClose(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// One full request/response with "Connection: close"; returns the raw
+// response (status line + headers + body).
+std::string HttpGet(uint16_t port, const std::string& path,
+                    const std::string& method = "GET") {
+  int fd = ConnectTo(port);
+  std::string request = method + " " + path +
+                        " HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n";
+  EXPECT_TRUE(SendAll(fd, request));
+  std::string response = RecvUntilClose(fd);
+  ::close(fd);
+  return response;
+}
+
+std::string StatusLineOf(const std::string& response) {
+  size_t eol = response.find("\r\n");
+  return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+// Reads exactly one response off a keep-alive connection, using the
+// Content-Length header to know where it ends.
+std::string RecvOneResponse(int fd) {
+  std::string buf;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = buf.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        header_end += 4;
+        size_t pos = buf.find("Content-Length:");
+        EXPECT_NE(pos, std::string::npos) << buf;
+        content_length = static_cast<size_t>(
+            std::strtoull(buf.c_str() + pos + 15, nullptr, 10));
+      }
+    }
+    if (header_end != std::string::npos &&
+        buf.size() >= header_end + content_length) {
+      std::string response = buf.substr(0, header_end + content_length);
+      return response;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return buf;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(HttpExporterTest, ServesDefaultsWithNoHooks) {
+  obs::HttpExporter exporter;  // port 0, no hooks
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_NE(exporter.port(), 0);
+  EXPECT_TRUE(exporter.running());
+
+  std::string health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(StatusLineOf(health).find("200"), std::string::npos);
+  EXPECT_EQ(BodyOf(health), "ok\n");
+
+  // Null hooks degrade safely: ready, empty status, empty traces.
+  EXPECT_EQ(BodyOf(HttpGet(exporter.port(), "/readyz")), "ready\n");
+  std::string traces = BodyOf(HttpGet(exporter.port(), "/tracez"));
+  EXPECT_NE(traces.find("\"traces\""), std::string::npos);
+
+  // A query string does not defeat routing.
+  std::string probed = HttpGet(exporter.port(), "/healthz?verbose=1");
+  EXPECT_NE(StatusLineOf(probed).find("200"), std::string::npos);
+
+  EXPECT_GE(exporter.requests_served(), 4u);
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(HttpExporterTest, UnknownPathAndNonGetAreRejected) {
+  obs::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_NE(StatusLineOf(HttpGet(exporter.port(), "/nope")).find("404"),
+            std::string::npos);
+  EXPECT_NE(
+      StatusLineOf(HttpGet(exporter.port(), "/metrics", "POST")).find("405"),
+      std::string::npos);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, ReadyzReflectsTheHook) {
+  std::atomic<bool> ready{false};
+  obs::HttpExporterHooks hooks;
+  hooks.ready = [&ready] { return ready.load(); };
+  obs::HttpExporter exporter({}, hooks);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  std::string not_ready = HttpGet(exporter.port(), "/readyz");
+  EXPECT_NE(StatusLineOf(not_ready).find("503"), std::string::npos);
+  EXPECT_EQ(BodyOf(not_ready), "unavailable\n");
+
+  ready.store(true);
+  std::string now_ready = HttpGet(exporter.port(), "/readyz");
+  EXPECT_NE(StatusLineOf(now_ready).find("200"), std::string::npos);
+  EXPECT_EQ(BodyOf(now_ready), "ready\n");
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, KeepAliveServesPipelinedRequestsOnOneConnection) {
+  obs::HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start().ok());
+  int fd = ConnectTo(exporter.port());
+
+  // Two requests, neither closing: both answered on the same socket.
+  ASSERT_TRUE(SendAll(fd, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string first = RecvOneResponse(fd);
+  EXPECT_NE(StatusLineOf(first).find("200"), std::string::npos);
+  EXPECT_EQ(BodyOf(first), "ok\n");
+
+  ASSERT_TRUE(SendAll(fd, "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string second = RecvOneResponse(fd);
+  EXPECT_EQ(BodyOf(second), "ready\n");
+
+  // The third asks to close; the server flushes then disconnects.
+  ASSERT_TRUE(SendAll(
+      fd, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
+  std::string third = RecvUntilClose(fd);
+  EXPECT_EQ(BodyOf(third), "ok\n");
+  ::close(fd);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, OversizedRequestIsDisconnected) {
+  obs::HttpExporterOptions options;
+  options.max_request_bytes = 128;
+  obs::HttpExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  int fd = ConnectTo(exporter.port());
+  // Headers that never end and blow past the cap: the exporter drops the
+  // connection rather than buffering without bound.
+  std::string flood = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+  flood.append(512, 'a');
+  ASSERT_TRUE(SendAll(fd, flood));
+  char buf[64];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);  // EOF or reset, no reply
+  ::close(fd);
+  exporter.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance lifecycle: a durable server with watchdog and exporter
+// wired the way `praguedb serve --http-port` does it, scraped at every
+// stage from start through append and checkpoint to shutdown.
+
+TEST(HttpExporterLifecycleTest, AllEndpointsAnswerThroughServeAppendCheckpoint) {
+  std::string dir = FreshDir("lifecycle");
+  SnapshotPtr initial = testing::MakeTinySnapshot();
+  Result<std::unique_ptr<StorageEngine>> boot =
+      StorageEngine::Bootstrap(dir, *initial, testing::kStorageAlpha);
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  std::shared_ptr<StorageEngine> engine = std::move(*boot);
+
+  SessionManager manager(engine->recovered().snapshot);
+  manager.AttachStorage(engine);
+
+  obs::Watchdog watchdog;
+  watchdog.set_trace_ring(&manager.mutable_traces());
+
+  PragueServerOptions options;
+  options.port = 0;
+  options.worker_threads = 4;
+  options.watchdog = &watchdog;
+  PragueServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+  watchdog.Start();
+
+  obs::HttpExporterHooks hooks;
+  hooks.ready = [&server, &manager] {
+    return server.running() && manager.current() != nullptr;
+  };
+  hooks.statusz_json = [&manager] {
+    SessionManagerStats stats = manager.Stats();
+    return std::string("{\"snapshot_version\":") +
+           std::to_string(stats.current_version) +
+           ",\"durable\":" + (stats.durable ? "true" : "false") + "}";
+  };
+  hooks.traces = [&manager] { return manager.traces().Recent(); };
+  obs::HttpExporter exporter({}, hooks);
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t http_port = exporter.port();
+
+  // Stage 1: freshly started. Probes answer, status reports durability.
+  EXPECT_EQ(BodyOf(HttpGet(http_port, "/healthz")), "ok\n");
+  EXPECT_EQ(BodyOf(HttpGet(http_port, "/readyz")), "ready\n");
+  std::string statusz = BodyOf(HttpGet(http_port, "/statusz"));
+  EXPECT_NE(statusz.find("\"durable\":true"), std::string::npos);
+
+  // Stage 2: wire traffic from a tenant, so labeled series exist.
+  PragueClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Open(-1, "acme-http").ok());
+  ASSERT_TRUE(client.AddEdge(1, "C", 2, "S").ok());
+  Result<RunReply> run = client.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::string metrics_response = HttpGet(http_port, "/metrics");
+  EXPECT_NE(StatusLineOf(metrics_response).find("200"), std::string::npos);
+  EXPECT_NE(metrics_response.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  std::string metrics = BodyOf(metrics_response);
+  EXPECT_NE(metrics.find("# TYPE prague_server_tenant_admitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find(
+                "prague_server_tenant_admitted_total{tenant=\"acme-http\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.find("prague_server_tenant_run_latency_us_bucket{"),
+      std::string::npos);
+  // The exporter's own self-observation is part of the exposition too.
+  EXPECT_NE(metrics.find("prague_http_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("prague_watchdog_ticks_total"), std::string::npos);
+
+  // /tracez carries the run the client just executed.
+  std::string traces = BodyOf(HttpGet(http_port, "/tracez"));
+  EXPECT_NE(traces.find("\"run\":1"), std::string::npos);
+  EXPECT_NE(traces.find("\"spans\":["), std::string::npos);
+
+  // Stage 3: a durable append advances the snapshot under the scraper.
+  ASSERT_TRUE(manager
+                  .Append(testing::BatchForVersion(1),
+                          testing::StorageMaintenanceOptions())
+                  .ok());
+  statusz = BodyOf(HttpGet(http_port, "/statusz"));
+  EXPECT_NE(statusz.find("\"snapshot_version\":1"), std::string::npos);
+  EXPECT_EQ(BodyOf(HttpGet(http_port, "/readyz")), "ready\n");
+
+  // Stage 4: checkpoint; still serving, still ready.
+  ASSERT_TRUE(manager.Checkpoint().ok());
+  EXPECT_EQ(BodyOf(HttpGet(http_port, "/healthz")), "ok\n");
+  EXPECT_NE(StatusLineOf(HttpGet(http_port, "/metrics")).find("200"),
+            std::string::npos);
+
+  // Stage 5: shutdown in the documented order (exporter, server, watchdog).
+  client.Close();
+  exporter.Stop();
+  server.Stop();
+  watchdog.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+}  // namespace
+}  // namespace prague

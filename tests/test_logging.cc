@@ -1,0 +1,217 @@
+// Structured logging (util/logging.h): level filtering, text/json field
+// rendering and escaping, the per-call-site rate limiter's deterministic
+// token bucket, and the process-wide suppressed-line counter that backs
+// `prague_log_suppressed_total`.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace prague {
+namespace {
+
+// The sink is a plain function pointer (so hot paths stay branch+call),
+// which means captures go through file statics.
+std::mutex g_lines_mu;
+std::vector<std::string> g_lines;
+
+void CaptureSink(std::string_view line) {
+  std::lock_guard<std::mutex> lock(g_lines_mu);
+  g_lines.emplace_back(line);
+}
+
+std::vector<std::string> TakeLines() {
+  std::lock_guard<std::mutex> lock(g_lines_mu);
+  std::vector<std::string> out;
+  out.swap(g_lines);
+  return out;
+}
+
+// Captures log output and restores global logging state afterwards, so
+// tests cannot leak a sink/level/format into each other.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    saved_format_ = GetLogFormat();
+    SetLogSink(&CaptureSink);
+    TakeLines();
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+    SetLogFormat(saved_format_);
+  }
+
+ private:
+  LogLevel saved_level_;
+  LogFormat saved_format_;
+};
+
+TEST_F(LoggingTest, LevelThresholdFiltersLowerSeverities) {
+  SetLogLevel(LogLevel::kWarning);
+  PRAGUE_LOG(Debug) << "dropped";
+  PRAGUE_LOG(Info) << "dropped";
+  PRAGUE_LOG(Warning) << "kept-warning";
+  PRAGUE_LOG(Error) << "kept-error";
+  std::vector<std::string> lines = TakeLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept-warning"), std::string::npos);
+  EXPECT_NE(lines[1].find("kept-error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, TextFormatRendersFieldsAfterMessage) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kText);
+  PRAGUE_SLOG(Warning).Field("tenant", "acme").Field("n", 7) << "shed";
+  std::vector<std::string> lines = TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[WARN "), std::string::npos);
+  EXPECT_NE(lines[0].find("shed tenant=acme n=7"), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '\n');
+}
+
+TEST_F(LoggingTest, TextFormatQuotesValuesThatWouldSplit) {
+  SetLogFormat(LogFormat::kText);
+  PRAGUE_SLOG(Warning)
+          .Field("msg", "two words")
+          .Field("quote", "a\"b")
+          .Field("nl", "a\nb")
+          .Field("empty", "")
+      << "x";
+  std::vector<std::string> lines = TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("msg=\"two words\""), std::string::npos);
+  EXPECT_NE(lines[0].find("quote=\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(lines[0].find("nl=\"a\\nb\""), std::string::npos);
+  EXPECT_NE(lines[0].find("empty=\"\""), std::string::npos);
+  // The escaped newline keeps the record one physical line.
+  EXPECT_EQ(lines[0].find('\n'), lines[0].size() - 1);
+}
+
+TEST_F(LoggingTest, JsonFormatEscapesStringsAndKeepsNumbersRaw) {
+  SetLogFormat(LogFormat::kJson);
+  PRAGUE_SLOG(Error)
+          .Field("path", "a\\b\"c\nd")
+          .Field("count", 42)
+          .Field("ratio", 0.5)
+          .Field("ok", true)
+      << "boom \"quoted\"";
+  std::vector<std::string> lines = TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_NE(line.find("\"level\":\"ERROR\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"boom \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"path\":\"a\\\\b\\\"c\\nd\""), std::string::npos);
+  // Numbers and bools are JSON literals, not strings.
+  EXPECT_NE(line.find("\"count\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(line.find("\"count\":\"42\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, JsonEscapeHandlesControlBytes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscape("q\"\\"), "q\\\"\\\\");
+}
+
+TEST(LogParseTest, ParsesLevelsAndFormats) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);  // untouched on failure
+
+  LogFormat format = LogFormat::kText;
+  EXPECT_TRUE(ParseLogFormat("json", &format));
+  EXPECT_EQ(format, LogFormat::kJson);
+  EXPECT_FALSE(ParseLogFormat("xml", &format));
+  EXPECT_EQ(format, LogFormat::kJson);
+}
+
+// ---------------------------------------------------------------------------
+// Rate limiter: Allow(now_us) is a pure function of the supplied clock,
+// so the whole schedule is asserted deterministically.
+
+TEST(LogRateLimiterTest, BurstThenRefillIsDeterministic) {
+  LogRateLimiter limiter(1.0, 2.0);  // 1 token/s, burst 2
+  // Full bucket: the first two lines pass, the third is refused.
+  EXPECT_TRUE(limiter.Allow(1'000'000));
+  EXPECT_TRUE(limiter.Allow(1'000'001));
+  EXPECT_FALSE(limiter.Allow(1'000'002));
+  EXPECT_FALSE(limiter.Allow(1'500'000));  // half a token accrued: still no
+  EXPECT_EQ(limiter.suppressed(), 2u);
+  // 1.1 s after the last refill point: over one whole token again.
+  EXPECT_TRUE(limiter.Allow(2'600'000));
+  EXPECT_FALSE(limiter.Allow(2'600'001));
+  EXPECT_EQ(limiter.suppressed(), 3u);
+}
+
+TEST(LogRateLimiterTest, RefillNeverExceedsBurst) {
+  LogRateLimiter limiter(100.0, 3.0);
+  // An hour of idle accrues hours of tokens; the cap keeps it at 3.
+  EXPECT_TRUE(limiter.Allow(1));
+  EXPECT_TRUE(limiter.Allow(3'600'000'000));
+  EXPECT_TRUE(limiter.Allow(3'600'000'001));
+  EXPECT_TRUE(limiter.Allow(3'600'000'002));
+  EXPECT_FALSE(limiter.Allow(3'600'000'003));
+}
+
+TEST(LogRateLimiterTest, NonPositiveRateDisablesLimiting) {
+  LogRateLimiter limiter(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.Allow(i));
+  EXPECT_EQ(limiter.suppressed(), 0u);
+}
+
+TEST(LogRateLimiterTest, BurstHasAFloorOfOne) {
+  LogRateLimiter limiter(5.0, 0.0);  // burst 0 would allow nothing, ever
+  EXPECT_TRUE(limiter.Allow(1'000'000));
+  EXPECT_FALSE(limiter.Allow(1'000'001));
+}
+
+TEST(LogRateLimiterTest, ClockGoingBackwardsDoesNotRefill) {
+  LogRateLimiter limiter(1000.0, 1.0);
+  EXPECT_TRUE(limiter.Allow(5'000'000));
+  EXPECT_FALSE(limiter.Allow(4'000'000));  // no negative elapsed credit
+  EXPECT_FALSE(limiter.Allow(4'000'001));
+}
+
+TEST_F(LoggingTest, SlogEveryEmitsOnceAndCountsSuppressed) {
+  SetLogLevel(LogLevel::kInfo);
+  const uint64_t suppressed_before = SuppressedLogCount();
+  // A per-token interval of ~3 hours: within this test only the burst
+  // allowance (1) can ever pass, no matter how slowly the loop runs.
+  for (int i = 0; i < 50; ++i) {
+    PRAGUE_SLOG_EVERY(Warning, 0.0001, 1).Field("i", i) << "storm";
+  }
+  std::vector<std::string> lines = TakeLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("storm"), std::string::npos);
+  EXPECT_EQ(SuppressedLogCount() - suppressed_before, 49u);
+}
+
+TEST_F(LoggingTest, SlogEveryBelowThresholdCostsNoTokens) {
+  SetLogLevel(LogLevel::kError);
+  const uint64_t suppressed_before = SuppressedLogCount();
+  for (int i = 0; i < 10; ++i) {
+    PRAGUE_SLOG_EVERY(Warning, 0.0001, 1) << "filtered before the bucket";
+  }
+  EXPECT_TRUE(TakeLines().empty());
+  // Level filtering short-circuits ahead of the limiter: nothing was
+  // suppressed because nothing was offered.
+  EXPECT_EQ(SuppressedLogCount(), suppressed_before);
+}
+
+}  // namespace
+}  // namespace prague

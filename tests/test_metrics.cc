@@ -19,6 +19,7 @@
 #include "core/prague_session.h"
 #include "core/session_manager.h"
 #include "datasets/query_workload.h"
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "test_fixtures.h"
@@ -548,6 +549,138 @@ TEST(SessionManagerObservabilityTest, TallyTracesAndGauge) {
   EXPECT_EQ(traces[1].session_tag, 2u);
   EXPECT_TRUE(traces[1].truncated);
 }
+
+// ---------------------------------------------------------------------------
+// Labeled families: bounded cardinality, the "other" overflow series, and
+// callback metrics evaluated at Snapshot() time.
+
+TEST(LabeledMetricsTest, InternedSeriesHaveStablePointers) {
+  MetricsRegistry registry;
+  obs::LabeledCounter* family =
+      registry.GetLabeledCounter("tenants_total", "tenant", 4);
+  Counter* acme = family->WithLabel("acme");
+  acme->Increment(3);
+  EXPECT_EQ(family->WithLabel("acme"), acme);  // same pointer on re-lookup
+  EXPECT_EQ(registry.GetLabeledCounter("tenants_total", "tenant"), family);
+  EXPECT_EQ(acme->Value(), 3u);
+}
+
+TEST(LabeledMetricsTest, CardinalityIsBoundedByMaxSeries) {
+  MetricsRegistry registry;
+  obs::LabeledCounter* family =
+      registry.GetLabeledCounter("bounded_total", "tenant", 3);
+  // The first three distinct values intern; everything after shares one
+  // overflow series, so a tenant-name flood cannot blow up the scrape.
+  family->WithLabel("a")->Increment();
+  family->WithLabel("b")->Increment();
+  family->WithLabel("c")->Increment();
+  Counter* d = family->WithLabel("d");
+  Counter* e = family->WithLabel("e");
+  EXPECT_EQ(d, e);  // both land on "other"
+  d->Increment();
+  e->Increment();
+  // A literal "other" label is the overflow series too — no way to mint a
+  // series that shadows the sentinel.
+  EXPECT_EQ(family->WithLabel(obs::kOverflowLabelValue), d);
+
+  std::vector<std::pair<std::string, uint64_t>> series = family->Series();
+  ASSERT_EQ(series.size(), 4u);  // a, b, c, other
+  uint64_t other_value = 0;
+  for (const auto& [label, value] : series) {
+    if (label == obs::kOverflowLabelValue) other_value = value;
+  }
+  EXPECT_EQ(other_value, 2u);
+}
+
+TEST(LabeledMetricsTest, LiteralOtherNeverCountsTowardCardinality) {
+  MetricsRegistry registry;
+  obs::LabeledCounter* family =
+      registry.GetLabeledCounter("literal_other_total", "tenant", 2);
+  Counter* other = family->WithLabel(obs::kOverflowLabelValue);
+  other->Increment();
+  // Both real slots are still free after touching "other".
+  Counter* a = family->WithLabel("a");
+  Counter* b = family->WithLabel("b");
+  EXPECT_NE(a, other);
+  EXPECT_NE(b, other);
+  EXPECT_EQ(family->WithLabel("c"), other);  // now full: c overflows
+}
+
+TEST(LabeledMetricsTest, RenderGroupsSeriesUnderOneTypeLine) {
+  MetricsRegistry registry;
+  obs::LabeledCounter* family =
+      registry.GetLabeledCounter("grouped_total", "tenant", 4);
+  family->WithLabel("acme")->Increment(2);
+  family->WithLabel("bob")->Increment(5);
+  obs::LabeledHistogram* lat =
+      registry.GetLabeledHistogram("grouped_latency_us", "tenant", 4);
+  lat->WithLabel("acme")->Record(10);
+  lat->WithLabel("acme")->Record(1000);
+
+  std::string text = obs::RenderPrometheusText(registry.Snapshot());
+  // Exactly one TYPE line per family, preceding all of its samples.
+  size_t type_pos = text.find("# TYPE grouped_total counter\n");
+  ASSERT_NE(type_pos, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE grouped_total", type_pos + 1),
+            std::string::npos);
+  size_t acme_pos = text.find("grouped_total{tenant=\"acme\"} 2\n");
+  size_t bob_pos = text.find("grouped_total{tenant=\"bob\"} 5\n");
+  ASSERT_NE(acme_pos, std::string::npos);
+  ASSERT_NE(bob_pos, std::string::npos);
+  EXPECT_GT(acme_pos, type_pos);
+  EXPECT_GT(bob_pos, type_pos);
+
+  // Labeled histograms render per-series buckets plus _sum/_count with the
+  // tenant label alongside le.
+  EXPECT_NE(text.find("# TYPE grouped_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("grouped_latency_us_bucket{tenant=\"acme\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("grouped_latency_us_count{tenant=\"acme\"} 2"),
+            std::string::npos);
+}
+
+TEST(LabeledMetricsTest, LabelValuesAreEscapedInExposition) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
+
+  MetricsRegistry registry;
+  registry.GetLabeledCounter("escaped_total", "tenant", 4)
+      ->WithLabel("we\"ird\\name")
+      ->Increment();
+  std::string text = obs::RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("escaped_total{tenant=\"we\\\"ird\\\\name\"} 1"),
+            std::string::npos);
+}
+
+TEST(CallbackMetricsTest, EvaluatedAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::atomic<uint64_t> pulled{7};
+  registry.RegisterCallbackCounter("pulled_total",
+                                   [&pulled] { return pulled.load(); });
+  registry.RegisterCallbackGauge("depth",
+                                 [] { return static_cast<int64_t>(-3); });
+  obs::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("pulled_total"), 7u);
+  EXPECT_EQ(snap.gauges.at("depth"), -3);
+  pulled.store(9);  // a later snapshot sees the new value, no re-registering
+  EXPECT_EQ(registry.Snapshot().counters.at("pulled_total"), 9u);
+  std::string text = obs::RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("pulled_total 9\n"), std::string::npos);
+}
+
+TEST(CallbackMetricsTest, GlobalRegistryExportsLogSuppression) {
+  // prague_log_suppressed_total is a callback over the logging module's
+  // process-wide counter; it must appear in the global exposition.
+  std::string text = obs::RenderPrometheusText(
+      MetricsRegistry::Global().Snapshot());
+  EXPECT_NE(text.find("# TYPE prague_log_suppressed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prague_log_suppressed_total "), std::string::npos);
+}
+
 
 }  // namespace
 }  // namespace prague

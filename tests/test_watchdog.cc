@@ -1,0 +1,218 @@
+// The stall watchdog (obs/watchdog.h), driven deterministically with an
+// injected clock and explicit Tick() calls: long-run incidents fire
+// exactly once per run (one metric increment + one structured log line +
+// one synthetic trace), event-loop heartbeats report lag and stall/
+// recover, and every tick pings the registered wake so parked loops get
+// a chance to beat.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "util/logging.h"
+
+namespace prague {
+namespace {
+
+std::mutex g_lines_mu;
+std::vector<std::string> g_lines;
+
+void CaptureSink(std::string_view line) {
+  std::lock_guard<std::mutex> lock(g_lines_mu);
+  g_lines.emplace_back(line);
+}
+
+std::vector<std::string> TakeLines() {
+  std::lock_guard<std::mutex> lock(g_lines_mu);
+  std::vector<std::string> out;
+  out.swap(g_lines);
+  return out;
+}
+
+size_t CountContaining(const std::vector<std::string>& lines,
+                       std::string_view needle) {
+  size_t n = 0;
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kInfo);
+    SetLogSink(&CaptureSink);
+    TakeLines();
+    now_us_.store(1'000'000);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+
+  // The watchdog metrics are process-global; every assertion is a delta.
+  obs::WatchdogOptions FakeClock(obs::WatchdogOptions options = {}) {
+    options.now_us = [this] { return now_us_.load(); };
+    return options;
+  }
+
+  void AdvanceMs(int64_t ms) { now_us_.fetch_add(ms * 1000); }
+
+  std::atomic<int64_t> now_us_{1'000'000};
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST_F(WatchdogTest, LongRunFlagsExactlyOnceWithOneLogLine) {
+  obs::WatchdogOptions options;
+  options.stall_budget_multiple = 4.0;
+  options.min_run_stall_us = 10'000;
+  obs::Watchdog dog(FakeClock(options));
+  obs::TraceRing ring(8);
+  dog.set_trace_ring(&ring);
+
+  const uint64_t stalls_before = dog.stalls();
+  const uint64_t token = dog.OnRunStarted("acme", 100);  // budget 100 ms
+  EXPECT_EQ(dog.active_runs(), 1u);
+
+  AdvanceMs(100);
+  dog.Tick();  // within budget
+  AdvanceMs(250);
+  dog.Tick();  // 350 ms: within 4x budget
+  EXPECT_EQ(dog.stalls() - stalls_before, 0u);
+
+  AdvanceMs(100);
+  dog.Tick();  // 450 ms > 400 ms limit: incident
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+
+  // The incident fired; further ticks must not re-flag the same run.
+  AdvanceMs(5'000);
+  dog.Tick();
+  dog.Tick();
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+
+  std::vector<std::string> lines = TakeLines();
+  EXPECT_EQ(CountContaining(lines, "run exceeded its deadline budget"), 1u);
+  EXPECT_EQ(CountContaining(lines, "acme"), 1u);
+
+  // One synthetic trace, marked with the watchdog phase.
+  std::vector<obs::RunTrace> traces = ring.Recent();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_STREQ(traces[0].deadline_phase, "watchdog-stall");
+  EXPECT_TRUE(traces[0].truncated);
+
+  dog.OnRunFinished(token);
+  EXPECT_EQ(dog.active_runs(), 0u);
+}
+
+TEST_F(WatchdogTest, UnboundedRunsAreNeverFlagged) {
+  obs::Watchdog dog(FakeClock());
+  const uint64_t stalls_before = dog.stalls();
+  const uint64_t token = dog.OnRunStarted("batch", 0);  // no budget
+  AdvanceMs(3'600'000);  // an hour
+  dog.Tick();
+  EXPECT_EQ(dog.stalls() - stalls_before, 0u);
+  EXPECT_TRUE(TakeLines().empty());
+  dog.OnRunFinished(token);
+}
+
+TEST_F(WatchdogTest, TinyBudgetsUseTheStallFloor) {
+  obs::WatchdogOptions options;
+  options.stall_budget_multiple = 4.0;
+  options.min_run_stall_us = 10'000;
+  obs::Watchdog dog(FakeClock(options));
+  const uint64_t stalls_before = dog.stalls();
+  const uint64_t token = dog.OnRunStarted("t", 1);  // 4x budget = 4 ms
+  AdvanceMs(8);
+  dog.Tick();  // past 4x budget but under the 10 ms floor: jitter, not stall
+  EXPECT_EQ(dog.stalls() - stalls_before, 0u);
+  AdvanceMs(4);
+  dog.Tick();  // 12 ms: past the floor
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+  dog.OnRunFinished(token);
+}
+
+TEST_F(WatchdogTest, FinishedRunsStopBeingWatched) {
+  obs::Watchdog dog(FakeClock());
+  const uint64_t stalls_before = dog.stalls();
+  const uint64_t token = dog.OnRunStarted("t", 10);
+  dog.OnRunFinished(token);
+  AdvanceMs(60'000);
+  dog.Tick();
+  EXPECT_EQ(dog.stalls() - stalls_before, 0u);
+}
+
+TEST_F(WatchdogTest, HeartbeatLagIsPublishedAndWakeIsPinged) {
+  obs::Watchdog dog(FakeClock());
+  std::atomic<int> wakes{0};
+  obs::WatchdogHeartbeat* hb =
+      dog.RegisterHeartbeat("loop-test", [&wakes] { ++wakes; });
+
+  AdvanceMs(50);
+  dog.Tick();
+  EXPECT_EQ(hb->last_lag_us(), 50'000);
+  EXPECT_EQ(wakes.load(), 1);
+  // The labeled gauge carries the same reading.
+  obs::LabeledGauge* lag = obs::MetricsRegistry::Global().GetLabeledGauge(
+      "prague_server_event_loop_lag_us", "loop");
+  EXPECT_EQ(lag->WithLabel("loop-test")->Value(), 50'000);
+
+  hb->Beat();
+  dog.Tick();
+  EXPECT_EQ(hb->last_lag_us(), 0);
+  EXPECT_EQ(wakes.load(), 2);
+  dog.UnregisterHeartbeat(hb);
+  dog.Tick();
+  EXPECT_EQ(wakes.load(), 2);  // never pinged after unregister
+}
+
+TEST_F(WatchdogTest, StalledHeartbeatFiresOncePerIncidentAndRecovers) {
+  obs::WatchdogOptions options;
+  options.heartbeat_stall_us = 2'000'000;
+  obs::Watchdog dog(FakeClock(options));
+  const uint64_t stalls_before = dog.stalls();
+  obs::WatchdogHeartbeat* hb = dog.RegisterHeartbeat("loop-0", nullptr);
+
+  AdvanceMs(2'500);
+  dog.Tick();  // 2.5 s without a beat: stalled
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+  AdvanceMs(1'000);
+  dog.Tick();  // still stalled: same incident, no second count
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+
+  hb->Beat();
+  dog.Tick();  // recovered
+  EXPECT_EQ(dog.stalls() - stalls_before, 1u);
+
+  AdvanceMs(3'000);
+  dog.Tick();  // a new incident
+  EXPECT_EQ(dog.stalls() - stalls_before, 2u);
+
+  std::vector<std::string> lines = TakeLines();
+  EXPECT_EQ(CountContaining(lines, "thread stopped beating"), 2u);
+  dog.UnregisterHeartbeat(hb);
+}
+
+TEST_F(WatchdogTest, StartStopThreadIsIdempotent) {
+  // Real-clock smoke test of the background thread itself.
+  obs::Watchdog dog{};
+  dog.Start();
+  dog.Start();
+  dog.Stop();
+  dog.Stop();
+  dog.Start();
+  dog.Stop();
+}
+
+}  // namespace
+}  // namespace prague

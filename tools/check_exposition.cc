@@ -1,0 +1,375 @@
+// Exposition lint: boots a real in-process stack (SessionManager +
+// PragueServer + Watchdog + HttpExporter), drives labeled-tenant traffic
+// through a wire client, scrapes GET /metrics over a raw socket exactly
+// like Prometheus would, and validates the text-exposition grammar:
+//
+//   - every sample's base metric has a preceding `# TYPE` line,
+//   - no metric declares TYPE twice, no series appears twice,
+//   - histogram `le` buckets are cumulative and end at `+Inf` == `_count`,
+//   - the per-tenant series promised by the docs actually show up,
+//   - /healthz, /readyz, /statusz and /tracez answer 200 alongside.
+//
+// Runs as a ctest (`exposition_lint`) and in the server-sanitizer CI job:
+// a malformed scrape is a break for every operator dashboard downstream,
+// so it fails the build, not a human eyeball.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "index/action_aware_index.h"
+#include "index/database_snapshot.h"
+#include "mining/gspan.h"
+#include "obs/http_exporter.h"
+#include "obs/watchdog.h"
+#include "server/prague_client.h"
+#include "server/prague_server.h"
+
+namespace prague {
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& message) {
+  std::fprintf(stderr, "exposition-lint: FAIL: %s\n", message.c_str());
+  ++g_failures;
+}
+
+#define CHECK_THAT(cond, message)           \
+  do {                                      \
+    if (!(cond)) Fail(message);             \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Fixture: a small labeled database -> mined, indexed, served.
+
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b;
+  for (Label l : labels) b.AddNode(l);
+  for (auto [u, v] : edges) {
+    Result<EdgeId> r = b.AddEdge(u, v, 0);
+    if (!r.ok()) std::abort();
+  }
+  return std::move(b).Build();
+}
+
+SnapshotPtr MakeSnapshot() {
+  GraphDatabase db;
+  db.mutable_labels()->Intern("C");
+  db.mutable_labels()->Intern("S");
+  db.mutable_labels()->Intern("O");
+  db.Add(MakeGraph({0, 0, 0, 1}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}));
+  db.Add(MakeGraph({0, 1, 0, 0}, {{0, 1}, {1, 2}, {2, 3}}));
+  db.Add(MakeGraph({0, 1, 2, 0}, {{0, 1}, {0, 2}, {0, 3}}));
+  db.Add(MakeGraph({0, 0, 1, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  MiningConfig mining;
+  mining.min_support_ratio = 0.34;
+  mining.max_fragment_edges = 4;
+  Result<MiningResult> mined = MineFragments(db, mining);
+  if (!mined.ok()) std::abort();
+  ActionAwareIndexes indexes = BuildActionAwareIndexes(*mined, A2fConfig{});
+  return DatabaseSnapshot::Make(std::move(db), std::move(indexes), 0);
+}
+
+// ---------------------------------------------------------------------------
+// A scrape client speaking exactly what Prometheus speaks.
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) std::abort();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Fail("connect to exporter: " + std::string(strerror(errno)));
+    ::close(fd);
+    return "";
+  }
+  std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: lint\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+bool Is200(const std::string& response) {
+  return response.rfind("HTTP/1.1 200", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Grammar checks over the exposition body.
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t eol = text.find('\n', start);
+    if (eol == std::string::npos) eol = text.size();
+    lines.push_back(text.substr(start, eol - start));
+    start = eol + 1;
+  }
+  return lines;
+}
+
+// "name{labels} value" -> (name, labels-or-empty, value). False = not a
+// sample line.
+bool ParseSample(const std::string& line, std::string* name,
+                 std::string* labels, double* value) {
+  if (line.empty() || line[0] == '#') return false;
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos) return false;
+  char* end = nullptr;
+  const char* value_str = line.c_str() + space + 1;
+  *value = std::strtod(value_str, &end);
+  bool inf = std::strncmp(value_str, "+Inf", 4) == 0;
+  if (!inf && (end == value_str || *end != '\0')) return false;
+  std::string series = line.substr(0, space);
+  size_t brace = series.find('{');
+  if (brace == std::string::npos) {
+    *name = series;
+    labels->clear();
+  } else {
+    if (series.back() != '}') return false;
+    *name = series.substr(0, brace);
+    *labels = series.substr(brace + 1, series.size() - brace - 2);
+  }
+  return true;
+}
+
+// A sample's base family: strips the histogram suffixes so the TYPE lookup
+// works for `_bucket` / `_sum` / `_count` lines.
+std::string BaseFamily(const std::string& name,
+                       const std::set<std::string>& typed) {
+  if (typed.count(name)) return name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    size_t len = std::strlen(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0) {
+      std::string base = name.substr(0, name.size() - len);
+      if (typed.count(base)) return base;
+    }
+  }
+  return "";
+}
+
+// Labels string minus the le pair, plus the le value — so bucket series of
+// one (metric, labelset) can be grouped and checked for cumulativeness.
+void SplitLe(const std::string& labels, std::string* rest, std::string* le) {
+  rest->clear();
+  le->clear();
+  size_t pos = 0;
+  while (pos < labels.size()) {
+    size_t eq = labels.find('=', pos);
+    if (eq == std::string::npos) break;
+    std::string key = labels.substr(pos, eq - pos);
+    size_t vstart = eq + 2;  // skip ="
+    size_t vend = vstart;
+    while (vend < labels.size() &&
+           !(labels[vend] == '"' && labels[vend - 1] != '\\')) {
+      ++vend;
+    }
+    std::string value = labels.substr(vstart, vend - vstart);
+    if (key == "le") {
+      *le = value;
+    } else {
+      if (!rest->empty()) *rest += ',';
+      *rest += key + "=\"" + value + "\"";
+    }
+    pos = vend + 1;
+    if (pos < labels.size() && labels[pos] == ',') ++pos;
+  }
+}
+
+void LintExposition(const std::string& body) {
+  CHECK_THAT(!body.empty(), "/metrics body is empty");
+  CHECK_THAT(body.empty() || body.back() == '\n',
+             "exposition must end with a newline");
+
+  std::map<std::string, std::string> type_of;  // family -> counter/gauge/...
+  std::set<std::string> typed;
+  std::set<std::string> seen_series;
+  // (family, labelset) -> ordered buckets as (le, value).
+  std::map<std::string, std::vector<std::pair<std::string, double>>> buckets;
+  std::map<std::string, double> counts;  // (family, labelset) -> _count
+
+  for (const std::string& line : SplitLines(body)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      size_t space = line.find(' ', 7);
+      CHECK_THAT(space != std::string::npos, "malformed TYPE line: " + line);
+      if (space == std::string::npos) continue;
+      std::string family = line.substr(7, space - 7);
+      std::string kind = line.substr(space + 1);
+      CHECK_THAT(kind == "counter" || kind == "gauge" || kind == "histogram",
+                 "unknown TYPE kind: " + line);
+      CHECK_THAT(!type_of.count(family), "duplicate TYPE for " + family);
+      type_of[family] = kind;
+      typed.insert(family);
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP/comments: ignored
+    std::string name, labels;
+    double value = 0;
+    CHECK_THAT(ParseSample(line, &name, &labels, &value),
+               "unparseable sample line: " + line);
+    if (!ParseSample(line, &name, &labels, &value)) continue;
+    std::string family = BaseFamily(name, typed);
+    CHECK_THAT(!family.empty(), "sample without a preceding TYPE: " + line);
+    std::string series = name + "{" + labels + "}";
+    CHECK_THAT(!seen_series.count(series), "duplicate series: " + series);
+    seen_series.insert(series);
+
+    if (name == family + "_bucket") {
+      std::string rest, le;
+      SplitLe(labels, &rest, &le);
+      CHECK_THAT(!le.empty(), "bucket without an le label: " + line);
+      buckets[family + "{" + rest + "}"].emplace_back(le, value);
+    } else if (name == family + "_count") {
+      counts[family + "{" + labels + "}"] = value;
+    }
+  }
+
+  for (const auto& [key, series] : buckets) {
+    double prev = -1;
+    for (const auto& [le, value] : series) {
+      CHECK_THAT(value >= prev,
+                 "non-cumulative buckets in " + key + " at le=" + le);
+      prev = value;
+    }
+    CHECK_THAT(!series.empty() && series.back().first == "+Inf",
+               "bucket series " + key + " does not end at le=\"+Inf\"");
+    auto count = counts.find(key);
+    CHECK_THAT(count != counts.end(), "buckets without _count in " + key);
+    if (count != counts.end() && !series.empty()) {
+      CHECK_THAT(series.back().second == count->second,
+                 "+Inf bucket != _count in " + key);
+    }
+  }
+
+  // The labeled families the operator docs promise.
+  CHECK_THAT(
+      body.find("prague_server_tenant_admitted_total{tenant=\"") !=
+          std::string::npos,
+      "missing per-tenant admitted series");
+  CHECK_THAT(body.find("prague_server_tenant_run_latency_us_bucket{tenant=") !=
+                 std::string::npos,
+             "missing per-tenant latency histogram");
+  CHECK_THAT(body.find("prague_watchdog_ticks_total") != std::string::npos,
+             "missing watchdog tick counter");
+  CHECK_THAT(body.find("prague_http_requests_total") != std::string::npos,
+             "missing exporter self-metrics");
+  CHECK_THAT(body.find("prague_log_suppressed_total") != std::string::npos,
+             "missing log-suppression callback counter");
+}
+
+int Main() {
+  SessionManager manager(MakeSnapshot());
+
+  obs::Watchdog watchdog;
+  watchdog.set_trace_ring(&manager.mutable_traces());
+
+  PragueServerOptions options;
+  options.port = 0;
+  options.worker_threads = 4;
+  options.watchdog = &watchdog;
+  PragueServer server(&manager, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    Fail("server start: " + started.ToString());
+    return 1;
+  }
+  watchdog.Start();
+
+  obs::HttpExporterHooks hooks;
+  hooks.ready = [&server] { return server.running(); };
+  hooks.statusz_json = [] { return std::string("{\"lint\":true}"); };
+  hooks.traces = [&manager] { return manager.traces().Recent(); };
+  obs::HttpExporter exporter({}, hooks);
+  started = exporter.Start();
+  if (!started.ok()) {
+    Fail("exporter start: " + started.ToString());
+    server.Stop();
+    watchdog.Stop();
+    return 1;
+  }
+
+  // Labeled traffic from two tenants so tenant series exist to lint.
+  for (const char* tenant : {"lint-a", "lint-b"}) {
+    PragueClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok() ||
+        !client.Open(-1, tenant).ok()) {
+      Fail("wire client could not open a session");
+      break;
+    }
+    (void)client.AddEdge(1, "C", 2, "S");
+    Result<RunReply> run = client.Run();
+    CHECK_THAT(run.ok(), "RUN failed during lint traffic");
+    client.Close();
+  }
+
+  const uint16_t port = exporter.port();
+  std::string metrics = HttpGet(port, "/metrics");
+  CHECK_THAT(Is200(metrics), "/metrics did not answer 200");
+  CHECK_THAT(metrics.find("text/plain; version=0.0.4") != std::string::npos,
+             "/metrics missing the Prometheus content type");
+  LintExposition(BodyOf(metrics));
+
+  CHECK_THAT(Is200(HttpGet(port, "/healthz")), "/healthz did not answer 200");
+  CHECK_THAT(Is200(HttpGet(port, "/readyz")), "/readyz did not answer 200");
+  CHECK_THAT(Is200(HttpGet(port, "/statusz")), "/statusz did not answer 200");
+  std::string tracez = HttpGet(port, "/tracez");
+  CHECK_THAT(Is200(tracez), "/tracez did not answer 200");
+  CHECK_THAT(BodyOf(tracez).find("\"traces\":[") != std::string::npos,
+             "/tracez is not a trace array");
+
+  exporter.Stop();
+  server.Stop();
+  watchdog.Stop();
+
+  if (g_failures == 0) {
+    std::printf("exposition-lint: OK (%zu bytes of exposition)\n",
+                BodyOf(metrics).size());
+    return 0;
+  }
+  std::fprintf(stderr, "exposition-lint: %d failure(s)\n", g_failures);
+  return 1;
+}
+
+}  // namespace
+}  // namespace prague
+
+int main() { return prague::Main(); }

@@ -76,11 +76,15 @@
 #include "index/index_io.h"
 #include "index/index_maintenance.h"
 #include "core/explain.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "query/pattern_parser.h"
 #include "server/prague_client.h"
 #include "server/prague_server.h"
 #include "storage/storage_engine.h"
 #include "util/bytes.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 using namespace prague;
@@ -112,9 +116,12 @@ int Usage() {
       "  praguedb serve <db> <index.idx> [--port=N] [--timeout-ms=M] "
       "[--threads=T] [--event-loop-threads=E] [--slow-query-ms=S] "
       "[--shards=N] [--tenant-rate=R] [--max-runs-per-conn=N] "
-      "[--max-queued-bytes=B]\n"
+      "[--max-queued-bytes=B] [--http-port=H] [--log-format=text|json] "
+      "[--log-level=debug|info|warning|error]\n"
       "        (admission control: R runs/sec, N concurrent runs, B pending\n"
       "         bytes per tenant; over-quota requests get BUSY, not queued)\n"
+      "        (--http-port exposes /metrics /healthz /readyz /statusz\n"
+      "         /tracez for Prometheus and probes; default off)\n"
       "  praguedb serve --data-dir=<dir> [<db> <index.idx>] [--fsync=0|1] "
       "[--append-alpha=A] [serve flags]\n"
       "        (durable server: opens an existing data dir — or bootstraps\n"
@@ -629,6 +636,30 @@ int CmdServe(int argc, char** argv) {
       ExtractInt64Flag(&argc, argv, "--max-runs-per-conn=", 0);
   int64_t max_queued_bytes =
       ExtractInt64Flag(&argc, argv, "--max-queued-bytes=", 0);
+  // Observability plane (obs/http_exporter.h): off unless --http-port.
+  int64_t http_port = ExtractInt64Flag(&argc, argv, "--http-port=", -1);
+  std::string log_format = ExtractStringFlag(&argc, argv, "--log-format=");
+  std::string log_level = ExtractStringFlag(&argc, argv, "--log-level=");
+  if (!log_format.empty()) {
+    LogFormat format;
+    if (!ParseLogFormat(log_format, &format)) {
+      std::fprintf(stderr, "serve: bad --log-format '%s' (text|json)\n",
+                   log_format.c_str());
+      return Usage();
+    }
+    SetLogFormat(format);
+  }
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr,
+                   "serve: bad --log-level '%s' "
+                   "(debug|info|warning|error)\n",
+                   log_level.c_str());
+      return Usage();
+    }
+    SetLogLevel(level);
+  }
   // Every known flag has been extracted; anything dash-prefixed left over
   // is a typo. Reject it before touching the data files so the mistake
   // surfaces as a usage error, not a runtime one.
@@ -711,8 +742,56 @@ int CmdServe(int argc, char** argv) {
       max_runs_per_conn > 0 ? static_cast<size_t>(max_runs_per_conn) : 0;
   options.max_queued_bytes =
       max_queued_bytes > 0 ? static_cast<size_t>(max_queued_bytes) : 0;
+  // The watchdog outlives the server (options.watchdog contract): it is
+  // declared first so it is destroyed last, and explicitly stopped after
+  // server.Stop() below.
+  obs::Watchdog watchdog;
+  watchdog.set_trace_ring(&manager.mutable_traces());
+  options.watchdog = &watchdog;
   PragueServer server(&manager, options);
   if (Status st = server.Start(); !st.ok()) return Fail(st);
+  watchdog.Start();
+
+  obs::HttpExporter* exporter = nullptr;
+  std::unique_ptr<obs::HttpExporter> exporter_holder;
+  if (http_port >= 0) {
+    const auto serve_started = std::chrono::steady_clock::now();
+    obs::HttpExporterOptions http_options;
+    http_options.port = static_cast<uint16_t>(http_port);
+    obs::HttpExporterHooks hooks;
+    hooks.ready = [&server, &manager] {
+      return server.running() && manager.current() != nullptr;
+    };
+    hooks.statusz_json = [&manager, &server, serve_started] {
+      const SessionManagerStats stats = manager.Stats();
+      const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - serve_started);
+      std::ostringstream out;
+      out << "{\"snapshot_version\":" << stats.current_version
+          << ",\"uptime_s\":" << uptime.count()
+          << ",\"port\":" << server.port()
+          << ",\"connections_accepted\":" << server.connections_accepted()
+          << ",\"open_sessions\":" << stats.open_sessions
+          << ",\"shards\":" << stats.shards
+          << ",\"runs_served\":" << stats.runs_served
+          << ",\"runs_shed\":" << stats.runs_shed
+          << ",\"tenants\":" << stats.tenants
+          << ",\"durable\":" << (stats.durable ? "true" : "false")
+          << ",\"wal_bytes\":" << stats.wal_bytes
+          << ",\"last_checkpoint_version\":" << stats.last_checkpoint_version
+          << "}";
+      return out.str();
+    };
+    hooks.traces = [&manager] { return manager.traces().Recent(); };
+    exporter_holder =
+        std::make_unique<obs::HttpExporter>(http_options, std::move(hooks));
+    if (Status st = exporter_holder->Start(); !st.ok()) {
+      server.Stop();
+      watchdog.Stop();
+      return Fail(st);
+    }
+    exporter = exporter_holder.get();
+  }
   std::string budget = timeout_ms > 0 ? std::to_string(timeout_ms) + " ms"
                                       : "unbounded";
   std::string slow_log =
@@ -725,6 +804,10 @@ int CmdServe(int argc, char** argv) {
               server.port(), budget.c_str(), slow_log.c_str(),
               manager.Stats().shards,
               engine ? (storage_options.sync ? "wal+fsync" : "wal") : "none");
+  if (exporter != nullptr) {
+    std::printf("praguedb: metrics on http://localhost:%u/metrics\n",
+                exporter->port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleServeSignal);
@@ -734,7 +817,9 @@ int CmdServe(int argc, char** argv) {
   }
   std::printf("praguedb: shutting down (%llu connections served)\n",
               static_cast<unsigned long long>(server.connections_accepted()));
+  if (exporter_holder) exporter_holder->Stop();
   server.Stop();
+  watchdog.Stop();
   if (engine) {
     // Fold the WAL tail into a fresh segment so the next open replays
     // nothing. Best-effort: the WAL alone already makes restart correct.
